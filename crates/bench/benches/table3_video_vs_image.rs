@@ -1,0 +1,47 @@
+//! Bench: Table 3 — video vs. image transfer, plus both codec kernels.
+
+use bench::{bench_effort, save_json};
+use criterion::{criterion_group, criterion_main, Criterion};
+use slamshare_core::experiments::table3;
+use slamshare_net::codec::{ImageCodec, VideoDecoder, VideoEncoder};
+
+fn bench(c: &mut Criterion) {
+    let result = table3::run(bench_effort());
+    println!("\n{}", result.render_text());
+    save_json("table3_video_vs_image", &result);
+
+    let ds = slamshare_sim::dataset::Dataset::build(
+        slamshare_sim::dataset::DatasetConfig::new(slamshare_sim::dataset::TracePreset::MH05)
+            .with_frames(2)
+            .with_seed(5),
+    );
+    let f0 = ds.render_frame(0);
+    let f1 = ds.render_frame(1);
+    c.bench_function("table3/image_encode", |b| {
+        b.iter(|| ImageCodec::encode(std::hint::black_box(&f0)))
+    });
+    c.bench_function("table3/video_pframe_encode", |b| {
+        b.iter(|| {
+            let mut enc = VideoEncoder::default();
+            enc.encode(&f0);
+            enc.encode(std::hint::black_box(&f1))
+        })
+    });
+    c.bench_function("table3/video_stream_decode", |b| {
+        let mut enc = VideoEncoder::default();
+        let i = enc.encode(&f0);
+        let p = enc.encode(&f1);
+        b.iter(|| {
+            let mut dec = VideoDecoder::new();
+            dec.decode(&i.data).unwrap();
+            dec.decode(std::hint::black_box(&p.data)).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Shared plumbing for the paper-reproduction benchmark harness.
+//!
+//! Each bench target (one per table/figure — see DESIGN.md §3) does two
+//! things when `cargo bench` runs it:
+//!
+//! 1. runs the corresponding experiment from
+//!    [`slamshare_core::experiments`] once, prints the rendered table and
+//!    writes the raw rows to `results/<name>.json`;
+//! 2. times the experiment's hot kernel with Criterion so regressions in
+//!    the underlying implementation are visible.
+//!
+//! Set `SLAMSHARE_BENCH_EFFORT=full` for paper-scale workloads (default is
+//! `quick`, sized to finish the whole harness in minutes).
+
+use slamshare_core::experiments::Effort;
+use std::path::PathBuf;
+
+/// Effort selected by the `SLAMSHARE_BENCH_EFFORT` env var.
+pub fn bench_effort() -> Effort {
+    match std::env::var("SLAMSHARE_BENCH_EFFORT").as_deref() {
+        Ok("full") => Effort::Full,
+        Ok("smoke") => Effort::Smoke,
+        _ => Effort::Quick,
+    }
+}
+
+/// Where experiment outputs land (`<workspace>/results`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .map(|p| p.join("../../results"))
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Persist an experiment result as JSON next to the human-readable print.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_env_parsing_defaults_quick() {
+        // Can't set env safely in parallel tests; just exercise default.
+        let e = bench_effort();
+        assert!(matches!(e, Effort::Quick | Effort::Full | Effort::Smoke));
+    }
+
+    #[test]
+    fn save_json_roundtrip() {
+        #[derive(serde::Serialize)]
+        struct T {
+            x: u32,
+        }
+        save_json("selftest", &T { x: 7 });
+        let path = results_dir().join("selftest.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("7"));
+        let _ = std::fs::remove_file(path);
+    }
+}

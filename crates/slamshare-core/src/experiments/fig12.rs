@@ -1,0 +1,210 @@
+//! **Fig. 12**: impact of network conditions.
+//!
+//! Paper: SLAM-Share's accuracy is essentially unaffected by 300 ms of
+//! added delay or bandwidth caps of 18.7/9.4 Mbit/s (it needs ~1–2 Mbit/s
+//! and the IMU rides out the delay), while the baseline's short-term ATE
+//! inflates — its ~20 Mbit/s map exchanges arrive late or get dropped
+//! (38 % missed updates at 9.4 Mbit/s).
+
+use super::Effort;
+use crate::session::{ClientSpec, Session, SessionConfig, SessionResult, SystemKind};
+use serde::Serialize;
+use slamshare_net::link::LinkConfig;
+use slamshare_sim::dataset::TracePreset;
+use slamshare_slam::vocabulary;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Case {
+    pub system: String,
+    pub link: String,
+    /// Cumulative ATE of user B over time `(t, m)`.
+    pub cumulative_ate: Vec<(f64, f64)>,
+    /// Short-term (5 s window) ATE of user B over time `(t, m)`.
+    pub short_term_ate: Vec<(f64, f64)>,
+    /// Final cumulative ATE (m).
+    pub final_ate: f64,
+    pub client_b_uplink_mbps: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Result {
+    pub cases: Vec<Fig12Case>,
+}
+
+fn scenario(frames: usize, fps: f64) -> Vec<ClientSpec> {
+    vec![
+        ClientSpec {
+            id: 1,
+            preset: TracePreset::MH04,
+            seed: 51,
+            join_time: 0.0,
+            start_frame: 0,
+            frames,
+            anchor: true,
+        },
+        ClientSpec {
+            id: 2,
+            preset: TracePreset::MH05,
+            seed: 52,
+            join_time: frames as f64 / fps * 0.3,
+            start_frame: 0,
+            frames,
+            anchor: false,
+        },
+    ]
+}
+
+/// User B's error series, measured the way an AR user experiences it: in
+/// the **global frame, without alignment**, starting from B's first
+/// aligned merge (before that B has no global pose at all — the paper's
+/// "before merge" regime, visible in Fig. 10's map-ATE spikes instead).
+fn series_for_b(
+    result: &SessionResult,
+    fps: f64,
+    frames: usize,
+    join: f64,
+) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+    let mut cumulative = Vec::new();
+    let mut short_term = Vec::new();
+    let Some(merge_t) = result
+        .merges
+        .iter()
+        .find(|m| m.client == 2 && m.aligned)
+        .map(|m| m.t)
+    else {
+        return (cumulative, short_term);
+    };
+    let step = (frames as f64 / fps / 10.0).max(0.05);
+    let end = join + frames as f64 / fps;
+    // The pose the system anchors holograms with: the server's vision
+    // pose (SLAM-Share) / local SLAM pose (baseline). The device's
+    // IMU-interpolated display path between replies is Table 2's subject.
+    let raw_rmse = |lo: f64, hi: f64| -> Option<f64> {
+        let errs: Vec<f64> = result
+            .frames
+            .iter()
+            .filter(|f| f.client == 2 && f.t > lo && f.t <= hi)
+            .filter_map(|f| f.server_est.map(|e| (e - f.gt).norm_sq()))
+            .collect();
+        (errs.len() >= 2)
+            .then(|| (errs.iter().sum::<f64>() / errs.len() as f64).sqrt())
+    };
+    let mut t = merge_t + step;
+    while t <= end + 1e-9 {
+        if let Some(r) = raw_rmse(merge_t, t) {
+            cumulative.push((t, r));
+        }
+        if let Some(r) = raw_rmse(merge_t.max(t - 5.0), t) {
+            short_term.push((t, r));
+        }
+        t += step;
+    }
+    (cumulative, short_term)
+}
+
+pub fn run(effort: Effort) -> Fig12Result {
+    let frames = effort.frames(200).max(20);
+    let fps = 30.0;
+    let links: Vec<(&str, LinkConfig)> = match effort {
+        Effort::Smoke => vec![
+            ("ideal", LinkConfig::ten_gbe()),
+            ("delay-300ms", LinkConfig::delayed_300ms()),
+        ],
+        _ => vec![
+            ("ideal", LinkConfig::ten_gbe()),
+            ("delay-300ms", LinkConfig::delayed_300ms()),
+            ("bw-18.7Mbps", LinkConfig::constrained_18_7mbps()),
+            ("bw-9.4Mbps", LinkConfig::constrained_9_4mbps()),
+        ],
+    };
+    let systems: Vec<(&str, SystemKind)> = match effort {
+        Effort::Smoke => vec![("slam-share", SystemKind::SlamShare)],
+        _ => vec![
+            ("slam-share", SystemKind::SlamShare),
+            ("baseline", SystemKind::Baseline),
+        ],
+    };
+
+    let vocab = Arc::new(vocabulary::train_random(42));
+    let mut cases = Vec::new();
+    for (sys_name, kind) in &systems {
+        for (link_name, link) in &links {
+            let clients = scenario(frames, fps);
+            let join = clients[1].join_time;
+            let mut config =
+                SessionConfig::new(*kind, clients).with_fps(fps).with_link(*link);
+            // Baseline uploads more frequently at experiment scale so
+            // several rounds land inside the shortened session.
+            config.baseline.upload_every_frames = (frames / 3).max(10);
+            let result = Session::new(config, vocab.clone()).run();
+            let (cumulative, short_term) = series_for_b(&result, fps, frames, join);
+            cases.push(Fig12Case {
+                system: sys_name.to_string(),
+                link: link_name.to_string(),
+                final_ate: cumulative.last().map(|(_, a)| *a).unwrap_or(f64::NAN),
+                client_b_uplink_mbps: result
+                    .per_client
+                    .get(&2)
+                    .map(|s| s.uplink_mbps)
+                    .unwrap_or(0.0),
+                cumulative_ate: cumulative,
+                short_term_ate: short_term,
+            });
+        }
+    }
+    Fig12Result { cases }
+}
+
+impl Fig12Result {
+    pub fn render_text(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .cases
+            .iter()
+            .map(|c| {
+                let peak_short = c
+                    .short_term_ate
+                    .iter()
+                    .map(|(_, a)| *a)
+                    .fold(0.0, f64::max);
+                vec![
+                    c.system.clone(),
+                    c.link.clone(),
+                    format!("{:.3}", c.final_ate),
+                    format!("{:.3}", peak_short),
+                    format!("{:.2}", c.client_b_uplink_mbps),
+                ]
+            })
+            .collect();
+        format!(
+            "Fig. 12: network-condition sensitivity (user B)\n{}",
+            super::render_table(
+                &["system", "link", "final cum. ATE m", "peak short-term ATE m", "B uplink Mbit/s"],
+                &rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slamshare_robust_to_delay() {
+        let r = run(Effort::Smoke);
+        let ideal = r.cases.iter().find(|c| c.link == "ideal").unwrap();
+        let delayed = r.cases.iter().find(|c| c.link == "delay-300ms").unwrap();
+        assert!(ideal.final_ate.is_finite());
+        assert!(delayed.final_ate.is_finite());
+        // The claim: delay barely moves SLAM-Share's accuracy.
+        assert!(
+            delayed.final_ate < ideal.final_ate * 3.0 + 0.1,
+            "300 ms delay wrecked SLAM-Share: {} → {}",
+            ideal.final_ate,
+            delayed.final_ate
+        );
+        // And its uplink stays in the low Mbit/s.
+        assert!(ideal.client_b_uplink_mbps < 40.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! **Fig. 13**: client CPU utilization, baseline vs. SLAM-Share.
+//!
+//! Paper: the baseline client (full local SLAM) holds ~25 % of the 40-core
+//! box (~10 cores); the SLAM-Share client (video encode + IMU only) uses
+//! ~0.7 % of a single core — a ~35× gap. We run the same trajectory
+//! through both clients and report the per-second utilization series from
+//! real measured work.
+
+use super::Effort;
+use crate::session::{ClientSpec, Session, SessionConfig, SystemKind};
+use serde::Serialize;
+use slamshare_sim::dataset::TracePreset;
+use slamshare_slam::vocabulary;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Result {
+    /// Per-second utilization (% of the 40-core box), baseline client.
+    pub baseline_series: Vec<f64>,
+    /// Per-second utilization, SLAM-Share client.
+    pub slamshare_series: Vec<f64>,
+    pub baseline_mean_percent: f64,
+    pub slamshare_mean_percent: f64,
+    /// As % of a single core (the paper quotes both).
+    pub slamshare_single_core_percent: f64,
+    pub ratio: f64,
+}
+
+pub fn run(effort: Effort) -> Fig13Result {
+    let frames = effort.frames(300);
+    let spec = vec![ClientSpec {
+        id: 1,
+        preset: TracePreset::MH05,
+        seed: 41,
+        join_time: 0.0,
+        start_frame: 0,
+        frames,
+        anchor: true,
+    }];
+    let vocab = Arc::new(vocabulary::train_random(42));
+
+    let run_kind = |kind: SystemKind| {
+        let config = SessionConfig::new(kind, spec.clone());
+        Session::new(config, vocab.clone()).run()
+    };
+    let baseline = run_kind(SystemKind::Baseline);
+    let slamshare = run_kind(SystemKind::SlamShare);
+
+    let b = &baseline.per_client[&1];
+    let s = &slamshare.per_client[&1];
+    Fig13Result {
+        baseline_series: b.cpu_percent_series.clone(),
+        slamshare_series: s.cpu_percent_series.clone(),
+        baseline_mean_percent: b.mean_cpu_percent,
+        slamshare_mean_percent: s.mean_cpu_percent,
+        slamshare_single_core_percent: s.mean_cpu_percent * 40.0,
+        ratio: b.mean_cpu_percent / s.mean_cpu_percent.max(1e-12),
+    }
+}
+
+impl Fig13Result {
+    pub fn render_text(&self) -> String {
+        format!(
+            "Fig. 13: client CPU utilization (MH05 trajectory)\n\
+             baseline client:   {:.3}% of 40-core box ({:.1}% of one core)\n\
+             SLAM-Share client: {:.4}% of 40-core box ({:.2}% of one core)\n\
+             ratio: {:.0}x\n",
+            self.baseline_mean_percent,
+            self.baseline_mean_percent * 40.0,
+            self.slamshare_mean_percent,
+            self.slamshare_single_core_percent,
+            self.ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slamshare_client_is_dramatically_lighter() {
+        let r = run(Effort::Smoke);
+        assert!(r.baseline_mean_percent > 0.0);
+        assert!(r.slamshare_mean_percent > 0.0);
+        assert!(
+            r.ratio > 3.0,
+            "CPU gap only {:.1}x (baseline {:.3}%, slam-share {:.4}%)",
+            r.ratio,
+            r.baseline_mean_percent,
+            r.slamshare_mean_percent
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Experiment runners: one per table/figure of the paper's evaluation.
+//!
+//! Each module reproduces one result (see DESIGN.md §3 for the index):
+//!
+//! | module   | paper result |
+//! |----------|--------------|
+//! | [`table1`] | map size vs. keyframes (EuRoC MH04) |
+//! | [`fig5`]   | CPU tracking-latency breakdown |
+//! | [`fig8`]   | CPU vs. GPU tracking latency |
+//! | [`table2`] | IMU-compensated accuracy vs. RTT |
+//! | [`table3`] | video vs. image transfer |
+//! | [`fig10`]  | multi-client merge timeline (EuRoC + KITTI) |
+//! | [`table4`] | merge-latency breakdown vs. baseline |
+//! | [`fig11`]  | hologram positioning with/without sharing |
+//! | [`fig12`]  | network-condition sensitivity |
+//! | [`fig13`]  | client CPU utilization |
+//! | [`ablations`] | IMU assist on/off; GSlice sharing under load |
+//! | [`scalability`] | shared-map lock behaviour vs. client count (§4.3.2) |
+//!
+//! Runners are shared by the Criterion benches (`crates/bench`) and the
+//! runnable examples; all accept an [`Effort`] so tests stay fast while
+//! benches run paper-scale workloads.
+
+pub mod ablations;
+pub mod scalability;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig5;
+pub mod fig8;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+/// How much work to spend: `Smoke` for unit tests, `Quick` for examples,
+/// `Full` for the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    Smoke,
+    Quick,
+    Full,
+}
+
+impl Effort {
+    /// Scale a frame count by effort.
+    pub fn frames(&self, full: usize) -> usize {
+        match self {
+            Effort::Smoke => (full / 20).max(6),
+            Effort::Quick => (full / 4).max(10),
+            Effort::Full => full,
+        }
+    }
+
+    /// Scale a repetition count.
+    pub fn reps(&self, full: usize) -> usize {
+        match self {
+            Effort::Smoke => 1,
+            Effort::Quick => (full / 3).max(1),
+            Effort::Full => full,
+        }
+    }
+}
+
+/// Format a table as aligned text (shared by every runner's
+/// `render_text`).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push_str(&fmt_row(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        &widths,
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_scales_monotonically() {
+        assert!(Effort::Smoke.frames(200) < Effort::Quick.frames(200));
+        assert!(Effort::Quick.frames(200) < Effort::Full.frames(200));
+        assert_eq!(Effort::Full.frames(200), 200);
+        assert_eq!(Effort::Smoke.reps(10), 1);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let text = render_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "22".into()]],
+        );
+        assert!(text.contains("| name      | value |"));
+        assert!(text.contains("| long-name | 22    |"));
+    }
+}

@@ -1,0 +1,196 @@
+//! **Scalability** (extension beyond the paper's figures): §4.3.2 argues
+//! "we do not expect shared memory to be a bottleneck even with more
+//! (tens) of users" because readers share the lock and only writes
+//! serialize. This experiment measures it: N client threads concurrently
+//! track against one shared global map (read locks) and insert keyframes
+//! (write locks); we report per-client frame throughput and the lock's
+//! contention statistics as N grows.
+
+use super::Effort;
+use crate::server::{GlobalMapState, GLOBAL_MAP_NAME};
+use serde::Serialize;
+use slamshare_gpu::GpuExecutor;
+use slamshare_shm::{Segment, SharedStore};
+use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
+use slamshare_slam::mapping::{LocalMapper, MappingConfig};
+use slamshare_slam::tracking::{SensorMode, Tracker, TrackerConfig};
+use slamshare_slam::vocabulary;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalabilityRow {
+    pub clients: usize,
+    pub frames_per_client: usize,
+    /// Mean per-frame wall latency across clients, ms.
+    pub mean_frame_ms: f64,
+    /// Read-lock acquisitions across the run.
+    pub read_locks: u64,
+    /// Write-lock acquisitions across the run.
+    pub write_locks: u64,
+    /// Mean lock wait per acquisition, microseconds.
+    pub mean_lock_wait_us: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalabilityResult {
+    pub rows: Vec<ScalabilityRow>,
+}
+
+pub fn run(effort: Effort) -> ScalabilityResult {
+    let frames = effort.frames(60).min(12);
+    let counts: Vec<usize> = match effort {
+        Effort::Smoke => vec![1, 4],
+        Effort::Quick => vec![1, 2, 4, 8],
+        Effort::Full => vec![1, 2, 4, 8, 16, 32],
+    };
+
+    // Pre-render the frame stream once; every simulated client replays it
+    // from a different starting offset (what matters here is lock traffic,
+    // not scene diversity).
+    let ds = Arc::new(Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(frames + counts.iter().max().unwrap())
+            .with_seed(3),
+    ));
+    let rendered: Arc<Vec<_>> = Arc::new(
+        (0..ds.frame_count()).map(|i| ds.render_stereo_frame(i)).collect(),
+    );
+    let vocab = Arc::new(vocabulary::train_random(42));
+
+    let rows = counts
+        .into_iter()
+        .map(|n_clients| {
+            let segment = Arc::new(Segment::new(1 << 30));
+            let store =
+                SharedStore::create_in(&segment, GLOBAL_MAP_NAME, GlobalMapState::default())
+                    .unwrap();
+
+            let mut handles = Vec::new();
+            let t0 = Instant::now();
+            for cid in 0..n_clients {
+                let ds = ds.clone();
+                let rendered = rendered.clone();
+                let vocab = vocab.clone();
+                let segment = segment.clone();
+                let store: Arc<SharedStore<GlobalMapState>> =
+                    SharedStore::attach_in(&segment, GLOBAL_MAP_NAME).unwrap();
+                handles.push(std::thread::spawn(move || {
+                    let mut tracker = Tracker::new(
+                        TrackerConfig::stereo(ds.rig),
+                        Arc::new(GpuExecutor::cpu()),
+                    );
+                    let mut mapper = LocalMapper::new(
+                        SensorMode::Stereo,
+                        ds.rig,
+                        MappingConfig { ba_every: 0, ..Default::default() },
+                    );
+                    let mut last_kf = None;
+                    let mut total_ms = 0.0;
+                    for f in 0..frames {
+                        let idx = f + cid; // offset per client
+                        let (left, right) = &rendered[idx];
+                        let tf = Instant::now();
+                        let obs = store.with_read(|state| {
+                            tracker.track(
+                                f,
+                                ds.frame_time(idx),
+                                left,
+                                Some(right),
+                                &state.map,
+                                last_kf,
+                                Some(ds.gt_pose_cw(idx)),
+                            )
+                        });
+                        // Every few frames, write a keyframe (the shared
+                        // mutable path).
+                        if f % 3 == 0 {
+                            store.with_write(
+                                &segment,
+                                |_| 0,
+                                |state| {
+                                    let mut obs = obs.clone();
+                                    obs.matched = vec![None; obs.keypoints.len()];
+                                    obs.pose_cw = ds.gt_pose_cw(idx);
+                                    let report =
+                                        mapper.insert_keyframe(&mut state.map, &vocab, &obs);
+                                    last_kf = report.kf_id;
+                                },
+                            );
+                        }
+                        total_ms += tf.elapsed().as_secs_f64() * 1e3;
+                    }
+                    total_ms / frames as f64
+                }));
+            }
+            let per_client_ms: Vec<f64> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let _elapsed = t0.elapsed();
+            let stats = store.lock_stats();
+            let acquisitions = stats.read_acquisitions + stats.write_acquisitions;
+            ScalabilityRow {
+                clients: n_clients,
+                frames_per_client: frames,
+                mean_frame_ms: per_client_ms.iter().sum::<f64>() / per_client_ms.len() as f64,
+                read_locks: stats.read_acquisitions,
+                write_locks: stats.write_acquisitions,
+                mean_lock_wait_us: if acquisitions == 0 {
+                    0.0
+                } else {
+                    stats.wait_ns as f64 / acquisitions as f64 / 1e3
+                },
+            }
+        })
+        .collect();
+    ScalabilityResult { rows }
+}
+
+impl ScalabilityResult {
+    pub fn render_text(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.clients.to_string(),
+                    format!("{:.1}", r.mean_frame_ms),
+                    r.read_locks.to_string(),
+                    r.write_locks.to_string(),
+                    format!("{:.1}", r.mean_lock_wait_us),
+                ]
+            })
+            .collect();
+        format!(
+            "Scalability: shared-map lock behaviour vs concurrent clients\n{}",
+            super::render_table(
+                &["clients", "frame ms", "read locks", "write locks", "wait µs/lock"],
+                &rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_map_survives_concurrent_clients() {
+        let r = run(Effort::Smoke);
+        assert_eq!(r.rows.len(), 2);
+        let one = &r.rows[0];
+        let many = &r.rows[1];
+        assert!(many.read_locks > one.read_locks);
+        assert!(many.write_locks > one.write_locks);
+        // The §4.3.2 claim, scaled to this box: lock waits stay bounded
+        // by (a fraction of) the frame-processing time itself. On a 2-core
+        // host, 4 threads time-share the CPU, so waits include scheduler
+        // starvation — the bench reports the real distribution; the test
+        // only guards against pathological serialization (seconds).
+        assert!(
+            many.mean_lock_wait_us < 500_000.0,
+            "lock wait exploded: {} µs",
+            many.mean_lock_wait_us
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! **Table 1**: EuRoC MH04 map size vs. keyframe count.
+//!
+//! Paper: | 10 KFs → 825 MPs → 2.74 MB | … | 210 KFs → 8415 MPs →
+//! 38.81 MB |. We build a map from MH04-sim with a stereo SLAM run and
+//! snapshot `(keyframes, mappoints, serialized bytes)` at the same
+//! checkpoints. Absolute sizes differ (our descriptors/keypoints are the
+//! whole payload; ORB-SLAM adds covisibility and grid caches), the shape —
+//! linear growth, megabytes per tens of keyframes — is the claim.
+
+use super::Effort;
+use serde::Serialize;
+use slamshare_gpu::GpuExecutor;
+use slamshare_net::wire;
+use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
+use slamshare_slam::ids::ClientId;
+use slamshare_slam::system::{FrameInput, SlamConfig, SlamSystem};
+use slamshare_slam::vocabulary;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    pub keyframes: usize,
+    pub mappoints: usize,
+    pub map_bytes: usize,
+    pub map_mb: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Result {
+    pub rows: Vec<Table1Row>,
+}
+
+/// Run the experiment. Checkpoints at 10/20/30/40/50 keyframes (scaled by
+/// effort).
+pub fn run(effort: Effort) -> Table1Result {
+    let checkpoints: Vec<usize> = match effort {
+        Effort::Smoke => vec![2, 4],
+        Effort::Quick => vec![5, 10, 15],
+        Effort::Full => vec![10, 20, 30, 40, 50],
+    };
+    let max_kfs = *checkpoints.last().unwrap();
+    // Keyframes arrive every ~3–10 frames; provision generously.
+    let frames = max_kfs * 12;
+    let ds = Dataset::build(DatasetConfig::new(TracePreset::MH04).with_frames(frames).with_seed(1));
+    let vocab = Arc::new(vocabulary::train_random(42));
+    let mut sys = SlamSystem::new(
+        ClientId(1),
+        SlamConfig::stereo(ds.rig),
+        vocab,
+        Arc::new(GpuExecutor::cpu()),
+    );
+
+    let mut rows = Vec::new();
+    let mut next_checkpoint = 0;
+    for i in 0..frames {
+        let (l, r) = ds.render_stereo_frame(i);
+        sys.process_frame(FrameInput {
+            timestamp: ds.frame_time(i),
+            left: &l,
+            right: Some(&r),
+            imu: &[],
+            pose_hint: (i == 0).then(|| ds.gt_pose_cw(0)),
+        });
+        while next_checkpoint < checkpoints.len()
+            && sys.map.n_keyframes() >= checkpoints[next_checkpoint]
+        {
+            let bytes = wire::encode_map(&sys.map).len();
+            rows.push(Table1Row {
+                keyframes: sys.map.n_keyframes(),
+                mappoints: sys.map.n_mappoints(),
+                map_bytes: bytes,
+                map_mb: bytes as f64 / (1024.0 * 1024.0),
+            });
+            next_checkpoint += 1;
+        }
+        if next_checkpoint >= checkpoints.len() {
+            break;
+        }
+    }
+    Table1Result { rows }
+}
+
+impl Table1Result {
+    pub fn render_text(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.keyframes.to_string(),
+                    r.mappoints.to_string(),
+                    format!("{:.2}", r.map_mb),
+                ]
+            })
+            .collect();
+        format!(
+            "Table 1: map size vs. keyframes (MH04-sim)\n{}",
+            super::render_table(&["Keyframes", "Mappoints", "Map size (MB)"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_size_grows_with_keyframes() {
+        let result = run(Effort::Smoke);
+        assert!(result.rows.len() >= 2, "{:?}", result.rows);
+        for w in result.rows.windows(2) {
+            assert!(w[1].keyframes > w[0].keyframes);
+            assert!(w[1].mappoints >= w[0].mappoints);
+            assert!(w[1].map_bytes > w[0].map_bytes);
+        }
+        // Order of magnitude: a keyframe (~1000 features × ~90 B) plus its
+        // points lands in the hundreds-of-kB range.
+        let per_kf = result.rows[0].map_bytes / result.rows[0].keyframes;
+        assert!(per_kf > 20_000 && per_kf < 2_000_000, "{per_kf} B/KF");
+        let text = result.render_text();
+        assert!(text.contains("Map size"));
+    }
+}

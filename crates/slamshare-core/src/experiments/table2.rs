@@ -1,0 +1,238 @@
+//! **Table 2**: accuracy of IMU-compensated pose computation vs. RTT.
+//!
+//! Paper: ATE is flat for RTT ≤ 90 ms and degrades only slightly up to
+//! 1000 ms, because the client dead-reckons on its IMU while waiting for
+//! the server pose (Algorithm 1) and re-propagates on arrival.
+//!
+//! Reproduction: the server (a full SLAM run over the raw frames)
+//! produces per-frame vision poses; the client's Algorithm-1 chain
+//! receives each pose `RTT` late and fills the gap with preintegrated
+//! IMU. We report the ATE of the *client display trajectory* over the
+//! whole run and over the hardest small region (the window of maximum
+//! angular rate — the paper's "sharp turn" stress region).
+
+use super::Effort;
+use serde::Serialize;
+use slamshare_gpu::GpuExecutor;
+use slamshare_math::Vec3;
+use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
+use slamshare_slam::eval;
+use slamshare_slam::ids::ClientId;
+use slamshare_slam::imu::{ClientMotionModel, Preintegrated};
+use slamshare_slam::system::{FrameInput, SlamConfig, SlamSystem};
+use slamshare_slam::vocabulary;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    pub rtt_ms: f64,
+    /// Whole-trajectory ATE RMSE (cm) per dataset.
+    pub whole_ate_cm: Vec<(String, f64)>,
+    /// Small-region (sharp turn) ATE RMSE (cm) per dataset.
+    pub region_ate_cm: Vec<(String, f64)>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Result {
+    pub rows: Vec<Table2Row>,
+}
+
+struct Scenario {
+    name: String,
+    /// Per-frame timestamps.
+    times: Vec<f64>,
+    /// Server vision poses (world→camera), one per frame.
+    server_poses: Vec<slamshare_math::SE3>,
+    /// Ground-truth centers.
+    gt: Vec<(f64, Vec3)>,
+    /// IMU preintegrations per inter-frame interval.
+    deltas: Vec<Preintegrated>,
+    /// Frame range of the sharp-turn region.
+    region: (usize, usize),
+    mono: bool,
+}
+
+/// Build a scenario once; the RTT sweep replays the cheap client chain.
+fn build_scenario(preset: TracePreset, mono: bool, frames: usize) -> Scenario {
+    let ds = Dataset::build(DatasetConfig::new(preset).with_frames(frames).with_seed(7));
+    let vocab = Arc::new(vocabulary::train_random(42));
+    let config = if mono { SlamConfig::mono(ds.rig) } else { SlamConfig::stereo(ds.rig) };
+    let mut sys = SlamSystem::new(ClientId(1), config, vocab, Arc::new(GpuExecutor::cpu()));
+
+    let mut times = Vec::new();
+    let mut server_poses = Vec::new();
+    let mut gt = Vec::new();
+    let mut deltas = vec![Preintegrated::identity()];
+    let mut last_good = ds.gt_pose_cw(0);
+    for i in 0..frames {
+        let t = ds.frame_time(i);
+        let (left, right) = if mono {
+            (ds.render_frame(i), None)
+        } else {
+            let (l, r) = ds.render_stereo_frame(i);
+            (l, Some(r))
+        };
+        let hint = (!sys.is_bootstrapped()).then(|| ds.gt_pose_cw(i));
+        let step = sys.process_frame(FrameInput {
+            timestamp: t,
+            left: &left,
+            right: right.as_ref(),
+            imu: &[],
+            pose_hint: hint,
+        });
+        let pose = step.pose_cw.unwrap_or(last_good);
+        last_good = pose;
+        times.push(t);
+        server_poses.push(pose);
+        gt.push((t, ds.gt_position(i)));
+        if i > 0 {
+            let t_prev = ds.frame_time(i - 1);
+            let samples = ds.imu_between(t_prev, t);
+            // Preintegrate in the *true* start-body frame proxy: the
+            // client uses its own last estimate; for delta construction
+            // the ground-truth rotation keeps deltas reusable across RTT
+            // settings (the rotation error contribution is second-order).
+            deltas.push(Preintegrated::integrate(samples, ds.trajectory.pose_wc(t_prev).rot));
+        }
+    }
+
+    // Sharp-turn region: the 20 % window with maximum mean |ω|.
+    let win = (frames / 5).max(3);
+    let mut best = (0usize, f64::MIN);
+    for start in 0..frames.saturating_sub(win) {
+        let mean_w: f64 = (start..start + win)
+            .map(|i| ds.trajectory.angular_velocity(ds.frame_time(i)).norm())
+            .sum::<f64>()
+            / win as f64;
+        if mean_w > best.1 {
+            best = (start, mean_w);
+        }
+    }
+
+    Scenario {
+        name: format!("{}-{}", preset.name(), if mono { "Mono" } else { "Stereo" }),
+        times,
+        server_poses,
+        gt,
+        deltas,
+        region: (best.0, best.0 + win),
+        mono,
+    }
+}
+
+/// Replay the Algorithm-1 client chain with pose replies arriving `rtt`
+/// late. Returns `(whole ATE cm, region ATE cm)`.
+fn replay_with_rtt(s: &Scenario, rtt_s: f64) -> (f64, f64) {
+    let mut model = ClientMotionModel::new();
+    model.init(s.server_poses[0]);
+    let mut est = Vec::new();
+    est.push((s.times[0], s.server_poses[0].camera_center()));
+    for i in 1..s.times.len() {
+        // Deliver any server poses that have arrived by now.
+        let now = s.times[i];
+        for j in (0..i).rev() {
+            if s.times[j] + rtt_s <= now {
+                model.recv_slam_pose(s.server_poses[j], j);
+                break; // newest arrived pose wins; older ones are subsumed
+            }
+        }
+        let pose = model.approx_pose_update_mm(s.deltas[i], i);
+        est.push((s.times[i], pose.camera_center()));
+    }
+    let whole = eval::ate(&est, &s.gt, s.mono, 1e-4).map(|a| a.rmse * 100.0).unwrap_or(f64::NAN);
+    let (r0, r1) = s.region;
+    let est_region: Vec<_> = est[r0..r1.min(est.len())].to_vec();
+    let gt_region: Vec<_> = s.gt[r0..r1.min(s.gt.len())].to_vec();
+    let region = eval::ate(&est_region, &gt_region, s.mono, 1e-4)
+        .map(|a| a.rmse * 100.0)
+        .unwrap_or(f64::NAN);
+    (whole, region)
+}
+
+pub fn run(effort: Effort) -> Table2Result {
+    let frames = effort.frames(300);
+    let rtts_ms: Vec<f64> = match effort {
+        Effort::Smoke => vec![0.0, 200.0, 1000.0],
+        _ => vec![0.0, 30.0, 60.0, 90.0, 167.0, 200.0, 300.0, 1000.0],
+    };
+    let scenarios: Vec<Scenario> = match effort {
+        Effort::Smoke => vec![build_scenario(TracePreset::V202, false, frames)],
+        _ => vec![
+            build_scenario(TracePreset::Kitti00, false, frames),
+            build_scenario(TracePreset::MH05, true, frames),
+        ],
+    };
+
+    let rows = rtts_ms
+        .iter()
+        .map(|&rtt_ms| {
+            let mut whole = Vec::new();
+            let mut region = Vec::new();
+            for s in &scenarios {
+                let (w, r) = replay_with_rtt(s, rtt_ms / 1e3);
+                whole.push((s.name.clone(), w));
+                region.push((s.name.clone(), r));
+            }
+            Table2Row { rtt_ms, whole_ate_cm: whole, region_ate_cm: region }
+        })
+        .collect();
+    Table2Result { rows }
+}
+
+impl Table2Result {
+    pub fn render_text(&self) -> String {
+        let mut headers = vec!["RTT (ms)".to_string()];
+        if let Some(first) = self.rows.first() {
+            for (name, _) in &first.whole_ate_cm {
+                headers.push(format!("{name} whole (cm)"));
+            }
+            for (name, _) in &first.region_ate_cm {
+                headers.push(format!("{name} region (cm)"));
+            }
+        }
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cells = vec![format!("{:.0}", r.rtt_ms)];
+                cells.extend(r.whole_ate_cm.iter().map(|(_, v)| format!("{v:.2}")));
+                cells.extend(r.region_ate_cm.iter().map(|(_, v)| format!("{v:.2}")));
+                cells
+            })
+            .collect();
+        let headers: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        format!(
+            "Table 2: IMU-compensated accuracy vs RTT\n{}",
+            super::render_table(&headers, &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ate_degrades_gracefully_with_rtt() {
+        let result = run(Effort::Smoke);
+        assert_eq!(result.rows.len(), 3);
+        let at = |ms: f64| {
+            result
+                .rows
+                .iter()
+                .find(|r| r.rtt_ms == ms)
+                .unwrap()
+                .whole_ate_cm[0]
+                .1
+        };
+        let base = at(0.0);
+        let mid = at(200.0);
+        let worst = at(1000.0);
+        assert!(base.is_finite() && base > 0.0);
+        // Graceful: 200 ms costs little; even 1 s stays bounded (the
+        // paper: 5.91 → 6.08 → 6.58 cm).
+        assert!(mid < base * 2.0 + 2.0, "200 ms RTT blew up: {base} → {mid}");
+        assert!(worst < base * 5.0 + 15.0, "1 s RTT unbounded: {base} → {worst}");
+        assert!(worst >= base * 0.8, "longer RTT should not beat RTT 0 materially");
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared-hologram placement and perception (Fig. 11).
+//!
+//! The whole point of multi-user SLAM for AR: a hologram placed by one
+//! user should appear *at the same physical spot* to every user. A
+//! hologram is a coordinate in a map frame. A user "perceives" it through
+//! its own pose estimate: if the user believes it is at `T_est` while
+//! really at `T_true`, the hologram appears in the real world at
+//! `T_true⁻¹ · T_est · h` — pose error translates directly into
+//! misplacement, which is exactly what the paper's Fig. 11 visualizes
+//! (and why ATE matters for AR).
+
+use slamshare_math::{Vec3, SE3};
+
+/// A hologram anchored in some map's coordinate frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hologram {
+    /// Position in the anchoring map frame.
+    pub position: Vec3,
+    /// Which client placed it (for reporting).
+    pub placed_by: u16,
+}
+
+/// Where a user physically perceives a hologram, given the user's
+/// *estimated* world→camera pose in the hologram's map frame and the
+/// user's *true* world→camera pose.
+///
+/// Derivation: the device renders the hologram at camera-frame position
+/// `T_est · h`; that camera-frame position corresponds to the real-world
+/// point `T_true⁻¹ · (T_est · h)`.
+pub fn perceived_position(hologram: Vec3, est_pose_cw: &SE3, true_pose_cw: &SE3) -> Vec3 {
+    true_pose_cw.inverse().transform(est_pose_cw.transform(hologram))
+}
+
+/// Perception error: distance between where the user sees the hologram
+/// and where it really is.
+pub fn perception_error(hologram: Vec3, est_pose_cw: &SE3, true_pose_cw: &SE3) -> f64 {
+    (perceived_position(hologram, est_pose_cw, true_pose_cw) - hologram).norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slamshare_math::Quat;
+
+    #[test]
+    fn perfect_pose_perceives_exactly() {
+        let h = Vec3::new(1.0, 2.0, 3.0);
+        let pose = SE3::new(Quat::from_axis_angle(Vec3::Y, 0.4), Vec3::new(0.5, 0.0, -1.0));
+        assert!((perceived_position(h, &pose, &pose) - h).norm() < 1e-12);
+        assert!(perception_error(h, &pose, &pose) < 1e-12);
+    }
+
+    #[test]
+    fn translation_error_shifts_hologram() {
+        let h = Vec3::new(0.0, 0.0, 5.0);
+        let truth = SE3::IDENTITY;
+        // The user believes it is 10 cm to the left of where it really is:
+        // est = translation(-0.1) ⇒ hologram renders shifted.
+        let est = SE3::from_translation(Vec3::new(-0.1, 0.0, 0.0));
+        let p = perceived_position(h, &est, &truth);
+        assert!((p - Vec3::new(-0.1, 0.0, 5.0)).norm() < 1e-12);
+        assert!((perception_error(h, &est, &truth) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_magnitude_matches_pose_offset_for_pure_translation() {
+        let h = Vec3::new(2.0, -1.0, 4.0);
+        let truth = SE3::new(Quat::from_axis_angle(Vec3::Z, 0.3), Vec3::new(1.0, 1.0, 0.0));
+        let offset = Vec3::new(0.05, -0.02, 0.08);
+        let est = SE3 { rot: truth.rot, trans: truth.trans + offset };
+        // For a shared rotation, the perception error equals the
+        // camera-frame translation offset rotated back to the world.
+        assert!((perception_error(h, &est, &truth) - offset.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_error_grows_with_distance() {
+        let truth = SE3::IDENTITY;
+        let est = SE3::from_rotation(Quat::from_axis_angle(Vec3::Y, 0.01));
+        let near = perception_error(Vec3::new(0.0, 0.0, 1.0), &est, &truth);
+        let far = perception_error(Vec3::new(0.0, 0.0, 10.0), &est, &truth);
+        assert!(far > 5.0 * near, "near {near}, far {far}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # slamshare-core
+//!
+//! The SLAM-Share **system** (the paper's primary contribution), assembled
+//! from the substrates:
+//!
+//! * [`server`] — the edge server: one tracking/mapping process per client
+//!   (Fig. 3, Processes A/B) sharing a GSlice-partitioned simulated GPU,
+//!   plus the merge process M operating on the global map in the
+//!   shared-memory store;
+//! * [`client`] — the thin AR device: IMU-only pose extrapolation between
+//!   server replies (Algorithm 1), H.264-style video upload, pose fusion;
+//! * [`baseline`] — the Edge-SLAM-style comparison system (Fig. 4b):
+//!   full SLAM on the client, 5-second hold-down, serialize → ship →
+//!   merge → ship-back map exchange;
+//! * [`session`] — the multi-user virtual-time session driver that runs
+//!   either system over synthetic datasets and network links and records
+//!   timelines;
+//! * [`hologram`] — shared-hologram placement/perception (Fig. 11);
+//! * [`metrics`] — CPU/bandwidth/FPS accounting and ATE re-exports;
+//! * [`experiments`] — one runner per table/figure of the paper's
+//!   evaluation (see DESIGN.md §3), shared by the Criterion benches and
+//!   the examples.
+
+pub mod baseline;
+pub mod client;
+pub mod experiments;
+pub mod hologram;
+pub mod metrics;
+pub mod server;
+pub mod session;
+
+pub use client::ClientDevice;
+pub use server::EdgeServer;
+pub use session::{Session, SessionConfig, SystemKind};

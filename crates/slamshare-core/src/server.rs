@@ -1,0 +1,652 @@
+//! The SLAM-Share edge server.
+//!
+//! Architecture per Fig. 3:
+//!
+//! * an **orchestrator** allocates the shared-memory segment and creates
+//!   the global-map store in it;
+//! * one **client process** per AR device (threads here) attaches the
+//!   store, decodes that device's video, runs GPU-accelerated tracking
+//!   against the global map (concurrent read locks) and inserts keyframes
+//!   into it (serialized write locks);
+//! * the **merge process M** welds a client's initial local map into the
+//!   global map (Algorithm 2) — pointer-only thanks to the shared store,
+//!   which is Table 4's "SLAM-Share: 190 ms merge, no
+//!   serialize/transfer/deserialize rows";
+//! * the simulated **GPU is GSlice-shared** across client processes
+//!   (§4.2.1).
+//!
+//! Until a client's map has been merged, the client process runs a
+//! self-contained SLAM system on a local map (exactly how a fresh
+//! ORB-SLAM3 session starts); the merge trigger then welds it in and the
+//! process switches to tracking/mapping directly on the shared map.
+
+use crate::metrics::FpsTracker;
+use slamshare_features::bow::{KeyframeDatabase, Vocabulary};
+use slamshare_gpu::{GpuModel, SharedGpu};
+use slamshare_math::SE3;
+use slamshare_net::codec::VideoDecoder;
+use slamshare_shm::{Segment, SharedStore};
+use slamshare_sim::imu::ImuSample;
+use slamshare_slam::ids::{ClientId, KeyFrameId};
+use slamshare_slam::map::{transform_pose_cw, Map};
+use slamshare_slam::mapping::LocalMapper;
+use slamshare_slam::merge::{try_map_merge, MergeReport};
+use slamshare_slam::system::{FrameInput, SlamConfig, SlamSystem};
+use slamshare_slam::tracking::{SensorMode, StageTimings, Tracker};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The shared state in the store: the global map plus its place-
+/// recognition index (they must stay consistent, so they share the lock).
+#[derive(Default)]
+pub struct GlobalMapState {
+    pub map: Map,
+    pub db: KeyframeDatabase,
+}
+
+/// Name of the global map object inside the segment.
+pub const GLOBAL_MAP_NAME: &str = "slam-share/global-map";
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// SLAM configuration template applied to each client process.
+    pub slam: SlamConfig,
+    /// Use the simulated GPU for tracking kernels (the SLAM-Share path);
+    /// `false` gives the CPU-only ablation.
+    pub use_gpu: bool,
+    /// Merge a client's local map into the global map once it holds this
+    /// many keyframes.
+    pub merge_after_keyframes: usize,
+    /// Sim(3) merging (monocular maps) vs SE(3) (stereo).
+    pub with_scale_merge: bool,
+}
+
+impl ServerConfig {
+    pub fn stereo_default(rig: slamshare_sim::camera::StereoRig) -> ServerConfig {
+        ServerConfig {
+            slam: SlamConfig::stereo(rig),
+            use_gpu: true,
+            merge_after_keyframes: 3,
+            with_scale_merge: false,
+        }
+    }
+
+    pub fn mono_default(rig: slamshare_sim::camera::StereoRig) -> ServerConfig {
+        ServerConfig {
+            slam: SlamConfig::mono(rig),
+            use_gpu: true,
+            merge_after_keyframes: 3,
+            with_scale_merge: true,
+        }
+    }
+}
+
+/// Result of processing one client frame on the server.
+#[derive(Debug, Clone)]
+pub struct ServerFrameResult {
+    pub frame_idx: usize,
+    /// The pose to return to the device (world→camera in the global
+    /// frame once merged; in the client-local frame before).
+    pub pose: Option<SE3>,
+    pub tracked: bool,
+    /// True once this client's map lives in the global map.
+    pub merged: bool,
+    pub n_matches: usize,
+    pub timings: StageTimings,
+    pub decode_ms: f64,
+    /// Keyframe insertion + mapping time, ms (0 when no keyframe).
+    pub mapping_ms: f64,
+    /// Set when this frame triggered the client's initial merge.
+    pub merge: Option<MergeOutcome>,
+}
+
+/// A merge event with its measured latency.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    pub report: MergeReport,
+    pub merge_ms: f64,
+}
+
+enum Phase {
+    /// Building a local map (pre-merge).
+    Local(Box<SlamSystem>),
+    /// Tracking/mapping directly on the shared global map.
+    Shared { tracker: Box<Tracker>, mapper: LocalMapper, last_kf: Option<KeyFrameId> },
+}
+
+/// One per-client server process.
+struct ClientProcess {
+    id: ClientId,
+    phase: Phase,
+    decoder_left: VideoDecoder,
+    decoder_right: VideoDecoder,
+    fps: FpsTracker,
+    /// Keyframe count at which the merge process next examines this
+    /// client's local map (grows after each failed attempt — process M
+    /// retries continuously as global coverage expands).
+    next_merge_at_kfs: usize,
+}
+
+/// The edge server.
+pub struct EdgeServer {
+    pub config: ServerConfig,
+    pub segment: Arc<Segment>,
+    pub store: Arc<SharedStore<GlobalMapState>>,
+    pub gpu: SharedGpu,
+    pub vocab: Arc<Vocabulary>,
+    clients: HashMap<u16, ClientProcess>,
+    /// `(timestamp, client, outcome)` log of merges.
+    pub merge_log: Vec<(f64, u16, MergeOutcome)>,
+}
+
+impl EdgeServer {
+    /// Orchestrator startup: allocate the segment, create the global map
+    /// store, bring up the GPU.
+    pub fn new(config: ServerConfig, vocab: Arc<Vocabulary>) -> EdgeServer {
+        let segment = Arc::new(Segment::new(2 * 1024 * 1024 * 1024));
+        let store = SharedStore::create_in(&segment, GLOBAL_MAP_NAME, GlobalMapState::default())
+            .expect("fresh segment");
+        EdgeServer {
+            config,
+            segment,
+            store,
+            gpu: SharedGpu::new(GpuModel::v100()),
+            vocab,
+            clients: HashMap::new(),
+            merge_log: Vec::new(),
+        }
+    }
+
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Spawn the per-client process (Fig. 3's Process A/B).
+    pub fn register_client(&mut self, id: u16) {
+        let client_id = ClientId(id);
+        let exec = if self.config.use_gpu {
+            self.gpu.register(id as u32)
+        } else {
+            Arc::new(slamshare_gpu::GpuExecutor::cpu())
+        };
+        let system = SlamSystem::new(client_id, self.config.slam.clone(), self.vocab.clone(), exec);
+        self.clients.insert(
+            id,
+            ClientProcess {
+                id: client_id,
+                phase: Phase::Local(Box::new(system)),
+                decoder_left: VideoDecoder::new(),
+                decoder_right: VideoDecoder::new(),
+                fps: FpsTracker::new(),
+                next_merge_at_kfs: self.config.merge_after_keyframes,
+            },
+        );
+    }
+
+    /// Remove a client process, releasing its GPU slice. Its
+    /// contributions stay in the global map.
+    pub fn deregister_client(&mut self, id: u16) {
+        self.clients.remove(&id);
+        self.gpu.deregister(id as u32);
+    }
+
+    /// Whether a client's map has been merged into the global map.
+    pub fn is_merged(&self, id: u16) -> bool {
+        matches!(
+            self.clients.get(&id).map(|c| &c.phase),
+            Some(Phase::Shared { .. })
+        )
+    }
+
+    /// Process one uploaded video frame for `client`.
+    ///
+    /// `left`/`right` are encoded video payloads; `imu` carries the
+    /// samples since the previous frame (used only for monocular
+    /// bootstrap); `pose_hint` optionally seeds bootstrap (session
+    /// anchor).
+    #[allow(clippy::too_many_arguments)]
+    pub fn process_video(
+        &mut self,
+        client: u16,
+        frame_idx: usize,
+        timestamp: f64,
+        left: &[u8],
+        right: Option<&[u8]>,
+        imu: &[ImuSample],
+        pose_hint: Option<SE3>,
+    ) -> ServerFrameResult {
+        // Refresh the client's GPU slice (GSlice repartitions on churn).
+        let exec = if self.config.use_gpu {
+            self.gpu.executor(client as u32)
+        } else {
+            None
+        };
+        let process = self.clients.get_mut(&client).expect("unregistered client");
+
+        // 1. Decode video.
+        let t0 = Instant::now();
+        let (left_img, _) = process
+            .decoder_left
+            .decode(left)
+            .expect("undecodable left video");
+        let right_img = right.map(|r| {
+            process
+                .decoder_right
+                .decode(r)
+                .expect("undecodable right video")
+                .0
+        });
+        let decode_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // 2. Track (and map).
+        let mut result = match &mut process.phase {
+            Phase::Local(system) => {
+                if let Some(exec) = &exec {
+                    system.tracker.exec = exec.clone();
+                }
+                let step = system.process_frame(FrameInput {
+                    timestamp,
+                    left: &left_img,
+                    right: right_img.as_ref(),
+                    imu,
+                    pose_hint,
+                });
+                ServerFrameResult {
+                    frame_idx,
+                    pose: step.pose_cw,
+                    tracked: step.tracked,
+                    merged: false,
+                    n_matches: step.n_matches,
+                    timings: step.timings,
+                    decode_ms,
+                    mapping_ms: 0.0,
+                    merge: None,
+                }
+            }
+            Phase::Shared { tracker, mapper, last_kf } => {
+                if let Some(exec) = &exec {
+                    tracker.exec = exec.clone();
+                }
+                // Concurrent read for tracking…
+                let obs = self.store.with_read(|state| {
+                    tracker.track(
+                        frame_idx,
+                        timestamp,
+                        &left_img,
+                        right_img.as_ref(),
+                        &state.map,
+                        *last_kf,
+                        pose_hint,
+                    )
+                });
+                // …serialized write for keyframe insertion.
+                let mut mapping_ms = 0.0;
+                if !obs.lost && obs.keyframe_requested {
+                    let t1 = Instant::now();
+                    let segment = &self.segment;
+                    let (kf_id, n_new) = self.store.with_write(
+                        segment,
+                        |state| state.map.approx_bytes(),
+                        |state| {
+                            let report = mapper.insert_keyframe(&mut state.map, &self.vocab, &obs);
+                            if let Some(kf_id) = report.kf_id {
+                                let bow = state.map.keyframes[&kf_id].bow.clone();
+                                state.db.add(kf_id.0, bow);
+                            }
+                            (report.kf_id, report.n_new_points)
+                        },
+                    );
+                    if let Some(kf_id) = kf_id {
+                        *last_kf = Some(kf_id);
+                        tracker.note_keyframe(obs.n_tracked + n_new);
+                    }
+                    mapping_ms = t1.elapsed().as_secs_f64() * 1e3;
+                }
+                ServerFrameResult {
+                    frame_idx,
+                    pose: (!obs.lost).then_some(obs.pose_cw),
+                    tracked: !obs.lost,
+                    merged: true,
+                    n_matches: obs.n_tracked,
+                    timings: obs.timings,
+                    decode_ms,
+                    mapping_ms,
+                    merge: None,
+                }
+            }
+        };
+
+        process
+            .fps
+            .record(decode_ms + result.timings.total_ms() + result.mapping_ms);
+
+        // 3. Merge trigger (process M). (Re-fetch the process: the merge
+        // path below needs `&mut self`.)
+        if !result.merged {
+            let process = &self.clients[&client];
+            let ready = match &process.phase {
+                Phase::Local(system) => {
+                    system.is_bootstrapped()
+                        && system.map.n_keyframes() >= process.next_merge_at_kfs
+                }
+                Phase::Shared { .. } => false,
+            };
+            if ready {
+                match self.merge_client_now(client, timestamp) {
+                    Some(outcome) => {
+                        result.merged = true;
+                        // Re-express the frame pose in the global frame.
+                        if let (Some(pose), Some(t)) =
+                            (result.pose, outcome.report.transform.as_ref())
+                        {
+                            result.pose = Some(transform_pose_cw(&pose, t));
+                        }
+                        result.merge = Some(outcome);
+                    }
+                    None => {
+                        // No common region yet: process M retries once the
+                        // client has contributed more keyframes.
+                        let process = self.clients.get_mut(&client).unwrap();
+                        if let Phase::Local(system) = &process.phase {
+                            process.next_merge_at_kfs = system.map.n_keyframes() + 2;
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Install an externally-built local map for a not-yet-merged client
+    /// (the late-joiner upload of §4.3.1: a device arrives with a map it
+    /// built offline and contributes the whole thing at once).
+    pub fn adopt_local_map(&mut self, client: u16, map: Map) {
+        let process = self.clients.get_mut(&client).expect("unregistered client");
+        match &mut process.phase {
+            Phase::Local(system) => {
+                system.map = map;
+            }
+            Phase::Shared { .. } => panic!("client {client} already merged"),
+        }
+    }
+
+    /// The merge process M: weld `client`'s local map into the global map
+    /// now (also the late-joiner entry point — a client arriving with an
+    /// existing map has *all* of its keyframes checked, §4.3.1).
+    ///
+    /// Returns `None` when the global map is non-empty and no common
+    /// region was found — the client keeps its local map and process M
+    /// retries later, exactly the paper's asynchronous-merge behaviour.
+    pub fn merge_client_now(&mut self, client: u16, timestamp: f64) -> Option<MergeOutcome> {
+        // Take what we need out of the client process first (ends the
+        // borrow before the shared-map lock is involved).
+        let (cmap, exec, last_frame_pose) = {
+            let process = self.clients.get_mut(&client).expect("unregistered client");
+            let Phase::Local(system) = &mut process.phase else {
+                panic!("client {client} already merged");
+            };
+            // Move the local map out — in shared memory this is pointer
+            // handover, no copy, no serialization.
+            let cmap = std::mem::replace(&mut system.map, Map::new(process.id));
+            (cmap, system.tracker.exec.clone(), system.frame_poses.last().map(|(_, p)| *p))
+        };
+
+        let t0 = Instant::now();
+        let cam = self.config.slam.tracker.rig.cam;
+        let with_scale = self.config.with_scale_merge;
+        let vocab = self.vocab.clone();
+        let segment = &self.segment;
+        let merged = self.store.with_write(
+            segment,
+            |state| state.map.approx_bytes(),
+            |state| {
+                let GlobalMapState { map, db } = state;
+                try_map_merge(map, cmap, db, &vocab, &cam, with_scale)
+            },
+        );
+        let report = match merged {
+            Ok(report) => report,
+            Err((cmap, _)) => {
+                // No common region yet: hand the map back; the client
+                // continues locally and process M retries later.
+                let process = self.clients.get_mut(&client).expect("unregistered client");
+                if let Phase::Local(system) = &mut process.phase {
+                    system.map = cmap;
+                }
+                return None;
+            }
+        };
+        let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Transition the process to shared-map tracking, carrying the
+        // tracker's motion state over (transformed into the global frame).
+        let mut tracker = Box::new(Tracker::new(self.config.slam.tracker.clone(), exec));
+        let last_pose = last_frame_pose.map(|p| match &report.transform {
+            Some(t) => transform_pose_cw(&p, t),
+            None => p,
+        });
+        if let Some(p) = last_pose {
+            tracker.reset_motion(p);
+        }
+        let mapper = LocalMapper::new(
+            self.config.slam.tracker.mode,
+            self.config.slam.tracker.rig,
+            self.config.slam.mapping.clone(),
+        );
+        // The client's own most recent keyframe anchors its local map
+        // neighbourhood in the global map.
+        let client_id = ClientId(client);
+        let own_latest = self.store.with_read(|state| {
+            state
+                .map
+                .keyframes
+                .values()
+                .filter(|kf| kf.id.client() == client_id)
+                .max_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap())
+                .map(|kf| (kf.id, kf.pose_cw))
+        });
+        // A late joiner whose map was adopted wholesale has no per-frame
+        // pose history; seed the motion model from its newest (already
+        // transformed) keyframe instead.
+        if last_pose.is_none() {
+            if let Some((_, pose)) = own_latest {
+                tracker.reset_motion(pose);
+            }
+        }
+        {
+            let process = self.clients.get_mut(&client).expect("unregistered client");
+            process.phase =
+                Phase::Shared { tracker, mapper, last_kf: own_latest.map(|(id, _)| id) };
+        }
+
+        let outcome = MergeOutcome { report, merge_ms };
+        self.merge_log.push((timestamp, client, outcome.clone()));
+        Some(outcome)
+    }
+
+    /// Keyframe trajectories of *pending* (not-yet-merged) client maps:
+    /// `(client, [(timestamp, camera center)])`. The paper's Fig. 10
+    /// measures the global map's ATE *including* these fragments — that
+    /// is what makes the pre-merge ATE spike (different origins) and the
+    /// post-merge collapse visible.
+    pub fn pending_local_trajectories(&self) -> Vec<(u16, Vec<(f64, slamshare_math::Vec3)>)> {
+        self.clients
+            .iter()
+            .filter_map(|(&id, p)| match &p.phase {
+                Phase::Local(system) if !system.map.is_empty() => {
+                    Some((id, system.map.trajectory()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Per-client effective-FPS report.
+    pub fn fps_report(&self) -> HashMap<u16, f64> {
+        self.clients
+            .iter()
+            .map(|(&id, p)| (id, p.fps.effective_fps(30.0)))
+            .collect()
+    }
+
+    /// Snapshot of the global map's size (keyframes, map points, bytes).
+    pub fn global_map_stats(&self) -> (usize, usize, usize) {
+        self.store
+            .with_read(|s| (s.map.n_keyframes(), s.map.n_mappoints(), s.map.approx_bytes()))
+    }
+
+    /// Mode of the configured SLAM pipeline.
+    pub fn sensor_mode(&self) -> SensorMode {
+        self.config.slam.tracker.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slamshare_net::codec::VideoEncoder;
+    use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
+    use slamshare_slam::vocabulary;
+
+    struct ClientSim {
+        enc_left: VideoEncoder,
+        enc_right: VideoEncoder,
+    }
+
+    impl ClientSim {
+        fn new() -> ClientSim {
+            ClientSim { enc_left: VideoEncoder::default(), enc_right: VideoEncoder::default() }
+        }
+
+        fn encode(&mut self, ds: &Dataset, i: usize) -> (Vec<u8>, Vec<u8>) {
+            let (l, r) = ds.render_stereo_frame(i);
+            (
+                self.enc_left.encode(&l).data.to_vec(),
+                self.enc_right.encode(&r).data.to_vec(),
+            )
+        }
+    }
+
+    fn dataset(preset: TracePreset, frames: usize, seed: u64) -> Dataset {
+        Dataset::build(DatasetConfig::new(preset).with_frames(frames).with_seed(seed))
+    }
+
+    #[test]
+    fn single_client_tracks_and_merges_into_global() {
+        let ds = dataset(TracePreset::V202, 10, 21);
+        let vocab = Arc::new(vocabulary::train_random(42));
+        let mut server = EdgeServer::new(ServerConfig::stereo_default(ds.rig), vocab);
+        server.register_client(1);
+        let mut sim = ClientSim::new();
+
+        let mut merged_at = None;
+        for i in 0..10 {
+            let (l, r) = sim.encode(&ds, i);
+            let res = server.process_video(
+                1,
+                i,
+                ds.frame_time(i),
+                &l,
+                Some(&r),
+                &[],
+                (i == 0).then(|| ds.gt_pose_cw(0)),
+            );
+            if res.merge.is_some() && merged_at.is_none() {
+                merged_at = Some(i);
+            }
+            if i > 0 {
+                assert!(res.tracked, "frame {i} lost");
+                let err = res.pose.unwrap().center_distance(&ds.gt_pose_cw(i));
+                assert!(err < 0.1, "frame {i} pose error {err}");
+            }
+        }
+        assert!(merged_at.is_some(), "client never merged");
+        assert!(server.is_merged(1));
+        let (kfs, mps, bytes) = server.global_map_stats();
+        assert!(kfs >= 3, "{kfs} keyframes in global map");
+        assert!(mps > 200);
+        assert!(bytes > 10_000);
+        assert_eq!(server.merge_log.len(), 1);
+    }
+
+    #[test]
+    fn two_clients_share_one_global_map() {
+        // The headline behaviour (Fig. 1b): A maps the room, B joins and
+        // localizes *in the shared map* with correct global coordinates.
+        let ds_a = dataset(TracePreset::MH04, 12, 31);
+        let ds_b = dataset(TracePreset::MH05, 12, 32);
+        let vocab = Arc::new(vocabulary::train_random(42));
+        let mut server = EdgeServer::new(ServerConfig::stereo_default(ds_a.rig), vocab);
+        server.register_client(1);
+        server.register_client(2);
+        let mut sim_a = ClientSim::new();
+        let mut sim_b = ClientSim::new();
+
+        // Client A maps first. Anchor its map at ground truth so the
+        // global frame is the world frame (pure gauge choice).
+        for i in 0..12 {
+            let (l, r) = sim_a.encode(&ds_a, i);
+            server.process_video(
+                1,
+                i,
+                ds_a.frame_time(i),
+                &l,
+                Some(&r),
+                &[],
+                (i == 0).then(|| ds_a.gt_pose_cw(0)),
+            );
+        }
+        assert!(server.is_merged(1));
+
+        // Client B joins with its own private origin (no hint): its local
+        // map is in B-local coordinates until merged.
+        let mut b_merge: Option<MergeOutcome> = None;
+        let mut post_merge_errs = Vec::new();
+        for i in 0..12 {
+            let (l, r) = sim_b.encode(&ds_b, i);
+            let res =
+                server.process_video(2, i, 1.0 + ds_b.frame_time(i), &l, Some(&r), &[], None);
+            if let Some(m) = &res.merge {
+                b_merge = Some(m.clone());
+            }
+            if server.is_merged(2) && res.tracked {
+                let err = res.pose.unwrap().center_distance(&ds_b.gt_pose_cw(i));
+                post_merge_errs.push(err);
+            }
+        }
+        let merge = b_merge.expect("client B never merged");
+        assert!(merge.report.aligned, "B was absorbed without alignment: {:?}", merge.report);
+        assert!(merge.report.n_fused > 0);
+        assert!(!post_merge_errs.is_empty(), "no post-merge tracking for B");
+        let mean_err: f64 = post_merge_errs.iter().sum::<f64>() / post_merge_errs.len() as f64;
+        assert!(
+            mean_err < 0.40,
+            "B's global-frame tracking error {mean_err} m (merge rmse {})",
+            merge.report.alignment_rmse
+        );
+        // Both clients' keyframes coexist in one map.
+        let has_both = server.store.with_read(|s| {
+            let mut clients: Vec<u16> =
+                s.map.keyframes.keys().map(|k| k.client().0).collect();
+            clients.dedup();
+            clients.len() >= 2
+        });
+        assert!(has_both);
+    }
+
+    #[test]
+    fn gpu_slices_follow_registration() {
+        let ds = dataset(TracePreset::V202, 2, 23);
+        let vocab = Arc::new(vocabulary::train_random(42));
+        let mut server = EdgeServer::new(ServerConfig::stereo_default(ds.rig), vocab);
+        server.register_client(1);
+        let solo = server.gpu.allocation()[&1];
+        server.register_client(2);
+        let duo = server.gpu.allocation()[&1];
+        assert!(duo <= solo);
+        server.deregister_client(2);
+        assert_eq!(server.client_count(), 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! 256-bit binary descriptors and Hamming distance.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in a descriptor (BRIEF-256, as in ORB).
+pub const DESC_BITS: usize = 256;
+/// Number of bytes in a descriptor.
+pub const DESC_BYTES: usize = DESC_BITS / 8;
+
+/// A 256-bit rotated-BRIEF descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Descriptor(pub [u8; DESC_BYTES]);
+
+impl Default for Descriptor {
+    fn default() -> Self {
+        Descriptor([0; DESC_BYTES])
+    }
+}
+
+impl Descriptor {
+    pub const ZERO: Descriptor = Descriptor([0; DESC_BYTES]);
+
+    /// Set bit `i` (0-based).
+    #[inline]
+    pub fn set_bit(&mut self, i: usize) {
+        self.0[i / 8] |= 1 << (i % 8);
+    }
+
+    #[inline]
+    pub fn get_bit(&self, i: usize) -> bool {
+        (self.0[i / 8] >> (i % 8)) & 1 == 1
+    }
+
+    /// Hamming distance: number of differing bits, 0..=256.
+    #[inline]
+    pub fn distance(&self, other: &Descriptor) -> u32 {
+        // Compare 8 bytes at a time via u64 popcount — this is the inner
+        // loop of both brute-force matching and BoW quantization.
+        let mut d = 0u32;
+        for i in 0..(DESC_BYTES / 8) {
+            let a = u64::from_le_bytes(self.0[i * 8..(i + 1) * 8].try_into().unwrap());
+            let b = u64::from_le_bytes(other.0[i * 8..(i + 1) * 8].try_into().unwrap());
+            d += (a ^ b).count_ones();
+        }
+        d
+    }
+
+    /// Number of set bits.
+    pub fn popcount(&self) -> u32 {
+        self.distance(&Descriptor::ZERO)
+    }
+
+    /// The component-wise *bit median* of a set of descriptors: bit `i` of
+    /// the result is 1 iff more than half the inputs have bit `i` set. This
+    /// is the centroid operation for k-medians clustering in Hamming space
+    /// (used to train the BoW vocabulary) and for ORB-SLAM's "distinctive
+    /// descriptor" selection.
+    pub fn bit_median(descs: &[Descriptor]) -> Descriptor {
+        assert!(!descs.is_empty());
+        let mut counts = [0u32; DESC_BITS];
+        for d in descs {
+            for (i, count) in counts.iter_mut().enumerate() {
+                if d.get_bit(i) {
+                    *count += 1;
+                }
+            }
+        }
+        let half = descs.len() as u32 / 2;
+        let mut out = Descriptor::ZERO;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > half {
+                out.set_bit(i);
+            }
+        }
+        out
+    }
+
+    /// The medoid: the member descriptor minimizing total distance to the
+    /// rest. ORB-SLAM stores this as a map point's representative
+    /// descriptor.
+    pub fn medoid(descs: &[Descriptor]) -> Option<usize> {
+        if descs.is_empty() {
+            return None;
+        }
+        let mut best = (u64::MAX, 0usize);
+        for (i, a) in descs.iter().enumerate() {
+            let total: u64 = descs.iter().map(|b| a.distance(b) as u64).sum();
+            if total < best.0 {
+                best = (total, i);
+            }
+        }
+        Some(best.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_zero_to_self() {
+        let mut d = Descriptor::ZERO;
+        d.set_bit(3);
+        d.set_bit(100);
+        assert_eq!(d.distance(&d), 0);
+    }
+
+    #[test]
+    fn distance_counts_bits() {
+        let mut a = Descriptor::ZERO;
+        let mut b = Descriptor::ZERO;
+        a.set_bit(0);
+        a.set_bit(255);
+        b.set_bit(255);
+        b.set_bit(128);
+        assert_eq!(a.distance(&b), 2); // bits 0 and 128 differ
+    }
+
+    #[test]
+    fn distance_symmetric_and_bounded() {
+        let a = Descriptor([0xFF; DESC_BYTES]);
+        let b = Descriptor::ZERO;
+        assert_eq!(a.distance(&b), DESC_BITS as u32);
+        assert_eq!(b.distance(&a), DESC_BITS as u32);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut d = Descriptor::ZERO;
+        for i in [0, 7, 8, 63, 64, 200, 255] {
+            assert!(!d.get_bit(i));
+            d.set_bit(i);
+            assert!(d.get_bit(i));
+        }
+        assert_eq!(d.popcount(), 7);
+    }
+
+    #[test]
+    fn bit_median_majority() {
+        let mut a = Descriptor::ZERO;
+        a.set_bit(1);
+        let mut b = Descriptor::ZERO;
+        b.set_bit(1);
+        let mut c = Descriptor::ZERO;
+        c.set_bit(2);
+        let m = Descriptor::bit_median(&[a, b, c]);
+        assert!(m.get_bit(1));
+        assert!(!m.get_bit(2));
+    }
+
+    #[test]
+    fn medoid_picks_central_member() {
+        let mut a = Descriptor::ZERO; // dist 1 to b, 2 to c
+        a.set_bit(0);
+        let mut b = Descriptor::ZERO; // the center: dist 1 to both
+        b.set_bit(0);
+        b.set_bit(1);
+        let mut c = Descriptor::ZERO;
+        c.set_bit(0);
+        c.set_bit(1);
+        c.set_bit(2);
+        assert_eq!(Descriptor::medoid(&[a, b, c]), Some(1));
+        assert_eq!(Descriptor::medoid(&[]), None);
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        // Hamming distance is a metric; spot-check the triangle inequality.
+        let mut a = Descriptor::ZERO;
+        let mut b = Descriptor::ZERO;
+        let mut c = Descriptor::ZERO;
+        for i in 0..50 {
+            a.set_bit(i);
+        }
+        for i in 25..80 {
+            b.set_bit(i);
+        }
+        for i in 60..120 {
+            c.set_bit(i);
+        }
+        assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c));
+    }
+}

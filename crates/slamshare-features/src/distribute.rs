@@ -1,0 +1,188 @@
+//! Spatially-uniform keypoint retention.
+//!
+//! Raw FAST output clusters on high-texture regions; SLAM wants features
+//! spread over the whole image so pose estimation is well-conditioned.
+//! ORB-SLAM uses a quadtree; we implement the same idea: recursively split
+//! the image while more cells than requested features exist, then keep the
+//! strongest corner per leaf cell.
+
+use crate::keypoint::KeyPoint;
+
+/// Retain at most `target` keypoints, spatially distributed via recursive
+/// quadtree subdivision over the bounding box `[0, width) × [0, height)`.
+///
+/// Invariants:
+/// * output length ≤ `target`;
+/// * every returned keypoint is from the input;
+/// * within each final cell, the strongest-response corner is kept.
+pub fn distribute_quadtree(
+    keypoints: &[KeyPoint],
+    width: usize,
+    height: usize,
+    target: usize,
+) -> Vec<KeyPoint> {
+    if keypoints.len() <= target || target == 0 {
+        return keypoints.to_vec();
+    }
+
+    struct Node {
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+        kps: Vec<KeyPoint>,
+        /// Cleared when a split fails to separate the keypoints
+        /// (coincident points) — such a node must not be re-selected or
+        /// the loop never progresses.
+        splittable: bool,
+    }
+
+    impl Node {
+        fn split(self) -> Vec<Node> {
+            let mx = (self.x0 + self.x1) / 2.0;
+            let my = (self.y0 + self.y1) / 2.0;
+            let n_before = self.kps.len();
+            let mk = |x0: f64, y0: f64, x1: f64, y1: f64| Node {
+                x0,
+                y0,
+                x1,
+                y1,
+                kps: Vec::new(),
+                splittable: true,
+            };
+            let mut quads = [
+                mk(self.x0, self.y0, mx, my),
+                mk(mx, self.y0, self.x1, my),
+                mk(self.x0, my, mx, self.y1),
+                mk(mx, my, self.x1, self.y1),
+            ];
+            for kp in self.kps {
+                let right = kp.pt.x >= mx;
+                let down = kp.pt.y >= my;
+                let idx = (down as usize) * 2 + right as usize;
+                quads[idx].kps.push(kp);
+            }
+            let mut out: Vec<Node> =
+                quads.into_iter().filter(|q| !q.kps.is_empty()).collect();
+            if out.len() == 1 && out[0].kps.len() == n_before {
+                // Degenerate: all keypoints share a quadrant corner —
+                // further splitting can never separate them.
+                out[0].splittable = false;
+            }
+            out
+        }
+    }
+
+    let mut nodes = vec![Node {
+        x0: 0.0,
+        y0: 0.0,
+        x1: width as f64,
+        y1: height as f64,
+        kps: keypoints.to_vec(),
+        splittable: true,
+    }];
+
+    // Split until we have enough cells (or no cell can split further).
+    loop {
+        if nodes.len() >= target {
+            break;
+        }
+        // Split the node with the most keypoints first so density is
+        // equalized fastest.
+        let Some(best) = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kps.len() > 1 && n.splittable)
+            .max_by_key(|(_, n)| n.kps.len())
+            .map(|(i, _)| i)
+        else {
+            break; // every cell holds a single (or inseparable) cluster
+        };
+        let node = nodes.swap_remove(best);
+        nodes.extend(node.split());
+    }
+
+    let mut out: Vec<KeyPoint> = nodes
+        .into_iter()
+        .map(|n| {
+            n.kps
+                .into_iter()
+                .max_by(|a, b| a.response.partial_cmp(&b.response).unwrap())
+                .unwrap()
+        })
+        .collect();
+
+    // We may slightly overshoot (quadtree splits by 4); trim by response.
+    if out.len() > target {
+        out.sort_by(|a, b| b.response.partial_cmp(&a.response).unwrap());
+        out.truncate(target);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slamshare_math::Vec2;
+
+    fn kp(x: f64, y: f64, r: f64) -> KeyPoint {
+        KeyPoint::new(Vec2::new(x, y), 0, r)
+    }
+
+    #[test]
+    fn passthrough_when_under_target() {
+        let kps = vec![kp(1.0, 1.0, 1.0), kp(2.0, 2.0, 2.0)];
+        let out = distribute_quadtree(&kps, 100, 100, 10);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn respects_target() {
+        let mut kps = Vec::new();
+        for i in 0..500 {
+            kps.push(kp((i % 25) as f64 * 4.0, (i / 25) as f64 * 5.0, i as f64));
+        }
+        let out = distribute_quadtree(&kps, 100, 100, 100);
+        assert!(out.len() <= 100);
+        assert!(out.len() >= 80, "kept only {}", out.len());
+    }
+
+    #[test]
+    fn spreads_across_clusters() {
+        // Dense cluster top-left, single strong point bottom-right: the
+        // lone point must survive even though the cluster has many corners.
+        let mut kps = Vec::new();
+        for i in 0..200 {
+            kps.push(kp((i % 20) as f64, (i / 20) as f64, 100.0 + i as f64));
+        }
+        kps.push(kp(95.0, 95.0, 1.0));
+        let out = distribute_quadtree(&kps, 100, 100, 20);
+        assert!(
+            out.iter().any(|k| k.pt.x == 95.0),
+            "isolated keypoint was starved out"
+        );
+    }
+
+    #[test]
+    fn keeps_strongest_in_cell() {
+        // Two keypoints in the same tiny neighbourhood; with target 1 the
+        // stronger must win.
+        let kps = vec![kp(10.0, 10.0, 1.0), kp(10.5, 10.0, 9.0), kp(80.0, 80.0, 5.0)];
+        let out = distribute_quadtree(&kps, 100, 100, 2);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|k| k.response == 9.0));
+        assert!(out.iter().any(|k| k.response == 5.0));
+    }
+
+    #[test]
+    fn output_is_subset_of_input() {
+        let mut kps = Vec::new();
+        for i in 0..100 {
+            kps.push(kp(i as f64, (i * 7 % 100) as f64, (i * 13 % 41) as f64));
+        }
+        let out = distribute_quadtree(&kps, 100, 100, 30);
+        for o in &out {
+            assert!(kps.iter().any(|k| k.pt == o.pt && k.response == o.response));
+        }
+    }
+}

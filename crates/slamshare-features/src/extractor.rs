@@ -1,0 +1,385 @@
+//! The full ORB extraction pipeline, instrumented and decomposed for
+//! data-parallel execution.
+//!
+//! The paper's Fig. 5 shows ORB extraction is >50 % of tracking latency on a
+//! CPU, and its GPU kernel parallelizes FAST over the image. To support
+//! both execution modes with one implementation, extraction is split into
+//! pure work items:
+//!
+//! * [`OrbExtractor::cells`] enumerates `(level, rect)` detection tasks;
+//! * [`OrbExtractor::detect_cell`] runs FAST in one cell (pure);
+//! * [`OrbExtractor::describe_keypoint`] orients + describes one corner
+//!   (pure);
+//! * [`OrbExtractor::finalize`] distributes corners and assembles output.
+//!
+//! [`OrbExtractor::extract`] chains them sequentially (the "CPU" path);
+//! `slamshare-gpu` schedules the same items across its simulated SMs (the
+//! "GPU" path). Both paths produce *identical* features — the paper makes
+//! the same claim for its CUDA kernels ("performing identical computation
+//! as in the original CPU version", §4.2.1).
+
+use crate::descriptor::Descriptor;
+use crate::distribute::distribute_quadtree;
+use crate::fast;
+use crate::image::GrayImage;
+use crate::keypoint::KeyPoint;
+use crate::orb;
+use crate::pyramid::ImagePyramid;
+use slamshare_math::Vec2;
+use std::time::Instant;
+
+/// Extractor configuration (defaults mirror ORB-SLAM3's settings files).
+#[derive(Debug, Clone)]
+pub struct OrbExtractorConfig {
+    /// Total number of features to retain per image (~1000 in the paper).
+    pub n_features: usize,
+    /// Pyramid levels.
+    pub n_levels: usize,
+    /// Pyramid scale factor.
+    pub scale_factor: f64,
+    /// Initial FAST threshold.
+    pub fast_threshold: u8,
+    /// Fallback threshold for cells where the initial one finds nothing
+    /// (ORB-SLAM's `minThFAST`).
+    pub min_threshold: u8,
+    /// Detection cell edge in pixels — the GPU work-item granularity.
+    pub cell_size: usize,
+}
+
+impl Default for OrbExtractorConfig {
+    fn default() -> Self {
+        OrbExtractorConfig {
+            n_features: 1000,
+            n_levels: crate::pyramid::DEFAULT_LEVELS,
+            scale_factor: crate::pyramid::DEFAULT_SCALE_FACTOR,
+            fast_threshold: 20,
+            min_threshold: 7,
+            cell_size: 32,
+        }
+    }
+}
+
+/// One FAST detection work item: a cell of one pyramid level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellTask {
+    pub level: usize,
+    pub x0: usize,
+    pub y0: usize,
+    pub x1: usize,
+    pub y1: usize,
+}
+
+/// Wall-clock stage timings from one extraction, in milliseconds.
+/// These feed the Fig. 5 / Fig. 8 latency-breakdown experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtractionTimings {
+    pub pyramid_ms: f64,
+    pub detect_ms: f64,
+    pub describe_ms: f64,
+}
+
+impl ExtractionTimings {
+    pub fn total_ms(&self) -> f64 {
+        self.pyramid_ms + self.detect_ms + self.describe_ms
+    }
+}
+
+/// Extraction output: parallel arrays of keypoints (level-0 coordinates)
+/// and their descriptors.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractedFeatures {
+    pub keypoints: Vec<KeyPoint>,
+    pub descriptors: Vec<Descriptor>,
+}
+
+impl ExtractedFeatures {
+    pub fn len(&self) -> usize {
+        self.keypoints.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keypoints.is_empty()
+    }
+}
+
+/// The ORB feature extractor.
+#[derive(Debug, Clone)]
+pub struct OrbExtractor {
+    pub config: OrbExtractorConfig,
+}
+
+impl OrbExtractor {
+    pub fn new(config: OrbExtractorConfig) -> OrbExtractor {
+        OrbExtractor { config }
+    }
+
+    pub fn with_defaults() -> OrbExtractor {
+        OrbExtractor::new(OrbExtractorConfig::default())
+    }
+
+    /// Per-level feature budget, proportional to level area as in ORB-SLAM
+    /// (each level gets budget ∝ 1/scale², normalized to `n_features`).
+    pub fn per_level_targets(&self, pyramid: &ImagePyramid) -> Vec<usize> {
+        let weights: Vec<f64> = pyramid.scales.iter().map(|s| 1.0 / (s * s)).collect();
+        let total: f64 = weights.iter().sum();
+        weights
+            .iter()
+            .map(|w| ((w / total) * self.config.n_features as f64).round().max(1.0) as usize)
+            .collect()
+    }
+
+    /// Enumerate all detection work items for a pyramid.
+    pub fn cells(&self, pyramid: &ImagePyramid) -> Vec<CellTask> {
+        let cs = self.config.cell_size.max(8);
+        let mut tasks = Vec::new();
+        for (level, img) in pyramid.levels.iter().enumerate() {
+            let mut y = 0;
+            while y < img.height {
+                let mut x = 0;
+                while x < img.width {
+                    tasks.push(CellTask {
+                        level,
+                        x0: x,
+                        y0: y,
+                        x1: (x + cs).min(img.width),
+                        y1: (y + cs).min(img.height),
+                    });
+                    x += cs;
+                }
+                y += cs;
+            }
+        }
+        tasks
+    }
+
+    /// Run FAST in one cell. Pure: identical output regardless of execution
+    /// order, so the CPU and simulated-GPU paths agree bit-for-bit.
+    ///
+    /// Detection retries with `min_threshold` when the primary threshold
+    /// yields nothing (low-contrast cells), mirroring ORB-SLAM.
+    pub fn detect_cell(&self, pyramid: &ImagePyramid, task: CellTask) -> Vec<KeyPoint> {
+        let img = &pyramid.levels[task.level];
+        let rect0 = (task.x0, task.y0);
+        let rect1 = (task.x1, task.y1);
+        let mut kps = fast::detect_in_rect(img, rect0, rect1, self.config.fast_threshold, task.level as u8);
+        if kps.is_empty() && self.config.min_threshold < self.config.fast_threshold {
+            kps = fast::detect_in_rect(img, rect0, rect1, self.config.min_threshold, task.level as u8);
+        }
+        let mut kept = fast::non_max_suppress(&kps, 3.0);
+        for kp in &mut kept {
+            fast::refine_subpixel(img, kp);
+        }
+        kept
+    }
+
+    /// Orient and describe one detected corner (whose `pt` is still in its
+    /// level's coordinates). Returns the finished level-0 keypoint and its
+    /// descriptor, or `None` if the corner sits too close to the border for
+    /// a stable descriptor.
+    pub fn describe_keypoint(
+        &self,
+        pyramid: &ImagePyramid,
+        kp: KeyPoint,
+    ) -> Option<(KeyPoint, Descriptor)> {
+        let level = kp.octave as usize;
+        let img = &pyramid.levels[level];
+        let (x, y) = (kp.pt.x, kp.pt.y);
+        let m = orb::DESC_BORDER;
+        if !img.in_interior(x as usize, y as usize, m) {
+            return None;
+        }
+        let angle = orb::intensity_centroid_angle(img, x, y);
+        let desc = orb::describe(img, x, y, angle);
+        let mut out = kp;
+        out.angle = angle;
+        out.pt = Vec2::new(pyramid.to_level0(x, level), pyramid.to_level0(y, level));
+        Some((out, desc))
+    }
+
+    /// Distribute per-level detections down to the per-level budgets and
+    /// describe the survivors. `raw` holds detections grouped by pyramid
+    /// level, in level-local coordinates.
+    pub fn finalize(
+        &self,
+        pyramid: &ImagePyramid,
+        raw: Vec<Vec<KeyPoint>>,
+    ) -> ExtractedFeatures {
+        let targets = self.per_level_targets(pyramid);
+        let mut features = ExtractedFeatures::default();
+        for (level, kps) in raw.into_iter().enumerate() {
+            if level >= pyramid.num_levels() {
+                break;
+            }
+            let img = &pyramid.levels[level];
+            let kept = distribute_quadtree(&kps, img.width, img.height, targets[level]);
+            for kp in kept {
+                if let Some((finished, desc)) = self.describe_keypoint(pyramid, kp) {
+                    features.keypoints.push(finished);
+                    features.descriptors.push(desc);
+                }
+            }
+        }
+        features
+    }
+
+    /// Sequential ("CPU") extraction with stage timing.
+    pub fn extract(&self, image: &GrayImage) -> (ExtractedFeatures, ExtractionTimings) {
+        let mut timings = ExtractionTimings::default();
+
+        let t0 = Instant::now();
+        let pyramid = ImagePyramid::build(image, self.config.n_levels, self.config.scale_factor);
+        timings.pyramid_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let mut raw: Vec<Vec<KeyPoint>> = vec![Vec::new(); pyramid.num_levels()];
+        for task in self.cells(&pyramid) {
+            let kps = self.detect_cell(&pyramid, task);
+            raw[task.level].extend(kps);
+        }
+        timings.detect_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let t2 = Instant::now();
+        let features = self.finalize(&pyramid, raw);
+        timings.describe_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        (features, timings)
+    }
+
+    /// Extraction that also returns the pyramid (tracking reuses it).
+    pub fn extract_with_pyramid(
+        &self,
+        image: &GrayImage,
+    ) -> (ExtractedFeatures, ImagePyramid, ExtractionTimings) {
+        let mut timings = ExtractionTimings::default();
+        let t0 = Instant::now();
+        let pyramid = ImagePyramid::build(image, self.config.n_levels, self.config.scale_factor);
+        timings.pyramid_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let mut raw: Vec<Vec<KeyPoint>> = vec![Vec::new(); pyramid.num_levels()];
+        for task in self.cells(&pyramid) {
+            let kps = self.detect_cell(&pyramid, task);
+            raw[task.level].extend(kps);
+        }
+        timings.detect_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let t2 = Instant::now();
+        let features = self.finalize(&pyramid, raw);
+        timings.describe_ms = t2.elapsed().as_secs_f64() * 1e3;
+        (features, pyramid, timings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A procedurally textured image with plenty of corners.
+    fn checkered(width: usize, height: usize, cell: usize) -> GrayImage {
+        GrayImage::from_fn(width, height, |x, y| {
+            let cx = (x / cell) as u64;
+            let cy = (y / cell) as u64;
+            // Mixed per-cell hash (splitmix-style) so neighbouring cells in
+            // both axes get independent intensities.
+            let mut h = cx.wrapping_mul(0x9E3779B97F4A7C15) ^ cy.wrapping_mul(0xBF58476D1CE4E5B9);
+            h ^= h >> 31;
+            h = h.wrapping_mul(0x94D049BB133111EB);
+            h ^= h >> 29;
+            match h % 3 {
+                0 => 220,
+                1 => 40,
+                _ => 130,
+            }
+        })
+    }
+
+    #[test]
+    fn extracts_features_from_textured_image() {
+        let img = checkered(320, 240, 12);
+        let ex = OrbExtractor::with_defaults();
+        let (features, timings) = ex.extract(&img);
+        assert!(features.len() > 100, "only {} features", features.len());
+        assert!(features.len() <= ex.config.n_features + 64);
+        assert_eq!(features.keypoints.len(), features.descriptors.len());
+        assert!(timings.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn blank_image_yields_nothing() {
+        let img = GrayImage::filled(320, 240, 100);
+        let ex = OrbExtractor::with_defaults();
+        let (features, _) = ex.extract(&img);
+        assert!(features.is_empty());
+    }
+
+    #[test]
+    fn keypoints_in_level0_bounds() {
+        let img = checkered(320, 240, 10);
+        let ex = OrbExtractor::with_defaults();
+        let (features, _) = ex.extract(&img);
+        for kp in &features.keypoints {
+            assert!(kp.pt.x >= 0.0 && kp.pt.x < 320.0);
+            assert!(kp.pt.y >= 0.0 && kp.pt.y < 240.0);
+        }
+    }
+
+    #[test]
+    fn cell_tasks_tile_every_level() {
+        let img = GrayImage::new(320, 240);
+        let ex = OrbExtractor::with_defaults();
+        let pyr = ImagePyramid::build(&img, ex.config.n_levels, ex.config.scale_factor);
+        let tasks = ex.cells(&pyr);
+        // Each level's cells must cover its full area exactly once.
+        for (level, li) in pyr.levels.iter().enumerate() {
+            let area: usize = tasks
+                .iter()
+                .filter(|t| t.level == level)
+                .map(|t| (t.x1 - t.x0) * (t.y1 - t.y0))
+                .sum();
+            assert_eq!(area, li.width * li.height, "level {level} cover");
+        }
+    }
+
+    #[test]
+    fn per_level_budgets_sum_close_to_total() {
+        let img = GrayImage::new(640, 480);
+        let ex = OrbExtractor::with_defaults();
+        let pyr = ImagePyramid::build_default(&img);
+        let targets = ex.per_level_targets(&pyr);
+        let sum: usize = targets.iter().sum();
+        let n = ex.config.n_features;
+        assert!(sum >= n * 95 / 100 && sum <= n * 105 / 100, "sum = {sum}");
+        // Budgets decrease with level (coarser levels get fewer).
+        for w in targets.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn parallel_order_independence() {
+        // Processing cells in any order must give the same final feature
+        // set — the property that makes GPU scheduling legal.
+        let img = checkered(256, 192, 9);
+        let ex = OrbExtractor::with_defaults();
+        let pyr = ImagePyramid::build(&img, ex.config.n_levels, ex.config.scale_factor);
+
+        let mut raw_fwd: Vec<Vec<KeyPoint>> = vec![Vec::new(); pyr.num_levels()];
+        let tasks = ex.cells(&pyr);
+        for t in &tasks {
+            raw_fwd[t.level].extend(ex.detect_cell(&pyr, *t));
+        }
+        let mut raw_rev: Vec<Vec<KeyPoint>> = vec![Vec::new(); pyr.num_levels()];
+        for t in tasks.iter().rev() {
+            raw_rev[t.level].extend(ex.detect_cell(&pyr, *t));
+        }
+        // Same multiset per level (order differs).
+        for (f, r) in raw_fwd.iter().zip(&raw_rev) {
+            assert_eq!(f.len(), r.len());
+            let mut fs: Vec<_> = f.iter().map(|k| (k.pt.x.to_bits(), k.pt.y.to_bits())).collect();
+            let mut rs: Vec<_> = r.iter().map(|k| (k.pt.x.to_bits(), k.pt.y.to_bits())).collect();
+            fs.sort();
+            rs.sort();
+            assert_eq!(fs, rs);
+        }
+    }
+}

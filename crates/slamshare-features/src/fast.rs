@@ -1,0 +1,300 @@
+//! FAST segment-test corner detection.
+//!
+//! FAST (Features from Accelerated Segment Test, Rosten & Drummond 2006)
+//! examines the 16-pixel Bresenham circle of radius 3 around a candidate
+//! pixel `p`. `p` is a corner if at least [`ARC_LEN`] *contiguous* circle
+//! pixels are all brighter than `I(p) + t` or all darker than `I(p) − t`.
+//!
+//! The paper's key GPU kernel parallelizes exactly this test over image
+//! cells ("the parallelization of FAST corner detection with the GPU",
+//! §4.2.1); [`detect_in_rect`] is the pure per-cell work item that
+//! `slamshare-gpu` schedules.
+
+use crate::image::GrayImage;
+use crate::keypoint::KeyPoint;
+use slamshare_math::Vec2;
+
+/// Bresenham circle of radius 3, clockwise from 12 o'clock — the classic
+/// FAST-16 sampling pattern.
+pub const CIRCLE: [(isize, isize); 16] = [
+    (0, -3),
+    (1, -3),
+    (2, -2),
+    (3, -1),
+    (3, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (0, 3),
+    (-1, 3),
+    (-2, 2),
+    (-3, 1),
+    (-3, 0),
+    (-3, -1),
+    (-2, -2),
+    (-1, -3),
+];
+
+/// Required contiguous arc length. We use the 9-16 variant (as OpenCV's
+/// `FastFeatureDetector::TYPE_9_16`, which ORB builds on): FAST-12 cannot
+/// fire on an exact axis-aligned 90° corner because only 11 of the 16
+/// circle pixels lie outside the corner wedge.
+pub const ARC_LEN: usize = 9;
+
+/// Border margin inside which the circle fits entirely.
+pub const BORDER: usize = 3;
+
+/// Classify one pixel. Returns the corner *score* (see [`corner_score`]) if
+/// the segment test passes, `None` otherwise.
+#[inline]
+pub fn is_corner(img: &GrayImage, x: usize, y: usize, threshold: u8) -> Option<f64> {
+    if !img.in_interior(x, y, BORDER) {
+        return None;
+    }
+    let p = img.get(x, y) as i16;
+    let t = threshold as i16;
+    let hi = p + t;
+    let lo = p - t;
+
+    // High-speed pretest on the 4 compass points: a contiguous arc of 9
+    // always covers at least 2 of the 4 points spaced 4 apart, so fewer
+    // than 2 consistent compass pixels rules the corner out.
+    let compass = [CIRCLE[0], CIRCLE[4], CIRCLE[8], CIRCLE[12]];
+    let mut brighter = 0;
+    let mut darker = 0;
+    for &(dx, dy) in &compass {
+        let v = img.get((x as isize + dx) as usize, (y as isize + dy) as usize) as i16;
+        if v > hi {
+            brighter += 1;
+        } else if v < lo {
+            darker += 1;
+        }
+    }
+    if brighter < 2 && darker < 2 {
+        return None;
+    }
+
+    // Full segment test: walk the doubled circle looking for a contiguous
+    // run of ARC_LEN brighter (or darker) pixels.
+    let mut vals = [0i16; 16];
+    for (i, &(dx, dy)) in CIRCLE.iter().enumerate() {
+        vals[i] = img.get((x as isize + dx) as usize, (y as isize + dy) as usize) as i16;
+    }
+    let mut run_bright = 0usize;
+    let mut run_dark = 0usize;
+    let mut found = false;
+    for i in 0..(16 + ARC_LEN) {
+        let v = vals[i % 16];
+        if v > hi {
+            run_bright += 1;
+            run_dark = 0;
+        } else if v < lo {
+            run_dark += 1;
+            run_bright = 0;
+        } else {
+            run_bright = 0;
+            run_dark = 0;
+        }
+        if run_bright >= ARC_LEN || run_dark >= ARC_LEN {
+            found = true;
+            break;
+        }
+    }
+    if !found {
+        return None;
+    }
+    Some(corner_score(&vals, p))
+}
+
+/// Corner response: the sum of absolute differences between the center and
+/// the circle pixels that exceed the threshold — the same score OpenCV's
+/// FAST uses for non-maximum suppression ranking.
+#[inline]
+fn corner_score(vals: &[i16; 16], p: i16) -> f64 {
+    vals.iter().map(|&v| (v - p).abs() as f64).sum::<f64>()
+}
+
+/// Detect corners inside the half-open pixel rectangle
+/// `[x0, x1) × [y0, y1)` of `img`. Pure function of its inputs — this is the
+/// unit of work the simulated GPU schedules across its SMs.
+///
+/// `octave` is recorded on the keypoints; coordinates are in the *given
+/// image's* pixel space (the extractor rescales to level 0 afterwards).
+pub fn detect_in_rect(
+    img: &GrayImage,
+    (x0, y0): (usize, usize),
+    (x1, y1): (usize, usize),
+    threshold: u8,
+    octave: u8,
+) -> Vec<KeyPoint> {
+    let x0 = x0.max(BORDER);
+    let y0 = y0.max(BORDER);
+    let x1 = x1.min(img.width.saturating_sub(BORDER));
+    let y1 = y1.min(img.height.saturating_sub(BORDER));
+    let mut out = Vec::new();
+    for y in y0..y1 {
+        for x in x0..x1 {
+            if let Some(score) = is_corner(img, x, y, threshold) {
+                out.push(KeyPoint::new(Vec2::new(x as f64, y as f64), octave, score));
+            }
+        }
+    }
+    out
+}
+
+/// The corner score at an arbitrary pixel (no segment test): SAD between
+/// the center and its circle. Used by subpixel refinement, which needs
+/// scores at the neighbours of a detected corner whether or not they pass
+/// the segment test themselves.
+pub fn score_at(img: &GrayImage, x: usize, y: usize) -> f64 {
+    if !img.in_interior(x, y, BORDER) {
+        return 0.0;
+    }
+    let p = img.get(x, y) as i16;
+    let mut vals = [0i16; 16];
+    for (i, &(dx, dy)) in CIRCLE.iter().enumerate() {
+        vals[i] = img.get((x as isize + dx) as usize, (y as isize + dy) as usize) as i16;
+    }
+    corner_score(&vals, p)
+}
+
+/// Refine a corner to subpixel precision by fitting a 1D parabola to the
+/// corner-score profile along each axis. Integer-grid detection carries
+/// ±0.5 px quantization noise which otherwise accumulates into visual-
+/// odometry drift and stereo-depth error; the parabola peak recovers the
+/// fractional offset (clamped to ±0.5).
+pub fn refine_subpixel(img: &GrayImage, kp: &mut KeyPoint) {
+    let x = kp.pt.x.round() as usize;
+    let y = kp.pt.y.round() as usize;
+    if !img.in_interior(x, y, BORDER + 1) {
+        return;
+    }
+    let c = score_at(img, x, y);
+    let lx = score_at(img, x - 1, y);
+    let rx = score_at(img, x + 1, y);
+    let uy = score_at(img, x, y - 1);
+    let dy = score_at(img, x, y + 1);
+    let peak = |lo: f64, mid: f64, hi: f64| -> f64 {
+        let denom = lo - 2.0 * mid + hi;
+        if denom.abs() < 1e-9 {
+            0.0
+        } else {
+            (0.5 * (lo - hi) / denom).clamp(-0.5, 0.5)
+        }
+    };
+    kp.pt = Vec2::new(x as f64 + peak(lx, c, rx), y as f64 + peak(uy, c, dy));
+}
+
+/// 3×3 non-maximum suppression over a set of detected corners from the same
+/// image: a corner survives only if no strictly-stronger corner lies within
+/// a Chebyshev distance of `radius` pixels.
+pub fn non_max_suppress(corners: &[KeyPoint], radius: f64) -> Vec<KeyPoint> {
+    let mut keep = Vec::new();
+    'outer: for (i, a) in corners.iter().enumerate() {
+        for (j, b) in corners.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let close = (a.pt.x - b.pt.x).abs() <= radius && (a.pt.y - b.pt.y).abs() <= radius;
+            if close && (b.response > a.response || (b.response == a.response && j < i)) {
+                continue 'outer;
+            }
+        }
+        keep.push(*a);
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bright square on a dark background: its corners are FAST corners.
+    fn square_image() -> GrayImage {
+        GrayImage::from_fn(40, 40, |x, y| {
+            if (10..30).contains(&x) && (10..30).contains(&y) {
+                220
+            } else {
+                30
+            }
+        })
+    }
+
+    #[test]
+    fn detects_square_corners() {
+        let img = square_image();
+        let kps = detect_in_rect(&img, (0, 0), (40, 40), 40, 0);
+        assert!(!kps.is_empty(), "no corners found");
+        // Every detection should be near one of the 4 square corners, and
+        // all 4 corners should attract detections.
+        let corners = [(10.0, 10.0), (29.0, 10.0), (10.0, 29.0), (29.0, 29.0)];
+        let mut seen = [false; 4];
+        for kp in &kps {
+            let mut near_any = false;
+            for (i, &(cx, cy)) in corners.iter().enumerate() {
+                if (kp.pt.x - cx).abs() <= 3.0 && (kp.pt.y - cy).abs() <= 3.0 {
+                    near_any = true;
+                    seen[i] = true;
+                }
+            }
+            assert!(near_any, "spurious corner at {:?}", kp.pt);
+        }
+        assert!(seen.iter().all(|&s| s), "missing square corners: {seen:?}");
+    }
+
+    #[test]
+    fn flat_image_has_no_corners() {
+        let img = GrayImage::filled(50, 50, 128);
+        assert!(detect_in_rect(&img, (0, 0), (50, 50), 20, 0).is_empty());
+    }
+
+    #[test]
+    fn straight_edge_is_not_a_corner() {
+        // A vertical step edge: 8 circle pixels brighter, 8 darker — no
+        // 12-contiguous arc, so FAST-12 must reject every pixel.
+        let img = GrayImage::from_fn(40, 40, |x, _| if x < 20 { 30 } else { 220 });
+        let kps = detect_in_rect(&img, (0, 0), (40, 40), 40, 0);
+        assert!(kps.is_empty(), "edge misdetected as corner: {kps:?}");
+    }
+
+    #[test]
+    fn threshold_gates_detection() {
+        let img = GrayImage::from_fn(40, 40, |x, y| {
+            if (10..30).contains(&x) && (10..30).contains(&y) {
+                140
+            } else {
+                100
+            }
+        });
+        // Contrast is 40; a threshold of 50 must see nothing.
+        assert!(detect_in_rect(&img, (0, 0), (40, 40), 50, 0).is_empty());
+        assert!(!detect_in_rect(&img, (0, 0), (40, 40), 20, 0).is_empty());
+    }
+
+    #[test]
+    fn rect_bounds_respected() {
+        let img = square_image();
+        // Only scan the left half: corners at x=29 must not appear.
+        let kps = detect_in_rect(&img, (0, 0), (20, 40), 40, 0);
+        assert!(kps.iter().all(|kp| kp.pt.x < 20.0));
+    }
+
+    #[test]
+    fn nms_keeps_strongest() {
+        let mk = |x: f64, y: f64, r: f64| KeyPoint::new(Vec2::new(x, y), 0, r);
+        let kps = vec![mk(10.0, 10.0, 5.0), mk(11.0, 10.0, 9.0), mk(30.0, 30.0, 2.0)];
+        let kept = non_max_suppress(&kps, 2.0);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|k| k.response == 9.0));
+        assert!(kept.iter().any(|k| k.response == 2.0));
+    }
+
+    #[test]
+    fn nms_tie_break_is_deterministic() {
+        let mk = |x: f64, r: f64| KeyPoint::new(Vec2::new(x, 0.0), 0, r);
+        let kps = vec![mk(0.0, 5.0), mk(1.0, 5.0)];
+        let kept = non_max_suppress(&kps, 2.0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].pt.x, 0.0);
+    }
+}

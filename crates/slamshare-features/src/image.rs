@@ -1,0 +1,190 @@
+//! 8-bit grayscale images.
+//!
+//! The only image type in the workspace. The synthetic dataset renderer
+//! (`slamshare-sim`) produces these, the feature extractor consumes them and
+//! the video codec (`slamshare-net`) compresses them.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrayImage {
+    pub width: usize,
+    pub height: usize,
+    pub data: Vec<u8>,
+}
+
+impl GrayImage {
+    /// A black image.
+    pub fn new(width: usize, height: usize) -> GrayImage {
+        GrayImage { width, height, data: vec![0; width * height] }
+    }
+
+    /// An image filled with `value`.
+    pub fn filled(width: usize, height: usize, value: u8) -> GrayImage {
+        GrayImage { width, height, data: vec![value; width * height] }
+    }
+
+    /// Build from a per-pixel function `(x, y) -> intensity`.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> GrayImage {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        GrayImage { width, height, data }
+    }
+
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Signed accessor used by detectors that index relative to a center
+    /// pixel; clamps to the border.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.get(x, y)
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Bilinear sample at a real-valued position (clamped to the image).
+    pub fn sample_bilinear(&self, x: f64, y: f64) -> f64 {
+        let x = x.clamp(0.0, (self.width - 1) as f64);
+        let y = y.clamp(0.0, (self.height - 1) as f64);
+        let x0 = x.floor() as usize;
+        let y0 = y.floor() as usize;
+        let x1 = (x0 + 1).min(self.width - 1);
+        let y1 = (y0 + 1).min(self.height - 1);
+        let fx = x - x0 as f64;
+        let fy = y - y0 as f64;
+        let p00 = self.get(x0, y0) as f64;
+        let p10 = self.get(x1, y0) as f64;
+        let p01 = self.get(x0, y1) as f64;
+        let p11 = self.get(x1, y1) as f64;
+        p00 * (1.0 - fx) * (1.0 - fy)
+            + p10 * fx * (1.0 - fy)
+            + p01 * (1.0 - fx) * fy
+            + p11 * fx * fy
+    }
+
+    /// Downscale by an arbitrary factor `>= 1` with bilinear sampling.
+    /// The pyramid uses factor 1.2 between levels, as ORB-SLAM does.
+    pub fn resize(&self, new_width: usize, new_height: usize) -> GrayImage {
+        assert!(new_width > 0 && new_height > 0);
+        let sx = self.width as f64 / new_width as f64;
+        let sy = self.height as f64 / new_height as f64;
+        GrayImage::from_fn(new_width, new_height, |x, y| {
+            let src_x = (x as f64 + 0.5) * sx - 0.5;
+            let src_y = (y as f64 + 0.5) * sy - 0.5;
+            self.sample_bilinear(src_x, src_y).round().clamp(0.0, 255.0) as u8
+        })
+    }
+
+    /// 3×3 box blur — a cheap stand-in for the Gaussian smoothing ORB applies
+    /// before computing BRIEF comparisons (reduces sensitivity to pixel
+    /// noise).
+    pub fn box_blur3(&self) -> GrayImage {
+        let mut out = GrayImage::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let mut sum = 0u32;
+                for dy in -1..=1isize {
+                    for dx in -1..=1isize {
+                        sum += self.get_clamped(x as isize + dx, y as isize + dy) as u32;
+                    }
+                }
+                out.set(x, y, (sum / 9) as u8);
+            }
+        }
+        out
+    }
+
+    /// Mean intensity, used by tests and by the video codec's rate model.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Number of bytes of raw pixel data.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the pixel is at least `margin` pixels away from every border.
+    #[inline]
+    pub fn in_interior(&self, x: usize, y: usize, margin: usize) -> bool {
+        x >= margin && y >= margin && x + margin < self.width && y + margin < self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_layout() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (y * 10 + x) as u8);
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(2, 0), 2);
+        assert_eq!(img.get(0, 1), 10);
+        assert_eq!(img.get(2, 1), 12);
+    }
+
+    #[test]
+    fn bilinear_interpolates_midpoints() {
+        let img = GrayImage::from_fn(2, 1, |x, _| if x == 0 { 0 } else { 100 });
+        assert!((img.sample_bilinear(0.5, 0.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bilinear_clamps_outside() {
+        let img = GrayImage::filled(4, 4, 77);
+        assert_eq!(img.sample_bilinear(-5.0, -5.0), 77.0);
+        assert_eq!(img.sample_bilinear(100.0, 100.0), 77.0);
+    }
+
+    #[test]
+    fn resize_preserves_constant_image() {
+        let img = GrayImage::filled(100, 80, 42);
+        let small = img.resize(83, 66);
+        assert!(small.data.iter().all(|&v| v == 42));
+    }
+
+    #[test]
+    fn resize_dimensions() {
+        let img = GrayImage::new(120, 90);
+        let s = img.resize(100, 75);
+        assert_eq!((s.width, s.height), (100, 75));
+    }
+
+    #[test]
+    fn box_blur_smooths_impulse() {
+        let mut img = GrayImage::new(5, 5);
+        img.set(2, 2, 255);
+        let b = img.box_blur3();
+        assert_eq!(b.get(2, 2), 255 / 9);
+        assert_eq!(b.get(0, 0), 0);
+        assert_eq!(b.get(1, 1), 255 / 9);
+    }
+
+    #[test]
+    fn interior_check() {
+        let img = GrayImage::new(10, 10);
+        assert!(img.in_interior(5, 5, 3));
+        assert!(!img.in_interior(2, 5, 3));
+        assert!(!img.in_interior(5, 7, 3));
+        assert!(img.in_interior(3, 6, 3));
+    }
+}

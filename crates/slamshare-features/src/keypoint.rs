@@ -1,0 +1,59 @@
+//! Detected corner keypoints.
+
+use serde::{Deserialize, Serialize};
+use slamshare_math::Vec2;
+
+/// A corner detected by FAST and refined by the ORB pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyPoint {
+    /// Position in *level-0* (full resolution) pixel coordinates.
+    pub pt: Vec2,
+    /// Pyramid level the corner was detected at (0 = full resolution).
+    pub octave: u8,
+    /// Orientation angle in radians, from the intensity centroid.
+    pub angle: f64,
+    /// FAST corner response (higher = stronger corner).
+    pub response: f64,
+    /// For stereo frames: the horizontal coordinate of the match in the
+    /// right image, in level-0 pixels; negative when unmatched/monocular.
+    pub right_x: f64,
+    /// Depth recovered from the stereo match (meters); negative when
+    /// unavailable.
+    pub depth: f64,
+}
+
+impl KeyPoint {
+    pub fn new(pt: Vec2, octave: u8, response: f64) -> KeyPoint {
+        KeyPoint { pt, octave, angle: 0.0, response, right_x: -1.0, depth: -1.0 }
+    }
+
+    /// True if this keypoint carries a valid stereo observation.
+    pub fn has_stereo(&self) -> bool {
+        self.depth > 0.0
+    }
+
+    /// The pyramid scale factor at this keypoint's octave
+    /// (`scale_factor^octave`).
+    pub fn scale(&self, scale_factor: f64) -> f64 {
+        scale_factor.powi(self.octave as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stereo_flag() {
+        let mut kp = KeyPoint::new(Vec2::new(10.0, 20.0), 0, 30.0);
+        assert!(!kp.has_stereo());
+        kp.depth = 3.5;
+        assert!(kp.has_stereo());
+    }
+
+    #[test]
+    fn octave_scale() {
+        let kp = KeyPoint::new(Vec2::ZERO, 2, 1.0);
+        assert!((kp.scale(1.2) - 1.44).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,260 @@
+//! Descriptor matching.
+//!
+//! Two matchers mirror the two matching contexts in ORB-SLAM3:
+//!
+//! * [`match_brute_force`] — full cross-matching with Lowe's ratio test,
+//!   used for map initialization and place-recognition verification;
+//! * [`match_by_projection`] — windowed search around predicted pixel
+//!   positions, the *search local points* step that the paper identifies as
+//!   ~30 % of tracking latency and accelerates on the GPU. The per-query
+//!   work item [`best_in_window`] is pure, so `slamshare-gpu` can fan it
+//!   out across work items exactly like the paper's local-tracking CUDA
+//!   kernel.
+
+use crate::descriptor::Descriptor;
+use slamshare_math::Vec2;
+
+/// Default acceptance threshold on Hamming distance (ORB-SLAM's `TH_LOW`).
+pub const TH_LOW: u32 = 50;
+/// Relaxed threshold used by wider searches (ORB-SLAM's `TH_HIGH`).
+pub const TH_HIGH: u32 = 100;
+/// Lowe ratio: best must beat second-best by this factor.
+pub const DEFAULT_RATIO: f64 = 0.9;
+
+/// A correspondence between query index and train index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureMatch {
+    pub query: usize,
+    pub train: usize,
+    pub distance: u32,
+}
+
+/// Brute-force matching with a ratio test: for each query descriptor, find
+/// the best and second-best train descriptors; accept if
+/// `best < max_distance` and `best < ratio * second_best`.
+/// Mutual-best filtering removes double-assignments of a train feature.
+pub fn match_brute_force(
+    query: &[Descriptor],
+    train: &[Descriptor],
+    max_distance: u32,
+    ratio: f64,
+) -> Vec<FeatureMatch> {
+    let mut provisional: Vec<FeatureMatch> = Vec::new();
+    for (qi, qd) in query.iter().enumerate() {
+        let mut best = u32::MAX;
+        let mut second = u32::MAX;
+        let mut best_ti = usize::MAX;
+        for (ti, td) in train.iter().enumerate() {
+            let d = qd.distance(td);
+            if d < best {
+                second = best;
+                best = d;
+                best_ti = ti;
+            } else if d < second {
+                second = d;
+            }
+        }
+        if best_ti != usize::MAX
+            && best <= max_distance
+            && (second == u32::MAX || (best as f64) < ratio * second as f64)
+        {
+            provisional.push(FeatureMatch { query: qi, train: best_ti, distance: best });
+        }
+    }
+    // Keep only the best query per train index.
+    let mut best_for_train: std::collections::HashMap<usize, FeatureMatch> =
+        std::collections::HashMap::new();
+    for m in provisional {
+        best_for_train
+            .entry(m.train)
+            .and_modify(|cur| {
+                if m.distance < cur.distance {
+                    *cur = m;
+                }
+            })
+            .or_insert(m);
+    }
+    let mut out: Vec<FeatureMatch> = best_for_train.into_values().collect();
+    out.sort_by_key(|m| m.query);
+    out
+}
+
+/// One projection-search query: a descriptor we expect to find near
+/// `predicted` within `radius` pixels.
+#[derive(Debug, Clone, Copy)]
+pub struct ProjectionQuery {
+    pub descriptor: Descriptor,
+    pub predicted: Vec2,
+    pub radius: f64,
+}
+
+/// Search one query against candidate features — the pure work item of the
+/// *search local points* kernel. `positions` and `descriptors` are parallel
+/// arrays of the frame's features. Returns `(train_index, distance)` of the
+/// best acceptable match.
+pub fn best_in_window(
+    query: &ProjectionQuery,
+    positions: &[Vec2],
+    descriptors: &[Descriptor],
+    max_distance: u32,
+) -> Option<(usize, u32)> {
+    debug_assert_eq!(positions.len(), descriptors.len());
+    let mut best = u32::MAX;
+    let mut best_i = usize::MAX;
+    let r2 = query.radius * query.radius;
+    for (i, (p, d)) in positions.iter().zip(descriptors).enumerate() {
+        if (*p - query.predicted).norm_sq() > r2 {
+            continue;
+        }
+        let dist = query.descriptor.distance(d);
+        if dist < best {
+            best = dist;
+            best_i = i;
+        }
+    }
+    if best_i != usize::MAX && best <= max_distance {
+        Some((best_i, best))
+    } else {
+        None
+    }
+}
+
+/// Run all projection queries sequentially (the CPU path of *search local
+/// points*). Resolves conflicts (two queries matched to the same frame
+/// feature) by keeping the smaller distance.
+pub fn match_by_projection(
+    queries: &[ProjectionQuery],
+    positions: &[Vec2],
+    descriptors: &[Descriptor],
+    max_distance: u32,
+) -> Vec<FeatureMatch> {
+    let mut per_train: std::collections::HashMap<usize, FeatureMatch> =
+        std::collections::HashMap::new();
+    for (qi, q) in queries.iter().enumerate() {
+        if let Some((ti, d)) = best_in_window(q, positions, descriptors, max_distance) {
+            per_train
+                .entry(ti)
+                .and_modify(|cur| {
+                    if d < cur.distance {
+                        *cur = FeatureMatch { query: qi, train: ti, distance: d };
+                    }
+                })
+                .or_insert(FeatureMatch { query: qi, train: ti, distance: d });
+        }
+    }
+    let mut out: Vec<FeatureMatch> = per_train.into_values().collect();
+    out.sort_by_key(|m| m.query);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc_with_bits(bits: &[usize]) -> Descriptor {
+        let mut d = Descriptor::ZERO;
+        for &b in bits {
+            d.set_bit(b);
+        }
+        d
+    }
+
+    #[test]
+    fn brute_force_finds_exact_matches() {
+        let a = desc_with_bits(&[1, 5, 9]);
+        let b = desc_with_bits(&[100, 120, 140, 160]);
+        let c = desc_with_bits(&[200, 210]);
+        let query = vec![a, b];
+        let train = vec![c, b, a];
+        let ms = match_brute_force(&query, &train, TH_LOW, DEFAULT_RATIO);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.contains(&FeatureMatch { query: 0, train: 2, distance: 0 }));
+        assert!(ms.contains(&FeatureMatch { query: 1, train: 1, distance: 0 }));
+    }
+
+    #[test]
+    fn ratio_test_rejects_ambiguous() {
+        // Query equidistant from two train descriptors → ratio test fails.
+        let q = desc_with_bits(&[0]);
+        let t1 = desc_with_bits(&[0, 1]); // distance 1
+        let t2 = desc_with_bits(&[0, 2]); // distance 1
+        let ms = match_brute_force(&[q], &[t1, t2], TH_LOW, 0.9);
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn max_distance_gates() {
+        let q = desc_with_bits(&(0..60).collect::<Vec<_>>());
+        let t = Descriptor::ZERO; // distance 60 > TH_LOW
+        let ms = match_brute_force(&[q], &[t], TH_LOW, 1.0);
+        assert!(ms.is_empty());
+        let ms2 = match_brute_force(&[q], &[t], TH_HIGH, 1.0);
+        assert_eq!(ms2.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_train_resolved_by_distance() {
+        let t = desc_with_bits(&[7]);
+        let q_close = desc_with_bits(&[7]);
+        let q_far = desc_with_bits(&[7, 8, 9]);
+        let ms = match_brute_force(&[q_far, q_close], &[t], TH_LOW, 1.0);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].query, 1);
+    }
+
+    #[test]
+    fn projection_search_respects_window() {
+        let d = desc_with_bits(&[3]);
+        let positions = vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 100.0)];
+        let descriptors = vec![d, d];
+        let q = ProjectionQuery { descriptor: d, predicted: Vec2::new(99.0, 99.0), radius: 5.0 };
+        let got = best_in_window(&q, &positions, &descriptors, TH_LOW).unwrap();
+        assert_eq!(got.0, 1);
+        // Tiny radius: no candidates.
+        let q2 = ProjectionQuery { radius: 0.5, ..q };
+        assert!(best_in_window(&q2, &positions, &descriptors, TH_LOW).is_none());
+    }
+
+    #[test]
+    fn projection_search_picks_best_descriptor_in_window() {
+        let target = desc_with_bits(&[1, 2, 3]);
+        let near_junk = desc_with_bits(&[100, 101, 102, 103, 104]);
+        let positions = vec![Vec2::new(10.0, 10.0), Vec2::new(12.0, 10.0)];
+        let descriptors = vec![near_junk, target];
+        let q = ProjectionQuery {
+            descriptor: target,
+            predicted: Vec2::new(11.0, 10.0),
+            radius: 5.0,
+        };
+        let got = best_in_window(&q, &positions, &descriptors, TH_LOW).unwrap();
+        assert_eq!(got, (1, 0));
+    }
+
+    #[test]
+    fn projection_conflicts_keep_closest() {
+        let d = desc_with_bits(&[4]);
+        let positions = vec![Vec2::new(0.0, 0.0)];
+        let descriptors = vec![d];
+        let exact = ProjectionQuery { descriptor: d, predicted: Vec2::ZERO, radius: 10.0 };
+        let off = ProjectionQuery {
+            descriptor: desc_with_bits(&[4, 9]),
+            predicted: Vec2::ZERO,
+            radius: 10.0,
+        };
+        let ms = match_by_projection(&[off, exact], &positions, &descriptors, TH_LOW);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].query, 1);
+        assert_eq!(ms[0].distance, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(match_brute_force(&[], &[], TH_LOW, 0.9).is_empty());
+        let q = ProjectionQuery {
+            descriptor: Descriptor::ZERO,
+            predicted: Vec2::ZERO,
+            radius: 10.0,
+        };
+        assert!(best_in_window(&q, &[], &[], TH_LOW).is_none());
+    }
+}

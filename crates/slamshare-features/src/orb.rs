@@ -1,0 +1,200 @@
+//! ORB orientation and rotated-BRIEF description.
+//!
+//! * Orientation: the intensity-centroid method — the angle of the vector
+//!   from a corner to the centroid of intensities in its circular patch.
+//! * Description: 256 pairwise intensity comparisons at positions drawn from
+//!   a fixed (seeded) Gaussian pattern, *steered* by the corner's
+//!   orientation so descriptors stay comparable under in-plane rotation.
+
+use crate::descriptor::{Descriptor, DESC_BITS};
+use crate::image::GrayImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Radius of the orientation/description patch (ORB uses 15 → 31×31 patch).
+pub const PATCH_RADIUS: isize = 15;
+
+/// Margin from the image border required to compute a descriptor safely
+/// even under worst-case pattern rotation.
+pub const DESC_BORDER: usize = (PATCH_RADIUS + 2) as usize;
+
+/// Seed for the BRIEF sampling pattern. Real ORB ships a pattern learned
+/// offline for decorrelation; a seeded Gaussian pattern has nearly the same
+/// matching behaviour and keeps the build self-contained.
+const PATTERN_SEED: u64 = 0x0bb5_ee5d;
+
+/// The fixed BRIEF comparison pattern: 256 point pairs in patch coordinates.
+#[derive(Debug, Clone)]
+pub struct BriefPattern {
+    pub pairs: [((f64, f64), (f64, f64)); DESC_BITS],
+}
+
+impl BriefPattern {
+    /// Generate the canonical pattern (deterministic).
+    pub fn standard() -> &'static BriefPattern {
+        use std::sync::OnceLock;
+        static PATTERN: OnceLock<BriefPattern> = OnceLock::new();
+        PATTERN.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(PATTERN_SEED);
+            let sigma = PATCH_RADIUS as f64 / 2.0;
+            let draw = |rng: &mut StdRng| -> f64 {
+                // Box–Muller for a clipped Gaussian offset.
+                let u1: f64 = rng.gen_range(1e-9..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (g * sigma).clamp(-(PATCH_RADIUS as f64) + 1.0, PATCH_RADIUS as f64 - 1.0)
+            };
+            let mut pairs = [((0.0, 0.0), (0.0, 0.0)); DESC_BITS];
+            for pair in pairs.iter_mut() {
+                *pair = (
+                    (draw(&mut rng), draw(&mut rng)),
+                    (draw(&mut rng), draw(&mut rng)),
+                );
+            }
+            BriefPattern { pairs }
+        })
+    }
+}
+
+/// Intensity-centroid orientation of the patch around `(x, y)`, in radians.
+///
+/// Moments: `m10 = Σ x·I(x,y)`, `m01 = Σ y·I(x,y)` over the circular patch;
+/// the angle is `atan2(m01, m10)`.
+pub fn intensity_centroid_angle(img: &GrayImage, x: f64, y: f64) -> f64 {
+    let cx = x.round() as isize;
+    let cy = y.round() as isize;
+    let mut m01 = 0.0f64;
+    let mut m10 = 0.0f64;
+    let r = PATCH_RADIUS;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            if dx * dx + dy * dy > r * r {
+                continue;
+            }
+            let v = img.get_clamped(cx + dx, cy + dy) as f64;
+            m10 += dx as f64 * v;
+            m01 += dy as f64 * v;
+        }
+    }
+    m01.atan2(m10)
+}
+
+/// Compute the rotated-BRIEF descriptor for a corner at `(x, y)` with
+/// orientation `angle` in image `img` (the pyramid level the corner was
+/// detected on, in that level's coordinates).
+pub fn describe(img: &GrayImage, x: f64, y: f64, angle: f64) -> Descriptor {
+    let pattern = BriefPattern::standard();
+    let (s, c) = angle.sin_cos();
+    let mut d = Descriptor::ZERO;
+    for (i, &((ax, ay), (bx, by))) in pattern.pairs.iter().enumerate() {
+        // Steer the sampling points by the keypoint orientation.
+        let (rax, ray) = (c * ax - s * ay, s * ax + c * ay);
+        let (rbx, rby) = (c * bx - s * by, s * bx + c * by);
+        let va = img.sample_bilinear(x + rax, y + ray);
+        let vb = img.sample_bilinear(x + rbx, y + rby);
+        if va < vb {
+            d.set_bit(i);
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A patch with a bright right half has orientation ≈ 0 (centroid to
+    /// the +x side).
+    #[test]
+    fn orientation_points_at_bright_side() {
+        let img = GrayImage::from_fn(64, 64, |x, _| if x >= 32 { 200 } else { 20 });
+        let a = intensity_centroid_angle(&img, 32.0, 32.0);
+        assert!(a.abs() < 0.2, "angle = {a}");
+        // Bright bottom ⇒ +y ⇒ π/2.
+        let img2 = GrayImage::from_fn(64, 64, |_, y| if y >= 32 { 200 } else { 20 });
+        let a2 = intensity_centroid_angle(&img2, 32.0, 32.0);
+        assert!((a2 - std::f64::consts::FRAC_PI_2).abs() < 0.2, "angle = {a2}");
+    }
+
+    #[test]
+    fn pattern_is_deterministic() {
+        let p1 = BriefPattern::standard();
+        let p2 = BriefPattern::standard();
+        assert_eq!(p1.pairs[0], p2.pairs[0]);
+        assert_eq!(p1.pairs[255], p2.pairs[255]);
+    }
+
+    #[test]
+    fn pattern_points_inside_patch() {
+        for &((ax, ay), (bx, by)) in BriefPattern::standard().pairs.iter() {
+            for v in [ax, ay, bx, by] {
+                assert!(v.abs() < PATCH_RADIUS as f64);
+            }
+        }
+    }
+
+    /// The same textured patch must produce identical descriptors when
+    /// sampled twice, and very different descriptors from an unrelated
+    /// patch.
+    #[test]
+    fn descriptor_distinguishes_patches() {
+        let textured = GrayImage::from_fn(64, 64, |x, y| {
+            (((x * 7 + y * 13) % 29) * 8) as u8
+        });
+        let other = GrayImage::from_fn(64, 64, |x, y| {
+            (((x * 3 + y * 31) % 17) * 15) as u8
+        });
+        let d1 = describe(&textured, 32.0, 32.0, 0.0);
+        let d1_again = describe(&textured, 32.0, 32.0, 0.0);
+        let d2 = describe(&other, 32.0, 32.0, 0.0);
+        assert_eq!(d1.distance(&d1_again), 0);
+        assert!(d1.distance(&d2) > 50, "unrelated patches too similar: {}", d1.distance(&d2));
+    }
+
+    /// A small translation of the same texture keeps descriptors close; the
+    /// descriptor shouldn't be hypersensitive to sub-pixel jitter.
+    #[test]
+    fn descriptor_tolerates_small_shift() {
+        let textured = GrayImage::from_fn(96, 96, |x, y| {
+            // Smooth-ish blobby texture.
+            let fx = x as f64 / 9.0;
+            let fy = y as f64 / 7.0;
+            (128.0 + 100.0 * (fx.sin() * fy.cos())) as u8
+        });
+        let d0 = describe(&textured, 48.0, 48.0, 0.0);
+        let d_shift = describe(&textured, 48.3, 47.8, 0.0);
+        assert!(d0.distance(&d_shift) < 60, "jitter distance {}", d0.distance(&d_shift));
+    }
+
+    /// Rotating the image and steering by the measured angle should keep
+    /// the descriptor roughly stable (the point of *rotated* BRIEF).
+    #[test]
+    fn steering_compensates_rotation() {
+        // Radially-varying texture rotated by 90°: rotating the image by
+        // θ adds θ to the intensity-centroid angle, so describing with the
+        // measured angle cancels the rotation.
+        let tex = |u: f64, v: f64| -> u8 {
+            let r = (u * u + v * v).sqrt();
+            let a = v.atan2(u);
+            (128.0 + 60.0 * (r * 0.8).sin() + 50.0 * (3.0 * a).cos()) as u8
+        };
+        let img0 = GrayImage::from_fn(96, 96, |x, y| tex(x as f64 - 48.0, y as f64 - 48.0));
+        // 90° rotated copy: (u, v) -> (v, -u).
+        let img90 = GrayImage::from_fn(96, 96, |x, y| {
+            let (u, v) = (x as f64 - 48.0, y as f64 - 48.0);
+            tex(v, -u)
+        });
+        let a0 = intensity_centroid_angle(&img0, 48.0, 48.0);
+        let a90 = intensity_centroid_angle(&img90, 48.0, 48.0);
+        let d0 = describe(&img0, 48.0, 48.0, a0);
+        let d90 = describe(&img90, 48.0, 48.0, a90);
+        let unsteered = describe(&img90, 48.0, 48.0, a0);
+        assert!(
+            d0.distance(&d90) < 70,
+            "steered distance {} too high",
+            d0.distance(&d90)
+        );
+        // And steering must actually help vs. ignoring the angle change.
+        assert!(d0.distance(&d90) < d0.distance(&unsteered));
+    }
+}

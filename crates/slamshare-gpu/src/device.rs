@@ -1,0 +1,98 @@
+//! Device models.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a simulated GPU.
+///
+/// The worker pool provides *real* parallel speedup (host threads stand in
+/// for SMs); the launch/copy costs are charged on top so latency accounting
+/// reflects a discrete accelerator rather than plain multithreading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    pub name: String,
+    /// Number of concurrently-executing work partitions ("SMs"). Clamped
+    /// to available host parallelism at executor construction.
+    pub sm_count: usize,
+    /// Fixed kernel launch overhead, microseconds.
+    pub launch_overhead_us: f64,
+    /// Host↔device copy bandwidth, bytes per microsecond (≈ MB/ms).
+    /// V100 PCIe gen3 ×16 ≈ 12 GB/s ≈ 12 000 bytes/µs.
+    pub copy_bytes_per_us: f64,
+}
+
+impl GpuModel {
+    /// A Tesla-V100-like model (the paper's testbed GPU).
+    pub fn v100() -> GpuModel {
+        GpuModel {
+            name: "tesla-v100-sim".into(),
+            sm_count: 16,
+            launch_overhead_us: 8.0,
+            copy_bytes_per_us: 12_000.0,
+        }
+    }
+
+    /// A smaller edge-class accelerator, for ablations.
+    pub fn jetson_like() -> GpuModel {
+        GpuModel {
+            name: "jetson-sim".into(),
+            sm_count: 4,
+            launch_overhead_us: 15.0,
+            copy_bytes_per_us: 4_000.0,
+        }
+    }
+
+    /// Simulated copy time for `bytes` of host↔device transfer, in
+    /// milliseconds.
+    pub fn copy_ms(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.copy_bytes_per_us / 1e3
+    }
+
+    /// Simulated launch overhead in milliseconds.
+    pub fn launch_ms(&self) -> f64 {
+        self.launch_overhead_us / 1e3
+    }
+}
+
+/// Where a kernel executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Device {
+    /// Sequential execution on the host (the default ORB-SLAM3 path).
+    Cpu,
+    /// Parallel execution on a simulated GPU.
+    Gpu(GpuModel),
+}
+
+impl Device {
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Device::Gpu(_))
+    }
+
+    pub fn name(&self) -> &str {
+        match self {
+            Device::Cpu => "cpu",
+            Device::Gpu(m) => &m.name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_time_scales_with_bytes() {
+        let m = GpuModel::v100();
+        let one_mb = m.copy_ms(1 << 20);
+        let two_mb = m.copy_ms(2 << 20);
+        assert!((two_mb - 2.0 * one_mb).abs() < 1e-12);
+        // 1 MB over 12 GB/s ≈ 0.087 ms.
+        assert!(one_mb > 0.05 && one_mb < 0.15, "one_mb = {one_mb}");
+    }
+
+    #[test]
+    fn device_kind_checks() {
+        assert!(!Device::Cpu.is_gpu());
+        assert!(Device::Gpu(GpuModel::v100()).is_gpu());
+        assert_eq!(Device::Cpu.name(), "cpu");
+    }
+}

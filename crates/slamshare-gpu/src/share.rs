@@ -1,0 +1,159 @@
+//! GSlice-style spatio-temporal GPU sharing.
+//!
+//! §4.2.1: "SLAM-Share utilizes spatio-temporal sharing of the GPU [19] to
+//! extract features simultaneously and search local points on the data
+//! received from multiple client updates." GSlice carves a GPU into
+//! *spatial* slices (disjoint SM subsets) so concurrent kernels from
+//! different tenants don't serialize, re-partitioning as tenants come and
+//! go.
+//!
+//! [`SharedGpu`] reproduces that behaviour: each registered client gets an
+//! executor whose worker count is its SM slice; registering/deregistering
+//! clients re-balances slices. Concurrent submission from multiple client
+//! threads is safe — slices execute independently.
+
+use crate::device::GpuModel;
+use crate::exec::GpuExecutor;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A GPU spatially shared between client streams.
+#[derive(Debug)]
+pub struct SharedGpu {
+    model: GpuModel,
+    slices: RwLock<BTreeMap<u32, Arc<GpuExecutor>>>,
+}
+
+impl SharedGpu {
+    pub fn new(model: GpuModel) -> SharedGpu {
+        SharedGpu { model, slices: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// Number of currently-registered clients.
+    pub fn client_count(&self) -> usize {
+        self.slices.read().len()
+    }
+
+    /// Register a client and rebalance SM slices equally across all
+    /// registered clients. Returns that client's executor. Each client
+    /// receives at least one SM.
+    pub fn register(&self, client_id: u32) -> Arc<GpuExecutor> {
+        let mut slices = self.slices.write();
+        slices.insert(client_id, Arc::new(GpuExecutor::cpu())); // placeholder, fixed below
+        rebalance(&self.model, &mut slices);
+        slices.get(&client_id).unwrap().clone()
+    }
+
+    /// Deregister a client, returning its SMs to the pool.
+    pub fn deregister(&self, client_id: u32) {
+        let mut slices = self.slices.write();
+        slices.remove(&client_id);
+        rebalance(&self.model, &mut slices);
+    }
+
+    /// The executor currently assigned to a client (slices change when
+    /// clients join/leave, so callers should re-fetch per frame).
+    pub fn executor(&self, client_id: u32) -> Option<Arc<GpuExecutor>> {
+        self.slices.read().get(&client_id).cloned()
+    }
+
+    /// Per-client SM allocation (for resource-utilization reporting).
+    pub fn allocation(&self) -> BTreeMap<u32, usize> {
+        self.slices
+            .read()
+            .iter()
+            .map(|(&id, ex)| (id, ex.workers()))
+            .collect()
+    }
+}
+
+fn rebalance(model: &GpuModel, slices: &mut BTreeMap<u32, Arc<GpuExecutor>>) {
+    let n = slices.len();
+    if n == 0 {
+        return;
+    }
+    let per_client = (model.sm_count / n).max(1);
+    let mut sliced_model = model.clone();
+    sliced_model.sm_count = per_client;
+    for ex in slices.values_mut() {
+        *ex = Arc::new(GpuExecutor::new(crate::device::Device::Gpu(sliced_model.clone())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_client_gets_whole_gpu() {
+        let gpu = SharedGpu::new(GpuModel::v100());
+        let ex = gpu.register(1);
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(ex.workers(), GpuModel::v100().sm_count.min(host));
+    }
+
+    #[test]
+    fn slices_shrink_as_clients_join() {
+        let gpu = SharedGpu::new(GpuModel::v100());
+        gpu.register(1);
+        gpu.register(2);
+        let alloc = gpu.allocation();
+        assert_eq!(alloc.len(), 2);
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let expect = (GpuModel::v100().sm_count / 2).min(host).max(1);
+        assert_eq!(alloc[&1], expect);
+        assert_eq!(alloc[&2], expect);
+    }
+
+    #[test]
+    fn deregister_rebalances_up() {
+        let gpu = SharedGpu::new(GpuModel::v100());
+        gpu.register(1);
+        gpu.register(2);
+        gpu.register(3);
+        let before = gpu.allocation()[&1];
+        gpu.deregister(2);
+        gpu.deregister(3);
+        let after = gpu.allocation()[&1];
+        assert!(after >= before);
+        assert_eq!(gpu.client_count(), 1);
+        assert!(gpu.executor(2).is_none());
+    }
+
+    #[test]
+    fn every_client_keeps_at_least_one_sm() {
+        let mut small = GpuModel::v100();
+        small.sm_count = 2;
+        let gpu = SharedGpu::new(small);
+        for id in 0..5 {
+            gpu.register(id);
+        }
+        for (_, sms) in gpu.allocation() {
+            assert!(sms >= 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_slices_run_independently() {
+        let gpu = Arc::new(SharedGpu::new(GpuModel::v100()));
+        gpu.register(1);
+        gpu.register(2);
+        let g1 = gpu.clone();
+        let g2 = gpu.clone();
+        let items: Vec<u64> = (0..500).collect();
+        let items2 = items.clone();
+        let h1 = std::thread::spawn(move || {
+            let ex = g1.executor(1).unwrap();
+            ex.par_map(&items, 0, |x| x + 1).0
+        });
+        let h2 = std::thread::spawn(move || {
+            let ex = g2.executor(2).unwrap();
+            ex.par_map(&items2, 0, |x| x * 2).0
+        });
+        let r1 = h1.join().unwrap();
+        let r2 = h2.join().unwrap();
+        assert_eq!(r1[10], 11);
+        assert_eq!(r2[10], 20);
+    }
+}

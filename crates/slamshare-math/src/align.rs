@@ -1,0 +1,322 @@
+//! Closed-form absolute-orientation / similarity alignment.
+//!
+//! Two independent uses in the reproduction, exactly mirroring the paper:
+//!
+//! 1. **Map merging** (`3DAlign` in Alg. 2): given matched map points from a
+//!    client map and the global map, solve for the Sim(3)/SE(3) that snaps
+//!    the client map onto the global map.
+//! 2. **ATE evaluation**: absolute trajectory error first aligns the
+//!    estimated trajectory to ground truth (the standard `evo`/TUM ATE
+//!    protocol), then reports RMSE of the residuals.
+//!
+//! The solver is Horn's quaternion method: build the 4×4 symmetric matrix
+//! from point-pair correlations and take the eigenvector of its largest
+//! eigenvalue as the rotation. Scale (for the similarity case) follows
+//! Umeyama/Horn's symmetric ratio.
+
+use crate::linalg::DMat;
+use crate::quat::Quat;
+use crate::se3::SE3;
+use crate::sim3::Sim3;
+use crate::vec::Vec3;
+
+/// Result of aligning a `source` point set onto a `target` point set.
+#[derive(Debug, Clone, Copy)]
+pub struct Alignment {
+    /// The similarity transform mapping source points onto target points.
+    pub transform: Sim3,
+    /// Root-mean-square residual after alignment, in target units.
+    pub rmse: f64,
+}
+
+/// Solve `target[i] ≈ s·R·source[i] + t` in least squares.
+///
+/// `with_scale = false` pins `s = 1` (rigid / SE(3) alignment — used for
+/// stereo or IMU-scaled maps where metric scale is observable);
+/// `with_scale = true` solves the full similarity (monocular maps).
+///
+/// Returns `None` when fewer than 3 correspondences are given or the point
+/// sets are degenerate (e.g. all coincident), in which case no orientation
+/// is recoverable.
+pub fn umeyama(source: &[Vec3], target: &[Vec3], with_scale: bool) -> Option<Alignment> {
+    if source.len() < 3 || source.len() != target.len() {
+        return None;
+    }
+    let n = source.len() as f64;
+    let mu_s = source.iter().fold(Vec3::ZERO, |a, &p| a + p) / n;
+    let mu_t = target.iter().fold(Vec3::ZERO, |a, &p| a + p) / n;
+
+    // Cross-correlation of the centered sets.
+    let mut sxx = 0.0;
+    let mut m = [[0.0f64; 3]; 3];
+    let mut styy = 0.0;
+    for (ps, pt) in source.iter().zip(target) {
+        let a = *ps - mu_s;
+        let b = *pt - mu_t;
+        sxx += a.norm_sq();
+        styy += b.norm_sq();
+        let aa = a.to_array();
+        let bb = b.to_array();
+        for i in 0..3 {
+            for j in 0..3 {
+                m[i][j] += aa[i] * bb[j];
+            }
+        }
+    }
+    if sxx < 1e-18 {
+        return None;
+    }
+
+    // Horn's N matrix (4×4 symmetric) from the correlation matrix M.
+    let (sxy, sxz, syx) = (m[0][1], m[0][2], m[1][0]);
+    let (syz, szx, szy) = (m[1][2], m[2][0], m[2][1]);
+    let (sx, sy, sz) = (m[0][0], m[1][1], m[2][2]);
+    let nmat = DMat::from_rows(&[
+        &[sx + sy + sz, syz - szy, szx - sxz, sxy - syx],
+        &[syz - szy, sx - sy - sz, sxy + syx, szx + sxz],
+        &[szx - sxz, sxy + syx, -sx + sy - sz, syz + szy],
+        &[sxy - syx, szx + sxz, syz + szy, -sx - sy + sz],
+    ]);
+    let (evals, evecs) = nmat.symmetric_eigen();
+    let mut best = 0;
+    for i in 1..4 {
+        if evals[i] > evals[best] {
+            best = i;
+        }
+    }
+    let q = Quat::new(
+        evecs[(0, best)],
+        evecs[(1, best)],
+        evecs[(2, best)],
+        evecs[(3, best)],
+    )
+    .normalized();
+
+    // Scale (Horn's symmetric formulation is robust to which set is noisier;
+    // we use the standard ratio used by the TUM ATE tooling).
+    let scale = if with_scale {
+        let s = (styy / sxx).sqrt();
+        if !(s.is_finite() && s > 0.0) {
+            return None;
+        }
+        s
+    } else {
+        1.0
+    };
+
+    let t = mu_t - q.rotate(mu_s) * scale;
+    let transform = Sim3::new(q, t, scale);
+
+    let mut sq_sum = 0.0;
+    for (ps, pt) in source.iter().zip(target) {
+        sq_sum += (transform.transform(*ps) - *pt).norm_sq();
+    }
+    let rmse = (sq_sum / n).sqrt();
+    Some(Alignment { transform, rmse })
+}
+
+/// Rigid-only convenience wrapper returning an [`SE3`].
+pub fn align_rigid(source: &[Vec3], target: &[Vec3]) -> Option<(SE3, f64)> {
+    umeyama(source, target, false).map(|a| (a.transform.to_se3(), a.rmse))
+}
+
+/// RANSAC-robust similarity alignment for correspondence sets containing
+/// outliers (e.g. descriptor-matched map-point pairs during map merging:
+/// wrong matches and far-range triangulation noise would otherwise drag
+/// the least-squares solution).
+///
+/// Samples minimal 4-point subsets, scores by inliers within
+/// `inlier_tol`, then refits on the best consensus set. Deterministic
+/// given `seed`. Returns the refit alignment and the inlier mask.
+pub fn umeyama_ransac(
+    source: &[Vec3],
+    target: &[Vec3],
+    with_scale: bool,
+    inlier_tol: f64,
+    iterations: usize,
+    seed: u64,
+) -> Option<(Alignment, Vec<bool>)> {
+    let n = source.len();
+    if n < 4 || n != target.len() {
+        return None;
+    }
+    // Small deterministic xorshift so the math crate needs no rand dep.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let mut best_inliers: Vec<usize> = Vec::new();
+    for _ in 0..iterations {
+        let mut idx = [0usize; 4];
+        for slot in idx.iter_mut() {
+            *slot = (next() % n as u64) as usize;
+        }
+        // Skip degenerate draws with repeats.
+        if idx[0] == idx[1] || idx[0] == idx[2] || idx[0] == idx[3]
+            || idx[1] == idx[2] || idx[1] == idx[3] || idx[2] == idx[3]
+        {
+            continue;
+        }
+        let s: Vec<Vec3> = idx.iter().map(|&i| source[i]).collect();
+        let t: Vec<Vec3> = idx.iter().map(|&i| target[i]).collect();
+        let Some(candidate) = umeyama(&s, &t, with_scale) else { continue };
+        let inliers: Vec<usize> = (0..n)
+            .filter(|&i| {
+                (candidate.transform.transform(source[i]) - target[i]).norm() < inlier_tol
+            })
+            .collect();
+        if inliers.len() > best_inliers.len() {
+            best_inliers = inliers;
+        }
+    }
+    if best_inliers.len() < 4 {
+        return None;
+    }
+    // Refit on the consensus set, then one trim pass.
+    for _ in 0..2 {
+        let s: Vec<Vec3> = best_inliers.iter().map(|&i| source[i]).collect();
+        let t: Vec<Vec3> = best_inliers.iter().map(|&i| target[i]).collect();
+        let refit = umeyama(&s, &t, with_scale)?;
+        let new_inliers: Vec<usize> = (0..n)
+            .filter(|&i| (refit.transform.transform(source[i]) - target[i]).norm() < inlier_tol)
+            .collect();
+        if new_inliers.len() < 4 || new_inliers == best_inliers {
+            let mask = (0..n).map(|i| best_inliers.contains(&i)).collect();
+            return Some((refit, mask));
+        }
+        best_inliers = new_inliers;
+    }
+    let s: Vec<Vec3> = best_inliers.iter().map(|&i| source[i]).collect();
+    let t: Vec<Vec3> = best_inliers.iter().map(|&i| target[i]).collect();
+    let refit = umeyama(&s, &t, with_scale)?;
+    let mask = (0..n).map(|i| best_inliers.contains(&i)).collect();
+    Some((refit, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(rng: &mut StdRng, n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-5.0..5.0),
+                    rng.gen_range(-5.0..5.0),
+                    rng.gen_range(-5.0..5.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_rigid_transform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let src = random_points(&mut rng, 30);
+        let truth = SE3::new(
+            Quat::from_axis_angle(Vec3::new(0.3, 1.0, -0.2), 1.1),
+            Vec3::new(4.0, -2.0, 0.7),
+        );
+        let dst: Vec<Vec3> = src.iter().map(|&p| truth.transform(p)).collect();
+        let (est, rmse) = align_rigid(&src, &dst).unwrap();
+        assert!(rmse < 1e-9, "rmse = {rmse}");
+        for &p in &src {
+            assert!((est.transform(p) - truth.transform(p)).norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn recovers_similarity_with_scale() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let src = random_points(&mut rng, 25);
+        let truth = Sim3::new(
+            Quat::from_axis_angle(Vec3::Z, -0.8),
+            Vec3::new(1.0, 1.0, 1.0),
+            2.5,
+        );
+        let dst: Vec<Vec3> = src.iter().map(|&p| truth.transform(p)).collect();
+        let a = umeyama(&src, &dst, true).unwrap();
+        assert!(a.rmse < 1e-9);
+        assert!((a.transform.scale - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_alignment_rmse_tracks_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let src = random_points(&mut rng, 200);
+        let truth = SE3::new(Quat::from_axis_angle(Vec3::X, 0.5), Vec3::new(0.0, 3.0, 0.0));
+        let sigma = 0.05;
+        let dst: Vec<Vec3> = src
+            .iter()
+            .map(|&p| {
+                truth.transform(p)
+                    + Vec3::new(
+                        rng.gen_range(-sigma..sigma),
+                        rng.gen_range(-sigma..sigma),
+                        rng.gen_range(-sigma..sigma),
+                    )
+            })
+            .collect();
+        let (_, rmse) = align_rigid(&src, &dst).unwrap();
+        // Uniform(-σ, σ) per axis ⇒ RMSE ≈ σ (σ·sqrt(3/3) scale); just bound it.
+        assert!(rmse < 2.0 * sigma, "rmse = {rmse}");
+        assert!(rmse > 0.1 * sigma);
+    }
+
+    #[test]
+    fn rejects_underdetermined_input() {
+        let p = vec![Vec3::ZERO, Vec3::X];
+        assert!(umeyama(&p, &p, false).is_none());
+        // Coincident points carry no orientation.
+        let degenerate = vec![Vec3::ZERO; 5];
+        assert!(umeyama(&degenerate, &degenerate, false).is_none());
+    }
+
+    #[test]
+    fn ransac_survives_heavy_outliers() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let src = random_points(&mut rng, 60);
+        let truth = SE3::new(
+            Quat::from_axis_angle(Vec3::new(0.4, -0.1, 0.9), 0.8),
+            Vec3::new(2.0, 0.5, -1.0),
+        );
+        let mut dst: Vec<Vec3> = src.iter().map(|&p| truth.transform(p)).collect();
+        // 40 % gross outliers.
+        for d in dst.iter_mut().take(24) {
+            *d = *d + Vec3::new(
+                rng.gen_range(2.0..6.0),
+                rng.gen_range(-6.0..-2.0),
+                rng.gen_range(2.0..5.0),
+            );
+        }
+        let (a, mask) = umeyama_ransac(&src, &dst, false, 0.1, 200, 7).unwrap();
+        assert!(a.rmse < 1e-6, "rmse {}", a.rmse);
+        // The corrupted pairs must be flagged outliers.
+        for flag in mask.iter().take(24) {
+            assert!(!flag);
+        }
+        assert!(mask.iter().skip(24).all(|&f| f));
+        // And the transform matches the truth.
+        let p = Vec3::new(1.0, 1.0, 1.0);
+        assert!((a.transform.transform(p) - truth.transform(p)).norm() < 1e-6);
+    }
+
+    #[test]
+    fn ransac_needs_four_points() {
+        let p = vec![Vec3::ZERO, Vec3::X, Vec3::Y];
+        assert!(umeyama_ransac(&p, &p, false, 0.1, 50, 1).is_none());
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let a = vec![Vec3::ZERO, Vec3::X, Vec3::Y];
+        let b = vec![Vec3::ZERO, Vec3::X];
+        assert!(umeyama(&a, &b, false).is_none());
+    }
+}

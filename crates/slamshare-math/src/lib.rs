@@ -1,0 +1,43 @@
+//! # slamshare-math
+//!
+//! Geometry and small-scale linear algebra for the SLAM-Share reproduction.
+//!
+//! SLAM needs a small but precise toolkit: 3-vectors and 3×3 matrices for
+//! camera geometry, unit quaternions and SE(3)/Sim(3) rigid/similarity
+//! transforms for poses and map alignment, a dense solver for the
+//! bundle-adjustment normal equations, and the Umeyama closed-form alignment
+//! used both by map merging and by absolute-trajectory-error (ATE)
+//! evaluation. Everything here is written from scratch on `f64` — the paper's
+//! substrate (ORB-SLAM3) uses Eigen; this crate is its moral equivalent,
+//! sized to what the rest of the workspace actually uses.
+//!
+//! Conventions:
+//!
+//! * World and camera frames are right-handed.
+//! * A pose `T_cw: SE3` maps **world → camera** (ORB-SLAM convention), so a
+//!   world point `p_w` appears in the camera at `T_cw * p_w`.
+//! * Quaternions are `(w, x, y, z)`, always kept normalized.
+
+pub mod align;
+pub mod linalg;
+pub mod mat;
+pub mod quat;
+pub mod robust;
+pub mod se3;
+pub mod sim3;
+pub mod stats;
+pub mod vec;
+
+pub use align::{umeyama, Alignment};
+pub use linalg::{DMat, DVec};
+pub use mat::Mat3;
+pub use quat::Quat;
+pub use robust::huber_weight;
+pub use se3::SE3;
+pub use sim3::Sim3;
+pub use vec::{Vec2, Vec3};
+
+/// Machine-epsilon-ish tolerance used by the in-crate tests and by callers
+/// that need a "this is numerically zero" threshold for geometry built from
+/// `f64` chains (compositions of a handful of transforms).
+pub const GEOM_EPS: f64 = 1e-9;

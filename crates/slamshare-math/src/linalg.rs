@@ -1,0 +1,403 @@
+//! Small dense linear algebra: dynamic matrices/vectors, Cholesky/LDLT
+//! solves, and a Jacobi eigensolver for symmetric matrices.
+//!
+//! Bundle adjustment in [`slamshare-slam`] builds normal equations `H δ = -b`
+//! whose dimension is a few dozen (6 per keyframe + 3 per point after Schur
+//! reduction, and we adjust small local windows), so a straightforward dense
+//! LDLT is both adequate and easy to audit. The symmetric eigensolver backs
+//! Horn's closed-form absolute-orientation solution in [`crate::align`].
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically-sized column vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DVec {
+    pub data: Vec<f64>,
+}
+
+impl DVec {
+    pub fn zeros(n: usize) -> DVec {
+        DVec { data: vec![0.0; n] }
+    }
+
+    pub fn from_vec(data: Vec<f64>) -> DVec {
+        DVec { data }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn dot(&self, o: &DVec) -> f64 {
+        assert_eq!(self.len(), o.len());
+        self.data.iter().zip(&o.data).map(|(a, b)| a * b).sum()
+    }
+
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    pub fn axpy(&mut self, alpha: f64, x: &DVec) {
+        assert_eq!(self.len(), x.len());
+        for (s, v) in self.data.iter_mut().zip(&x.data) {
+            *s += alpha * v;
+        }
+    }
+
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+}
+
+impl std::ops::Index<usize> for DVec {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for DVec {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+/// A dynamically-sized row-major dense matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DMat {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl DMat {
+    pub fn zeros(rows: usize, cols: usize) -> DMat {
+        DMat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn identity(n: usize) -> DMat {
+        let mut m = DMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    pub fn from_rows(rows: &[&[f64]]) -> DMat {
+        let r = rows.len();
+        let c = if r > 0 { rows[0].len() } else { 0 };
+        let mut m = DMat::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// In-place add to an entry — the accumulation primitive used when
+    /// assembling normal equations from residual blocks.
+    #[inline]
+    pub fn add_at(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] += v;
+    }
+
+    pub fn transpose(&self) -> DMat {
+        let mut t = DMat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    pub fn matmul(&self, o: &DMat) -> DMat {
+        assert_eq!(self.cols, o.rows, "dimension mismatch in matmul");
+        let mut out = DMat::zeros(self.rows, o.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..o.cols {
+                    out.data[i * o.cols + j] += a * o.data[k * o.cols + j];
+                }
+            }
+        }
+        out
+    }
+
+    pub fn matvec(&self, v: &DVec) -> DVec {
+        assert_eq!(self.cols, v.len());
+        let mut out = DVec::zeros(self.rows);
+        for i in 0..self.rows {
+            out[i] = self.data[i * self.cols..(i + 1) * self.cols]
+                .iter()
+                .zip(&v.data)
+                .map(|(a, b)| a * b)
+                .sum();
+        }
+        out
+    }
+
+    /// Add `lambda` to the diagonal (Levenberg–Marquardt damping).
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self.data[i * self.cols + i] += lambda;
+        }
+    }
+
+    /// Solve `self * x = b` for symmetric positive-(semi)definite `self`
+    /// using an LDLT factorization. Returns `None` if the matrix is not
+    /// factorizable (a pivot collapses), which callers treat as "damp more
+    /// and retry".
+    pub fn solve_ldlt(&self, b: &DVec) -> Option<DVec> {
+        assert_eq!(self.rows, self.cols, "solve_ldlt needs a square matrix");
+        assert_eq!(self.rows, b.len());
+        let n = self.rows;
+        let mut l = DMat::identity(n);
+        let mut d = vec![0.0; n];
+        for j in 0..n {
+            let mut dj = self[(j, j)];
+            for k in 0..j {
+                dj -= l[(j, k)] * l[(j, k)] * d[k];
+            }
+            if dj.abs() < 1e-12 {
+                return None;
+            }
+            d[j] = dj;
+            for i in (j + 1)..n {
+                let mut v = self[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)] * d[k];
+                }
+                l[(i, j)] = v / dj;
+            }
+        }
+        // Forward solve L y = b.
+        let mut y = b.clone();
+        for i in 0..n {
+            for k in 0..i {
+                let lik = l[(i, k)];
+                y.data[i] -= lik * y.data[k];
+            }
+        }
+        // Diagonal solve D z = y.
+        for i in 0..n {
+            y.data[i] /= d[i];
+        }
+        // Backward solve Lᵀ x = z.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let lki = l[(k, i)];
+                y.data[i] -= lki * y.data[k];
+            }
+        }
+        Some(y)
+    }
+
+    /// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotation.
+    /// Returns `(eigenvalues, eigenvectors)` where eigenvector `k` is the
+    /// `k`-th *column* of the returned matrix. Eigenvalues are unsorted.
+    pub fn symmetric_eigen(&self) -> (DVec, DMat) {
+        assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut v = DMat::identity(n);
+        for _sweep in 0..64 {
+            // Off-diagonal magnitude.
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += a[(i, j)] * a[(i, j)];
+                }
+            }
+            if off < 1e-24 {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a[(p, q)];
+                    if apq.abs() < 1e-30 {
+                        continue;
+                    }
+                    let app = a[(p, p)];
+                    let aqq = a[(q, q)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // Apply the rotation G(p,q,θ) on both sides of `a`
+                    // and accumulate into `v`.
+                    for k in 0..n {
+                        let akp = a[(k, p)];
+                        let akq = a[(k, q)];
+                        a[(k, p)] = c * akp - s * akq;
+                        a[(k, q)] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a[(p, k)];
+                        let aqk = a[(q, k)];
+                        a[(p, k)] = c * apk - s * aqk;
+                        a[(q, k)] = s * apk + c * aqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        let mut evals = DVec::zeros(n);
+        for i in 0..n {
+            evals[i] = a[(i, i)];
+        }
+        (evals, v)
+    }
+
+    /// Frobenius norm.
+    pub fn frob(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DMat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ldlt_solves_spd_system() {
+        // A = Bᵀ B + I is SPD.
+        let b = DMat::from_rows(&[
+            &[1.0, 2.0, 0.0],
+            &[0.0, 1.0, -1.0],
+            &[2.0, 0.0, 1.0],
+        ]);
+        let mut a = b.transpose().matmul(&b);
+        a.add_diagonal(1.0);
+        let x_true = DVec::from_vec(vec![0.5, -1.0, 2.0]);
+        let rhs = a.matvec(&x_true);
+        let x = a.solve_ldlt(&rhs).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ldlt_rejects_singular() {
+        let a = DMat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(a.solve_ldlt(&DVec::zeros(2)).is_none());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = DMat::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DMat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn symmetric_eigen_recovers_diagonal() {
+        let a = DMat::from_rows(&[
+            &[3.0, 0.0, 0.0],
+            &[0.0, -1.0, 0.0],
+            &[0.0, 0.0, 2.0],
+        ]);
+        let (vals, _) = a.symmetric_eigen();
+        let mut v: Vec<f64> = vals.data.clone();
+        v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((v[0] + 1.0).abs() < 1e-10);
+        assert!((v[1] - 2.0).abs() < 1e-10);
+        assert!((v[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstructs_matrix() {
+        // A = V Λ Vᵀ must reproduce the input.
+        let a = DMat::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.5],
+            &[-2.0, 0.5, 3.0],
+        ]);
+        let (vals, vecs) = a.symmetric_eigen();
+        let mut lam = DMat::zeros(3, 3);
+        for i in 0..3 {
+            lam[(i, i)] = vals[i];
+        }
+        let recon = vecs.matmul(&lam).matmul(&vecs.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = DMat::from_rows(&[
+            &[2.0, -1.0, 0.0, 0.3],
+            &[-1.0, 2.0, -1.0, 0.0],
+            &[0.0, -1.0, 2.0, -1.0],
+            &[0.3, 0.0, -1.0, 2.0],
+        ]);
+        let (_, v) = a.symmetric_eigen();
+        let vtv = v.transpose().matmul(&v);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn dvec_axpy_and_norm() {
+        let mut a = DVec::from_vec(vec![1.0, 2.0, 2.0]);
+        assert!((a.norm() - 3.0).abs() < 1e-15);
+        let b = DVec::from_vec(vec![1.0, 1.0, 1.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data, vec![3.0, 4.0, 4.0]);
+    }
+}

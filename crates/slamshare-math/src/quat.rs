@@ -1,0 +1,281 @@
+//! Unit quaternions for 3D rotation.
+//!
+//! Poses in the SLAM map store their rotation as a quaternion (compact,
+//! drift-free to renormalize) and convert to [`Mat3`](crate::mat::Mat3) for
+//! point transforms.
+
+use crate::mat::Mat3;
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A unit quaternion `(w, x, y, z)` representing a rotation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    pub w: f64,
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Quat {
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    pub fn new(w: f64, x: f64, y: f64, z: f64) -> Quat {
+        Quat { w, x, y, z }
+    }
+
+    /// Rotation of `angle` radians about `axis` (need not be unit length; a
+    /// zero axis yields the identity rotation).
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Quat {
+        match axis.normalized() {
+            None => Quat::IDENTITY,
+            Some(u) => {
+                let (s, c) = (angle / 2.0).sin_cos();
+                Quat::new(c, u.x * s, u.y * s, u.z * s)
+            }
+        }
+    }
+
+    /// Exponential map: rotation vector (axis * angle) → quaternion.
+    pub fn exp(rv: Vec3) -> Quat {
+        let angle = rv.norm();
+        if angle < 1e-12 {
+            // First-order expansion keeps exp/log inverses near identity.
+            Quat::new(1.0, rv.x / 2.0, rv.y / 2.0, rv.z / 2.0).normalized()
+        } else {
+            Quat::from_axis_angle(rv, angle)
+        }
+    }
+
+    /// Logarithmic map: quaternion → rotation vector (axis * angle).
+    pub fn log(self) -> Vec3 {
+        let q = if self.w < 0.0 { self.scaled(-1.0) } else { self };
+        let v = Vec3::new(q.x, q.y, q.z);
+        let sin_half = v.norm();
+        if sin_half < 1e-12 {
+            v * 2.0
+        } else {
+            let half_angle = sin_half.atan2(q.w);
+            v * (2.0 * half_angle / sin_half)
+        }
+    }
+
+    fn scaled(self, s: f64) -> Quat {
+        Quat::new(self.w * s, self.x * s, self.y * s, self.z * s)
+    }
+
+    pub fn conjugate(self) -> Quat {
+        Quat::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Inverse rotation. For unit quaternions this is the conjugate.
+    pub fn inverse(self) -> Quat {
+        self.conjugate()
+    }
+
+    pub fn norm(self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    pub fn normalized(self) -> Quat {
+        let n = self.norm();
+        if n < 1e-300 {
+            Quat::IDENTITY
+        } else {
+            self.scaled(1.0 / n)
+        }
+    }
+
+    /// Rotate a vector.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = v + 2*q_vec × (q_vec × v + w*v)
+        let u = Vec3::new(self.x, self.y, self.z);
+        let t = u.cross(v) * 2.0;
+        v + t * self.w + u.cross(t)
+    }
+
+    /// Convert to a rotation matrix.
+    pub fn to_mat3(self) -> Mat3 {
+        let Quat { w, x, y, z } = self.normalized();
+        let (xx, yy, zz) = (x * x, y * y, z * z);
+        let (xy, xz, yz) = (x * y, x * z, y * z);
+        let (wx, wy, wz) = (w * x, w * y, w * z);
+        Mat3 {
+            m: [
+                [1.0 - 2.0 * (yy + zz), 2.0 * (xy - wz), 2.0 * (xz + wy)],
+                [2.0 * (xy + wz), 1.0 - 2.0 * (xx + zz), 2.0 * (yz - wx)],
+                [2.0 * (xz - wy), 2.0 * (yz + wx), 1.0 - 2.0 * (xx + yy)],
+            ],
+        }
+    }
+
+    /// Convert a rotation matrix to a quaternion (Shepperd's method).
+    pub fn from_mat3(m: &Mat3) -> Quat {
+        let t = m.trace();
+        let q = if t > 0.0 {
+            let s = (t + 1.0).sqrt() * 2.0;
+            Quat::new(
+                0.25 * s,
+                (m.m[2][1] - m.m[1][2]) / s,
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[1][0] - m.m[0][1]) / s,
+            )
+        } else if m.m[0][0] > m.m[1][1] && m.m[0][0] > m.m[2][2] {
+            let s = (1.0 + m.m[0][0] - m.m[1][1] - m.m[2][2]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[2][1] - m.m[1][2]) / s,
+                0.25 * s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+            )
+        } else if m.m[1][1] > m.m[2][2] {
+            let s = (1.0 + m.m[1][1] - m.m[0][0] - m.m[2][2]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                0.25 * s,
+                (m.m[1][2] + m.m[2][1]) / s,
+            )
+        } else {
+            let s = (1.0 + m.m[2][2] - m.m[0][0] - m.m[1][1]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[1][0] - m.m[0][1]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+                (m.m[1][2] + m.m[2][1]) / s,
+                0.25 * s,
+            )
+        };
+        q.normalized()
+    }
+
+    /// Spherical linear interpolation, `t ∈ [0, 1]`. Takes the short arc.
+    pub fn slerp(self, other: Quat, t: f64) -> Quat {
+        let mut cos = self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z;
+        let mut o = other;
+        if cos < 0.0 {
+            cos = -cos;
+            o = o.scaled(-1.0);
+        }
+        if cos > 0.9995 {
+            // Nearly identical: nlerp to avoid division by a tiny sine.
+            return Quat::new(
+                self.w + t * (o.w - self.w),
+                self.x + t * (o.x - self.x),
+                self.y + t * (o.y - self.y),
+                self.z + t * (o.z - self.z),
+            )
+            .normalized();
+        }
+        let theta = cos.clamp(-1.0, 1.0).acos();
+        let sin_theta = theta.sin();
+        let a = ((1.0 - t) * theta).sin() / sin_theta;
+        let b = (t * theta).sin() / sin_theta;
+        Quat::new(
+            a * self.w + b * o.w,
+            a * self.x + b * o.x,
+            a * self.y + b * o.y,
+            a * self.z + b * o.z,
+        )
+        .normalized()
+    }
+
+    /// Geodesic angle (radians) between two rotations.
+    pub fn angle_to(self, other: Quat) -> f64 {
+        (self.inverse() * other).log().norm()
+    }
+}
+
+impl Mul for Quat {
+    type Output = Quat;
+    /// Hamilton product: `(a * b).rotate(v) == a.rotate(b.rotate(v))`.
+    fn mul(self, o: Quat) -> Quat {
+        Quat::new(
+            self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
+            self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
+            self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
+            self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn rotate_90_about_z() {
+        let q = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        let v = q.rotate(Vec3::X);
+        assert!((v - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let a = Quat::from_axis_angle(Vec3::X, 0.4);
+        let b = Quat::from_axis_angle(Vec3::Y, -1.2);
+        let v = Vec3::new(0.3, 0.7, -2.0);
+        let lhs = (a * b).rotate(v);
+        let rhs = a.rotate(b.rotate(v));
+        assert!((lhs - rhs).norm() < 1e-12);
+    }
+
+    #[test]
+    fn mat3_roundtrip() {
+        for &(axis, angle) in &[
+            (Vec3::new(1.0, 0.0, 0.0), 0.1),
+            (Vec3::new(0.0, 1.0, 0.0), PI - 0.01),
+            (Vec3::new(1.0, -1.0, 0.5), 2.9),
+            (Vec3::new(0.2, 0.3, -0.9), -1.4),
+        ] {
+            let q = Quat::from_axis_angle(axis, angle);
+            let back = Quat::from_mat3(&q.to_mat3());
+            // q and -q are the same rotation; compare action on vectors.
+            let v = Vec3::new(0.5, -1.0, 2.0);
+            assert!((q.rotate(v) - back.rotate(v)).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        let rv = Vec3::new(0.3, -0.2, 0.9);
+        let q = Quat::exp(rv);
+        assert!((q.log() - rv).norm() < 1e-12);
+        // And near identity.
+        let small = Vec3::new(1e-9, -2e-9, 0.0);
+        assert!((Quat::exp(small).log() - small).norm() < 1e-15);
+    }
+
+    #[test]
+    fn slerp_endpoints_and_midpoint() {
+        let a = Quat::from_axis_angle(Vec3::Z, 0.0);
+        let b = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        let v = Vec3::X;
+        assert!((a.slerp(b, 0.0).rotate(v) - a.rotate(v)).norm() < 1e-12);
+        assert!((a.slerp(b, 1.0).rotate(v) - b.rotate(v)).norm() < 1e-12);
+        let mid = a.slerp(b, 0.5);
+        let expect = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2 / 2.0);
+        assert!((mid.rotate(v) - expect.rotate(v)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_undoes_rotation() {
+        let q = Quat::from_axis_angle(Vec3::new(0.1, 0.9, -0.4), 1.8);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!((q.inverse().rotate(q.rotate(v)) - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn angle_to_measures_geodesic() {
+        let a = Quat::from_axis_angle(Vec3::Y, 0.2);
+        let b = Quat::from_axis_angle(Vec3::Y, 1.0);
+        assert!((a.angle_to(b) - 0.8).abs() < 1e-12);
+    }
+}

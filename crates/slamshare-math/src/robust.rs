@@ -1,0 +1,85 @@
+//! Robust loss kernels for iteratively-reweighted least squares.
+//!
+//! Pose optimization and bundle adjustment in the SLAM substrate weight each
+//! reprojection residual with a Huber kernel, exactly as ORB-SLAM3 does
+//! (with the χ² thresholds from its `Optimizer`), so gross outliers (bad
+//! matches) do not drag the solution.
+
+/// Huber weight for a residual with magnitude `r` and kernel width `delta`:
+/// `w = 1` inside the inlier band, `w = delta / |r|` outside. Multiplying a
+/// residual's contribution by this weight turns quadratic loss into the
+/// Huber loss at the IRLS fixed point.
+#[inline]
+pub fn huber_weight(r: f64, delta: f64) -> f64 {
+    let a = r.abs();
+    if a <= delta {
+        1.0
+    } else {
+        delta / a
+    }
+}
+
+/// The Huber loss value itself (useful for reporting total robust cost).
+#[inline]
+pub fn huber_loss(r: f64, delta: f64) -> f64 {
+    let a = r.abs();
+    if a <= delta {
+        0.5 * r * r
+    } else {
+        delta * (a - 0.5 * delta)
+    }
+}
+
+/// Tukey biweight: fully suppresses residuals beyond `c`. Used by the map
+/// merge refinement where matches surviving geometric verification can still
+/// contain a few catastrophically wrong pairs.
+#[inline]
+pub fn tukey_weight(r: f64, c: f64) -> f64 {
+    let a = r.abs();
+    if a >= c {
+        0.0
+    } else {
+        let u = 1.0 - (a / c) * (a / c);
+        u * u
+    }
+}
+
+/// The 95% χ² threshold for 2-DoF residuals (monocular reprojection error),
+/// as used by ORB-SLAM's outlier tests.
+pub const CHI2_2DOF_95: f64 = 5.991;
+
+/// The 95% χ² threshold for 3-DoF residuals (stereo reprojection error).
+pub const CHI2_3DOF_95: f64 = 7.815;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn huber_weight_is_one_inside_band() {
+        assert_eq!(huber_weight(0.5, 1.0), 1.0);
+        assert_eq!(huber_weight(-1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn huber_weight_decays_outside_band() {
+        assert!((huber_weight(2.0, 1.0) - 0.5).abs() < 1e-15);
+        assert!((huber_weight(-4.0, 1.0) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn huber_loss_continuous_at_delta() {
+        let d = 1.345;
+        let inside = huber_loss(d - 1e-9, d);
+        let outside = huber_loss(d + 1e-9, d);
+        assert!((inside - outside).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tukey_zeroes_gross_outliers() {
+        assert_eq!(tukey_weight(10.0, 3.0), 0.0);
+        assert_eq!(tukey_weight(0.0, 3.0), 1.0);
+        let w = tukey_weight(1.5, 3.0);
+        assert!(w > 0.0 && w < 1.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! SE(3) rigid-body transforms.
+//!
+//! The pose type used throughout the SLAM pipeline. By ORB-SLAM convention a
+//! frame's pose `T_cw` maps world coordinates into the camera frame; the
+//! camera *center* in world coordinates is therefore `-R⁻¹ t`.
+
+use crate::mat::Mat3;
+use crate::quat::Quat;
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A rigid-body transform: rotation followed by translation,
+/// `T(p) = R p + t`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SE3 {
+    pub rot: Quat,
+    pub trans: Vec3,
+}
+
+impl SE3 {
+    pub const IDENTITY: SE3 = SE3 { rot: Quat::IDENTITY, trans: Vec3::ZERO };
+
+    pub fn new(rot: Quat, trans: Vec3) -> SE3 {
+        SE3 { rot: rot.normalized(), trans }
+    }
+
+    pub fn from_rot_trans(r: Mat3, t: Vec3) -> SE3 {
+        SE3::new(Quat::from_mat3(&r), t)
+    }
+
+    /// Pure translation.
+    pub fn from_translation(t: Vec3) -> SE3 {
+        SE3::new(Quat::IDENTITY, t)
+    }
+
+    /// Pure rotation.
+    pub fn from_rotation(q: Quat) -> SE3 {
+        SE3::new(q, Vec3::ZERO)
+    }
+
+    /// Apply to a point.
+    #[inline]
+    pub fn transform(&self, p: Vec3) -> Vec3 {
+        self.rot.rotate(p) + self.trans
+    }
+
+    /// Apply only the rotation (for directions / velocities).
+    #[inline]
+    pub fn rotate(&self, v: Vec3) -> Vec3 {
+        self.rot.rotate(v)
+    }
+
+    pub fn inverse(&self) -> SE3 {
+        let rinv = self.rot.inverse();
+        SE3 {
+            rot: rinv,
+            trans: -rinv.rotate(self.trans),
+        }
+    }
+
+    /// For a world→camera pose, the camera center expressed in world
+    /// coordinates.
+    pub fn camera_center(&self) -> Vec3 {
+        -self.rot.inverse().rotate(self.trans)
+    }
+
+    /// Twist exponential: `(rho, phi)` where `phi` is the rotation vector and
+    /// `rho` the translation part (we use the simple decoupled approximation
+    /// common in SLAM front-ends: exact on SO(3), first-order on the coupling
+    /// term — adequate for the small updates bundle adjustment takes).
+    pub fn exp(rho: Vec3, phi: Vec3) -> SE3 {
+        SE3::new(Quat::exp(phi), rho)
+    }
+
+    /// Interpolate between two poses (translation lerp + rotation slerp).
+    /// Used by the renderer and IMU synthesizer for sub-sample poses.
+    pub fn interpolate(&self, other: &SE3, t: f64) -> SE3 {
+        SE3 {
+            rot: self.rot.slerp(other.rot, t),
+            trans: self.trans.lerp(other.trans, t),
+        }
+    }
+
+    /// The relative transform `self⁻¹ * other`.
+    pub fn relative_to(&self, other: &SE3) -> SE3 {
+        self.inverse() * *other
+    }
+
+    /// Translation distance between the two transforms' camera centers.
+    pub fn center_distance(&self, other: &SE3) -> f64 {
+        self.camera_center().dist(other.camera_center())
+    }
+
+    /// Geodesic rotation angle to another pose, radians.
+    pub fn rotation_angle_to(&self, other: &SE3) -> f64 {
+        self.rot.angle_to(other.rot)
+    }
+
+    /// Serialize as the 4×4 row-major homogeneous matrix the paper ships
+    /// back to clients ("a small 4×4 matrix", §4.3.1).
+    pub fn to_homogeneous(&self) -> [[f64; 4]; 4] {
+        let r = self.rot.to_mat3();
+        let t = self.trans;
+        [
+            [r.m[0][0], r.m[0][1], r.m[0][2], t.x],
+            [r.m[1][0], r.m[1][1], r.m[1][2], t.y],
+            [r.m[2][0], r.m[2][1], r.m[2][2], t.z],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    }
+
+    pub fn from_homogeneous(h: &[[f64; 4]; 4]) -> SE3 {
+        let r = Mat3 {
+            m: [
+                [h[0][0], h[0][1], h[0][2]],
+                [h[1][0], h[1][1], h[1][2]],
+                [h[2][0], h[2][1], h[2][2]],
+            ],
+        };
+        SE3::from_rot_trans(r, Vec3::new(h[0][3], h[1][3], h[2][3]))
+    }
+}
+
+impl Mul for SE3 {
+    type Output = SE3;
+    /// Composition: `(a * b)(p) == a(b(p))`.
+    fn mul(self, o: SE3) -> SE3 {
+        SE3 {
+            rot: (self.rot * o.rot).normalized(),
+            trans: self.rot.rotate(o.trans) + self.trans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn sample_pose() -> SE3 {
+        SE3::new(
+            Quat::from_axis_angle(Vec3::new(0.2, -0.5, 1.0), 0.9),
+            Vec3::new(1.0, -2.0, 0.5),
+        )
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let t = sample_pose();
+        let p = Vec3::new(0.4, 2.0, -1.0);
+        assert!(((SE3::IDENTITY * t).transform(p) - t.transform(p)).norm() < 1e-12);
+        assert!(((t * SE3::IDENTITY).transform(p) - t.transform(p)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let t = sample_pose();
+        let p = Vec3::new(-0.3, 1.2, 4.0);
+        assert!((t.inverse().transform(t.transform(p)) - p).norm() < 1e-12);
+        let id = t * t.inverse();
+        assert!((id.transform(p) - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn composition_associates_with_application() {
+        let a = sample_pose();
+        let b = SE3::new(Quat::from_axis_angle(Vec3::Z, FRAC_PI_2), Vec3::new(0.0, 1.0, 0.0));
+        let p = Vec3::new(1.0, 0.0, 0.0);
+        assert!(((a * b).transform(p) - a.transform(b.transform(p))).norm() < 1e-12);
+    }
+
+    #[test]
+    fn camera_center_is_inverse_translation() {
+        let t = sample_pose();
+        // The camera center maps to the origin of the camera frame.
+        assert!(t.transform(t.camera_center()).norm() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_roundtrip() {
+        let t = sample_pose();
+        let h = t.to_homogeneous();
+        let back = SE3::from_homogeneous(&h);
+        let p = Vec3::new(0.1, 0.2, 0.3);
+        assert!((t.transform(p) - back.transform(p)).norm() < 1e-10);
+    }
+
+    #[test]
+    fn interpolation_endpoints() {
+        let a = sample_pose();
+        let b = SE3::new(Quat::from_axis_angle(Vec3::X, -0.3), Vec3::new(5.0, 5.0, 5.0));
+        let p = Vec3::new(1.0, 1.0, 1.0);
+        assert!((a.interpolate(&b, 0.0).transform(p) - a.transform(p)).norm() < 1e-12);
+        assert!((a.interpolate(&b, 1.0).transform(p) - b.transform(p)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn relative_transform_chains() {
+        let a = sample_pose();
+        let b = SE3::new(Quat::from_axis_angle(Vec3::Y, 0.6), Vec3::new(-1.0, 0.0, 2.0));
+        let rel = a.relative_to(&b);
+        let p = Vec3::new(2.0, -0.5, 0.25);
+        assert!(((a * rel).transform(p) - b.transform(p)).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Sim(3) similarity transforms: rotation + translation + uniform scale.
+//!
+//! Monocular SLAM observes the world only up to scale, so when two monocular
+//! maps are merged the alignment between them is a *similarity*, not a rigid
+//! motion. ORB-SLAM3's `DetectCommonRegion`/merge path solves for a Sim(3);
+//! this type plays the same role in [`slamshare-slam`]'s map merging (Alg. 2
+//! in the paper).
+
+use crate::quat::Quat;
+use crate::se3::SE3;
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A similarity transform `T(p) = s · (R p) + t`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sim3 {
+    pub rot: Quat,
+    pub trans: Vec3,
+    pub scale: f64,
+}
+
+impl Default for Sim3 {
+    fn default() -> Self {
+        Sim3::IDENTITY
+    }
+}
+
+impl Sim3 {
+    pub const IDENTITY: Sim3 = Sim3 {
+        rot: Quat::IDENTITY,
+        trans: Vec3::ZERO,
+        scale: 1.0,
+    };
+
+    pub fn new(rot: Quat, trans: Vec3, scale: f64) -> Sim3 {
+        assert!(scale > 0.0, "Sim3 scale must be positive, got {scale}");
+        Sim3 { rot: rot.normalized(), trans, scale }
+    }
+
+    /// Embed a rigid transform (scale = 1).
+    pub fn from_se3(t: SE3) -> Sim3 {
+        Sim3 { rot: t.rot, trans: t.trans, scale: 1.0 }
+    }
+
+    /// Drop the scale (valid when `scale ≈ 1`, e.g. stereo/IMU maps where the
+    /// metric scale is observable).
+    pub fn to_se3(&self) -> SE3 {
+        SE3::new(self.rot, self.trans)
+    }
+
+    #[inline]
+    pub fn transform(&self, p: Vec3) -> Vec3 {
+        self.rot.rotate(p) * self.scale + self.trans
+    }
+
+    pub fn inverse(&self) -> Sim3 {
+        let rinv = self.rot.inverse();
+        let sinv = 1.0 / self.scale;
+        Sim3 {
+            rot: rinv,
+            trans: -(rinv.rotate(self.trans) * sinv),
+            scale: sinv,
+        }
+    }
+}
+
+impl Mul for Sim3 {
+    type Output = Sim3;
+    /// Composition: `(a * b)(p) == a(b(p))`.
+    fn mul(self, o: Sim3) -> Sim3 {
+        Sim3 {
+            rot: (self.rot * o.rot).normalized(),
+            trans: self.rot.rotate(o.trans) * self.scale + self.trans,
+            scale: self.scale * o.scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sim3 {
+        Sim3::new(
+            Quat::from_axis_angle(Vec3::new(0.1, 0.8, -0.2), 1.3),
+            Vec3::new(2.0, -1.0, 0.5),
+            1.7,
+        )
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert!((Sim3::IDENTITY.transform(p) - p).norm() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let s = sample();
+        let p = Vec3::new(-0.4, 0.9, 2.2);
+        assert!((s.inverse().transform(s.transform(p)) - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn composition_matches_application() {
+        let a = sample();
+        let b = Sim3::new(Quat::from_axis_angle(Vec3::Z, -0.4), Vec3::new(0.0, 1.0, 0.0), 0.5);
+        let p = Vec3::new(1.0, 0.0, -1.0);
+        assert!(((a * b).transform(p) - a.transform(b.transform(p))).norm() < 1e-12);
+    }
+
+    #[test]
+    fn scale_scales_distances() {
+        let s = sample();
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(1.0, 0.0, 0.0);
+        let d = s.transform(a).dist(s.transform(b));
+        assert!((d - s.scale).abs() < 1e-12);
+    }
+
+    #[test]
+    fn se3_embedding_preserves_action() {
+        let t = SE3::new(Quat::from_axis_angle(Vec3::Y, 0.7), Vec3::new(1.0, 2.0, 3.0));
+        let s = Sim3::from_se3(t);
+        let p = Vec3::new(-1.0, 0.5, 0.0);
+        assert!((s.transform(p) - t.transform(p)).norm() < 1e-12);
+        assert!((s.to_se3().transform(p) - t.transform(p)).norm() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_rejected() {
+        let _ = Sim3::new(Quat::IDENTITY, Vec3::ZERO, 0.0);
+    }
+}

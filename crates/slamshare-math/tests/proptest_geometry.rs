@@ -1,0 +1,114 @@
+//! Property-based tests for the geometry core: group laws, inverses, and
+//! alignment recovery must hold for arbitrary inputs, not just hand-picked
+//! ones.
+
+use proptest::prelude::*;
+use slamshare_math::{Quat, SE3, Sim3, Vec3};
+
+mod support {
+    use super::*;
+
+    pub fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
+        (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    pub fn arb_quat() -> impl Strategy<Value = Quat> {
+        (arb_vec3(1.0), -3.0f64..3.0).prop_map(|(axis, angle)| {
+            if axis.norm() < 1e-6 {
+                Quat::IDENTITY
+            } else {
+                Quat::from_axis_angle(axis, angle)
+            }
+        })
+    }
+
+    pub fn arb_se3() -> impl Strategy<Value = SE3> {
+        (arb_quat(), arb_vec3(10.0)).prop_map(|(q, t)| SE3::new(q, t))
+    }
+
+    pub fn arb_sim3() -> impl Strategy<Value = Sim3> {
+        (arb_quat(), arb_vec3(10.0), 0.1f64..10.0).prop_map(|(q, t, s)| Sim3::new(q, t, s))
+    }
+}
+
+use support::*;
+
+proptest! {
+    #[test]
+    fn quat_rotation_preserves_norm(q in arb_quat(), v in arb_vec3(100.0)) {
+        let r = q.rotate(v);
+        prop_assert!((r.norm() - v.norm()).abs() < 1e-9 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn quat_inverse_is_inverse(q in arb_quat(), v in arb_vec3(50.0)) {
+        let back = q.inverse().rotate(q.rotate(v));
+        prop_assert!((back - v).norm() < 1e-9 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn quat_exp_log_roundtrip(v in arb_vec3(3.0)) {
+        // Keep |v| < π so the log is unique.
+        prop_assume!(v.norm() < 3.1);
+        let q = Quat::exp(v);
+        prop_assert!((q.log() - v).norm() < 1e-8);
+    }
+
+    #[test]
+    fn se3_inverse_composition_is_identity(t in arb_se3(), p in arb_vec3(20.0)) {
+        let id = t * t.inverse();
+        prop_assert!((id.transform(p) - p).norm() < 1e-8 * (1.0 + p.norm()));
+    }
+
+    #[test]
+    fn se3_composition_is_application_order(a in arb_se3(), b in arb_se3(), p in arb_vec3(20.0)) {
+        let lhs = (a * b).transform(p);
+        let rhs = a.transform(b.transform(p));
+        prop_assert!((lhs - rhs).norm() < 1e-8 * (1.0 + lhs.norm()));
+    }
+
+    #[test]
+    fn se3_distance_invariance(t in arb_se3(), p in arb_vec3(20.0), q in arb_vec3(20.0)) {
+        // Rigid transforms preserve distances.
+        let d0 = p.dist(q);
+        let d1 = t.transform(p).dist(t.transform(q));
+        prop_assert!((d0 - d1).abs() < 1e-8 * (1.0 + d0));
+    }
+
+    #[test]
+    fn sim3_scale_composition(a in arb_sim3(), b in arb_sim3()) {
+        let c = a * b;
+        prop_assert!((c.scale - a.scale * b.scale).abs() < 1e-9 * c.scale.max(1.0));
+    }
+
+    #[test]
+    fn sim3_inverse_roundtrip(s in arb_sim3(), p in arb_vec3(20.0)) {
+        let back = s.inverse().transform(s.transform(p));
+        prop_assert!((back - p).norm() < 1e-7 * (1.0 + p.norm()));
+    }
+
+    #[test]
+    fn umeyama_recovers_random_rigid_motion(
+        t in arb_se3(),
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let src: Vec<Vec3> = (0..12)
+            .map(|_| Vec3::new(
+                rng.gen_range(-4.0..4.0),
+                rng.gen_range(-4.0..4.0),
+                rng.gen_range(-4.0..4.0),
+            ))
+            .collect();
+        // Degenerate (near-collinear) clouds are legitimately ambiguous.
+        let spread = {
+            let mu = src.iter().fold(Vec3::ZERO, |a, &p| a + p) / src.len() as f64;
+            src.iter().map(|p| (*p - mu).norm_sq()).sum::<f64>()
+        };
+        prop_assume!(spread > 1.0);
+        let dst: Vec<Vec3> = src.iter().map(|&p| t.transform(p)).collect();
+        let a = slamshare_math::umeyama(&src, &dst, false).unwrap();
+        prop_assert!(a.rmse < 1e-6, "rmse = {}", a.rmse);
+    }
+}

@@ -1,0 +1,481 @@
+//! Frame codecs: inter-frame video vs. intra-only image transfer.
+//!
+//! The paper streams client camera frames as H.264 video (~1–2 Mbit/s)
+//! instead of individual PNG images (~80–130 Mbit/s) — Table 3. No H.264
+//! encoder exists in this workspace, so we implement the *mechanism* that
+//! produces that gap on our synthetic frames:
+//!
+//! * [`ImageCodec`] — lossless intra coding (left-prediction deltas +
+//!   PackBits run-length), the PNG stand-in. Sensor dither makes raw
+//!   frames barely compressible — faithfully matching EuRoC PNGs, which
+//!   average ~92 % of raw size.
+//! * [`VideoEncoder`]/[`VideoDecoder`] — an inter-frame codec: periodic
+//!   intra-coded I-frames plus P-frames that encode the quantized
+//!   difference against the previously *reconstructed* frame
+//!   (zero-run/value tokens). The dead-zone quantizer suppresses sensor
+//!   dither exactly as H.264's transform quantization does, so static
+//!   background costs nothing and only moving texture edges are coded.
+//!
+//! The decoder reconstructs what the encoder reconstructed, so encoder
+//! and decoder never drift. P-frame loss is bounded by the quantizer
+//! dead-zone (texture contrast ≥ 45 ≫ dead-zone), which is why SLAM
+//! accuracy on decoded video matches raw-image input (Table 3's ATE row).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use slamshare_features::GrayImage;
+use std::time::Instant;
+
+/// Codec-layer decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    Truncated,
+    BadMagic(u8),
+    /// P-frame received with no reference frame.
+    MissingReference,
+    DimensionMismatch,
+}
+
+const MAGIC_INTRA: u8 = 0xA1;
+const MAGIC_PREDICTED: u8 = 0xA2;
+
+/// Dead-zone threshold for P-frame residuals. Must exceed twice the
+/// renderer's dither amplitude (±4) so static-but-noisy pixels code to
+/// zero, and stay far below the texture palette contrast (≥ 45) so real
+/// structure survives.
+pub const DEFAULT_DEADZONE: u8 = 10;
+
+/// One encoded frame.
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    pub data: Bytes,
+    pub is_iframe: bool,
+    /// Wall-clock encode time, milliseconds.
+    pub encode_ms: f64,
+}
+
+// ---------------------------------------------------------------------
+// PackBits RLE (the classic scheme: control byte 0..=127 = n+1 literals,
+// 129..=255 = repeat next byte 257−n times).
+// ---------------------------------------------------------------------
+
+fn packbits_encode(out: &mut BytesMut, data: &[u8]) {
+    let mut i = 0;
+    while i < data.len() {
+        // Find a run.
+        let mut run = 1;
+        while i + run < data.len() && data[i + run] == data[i] && run < 128 {
+            run += 1;
+        }
+        if run >= 3 {
+            out.put_u8((257 - run) as u8);
+            out.put_u8(data[i]);
+            i += run;
+        } else {
+            // Collect literals until the next run of ≥3 (or 128 cap).
+            let start = i;
+            let mut j = i;
+            while j < data.len() && j - start < 128 {
+                let mut r = 1;
+                while j + r < data.len() && data[j + r] == data[j] && r < 3 {
+                    r += 1;
+                }
+                if r >= 3 {
+                    break;
+                }
+                j += 1;
+            }
+            let n = j - start;
+            out.put_u8((n - 1) as u8);
+            out.put_slice(&data[start..j]);
+            i = j;
+        }
+    }
+}
+
+fn packbits_decode(data: &[u8], expected: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(expected);
+    let mut i = 0;
+    while i < data.len() && out.len() < expected {
+        let ctrl = data[i];
+        i += 1;
+        if ctrl <= 127 {
+            let n = ctrl as usize + 1;
+            if i + n > data.len() {
+                return Err(CodecError::Truncated);
+            }
+            out.extend_from_slice(&data[i..i + n]);
+            i += n;
+        } else if ctrl >= 129 {
+            let n = 257 - ctrl as usize;
+            if i >= data.len() {
+                return Err(CodecError::Truncated);
+            }
+            out.extend(std::iter::repeat(data[i]).take(n));
+            i += 1;
+        }
+        // ctrl == 128: no-op (reserved), skip.
+    }
+    if out.len() != expected {
+        return Err(CodecError::Truncated);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Intra coding (the PNG stand-in).
+// ---------------------------------------------------------------------
+
+/// Lossless intra-only image codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImageCodec;
+
+impl ImageCodec {
+    /// Encode one frame losslessly (left-prediction + PackBits).
+    pub fn encode(img: &GrayImage) -> EncodedFrame {
+        let t0 = Instant::now();
+        let mut out = BytesMut::with_capacity(img.data.len() / 2 + 16);
+        out.put_u8(MAGIC_INTRA);
+        out.put_u32_le(img.width as u32);
+        out.put_u32_le(img.height as u32);
+        // Row-wise left-prediction residuals.
+        let mut residuals = Vec::with_capacity(img.data.len());
+        for y in 0..img.height {
+            let row = &img.data[y * img.width..(y + 1) * img.width];
+            let mut prev = 0u8;
+            for &v in row {
+                residuals.push(v.wrapping_sub(prev));
+                prev = v;
+            }
+        }
+        packbits_encode(&mut out, &residuals);
+        EncodedFrame {
+            data: out.freeze(),
+            is_iframe: true,
+            encode_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Decode an intra frame. Returns `(image, decode_ms)`.
+    pub fn decode(data: &[u8]) -> Result<(GrayImage, f64), CodecError> {
+        let t0 = Instant::now();
+        if data.len() < 9 {
+            return Err(CodecError::Truncated);
+        }
+        if data[0] != MAGIC_INTRA {
+            return Err(CodecError::BadMagic(data[0]));
+        }
+        let width = u32::from_le_bytes(data[1..5].try_into().unwrap()) as usize;
+        let height = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
+        let residuals = packbits_decode(&data[9..], width * height)?;
+        let mut img = GrayImage::new(width, height);
+        for y in 0..height {
+            let mut prev = 0u8;
+            for x in 0..width {
+                let v = prev.wrapping_add(residuals[y * width + x]);
+                img.set(x, y, v);
+                prev = v;
+            }
+        }
+        Ok((img, t0.elapsed().as_secs_f64() * 1e3))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inter-frame video coding.
+// ---------------------------------------------------------------------
+
+/// Streaming video encoder (I + P frames).
+#[derive(Debug, Clone)]
+pub struct VideoEncoder {
+    /// Dead-zone quantizer threshold for P-frame residuals.
+    pub deadzone: u8,
+    /// Force an I-frame every this many frames.
+    pub iframe_interval: usize,
+    /// The decoder-visible previous frame (encoder-side reconstruction).
+    reference: Option<GrayImage>,
+    frames_since_iframe: usize,
+}
+
+impl Default for VideoEncoder {
+    fn default() -> Self {
+        VideoEncoder::new(DEFAULT_DEADZONE, 30)
+    }
+}
+
+impl VideoEncoder {
+    pub fn new(deadzone: u8, iframe_interval: usize) -> VideoEncoder {
+        assert!(iframe_interval >= 1);
+        VideoEncoder { deadzone, iframe_interval, reference: None, frames_since_iframe: 0 }
+    }
+
+    /// Encode the next frame of the stream.
+    pub fn encode(&mut self, img: &GrayImage) -> EncodedFrame {
+        let need_iframe = match &self.reference {
+            None => true,
+            Some(r) => {
+                r.width != img.width
+                    || r.height != img.height
+                    || self.frames_since_iframe + 1 >= self.iframe_interval
+            }
+        };
+        if need_iframe {
+            let encoded = ImageCodec::encode(img);
+            self.reference = Some(img.clone());
+            self.frames_since_iframe = 0;
+            return encoded;
+        }
+        let t0 = Instant::now();
+        let reference = self.reference.as_ref().unwrap();
+        let mut out = BytesMut::with_capacity(4096);
+        out.put_u8(MAGIC_PREDICTED);
+        out.put_u32_le(img.width as u32);
+        out.put_u32_le(img.height as u32);
+
+        // Residual tokens: (u16 zero-run, u8 literal-count, count × wrapping
+        // deltas). Changed pixels cluster along moving edges (especially
+        // with anti-aliased rendering), so grouping consecutive literals
+        // amortizes the run header across the whole edge.
+        let mut recon = reference.clone();
+        let mut zero_run: u32 = 0;
+        let dead = self.deadzone as i16;
+        let n = img.data.len();
+        let changed = |idx: usize| -> bool {
+            (img.data[idx] as i16 - reference.data[idx] as i16).abs() > dead
+        };
+        let mut idx = 0usize;
+        while idx < n {
+            if !changed(idx) {
+                zero_run += 1;
+                idx += 1;
+                continue;
+            }
+            // Flush zero runs ≥ u16::MAX in chunks with empty literals.
+            while zero_run > u16::MAX as u32 {
+                out.put_u16_le(u16::MAX);
+                out.put_u8(0);
+                zero_run -= u16::MAX as u32;
+            }
+            // Greedily extend the literal group over consecutive changed
+            // pixels (cap 255 per token).
+            let start = idx;
+            while idx < n && idx - start < 255 && changed(idx) {
+                idx += 1;
+            }
+            out.put_u16_le(zero_run as u16);
+            out.put_u8((idx - start) as u8);
+            for k in start..idx {
+                let d = img.data[k] as i16 - reference.data[k] as i16;
+                out.put_u8((d as i32 & 0xFF) as u8);
+                recon.data[k] = img.data[k];
+            }
+            zero_run = 0;
+        }
+        self.reference = Some(recon);
+        self.frames_since_iframe += 1;
+        EncodedFrame {
+            data: out.freeze(),
+            is_iframe: false,
+            encode_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// Streaming video decoder.
+#[derive(Debug, Clone, Default)]
+pub struct VideoDecoder {
+    reference: Option<GrayImage>,
+}
+
+impl VideoDecoder {
+    pub fn new() -> VideoDecoder {
+        VideoDecoder::default()
+    }
+
+    /// Decode the next frame of the stream. Returns `(image, decode_ms)`.
+    pub fn decode(&mut self, data: &[u8]) -> Result<(GrayImage, f64), CodecError> {
+        if data.is_empty() {
+            return Err(CodecError::Truncated);
+        }
+        match data[0] {
+            MAGIC_INTRA => {
+                let (img, ms) = ImageCodec::decode(data)?;
+                self.reference = Some(img.clone());
+                Ok((img, ms))
+            }
+            MAGIC_PREDICTED => {
+                let t0 = Instant::now();
+                if data.len() < 9 {
+                    return Err(CodecError::Truncated);
+                }
+                let width = u32::from_le_bytes(data[1..5].try_into().unwrap()) as usize;
+                let height = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
+                let Some(reference) = &self.reference else {
+                    return Err(CodecError::MissingReference);
+                };
+                if reference.width != width || reference.height != height {
+                    return Err(CodecError::DimensionMismatch);
+                }
+                let mut img = reference.clone();
+                let mut idx = 0usize;
+                let mut i = 9;
+                while i + 3 <= data.len() {
+                    let run = u16::from_le_bytes(data[i..i + 2].try_into().unwrap()) as usize;
+                    let count = data[i + 2] as usize;
+                    i += 3;
+                    idx += run;
+                    if i + count > data.len() || idx + count > img.data.len() {
+                        return Err(CodecError::Truncated);
+                    }
+                    for k in 0..count {
+                        img.data[idx + k] = img.data[idx + k].wrapping_add(data[i + k]);
+                    }
+                    idx += count;
+                    i += count;
+                }
+                self.reference = Some(img.clone());
+                Ok((img, t0.elapsed().as_secs_f64() * 1e3))
+            }
+            m => Err(CodecError::BadMagic(m)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
+
+    fn frames(n: usize) -> (Vec<GrayImage>, Dataset) {
+        let ds = Dataset::build(DatasetConfig::new(TracePreset::V202).with_frames(n).with_seed(2));
+        ((0..n).map(|i| ds.render_frame(i)).collect(), ds)
+    }
+
+    #[test]
+    fn intra_roundtrip_lossless() {
+        let (fs, _) = frames(1);
+        let enc = ImageCodec::encode(&fs[0]);
+        let (dec, _) = ImageCodec::decode(&enc.data).unwrap();
+        assert_eq!(dec, fs[0]);
+    }
+
+    #[test]
+    fn packbits_roundtrip_edge_cases() {
+        for data in [
+            vec![],
+            vec![5u8],
+            vec![7u8; 1000],
+            (0..=255u8).collect::<Vec<_>>(),
+            vec![1, 1, 1, 2, 2, 3, 3, 3, 3, 0, 0, 0],
+        ] {
+            let mut enc = BytesMut::new();
+            packbits_encode(&mut enc, &data);
+            let dec = packbits_decode(&enc, data.len()).unwrap();
+            assert_eq!(dec, data);
+        }
+    }
+
+    #[test]
+    fn video_stream_roundtrip_bounded_error() {
+        let (fs, _) = frames(6);
+        let mut enc = VideoEncoder::default();
+        let mut dec = VideoDecoder::new();
+        for (i, f) in fs.iter().enumerate() {
+            let e = enc.encode(f);
+            assert_eq!(e.is_iframe, i == 0);
+            let (d, _) = dec.decode(&e.data).unwrap();
+            // P-frame loss bounded by the dead zone; I-frames lossless.
+            let max_err = d
+                .data
+                .iter()
+                .zip(&f.data)
+                .map(|(a, b)| (*a as i16 - *b as i16).abs())
+                .max()
+                .unwrap();
+            let bound = if e.is_iframe { 0 } else { DEFAULT_DEADZONE as i16 };
+            assert!(max_err <= bound, "frame {i}: err {max_err} > {bound}");
+        }
+    }
+
+    #[test]
+    fn pframes_much_smaller_than_iframes() {
+        let (fs, _) = frames(5);
+        let mut enc = VideoEncoder::default();
+        let iframe = enc.encode(&fs[0]);
+        let mut p_total = 0;
+        for f in &fs[1..] {
+            let e = enc.encode(f);
+            assert!(!e.is_iframe);
+            p_total += e.data.len();
+        }
+        let p_avg = p_total / 4;
+        // On the fast V202 drone with anti-aliased rendering, a P-frame
+        // carries every moving edge (no motion compensation): ~3-4x under
+        // the I-frame is the honest envelope.
+        assert!(
+            p_avg * 3 < iframe.data.len(),
+            "P avg {} vs I {} — inter coding is not paying off",
+            p_avg,
+            iframe.data.len()
+        );
+    }
+
+    #[test]
+    fn video_bitrate_far_below_image_bitrate() {
+        // One I-frame amortized over the GOP plus small P-frames must beat
+        // intra-only transfer by a wide margin. (The paper's H.264 gap is
+        // larger still thanks to motion compensation, which this codec
+        // deliberately omits — see EXPERIMENTS.md.)
+        let (fs, _) = frames(12);
+        let mut enc = VideoEncoder::default();
+        let video_bytes: usize = fs.iter().map(|f| enc.encode(f).data.len()).sum();
+        let image_bytes: usize = fs.iter().map(|f| ImageCodec::encode(f).data.len()).sum();
+        assert!(
+            video_bytes * 2 < image_bytes,
+            "video {video_bytes} vs image {image_bytes}"
+        );
+    }
+
+    #[test]
+    fn iframe_interval_respected() {
+        let (fs, _) = frames(4);
+        let mut enc = VideoEncoder::new(DEFAULT_DEADZONE, 2);
+        assert!(enc.encode(&fs[0]).is_iframe);
+        assert!(!enc.encode(&fs[1]).is_iframe);
+        assert!(enc.encode(&fs[2]).is_iframe);
+        assert!(!enc.encode(&fs[3]).is_iframe);
+    }
+
+    #[test]
+    fn decoder_without_reference_errors() {
+        let (fs, _) = frames(2);
+        let mut enc = VideoEncoder::default();
+        enc.encode(&fs[0]);
+        let p = enc.encode(&fs[1]);
+        let mut dec = VideoDecoder::new();
+        assert_eq!(dec.decode(&p.data), Err(CodecError::MissingReference));
+    }
+
+    #[test]
+    fn corners_survive_video_compression() {
+        // The point of Table 3's ATE row: features extracted from decoded
+        // video match features from the raw frame.
+        use slamshare_features::extractor::OrbExtractor;
+        let (fs, _) = frames(3);
+        let mut enc = VideoEncoder::default();
+        let mut dec = VideoDecoder::new();
+        let ex = OrbExtractor::with_defaults();
+        for f in &fs {
+            let e = enc.encode(f);
+            let (d, _) = dec.decode(&e.data).unwrap();
+            let (raw_features, _) = ex.extract(f);
+            let (dec_features, _) = ex.extract(&d);
+            let ratio = dec_features.len() as f64 / raw_features.len().max(1) as f64;
+            assert!(
+                (0.7..=1.3).contains(&ratio),
+                "feature count changed too much: {} vs {}",
+                dec_features.len(),
+                raw_features.len()
+            );
+        }
+    }
+}

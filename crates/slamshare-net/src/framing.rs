@@ -1,0 +1,145 @@
+//! Length-prefixed message framing.
+//!
+//! Both directions of the client↔server protocol carry discrete messages
+//! over a byte stream; a 4-byte little-endian length prefix plus a 1-byte
+//! message-kind tag frame them (the standard pattern from the Tokio
+//! framing guide, implemented synchronously since transport here is the
+//! virtual-time link).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Message kinds crossing the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// Client → server: an encoded video packet.
+    Video = 1,
+    /// Client → server: an IMU sample batch.
+    Imu = 2,
+    /// Server → client: a pose reply.
+    Pose = 3,
+    /// Baseline client → server: a serialized map.
+    MapUpload = 4,
+    /// Baseline server → client: a serialized map slice.
+    MapSlice = 5,
+    /// Session control.
+    Hello = 6,
+}
+
+impl MsgKind {
+    pub fn from_u8(v: u8) -> Option<MsgKind> {
+        Some(match v {
+            1 => MsgKind::Video,
+            2 => MsgKind::Imu,
+            3 => MsgKind::Pose,
+            4 => MsgKind::MapUpload,
+            5 => MsgKind::MapSlice,
+            6 => MsgKind::Hello,
+            _ => return None,
+        })
+    }
+}
+
+/// A framed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: MsgKind,
+    pub payload: Bytes,
+}
+
+impl Frame {
+    pub fn new(kind: MsgKind, payload: Bytes) -> Frame {
+        Frame { kind, payload }
+    }
+
+    /// Total bytes on the wire (header + payload) — what the link charges.
+    pub fn wire_len(&self) -> usize {
+        5 + self.payload.len()
+    }
+}
+
+/// Append a frame to an outgoing byte stream.
+pub fn encode_frame(out: &mut BytesMut, frame: &Frame) {
+    out.put_u32_le(frame.payload.len() as u32 + 1);
+    out.put_u8(frame.kind as u8);
+    out.put_slice(&frame.payload);
+}
+
+/// Framing-layer decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    UnknownKind(u8),
+}
+
+/// Try to pop one complete frame off the front of `buf`.
+/// `Ok(None)` means more bytes are needed.
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Frame>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let kind_byte = buf.get_u8();
+    let kind = MsgKind::from_u8(kind_byte).ok_or(FrameError::UnknownKind(kind_byte))?;
+    let payload = buf.split_to(len - 1).freeze();
+    Ok(Some(Frame { kind, payload }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut stream = BytesMut::new();
+        let frame = Frame::new(MsgKind::Pose, Bytes::from_static(b"abc"));
+        encode_frame(&mut stream, &frame);
+        assert_eq!(stream.len(), frame.wire_len());
+        let got = decode_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(got, frame);
+        assert!(stream.is_empty());
+    }
+
+    #[test]
+    fn partial_bytes_wait() {
+        let mut stream = BytesMut::new();
+        let frame = Frame::new(MsgKind::Video, Bytes::from(vec![7u8; 100]));
+        encode_frame(&mut stream, &frame);
+        let mut partial = BytesMut::from(&stream[..50]);
+        assert_eq!(decode_frame(&mut partial).unwrap(), None);
+        // Feed the rest.
+        partial.extend_from_slice(&stream[50..]);
+        assert_eq!(decode_frame(&mut partial).unwrap().unwrap(), frame);
+    }
+
+    #[test]
+    fn multiple_frames_in_order() {
+        let mut stream = BytesMut::new();
+        let a = Frame::new(MsgKind::Imu, Bytes::from_static(b"1"));
+        let b = Frame::new(MsgKind::Hello, Bytes::from_static(b"22"));
+        encode_frame(&mut stream, &a);
+        encode_frame(&mut stream, &b);
+        assert_eq!(decode_frame(&mut stream).unwrap().unwrap(), a);
+        assert_eq!(decode_frame(&mut stream).unwrap().unwrap(), b);
+        assert_eq!(decode_frame(&mut stream).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut stream = BytesMut::new();
+        stream.put_u32_le(1);
+        stream.put_u8(99);
+        assert_eq!(decode_frame(&mut stream), Err(FrameError::UnknownKind(99)));
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let mut stream = BytesMut::new();
+        let f = Frame::new(MsgKind::Hello, Bytes::new());
+        encode_frame(&mut stream, &f);
+        assert_eq!(decode_frame(&mut stream).unwrap().unwrap(), f);
+    }
+}

@@ -1,0 +1,26 @@
+//! # slamshare-net
+//!
+//! The network substrate: everything that crosses the client↔server link
+//! in SLAM-Share or the baseline, plus the link itself.
+//!
+//! * [`wire`] — a compact, hand-rolled binary encoding for poses, video
+//!   packets, IMU batches and **whole SLAM maps** (the baseline serializes
+//!   maps across the network every hold-down period; Table 4 measures the
+//!   serialize/deserialize cost, Table 1 the sizes);
+//! * [`link`] — a virtual-time flow-level link with bandwidth,
+//!   propagation delay and FIFO serialization (the `tc`-shaped testbed of
+//!   §5.1: 10 GbE baseline, 300 ms delay, 18.7 / 9.4 Mbit/s variants);
+//! * [`framing`] — length-prefixed message framing over a byte stream;
+//! * [`codec`] — a real inter-frame video codec (I-frames + quantized
+//!   P-frame residuals, run-length packed) and an intra-only image codec,
+//!   reproducing the paper's H.264-vs-PNG transfer comparison (Table 3)
+//!   on the synthetic frames.
+
+pub mod codec;
+pub mod framing;
+pub mod link;
+pub mod wire;
+
+pub use codec::{ImageCodec, VideoDecoder, VideoEncoder};
+pub use link::{Link, LinkConfig};
+pub use wire::{WireReader, WireWriter};

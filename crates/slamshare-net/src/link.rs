@@ -1,0 +1,182 @@
+//! Virtual-time network links.
+//!
+//! A flow-level model of the paper's testbed link: messages experience
+//! FIFO serialization at the link rate plus a fixed propagation delay —
+//! the behaviour `tc` netem/tbf shaping produces for a TCP stream without
+//! loss. Completion times are computed in virtual time ([`SimTime`]) so
+//! system experiments don't have to wait wall-clock for a 5-second
+//! hold-down.
+
+use serde::{Deserialize, Serialize};
+use slamshare_sim::clock::SimTime;
+
+/// Link parameters (one direction).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Bandwidth in bits per second (`None` = infinite).
+    pub bandwidth_bps: Option<f64>,
+    /// One-way propagation delay.
+    pub delay: SimTime,
+}
+
+impl LinkConfig {
+    /// The testbed's unshaped 10 GbE link with negligible delay (§5.1).
+    pub fn ten_gbe() -> LinkConfig {
+        LinkConfig { bandwidth_bps: Some(10e9), delay: SimTime::from_millis(0.05) }
+    }
+
+    /// `tc`-added 300 ms delay variant.
+    pub fn delayed_300ms() -> LinkConfig {
+        LinkConfig { bandwidth_bps: Some(10e9), delay: SimTime::from_millis(300.0) }
+    }
+
+    /// 18.7 Mbit/s bandwidth-constrained variant ("the minimum bandwidth
+    /// for the server to send the largest map to the client within 5
+    /// seconds", §5.1).
+    pub fn constrained_18_7mbps() -> LinkConfig {
+        LinkConfig { bandwidth_bps: Some(18.7e6), delay: SimTime::from_millis(0.05) }
+    }
+
+    /// Half of that again (§5.1).
+    pub fn constrained_9_4mbps() -> LinkConfig {
+        LinkConfig { bandwidth_bps: Some(9.4e6), delay: SimTime::from_millis(0.05) }
+    }
+
+    /// A custom link.
+    pub fn new(bandwidth_bps: Option<f64>, delay: SimTime) -> LinkConfig {
+        LinkConfig { bandwidth_bps, delay }
+    }
+
+    /// Pure serialization time for `bytes` at the link rate.
+    pub fn serialization_time(&self, bytes: usize) -> SimTime {
+        match self.bandwidth_bps {
+            None => SimTime::ZERO,
+            Some(bps) => SimTime::from_secs(bytes as f64 * 8.0 / bps),
+        }
+    }
+}
+
+/// A unidirectional link with FIFO queueing state.
+#[derive(Debug, Clone)]
+pub struct Link {
+    pub config: LinkConfig,
+    /// Time at which the link's transmitter frees up.
+    busy_until: SimTime,
+    /// Total payload bytes accepted (for bandwidth accounting).
+    bytes_sent: u64,
+}
+
+impl Link {
+    pub fn new(config: LinkConfig) -> Link {
+        Link { config, busy_until: SimTime::ZERO, bytes_sent: 0 }
+    }
+
+    /// Enqueue a message of `bytes` at time `now`; returns its delivery
+    /// time at the far end (serialization after any queued traffic, plus
+    /// propagation). Messages sent on one link deliver in FIFO order —
+    /// the in-order guarantee the paper's TCP transfers provide.
+    pub fn send(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done_serializing = start + self.config.serialization_time(bytes);
+        self.busy_until = done_serializing;
+        self.bytes_sent += bytes as u64;
+        done_serializing + self.config.delay
+    }
+
+    /// Delivery time without queueing state (stateless helper for
+    /// one-shot calculations).
+    pub fn one_shot(&self, now: SimTime, bytes: usize) -> SimTime {
+        now + self.config.serialization_time(bytes) + self.config.delay
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Average goodput in bits/s over `[0, until]`.
+    pub fn goodput_bps(&self, until: SimTime) -> f64 {
+        if until == SimTime::ZERO {
+            return 0.0;
+        }
+        self.bytes_sent as f64 * 8.0 / until.as_secs()
+    }
+}
+
+/// A bidirectional client↔server channel.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    pub uplink: Link,
+    pub downlink: Link,
+}
+
+impl Channel {
+    pub fn symmetric(config: LinkConfig) -> Channel {
+        Channel { uplink: Link::new(config), downlink: Link::new(config) }
+    }
+
+    /// Round-trip time for small messages (no serialization component).
+    pub fn base_rtt(&self) -> SimTime {
+        self.uplink.config.delay + self.downlink.config.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_matches_rate() {
+        let cfg = LinkConfig::new(Some(8e6), SimTime::ZERO); // 1 MB/s
+        let t = cfg.serialization_time(1_000_000);
+        assert!((t.as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_delay_only() {
+        let mut link = Link::new(LinkConfig::new(None, SimTime::from_millis(10.0)));
+        let arrival = link.send(SimTime::from_secs(1.0), 1 << 30);
+        assert_eq!(arrival, SimTime::from_secs(1.0) + SimTime::from_millis(10.0));
+    }
+
+    #[test]
+    fn fifo_queueing_delays_second_message() {
+        // 1 Mbit/s: a 125 kB message takes 1 s to serialize.
+        let mut link = Link::new(LinkConfig::new(Some(1e6), SimTime::from_millis(5.0)));
+        let a = link.send(SimTime::ZERO, 125_000);
+        let b = link.send(SimTime::ZERO, 125_000);
+        assert!((a.as_secs() - 1.005).abs() < 1e-6, "a = {a:?}");
+        assert!((b.as_secs() - 2.005).abs() < 1e-6, "b = {b:?}");
+        // In-order delivery.
+        assert!(b > a);
+    }
+
+    #[test]
+    fn idle_link_does_not_accumulate() {
+        let mut link = Link::new(LinkConfig::new(Some(1e6), SimTime::ZERO));
+        link.send(SimTime::ZERO, 125_000); // busy until 1 s
+        // Sending at t = 10 s starts immediately.
+        let arrival = link.send(SimTime::from_secs(10.0), 125_000);
+        assert!((arrival.as_secs() - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn goodput_accounting() {
+        let mut link = Link::new(LinkConfig::ten_gbe());
+        link.send(SimTime::ZERO, 1_000_000);
+        link.send(SimTime::ZERO, 1_000_000);
+        assert_eq!(link.bytes_sent(), 2_000_000);
+        let g = link.goodput_bps(SimTime::from_secs(2.0));
+        assert!((g - 8e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn preset_sanity() {
+        // The 18.7 Mbit/s link must move a 10 MB map in ≈ 4.3 s — the
+        // paper chose it so the largest map fits a 5 s hold-down.
+        let cfg = LinkConfig::constrained_18_7mbps();
+        let t = cfg.serialization_time(10 * 1024 * 1024);
+        assert!(t.as_secs() > 3.5 && t.as_secs() < 5.0, "t = {t:?}");
+        let rtt = Channel::symmetric(LinkConfig::delayed_300ms()).base_rtt();
+        assert!((rtt.as_millis() - 600.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests: wire encoding and codecs must round-trip on
+//! arbitrary inputs, and link arithmetic must stay monotone.
+
+use proptest::prelude::*;
+use slamshare_net::codec::{ImageCodec, VideoDecoder, VideoEncoder};
+use slamshare_net::framing::{decode_frame, encode_frame, Frame, MsgKind};
+use slamshare_net::link::{Link, LinkConfig};
+use slamshare_net::wire::{decode_pose_reply, encode_pose_reply};
+use slamshare_sim::clock::SimTime;
+
+proptest! {
+    /// Pose replies round-trip exactly enough for AR (sub-micrometer).
+    #[test]
+    fn pose_reply_roundtrip(
+        idx in any::<u64>(),
+        axis in (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0),
+        angle in -3.0f64..3.0,
+        t in (-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0),
+    ) {
+        use slamshare_math::{Quat, Vec3, SE3};
+        let axis_v = Vec3::new(axis.0, axis.1, axis.2);
+        prop_assume!(axis_v.norm() > 1e-3);
+        let pose = SE3::new(Quat::from_axis_angle(axis_v, angle), Vec3::new(t.0, t.1, t.2));
+        let bytes = encode_pose_reply(idx, &pose);
+        let (idx2, pose2) = decode_pose_reply(&bytes).unwrap();
+        prop_assert_eq!(idx, idx2);
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        prop_assert!((pose.transform(p) - pose2.transform(p)).norm() < 1e-9);
+    }
+
+    /// Framing survives arbitrary payloads and arbitrary split points.
+    #[test]
+    fn framing_roundtrip_with_splits(
+        payload in proptest::collection::vec(any::<u8>(), 0..2000),
+        split in 0usize..2000,
+    ) {
+        use bytes::BytesMut;
+        let frame = Frame::new(MsgKind::Video, payload.clone().into());
+        let mut stream = BytesMut::new();
+        encode_frame(&mut stream, &frame);
+        let cut = split.min(stream.len());
+        let mut partial = BytesMut::from(&stream[..cut]);
+        // Feeding a prefix either yields nothing or the full frame
+        // (never a corrupted one).
+        match decode_frame(&mut partial).unwrap() {
+            Some(f) => prop_assert_eq!(&f, &frame),
+            None => {
+                partial.extend_from_slice(&stream[cut..]);
+                let f = decode_frame(&mut partial).unwrap().unwrap();
+                prop_assert_eq!(&f, &frame);
+            }
+        }
+    }
+
+    /// Intra image coding is lossless for arbitrary images.
+    #[test]
+    fn image_codec_lossless(
+        w in 4usize..48,
+        h in 4usize..32,
+        seed in any::<u64>(),
+    ) {
+        let img = slamshare_features::GrayImage::from_fn(w, h, |x, y| {
+            let mut v = (x as u64).wrapping_mul(seed | 1) ^ (y as u64).wrapping_mul(0xBF58476D1CE4E5B9);
+            v ^= v >> 29;
+            (v % 256) as u8
+        });
+        let enc = ImageCodec::encode(&img);
+        let (dec, _) = ImageCodec::decode(&enc.data).unwrap();
+        prop_assert_eq!(dec, img);
+    }
+
+    /// Video streams never drift: every decoded frame matches the encoder's
+    /// own reconstruction, with per-pixel error bounded by the dead zone.
+    #[test]
+    fn video_stream_error_bounded(
+        seeds in proptest::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let mut enc = VideoEncoder::default();
+        let mut dec = VideoDecoder::new();
+        for (i, seed) in seeds.iter().enumerate() {
+            // Slowly-varying stream: base pattern plus per-frame jitter.
+            let img = slamshare_features::GrayImage::from_fn(32, 24, |x, y| {
+                let base = ((x * 7 + y * 5) % 200) as i32;
+                let mut h = (x as u64 ^ (y as u64) << 16).wrapping_mul(seed | 1);
+                h ^= h >> 33;
+                (base + (h % 7) as i32).clamp(0, 255) as u8
+            });
+            let e = enc.encode(&img);
+            let (d, _) = dec.decode(&e.data).unwrap();
+            let max_err = d.data.iter().zip(&img.data)
+                .map(|(a, b)| (*a as i16 - *b as i16).abs()).max().unwrap_or(0);
+            let bound = if i == 0 { 0 } else { slamshare_net::codec::DEFAULT_DEADZONE as i16 };
+            prop_assert!(max_err <= bound, "frame {i}: {max_err} > {bound}");
+        }
+    }
+
+    /// Link delivery is monotone in send order and never earlier than
+    /// serialization + propagation allow.
+    #[test]
+    fn link_fifo_monotone(
+        sizes in proptest::collection::vec(1usize..100_000, 1..30),
+        bw in 1e5f64..1e9,
+        delay_ms in 0.0f64..500.0,
+    ) {
+        let cfg = LinkConfig::new(Some(bw), SimTime::from_millis(delay_ms));
+        let mut link = Link::new(cfg);
+        let mut last = SimTime::ZERO;
+        for (i, &s) in sizes.iter().enumerate() {
+            let now = SimTime::from_millis(i as f64);
+            let arrive = link.send(now, s);
+            prop_assert!(arrive >= last, "FIFO order violated");
+            let min_arrival = now + cfg.serialization_time(s) + cfg.delay;
+            prop_assert!(arrive >= min_arrival);
+            last = arrive;
+        }
+    }
+}

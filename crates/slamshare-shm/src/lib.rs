@@ -1,0 +1,42 @@
+//! # slamshare-shm
+//!
+//! The shared-memory global-map store — the paper's second contribution
+//! (§4.3.2).
+//!
+//! In the paper, an orchestrator allocates a 2 GB Boost.Interprocess
+//! segment; each per-client server process *attaches* it into its own
+//! address space, custom allocators place keyframes/map points directly in
+//! the buffer, and Boost named sharable mutexes serialize writers while
+//! admitting concurrent readers. Merging then "only adds pointers to the
+//! global map database, without any data copying".
+//!
+//! Here clients are threads of one process, so the substrate models the
+//! same contract:
+//!
+//! * [`arena`] — a bump allocator over a fixed-capacity buffer with
+//!   occupancy accounting (the 2 GB segment);
+//! * [`slab`] — typed slot storage with stable handles + free list (the
+//!   "special allocators" for map entities; handles play the role of the
+//!   paper's carefully-updated pointers);
+//! * [`shared_mutex`] — a read-concurrent / write-serialized lock with
+//!   contention statistics (the named sharable mutex);
+//! * [`segment`] — a named registry processes attach to;
+//! * [`store`] — [`SharedStore`], tying it together for a named shared
+//!   object: attach by name, concurrent zero-copy reads, serialized
+//!   writes, capacity accounting against the segment.
+//!
+//! The crate is deliberately independent of the SLAM types (generic over
+//! `T`) so it is testable in isolation; `slamshare-core` instantiates it
+//! with the SLAM `Map`.
+
+pub mod arena;
+pub mod segment;
+pub mod shared_mutex;
+pub mod slab;
+pub mod store;
+
+pub use arena::Arena;
+pub use segment::{Segment, SegmentError};
+pub use shared_mutex::SharedMutex;
+pub use slab::{Slab, SlotHandle};
+pub use store::SharedStore;

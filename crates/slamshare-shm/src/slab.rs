@@ -1,0 +1,158 @@
+//! Typed slot storage with stable handles.
+//!
+//! The paper re-points keyframes/map points between maps ("this only adds
+//! pointers to the global map database, without any data copying"). A slab
+//! provides exactly that discipline in safe Rust: entities live in slots,
+//! cross-references are [`SlotHandle`]s (index + generation), and moving an
+//! entity between logical collections means moving a handle, never the
+//! data. Generations catch use-after-free of recycled slots.
+
+/// A generational handle to a slab slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotHandle {
+    pub index: u32,
+    pub generation: u32,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A generational slab.
+#[derive(Debug, Default)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Slab<T> {
+        Slab { slots: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    pub fn with_capacity(n: usize) -> Slab<T> {
+        Slab { slots: Vec::with_capacity(n), free: Vec::new(), len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value, returning its stable handle.
+    pub fn insert(&mut self, value: T) -> SlotHandle {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            slot.value = Some(value);
+            SlotHandle { index, generation: slot.generation }
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push(Slot { generation: 0, value: Some(value) });
+            SlotHandle { index, generation: 0 }
+        }
+    }
+
+    /// Fetch by handle; `None` if the slot was freed or recycled.
+    pub fn get(&self, h: SlotHandle) -> Option<&T> {
+        let slot = self.slots.get(h.index as usize)?;
+        if slot.generation != h.generation {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    pub fn get_mut(&mut self, h: SlotHandle) -> Option<&mut T> {
+        let slot = self.slots.get_mut(h.index as usize)?;
+        if slot.generation != h.generation {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Remove by handle, returning the value.
+    pub fn remove(&mut self, h: SlotHandle) -> Option<T> {
+        let slot = self.slots.get_mut(h.index as usize)?;
+        if slot.generation != h.generation || slot.value.is_none() {
+            return None;
+        }
+        let value = slot.value.take();
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(h.index);
+        self.len -= 1;
+        value
+    }
+
+    /// Iterate live entries.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotHandle, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value
+                .as_ref()
+                .map(|v| (SlotHandle { index: i as u32, generation: s.generation }, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(b), Some("b"));
+        assert_eq!(slab.get(b), None);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn stale_handle_rejected_after_recycle() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        let b = slab.insert(2); // recycles the slot
+        assert_eq!(b.index, a.index);
+        assert_ne!(b.generation, a.generation);
+        assert_eq!(slab.get(a), None, "stale handle must not see new value");
+        assert_eq!(slab.get(b), Some(&2));
+        assert_eq!(slab.remove(a), None);
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut slab = Slab::new();
+        let a = slab.insert(5);
+        assert_eq!(slab.remove(a), Some(5));
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab.len(), 0);
+    }
+
+    #[test]
+    fn iteration_skips_freed() {
+        let mut slab = Slab::new();
+        let _a = slab.insert(1);
+        let b = slab.insert(2);
+        let _c = slab.insert(3);
+        slab.remove(b);
+        let values: Vec<i32> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, vec![1, 3]);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut slab = Slab::new();
+        let h = slab.insert(vec![1, 2]);
+        slab.get_mut(h).unwrap().push(3);
+        assert_eq!(slab.get(h).unwrap(), &vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,129 @@
+//! The shared store: a named, lock-protected, capacity-accounted object.
+//!
+//! [`SharedStore<T>`] is the shape `slamshare-core` gives the global map:
+//! it lives in a [`Segment`], every client process attaches it by name,
+//! reads are concurrent and zero-copy (a closure over `&T`), writes are
+//! serialized, and the occupant's size is charged against the segment's
+//! arena so the system can report segment occupancy as the map grows.
+
+use crate::segment::{Segment, SegmentError};
+use crate::shared_mutex::{LockStats, SharedMutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A shared object of type `T` with size accounting.
+pub struct SharedStore<T> {
+    mutex: SharedMutex<T>,
+    /// Last reported size of the occupant in bytes.
+    reported_bytes: AtomicUsize,
+}
+
+impl<T: Send + Sync + 'static> SharedStore<T> {
+    /// Create the store inside `segment` under `name` (orchestrator).
+    pub fn create_in(
+        segment: &Segment,
+        name: &str,
+        value: T,
+    ) -> Result<Arc<SharedStore<T>>, SegmentError> {
+        segment.create(
+            name,
+            SharedStore { mutex: SharedMutex::new(value), reported_bytes: AtomicUsize::new(0) },
+        )
+    }
+
+    /// Attach to an existing store (client process).
+    pub fn attach_in(segment: &Segment, name: &str) -> Result<Arc<SharedStore<T>>, SegmentError> {
+        segment.attach(name)
+    }
+
+    /// Concurrent zero-copy read access.
+    pub fn with_read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.mutex.with_read(f)
+    }
+
+    /// Serialized write access. `size_of` reports the occupant's new size
+    /// for segment accounting (pass `|_| 0` to skip).
+    pub fn with_write<R>(
+        &self,
+        segment: &Segment,
+        size_of: impl Fn(&T) -> usize,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        let mut guard = self.mutex.write();
+        let result = f(&mut guard);
+        let new_size = size_of(&guard);
+        drop(guard);
+        let old = self.reported_bytes.swap(new_size, Ordering::Relaxed);
+        if new_size > old {
+            // Charge growth against the segment. Exhaustion here mirrors
+            // the paper's fixed 2 GB budget; we saturate rather than
+            // panic — occupancy reporting will show ≥ 100 %.
+            let _ = segment.arena.alloc(new_size - old);
+        }
+        result
+    }
+
+    /// Current reported occupant size.
+    pub fn reported_bytes(&self) -> usize {
+        self.reported_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Lock statistics (for the scalability argument in §4.3.2).
+    pub fn lock_stats(&self) -> LockStats {
+        self.mutex.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_attach_readwrite() {
+        let seg = Segment::new(1 << 20);
+        let store = SharedStore::create_in(&seg, "map", vec![0u8; 10]).unwrap();
+        let other: Arc<SharedStore<Vec<u8>>> = SharedStore::attach_in(&seg, "map").unwrap();
+        store.with_write(&seg, |v| v.len(), |v| v.extend_from_slice(&[1, 2, 3]));
+        assert_eq!(other.with_read(|v| v.len()), 13);
+    }
+
+    #[test]
+    fn segment_occupancy_tracks_growth() {
+        let seg = Segment::new(1 << 20);
+        let store = SharedStore::create_in(&seg, "map", Vec::<u8>::new()).unwrap();
+        assert_eq!(seg.arena.used(), 0);
+        store.with_write(&seg, |v| v.len(), |v| v.resize(1000, 0));
+        assert!(seg.arena.used() >= 1000);
+        let used_after_grow = seg.arena.used();
+        // Shrinking does not free (bump arena semantics).
+        store.with_write(&seg, |v| v.len(), |v| v.truncate(10));
+        assert_eq!(seg.arena.used(), used_after_grow);
+        assert_eq!(store.reported_bytes(), 10);
+        // Growing again charges only the delta above the last report.
+        store.with_write(&seg, |v| v.len(), |v| v.resize(500, 0));
+        assert!(seg.arena.used() >= used_after_grow + 490);
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_store() {
+        let seg = Arc::new(Segment::new(1 << 20));
+        SharedStore::create_in(&seg, "map", 0u64).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let seg = seg.clone();
+            handles.push(std::thread::spawn(move || {
+                let store: Arc<SharedStore<u64>> = SharedStore::attach_in(&seg, "map").unwrap();
+                for _ in 0..50 {
+                    store.with_write(&seg, |_| 8, |v| *v += 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let store: Arc<SharedStore<u64>> = SharedStore::attach_in(&seg, "map").unwrap();
+        assert_eq!(store.with_read(|v| *v), 300);
+        let stats = store.lock_stats();
+        assert_eq!(stats.write_acquisitions, 300);
+    }
+}

@@ -1,0 +1,204 @@
+//! Pinhole camera model and stereo rig.
+//!
+//! Convention: camera looks down its +z axis, x right, y down (standard
+//! computer-vision frame). A pose `T_cw: SE3` maps world → camera.
+
+use serde::{Deserialize, Serialize};
+use slamshare_math::{Vec2, Vec3};
+
+/// A pinhole camera with focal lengths and principal point in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PinholeCamera {
+    pub fx: f64,
+    pub fy: f64,
+    pub cx: f64,
+    pub cy: f64,
+    pub width: usize,
+    pub height: usize,
+    /// Near-plane: points closer than this are not projected.
+    pub z_near: f64,
+}
+
+impl PinholeCamera {
+    pub fn new(fx: f64, fy: f64, cx: f64, cy: f64, width: usize, height: usize) -> PinholeCamera {
+        PinholeCamera { fx, fy, cx, cy, width, height, z_near: 0.1 }
+    }
+
+    /// The default camera used by the synthetic EuRoC-like datasets:
+    /// moderately wide FOV at a resolution small enough for fast tests
+    /// while keeping realistic pixel geometry.
+    pub fn euroc_like() -> PinholeCamera {
+        PinholeCamera::new(380.0, 380.0, 256.0, 192.0, 512, 384)
+    }
+
+    /// KITTI-like: wider aspect ratio, vehicle-mounted.
+    pub fn kitti_like() -> PinholeCamera {
+        PinholeCamera::new(400.0, 400.0, 304.0, 120.0, 608, 240)
+    }
+
+    /// Project a point in *camera* coordinates to pixels.
+    /// Returns `None` behind the near plane; the caller decides whether to
+    /// additionally require the pixel inside the image bounds.
+    #[inline]
+    pub fn project(&self, p_cam: Vec3) -> Option<Vec2> {
+        if p_cam.z < self.z_near {
+            return None;
+        }
+        Some(Vec2::new(
+            self.fx * p_cam.x / p_cam.z + self.cx,
+            self.fy * p_cam.y / p_cam.z + self.cy,
+        ))
+    }
+
+    /// Project and require the pixel inside the image (with `margin` px).
+    #[inline]
+    pub fn project_in_image(&self, p_cam: Vec3, margin: f64) -> Option<Vec2> {
+        let px = self.project(p_cam)?;
+        if px.x >= margin
+            && px.y >= margin
+            && px.x < self.width as f64 - margin
+            && px.y < self.height as f64 - margin
+        {
+            Some(px)
+        } else {
+            None
+        }
+    }
+
+    /// Back-project a pixel at a given depth into camera coordinates.
+    #[inline]
+    pub fn unproject(&self, px: Vec2, depth: f64) -> Vec3 {
+        Vec3::new(
+            (px.x - self.cx) / self.fx * depth,
+            (px.y - self.cy) / self.fy * depth,
+            depth,
+        )
+    }
+
+    /// Unit-less ray direction through a pixel (camera coordinates,
+    /// `z = 1` plane).
+    #[inline]
+    pub fn ray(&self, x: f64, y: f64) -> Vec3 {
+        Vec3::new((x - self.cx) / self.fx, (y - self.cy) / self.fy, 1.0)
+    }
+
+    /// Horizontal field of view in radians.
+    pub fn fov_x(&self) -> f64 {
+        2.0 * (self.width as f64 / (2.0 * self.fx)).atan()
+    }
+}
+
+/// A rectified stereo rig: two identical pinhole cameras displaced along
+/// the x (right) axis by `baseline` meters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StereoRig {
+    pub cam: PinholeCamera,
+    pub baseline: f64,
+}
+
+impl StereoRig {
+    pub fn new(cam: PinholeCamera, baseline: f64) -> StereoRig {
+        assert!(baseline > 0.0);
+        StereoRig { cam, baseline }
+    }
+
+    /// EuRoC-like rig (11 cm baseline).
+    pub fn euroc_like() -> StereoRig {
+        StereoRig::new(PinholeCamera::euroc_like(), 0.11)
+    }
+
+    /// KITTI-like rig (54 cm baseline).
+    pub fn kitti_like() -> StereoRig {
+        StereoRig::new(PinholeCamera::kitti_like(), 0.54)
+    }
+
+    /// Disparity for a point at `depth`: `d = fx · b / z`.
+    #[inline]
+    pub fn disparity(&self, depth: f64) -> f64 {
+        self.cam.fx * self.baseline / depth
+    }
+
+    /// Depth from a disparity.
+    #[inline]
+    pub fn depth_from_disparity(&self, disparity: f64) -> Option<f64> {
+        (disparity > 1e-6).then(|| self.cam.fx * self.baseline / disparity)
+    }
+
+    /// Project a point in *left-camera* coordinates into both images:
+    /// returns `(left_px, right_x)`.
+    pub fn project_stereo(&self, p_left: Vec3) -> Option<(Vec2, f64)> {
+        let l = self.cam.project(p_left)?;
+        let r = l.x - self.disparity(p_left.z);
+        Some((l, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_unproject_roundtrip() {
+        let cam = PinholeCamera::euroc_like();
+        let p = Vec3::new(0.5, -0.3, 4.0);
+        let px = cam.project(p).unwrap();
+        let back = cam.unproject(px, 4.0);
+        assert!((back - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn principal_point_projects_center() {
+        let cam = PinholeCamera::euroc_like();
+        let px = cam.project(Vec3::new(0.0, 0.0, 2.0)).unwrap();
+        assert!((px.x - cam.cx).abs() < 1e-12);
+        assert!((px.y - cam.cy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn behind_camera_rejected() {
+        let cam = PinholeCamera::euroc_like();
+        assert!(cam.project(Vec3::new(0.0, 0.0, -1.0)).is_none());
+        assert!(cam.project(Vec3::new(0.0, 0.0, 0.05)).is_none());
+    }
+
+    #[test]
+    fn margin_enforced() {
+        let cam = PinholeCamera::euroc_like();
+        // A point projecting to the far right edge.
+        let px_edge = cam.unproject(Vec2::new(cam.width as f64 - 1.0, cam.cy), 3.0);
+        assert!(cam.project_in_image(px_edge, 0.0).is_some());
+        assert!(cam.project_in_image(px_edge, 20.0).is_none());
+    }
+
+    #[test]
+    fn ray_matches_unproject() {
+        let cam = PinholeCamera::euroc_like();
+        let r = cam.ray(100.0, 50.0);
+        let p = cam.unproject(Vec2::new(100.0, 50.0), 7.0);
+        assert!((r * 7.0 - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn stereo_disparity_depth_roundtrip() {
+        let rig = StereoRig::euroc_like();
+        let d = rig.disparity(5.0);
+        assert!((rig.depth_from_disparity(d).unwrap() - 5.0).abs() < 1e-12);
+        assert!(rig.depth_from_disparity(0.0).is_none());
+    }
+
+    #[test]
+    fn stereo_projection_shifts_left() {
+        let rig = StereoRig::kitti_like();
+        let p = Vec3::new(1.0, 0.2, 10.0);
+        let (l, rx) = rig.project_stereo(p).unwrap();
+        assert!(rx < l.x, "right-image x must be smaller (positive disparity)");
+        assert!((l.x - rx - rig.disparity(10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fov_sane() {
+        let cam = PinholeCamera::euroc_like();
+        let fov = cam.fov_x().to_degrees();
+        assert!(fov > 40.0 && fov < 110.0, "fov = {fov}");
+    }
+}

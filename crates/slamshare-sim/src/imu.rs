@@ -1,0 +1,194 @@
+//! IMU measurement synthesis.
+//!
+//! The paper's client runs IMU-only dead reckoning between server pose
+//! updates (§4.2.2, Alg. 1). To exercise that code path we synthesize
+//! gyroscope and accelerometer streams from the ground-truth trajectory:
+//!
+//! * gyro: body-frame angular velocity + slowly-walking bias + white noise,
+//! * accel: body-frame *specific force* `R_bw (a_w − g_w)` + bias + noise,
+//!
+//! with gravity `g_w = (0, 0, −9.81)` (world z-up) and body frame = camera
+//! frame, sampled at `rate` Hz.
+
+use crate::trajectory::Trajectory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use slamshare_math::Vec3;
+
+/// Standard gravity (m/s²), world −z.
+pub const GRAVITY: f64 = 9.81;
+
+/// One IMU sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImuSample {
+    /// Timestamp, seconds.
+    pub t: f64,
+    /// Angular velocity, body frame, rad/s.
+    pub gyro: Vec3,
+    /// Specific force, body frame, m/s².
+    pub accel: Vec3,
+}
+
+/// IMU noise model (per-sample white noise σ and per-second bias walk σ —
+/// ballpark consumer-MEMS values, same order as the EuRoC ADIS16448 spec).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ImuNoise {
+    pub gyro_noise: f64,
+    pub accel_noise: f64,
+    pub gyro_bias_walk: f64,
+    pub accel_bias_walk: f64,
+}
+
+impl Default for ImuNoise {
+    fn default() -> Self {
+        ImuNoise {
+            gyro_noise: 1.7e-3,
+            accel_noise: 2.0e-2,
+            gyro_bias_walk: 2.0e-5,
+            accel_bias_walk: 3.0e-4,
+        }
+    }
+}
+
+impl ImuNoise {
+    /// A noiseless IMU (for isolating geometric error in tests).
+    pub fn perfect() -> ImuNoise {
+        ImuNoise { gyro_noise: 0.0, accel_noise: 0.0, gyro_bias_walk: 0.0, accel_bias_walk: 0.0 }
+    }
+}
+
+/// Gaussian sample via Box–Muller (rand 0.8 core has no normal distribution
+/// without the `rand_distr` crate, which is outside the allowed set).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn gaussian_vec(rng: &mut StdRng, sigma: f64) -> Vec3 {
+    if sigma == 0.0 {
+        return Vec3::ZERO;
+    }
+    Vec3::new(gaussian(rng), gaussian(rng), gaussian(rng)) * sigma
+}
+
+/// Synthesize an IMU stream for `[t0, t1]` at `rate` Hz.
+pub fn synthesize(
+    traj: &Trajectory,
+    t0: f64,
+    t1: f64,
+    rate: f64,
+    noise: &ImuNoise,
+    seed: u64,
+) -> Vec<ImuSample> {
+    assert!(rate > 0.0 && t1 >= t0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dt = 1.0 / rate;
+    let n = ((t1 - t0) * rate).floor() as usize + 1;
+    let g_world = Vec3::new(0.0, 0.0, -GRAVITY);
+
+    let mut gyro_bias = Vec3::ZERO;
+    let mut accel_bias = Vec3::ZERO;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = t0 + i as f64 * dt;
+        let pose_cw = traj.pose_cw(t);
+        let omega_body = traj.angular_velocity(t);
+        let a_world = traj.acceleration(t);
+        // Specific force: what an accelerometer strapped to the body reads.
+        let f_body = pose_cw.rotate(a_world - g_world);
+
+        gyro_bias += gaussian_vec(&mut rng, noise.gyro_bias_walk * dt.sqrt());
+        accel_bias += gaussian_vec(&mut rng, noise.accel_bias_walk * dt.sqrt());
+
+        out.push(ImuSample {
+            t,
+            gyro: omega_body + gyro_bias + gaussian_vec(&mut rng, noise.gyro_noise),
+            accel: f_body + accel_bias + gaussian_vec(&mut rng, noise.accel_noise),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::GazePolicy;
+
+    fn straight_level_traj() -> Trajectory {
+        // Constant-velocity straight line: zero acceleration, zero rotation
+        // after the spline settles (interior of the path).
+        Trajectory::new(
+            vec![
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::new(10.0, 0.0, 1.0),
+                Vec3::new(20.0, 0.0, 1.0),
+                Vec3::new(30.0, 0.0, 1.0),
+            ],
+            false,
+            30.0,
+            GazePolicy::AlongVelocity,
+        )
+    }
+
+    #[test]
+    fn stationary_reads_gravity_only() {
+        let traj = straight_level_traj();
+        let samples = synthesize(&traj, 10.0, 12.0, 100.0, &ImuNoise::perfect(), 0);
+        assert_eq!(samples.len(), 201);
+        for s in &samples {
+            // Specific force magnitude ≈ g (straight, constant speed).
+            assert!((s.accel.norm() - GRAVITY).abs() < 0.2, "accel {:?}", s.accel);
+            assert!(s.gyro.norm() < 0.05, "gyro {:?}", s.gyro);
+        }
+    }
+
+    #[test]
+    fn gravity_points_up_in_camera_frame() {
+        // Camera looks along +x with y-down: gravity reaction (+z world)
+        // appears along camera −y.
+        let traj = straight_level_traj();
+        let s = synthesize(&traj, 15.0, 15.0, 100.0, &ImuNoise::perfect(), 0)[0];
+        assert!(s.accel.y < -9.0, "expected −y gravity reaction, got {:?}", s.accel);
+    }
+
+    #[test]
+    fn turning_trajectory_has_gyro_signal() {
+        let traj = Trajectory::new(
+            vec![
+                Vec3::new(0.0, 0.0, 1.5),
+                Vec3::new(5.0, 0.0, 1.5),
+                Vec3::new(5.0, 5.0, 1.5),
+                Vec3::new(0.0, 5.0, 1.5),
+            ],
+            true,
+            16.0,
+            GazePolicy::AlongVelocity,
+        );
+        let samples = synthesize(&traj, 0.0, 16.0, 50.0, &ImuNoise::perfect(), 0);
+        let max_gyro = samples.iter().map(|s| s.gyro.norm()).fold(0.0, f64::max);
+        assert!(max_gyro > 0.1, "loop never turned? max |ω| = {max_gyro}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let traj = straight_level_traj();
+        let a = synthesize(&traj, 0.0, 1.0, 200.0, &ImuNoise::default(), 5);
+        let b = synthesize(&traj, 0.0, 1.0, 200.0, &ImuNoise::default(), 5);
+        let c = synthesize(&traj, 0.0, 1.0, 200.0, &ImuNoise::default(), 6);
+        assert_eq!(a.len(), b.len());
+        assert!((a[50].gyro - b[50].gyro).norm() < 1e-15);
+        assert!((a[50].gyro - c[50].gyro).norm() > 0.0);
+    }
+
+    #[test]
+    fn sample_timestamps_regular() {
+        let traj = straight_level_traj();
+        let s = synthesize(&traj, 2.0, 3.0, 1000.0, &ImuNoise::perfect(), 0);
+        assert_eq!(s.len(), 1001);
+        for w in s.windows(2) {
+            assert!((w[1].t - w[0].t - 1e-3).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # slamshare-sim
+//!
+//! The synthetic data substrate of the SLAM-Share reproduction.
+//!
+//! The paper evaluates on EuRoC (drone) and KITTI (vehicle) camera
+//! recordings; neither the recordings nor the hardware that produced them
+//! are available here, so this crate builds their closest synthetic
+//! equivalent that exercises the same code paths:
+//!
+//! * a [`world`] of textured planar landmarks attached to real 3D
+//!   structure (room walls, street facades),
+//! * parametric ground-truth [`trajectory`] generators whose shape and
+//!   dynamics mirror the paper's traces (machine-hall drone loops, street
+//!   grid drives),
+//! * a perspective-correct [`render`]er that produces 8-bit grayscale
+//!   frames in which FAST/ORB find *genuine* corners anchored to fixed 3D
+//!   points — so tracking accuracy (ATE) measured against the generating
+//!   trajectory is a real accuracy number, not a fiction,
+//! * an [`imu`] synthesizer (trajectory derivatives + bias random walk +
+//!   white noise) matching the visual-inertial split the paper's client
+//!   performs, and
+//! * [`dataset`] presets named after the paper's traces (`MH04`, `MH05`,
+//!   `V202`, `KITTI-00`, `KITTI-05`) plus a virtual-time event [`clock`]
+//!   used by the system-level experiments.
+
+pub mod camera;
+pub mod clock;
+pub mod dataset;
+pub mod imu;
+pub mod render;
+pub mod trajectory;
+pub mod world;
+
+pub use camera::{PinholeCamera, StereoRig};
+pub use clock::{EventQueue, SimTime};
+pub use dataset::{Dataset, DatasetConfig, TracePreset};
+pub use imu::{ImuNoise, ImuSample};
+pub use render::Renderer;
+pub use trajectory::Trajectory;
+pub use world::{Landmark, World};

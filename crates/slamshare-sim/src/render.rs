@@ -1,0 +1,332 @@
+//! Perspective-correct frame rendering.
+//!
+//! For every landmark whose patch faces the camera, the renderer projects a
+//! conservative bounding box and then *inverse-maps* each pixel: cast the
+//! pixel ray, intersect the patch plane, sample the procedural texture at
+//! the hit's in-plane coordinates. A z-buffer resolves occlusion between
+//! patches. Because texture cells are fixed regions of a fixed 3D plane,
+//! the corners FAST finds in the output correspond to stable world points
+//! across viewpoints — the property the whole evaluation rests on.
+//!
+//! The background is a smooth low-contrast gradient plus deterministic
+//! sub-threshold dither, so it contributes no spurious corners.
+
+use crate::camera::{PinholeCamera, StereoRig};
+use crate::world::{Landmark, World};
+use slamshare_features::GrayImage;
+use slamshare_math::{Vec3, SE3};
+
+/// Frame renderer for a fixed world and camera.
+#[derive(Debug, Clone)]
+pub struct Renderer {
+    pub camera: PinholeCamera,
+    /// Pixel-noise amplitude (uniform ±amp), kept below half the FAST
+    /// threshold so the background never fires the detector.
+    pub noise_amp: i16,
+    /// Maximum render distance for landmarks (meters).
+    pub max_depth: f64,
+}
+
+impl Renderer {
+    pub fn new(camera: PinholeCamera) -> Renderer {
+        Renderer { camera, noise_amp: 4, max_depth: 80.0 }
+    }
+
+    /// Render the world from world→camera pose `t_cw`. `frame_seed` varies
+    /// the dither per frame (sensor noise).
+    pub fn render(&self, world: &World, t_cw: &SE3, frame_seed: u64) -> GrayImage {
+        let w = self.camera.width;
+        let h = self.camera.height;
+        let mut img = GrayImage::from_fn(w, h, |x, y| self.background(x, y, frame_seed));
+        let mut zbuf = vec![f64::INFINITY; w * h];
+
+        let t_wc = t_cw.inverse();
+        let cam_center = t_cw.camera_center();
+
+        for lm in &world.landmarks {
+            self.render_landmark(lm, t_cw, &t_wc, cam_center, &mut img, &mut zbuf);
+        }
+        img
+    }
+
+    /// Render a stereo pair: the right camera is displaced `baseline`
+    /// meters along the left camera's +x axis.
+    pub fn render_stereo(
+        &self,
+        world: &World,
+        rig: &StereoRig,
+        t_cw_left: &SE3,
+        frame_seed: u64,
+    ) -> (GrayImage, GrayImage) {
+        let left = self.render(world, t_cw_left, frame_seed);
+        // p_right = p_left − (b, 0, 0): prepend a −b translation.
+        let t_cw_right =
+            SE3::from_translation(Vec3::new(-rig.baseline, 0.0, 0.0)) * *t_cw_left;
+        let right = self.render(world, &t_cw_right, frame_seed.wrapping_add(1));
+        (left, right)
+    }
+
+    fn background(&self, x: usize, y: usize, seed: u64) -> u8 {
+        // Smooth horizontal+vertical gradient around mid-gray.
+        let g = 118.0
+            + 12.0 * (x as f64 / self.camera.width as f64)
+            + 6.0 * (y as f64 / self.camera.height as f64);
+        let mut hsh = (x as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((y as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+            .wrapping_add(seed.wrapping_mul(0x94D049BB133111EB));
+        hsh ^= hsh >> 31;
+        let dither = (hsh % (2 * self.noise_amp as u64 + 1)) as i16 - self.noise_amp;
+        (g as i16 + dither).clamp(0, 255) as u8
+    }
+
+    fn render_landmark(
+        &self,
+        lm: &Landmark,
+        t_cw: &SE3,
+        t_wc: &SE3,
+        cam_center: Vec3,
+        img: &mut GrayImage,
+        zbuf: &mut [f64],
+    ) {
+        let center_cam = t_cw.transform(lm.center);
+        if center_cam.z < self.camera.z_near || center_cam.z > self.max_depth {
+            return;
+        }
+        // Backface cull: skip patches seen edge-on or from behind.
+        let view_dir = (lm.center - cam_center).normalized().unwrap_or(Vec3::Z);
+        if view_dir.dot(lm.normal).abs() < 0.15 {
+            return;
+        }
+
+        // Conservative screen bounding box from the 4 patch corners.
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for (su, sv) in [(-1.0, -1.0), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0)] {
+            let corner = lm.center
+                + lm.u_axis * (su * lm.half_size)
+                + lm.v_axis * (sv * lm.half_size);
+            let c = t_cw.transform(corner);
+            let Some(px) = self.camera.project(c) else {
+                return; // patch crosses the near plane: skip entirely
+            };
+            min_x = min_x.min(px.x);
+            min_y = min_y.min(px.y);
+            max_x = max_x.max(px.x);
+            max_y = max_y.max(px.y);
+        }
+        let x0 = (min_x.floor().max(0.0)) as usize;
+        let y0 = (min_y.floor().max(0.0)) as usize;
+        let x1 = (max_x.ceil().min(self.camera.width as f64 - 1.0)) as usize;
+        let y1 = (max_y.ceil().min(self.camera.height as f64 - 1.0)) as usize;
+        if x0 > x1 || y0 > y1 {
+            return;
+        }
+
+        let denom_base = lm.normal;
+        // 2×2 supersampling: without it, texture edges render as frozen
+        // staircases that only move when they cross a pixel center, which
+        // quantizes every detected corner and biases tracking. Averaging
+        // four sub-rays makes edge pixels blend smoothly with sub-pixel
+        // edge position — the analogue of real sensor pixels integrating
+        // over their area.
+        const SUB: [(f64, f64); 4] = [(0.25, 0.25), (0.75, 0.25), (0.25, 0.75), (0.75, 0.75)];
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let mut acc = 0.0f64;
+                let mut hits = 0u32;
+                let mut depth_min = f64::INFINITY;
+                for (sx, sy) in SUB {
+                    let dir_cam = self.camera.ray(x as f64 + sx, y as f64 + sy);
+                    let dir_world = t_wc.rotate(dir_cam);
+                    let denom = denom_base.dot(dir_world);
+                    if denom.abs() < 1e-9 {
+                        continue;
+                    }
+                    let t = denom_base.dot(lm.center - cam_center) / denom;
+                    if t <= self.camera.z_near {
+                        continue;
+                    }
+                    let hit = cam_center + dir_world * t;
+                    let rel = hit - lm.center;
+                    let u = rel.dot(lm.u_axis);
+                    let v = rel.dot(lm.v_axis);
+                    let Some(intensity) = lm.texture(u, v) else {
+                        continue;
+                    };
+                    // Depth along the camera z-axis (`dir_cam` has z = 1).
+                    depth_min = depth_min.min(t * dir_cam.z);
+                    acc += intensity as f64;
+                    hits += 1;
+                }
+                if hits == 0 {
+                    continue;
+                }
+                let idx = y * self.camera.width + x;
+                if depth_min < zbuf[idx] {
+                    zbuf[idx] = depth_min;
+                    // Partial coverage blends with what's already there
+                    // (background or a farther patch).
+                    let base = img.get(x, y) as f64;
+                    let blended = (acc + base * (4 - hits) as f64) / 4.0;
+                    img.set(x, y, blended.round().clamp(0.0, 255.0) as u8);
+                }
+            }
+        }
+    }
+
+    /// Project a world point with this renderer's camera at pose `t_cw`,
+    /// requiring it inside the image. Convenience for tests and ground
+    /// truth tooling.
+    pub fn project_world(&self, p_world: Vec3, t_cw: &SE3) -> Option<slamshare_math::Vec2> {
+        self.camera.project_in_image(t_cw.transform(p_world), 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::look_at_cw;
+    use slamshare_features::extractor::OrbExtractor;
+    use slamshare_math::Vec2;
+
+    fn single_patch_world() -> World {
+        World {
+            landmarks: vec![Landmark::new(
+                1,
+                Vec3::new(0.0, 0.0, 5.0),
+                Vec3::new(0.0, 0.0, -1.0),
+                0.5,
+            )],
+            tag: "test".into(),
+        }
+    }
+
+    fn cam_at_origin_looking_z() -> SE3 {
+        look_at_cw(Vec3::ZERO, Vec3::Z)
+    }
+
+    #[test]
+    fn patch_appears_at_projection() {
+        let world = single_patch_world();
+        let r = Renderer::new(PinholeCamera::euroc_like());
+        let t_cw = cam_at_origin_looking_z();
+        let img = r.render(&world, &t_cw, 0);
+        // Patch center projects to the principal point; its texture must be
+        // there (one of the palette intensities, far from background ~120).
+        let c = img.get(r.camera.cx as usize, r.camera.cy as usize);
+        assert!(
+            [35u8, 85, 135, 185, 235].contains(&c),
+            "center pixel {c} not a texture intensity"
+        );
+    }
+
+    #[test]
+    fn empty_world_is_background_only() {
+        let world = World { landmarks: vec![], tag: "empty".into() };
+        let r = Renderer::new(PinholeCamera::euroc_like());
+        let img = r.render(&world, &cam_at_origin_looking_z(), 3);
+        // All pixels near the smooth gradient (110..=145).
+        for &v in &img.data {
+            assert!((100..=150).contains(&(v as i32)), "background pixel {v}");
+        }
+        // And no FAST corners anywhere.
+        let ex = OrbExtractor::with_defaults();
+        let (f, _) = ex.extract(&img);
+        assert!(f.is_empty(), "background produced {} corners", f.len());
+    }
+
+    #[test]
+    fn behind_camera_not_rendered() {
+        let mut world = single_patch_world();
+        world.landmarks[0].center = Vec3::new(0.0, 0.0, -5.0);
+        let r = Renderer::new(PinholeCamera::euroc_like());
+        let img = r.render(&world, &cam_at_origin_looking_z(), 0);
+        for &v in &img.data {
+            assert!((100..=150).contains(&(v as i32)));
+        }
+    }
+
+    #[test]
+    fn occlusion_respects_depth() {
+        // Two coaxial patches; the nearer one must win at the center.
+        let near = Landmark::new(100, Vec3::new(0.0, 0.0, 3.0), Vec3::new(0.0, 0.0, -1.0), 0.4);
+        let far = Landmark::new(200, Vec3::new(0.0, 0.0, 6.0), Vec3::new(0.0, 0.0, -1.0), 0.8);
+        let world = World { landmarks: vec![far, near], tag: "occ".into() };
+        let r = Renderer::new(PinholeCamera::euroc_like());
+        let t_cw = cam_at_origin_looking_z();
+        let img = r.render(&world, &t_cw, 0);
+        let expected = near.texture(0.01, 0.01).unwrap();
+        // Sample just off-center inside the same cell.
+        let px = r
+            .project_world(near.center + near.u_axis * 0.01 + near.v_axis * 0.01, &t_cw)
+            .unwrap();
+        assert_eq!(img.get(px.x as usize, px.y as usize), expected);
+    }
+
+    #[test]
+    fn rendered_corners_are_view_consistent() {
+        // Render the same patch from two nearby viewpoints; a texture
+        // junction's detected position must match its reprojection in both.
+        let world = single_patch_world();
+        let lm = world.landmarks[0];
+        let r = Renderer::new(PinholeCamera::euroc_like());
+        let ex = OrbExtractor::with_defaults();
+
+        for (i, origin) in [Vec3::ZERO, Vec3::new(0.4, 0.2, 0.0)].iter().enumerate() {
+            let t_cw = look_at_cw(*origin, (lm.center - *origin).normalized().unwrap());
+            let img = r.render(&world, &t_cw, i as u64);
+            let (features, _) = ex.extract(&img);
+            assert!(!features.is_empty(), "view {i}: no corners detected");
+            // Every interior junction should have a detected corner within
+            // 2.5 px of its projection.
+            let mut matched = 0;
+            let mut total = 0;
+            for ji in 1..crate::world::TEXTURE_CELLS {
+                for jj in 1..crate::world::TEXTURE_CELLS {
+                    let p3 = lm.junction(ji, jj);
+                    let Some(px) = r.project_world(p3, &t_cw) else { continue };
+                    total += 1;
+                    if features
+                        .keypoints
+                        .iter()
+                        .any(|kp| kp.pt.dist(Vec2::new(px.x, px.y)) < 2.5)
+                    {
+                        matched += 1;
+                    }
+                }
+            }
+            assert!(total > 0);
+            assert!(
+                matched * 3 >= total * 2,
+                "view {i}: only {matched}/{total} junctions detected"
+            );
+        }
+    }
+
+    #[test]
+    fn stereo_pair_has_expected_disparity() {
+        let world = single_patch_world();
+        let rig = StereoRig::euroc_like();
+        let r = Renderer::new(rig.cam);
+        let t_cw = cam_at_origin_looking_z();
+        let (left, right) = r.render_stereo(&world, &rig, &t_cw, 0);
+        // The patch center is at depth 5: disparity = fx*b/5.
+        let d = rig.disparity(5.0);
+        let lc = left.get(rig.cam.cx as usize, rig.cam.cy as usize);
+        let rc = right.get((rig.cam.cx - d) as usize, rig.cam.cy as usize);
+        assert_eq!(lc, rc, "same texture cell must appear shifted by disparity");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let world = single_patch_world();
+        let r = Renderer::new(PinholeCamera::euroc_like());
+        let t_cw = cam_at_origin_looking_z();
+        let a = r.render(&world, &t_cw, 7);
+        let b = r.render(&world, &t_cw, 7);
+        assert_eq!(a, b);
+    }
+}

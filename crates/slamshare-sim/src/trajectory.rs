@@ -1,0 +1,293 @@
+//! Ground-truth trajectories.
+//!
+//! A trajectory is a Catmull-Rom spline through waypoints, traversed at
+//! constant parameter speed over `duration` seconds, with an orientation
+//! policy (look along velocity for vehicles; look at a gaze target drifting
+//! around the room for drones). Derivatives (velocity, acceleration,
+//! angular rate) come from central differences and feed the IMU
+//! synthesizer.
+
+use serde::{Deserialize, Serialize};
+use slamshare_math::{Mat3, Quat, Vec3, SE3};
+
+/// How the camera is oriented along the path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GazePolicy {
+    /// Look along the instantaneous velocity (vehicle-mounted camera).
+    AlongVelocity,
+    /// Look from the current position toward a fixed target point (drone
+    /// surveying a room interior).
+    AtTarget(Vec3),
+    /// Look *away* from a fixed point — a drone circling a room while
+    /// filming the nearby walls (keeps scene depth small, which is what
+    /// makes stereo depth and texture detail usable in large halls).
+    AwayFrom(Vec3),
+}
+
+/// A sampled ground-truth trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trajectory {
+    pub waypoints: Vec<Vec3>,
+    pub closed: bool,
+    pub duration: f64,
+    pub gaze: GazePolicy,
+}
+
+impl Trajectory {
+    pub fn new(waypoints: Vec<Vec3>, closed: bool, duration: f64, gaze: GazePolicy) -> Trajectory {
+        assert!(waypoints.len() >= 2, "need at least two waypoints");
+        assert!(duration > 0.0);
+        Trajectory { waypoints, closed, duration, gaze }
+    }
+
+    /// Camera position at time `t` seconds (clamped to `[0, duration]` for
+    /// open paths; wrapped for closed loops).
+    pub fn position(&self, t: f64) -> Vec3 {
+        let n = self.waypoints.len();
+        let segs = if self.closed { n } else { n - 1 };
+        let mut s = t / self.duration * segs as f64;
+        if self.closed {
+            s = s.rem_euclid(segs as f64);
+        } else {
+            s = s.clamp(0.0, segs as f64 - 1e-9);
+        }
+        let i = s.floor() as usize;
+        let u = s - i as f64;
+        let wp = |k: isize| -> Vec3 {
+            let idx = if self.closed {
+                k.rem_euclid(n as isize) as usize
+            } else {
+                k.clamp(0, n as isize - 1) as usize
+            };
+            self.waypoints[idx]
+        };
+        catmull_rom(
+            wp(i as isize - 1),
+            wp(i as isize),
+            wp(i as isize + 1),
+            wp(i as isize + 2),
+            u,
+        )
+    }
+
+    /// Velocity (m/s) by central difference.
+    pub fn velocity(&self, t: f64) -> Vec3 {
+        let h = 1e-3;
+        (self.position(t + h) - self.position(t - h)) / (2.0 * h)
+    }
+
+    /// Acceleration (m/s²) by central difference.
+    pub fn acceleration(&self, t: f64) -> Vec3 {
+        let h = 1e-3;
+        (self.position(t + h) + self.position(t - h) - self.position(t) * 2.0) / (h * h)
+    }
+
+    /// World-to-camera pose `T_cw` at time `t`.
+    ///
+    /// The camera frame is x-right, y-down, z-forward. Forward is chosen by
+    /// the gaze policy with world-up (z) for the horizon; degenerate
+    /// geometry (zero velocity, gazing straight up) falls back to the last
+    /// well-defined direction via a small epsilon blend.
+    pub fn pose_cw(&self, t: f64) -> SE3 {
+        let p = self.position(t);
+        let forward = match self.gaze {
+            GazePolicy::AlongVelocity => self
+                .velocity(t)
+                .normalized()
+                .unwrap_or(Vec3::X),
+            GazePolicy::AtTarget(target) => (target - p).normalized().unwrap_or(Vec3::X),
+            GazePolicy::AwayFrom(center) => {
+                // Outward gaze with a slight downward pitch: sees the wall
+                // *and* the floor, giving the depth diversity pose
+                // estimation needs.
+                let mut dir = p - center;
+                dir.z = 0.0;
+                match dir.normalized() {
+                    Some(d) => (d + Vec3::new(0.0, 0.0, -0.22)).normalized().unwrap_or(Vec3::X),
+                    None => Vec3::X,
+                }
+            }
+        };
+        look_at_cw(p, forward)
+    }
+
+    /// Camera-to-world pose (the inverse of [`Self::pose_cw`]).
+    pub fn pose_wc(&self, t: f64) -> SE3 {
+        self.pose_cw(t).inverse()
+    }
+
+    /// Body-frame angular velocity (rad/s) by central difference of the
+    /// camera-to-world rotation.
+    pub fn angular_velocity(&self, t: f64) -> Vec3 {
+        let h = 1e-3;
+        let q0 = self.pose_wc(t - h).rot;
+        let q1 = self.pose_wc(t + h).rot;
+        (q0.inverse() * q1).log() / (2.0 * h)
+    }
+
+    /// Approximate path length (polyline over 512 samples).
+    pub fn path_length(&self) -> f64 {
+        let n = 512;
+        let mut len = 0.0;
+        let mut prev = self.position(0.0);
+        for i in 1..=n {
+            let p = self.position(self.duration * i as f64 / n as f64);
+            len += p.dist(prev);
+            prev = p;
+        }
+        len
+    }
+}
+
+/// Build a world→camera pose for a camera at `p` looking along unit vector
+/// `forward`, keeping the image upright w.r.t. world-up (+z).
+pub fn look_at_cw(p: Vec3, forward: Vec3) -> SE3 {
+    let f = forward.normalized().unwrap_or(Vec3::X);
+    // Right-handed camera basis: z = forward, x = right, y = down, with
+    // right = forward × world_up (e.g. forward=+x, up=+z ⇒ right=−y) and
+    // down = forward × right (completes right × down = forward).
+    let world_up = Vec3::Z;
+    let mut right = f.cross(world_up);
+    if right.norm() < 1e-6 {
+        // Looking straight up/down: pick an arbitrary horizontal right.
+        right = Vec3::X;
+    }
+    let right = right.normalized().unwrap();
+    let down = f.cross(right).normalized().unwrap();
+    // Rows of R_cw are the camera axes expressed in world coordinates.
+    let r_cw = Mat3::from_rows(right, down, f);
+    let rot = Quat::from_mat3(&r_cw);
+    SE3 { rot, trans: -rot.rotate(p) }
+}
+
+fn catmull_rom(p0: Vec3, p1: Vec3, p2: Vec3, p3: Vec3, u: f64) -> Vec3 {
+    let u2 = u * u;
+    let u3 = u2 * u;
+    (p1 * 2.0
+        + (p2 - p0) * u
+        + (p0 * 2.0 - p1 * 5.0 + p2 * 4.0 - p3) * u2
+        + (p1 * 3.0 - p0 - p2 * 3.0 + p3) * u3)
+        * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loop_traj() -> Trajectory {
+        Trajectory::new(
+            vec![
+                Vec3::new(0.0, 0.0, 1.5),
+                Vec3::new(5.0, 0.0, 1.5),
+                Vec3::new(5.0, 5.0, 2.0),
+                Vec3::new(0.0, 5.0, 1.5),
+            ],
+            true,
+            20.0,
+            GazePolicy::AtTarget(Vec3::new(2.5, 2.5, 1.5)),
+        )
+    }
+
+    #[test]
+    fn spline_hits_waypoints() {
+        let t = loop_traj();
+        // At segment boundaries the Catmull-Rom passes through waypoints.
+        for (i, wp) in t.waypoints.iter().enumerate() {
+            let time = t.duration * i as f64 / t.waypoints.len() as f64;
+            assert!((t.position(time) - *wp).norm() < 1e-9, "waypoint {i}");
+        }
+    }
+
+    #[test]
+    fn closed_loop_wraps() {
+        let t = loop_traj();
+        assert!((t.position(0.0) - t.position(t.duration)).norm() < 1e-9);
+        assert!((t.position(-1.0) - t.position(t.duration - 1.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn open_path_clamps() {
+        let t = Trajectory::new(
+            vec![Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)],
+            false,
+            10.0,
+            GazePolicy::AlongVelocity,
+        );
+        assert!((t.position(100.0) - Vec3::new(10.0, 0.0, 0.0)).norm() < 1e-6);
+        assert!((t.position(-5.0) - Vec3::ZERO).norm() < 1e-9);
+    }
+
+    #[test]
+    fn velocity_matches_displacement() {
+        let t = loop_traj();
+        let dt = 0.01;
+        let v = t.velocity(5.0);
+        let numeric = (t.position(5.0 + dt) - t.position(5.0 - dt)) / (2.0 * dt);
+        assert!((v - numeric).norm() < 0.05 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn pose_looks_at_target() {
+        let target = Vec3::new(2.5, 2.5, 1.5);
+        let t = loop_traj();
+        for &time in &[0.0, 3.0, 7.5, 13.0] {
+            let pose = t.pose_cw(time);
+            let target_cam = pose.transform(target);
+            // The gaze target must project straight ahead (+z, near axis).
+            assert!(target_cam.z > 0.0, "target behind camera at t={time}");
+            let off_axis = (target_cam.x * target_cam.x + target_cam.y * target_cam.y).sqrt()
+                / target_cam.z;
+            assert!(off_axis < 1e-6, "target off-axis {off_axis} at t={time}");
+        }
+    }
+
+    #[test]
+    fn pose_camera_center_matches_position() {
+        let t = loop_traj();
+        let pose = t.pose_cw(4.2);
+        assert!((pose.camera_center() - t.position(4.2)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn along_velocity_gaze_faces_motion() {
+        let t = Trajectory::new(
+            vec![Vec3::ZERO, Vec3::new(20.0, 0.0, 0.0), Vec3::new(40.0, 0.0, 0.0)],
+            false,
+            10.0,
+            GazePolicy::AlongVelocity,
+        );
+        let pose = t.pose_cw(5.0);
+        // Forward (camera +z in world) ≈ +x.
+        let fwd_world = pose.inverse().rotate(Vec3::Z);
+        assert!(fwd_world.x > 0.99, "forward = {fwd_world:?}");
+    }
+
+    #[test]
+    fn image_stays_upright() {
+        let t = loop_traj();
+        for &time in &[1.0, 6.0, 11.0, 16.0] {
+            let pose = t.pose_cw(time);
+            // Camera "down" (+y) in world coordinates must have a positive
+            // -z component (pointing at the floor), i.e. no roll flip.
+            let down_world = pose.inverse().rotate(Vec3::Y);
+            assert!(down_world.z < 0.1, "camera rolled at t={time}: {down_world:?}");
+        }
+    }
+
+    #[test]
+    fn angular_velocity_finite_and_smooth() {
+        let t = loop_traj();
+        for &time in &[2.0, 8.0, 14.0] {
+            let w = t.angular_velocity(time);
+            assert!(!w.is_degenerate());
+            assert!(w.norm() < 10.0, "implausible angular rate {w:?}");
+        }
+    }
+
+    #[test]
+    fn path_length_positive() {
+        let t = loop_traj();
+        let len = t.path_length();
+        assert!(len > 15.0 && len < 60.0, "len = {len}");
+    }
+}

@@ -1,0 +1,355 @@
+//! Synthetic 3D worlds: fields of textured planar landmarks.
+//!
+//! A [`Landmark`] is a small planar patch in space carrying a deterministic
+//! procedural texture. Texture cell corners are *fixed 3D points*, so the
+//! corners FAST detects in rendered frames correspond to consistent world
+//! geometry across viewpoints — the property that makes triangulation,
+//! bundle adjustment and ATE evaluation meaningful.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use slamshare_math::Vec3;
+
+/// Texture cells per patch side. Each landmark renders as an n×n grid of
+/// constant-intensity cells whose interior junctions are FAST corners.
+pub const TEXTURE_CELLS: usize = 4;
+
+/// A textured planar landmark.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Landmark {
+    pub id: u32,
+    /// Patch center in world coordinates.
+    pub center: Vec3,
+    /// Unit normal of the patch plane.
+    pub normal: Vec3,
+    /// In-plane unit axes (orthogonal to each other and to `normal`).
+    pub u_axis: Vec3,
+    pub v_axis: Vec3,
+    /// Half edge length in meters.
+    pub half_size: f64,
+}
+
+impl Landmark {
+    /// Construct with consistent in-plane axes derived from the normal.
+    pub fn new(id: u32, center: Vec3, normal: Vec3, half_size: f64) -> Landmark {
+        let n = normal.normalized().expect("landmark normal must be nonzero");
+        // Pick the world axis least aligned with n to build a stable basis.
+        let helper = if n.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+        let u = n.cross(helper).normalized().unwrap();
+        let v = n.cross(u);
+        Landmark { id, center, normal: n, u_axis: u, v_axis: v, half_size }
+    }
+
+    /// The texture intensity at in-plane coordinates `(u, v)` (meters from
+    /// the patch center). `None` outside the patch.
+    ///
+    /// Deterministic per `(landmark id, cell)`; cell intensities are drawn
+    /// from a palette with strong contrast so adjacent cells produce FAST
+    /// corners at their shared junctions.
+    pub fn texture(&self, u: f64, v: f64) -> Option<u8> {
+        if u.abs() > self.half_size || v.abs() > self.half_size {
+            return None;
+        }
+        let cell = 2.0 * self.half_size / TEXTURE_CELLS as f64;
+        let cu = (((u + self.half_size) / cell) as usize).min(TEXTURE_CELLS - 1);
+        let cv = (((v + self.half_size) / cell) as usize).min(TEXTURE_CELLS - 1);
+        Some(cell_intensity(self.id, cu as u32, cv as u32))
+    }
+
+    /// World position of the texture-cell junction `(i, j)` for
+    /// `i, j ∈ 1..TEXTURE_CELLS` — the 3D points at which rendered corners
+    /// live. Exposed for geometric-consistency tests.
+    pub fn junction(&self, i: usize, j: usize) -> Vec3 {
+        let cell = 2.0 * self.half_size / TEXTURE_CELLS as f64;
+        let u = -self.half_size + i as f64 * cell;
+        let v = -self.half_size + j as f64 * cell;
+        self.center + self.u_axis * u + self.v_axis * v
+    }
+}
+
+/// Deterministic cell intensity: strong-contrast palette, mixed hash.
+fn cell_intensity(id: u32, cu: u32, cv: u32) -> u8 {
+    let mut h = (id as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add((cu as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+        .wrapping_add((cv as u64).wrapping_mul(0x94D049BB133111EB));
+    h ^= h >> 31;
+    h = h.wrapping_mul(0xD6E8FEB86659FD93);
+    h ^= h >> 29;
+    // Palette spanning the intensity range with gaps ≥ 45 so every
+    // neighbouring-cell junction clears the FAST threshold.
+    const PALETTE: [u8; 5] = [35, 85, 135, 185, 235];
+    PALETTE[(h % PALETTE.len() as u64) as usize]
+}
+
+/// A synthetic world: a set of landmarks plus a bounding description used
+/// by trajectory generators.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct World {
+    pub landmarks: Vec<Landmark>,
+    /// Human-readable tag, e.g. `"machine-hall"`.
+    pub tag: String,
+}
+
+impl World {
+    /// A rectangular room (machine-hall / Vicon-room style): landmarks
+    /// scattered over the four walls, floor and ceiling of a
+    /// `width × depth × height` box centered on the origin (floor at z=0).
+    ///
+    /// `density` is landmarks per square meter of surface. Patch half-size
+    /// defaults to 0.12–0.25 m (right for rooms viewed from a few meters);
+    /// use [`World::room_sized`] for larger spaces where cameras are
+    /// farther from the surfaces.
+    pub fn room(width: f64, depth: f64, height: f64, density: f64, seed: u64) -> World {
+        Self::room_sized(width, depth, height, density, seed, (0.12, 0.25))
+    }
+
+    /// [`World::room`] with explicit landmark patch half-size bounds.
+    /// Texture cells must project to ≥ ~3 px for FAST/BRIEF to see stable
+    /// structure: pick `half ≈ viewing_distance · 12 px / fx`.
+    pub fn room_sized(
+        width: f64,
+        depth: f64,
+        height: f64,
+        density: f64,
+        seed: u64,
+        half_range: (f64, f64),
+    ) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut landmarks = Vec::new();
+        let mut id = 0u32;
+        let hw = width / 2.0;
+        let hd = depth / 2.0;
+
+        let mut scatter = |count: usize,
+                           rng: &mut StdRng,
+                           make: &dyn Fn(&mut StdRng) -> (Vec3, Vec3)| {
+            for _ in 0..count {
+                let (center, normal) = make(rng);
+                let half = rng.gen_range(half_range.0..half_range.1);
+                landmarks.push(Landmark::new(id, center, normal, half));
+                id += 1;
+            }
+        };
+
+        // Walls at y = ±hd (normals facing inwards).
+        let wall_area = width * height;
+        scatter((wall_area * density) as usize, &mut rng, &|rng| {
+            (
+                Vec3::new(rng.gen_range(-hw..hw), -hd, rng.gen_range(0.2..height)),
+                Vec3::Y,
+            )
+        });
+        scatter((wall_area * density) as usize, &mut rng, &|rng| {
+            (
+                Vec3::new(rng.gen_range(-hw..hw), hd, rng.gen_range(0.2..height)),
+                -Vec3::Y,
+            )
+        });
+        // Walls at x = ±hw.
+        let side_area = depth * height;
+        scatter((side_area * density) as usize, &mut rng, &|rng| {
+            (
+                Vec3::new(-hw, rng.gen_range(-hd..hd), rng.gen_range(0.2..height)),
+                Vec3::X,
+            )
+        });
+        scatter((side_area * density) as usize, &mut rng, &|rng| {
+            (
+                Vec3::new(hw, rng.gen_range(-hd..hd), rng.gen_range(0.2..height)),
+                -Vec3::X,
+            )
+        });
+        // Floor and ceiling.
+        let floor_area = width * depth;
+        scatter((floor_area * density * 0.5) as usize, &mut rng, &|rng| {
+            (
+                Vec3::new(rng.gen_range(-hw..hw), rng.gen_range(-hd..hd), 0.0),
+                Vec3::Z,
+            )
+        });
+        scatter((floor_area * density * 0.5) as usize, &mut rng, &|rng| {
+            (
+                Vec3::new(rng.gen_range(-hw..hw), rng.gen_range(-hd..hd), height),
+                -Vec3::Z,
+            )
+        });
+
+        // Interior structures (pillars, racks, machines — it *is* a
+        // machine hall): free-standing patches at many depths. Depth
+        // diversity in the view is what conditions pose estimation — a
+        // single fronto-parallel wall leaves lateral translation vs. yaw
+        // nearly unobservable and tracking slides along that valley.
+        let n_interior = (floor_area * density * 0.25) as usize;
+        scatter(n_interior, &mut rng, &|rng| {
+            let pos = Vec3::new(
+                rng.gen_range(-hw * 0.85..hw * 0.85),
+                rng.gen_range(-hd * 0.85..hd * 0.85),
+                rng.gen_range(0.3..height * 0.8),
+            );
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            (pos, Vec3::new(theta.cos(), theta.sin(), 0.0))
+        });
+
+        World { landmarks, tag: "room".into() }
+    }
+
+    /// A street corridor (KITTI style): building facades flanking a
+    /// polyline route at `±half_street_width`, textured up to
+    /// `facade_height`. The route is given as planar waypoints (z = 0;
+    /// camera height is handled by the trajectory).
+    pub fn street(
+        route: &[Vec3],
+        half_street_width: f64,
+        facade_height: f64,
+        density: f64,
+        seed: u64,
+    ) -> World {
+        Self::street_sized(route, half_street_width, facade_height, density, seed, (0.15, 0.35))
+    }
+
+    /// [`World::street`] with explicit facade patch half-size bounds (big
+    /// patches for streets viewed at tens of meters).
+    pub fn street_sized(
+        route: &[Vec3],
+        half_street_width: f64,
+        facade_height: f64,
+        density: f64,
+        seed: u64,
+        half_range: (f64, f64),
+    ) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut landmarks = Vec::new();
+        let mut id = 0u32;
+        for seg in route.windows(2) {
+            let a = seg[0];
+            let b = seg[1];
+            let dir = match (b - a).normalized() {
+                Some(d) => d,
+                None => continue,
+            };
+            let left = Vec3::Z.cross(dir); // lateral unit vector
+            let len = (b - a).norm();
+            let per_side = (len * facade_height * density) as usize;
+            for side in [-1.0, 1.0] {
+                for _ in 0..per_side {
+                    let along = rng.gen_range(0.0..len);
+                    let h = rng.gen_range(0.3..facade_height);
+                    let center = a + dir * along + left * (side * half_street_width)
+                        + Vec3::Z * h;
+                    // Facade normal faces the street.
+                    let normal = left * (-side);
+                    let half = rng.gen_range(half_range.0..half_range.1);
+                    landmarks.push(Landmark::new(id, center, normal, half));
+                    id += 1;
+                }
+            }
+        }
+        World { landmarks, tag: "street".into() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.landmarks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn landmark_axes_orthonormal() {
+        let lm = Landmark::new(1, Vec3::ZERO, Vec3::new(0.3, 0.7, -0.2), 0.2);
+        assert!((lm.normal.norm() - 1.0).abs() < 1e-12);
+        assert!((lm.u_axis.norm() - 1.0).abs() < 1e-12);
+        assert!((lm.v_axis.norm() - 1.0).abs() < 1e-12);
+        assert!(lm.normal.dot(lm.u_axis).abs() < 1e-12);
+        assert!(lm.normal.dot(lm.v_axis).abs() < 1e-12);
+        assert!(lm.u_axis.dot(lm.v_axis).abs() < 1e-12);
+    }
+
+    #[test]
+    fn texture_bounded_and_deterministic() {
+        let lm = Landmark::new(7, Vec3::ZERO, Vec3::Z, 0.2);
+        assert!(lm.texture(0.3, 0.0).is_none());
+        assert!(lm.texture(0.0, -0.25).is_none());
+        let a = lm.texture(0.05, 0.05).unwrap();
+        let b = lm.texture(0.05, 0.05).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn texture_has_contrast() {
+        // Across all cells of a patch there must be at least two distinct
+        // intensities with a gap ≥ 45 (the renderer's corner guarantee).
+        let lm = Landmark::new(3, Vec3::ZERO, Vec3::Z, 0.2);
+        let cell = 2.0 * lm.half_size / TEXTURE_CELLS as f64;
+        let mut vals = std::collections::BTreeSet::new();
+        for i in 0..TEXTURE_CELLS {
+            for j in 0..TEXTURE_CELLS {
+                let u = -lm.half_size + (i as f64 + 0.5) * cell;
+                let v = -lm.half_size + (j as f64 + 0.5) * cell;
+                vals.insert(lm.texture(u, v).unwrap());
+            }
+        }
+        assert!(vals.len() >= 2, "patch is flat: {vals:?}");
+        let min = *vals.iter().next().unwrap();
+        let max = *vals.iter().last().unwrap();
+        assert!(max - min >= 45);
+    }
+
+    #[test]
+    fn junctions_lie_on_patch_plane() {
+        let lm = Landmark::new(9, Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.0, 1.0, 0.3), 0.25);
+        for i in 1..TEXTURE_CELLS {
+            for j in 1..TEXTURE_CELLS {
+                let p = lm.junction(i, j);
+                assert!((p - lm.center).dot(lm.normal).abs() < 1e-12);
+                assert!((p - lm.center).norm() <= lm.half_size * 1.5);
+            }
+        }
+    }
+
+    #[test]
+    fn room_world_populated() {
+        let w = World::room(20.0, 15.0, 8.0, 1.0, 42);
+        assert!(w.len() > 500, "only {} landmarks", w.len());
+        // All landmarks within the box (with slack for patch extent).
+        for lm in &w.landmarks {
+            assert!(lm.center.x.abs() <= 10.01);
+            assert!(lm.center.y.abs() <= 7.51);
+            assert!(lm.center.z >= -0.01 && lm.center.z <= 8.01);
+        }
+    }
+
+    #[test]
+    fn room_world_deterministic() {
+        let a = World::room(10.0, 10.0, 5.0, 0.5, 7);
+        let b = World::room(10.0, 10.0, 5.0, 0.5, 7);
+        assert_eq!(a.len(), b.len());
+        assert!((a.landmarks[0].center - b.landmarks[0].center).norm() < 1e-15);
+    }
+
+    #[test]
+    fn street_world_flanks_route() {
+        let route = [Vec3::ZERO, Vec3::new(100.0, 0.0, 0.0)];
+        let w = World::street(&route, 8.0, 6.0, 0.3, 5);
+        assert!(!w.is_empty());
+        for lm in &w.landmarks {
+            assert!((lm.center.y.abs() - 8.0).abs() < 1e-9, "off-facade landmark");
+            assert!(lm.center.x >= -0.01 && lm.center.x <= 100.01);
+        }
+    }
+
+    #[test]
+    fn degenerate_street_segment_skipped() {
+        let route = [Vec3::ZERO, Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)];
+        let w = World::street(&route, 5.0, 4.0, 0.2, 1);
+        assert!(!w.is_empty());
+    }
+}

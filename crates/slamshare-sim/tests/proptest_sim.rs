@@ -1,0 +1,93 @@
+//! Property-based tests for the simulation substrate: geometric and
+//! temporal invariants that must hold for arbitrary parameters.
+
+use proptest::prelude::*;
+use slamshare_math::Vec3;
+use slamshare_sim::camera::PinholeCamera;
+use slamshare_sim::clock::{EventQueue, SimTime};
+use slamshare_sim::trajectory::{GazePolicy, Trajectory};
+
+fn arb_point_in_frustum() -> impl Strategy<Value = Vec3> {
+    (-2.0f64..2.0, -1.5f64..1.5, 0.5f64..40.0).prop_map(|(x, y, z)| Vec3::new(x * z / 4.0, y * z / 4.0, z))
+}
+
+proptest! {
+    /// Project∘unproject is the identity on the frustum.
+    #[test]
+    fn camera_roundtrip(p in arb_point_in_frustum()) {
+        let cam = PinholeCamera::euroc_like();
+        if let Some(px) = cam.project(p) {
+            let back = cam.unproject(px, p.z);
+            prop_assert!((back - p).norm() < 1e-9 * (1.0 + p.norm()));
+        }
+    }
+
+    /// Projection preserves depth ordering along a ray: scaling a point
+    /// along its own ray leaves the pixel unchanged.
+    #[test]
+    fn projection_ray_invariance(p in arb_point_in_frustum(), s in 0.2f64..5.0) {
+        let cam = PinholeCamera::euroc_like();
+        let q = p * s;
+        if q.z > cam.z_near {
+            if let (Some(a), Some(b)) = (cam.project(p), cam.project(q)) {
+                prop_assert!((a - b).norm() < 1e-6);
+            }
+        }
+    }
+
+    /// Trajectory sampling is continuous: small dt ⇒ small displacement.
+    #[test]
+    fn trajectory_continuity(
+        seedlike in 1u64..100,
+        t in 0.0f64..20.0,
+        dt in 1e-4f64..0.02,
+    ) {
+        let traj = Trajectory::new(
+            vec![
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::new(4.0 + (seedlike % 5) as f64, 0.0, 1.5),
+                Vec3::new(4.0, 4.0, 1.0),
+                Vec3::new(0.0, 4.0, 2.0),
+            ],
+            true,
+            20.0,
+            GazePolicy::AtTarget(Vec3::new(2.0, 2.0, 1.0)),
+        );
+        let a = traj.position(t);
+        let b = traj.position(t + dt);
+        // Speed is bounded (few m/s for these loops); 0.02 s can't jump a
+        // meter.
+        prop_assert!((a - b).norm() < 1.0, "jump of {} m in {} s", (a - b).norm(), dt);
+        // Pose stays a rigid transform.
+        let pose = traj.pose_cw(t);
+        prop_assert!(pose.rot.to_mat3().is_rotation(1e-6));
+    }
+
+    /// The event queue pops in nondecreasing time order for arbitrary
+    /// schedules.
+    #[test]
+    fn event_queue_ordering(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// SimTime arithmetic: from_secs/as_secs round-trip within a
+    /// microsecond and subtraction saturates.
+    #[test]
+    fn simtime_roundtrip(s in 0.0f64..1e5) {
+        let t = SimTime::from_secs(s);
+        prop_assert!((t.as_secs() - s).abs() < 1e-6 + s * 1e-12);
+        prop_assert_eq!(SimTime::ZERO - t, SimTime::ZERO);
+        prop_assert_eq!(t.since(t), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,237 @@
+//! Trajectory-accuracy evaluation: absolute trajectory error (ATE).
+//!
+//! Follows the standard TUM/evo protocol the paper uses: associate
+//! estimated and ground-truth positions by timestamp, align with the
+//! closed-form similarity (Sim(3) for monocular, SE(3) for stereo/inertial
+//! where scale is observable), report the RMSE of the residuals.
+//!
+//! Also implements the paper's *short-term ATE* (Appendix C): the ATE over
+//! only the last `window` seconds of trajectory, capturing the user's most
+//! recent experience.
+
+use slamshare_math::{stats, umeyama, Vec3};
+
+/// An evaluated trajectory error.
+#[derive(Debug, Clone, Copy)]
+pub struct AteResult {
+    /// Root-mean-square error after alignment, in ground-truth units.
+    pub rmse: f64,
+    pub mean: f64,
+    pub max: f64,
+    /// Number of associated pose pairs.
+    pub n: usize,
+}
+
+/// Compute ATE between `(t, position)` samples. `with_scale` selects Sim(3)
+/// (monocular) vs SE(3) alignment. Pairs are associated by nearest
+/// timestamp within `max_dt` seconds.
+///
+/// Returns `None` when fewer than 3 pairs associate (alignment would be
+/// underdetermined).
+pub fn ate(
+    estimated: &[(f64, Vec3)],
+    ground_truth: &[(f64, Vec3)],
+    with_scale: bool,
+    max_dt: f64,
+) -> Option<AteResult> {
+    let (est, gt) = associate(estimated, ground_truth, max_dt);
+    if est.len() < 3 {
+        return None;
+    }
+    let alignment = umeyama(&est, &gt, with_scale)?;
+    let errors: Vec<f64> = est
+        .iter()
+        .zip(&gt)
+        .map(|(e, g)| (alignment.transform.transform(*e) - *g).norm())
+        .collect();
+    Some(AteResult {
+        rmse: stats::rms(&errors),
+        mean: stats::mean(&errors),
+        max: errors.iter().copied().fold(0.0, f64::max),
+        n: errors.len(),
+    })
+}
+
+/// The paper's short-term ATE: ATE restricted to the last `window` seconds
+/// of the estimated trajectory (Appendix C). The alignment is computed on
+/// the *whole* associated trajectory (the map's frame is global), but the
+/// error statistics cover only the window.
+pub fn short_term_ate(
+    estimated: &[(f64, Vec3)],
+    ground_truth: &[(f64, Vec3)],
+    with_scale: bool,
+    max_dt: f64,
+    window: f64,
+) -> Option<AteResult> {
+    let (est, gt) = associate(estimated, ground_truth, max_dt);
+    if est.len() < 3 {
+        return None;
+    }
+    let alignment = umeyama(&est, &gt, with_scale)?;
+    let t_end = estimated.iter().map(|(t, _)| *t).fold(f64::NEG_INFINITY, f64::max);
+    let t_start = t_end - window;
+
+    // Recompute association, retaining timestamps to filter the window.
+    let pairs = associate_with_times(estimated, ground_truth, max_dt);
+    let errors: Vec<f64> = pairs
+        .iter()
+        .filter(|(t, _, _)| *t >= t_start)
+        .map(|(_, e, g)| (alignment.transform.transform(*e) - *g).norm())
+        .collect();
+    if errors.is_empty() {
+        return None;
+    }
+    Some(AteResult {
+        rmse: stats::rms(&errors),
+        mean: stats::mean(&errors),
+        max: errors.iter().copied().fold(0.0, f64::max),
+        n: errors.len(),
+    })
+}
+
+fn associate(
+    estimated: &[(f64, Vec3)],
+    ground_truth: &[(f64, Vec3)],
+    max_dt: f64,
+) -> (Vec<Vec3>, Vec<Vec3>) {
+    let pairs = associate_with_times(estimated, ground_truth, max_dt);
+    (
+        pairs.iter().map(|(_, e, _)| *e).collect(),
+        pairs.iter().map(|(_, _, g)| *g).collect(),
+    )
+}
+
+fn associate_with_times(
+    estimated: &[(f64, Vec3)],
+    ground_truth: &[(f64, Vec3)],
+    max_dt: f64,
+) -> Vec<(f64, Vec3, Vec3)> {
+    if ground_truth.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for &(t, e) in estimated {
+        // Binary search the sorted ground truth for the nearest timestamp.
+        let idx = ground_truth.partition_point(|(gt_t, _)| *gt_t < t);
+        let mut best: Option<(f64, Vec3)> = None;
+        for cand in [idx.wrapping_sub(1), idx] {
+            if let Some(&(gt_t, g)) = ground_truth.get(cand) {
+                let dt = (gt_t - t).abs();
+                if dt <= max_dt && best.map(|(bt, _)| dt < (bt - t).abs()).unwrap_or(true) {
+                    best = Some((gt_t, g));
+                }
+            }
+        }
+        if let Some((_, g)) = best {
+            out.push((t, e, g));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slamshare_math::{Quat, Sim3, SE3};
+
+    fn gt_trajectory(n: usize) -> Vec<(f64, Vec3)> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                (t, Vec3::new(t.sin() * 3.0, t.cos() * 2.0, 0.1 * t))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_estimate_zero_ate() {
+        let gt = gt_trajectory(100);
+        let r = ate(&gt, &gt, false, 0.01).unwrap();
+        assert!(r.rmse < 1e-12);
+        assert_eq!(r.n, 100);
+    }
+
+    #[test]
+    fn rigidly_displaced_estimate_zero_ate() {
+        // ATE aligns first: a global rigid offset is not an error.
+        let gt = gt_trajectory(100);
+        let t = SE3::new(Quat::from_axis_angle(Vec3::Z, 1.0), Vec3::new(5.0, -2.0, 1.0));
+        let est: Vec<(f64, Vec3)> = gt.iter().map(|(s, p)| (*s, t.transform(*p))).collect();
+        let r = ate(&est, &gt, false, 0.01).unwrap();
+        assert!(r.rmse < 1e-9, "rmse {}", r.rmse);
+    }
+
+    #[test]
+    fn scaled_estimate_needs_sim3() {
+        let gt = gt_trajectory(100);
+        let s = Sim3::new(Quat::IDENTITY, Vec3::ZERO, 2.0);
+        let est: Vec<(f64, Vec3)> = gt.iter().map(|(t, p)| (*t, s.transform(*p))).collect();
+        // SE3 alignment can't remove the scale error...
+        let se3_rmse = ate(&est, &gt, false, 0.01).unwrap().rmse;
+        assert!(se3_rmse > 0.5);
+        // ...Sim3 alignment can.
+        let sim3_rmse = ate(&est, &gt, true, 0.01).unwrap().rmse;
+        assert!(sim3_rmse < 1e-9);
+    }
+
+    #[test]
+    fn noise_shows_up_as_rmse() {
+        let gt = gt_trajectory(200);
+        let est: Vec<(f64, Vec3)> = gt
+            .iter()
+            .enumerate()
+            .map(|(i, (t, p))| {
+                let jitter = Vec3::new(
+                    ((i * 37 % 13) as f64 - 6.0) / 100.0,
+                    ((i * 17 % 11) as f64 - 5.0) / 100.0,
+                    0.0,
+                );
+                (*t, *p + jitter)
+            })
+            .collect();
+        let r = ate(&est, &gt, false, 0.01).unwrap();
+        assert!(r.rmse > 0.01 && r.rmse < 0.15, "rmse {}", r.rmse);
+        assert!(r.max >= r.rmse);
+        assert!(r.mean <= r.rmse + 1e-12);
+    }
+
+    #[test]
+    fn association_respects_max_dt() {
+        let gt = vec![(0.0, Vec3::ZERO), (1.0, Vec3::X)];
+        let est = vec![(0.001, Vec3::ZERO), (0.5, Vec3::X), (0.999, Vec3::X)];
+        // Only 2 estimates associate within 10 ms — under the 3-pair
+        // minimum, so no result.
+        assert!(ate(&est, &gt, false, 0.01).is_none());
+    }
+
+    #[test]
+    fn short_term_ate_isolates_recent_error() {
+        // Accurate for 9 s, bad in the last second.
+        let gt = gt_trajectory(100);
+        let est: Vec<(f64, Vec3)> = gt
+            .iter()
+            .map(|(t, p)| {
+                if *t > 9.0 {
+                    (*t, *p + Vec3::new(0.5, 0.0, 0.0))
+                } else {
+                    (*t, *p)
+                }
+            })
+            .collect();
+        let cumulative = ate(&est, &gt, false, 0.01).unwrap().rmse;
+        let recent = short_term_ate(&est, &gt, false, 0.01, 1.0).unwrap().rmse;
+        assert!(
+            recent > 2.0 * cumulative,
+            "short-term {recent} should dwarf cumulative {cumulative}"
+        );
+        // The corrupted segment is 0.5 m off; alignment absorbs some of it
+        // but the window statistic must stay near the raw offset.
+        assert!(recent > 0.3, "short-term {recent}");
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(ate(&[], &[], false, 0.1).is_none());
+        assert!(short_term_ate(&[], &gt_trajectory(5), false, 0.1, 1.0).is_none());
+    }
+}

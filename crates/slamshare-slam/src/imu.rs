@@ -1,0 +1,345 @@
+//! IMU preintegration and the client-side pose model (paper Algorithm 1).
+//!
+//! SLAM-Share's client performs **only** IMU-based pose prediction; the
+//! accurate vision pose comes back from the server asynchronously
+//! (§4.2.2). [`Preintegrated`] accumulates gyro/accel samples between two
+//! camera frames into relative rotation/velocity/position deltas;
+//! [`ClientMotionModel`] replays Algorithm 1 verbatim:
+//!
+//! * `approx_pose_update_mm(c_imu, i)` — predict frame `i`'s pose from the
+//!   previous frame's motion-model state plus the IMU deltas;
+//! * `recv_slam_pose(pose, index)` — splice an (older) server pose into the
+//!   history and re-propagate the motion model forward over the frames
+//!   predicted since (lines 10–14).
+
+use serde::{Deserialize, Serialize};
+use slamshare_math::{Quat, Vec3, SE3};
+use slamshare_sim::imu::{ImuSample, GRAVITY};
+
+/// Preintegrated IMU measurements over one inter-frame interval.
+///
+/// Deltas are expressed in the *body frame at the start* of the interval:
+/// `d_rot` rotates start-body → end-body; `d_vel`/`d_pos` are the
+/// gravity-free velocity/position increments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Preintegrated {
+    pub dt: f64,
+    pub d_rot: Quat,
+    pub d_vel: Vec3,
+    pub d_pos: Vec3,
+}
+
+impl Preintegrated {
+    pub fn identity() -> Preintegrated {
+        Preintegrated { dt: 0.0, d_rot: Quat::IDENTITY, d_vel: Vec3::ZERO, d_pos: Vec3::ZERO }
+    }
+
+    /// Integrate a run of IMU samples. `start_rot_wb` is the world-from-
+    /// body rotation at the interval start (needed to subtract gravity
+    /// from the accelerometer's specific-force readings).
+    pub fn integrate(samples: &[ImuSample], start_rot_wb: Quat) -> Preintegrated {
+        let mut pre = Preintegrated::identity();
+        if samples.len() < 2 {
+            return pre;
+        }
+        let g_world = Vec3::new(0.0, 0.0, -GRAVITY);
+        // Gravity in the start-body frame (constant in this frame; the
+        // accumulated d_rot maps later samples back into it).
+        let g_body0 = start_rot_wb.inverse().rotate(g_world);
+
+        for w in samples.windows(2) {
+            let dt = w[1].t - w[0].t;
+            if dt <= 0.0 {
+                continue;
+            }
+            // Rotate the current sample's accel into the start-body frame.
+            let accel_body0 = pre.d_rot.rotate(w[0].accel);
+            let lin_acc = accel_body0 + g_body0; // remove gravity reaction
+            pre.d_pos += pre.d_vel * dt + lin_acc * (0.5 * dt * dt);
+            pre.d_vel += lin_acc * dt;
+            pre.d_rot = (pre.d_rot * Quat::exp(w[0].gyro * dt)).normalized();
+            pre.dt += dt;
+        }
+        pre
+    }
+}
+
+/// One motion-model entry: the state Algorithm 1 keeps per frame.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ModelEntry {
+    /// World→camera pose for this frame.
+    pub pose_cw: SE3,
+    /// World-frame linear velocity estimate.
+    pub velocity: Vec3,
+}
+
+/// The client's IMU motion model (paper Algorithm 1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClientMotionModel {
+    /// Per-frame state, indexed by frame number.
+    poses: Vec<ModelEntry>,
+    /// IMU deltas per frame interval: `deltas[i]` covers frame `i-1 → i`.
+    deltas: Vec<Preintegrated>,
+    /// Cumulative time at each frame (sum of delta dts).
+    times: Vec<f64>,
+    /// Last server-corrected frame: `(index, camera center, time)`.
+    last_server: Option<(usize, Vec3, f64)>,
+}
+
+impl ClientMotionModel {
+    pub fn new() -> ClientMotionModel {
+        ClientMotionModel::default()
+    }
+
+    /// Initialize frame 0 with a known pose (e.g. the session origin).
+    pub fn init(&mut self, pose0: SE3) {
+        self.poses.clear();
+        self.deltas.clear();
+        self.times.clear();
+        self.last_server = None;
+        self.poses.push(ModelEntry { pose_cw: pose0, velocity: Vec3::ZERO });
+        self.deltas.push(Preintegrated::identity());
+        self.times.push(0.0);
+    }
+
+    pub fn len(&self) -> usize {
+        self.poses.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.poses.is_empty()
+    }
+
+    pub fn pose(&self, i: usize) -> Option<SE3> {
+        self.poses.get(i).map(|e| e.pose_cw)
+    }
+
+    pub fn velocity(&self, i: usize) -> Option<Vec3> {
+        self.poses.get(i).map(|e| e.velocity)
+    }
+
+    /// Algorithm 1, `ApproxPose_UpdateMM`: predict frame `i`'s pose from
+    /// frame `i−1`'s motion-model state and the IMU delta `c_imu` covering
+    /// the interval. Appends (or overwrites) entry `i` and returns the
+    /// predicted pose.
+    pub fn approx_pose_update_mm(&mut self, c_imu: Preintegrated, i: usize) -> SE3 {
+        assert!(i >= 1 && i <= self.poses.len(), "frame {i} out of order");
+        let prev = self.poses[i - 1]; // PF_MM := Poses[i-1]
+        let t_wc_prev = prev.pose_cw.inverse();
+
+        // CRot := PF_MM.Rot × C_IMU.RotΔ  (world-from-body rotation).
+        let rot_wb = (t_wc_prev.rot * c_imu.d_rot).normalized();
+
+        // CVel := IMUVelocity(PF_MM.Vel, C_IMU.VelΔ): rotate the body-frame
+        // velocity increment into the world.
+        let velocity = prev.velocity + t_wc_prev.rot.rotate(c_imu.d_vel);
+
+        // CPos := IMUPosition(PF_MM.Pos, C_IMU.PosΔ).
+        let pos = t_wc_prev.trans + prev.velocity * c_imu.dt + t_wc_prev.rot.rotate(c_imu.d_pos);
+
+        // CurrentPose := LastFramePose × Velocity (compose into T_cw).
+        let t_wc = SE3 { rot: rot_wb, trans: pos };
+        let entry = ModelEntry { pose_cw: t_wc.inverse(), velocity };
+        if i == self.poses.len() {
+            self.poses.push(entry);
+            self.deltas.push(c_imu);
+            self.times.push(self.times[i - 1] + c_imu.dt);
+        } else {
+            self.poses[i] = entry;
+            self.deltas[i] = c_imu;
+            self.times[i] = self.times[i - 1] + c_imu.dt;
+        }
+        entry.pose_cw
+    }
+
+    /// Algorithm 1, `Recv_SLAMPose`: the server's vision pose for frame
+    /// `slam_index` arrives (possibly several frames late). Overwrite that
+    /// entry and re-propagate the IMU model over every later frame.
+    pub fn recv_slam_pose(&mut self, slam_pose: SE3, slam_index: usize) {
+        if slam_index >= self.poses.len() {
+            return;
+        }
+        // Velocity at the corrected frame. Server poses are the only
+        // trustworthy absolute anchors, so the best velocity estimate is
+        // the difference between *two server poses*. With only one server
+        // pose so far, fall back to differencing against the previous
+        // model entry — but reject it when it disagrees wildly with the
+        // propagated velocity (the predecessor may carry a large absolute
+        // error, which differencing would amplify by 1/dt).
+        let center = slam_pose.camera_center();
+        let t_now = self.times[slam_index];
+        let propagated = self.poses[slam_index].velocity;
+        // Frame-jump detection: after the server merges this client's map
+        // into the global map, replies arrive in a *different coordinate
+        // frame*. Differencing across that jump would manufacture a huge
+        // phantom velocity (meters over one frame interval), so treat it
+        // as a relocalization: adopt the pose, zero the velocity, and let
+        // the next same-frame reply re-derive it.
+        let jump = (center - self.poses[slam_index].pose_cw.camera_center()).norm() > 0.5;
+        if jump {
+            self.last_server = Some((slam_index, center, t_now));
+            self.poses[slam_index] = ModelEntry { pose_cw: slam_pose, velocity: Vec3::ZERO };
+            for j in (slam_index + 1)..self.poses.len() {
+                let d = self.deltas[j];
+                self.approx_pose_update_mm(d, j);
+            }
+            return;
+        }
+        let velocity = match self.last_server {
+            Some((j, cj, tj)) if j < slam_index && t_now - tj > 1e-6 => {
+                (center - cj) / (t_now - tj)
+            }
+            _ if slam_index >= 1 => {
+                let dt = self.deltas[slam_index].dt.max(1e-6);
+                let implied = (center - self.poses[slam_index - 1].pose_cw.camera_center()) / dt;
+                if (implied - propagated).norm() < 3.0 {
+                    implied
+                } else {
+                    propagated
+                }
+            }
+            _ => propagated,
+        };
+        self.last_server = Some((slam_index, center, t_now));
+        self.poses[slam_index] = ModelEntry { pose_cw: slam_pose, velocity };
+
+        // for j ← SLAMIndex to len(Poses): re-run the update with stored
+        // IMU deltas.
+        for j in (slam_index + 1)..self.poses.len() {
+            let d = self.deltas[j];
+            self.approx_pose_update_mm(d, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slamshare_sim::imu::{synthesize, ImuNoise};
+    use slamshare_sim::trajectory::{GazePolicy, Trajectory};
+
+    fn test_traj() -> Trajectory {
+        Trajectory::new(
+            vec![
+                Vec3::new(0.0, 0.0, 1.5),
+                Vec3::new(4.0, 0.5, 1.8),
+                Vec3::new(4.0, 4.0, 1.5),
+                Vec3::new(0.0, 4.0, 2.0),
+            ],
+            true,
+            24.0,
+            GazePolicy::AtTarget(Vec3::new(2.0, 2.0, 1.5)),
+        )
+    }
+
+    fn preint_between(traj: &Trajectory, imu: &[ImuSample], t0: f64, t1: f64) -> Preintegrated {
+        let s: Vec<ImuSample> = imu
+            .iter()
+            .filter(|s| s.t >= t0 && s.t <= t1 + 1e-9)
+            .copied()
+            .collect();
+        Preintegrated::integrate(&s, traj.pose_wc(t0).rot)
+    }
+
+    #[test]
+    fn preintegration_tracks_rotation() {
+        let traj = test_traj();
+        let imu = synthesize(&traj, 0.0, 1.0, 1000.0, &ImuNoise::perfect(), 0);
+        let pre = preint_between(&traj, &imu, 0.0, 0.5);
+        let q0 = traj.pose_wc(0.0).rot;
+        let q1 = traj.pose_wc(0.5).rot;
+        let true_rel = q0.inverse() * q1;
+        let err = pre.d_rot.angle_to(true_rel);
+        assert!(err < 0.01, "rotation error {err} rad");
+    }
+
+    #[test]
+    fn preintegration_tracks_position_short_term() {
+        let traj = test_traj();
+        let imu = synthesize(&traj, 0.0, 1.0, 1000.0, &ImuNoise::perfect(), 0);
+        let t0 = 0.2;
+        let t1 = 0.3;
+        let pre = preint_between(&traj, &imu, t0, t1);
+        // Predicted displacement = v0·dt + R_wb0 · d_pos.
+        let v0 = traj.velocity(t0);
+        let r0 = traj.pose_wc(t0).rot;
+        let predicted = v0 * pre.dt + r0.rotate(pre.d_pos);
+        let actual = traj.position(t0 + pre.dt) - traj.position(t0);
+        assert!(
+            (predicted - actual).norm() < 0.01,
+            "pos err {} over {}s",
+            (predicted - actual).norm(),
+            pre.dt
+        );
+    }
+
+    #[test]
+    fn empty_interval_is_identity() {
+        let pre = Preintegrated::integrate(&[], Quat::IDENTITY);
+        assert_eq!(pre.dt, 0.0);
+        assert_eq!(pre.d_pos, Vec3::ZERO);
+    }
+
+    /// Dead-reckon 30 frames (1 s) with perfect IMU: drift must stay small
+    /// (the paper's claim that IMU-only tracking suffices over the brief
+    /// interval while awaiting the server pose — Table 2).
+    #[test]
+    fn dead_reckoning_one_second_drift_small() {
+        let traj = test_traj();
+        let fps = 30.0;
+        let imu = synthesize(&traj, 0.0, 2.0, 1000.0, &ImuNoise::perfect(), 0);
+        let mut model = ClientMotionModel::new();
+        model.init(traj.pose_cw(0.0));
+        // Seed the velocity with one corrected pose (as the client would
+        // after its first server response).
+        let d1 = preint_between(&traj, &imu, 0.0, 1.0 / fps);
+        model.approx_pose_update_mm(d1, 1);
+        model.recv_slam_pose(traj.pose_cw(1.0 / fps), 1);
+
+        for i in 2..=30usize {
+            let t0 = (i - 1) as f64 / fps;
+            let t1 = i as f64 / fps;
+            let d = preint_between(&traj, &imu, t0, t1);
+            model.approx_pose_update_mm(d, i);
+        }
+        let predicted = model.pose(30).unwrap();
+        let truth = traj.pose_cw(1.0);
+        let err = predicted.center_distance(&truth);
+        assert!(err < 0.30, "1 s dead-reckoning drift {err} m");
+    }
+
+    /// Server pose correction must snap the chain back: after
+    /// `recv_slam_pose` at frame k, the re-propagated poses at k+Δ are
+    /// closer to truth than the uncorrected ones.
+    #[test]
+    fn server_correction_repropagates() {
+        let traj = test_traj();
+        let fps = 30.0;
+        let imu = synthesize(&traj, 0.0, 2.0, 500.0, &ImuNoise::default(), 3);
+        let mut model = ClientMotionModel::new();
+        // Deliberately wrong start: offset origin.
+        let mut wrong0 = traj.pose_cw(0.0);
+        wrong0.trans += Vec3::new(0.3, -0.2, 0.1);
+        model.init(wrong0);
+        for i in 1..=20usize {
+            let t0 = (i - 1) as f64 / fps;
+            let t1 = i as f64 / fps;
+            let d = preint_between(&traj, &imu, t0, t1);
+            model.approx_pose_update_mm(d, i);
+        }
+        let before = model.pose(20).unwrap().center_distance(&traj.pose_cw(20.0 / fps));
+        // Server sends the true pose for frame 15.
+        model.recv_slam_pose(traj.pose_cw(15.0 / fps), 15);
+        let after = model.pose(20).unwrap().center_distance(&traj.pose_cw(20.0 / fps));
+        assert!(after < before, "correction didn't help: {after} >= {before}");
+        assert!(after < 0.15, "post-correction error {after}");
+    }
+
+    #[test]
+    fn recv_future_index_ignored() {
+        let mut model = ClientMotionModel::new();
+        model.init(SE3::IDENTITY);
+        model.recv_slam_pose(SE3::IDENTITY, 99);
+        assert_eq!(model.len(), 1);
+    }
+}

@@ -1,0 +1,436 @@
+//! Map data structures: keyframes, map points, the covisibility graph.
+//!
+//! A [`Map`] is the unit of state SLAM-Share consolidates on the edge
+//! server. The same structure serves as a client-local map in the baseline
+//! (where it gets serialized across the network — `slamshare-net`) and as
+//! the shared-memory global map (where it lives in the `slamshare-shm`
+//! store and is reached by handle, zero-copy).
+
+use crate::ids::{ClientId, IdAllocator, KeyFrameId, MapPointId};
+use serde::{Deserialize, Serialize};
+use slamshare_features::bow::BowVector;
+use slamshare_features::{Descriptor, KeyPoint};
+use slamshare_math::{Sim3, Vec3, SE3};
+use std::collections::{BTreeMap, HashMap};
+
+/// A 3D landmark estimate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MapPoint {
+    pub id: MapPointId,
+    /// Position in the map's world frame.
+    pub position: Vec3,
+    /// Representative descriptor (medoid of its observations).
+    pub descriptor: Descriptor,
+    /// Mean viewing direction (unit, world frame).
+    pub normal: Vec3,
+    /// Keyframes observing this point, with the keypoint index within each.
+    pub observations: Vec<(KeyFrameId, usize)>,
+    /// Set when the point has been fused into another during merging; the
+    /// id it was replaced by.
+    pub replaced_by: Option<MapPointId>,
+}
+
+impl MapPoint {
+    pub fn n_observations(&self) -> usize {
+        self.observations.len()
+    }
+}
+
+/// A keyframe: a frame promoted to the map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeyFrame {
+    pub id: KeyFrameId,
+    /// World → camera pose.
+    pub pose_cw: SE3,
+    pub timestamp: f64,
+    pub keypoints: Vec<KeyPoint>,
+    pub descriptors: Vec<Descriptor>,
+    /// For each keypoint, the map point it observes (if any).
+    pub matched_points: Vec<Option<MapPointId>>,
+    /// Bag-of-words vector for place recognition.
+    pub bow: BowVector,
+}
+
+impl KeyFrame {
+    /// Number of keypoints associated to map points.
+    pub fn n_matched(&self) -> usize {
+        self.matched_points.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+/// A SLAM map: keyframes + map points + derived covisibility.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Map {
+    pub keyframes: BTreeMap<KeyFrameId, KeyFrame>,
+    pub mappoints: BTreeMap<MapPointId, MapPoint>,
+    /// The id allocator for locally-created entities.
+    pub alloc: IdAllocator,
+}
+
+impl Map {
+    pub fn new(client: ClientId) -> Map {
+        Map {
+            keyframes: BTreeMap::new(),
+            mappoints: BTreeMap::new(),
+            alloc: IdAllocator::new(client),
+        }
+    }
+
+    pub fn n_keyframes(&self) -> usize {
+        self.keyframes.len()
+    }
+
+    pub fn n_mappoints(&self) -> usize {
+        self.mappoints.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keyframes.is_empty()
+    }
+
+    /// Insert a keyframe built by the tracker. Registers its map-point
+    /// observations on the points.
+    pub fn insert_keyframe(&mut self, kf: KeyFrame) {
+        for (kp_idx, mp_id) in kf.matched_points.iter().enumerate() {
+            if let Some(mp_id) = mp_id {
+                if let Some(mp) = self.mappoints.get_mut(mp_id) {
+                    if !mp.observations.iter().any(|(k, i)| *k == kf.id && *i == kp_idx) {
+                        mp.observations.push((kf.id, kp_idx));
+                    }
+                }
+            }
+        }
+        self.keyframes.insert(kf.id, kf);
+    }
+
+    /// Create a new map point observed by `kf_id` at keypoint `kp_idx`.
+    pub fn create_mappoint(
+        &mut self,
+        position: Vec3,
+        descriptor: Descriptor,
+        kf_id: KeyFrameId,
+        kp_idx: usize,
+    ) -> MapPointId {
+        let id = self.alloc.next_mappoint();
+        let normal = self
+            .keyframes
+            .get(&kf_id)
+            .and_then(|kf| (position - kf.pose_cw.camera_center()).normalized())
+            .unwrap_or(Vec3::Z);
+        self.mappoints.insert(
+            id,
+            MapPoint {
+                id,
+                position,
+                descriptor,
+                normal,
+                observations: vec![(kf_id, kp_idx)],
+                replaced_by: None,
+            },
+        );
+        if let Some(kf) = self.keyframes.get_mut(&kf_id) {
+            kf.matched_points[kp_idx] = Some(id);
+        }
+        id
+    }
+
+    /// Add an observation of an existing point from a keyframe.
+    pub fn add_observation(&mut self, mp_id: MapPointId, kf_id: KeyFrameId, kp_idx: usize) {
+        if let Some(mp) = self.mappoints.get_mut(&mp_id) {
+            if !mp.observations.iter().any(|(k, i)| *k == kf_id && *i == kp_idx) {
+                mp.observations.push((kf_id, kp_idx));
+            }
+        }
+        if let Some(kf) = self.keyframes.get_mut(&kf_id) {
+            kf.matched_points[kp_idx] = Some(mp_id);
+        }
+    }
+
+    /// Remove a map point entirely (culling), clearing keyframe back-refs.
+    pub fn remove_mappoint(&mut self, mp_id: MapPointId) {
+        if let Some(mp) = self.mappoints.remove(&mp_id) {
+            for (kf_id, kp_idx) in mp.observations {
+                if let Some(kf) = self.keyframes.get_mut(&kf_id) {
+                    if kf.matched_points[kp_idx] == Some(mp_id) {
+                        kf.matched_points[kp_idx] = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fuse `src` into `dst`: move observations, delete `src`. Used by
+    /// merging when two clients observed the same physical point.
+    pub fn fuse_mappoints(&mut self, dst: MapPointId, src: MapPointId) {
+        if dst == src {
+            return;
+        }
+        let Some(srcp) = self.mappoints.remove(&src) else { return };
+        let obs = srcp.observations;
+        for (kf_id, kp_idx) in obs {
+            if let Some(kf) = self.keyframes.get_mut(&kf_id) {
+                if kf.matched_points[kp_idx] == Some(src) {
+                    kf.matched_points[kp_idx] = Some(dst);
+                }
+            }
+            if let Some(d) = self.mappoints.get_mut(&dst) {
+                if !d.observations.iter().any(|(k, i)| *k == kf_id && *i == kp_idx) {
+                    d.observations.push((kf_id, kp_idx));
+                }
+            }
+        }
+    }
+
+    /// Keyframes covisible with `kf_id` (sharing ≥ `min_shared` map
+    /// points), sorted by shared count descending.
+    pub fn covisible_keyframes(&self, kf_id: KeyFrameId, min_shared: usize) -> Vec<(KeyFrameId, usize)> {
+        let Some(kf) = self.keyframes.get(&kf_id) else { return Vec::new() };
+        let mut counts: HashMap<KeyFrameId, usize> = HashMap::new();
+        for mp_id in kf.matched_points.iter().flatten() {
+            if let Some(mp) = self.mappoints.get(mp_id) {
+                for (other, _) in &mp.observations {
+                    if *other != kf_id {
+                        *counts.entry(*other).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(KeyFrameId, usize)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_shared)
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The local map around a keyframe: ids of points observed by it and by
+    /// its covisible keyframes. This is the candidate set *search local
+    /// points* scans.
+    pub fn local_map_points(&self, kf_id: KeyFrameId, min_shared: usize) -> Vec<MapPointId> {
+        let mut kfs = vec![kf_id];
+        kfs.extend(self.covisible_keyframes(kf_id, min_shared).into_iter().map(|(k, _)| k));
+        let mut seen = std::collections::BTreeSet::new();
+        for k in kfs {
+            if let Some(kf) = self.keyframes.get(&k) {
+                for mp in kf.matched_points.iter().flatten() {
+                    seen.insert(*mp);
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// The most recent keyframe (by timestamp).
+    pub fn latest_keyframe(&self) -> Option<&KeyFrame> {
+        self.keyframes
+            .values()
+            .max_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap())
+    }
+
+    /// Apply a similarity transform to every pose and point (used when a
+    /// client map is snapped onto the global map; Alg. 2 lines 9–12).
+    ///
+    /// Poses transform via [`transform_pose_cw`], points as `p' = T(p)`.
+    pub fn transform_all(&mut self, t: &Sim3) {
+        for kf in self.keyframes.values_mut() {
+            kf.pose_cw = transform_pose_cw(&kf.pose_cw, t);
+        }
+        for mp in self.mappoints.values_mut() {
+            mp.position = t.transform(mp.position);
+            mp.normal = t.rot.rotate(mp.normal);
+        }
+    }
+
+    /// Approximate in-memory size in bytes (Table 1's "map size" metric —
+    /// what serializing this map costs, dominated by descriptors and
+    /// keypoints).
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = 0;
+        for kf in self.keyframes.values() {
+            total += 128; // pose, id, timestamp, bookkeeping
+            total += kf.keypoints.len() * std::mem::size_of::<KeyPoint>();
+            total += kf.descriptors.len() * 32;
+            total += kf.matched_points.len() * 9;
+            total += kf.bow.0.len() * 12;
+        }
+        for mp in self.mappoints.values() {
+            total += 32 + 24 + 24 + 32; // id, position, normal, descriptor
+            total += mp.observations.len() * 16;
+        }
+        total
+    }
+
+    /// Estimated trajectory: keyframe `(timestamp, camera center)` pairs in
+    /// time order. The ATE evaluation consumes this.
+    pub fn trajectory(&self) -> Vec<(f64, Vec3)> {
+        let mut out: Vec<(f64, Vec3)> = self
+            .keyframes
+            .values()
+            .map(|kf| (kf.timestamp, kf.pose_cw.camera_center()))
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        out
+    }
+}
+
+/// Re-express a world→camera pose after its map is moved by similarity
+/// `t`: the new camera center is `t(old center)`, orientation composes
+/// with `t`'s rotation. (Scale cannot live in an SE(3) pose; camera-frame
+/// coordinates scale uniformly by `t.scale`, leaving projections
+/// unchanged.)
+pub fn transform_pose_cw(pose_cw: &SE3, t: &Sim3) -> SE3 {
+    let t_inv = t.inverse();
+    let new_center = t.transform(pose_cw.camera_center());
+    let new_rot = (pose_cw.rot * t_inv.rot).normalized();
+    SE3 { rot: new_rot, trans: -(new_rot.rotate(new_center)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slamshare_math::Quat;
+
+    fn blank_kf(map: &mut Map, t: f64, n_kp: usize) -> KeyFrameId {
+        let id = map.alloc.next_keyframe();
+        let kf = KeyFrame {
+            id,
+            pose_cw: SE3::IDENTITY,
+            timestamp: t,
+            keypoints: vec![KeyPoint::new(slamshare_math::Vec2::ZERO, 0, 1.0); n_kp],
+            descriptors: vec![Descriptor::ZERO; n_kp],
+            matched_points: vec![None; n_kp],
+            bow: BowVector::default(),
+        };
+        map.insert_keyframe(kf);
+        id
+    }
+
+    #[test]
+    fn create_and_observe_point() {
+        let mut map = Map::new(ClientId(1));
+        let kf1 = blank_kf(&mut map, 0.0, 5);
+        let kf2 = blank_kf(&mut map, 1.0, 5);
+        let mp = map.create_mappoint(Vec3::new(1.0, 2.0, 3.0), Descriptor::ZERO, kf1, 0);
+        map.add_observation(mp, kf2, 3);
+        assert_eq!(map.mappoints[&mp].n_observations(), 2);
+        assert_eq!(map.keyframes[&kf1].matched_points[0], Some(mp));
+        assert_eq!(map.keyframes[&kf2].matched_points[3], Some(mp));
+        assert_eq!(map.keyframes[&kf1].n_matched(), 1);
+    }
+
+    #[test]
+    fn duplicate_observation_ignored() {
+        let mut map = Map::new(ClientId(1));
+        let kf = blank_kf(&mut map, 0.0, 3);
+        let mp = map.create_mappoint(Vec3::ZERO, Descriptor::ZERO, kf, 0);
+        map.add_observation(mp, kf, 0);
+        assert_eq!(map.mappoints[&mp].n_observations(), 1);
+    }
+
+    #[test]
+    fn remove_point_clears_backrefs() {
+        let mut map = Map::new(ClientId(1));
+        let kf = blank_kf(&mut map, 0.0, 3);
+        let mp = map.create_mappoint(Vec3::ZERO, Descriptor::ZERO, kf, 1);
+        map.remove_mappoint(mp);
+        assert!(map.mappoints.is_empty());
+        assert_eq!(map.keyframes[&kf].matched_points[1], None);
+    }
+
+    #[test]
+    fn fuse_moves_observations() {
+        let mut map = Map::new(ClientId(1));
+        let kf1 = blank_kf(&mut map, 0.0, 3);
+        let kf2 = blank_kf(&mut map, 1.0, 3);
+        let a = map.create_mappoint(Vec3::ZERO, Descriptor::ZERO, kf1, 0);
+        let b = map.create_mappoint(Vec3::new(0.01, 0.0, 0.0), Descriptor::ZERO, kf2, 0);
+        map.fuse_mappoints(a, b);
+        assert!(!map.mappoints.contains_key(&b));
+        assert_eq!(map.mappoints[&a].n_observations(), 2);
+        assert_eq!(map.keyframes[&kf2].matched_points[0], Some(a));
+    }
+
+    #[test]
+    fn covisibility_counts_shared_points() {
+        let mut map = Map::new(ClientId(1));
+        let kf1 = blank_kf(&mut map, 0.0, 10);
+        let kf2 = blank_kf(&mut map, 1.0, 10);
+        let kf3 = blank_kf(&mut map, 2.0, 10);
+        for i in 0..4 {
+            let mp = map.create_mappoint(Vec3::ZERO, Descriptor::ZERO, kf1, i);
+            map.add_observation(mp, kf2, i);
+        }
+        let mp = map.create_mappoint(Vec3::ZERO, Descriptor::ZERO, kf1, 5);
+        map.add_observation(mp, kf3, 5);
+
+        let cov = map.covisible_keyframes(kf1, 1);
+        assert_eq!(cov[0], (kf2, 4));
+        assert_eq!(cov[1], (kf3, 1));
+        let cov2 = map.covisible_keyframes(kf1, 2);
+        assert_eq!(cov2.len(), 1);
+    }
+
+    #[test]
+    fn local_map_points_unions_covisible() {
+        let mut map = Map::new(ClientId(1));
+        let kf1 = blank_kf(&mut map, 0.0, 10);
+        let kf2 = blank_kf(&mut map, 1.0, 10);
+        let shared = map.create_mappoint(Vec3::ZERO, Descriptor::ZERO, kf1, 0);
+        map.add_observation(shared, kf2, 0);
+        let only2 = map.create_mappoint(Vec3::X, Descriptor::ZERO, kf2, 1);
+        let pts = map.local_map_points(kf1, 1);
+        assert!(pts.contains(&shared));
+        assert!(pts.contains(&only2), "covisible keyframe's points must be in the local map");
+    }
+
+    #[test]
+    fn transform_all_moves_centers_like_points() {
+        let mut map = Map::new(ClientId(1));
+        let kf = blank_kf(&mut map, 0.0, 1);
+        let mp = map.create_mappoint(Vec3::new(0.0, 0.0, 5.0), Descriptor::ZERO, kf, 0);
+
+        let before_center = map.keyframes[&kf].pose_cw.camera_center();
+        let before_pt_cam = map.keyframes[&kf].pose_cw.transform(map.mappoints[&mp].position);
+
+        let t = Sim3::new(
+            Quat::from_axis_angle(Vec3::Z, 0.7),
+            Vec3::new(3.0, -1.0, 2.0),
+            1.5,
+        );
+        map.transform_all(&t);
+
+        let after_center = map.keyframes[&kf].pose_cw.camera_center();
+        assert!((after_center - t.transform(before_center)).norm() < 1e-9);
+        // Invariant: the point's camera-frame direction is unchanged
+        // (up to the scale factor) because both moved together.
+        let after_pt_cam = map.keyframes[&kf].pose_cw.transform(map.mappoints[&mp].position);
+        let dir_before = before_pt_cam.normalized().unwrap();
+        let dir_after = after_pt_cam.normalized().unwrap();
+        assert!((dir_before - dir_after).norm() < 1e-9, "{dir_before:?} vs {dir_after:?}");
+        assert!((after_pt_cam.norm() / before_pt_cam.norm() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let mut map = Map::new(ClientId(1));
+        let empty = map.approx_bytes();
+        let kf = blank_kf(&mut map, 0.0, 100);
+        let with_kf = map.approx_bytes();
+        assert!(with_kf > empty + 100 * 32);
+        for i in 0..10 {
+            map.create_mappoint(Vec3::ZERO, Descriptor::ZERO, kf, i);
+        }
+        assert!(map.approx_bytes() > with_kf);
+    }
+
+    #[test]
+    fn trajectory_sorted_by_time() {
+        let mut map = Map::new(ClientId(1));
+        blank_kf(&mut map, 2.0, 1);
+        blank_kf(&mut map, 0.5, 1);
+        blank_kf(&mut map, 1.0, 1);
+        let traj = map.trajectory();
+        assert_eq!(traj.len(), 3);
+        assert!(traj.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -1,0 +1,392 @@
+//! Local mapping: keyframe insertion, map-point creation, culling and
+//! local bundle adjustment.
+//!
+//! In the paper this runs in the per-client server process ("Local
+//! Mapping" in Fig. 3, Process A) and continuously feeds the shared global
+//! map. The same code also runs client-side in the Edge-SLAM-style
+//! baseline.
+
+use crate::ids::KeyFrameId;
+use crate::map::{KeyFrame, Map};
+use crate::optimize::{local_bundle_adjust, BaStats};
+use crate::tracking::{FrameObservation, SensorMode};
+use crate::triangulate;
+use slamshare_features::bow::Vocabulary;
+use slamshare_features::matching::{match_by_projection, ProjectionQuery, TH_LOW};
+use slamshare_sim::camera::StereoRig;
+
+/// Mapping tuning parameters.
+#[derive(Debug, Clone)]
+pub struct MappingConfig {
+    /// Minimum parallax (radians) to accept a mono triangulation.
+    pub min_parallax: f64,
+    /// Maximum reprojection error (pixels) for a new point.
+    pub max_reproj_px: f64,
+    /// Local-BA window size (keyframes).
+    pub ba_window: usize,
+    /// Run local BA every N keyframe insertions (1 = every time).
+    pub ba_every: usize,
+    /// Coordinate-descent sweeps per BA invocation.
+    pub ba_sweeps: usize,
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        MappingConfig {
+            min_parallax: 0.005,
+            max_reproj_px: 3.0,
+            ba_window: 6,
+            ba_every: 2,
+            ba_sweeps: 2,
+        }
+    }
+}
+
+/// Report from one keyframe insertion.
+#[derive(Debug, Clone, Default)]
+pub struct InsertionReport {
+    pub kf_id: Option<KeyFrameId>,
+    pub n_new_points: usize,
+    pub n_observations_added: usize,
+    pub ba: Option<BaStats>,
+}
+
+/// The local-mapping back end for one map.
+#[derive(Debug, Clone)]
+pub struct LocalMapper {
+    pub config: MappingConfig,
+    pub mode: SensorMode,
+    pub rig: StereoRig,
+    inserted: usize,
+}
+
+impl LocalMapper {
+    pub fn new(mode: SensorMode, rig: StereoRig, config: MappingConfig) -> LocalMapper {
+        LocalMapper { config, mode, rig, inserted: 0 }
+    }
+
+    /// Promote a tracked frame to a keyframe: insert it into the map,
+    /// register its tracked-point observations, create new map points
+    /// (stereo depth, or mono two-view triangulation against the best
+    /// covisible keyframe), and periodically run local BA.
+    pub fn insert_keyframe(
+        &mut self,
+        map: &mut Map,
+        vocab: &Vocabulary,
+        obs: &FrameObservation,
+    ) -> InsertionReport {
+        let mut report = InsertionReport::default();
+        let kf_id = map.alloc.next_keyframe();
+        let bow = vocab.transform(&obs.descriptors);
+        let kf = KeyFrame {
+            id: kf_id,
+            pose_cw: obs.pose_cw,
+            timestamp: obs.timestamp,
+            keypoints: obs.keypoints.clone(),
+            descriptors: obs.descriptors.clone(),
+            matched_points: obs.matched.clone(),
+            bow,
+        };
+        report.n_observations_added = kf.n_matched();
+        map.insert_keyframe(kf);
+        report.kf_id = Some(kf_id);
+
+        // New map points.
+        match self.mode {
+            SensorMode::Stereo => {
+                report.n_new_points = self.create_stereo_points(map, kf_id);
+            }
+            SensorMode::Mono => {
+                report.n_new_points = self.create_mono_points(map, kf_id);
+            }
+        }
+
+        self.inserted += 1;
+        if self.config.ba_every > 0 && self.inserted % self.config.ba_every == 0 {
+            report.ba = Some(local_bundle_adjust(
+                map,
+                &self.rig.cam,
+                kf_id,
+                self.config.ba_window,
+                self.config.ba_sweeps,
+            ));
+        }
+        report
+    }
+
+    /// Create points from the keyframe's stereo depths for keypoints not
+    /// yet associated to the map.
+    fn create_stereo_points(&self, map: &mut Map, kf_id: KeyFrameId) -> usize {
+        let kf = &map.keyframes[&kf_id];
+        let pose = kf.pose_cw;
+        let mut todo = Vec::new();
+        for (i, kp) in kf.keypoints.iter().enumerate() {
+            if kf.matched_points[i].is_some() || !kp.has_stereo() {
+                continue;
+            }
+            if let Some(p) = triangulate::stereo_point(&self.rig, &pose, kp.pt, kp.right_x) {
+                todo.push((i, p, kf.descriptors[i]));
+            }
+        }
+        let n = todo.len();
+        for (i, p, d) in todo {
+            map.create_mappoint(p, d, kf_id, i);
+        }
+        n
+    }
+
+    /// Mono: match this keyframe's unassociated keypoints against the best
+    /// covisible keyframe's unassociated keypoints and triangulate.
+    fn create_mono_points(&self, map: &mut Map, kf_id: KeyFrameId) -> usize {
+        let Some((other_id, _)) = map
+            .covisible_keyframes(kf_id, 5)
+            .into_iter()
+            .next()
+            .or_else(|| {
+                // A fresh map may have no covisibility yet: fall back to
+                // the previous keyframe by timestamp.
+                let this_t = map.keyframes[&kf_id].timestamp;
+                map.keyframes
+                    .values()
+                    .filter(|k| k.id != kf_id && k.timestamp < this_t)
+                    .max_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap())
+                    .map(|k| (k.id, 0))
+            })
+        else {
+            return 0;
+        };
+
+        let (idx_pairs, points) = {
+            let kf = &map.keyframes[&kf_id];
+            let other = &map.keyframes[&other_id];
+
+            let free_a: Vec<usize> = (0..kf.keypoints.len())
+                .filter(|&i| kf.matched_points[i].is_none())
+                .collect();
+            let free_b: Vec<usize> = (0..other.keypoints.len())
+                .filter(|&i| other.matched_points[i].is_none())
+                .collect();
+            // Windowed search (as ORB-SLAM's initializer) instead of
+            // global brute force: repeated scene texture makes a global
+            // ratio test reject most true matches, while the spatial
+            // window disambiguates them. Keyframes are close in time, so a
+            // generous fixed window around the same pixel suffices; wrong
+            // pairs die at the two-view reprojection gate below.
+            let queries: Vec<ProjectionQuery> = free_a
+                .iter()
+                .map(|&i| ProjectionQuery {
+                    descriptor: kf.descriptors[i],
+                    predicted: kf.keypoints[i].pt,
+                    radius: 90.0,
+                })
+                .collect();
+            let pos_b: Vec<_> = free_b.iter().map(|&i| other.keypoints[i].pt).collect();
+            let desc_b: Vec<_> = free_b.iter().map(|&i| other.descriptors[i]).collect();
+            let matches = match_by_projection(&queries, &pos_b, &desc_b, TH_LOW);
+
+            let mut idx_pairs = Vec::new();
+            let mut points = Vec::new();
+            for m in matches {
+                let ia = free_a[m.query];
+                let ib = free_b[m.train];
+                let Some(p) = triangulate::triangulate_midpoint(
+                    &self.rig.cam,
+                    &kf.pose_cw,
+                    kf.keypoints[ia].pt,
+                    &other.pose_cw,
+                    other.keypoints[ib].pt,
+                ) else {
+                    continue;
+                };
+                if triangulate::parallax_angle(&kf.pose_cw, &other.pose_cw, p)
+                    < self.config.min_parallax
+                {
+                    continue;
+                }
+                // Reprojection gate in both views.
+                let ok = [(&kf.pose_cw, kf.keypoints[ia].pt), (&other.pose_cw, other.keypoints[ib].pt)]
+                    .iter()
+                    .all(|(pose, px)| {
+                        self.rig
+                            .cam
+                            .project(pose.transform(p))
+                            .map(|proj| proj.dist(*px) < self.config.max_reproj_px)
+                            .unwrap_or(false)
+                    });
+                if !ok {
+                    continue;
+                }
+                idx_pairs.push((ia, ib));
+                points.push((p, kf.descriptors[ia]));
+            }
+            (idx_pairs, points)
+        };
+
+        let n = points.len();
+        for ((ia, ib), (p, d)) in idx_pairs.into_iter().zip(points) {
+            let mp = map.create_mappoint(p, d, kf_id, ia);
+            map.add_observation(mp, other_id, ib);
+        }
+        n
+    }
+
+    /// Cull map points with a single observation that were created more
+    /// than `max_age` seconds before `now` — they never got corroborated.
+    pub fn cull_points(&self, map: &mut Map, now: f64, max_age: f64) -> usize {
+        let stale: Vec<_> = map
+            .mappoints
+            .values()
+            .filter(|mp| {
+                mp.observations.len() < 2
+                    && mp
+                        .observations
+                        .first()
+                        .and_then(|(kf, _)| map.keyframes.get(kf))
+                        .map(|kf| now - kf.timestamp > max_age)
+                        .unwrap_or(true)
+            })
+            .map(|mp| mp.id)
+            .collect();
+        let n = stale.len();
+        for id in stale {
+            map.remove_mappoint(id);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+    use crate::tracking::{Tracker, TrackerConfig};
+    use crate::vocabulary;
+    use slamshare_gpu::GpuExecutor;
+    use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        Dataset::build(DatasetConfig::new(TracePreset::V202).with_frames(8).with_seed(3))
+    }
+
+    fn observation_at(ds: &Dataset, tracker: &mut Tracker, i: usize) -> FrameObservation {
+        let (left, right) = ds.render_stereo_frame(i);
+        let (mut features, _) = tracker.extract(&left);
+        let (rf, _) = tracker.extract(&right);
+        tracker.stereo_match(&mut features, &rf);
+        let n = features.keypoints.len();
+        FrameObservation {
+            frame_idx: i,
+            timestamp: ds.frame_time(i),
+            pose_cw: ds.gt_pose_cw(i),
+            keypoints: features.keypoints,
+            descriptors: features.descriptors,
+            matched: vec![None; n],
+            n_tracked: 0,
+            lost: false,
+            keyframe_requested: true,
+            timings: Default::default(),
+        }
+    }
+
+    #[test]
+    fn stereo_insertion_creates_points() {
+        let ds = dataset();
+        let mut tracker =
+            Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let vocab = vocabulary::train_random(1);
+        let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, MappingConfig::default());
+        let mut map = Map::new(ClientId(1));
+
+        let obs = observation_at(&ds, &mut tracker, 0);
+        let report = mapper.insert_keyframe(&mut map, &vocab, &obs);
+        assert!(report.kf_id.is_some());
+        assert!(report.n_new_points > 100, "{} points", report.n_new_points);
+        assert_eq!(map.n_keyframes(), 1);
+        assert_eq!(map.n_mappoints(), report.n_new_points);
+    }
+
+    #[test]
+    fn mono_insertion_triangulates_with_previous() {
+        let ds = dataset();
+        let mut tracker =
+            Tracker::new(TrackerConfig::mono(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let vocab = vocabulary::train_random(2);
+        let mut mapper = LocalMapper::new(SensorMode::Mono, ds.rig, MappingConfig::default());
+        let mut map = Map::new(ClientId(1));
+
+        // Two keyframes several frames apart (real baseline).
+        let obs0 = observation_at(&ds, &mut tracker, 0);
+        mapper.insert_keyframe(&mut map, &vocab, &obs0);
+        let obs1 = observation_at(&ds, &mut tracker, 6);
+        let report = mapper.insert_keyframe(&mut map, &vocab, &obs1);
+        assert!(
+            report.n_new_points > 50,
+            "mono triangulated only {} points",
+            report.n_new_points
+        );
+        // Triangulated points must be near landmarks (true world scale is
+        // used since poses are ground truth here). Tolerance grows
+        // quadratically with depth: two-view triangulation noise is
+        // σ_z ≈ z²·σ_px/(f·b) for baseline b between the keyframes.
+        let baseline = ds.gt_position(0).dist(ds.gt_position(6)).max(0.05);
+        let cam_center = ds.gt_pose_cw(6).camera_center();
+        let mut ok = 0;
+        let mut total = 0;
+        for mp in map.mappoints.values() {
+            let nearest = ds
+                .world
+                .landmarks
+                .iter()
+                .map(|lm| (lm.center - mp.position).norm())
+                .fold(f64::INFINITY, f64::min);
+            total += 1;
+            let z = (mp.position - cam_center).norm();
+            let tol = 0.45 + 1.5 * z * z / (ds.rig.cam.fx * baseline);
+            if nearest < tol {
+                ok += 1;
+            }
+        }
+        assert!(ok * 10 >= total * 8, "{ok}/{total} points near landmarks");
+    }
+
+    #[test]
+    fn ba_runs_on_schedule() {
+        let ds = dataset();
+        let mut tracker =
+            Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let vocab = vocabulary::train_random(3);
+        let mut config = MappingConfig::default();
+        config.ba_every = 2;
+        let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, config);
+        let mut map = Map::new(ClientId(1));
+
+        let r1 = mapper.insert_keyframe(&mut map, &vocab, &observation_at(&ds, &mut tracker, 0));
+        assert!(r1.ba.is_none());
+        let r2 = mapper.insert_keyframe(&mut map, &vocab, &observation_at(&ds, &mut tracker, 3));
+        let ba = r2.ba.expect("BA should run on the 2nd insertion");
+        assert!(ba.n_keyframes >= 1);
+        assert!(ba.n_points > 0);
+        // BA must not blow up the map: final cost bounded by initial
+        // (gt-posed keyframes start essentially optimal).
+        assert!(ba.final_cost <= ba.initial_cost * 1.5 + 1.0);
+    }
+
+    #[test]
+    fn culling_removes_uncorroborated_points() {
+        let ds = dataset();
+        let mut tracker =
+            Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let vocab = vocabulary::train_random(4);
+        let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, MappingConfig::default());
+        let mut map = Map::new(ClientId(1));
+        mapper.insert_keyframe(&mut map, &vocab, &observation_at(&ds, &mut tracker, 0));
+        let before = map.n_mappoints();
+        assert!(before > 0);
+        // All points have 1 observation; with zero age tolerance at a
+        // much later "now", everything goes.
+        let culled = mapper.cull_points(&mut map, 100.0, 1.0);
+        assert_eq!(culled, before);
+        assert_eq!(map.n_mappoints(), 0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Multi-map merging — the paper's Algorithm 2.
+//!
+//! `MapMerge(CMap)`: add the client map's keyframes and map points into
+//! the global map (ids never collide — see [`crate::ids`]), loop over
+//! *every* client keyframe running `DetectCommonRegion` (the paper's
+//! extension over stock ORB-SLAM3, which only checks the current incoming
+//! keyframe), solve the 3D alignment from the verified point pairs,
+//! transform the client map onto the global frame, fuse duplicate points,
+//! and bundle-adjust the weld region.
+
+use crate::ids::KeyFrameId;
+use crate::map::Map;
+use crate::optimize::{local_bundle_adjust, BaStats};
+use crate::recognition::{detect_common_region, CommonRegion};
+use slamshare_features::bow::{KeyframeDatabase, Vocabulary};
+use slamshare_math::align::umeyama_ransac;
+use slamshare_math::{Sim3, Vec3};
+use slamshare_sim::camera::PinholeCamera;
+
+/// Outcome of a merge attempt.
+#[derive(Debug, Clone)]
+pub struct MergeReport {
+    /// The similarity applied to the client map (`None` when the global
+    /// map was empty — the client map *became* the global map — or when no
+    /// common region was found and the map was absorbed unaligned).
+    pub transform: Option<Sim3>,
+    /// Whether a common region was found and alignment applied.
+    pub aligned: bool,
+    /// Keyframes examined for common regions.
+    pub n_kf_checked: usize,
+    /// Total verified point pairs across detections.
+    pub n_point_pairs: usize,
+    /// Duplicate map points fused.
+    pub n_fused: usize,
+    /// Alignment residual RMSE (meters), when aligned.
+    pub alignment_rmse: f64,
+    /// Post-merge bundle-adjustment statistics, when run.
+    pub ba: Option<BaStats>,
+    /// Keyframes and points added to the global map.
+    pub n_kf_added: usize,
+    pub n_mp_added: usize,
+}
+
+/// Merge `cmap` into `gmap` (Algorithm 2).
+///
+/// `db` is the global map's BoW inverted index; it is updated with the
+/// client keyframes at the end. `with_scale` selects Sim(3) alignment
+/// (monocular client) vs SE(3) (stereo/inertial). The paper's
+/// "check all of the keyframes in the client's map" behaviour is the
+/// `detect_common_region` loop over every client keyframe.
+pub fn map_merge(
+    gmap: &mut Map,
+    cmap: Map,
+    db: &mut KeyframeDatabase,
+    vocab: &Vocabulary,
+    cam: &PinholeCamera,
+    with_scale: bool,
+) -> MergeReport {
+    match try_map_merge(gmap, cmap, db, vocab, cam, with_scale) {
+        Ok(report) => report,
+        Err((cmap, mut report)) => {
+            // Unconditional-merge semantics (the baseline server): absorb
+            // the fragment unaligned.
+            report.n_kf_added = cmap.n_keyframes();
+            report.n_mp_added = cmap.n_mappoints();
+            absorb(gmap, cmap, db);
+            report
+        }
+    }
+}
+
+/// [`map_merge`] that **refuses to absorb** a client map when no common
+/// region with the (non-empty) global map is found, handing the map back
+/// so the caller can retry once coverage grows — the behaviour of
+/// SLAM-Share's continuously-running merge process M ("map merging occurs
+/// asynchronously, whenever a client observes something that matches the
+/// global map", §4.1).
+pub fn try_map_merge(
+    gmap: &mut Map,
+    mut cmap: Map,
+    db: &mut KeyframeDatabase,
+    vocab: &Vocabulary,
+    cam: &PinholeCamera,
+    with_scale: bool,
+) -> Result<MergeReport, (Map, MergeReport)> {
+    let mut report = MergeReport {
+        transform: None,
+        aligned: false,
+        n_kf_checked: 0,
+        n_point_pairs: 0,
+        n_fused: 0,
+        alignment_rmse: 0.0,
+        ba: None,
+        n_kf_added: cmap.n_keyframes(),
+        n_mp_added: cmap.n_mappoints(),
+    };
+
+    // Empty global map: the client map becomes the global map.
+    if gmap.is_empty() {
+        absorb(gmap, cmap, db);
+        return Ok(report);
+    }
+
+    // Alg. 2 lines 6–8: loop through every client keyframe, detect common
+    // regions against the global map, and pool the verified point pairs.
+    let mut detections: Vec<CommonRegion> = Vec::new();
+    for kf in cmap.keyframes.values() {
+        report.n_kf_checked += 1;
+        if let Some(region) = detect_common_region(kf, &cmap, gmap, db, vocab, 3) {
+            detections.push(region);
+        }
+    }
+
+    let mut src_pts: Vec<Vec3> = Vec::new();
+    let mut dst_pts: Vec<Vec3> = Vec::new();
+    #[allow(unused_mut)]
+    let mut fuse_pairs: Vec<(crate::ids::MapPointId, crate::ids::MapPointId)> = Vec::new();
+    for det in &detections {
+        for (c_mp, g_mp) in &det.point_pairs {
+            if let (Some(c), Some(g)) = (cmap.mappoints.get(c_mp), gmap.mappoints.get(g_mp)) {
+                src_pts.push(c.position);
+                dst_pts.push(g.position);
+                fuse_pairs.push((*c_mp, *g_mp));
+            }
+        }
+    }
+    report.n_point_pairs = src_pts.len();
+
+    // Alg. 2 lines 9–12: 3D alignment and transformation of the client
+    // map. RANSAC over the point pairs: descriptor matching contributes
+    // both wrong pairs and far-range triangulation noise, either of which
+    // would corrupt a plain least-squares fit.
+    if src_pts.len() >= 12 {
+        let tol = crate::recognition::ransac_tolerance(&dst_pts);
+        if let Some((alignment, mask)) =
+            umeyama_ransac(&src_pts, &dst_pts, with_scale, tol, 250, 0x51A9)
+        {
+            let n_inliers = mask.iter().filter(|&&f| f).count();
+            if n_inliers >= 12 {
+                cmap.transform_all(&alignment.transform);
+                report.transform = Some(alignment.transform);
+                report.alignment_rmse = alignment.rmse;
+                report.aligned = true;
+                // Only fuse pairs the consensus validated.
+                fuse_pairs = fuse_pairs
+                    .into_iter()
+                    .zip(&mask)
+                    .filter(|(_, &keep)| keep)
+                    .map(|(pair, _)| pair)
+                    .collect();
+            }
+        }
+    }
+
+    if !report.aligned {
+        // No common region: hand the map back for a later retry.
+        return Err((cmap, report));
+    }
+
+    // Move client keyframes and points into the global map.
+    let ba_center: Option<KeyFrameId> = detections.first().map(|d| d.target_kf);
+    let client_kf_ids: Vec<KeyFrameId> = cmap.keyframes.keys().copied().collect();
+    absorb(gmap, cmap, db);
+
+    // Fuse duplicates (matched pairs are the same physical point).
+    if report.aligned {
+        for (c_mp, g_mp) in fuse_pairs {
+            gmap.fuse_mappoints(g_mp, c_mp);
+            report.n_fused += 1;
+        }
+
+        // Weld by projection (ORB-SLAM3's SearchAndFuse): project the
+        // global map's points around the weld region into every client
+        // keyframe, adding cross-map observations / fusing duplicates the
+        // BoW stage missed. Without this, the client's keyframes and its
+        // own points stay self-consistent at the residual alignment offset
+        // and bundle adjustment has nothing to pull them with.
+        if let Some(anchor) = ba_center {
+            report.n_fused += weld_by_projection(gmap, &client_kf_ids, anchor, cam);
+        }
+
+        // Alg. 2 lines 13–15: "if a loop has been detected, run bundle
+        // adjustment over the client keyframes and the local keyframes".
+        if let Some(center) = client_kf_ids.last().copied().or(ba_center) {
+            report.ba = Some(local_bundle_adjust(gmap, cam, center, 12, 3));
+        }
+    }
+
+    Ok(report)
+}
+
+/// Project the global-map points near `anchor` into each client keyframe
+/// and associate/fuse matches — the weld that makes post-merge bundle
+/// adjustment effective. Returns the number of new cross-map
+/// associations.
+fn weld_by_projection(
+    gmap: &mut Map,
+    client_kfs: &[KeyFrameId],
+    anchor: KeyFrameId,
+    cam: &PinholeCamera,
+) -> usize {
+    use slamshare_features::matching::TH_LOW;
+
+    // Candidate points: the anchor's local map, restricted to points not
+    // owned by the merging client.
+    let client = match client_kfs.first() {
+        Some(kf) => kf.client(),
+        None => return 0,
+    };
+    let candidates: Vec<_> = gmap
+        .local_map_points(anchor, 1)
+        .into_iter()
+        .filter(|mp| mp.client() != client)
+        .collect();
+    if candidates.is_empty() {
+        return 0;
+    }
+
+    let mut n_assoc = 0;
+    for kf_id in client_kfs {
+        // Collect the operations first (no aliasing with the map borrow).
+        enum Op {
+            Fuse { keep: crate::ids::MapPointId, drop: crate::ids::MapPointId },
+            Observe { mp: crate::ids::MapPointId, kp: usize },
+        }
+        let mut ops: Vec<Op> = Vec::new();
+        {
+            let Some(kf) = gmap.keyframes.get(kf_id) else { continue };
+            for mp_id in &candidates {
+                let Some(mp) = gmap.mappoints.get(mp_id) else { continue };
+                let q = kf.pose_cw.transform(mp.position);
+                let Some(px) = cam.project_in_image(q, 0.0) else { continue };
+                // Windowed descriptor search over the keyframe's keypoints.
+                let mut best = u32::MAX;
+                let mut best_i = usize::MAX;
+                for (i, kp) in kf.keypoints.iter().enumerate() {
+                    if kp.pt.dist(px) > 18.0 {
+                        continue;
+                    }
+                    let d = mp.descriptor.distance(&kf.descriptors[i]);
+                    if d < best {
+                        best = d;
+                        best_i = i;
+                    }
+                }
+                if best_i == usize::MAX || best > TH_LOW {
+                    continue;
+                }
+                match kf.matched_points[best_i] {
+                    Some(existing) if existing != *mp_id => {
+                        // The keyframe already tracks its own copy of this
+                        // physical point: fuse (global copy wins).
+                        if existing.client() == client {
+                            ops.push(Op::Fuse { keep: *mp_id, drop: existing });
+                        }
+                    }
+                    Some(_) => {}
+                    None => ops.push(Op::Observe { mp: *mp_id, kp: best_i }),
+                }
+            }
+        }
+        for op in ops {
+            match op {
+                Op::Fuse { keep, drop } => {
+                    gmap.fuse_mappoints(keep, drop);
+                    n_assoc += 1;
+                }
+                Op::Observe { mp, kp } => {
+                    gmap.add_observation(mp, *kf_id, kp);
+                    n_assoc += 1;
+                }
+            }
+        }
+    }
+    n_assoc
+}
+
+/// Move every entity of `cmap` into `gmap` and index the keyframes in the
+/// BoW database. Ids are globally unique so this is pure insertion — the
+/// shared-memory version of this operation is pointer-only, which is what
+/// Table 4 measures.
+fn absorb(gmap: &mut Map, cmap: Map, db: &mut KeyframeDatabase) {
+    for (id, kf) in cmap.keyframes {
+        db.add(id.0, kf.bow.clone());
+        gmap.keyframes.insert(id, kf);
+    }
+    for (id, mp) in cmap.mappoints {
+        gmap.mappoints.insert(id, mp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+    use crate::mapping::{LocalMapper, MappingConfig};
+    use crate::tracking::{FrameObservation, SensorMode, Tracker, TrackerConfig};
+    use crate::vocabulary;
+    use slamshare_gpu::GpuExecutor;
+    use slamshare_math::Quat;
+    use slamshare_math::SE3;
+    use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
+    use std::sync::Arc;
+
+    /// Build a small client map from dataset frames at ground-truth poses.
+    fn client_map(client: u16, frames: &[usize], seed: u64) -> (Map, Dataset) {
+        let max = frames.iter().max().unwrap() + 1;
+        let ds = Dataset::build(
+            DatasetConfig::new(TracePreset::V202).with_frames(max).with_seed(seed),
+        );
+        let tracker =
+            Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let vocab = vocabulary::train_random(42);
+        let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, MappingConfig {
+            ba_every: 0,
+            ..Default::default()
+        });
+        let mut map = Map::new(ClientId(client));
+        for &f in frames {
+            let (left, right) = ds.render_stereo_frame(f);
+            let (mut features, _) = tracker.extract(&left);
+            let (rf, _) = tracker.extract(&right);
+            tracker.stereo_match(&mut features, &rf);
+            let n = features.keypoints.len();
+            let obs = FrameObservation {
+                frame_idx: f,
+                timestamp: ds.frame_time(f),
+                pose_cw: ds.gt_pose_cw(f),
+                keypoints: features.keypoints,
+                descriptors: features.descriptors,
+                matched: vec![None; n],
+                n_tracked: 0,
+                lost: false,
+                keyframe_requested: true,
+                timings: Default::default(),
+            };
+            mapper.insert_keyframe(&mut map, &vocab, &obs);
+        }
+        (map, ds)
+    }
+
+    #[test]
+    fn first_map_becomes_global() {
+        let (cmap, _) = client_map(1, &[0], 5);
+        let mut gmap = Map::new(ClientId(0));
+        let mut db = KeyframeDatabase::new();
+        let cam = slamshare_sim::camera::PinholeCamera::euroc_like();
+        let n_kf = cmap.n_keyframes();
+        let n_mp = cmap.n_mappoints();
+        let report = map_merge(&mut gmap, cmap, &mut db, &vocabulary::train_random(42), &cam, false);
+        assert!(!report.aligned);
+        assert_eq!(gmap.n_keyframes(), n_kf);
+        assert_eq!(gmap.n_mappoints(), n_mp);
+        assert_eq!(db.len(), n_kf);
+    }
+
+    /// The paper's core merge scenario: client B's map is expressed in a
+    /// different origin (displaced/rotated coordinates, as every client
+    /// starts at its own (0,0,0)); merging must snap it onto the global
+    /// map (Fig. 7).
+    #[test]
+    fn displaced_client_map_snaps_onto_global() {
+        let (gmap_src, ds) = client_map(1, &[0, 3], 5);
+        let (mut cmap, _) = client_map(2, &[1, 4], 6);
+
+        // Displace the client map: simulate its private origin.
+        let offset = Sim3::from_se3(SE3::new(
+            Quat::from_axis_angle(Vec3::Z, 0.6),
+            Vec3::new(4.0, -2.0, 0.7),
+        ));
+        cmap.transform_all(&offset);
+
+        let mut gmap = Map::new(ClientId(0));
+        let mut db = KeyframeDatabase::new();
+        let cam = ds.rig.cam;
+        map_merge(&mut gmap, gmap_src, &mut db, &vocabulary::train_random(42), &cam, false);
+
+        let n_before = gmap.n_mappoints();
+        let report = map_merge(&mut gmap, cmap, &mut db, &vocabulary::train_random(42), &cam, false);
+        assert!(report.aligned, "no alignment found: {report:?}");
+        assert!(report.n_point_pairs >= 12);
+        assert!(report.n_fused > 0);
+        assert!(report.alignment_rmse < 0.3, "rmse {}", report.alignment_rmse);
+        // The recovered transform must invert the displacement.
+        let t = report.transform.unwrap();
+        let roundtrip = t * offset;
+        let probe = Vec3::new(1.0, 2.0, 0.5);
+        assert!(
+            (roundtrip.transform(probe) - probe).norm() < 0.25,
+            "merge transform does not undo the offset: {:?}",
+            roundtrip.transform(probe) - probe
+        );
+        // Fusion removed duplicates: fewer points than the plain sum.
+        assert!(gmap.n_mappoints() < n_before + report.n_mp_added);
+        // Client keyframe centers now lie near their true (global-frame)
+        // positions.
+        for kf in gmap.keyframes.values().filter(|kf| kf.id.client() == ClientId(2)) {
+            let truth = ds.gt_position(kf.frame_index_proxy());
+            let err = (kf.pose_cw.camera_center() - truth).norm();
+            assert!(err < 0.3, "client KF off by {err} m after merge");
+        }
+    }
+
+    #[test]
+    fn disjoint_maps_absorbed_without_alignment() {
+        // KITTI world vs Vicon room: nothing in common.
+        let (gmap_src, ds) = client_map(1, &[0], 5);
+        let kitti = Dataset::build(
+            DatasetConfig::new(TracePreset::Kitti05).with_frames(1).with_seed(9),
+        );
+        let tracker =
+            Tracker::new(TrackerConfig::stereo(kitti.rig), Arc::new(GpuExecutor::cpu()));
+        let vocab = vocabulary::train_random(42);
+        let mut mapper =
+            LocalMapper::new(SensorMode::Stereo, kitti.rig, MappingConfig::default());
+        let mut cmap = Map::new(ClientId(2));
+        let (left, right) = kitti.render_stereo_frame(0);
+        let (mut features, _) = tracker.extract(&left);
+        let (rf, _) = tracker.extract(&right);
+        tracker.stereo_match(&mut features, &rf);
+        let n = features.keypoints.len();
+        mapper.insert_keyframe(&mut cmap, &vocab, &FrameObservation {
+            frame_idx: 0,
+            timestamp: 0.0,
+            pose_cw: kitti.gt_pose_cw(0),
+            keypoints: features.keypoints,
+            descriptors: features.descriptors,
+            matched: vec![None; n],
+            n_tracked: 0,
+            lost: false,
+            keyframe_requested: true,
+            timings: Default::default(),
+        });
+
+        let mut gmap = Map::new(ClientId(0));
+        let mut db = KeyframeDatabase::new();
+        map_merge(&mut gmap, gmap_src, &mut db, &vocabulary::train_random(42), &ds.rig.cam, false);
+        let report = map_merge(&mut gmap, cmap, &mut db, &vocabulary::train_random(42), &ds.rig.cam, false);
+        // Either no detection at all or far too few pairs — never aligned.
+        assert!(!report.aligned, "false-positive merge: {report:?}");
+    }
+}
+
+impl crate::map::KeyFrame {
+    /// Test helper: recover the frame index from the keyframe timestamp
+    /// (frames are at 1/30 s in the test datasets).
+    #[doc(hidden)]
+    pub fn frame_index_proxy(&self) -> usize {
+        (self.timestamp * 30.0).round() as usize
+    }
+}

@@ -1,0 +1,497 @@
+//! Nonlinear optimization: pose-only Gauss–Newton, point refinement, and
+//! local bundle adjustment.
+//!
+//! The heavy map refinement the paper keeps on the server lives here.
+//! Pose-only optimization runs inside tracking (after *search local
+//! points*); local BA runs in the mapping thread after keyframe insertion
+//! and after map merges (Alg. 2 line 14).
+//!
+//! Local BA is implemented as block-coordinate descent: alternately solve
+//! each keyframe's 6-DoF pose (dense 6×6 LDLT) against fixed points, then
+//! each point's 3-DoF position (closed-form 3×3) against fixed poses, with
+//! Huber-weighted residuals throughout. For the small local windows SLAM
+//! adjusts (≤ ~10 keyframes) this converges in a few sweeps and avoids the
+//! machinery of a sparse Schur solver while optimizing the same objective.
+
+use crate::map::Map;
+use slamshare_math::robust::{huber_weight, CHI2_2DOF_95};
+use slamshare_math::{DMat, DVec, Mat3, Quat, Vec2, Vec3, SE3};
+use slamshare_sim::camera::PinholeCamera;
+
+use crate::ids::KeyFrameId;
+
+/// One 3D→2D correspondence for pose optimization.
+#[derive(Debug, Clone, Copy)]
+pub struct PoseObservation {
+    pub point: Vec3,
+    pub pixel: Vec2,
+    /// Measurement sigma in pixels (grows with pyramid octave).
+    pub sigma: f64,
+}
+
+/// Result of a pose optimization.
+#[derive(Debug, Clone)]
+pub struct PoseOptResult {
+    pub pose: SE3,
+    /// Per-observation inlier flags (reprojection χ² below threshold at
+    /// the final pose).
+    pub inliers: Vec<bool>,
+    pub n_inliers: usize,
+    /// Final robust cost.
+    pub cost: f64,
+    pub iterations: usize,
+}
+
+/// 2×3 Jacobian of the projection at camera-frame point `q`, times fx/fy.
+#[inline]
+fn proj_jacobian(cam: &PinholeCamera, q: Vec3) -> [[f64; 3]; 2] {
+    let iz = 1.0 / q.z;
+    let iz2 = iz * iz;
+    [
+        [cam.fx * iz, 0.0, -cam.fx * q.x * iz2],
+        [0.0, cam.fy * iz, -cam.fy * q.y * iz2],
+    ]
+}
+
+/// Pose-only Gauss–Newton: minimize Huber-robust reprojection error over
+/// the 6-DoF world→camera pose. Left-multiplicative update
+/// `T ← exp(δ)·T`. Observations behind the camera are skipped per
+/// iteration (they can re-enter as the pose moves).
+pub fn optimize_pose(
+    cam: &PinholeCamera,
+    initial: SE3,
+    observations: &[PoseObservation],
+    max_iterations: usize,
+) -> PoseOptResult {
+    // Two rounds, as ORB-SLAM's pose optimizer does: optimize on all
+    // observations with a Huber kernel, drop χ² outliers, then re-optimize
+    // on the surviving inliers (Huber bounds an outlier's influence but
+    // does not null it; removal does).
+    let round1 = optimize_pose_round(cam, initial, observations, max_iterations, None);
+    let active: Vec<bool> = classify(cam, round1, observations);
+    let pose = optimize_pose_round(cam, round1, observations, max_iterations, Some(&active));
+
+    // Final inlier classification and robust cost against *all*
+    // observations.
+    let mut inliers = Vec::with_capacity(observations.len());
+    let mut cost = 0.0;
+    let mut n_inliers = 0;
+    for obs in observations {
+        let q = pose.transform(obs.point);
+        let ok = q.z >= cam.z_near
+            && cam
+                .project(q)
+                .map(|px| {
+                    let e = (px - obs.pixel).norm() / obs.sigma;
+                    cost += slamshare_math::robust::huber_loss(e, 3.0);
+                    e * e < CHI2_2DOF_95
+                })
+                .unwrap_or(false);
+        if ok {
+            n_inliers += 1;
+        }
+        inliers.push(ok);
+    }
+    PoseOptResult { pose, inliers, n_inliers, cost, iterations: max_iterations }
+}
+
+fn classify(cam: &PinholeCamera, pose: SE3, observations: &[PoseObservation]) -> Vec<bool> {
+    observations
+        .iter()
+        .map(|obs| {
+            let q = pose.transform(obs.point);
+            q.z >= cam.z_near
+                && cam
+                    .project(q)
+                    .map(|px| {
+                        let e = (px - obs.pixel).norm() / obs.sigma;
+                        e * e < CHI2_2DOF_95
+                    })
+                    .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// One Gauss–Newton round. `active` masks observations (None = use all).
+fn optimize_pose_round(
+    cam: &PinholeCamera,
+    initial: SE3,
+    observations: &[PoseObservation],
+    max_iterations: usize,
+    active: Option<&[bool]>,
+) -> SE3 {
+    let mut pose = initial;
+    let huber_px = 3.0;
+
+    for _it in 0..max_iterations {
+        let mut h = DMat::zeros(6, 6);
+        let mut b = DVec::zeros(6);
+        let mut n_used = 0;
+
+        for (oi, obs) in observations.iter().enumerate() {
+            if let Some(mask) = active {
+                if !mask[oi] {
+                    continue;
+                }
+            }
+            let q = pose.transform(obs.point);
+            if q.z < cam.z_near {
+                continue;
+            }
+            let Some(px) = cam.project(q) else { continue };
+            let r = px - obs.pixel;
+            let inv_sigma = 1.0 / obs.sigma;
+            let w = huber_weight(r.norm() * inv_sigma, huber_px) * inv_sigma * inv_sigma;
+
+            let jp = proj_jacobian(cam, q);
+            // dq/dδ: [I | −hat(q)] for δ = (ρ, φ).
+            let qh = Mat3::hat(q);
+            // J is 2×6: columns 0..3 translation, 3..6 rotation.
+            let mut j = [[0.0f64; 6]; 2];
+            for row in 0..2 {
+                for c in 0..3 {
+                    j[row][c] = jp[row][c];
+                }
+                for c in 0..3 {
+                    // (jp · (−qh)) column c.
+                    j[row][3 + c] = -(jp[row][0] * qh.m[0][c]
+                        + jp[row][1] * qh.m[1][c]
+                        + jp[row][2] * qh.m[2][c]);
+                }
+            }
+            let res = [r.x, r.y];
+            for a in 0..6 {
+                for bcol in 0..6 {
+                    h.add_at(a, bcol, w * (j[0][a] * j[0][bcol] + j[1][a] * j[1][bcol]));
+                }
+                b[a] += w * (j[0][a] * res[0] + j[1][a] * res[1]);
+            }
+            n_used += 1;
+        }
+
+        if n_used < 3 {
+            break;
+        }
+        // Mild Levenberg damping keeps steps sane when geometry is thin.
+        h.add_diagonal(1e-6);
+        let Some(delta) = h.solve_ldlt(&b) else { break };
+        let rho = Vec3::new(-delta[0], -delta[1], -delta[2]);
+        let phi = Vec3::new(-delta[3], -delta[4], -delta[5]);
+        let dr = Quat::exp(phi);
+        pose = SE3 { rot: (dr * pose.rot).normalized(), trans: dr.rotate(pose.trans) + rho };
+
+        if delta.norm() < 1e-10 {
+            break;
+        }
+    }
+    pose
+}
+
+/// Refine one point's 3-DoF position against fixed camera poses.
+/// `views` is `(pose_cw, pixel, sigma)` per observation.
+pub fn refine_point(
+    cam: &PinholeCamera,
+    initial: Vec3,
+    views: &[(SE3, Vec2, f64)],
+    max_iterations: usize,
+) -> Vec3 {
+    let mut p = initial;
+    for _ in 0..max_iterations {
+        let mut h = Mat3::zeros();
+        let mut b = Vec3::ZERO;
+        let mut n = 0;
+        for (pose, pixel, sigma) in views {
+            let q = pose.transform(p);
+            if q.z < cam.z_near {
+                continue;
+            }
+            let Some(px) = cam.project(q) else { continue };
+            let r = px - *pixel;
+            let inv_sigma = 1.0 / sigma;
+            let w = huber_weight(r.norm() * inv_sigma, 3.0) * inv_sigma * inv_sigma;
+            let jp = proj_jacobian(cam, q);
+            let rot = pose.rot.to_mat3();
+            // J = jp · R (2×3).
+            let mut j = [[0.0f64; 3]; 2];
+            for row in 0..2 {
+                for c in 0..3 {
+                    j[row][c] =
+                        jp[row][0] * rot.m[0][c] + jp[row][1] * rot.m[1][c] + jp[row][2] * rot.m[2][c];
+                }
+            }
+            for a in 0..3 {
+                for c in 0..3 {
+                    h.m[a][c] += w * (j[0][a] * j[0][c] + j[1][a] * j[1][c]);
+                }
+                b[a] += w * (j[0][a] * r.x + j[1][a] * r.y);
+            }
+            n += 1;
+        }
+        if n < 2 {
+            break;
+        }
+        // Damped inverse.
+        for i in 0..3 {
+            h.m[i][i] += 1e-9;
+        }
+        let Some(hinv) = h.inverse() else { break };
+        let delta = hinv * b;
+        p -= delta;
+        if delta.norm() < 1e-12 {
+            break;
+        }
+    }
+    p
+}
+
+/// Statistics from a local bundle adjustment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaStats {
+    pub n_keyframes: usize,
+    pub n_points: usize,
+    pub n_observations: usize,
+    pub initial_cost: f64,
+    pub final_cost: f64,
+    pub sweeps: usize,
+}
+
+/// Local bundle adjustment around `center`: adjusts the center keyframe,
+/// its best covisible keyframes (up to `window`), and every point they
+/// observe. Keyframes outside the window contribute fixed observations
+/// (gauge anchors). The oldest keyframe in the window is additionally held
+/// fixed so a pure gauge drift can't wander.
+pub fn local_bundle_adjust(
+    map: &mut Map,
+    cam: &PinholeCamera,
+    center: KeyFrameId,
+    window: usize,
+    sweeps: usize,
+) -> BaStats {
+    let mut kfs: Vec<KeyFrameId> = vec![center];
+    kfs.extend(
+        map.covisible_keyframes(center, 5)
+            .into_iter()
+            .take(window.saturating_sub(1))
+            .map(|(k, _)| k),
+    );
+    // Hold the oldest in-window keyframe fixed (plus all out-of-window
+    // observers, implicitly, since we never touch their poses).
+    let fixed_kf = kfs
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            let ta = map.keyframes[a].timestamp;
+            let tb = map.keyframes[b].timestamp;
+            ta.partial_cmp(&tb).unwrap()
+        })
+        .unwrap_or(center);
+
+    // Collect the point set.
+    let mut points: std::collections::BTreeSet<crate::ids::MapPointId> =
+        std::collections::BTreeSet::new();
+    for kf_id in &kfs {
+        if let Some(kf) = map.keyframes.get(kf_id) {
+            points.extend(kf.matched_points.iter().flatten().copied());
+        }
+    }
+
+    let sigma_for = |octave: u8| 1.2f64.powi(octave as i32);
+    let cost_snapshot = |map: &Map| -> (f64, usize) {
+        let mut cost = 0.0;
+        let mut n_obs = 0;
+        for mp_id in &points {
+            let Some(mp) = map.mappoints.get(mp_id) else { continue };
+            for (kf_id, kp_idx) in &mp.observations {
+                let Some(kf) = map.keyframes.get(kf_id) else { continue };
+                let q = kf.pose_cw.transform(mp.position);
+                if q.z < cam.z_near {
+                    continue;
+                }
+                if let Some(px) = cam.project(q) {
+                    let kp = &kf.keypoints[*kp_idx];
+                    let e = px.dist(kp.pt) / sigma_for(kp.octave);
+                    cost += slamshare_math::robust::huber_loss(e, 3.0);
+                    n_obs += 1;
+                }
+            }
+        }
+        (cost, n_obs)
+    };
+
+    let (initial_cost, n_observations) = cost_snapshot(map);
+
+    for _sweep in 0..sweeps {
+        // 1. Pose pass over in-window keyframes (skip the anchor).
+        for kf_id in &kfs {
+            if *kf_id == fixed_kf {
+                continue;
+            }
+            let Some(kf) = map.keyframes.get(kf_id) else { continue };
+            let mut obs = Vec::new();
+            for (kp_idx, mp_id) in kf.matched_points.iter().enumerate() {
+                let Some(mp_id) = mp_id else { continue };
+                let Some(mp) = map.mappoints.get(mp_id) else { continue };
+                let kp = &kf.keypoints[kp_idx];
+                obs.push(PoseObservation {
+                    point: mp.position,
+                    pixel: kp.pt,
+                    sigma: sigma_for(kp.octave),
+                });
+            }
+            if obs.len() < 10 {
+                continue;
+            }
+            let result = optimize_pose(cam, kf.pose_cw, &obs, 5);
+            if result.n_inliers >= 10 {
+                map.keyframes.get_mut(kf_id).unwrap().pose_cw = result.pose;
+            }
+        }
+
+        // 2. Point pass.
+        let point_ids: Vec<_> = points.iter().copied().collect();
+        for mp_id in point_ids {
+            let Some(mp) = map.mappoints.get(&mp_id) else { continue };
+            if mp.observations.len() < 2 {
+                continue;
+            }
+            let mut views = Vec::new();
+            for (kf_id, kp_idx) in &mp.observations {
+                if let Some(kf) = map.keyframes.get(kf_id) {
+                    let kp = &kf.keypoints[*kp_idx];
+                    views.push((kf.pose_cw, kp.pt, sigma_for(kp.octave)));
+                }
+            }
+            let initial = mp.position;
+            let refined = refine_point(cam, initial, &views, 3);
+            if !refined.is_degenerate() {
+                map.mappoints.get_mut(&mp_id).unwrap().position = refined;
+            }
+        }
+    }
+
+    let (final_cost, _) = cost_snapshot(map);
+    BaStats {
+        n_keyframes: kfs.len(),
+        n_points: points.len(),
+        n_observations,
+        initial_cost,
+        final_cost,
+        sweeps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use slamshare_math::Quat;
+
+    fn scatter(rng: &mut StdRng, n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-3.0..3.0),
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(4.0..10.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pose_recovered_from_perturbed_start() {
+        let cam = PinholeCamera::euroc_like();
+        let mut rng = StdRng::seed_from_u64(1);
+        let truth = SE3::new(
+            Quat::from_axis_angle(Vec3::new(0.1, 0.9, 0.2), 0.2),
+            Vec3::new(0.3, -0.1, 0.5),
+        );
+        let world_pts: Vec<Vec3> = scatter(&mut rng, 60)
+            .iter()
+            .map(|p| truth.inverse().transform(*p))
+            .collect();
+        let obs: Vec<PoseObservation> = world_pts
+            .iter()
+            .map(|&p| PoseObservation {
+                point: p,
+                pixel: cam.project(truth.transform(p)).unwrap(),
+                sigma: 1.0,
+            })
+            .collect();
+        // Start from a noticeably wrong pose.
+        let start = SE3::new(
+            Quat::from_axis_angle(Vec3::new(0.1, 0.9, 0.2), 0.3),
+            truth.trans + Vec3::new(0.2, 0.1, -0.15),
+        );
+        let result = optimize_pose(&cam, start, &obs, 15);
+        assert_eq!(result.n_inliers, 60);
+        assert!(result.pose.center_distance(&truth) < 1e-6, "center err {}", result.pose.center_distance(&truth));
+        assert!(result.pose.rotation_angle_to(&truth) < 1e-6);
+    }
+
+    #[test]
+    fn outliers_rejected_by_robust_kernel() {
+        let cam = PinholeCamera::euroc_like();
+        let mut rng = StdRng::seed_from_u64(2);
+        let truth = SE3::new(Quat::IDENTITY, Vec3::new(0.1, 0.0, 0.0));
+        let world_pts: Vec<Vec3> = scatter(&mut rng, 80)
+            .iter()
+            .map(|p| truth.inverse().transform(*p))
+            .collect();
+        let mut obs: Vec<PoseObservation> = world_pts
+            .iter()
+            .map(|&p| PoseObservation {
+                point: p,
+                pixel: cam.project(truth.transform(p)).unwrap(),
+                sigma: 1.0,
+            })
+            .collect();
+        // Corrupt 15 observations badly.
+        for o in obs.iter_mut().take(15) {
+            o.pixel = o.pixel + Vec2::new(rng.gen_range(40.0..80.0), rng.gen_range(-80.0..-40.0));
+        }
+        let start = SE3::new(Quat::IDENTITY, truth.trans + Vec3::new(0.1, -0.05, 0.1));
+        let result = optimize_pose(&cam, start, &obs, 15);
+        assert!(result.pose.center_distance(&truth) < 1e-3, "center err {}", result.pose.center_distance(&truth));
+        // The corrupted ones must be classified outliers.
+        for flag in result.inliers.iter().take(15) {
+            assert!(!flag);
+        }
+        assert!(result.n_inliers >= 60);
+    }
+
+    #[test]
+    fn degenerate_observation_count_keeps_initial() {
+        let cam = PinholeCamera::euroc_like();
+        let start = SE3::IDENTITY;
+        let obs = [PoseObservation { point: Vec3::new(0.0, 0.0, 5.0), pixel: Vec2::new(10.0, 10.0), sigma: 1.0 }];
+        let result = optimize_pose(&cam, start, &obs, 10);
+        assert_eq!(result.pose, start);
+    }
+
+    #[test]
+    fn refine_point_converges_to_truth() {
+        let cam = PinholeCamera::euroc_like();
+        let truth = Vec3::new(0.5, -0.2, 6.0);
+        let poses = [
+            SE3::IDENTITY,
+            SE3::from_translation(Vec3::new(-0.8, 0.0, 0.0)),
+            SE3::from_translation(Vec3::new(0.0, -0.6, 0.1)),
+        ];
+        let views: Vec<(SE3, Vec2, f64)> = poses
+            .iter()
+            .map(|pose| (*pose, cam.project(pose.transform(truth)).unwrap(), 1.0))
+            .collect();
+        let got = refine_point(&cam, truth + Vec3::new(0.3, -0.2, 0.5), &views, 10);
+        assert!((got - truth).norm() < 1e-6, "got {got:?}");
+    }
+
+    #[test]
+    fn refine_point_single_view_is_noop() {
+        let cam = PinholeCamera::euroc_like();
+        let initial = Vec3::new(0.0, 0.0, 5.0);
+        let views = [(SE3::IDENTITY, Vec2::new(200.0, 200.0), 1.0)];
+        assert_eq!(refine_point(&cam, initial, &views, 5), initial);
+    }
+}

@@ -1,0 +1,145 @@
+//! Two-view triangulation and stereo depth recovery.
+
+use slamshare_math::{Vec2, Vec3, SE3};
+use slamshare_sim::camera::{PinholeCamera, StereoRig};
+
+/// Triangulate a point observed at pixel `px_a` in a camera with pose
+/// `t_cw_a` and at `px_b` in pose `t_cw_b`, by the midpoint method:
+/// find the point minimizing distance to both viewing rays.
+///
+/// Returns `None` for (near-)parallel rays — too little baseline for a
+/// stable depth — or if the triangulated point lies behind either camera.
+pub fn triangulate_midpoint(
+    cam: &PinholeCamera,
+    t_cw_a: &SE3,
+    px_a: Vec2,
+    t_cw_b: &SE3,
+    px_b: Vec2,
+) -> Option<Vec3> {
+    let t_wc_a = t_cw_a.inverse();
+    let t_wc_b = t_cw_b.inverse();
+    let o_a = t_cw_a.camera_center();
+    let o_b = t_cw_b.camera_center();
+    let d_a = t_wc_a.rotate(cam.ray(px_a.x, px_a.y)).normalized()?;
+    let d_b = t_wc_b.rotate(cam.ray(px_b.x, px_b.y)).normalized()?;
+
+    // Solve for s, t minimizing |o_a + s d_a − (o_b + t d_b)|².
+    let r = o_b - o_a;
+    let a = d_a.dot(d_a); // = 1
+    let b = d_a.dot(d_b);
+    let c = d_b.dot(d_b); // = 1
+    let d = d_a.dot(r);
+    let e = d_b.dot(r);
+    let denom = a * c - b * b;
+    if denom < 1e-9 {
+        return None; // parallel rays
+    }
+    let s = (d * c - b * e) / denom;
+    let t = (b * d - a * e) / denom;
+    if s <= cam.z_near || t <= cam.z_near {
+        return None; // behind a camera along its ray
+    }
+    let p = (o_a + d_a * s + o_b + d_b * t) * 0.5;
+
+    // Cheirality check in both camera frames.
+    if t_cw_a.transform(p).z < cam.z_near || t_cw_b.transform(p).z < cam.z_near {
+        return None;
+    }
+    Some(p)
+}
+
+/// Parallax angle (radians) between the two viewing rays of a candidate
+/// triangulation. Mapping rejects low-parallax pairs (< ~1°) as depth is
+/// unobservable there.
+pub fn parallax_angle(t_cw_a: &SE3, t_cw_b: &SE3, p: Vec3) -> f64 {
+    let da = (p - t_cw_a.camera_center()).normalized().unwrap_or(Vec3::Z);
+    let db = (p - t_cw_b.camera_center()).normalized().unwrap_or(Vec3::Z);
+    da.dot(db).clamp(-1.0, 1.0).acos()
+}
+
+/// Recover a world point from a stereo observation: left pixel + disparity.
+pub fn stereo_point(
+    rig: &StereoRig,
+    t_cw_left: &SE3,
+    px_left: Vec2,
+    right_x: f64,
+) -> Option<Vec3> {
+    let disparity = px_left.x - right_x;
+    let depth = rig.depth_from_disparity(disparity)?;
+    if depth < rig.cam.z_near || depth > 1e4 {
+        return None;
+    }
+    let p_cam = rig.cam.unproject(px_left, depth);
+    Some(t_cw_left.inverse().transform(p_cam))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slamshare_math::Quat;
+    use slamshare_sim::trajectory::look_at_cw;
+
+    #[test]
+    fn recovers_known_point_two_views() {
+        let cam = PinholeCamera::euroc_like();
+        let p = Vec3::new(0.8, -0.4, 6.0);
+        let pose_a = look_at_cw(Vec3::ZERO, Vec3::Z);
+        let pose_b = look_at_cw(Vec3::new(1.0, 0.0, 0.0), Vec3::Z);
+        let px_a = cam.project(pose_a.transform(p)).unwrap();
+        let px_b = cam.project(pose_b.transform(p)).unwrap();
+        let got = triangulate_midpoint(&cam, &pose_a, px_a, &pose_b, px_b).unwrap();
+        assert!((got - p).norm() < 1e-6, "got {got:?}");
+    }
+
+    #[test]
+    fn parallel_rays_rejected() {
+        let cam = PinholeCamera::euroc_like();
+        // Identical poses: rays are identical → no triangulation.
+        let pose = look_at_cw(Vec3::ZERO, Vec3::Z);
+        let px = Vec2::new(cam.cx, cam.cy);
+        assert!(triangulate_midpoint(&cam, &pose, px, &pose, px).is_none());
+    }
+
+    #[test]
+    fn behind_camera_rejected() {
+        let cam = PinholeCamera::euroc_like();
+        // Two cameras looking away from each other; matching center pixels
+        // implies an impossible point.
+        let pose_a = look_at_cw(Vec3::ZERO, Vec3::Z);
+        let pose_b = look_at_cw(Vec3::new(0.5, 0.0, 0.0), -Vec3::Z);
+        let px = Vec2::new(cam.cx + 30.0, cam.cy);
+        assert!(triangulate_midpoint(&cam, &pose_a, px, &pose_b, px).is_none());
+    }
+
+    #[test]
+    fn parallax_of_wide_baseline_is_large() {
+        let p = Vec3::new(0.0, 0.0, 5.0);
+        let a = look_at_cw(Vec3::new(-2.0, 0.0, 0.0), Vec3::Z);
+        let b = look_at_cw(Vec3::new(2.0, 0.0, 0.0), Vec3::Z);
+        let angle = parallax_angle(&a, &b, p);
+        assert!(angle > 0.5, "angle = {angle}");
+        let c = look_at_cw(Vec3::new(-0.001, 0.0, 0.0), Vec3::Z);
+        let d = look_at_cw(Vec3::new(0.001, 0.0, 0.0), Vec3::Z);
+        assert!(parallax_angle(&c, &d, p) < 0.01);
+    }
+
+    #[test]
+    fn stereo_point_roundtrip() {
+        let rig = StereoRig::euroc_like();
+        let pose = SE3::new(Quat::from_axis_angle(Vec3::Y, 0.3), Vec3::new(0.5, 0.0, 1.0));
+        let p = pose.inverse().transform(Vec3::new(0.2, 0.1, 4.0));
+        let p_cam = pose.transform(p);
+        let (px, rx) = rig.project_stereo(p_cam).unwrap();
+        let got = stereo_point(&rig, &pose, px, rx).unwrap();
+        assert!((got - p).norm() < 1e-9);
+    }
+
+    #[test]
+    fn stereo_zero_disparity_rejected() {
+        let rig = StereoRig::euroc_like();
+        let pose = SE3::IDENTITY;
+        assert!(stereo_point(&rig, &pose, Vec2::new(100.0, 100.0), 100.0).is_none());
+        // Negative disparity (impossible geometry) also rejected.
+        assert!(stereo_point(&rig, &pose, Vec2::new(100.0, 100.0), 110.0).is_none());
+    }
+}

@@ -1,0 +1,75 @@
+//! Vocabulary construction for place recognition.
+//!
+//! ORB-SLAM3 ships a DBoW2 vocabulary pre-trained on millions of
+//! descriptors. We train ours at startup on descriptors extracted from a
+//! calibration pass over a synthetic dataset (representative of the
+//! descriptors the pipeline will actually quantize), falling back to a
+//! seeded random corpus when no dataset is handy (tests).
+
+use slamshare_features::bow::Vocabulary;
+use slamshare_features::extractor::OrbExtractor;
+use slamshare_features::Descriptor;
+use slamshare_sim::dataset::Dataset;
+
+/// Branching factor used by the default vocabularies.
+pub const DEFAULT_BRANCHING: usize = 8;
+/// Tree depth used by the default vocabularies.
+pub const DEFAULT_DEPTH: usize = 3;
+
+/// Train a vocabulary from frames of a dataset (every `stride`-th frame of
+/// the first `max_frames`).
+pub fn train_on_dataset(dataset: &Dataset, max_frames: usize, stride: usize) -> Vocabulary {
+    let extractor = OrbExtractor::with_defaults();
+    let mut corpus: Vec<Descriptor> = Vec::new();
+    let n = dataset.frame_count().min(max_frames);
+    let mut i = 0;
+    while i < n {
+        let frame = dataset.render_frame(i);
+        let (features, _) = extractor.extract(&frame);
+        corpus.extend(features.descriptors);
+        i += stride.max(1);
+    }
+    if corpus.is_empty() {
+        return train_random(0xB0);
+    }
+    Vocabulary::train(&corpus, DEFAULT_BRANCHING, DEFAULT_DEPTH, 0x5EED)
+}
+
+/// Train on a seeded random corpus — adequate as a locality-sensitive
+/// quantizer when no imagery is available (unit tests).
+pub fn train_random(seed: u64) -> Vocabulary {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corpus: Vec<Descriptor> = (0..2000)
+        .map(|_| {
+            let mut d = Descriptor::ZERO;
+            for b in 0..256 {
+                if rng.gen_bool(0.5) {
+                    d.set_bit(b);
+                }
+            }
+            d
+        })
+        .collect();
+    Vocabulary::train(&corpus, DEFAULT_BRANCHING, DEFAULT_DEPTH, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slamshare_sim::dataset::{DatasetConfig, TracePreset};
+
+    #[test]
+    fn random_vocabulary_usable() {
+        let v = train_random(1);
+        assert!(v.n_words > 100, "{} words", v.n_words);
+    }
+
+    #[test]
+    fn dataset_vocabulary_trains() {
+        let ds = Dataset::build(DatasetConfig::new(TracePreset::TumRoom).with_frames(4));
+        let v = train_on_dataset(&ds, 4, 2);
+        assert!(v.n_words > 50, "{} words", v.n_words);
+    }
+}
