@@ -8,7 +8,11 @@ use slamshare_slam::ids::ClientId;
 use slamshare_slam::map::Map;
 use slamshare_slam::merge::map_merge;
 
-fn build_client_map(client: u16, frames: &[usize], seed: u64) -> (Map, slamshare_sim::dataset::Dataset) {
+fn build_client_map(
+    client: u16,
+    frames: &[usize],
+    seed: u64,
+) -> (Map, slamshare_sim::dataset::Dataset) {
     use slamshare_slam::mapping::{LocalMapper, MappingConfig};
     use slamshare_slam::tracking::{FrameObservation, SensorMode, Tracker, TrackerConfig};
     let max = frames.iter().max().unwrap() + 1;
@@ -30,18 +34,22 @@ fn build_client_map(client: u16, frames: &[usize], seed: u64) -> (Map, slamshare
         let (rf, _) = tracker.extract(&right);
         tracker.stereo_match(&mut features, &rf);
         let n = features.keypoints.len();
-        mapper.insert_keyframe(&mut map, &vocab, &FrameObservation {
-            frame_idx: f,
-            timestamp: ds.frame_time(f),
-            pose_cw: ds.gt_pose_cw(f),
-            keypoints: features.keypoints,
-            descriptors: features.descriptors,
-            matched: vec![None; n],
-            n_tracked: 0,
-            lost: false,
-            keyframe_requested: true,
-            timings: Default::default(),
-        });
+        mapper.insert_keyframe(
+            &mut map,
+            &vocab,
+            &FrameObservation {
+                frame_idx: f,
+                timestamp: ds.frame_time(f),
+                pose_cw: ds.gt_pose_cw(f),
+                keypoints: features.keypoints,
+                descriptors: features.descriptors,
+                matched: vec![None; n],
+                n_tracked: 0,
+                lost: false,
+                keyframe_requested: true,
+                timings: Default::default(),
+            },
+        );
     }
     (map, ds)
 }

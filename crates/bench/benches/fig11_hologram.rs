@@ -13,8 +13,14 @@ fn bench(c: &mut Criterion) {
     save_json("fig11_hologram", &result);
 
     let h = Vec3::new(1.0, 2.0, 3.0);
-    let est = SE3::new(Quat::from_axis_angle(Vec3::Y, 0.3), Vec3::new(0.1, 0.0, 0.0));
-    let truth = SE3::new(Quat::from_axis_angle(Vec3::Y, 0.29), Vec3::new(0.12, 0.01, 0.0));
+    let est = SE3::new(
+        Quat::from_axis_angle(Vec3::Y, 0.3),
+        Vec3::new(0.1, 0.0, 0.0),
+    );
+    let truth = SE3::new(
+        Quat::from_axis_angle(Vec3::Y, 0.29),
+        Vec3::new(0.12, 0.01, 0.0),
+    );
     c.bench_function("fig11/perceived_position", |b| {
         b.iter(|| perceived_position(std::hint::black_box(h), &est, &truth))
     });

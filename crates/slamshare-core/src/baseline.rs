@@ -18,12 +18,12 @@ use crate::metrics::{BandwidthAccounting, CpuAccounting};
 use slamshare_features::bow::{KeyframeDatabase, Vocabulary};
 use slamshare_features::GrayImage;
 use slamshare_gpu::GpuExecutor;
+use slamshare_math::Sim3;
 use slamshare_math::SE3;
 use slamshare_net::link::Channel;
 use slamshare_net::wire;
 use slamshare_sim::clock::SimTime;
 use slamshare_sim::imu::ImuSample;
-use slamshare_math::Sim3;
 use slamshare_slam::ids::ClientId;
 use slamshare_slam::map::{transform_pose_cw, Map};
 use slamshare_slam::merge::{map_merge, MergeReport};
@@ -120,8 +120,14 @@ impl BaselineServer {
         let deserialize_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t1 = Instant::now();
-        let report =
-            map_merge(&mut self.map, cmap, &mut self.db, &self.vocab, &self.cam, self.with_scale);
+        let report = map_merge(
+            &mut self.map,
+            cmap,
+            &mut self.db,
+            &self.vocab,
+            &self.cam,
+            self.with_scale,
+        );
         let merge_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         // "Data processing": cut the ~6-keyframe slice around the newest
@@ -131,7 +137,13 @@ impl BaselineServer {
         let slice_bytes = wire::encode_map(&slice).to_vec();
         let data_processing_ms = t2.elapsed().as_secs_f64() * 1e3;
 
-        (slice_bytes, deserialize_ms, merge_ms, data_processing_ms, Some(report))
+        (
+            slice_bytes,
+            deserialize_ms,
+            merge_ms,
+            data_processing_ms,
+            Some(report),
+        )
     }
 
     /// The newest `n` keyframes and the points they observe.
@@ -198,9 +210,13 @@ impl BaselineClient {
         pose_hint: Option<SE3>,
     ) -> (Option<SE3>, bool) {
         let t0 = Instant::now();
-        let step = self
-            .system
-            .process_frame(FrameInput { timestamp, left, right, imu, pose_hint });
+        let step = self.system.process_frame(FrameInput {
+            timestamp,
+            left,
+            right,
+            imu,
+            pose_hint,
+        });
         self.cpu.charge(timestamp, t0.elapsed().as_secs_f64() * 1e3);
         self.frames_since_upload += 1;
         let due = self.frames_since_upload >= self.config.upload_every_frames
@@ -232,7 +248,9 @@ impl BaselineClient {
         if let Some(t) = transform {
             self.system.map.transform_all(t);
             if let Some((_, last)) = self.system.frame_poses.last().copied() {
-                self.system.tracker.reset_motion(transform_pose_cw(&last, t));
+                self.system
+                    .tracker
+                    .reset_motion(transform_pose_cw(&last, t));
             }
             self.global_transform = Some(match self.global_transform {
                 Some(prev) => *t * prev,
@@ -312,7 +330,11 @@ mod tests {
     use slamshare_slam::vocabulary;
 
     fn dataset(frames: usize, seed: u64) -> Dataset {
-        Dataset::build(DatasetConfig::new(TracePreset::V202).with_frames(frames).with_seed(seed))
+        Dataset::build(
+            DatasetConfig::new(TracePreset::V202)
+                .with_frames(frames)
+                .with_seed(seed),
+        )
     }
 
     fn run_client_frames(client: &mut BaselineClient, ds: &Dataset, frames: usize) {
@@ -332,20 +354,30 @@ mod tests {
     fn client_runs_full_slam_locally() {
         let ds = dataset(8, 8);
         let vocab = Arc::new(vocabulary::train_random(42));
-        let mut client =
-            BaselineClient::new(1, SlamConfig::stereo(ds.rig), vocab, BaselineConfig::default());
+        let mut client = BaselineClient::new(
+            1,
+            SlamConfig::stereo(ds.rig),
+            vocab,
+            BaselineConfig::default(),
+        );
         run_client_frames(&mut client, &ds, 8);
         assert!(client.system.map.n_keyframes() >= 2);
         // Full SLAM on the client: heavy CPU (vs the thin client's few ms).
         let per_frame = client.cpu.total_work_ms() / 8.0;
-        assert!(per_frame > 10.0, "baseline client suspiciously light: {per_frame} ms/frame");
+        assert!(
+            per_frame > 10.0,
+            "baseline client suspiciously light: {per_frame} ms/frame"
+        );
     }
 
     #[test]
     fn upload_due_after_configured_frames() {
         let ds = dataset(8, 8);
         let vocab = Arc::new(vocabulary::train_random(42));
-        let config = BaselineConfig { upload_every_frames: 3, ..Default::default() };
+        let config = BaselineConfig {
+            upload_every_frames: 3,
+            ..Default::default()
+        };
         let mut client = BaselineClient::new(1, SlamConfig::stereo(ds.rig), vocab, config);
         let mut due_at = None;
         for i in 0..8 {
@@ -386,7 +418,11 @@ mod tests {
         assert!(lat.serialize_ms > 0.0);
         assert!(lat.deserialize_ms > 0.0);
         assert!(lat.merge_ms > 0.0);
-        assert!(lat.upload_bytes > 100_000, "map only {} bytes", lat.upload_bytes);
+        assert!(
+            lat.upload_bytes > 100_000,
+            "map only {} bytes",
+            lat.upload_bytes
+        );
         assert!(lat.download_bytes > 0);
         assert!(lat.transfer_up_ms > 1.0, "18.7 Mbit/s must be felt");
         assert!(lat.total_ms() > 5000.0);
@@ -425,6 +461,9 @@ mod tests {
         let (lat_b, _) =
             baseline_exchange_round(&mut b, &mut server, &mut channel, SimTime::ZERO, 0.33);
         let report = lat_b.merge_report.unwrap();
-        assert!(report.aligned, "baseline server failed to merge B: {report:?}");
+        assert!(
+            report.aligned,
+            "baseline server failed to merge B: {report:?}"
+        );
     }
 }

@@ -12,8 +12,8 @@ use slamshare_features::GrayImage;
 use slamshare_math::SE3;
 use slamshare_net::codec::VideoEncoder;
 use slamshare_net::framing::{Frame, MsgKind};
-use slamshare_slam::imu::{ClientMotionModel, Preintegrated};
 use slamshare_sim::imu::ImuSample;
+use slamshare_slam::imu::{ClientMotionModel, Preintegrated};
 use std::time::Instant;
 
 /// One outgoing upload produced by the client for a camera frame.
@@ -111,7 +111,12 @@ impl ClientDevice {
         self.uplink_bw.charge(timestamp, bytes);
 
         (
-            Upload { frame_idx: idx, timestamp, messages, encode_ms },
+            Upload {
+                frame_idx: idx,
+                timestamp,
+                messages,
+                encode_ms,
+            },
             instant_pose,
         )
     }
@@ -194,7 +199,10 @@ mod tests {
         }
         let est = client.display_pose(11).unwrap();
         let err = est.center_distance(&ds.gt_pose_cw(11));
-        assert!(err < 0.2, "display pose error {err} m with 2-frame-late server poses");
+        assert!(
+            err < 0.2,
+            "display pose error {err} m with 2-frame-late server poses"
+        );
         assert_eq!(client.last_server_frame, Some(9));
     }
 
@@ -223,6 +231,9 @@ mod tests {
             client.on_frame(t, &f, None, &imu);
         }
         let per_frame = client.cpu.total_work_ms() / 6.0;
-        assert!(per_frame < 25.0, "client work {per_frame} ms/frame is too heavy");
+        assert!(
+            per_frame < 25.0,
+            "client work {per_frame} ms/frame is too heavy"
+        );
     }
 }

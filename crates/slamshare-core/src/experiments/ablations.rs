@@ -36,12 +36,18 @@ pub struct ImuAblationResult {
 /// Rerun the Table-2 replay with and without IMU deltas.
 pub fn run_imu_ablation(effort: Effort) -> ImuAblationResult {
     let frames = effort.frames(240);
-    let ds = Dataset::build(DatasetConfig::new(TracePreset::V202).with_frames(frames).with_seed(7));
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(frames)
+            .with_seed(7),
+    );
 
     // "Server poses" = ground truth here: the ablation isolates the client
     // chain, not server accuracy.
     let times: Vec<f64> = (0..frames).map(|i| ds.frame_time(i)).collect();
-    let gt: Vec<(f64, Vec3)> = (0..frames).map(|i| (ds.frame_time(i), ds.gt_position(i))).collect();
+    let gt: Vec<(f64, Vec3)> = (0..frames)
+        .map(|i| (ds.frame_time(i), ds.gt_position(i)))
+        .collect();
     let mut deltas = vec![slamshare_slam::imu::Preintegrated::identity()];
     for i in 1..frames {
         let samples = ds.imu_between(times[i - 1], times[i]);
@@ -97,7 +103,11 @@ pub fn run_imu_ablation(effort: Effort) -> ImuAblationResult {
                     .sum();
                 (se / est.len() as f64).sqrt() * 100.0
             };
-            ImuAblationRow { rtt_ms, with_imu_cm: run(true), without_imu_cm: run(false) }
+            ImuAblationRow {
+                rtt_ms,
+                with_imu_cm: run(true),
+                without_imu_cm: run(false),
+            }
         })
         .collect();
     ImuAblationResult { rows }
@@ -118,7 +128,10 @@ impl ImuAblationResult {
             .collect();
         format!(
             "Ablation: IMU assist (client-side dead reckoning)\n{}",
-            super::render_table(&["RTT (ms)", "with IMU ATE (cm)", "hold-last ATE (cm)"], &rows)
+            super::render_table(
+                &["RTT (ms)", "with IMU ATE (cm)", "hold-last ATE (cm)"],
+                &rows
+            )
         )
     }
 }
@@ -138,7 +151,11 @@ pub struct GpuSharingResult {
 }
 
 pub fn run_gpu_sharing(effort: Effort) -> GpuSharingResult {
-    let ds = Dataset::build(DatasetConfig::new(TracePreset::V202).with_frames(1).with_seed(3));
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(1)
+            .with_seed(3),
+    );
     let frame = ds.render_frame(0);
     let extractor = slamshare_features::OrbExtractor::with_defaults();
 

@@ -140,7 +140,10 @@ fn run_session(name: &str, clients: Vec<ClientSpec>, fps: f64) -> Fig10Result {
                 .iter()
                 .filter(|f| f.client == c.id && f.t >= settle)
                 .collect();
-            let est: Vec<_> = pairs.iter().filter_map(|f| f.est.map(|e| (f.t, e))).collect();
+            let est: Vec<_> = pairs
+                .iter()
+                .filter_map(|f| f.est.map(|e| (f.t, e)))
+                .collect();
             let gt: Vec<_> = pairs.iter().map(|f| (f.t, f.gt)).collect();
             slamshare_slam::eval::ate(&est, &gt, false, 1e-4).map(|a| (c.id, a.rmse))
         })
@@ -151,7 +154,14 @@ fn run_session(name: &str, clients: Vec<ClientSpec>, fps: f64) -> Fig10Result {
         merges: result
             .merges
             .iter()
-            .map(|MergeEvent { t, client, merge_ms, aligned }| (*t, *client, *merge_ms, *aligned))
+            .map(
+                |MergeEvent {
+                     t,
+                     client,
+                     merge_ms,
+                     aligned,
+                 }| (*t, *client, *merge_ms, *aligned),
+            )
             .collect(),
         client_ates,
     }
@@ -179,12 +189,14 @@ impl Fig10Result {
     /// ATE immediately before and after a client's merge event — the
     /// paper's "Before Merge"/"After Merge" annotations.
     pub fn before_after(&self, client: u16) -> Option<(f64, f64)> {
-        let (mt, _, _, _) = self.merges.iter().find(|(_, c, _, aligned)| *c == client && *aligned)?;
+        let (mt, _, _, _) = self
+            .merges
+            .iter()
+            .find(|(_, c, _, aligned)| *c == client && *aligned)?;
         let before = self
             .ate_series
             .iter()
-            .filter(|(t, _)| *t < *mt)
-            .next_back()
+            .rfind(|(t, _)| *t < *mt)
             .map(|(_, a)| *a)?;
         let after = self
             .ate_series
@@ -204,7 +216,10 @@ mod tests {
         let result = run_euroc(Effort::Smoke);
         assert!(!result.ate_series.is_empty());
         assert!(
-            result.merges.iter().any(|(_, c, _, aligned)| *c != 1 && *aligned),
+            result
+                .merges
+                .iter()
+                .any(|(_, c, _, aligned)| *c != 1 && *aligned),
             "no aligned merge of a late joiner: {:?}",
             result.merges
         );

@@ -65,7 +65,11 @@ pub fn run(effort: Effort) -> Fig11Result {
 
     // B places a hologram 2 m in front of its mid-trajectory camera pose
     // (true world position computed from ground truth).
-    let ds_b = Dataset::build(DatasetConfig::new(TracePreset::MH05).with_frames(frames).with_seed(92));
+    let ds_b = Dataset::build(
+        DatasetConfig::new(TracePreset::MH05)
+            .with_frames(frames)
+            .with_seed(92),
+    );
     let place_frame = frames / 2;
     let hologram = ds_b
         .gt_pose_cw(place_frame)
@@ -81,7 +85,9 @@ pub fn run(effort: Effort) -> Fig11Result {
         (3u16, TracePreset::MH05, 93u64, frames / 2),
     ] {
         let ds = Dataset::build(
-            DatasetConfig::new(preset).with_frames(start + frames).with_seed(seed),
+            DatasetConfig::new(preset)
+                .with_frames(start + frames)
+                .with_seed(seed),
         );
         // Only evaluate the shared-frame perception once the client's
         // merge has landed *and* its display chain has flushed the
@@ -96,22 +102,18 @@ pub fn run(effort: Effort) -> Fig11Result {
         let last = session
             .frames
             .iter()
-            .filter(|f| f.client == cid && f.est.is_some())
-            .filter(|f| !merged || f.t >= settle)
-            .next_back()
+            .rfind(|f| f.client == cid && f.est.is_some() && (!merged || f.t >= settle))
             .or_else(|| {
                 session
                     .frames
                     .iter()
-                    .filter(|f| f.client == cid && f.est.is_some())
-                    .next_back()
+                    .rfind(|f| f.client == cid && f.est.is_some())
             });
         let Some(record) = last else { continue };
         let merged = merged && record.t >= settle;
         // Reconstruct the frame index from session time.
         let spec = clients.iter().find(|c| c.id == cid).unwrap();
-        let frame_idx =
-            ((record.t - spec.join_time) * fps).round() as usize + spec.start_frame;
+        let frame_idx = ((record.t - spec.join_time) * fps).round() as usize + spec.start_frame;
         let true_pose = ds.gt_pose_cw(frame_idx);
 
         // WITH sharing: est pose in the global (=world, A-anchored) frame.
@@ -145,7 +147,11 @@ pub fn run(effort: Effort) -> Fig11Result {
         without_sharing.push((cid, p, (p - hologram).norm()));
     }
 
-    Fig11Result { hologram, with_sharing, without_sharing }
+    Fig11Result {
+        hologram,
+        with_sharing,
+        without_sharing,
+    }
 }
 
 impl Fig11Result {

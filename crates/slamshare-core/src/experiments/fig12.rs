@@ -55,6 +55,9 @@ fn scenario(frames: usize, fps: f64) -> Vec<ClientSpec> {
     ]
 }
 
+/// `(t, error)` samples of one error metric over a session.
+type ErrorSeries = Vec<(f64, f64)>;
+
 /// User B's error series, measured the way an AR user experiences it: in
 /// the **global frame, without alignment**, starting from B's first
 /// aligned merge (before that B has no global pose at all — the paper's
@@ -64,7 +67,7 @@ fn series_for_b(
     fps: f64,
     frames: usize,
     join: f64,
-) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+) -> (ErrorSeries, ErrorSeries) {
     let mut cumulative = Vec::new();
     let mut short_term = Vec::new();
     let Some(merge_t) = result
@@ -87,8 +90,7 @@ fn series_for_b(
             .filter(|f| f.client == 2 && f.t > lo && f.t <= hi)
             .filter_map(|f| f.server_est.map(|e| (e - f.gt).norm_sq()))
             .collect();
-        (errs.len() >= 2)
-            .then(|| (errs.iter().sum::<f64>() / errs.len() as f64).sqrt())
+        (errs.len() >= 2).then(|| (errs.iter().sum::<f64>() / errs.len() as f64).sqrt())
     };
     let mut t = merge_t + step;
     while t <= end + 1e-9 {
@@ -132,8 +134,9 @@ pub fn run(effort: Effort) -> Fig12Result {
         for (link_name, link) in &links {
             let clients = scenario(frames, fps);
             let join = clients[1].join_time;
-            let mut config =
-                SessionConfig::new(*kind, clients).with_fps(fps).with_link(*link);
+            let mut config = SessionConfig::new(*kind, clients)
+                .with_fps(fps)
+                .with_link(*link);
             // Baseline uploads more frequently at experiment scale so
             // several rounds land inside the shortened session.
             config.baseline.upload_every_frames = (frames / 3).max(10);
@@ -162,11 +165,7 @@ impl Fig12Result {
             .cases
             .iter()
             .map(|c| {
-                let peak_short = c
-                    .short_term_ate
-                    .iter()
-                    .map(|(_, a)| *a)
-                    .fold(0.0, f64::max);
+                let peak_short = c.short_term_ate.iter().map(|(_, a)| *a).fold(0.0, f64::max);
                 vec![
                     c.system.clone(),
                     c.link.clone(),
@@ -179,7 +178,13 @@ impl Fig12Result {
         format!(
             "Fig. 12: network-condition sensitivity (user B)\n{}",
             super::render_table(
-                &["system", "link", "final cum. ATE m", "peak short-term ATE m", "B uplink Mbit/s"],
+                &[
+                    "system",
+                    "link",
+                    "final cum. ATE m",
+                    "peak short-term ATE m",
+                    "B uplink Mbit/s"
+                ],
                 &rows
             )
         )

@@ -133,7 +133,16 @@ impl Fig5Result {
         format!(
             "Fig. 5: CPU tracking latency breakdown (ms/frame)\n{}",
             super::render_table(
-                &["dataset", "extract", "stereo-match", "pose-pred", "search-local", "optimize", "total", "extract%"],
+                &[
+                    "dataset",
+                    "extract",
+                    "stereo-match",
+                    "pose-pred",
+                    "search-local",
+                    "optimize",
+                    "total",
+                    "extract%"
+                ],
                 &rows
             )
         )

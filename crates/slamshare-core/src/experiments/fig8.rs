@@ -62,7 +62,11 @@ impl Fig8Result {
             .iter()
             .map(|r| {
                 vec![
-                    format!("{}-{}", r.cpu.dataset, if r.cpu.stereo { "stereo" } else { "mono" }),
+                    format!(
+                        "{}-{}",
+                        r.cpu.dataset,
+                        if r.cpu.stereo { "stereo" } else { "mono" }
+                    ),
                     format!("{:.1}", r.cpu.total_ms),
                     format!("{:.1}", r.gpu.total_ms),
                     format!("{:.0}%", r.total_reduction_percent),
@@ -73,7 +77,13 @@ impl Fig8Result {
         format!(
             "Fig. 8: tracking latency, ORB-SLAM3 CPU vs SLAM-Share GPU (ms/frame)\n{}",
             super::render_table(
-                &["dataset", "OS3-CPU total", "S-Sh GPU total", "total cut", "extract cut"],
+                &[
+                    "dataset",
+                    "OS3-CPU total",
+                    "S-Sh GPU total",
+                    "total cut",
+                    "extract cut"
+                ],
                 &rows
             )
         )

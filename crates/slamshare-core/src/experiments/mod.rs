@@ -22,13 +22,13 @@
 //! benches run paper-scale workloads.
 
 pub mod ablations;
-pub mod scalability;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig5;
 pub mod fig8;
+pub mod scalability;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -113,7 +113,10 @@ mod tests {
     fn table_renders_aligned() {
         let text = render_table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
         );
         assert!(text.contains("| name      | value |"));
         assert!(text.contains("| long-name | 22    |"));

@@ -41,7 +41,11 @@ pub fn run(effort: Effort) -> Table1Result {
     let max_kfs = *checkpoints.last().unwrap();
     // Keyframes arrive every ~3–10 frames; provision generously.
     let frames = max_kfs * 12;
-    let ds = Dataset::build(DatasetConfig::new(TracePreset::MH04).with_frames(frames).with_seed(1));
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::MH04)
+            .with_frames(frames)
+            .with_seed(1),
+    );
     let vocab = Arc::new(vocabulary::train_random(42));
     let mut sys = SlamSystem::new(
         ClientId(1),

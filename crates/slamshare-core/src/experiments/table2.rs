@@ -56,7 +56,11 @@ struct Scenario {
 fn build_scenario(preset: TracePreset, mono: bool, frames: usize) -> Scenario {
     let ds = Dataset::build(DatasetConfig::new(preset).with_frames(frames).with_seed(7));
     let vocab = Arc::new(vocabulary::train_random(42));
-    let config = if mono { SlamConfig::mono(ds.rig) } else { SlamConfig::stereo(ds.rig) };
+    let config = if mono {
+        SlamConfig::mono(ds.rig)
+    } else {
+        SlamConfig::stereo(ds.rig)
+    };
     let mut sys = SlamSystem::new(ClientId(1), config, vocab, Arc::new(GpuExecutor::cpu()));
 
     let mut times = Vec::new();
@@ -92,7 +96,10 @@ fn build_scenario(preset: TracePreset, mono: bool, frames: usize) -> Scenario {
             // client uses its own last estimate; for delta construction
             // the ground-truth rotation keeps deltas reusable across RTT
             // settings (the rotation error contribution is second-order).
-            deltas.push(Preintegrated::integrate(samples, ds.trajectory.pose_wc(t_prev).rot));
+            deltas.push(Preintegrated::integrate(
+                samples,
+                ds.trajectory.pose_wc(t_prev).rot,
+            ));
         }
     }
 
@@ -139,7 +146,9 @@ fn replay_with_rtt(s: &Scenario, rtt_s: f64) -> (f64, f64) {
         let pose = model.approx_pose_update_mm(s.deltas[i], i);
         est.push((s.times[i], pose.camera_center()));
     }
-    let whole = eval::ate(&est, &s.gt, s.mono, 1e-4).map(|a| a.rmse * 100.0).unwrap_or(f64::NAN);
+    let whole = eval::ate(&est, &s.gt, s.mono, 1e-4)
+        .map(|a| a.rmse * 100.0)
+        .unwrap_or(f64::NAN);
     let (r0, r1) = s.region;
     let est_region: Vec<_> = est[r0..r1.min(est.len())].to_vec();
     let gt_region: Vec<_> = s.gt[r0..r1.min(s.gt.len())].to_vec();
@@ -173,7 +182,11 @@ pub fn run(effort: Effort) -> Table2Result {
                 whole.push((s.name.clone(), w));
                 region.push((s.name.clone(), r));
             }
-            Table2Row { rtt_ms, whole_ate_cm: whole, region_ate_cm: region }
+            Table2Row {
+                rtt_ms,
+                whole_ate_cm: whole,
+                region_ate_cm: region,
+            }
         })
         .collect();
     Table2Result { rows }
@@ -232,7 +245,13 @@ mod tests {
         // Graceful: 200 ms costs little; even 1 s stays bounded (the
         // paper: 5.91 → 6.08 → 6.58 cm).
         assert!(mid < base * 2.0 + 2.0, "200 ms RTT blew up: {base} → {mid}");
-        assert!(worst < base * 5.0 + 15.0, "1 s RTT unbounded: {base} → {worst}");
-        assert!(worst >= base * 0.8, "longer RTT should not beat RTT 0 materially");
+        assert!(
+            worst < base * 5.0 + 15.0,
+            "1 s RTT unbounded: {base} → {worst}"
+        );
+        assert!(
+            worst >= base * 0.8,
+            "longer RTT should not beat RTT 0 materially"
+        );
     }
 }

@@ -93,7 +93,11 @@ fn slam_ate(
     decoded_left: Option<&[slamshare_features::GrayImage]>,
 ) -> f64 {
     let vocab = Arc::new(vocabulary::train_random(42));
-    let config = if stereo { SlamConfig::stereo(ds.rig) } else { SlamConfig::mono(ds.rig) };
+    let config = if stereo {
+        SlamConfig::stereo(ds.rig)
+    } else {
+        SlamConfig::mono(ds.rig)
+    };
     let mut sys = SlamSystem::new(ClientId(1), config, vocab, Arc::new(GpuExecutor::cpu()));
     let mut gt = Vec::new();
     for i in 0..frames {
@@ -116,7 +120,9 @@ fn slam_ate(
         });
         gt.push((ds.frame_time(i), ds.gt_position(i)));
     }
-    eval::ate(&sys.trajectory, &gt, !stereo, 1e-4).map(|a| a.rmse).unwrap_or(f64::NAN)
+    eval::ate(&sys.trajectory, &gt, !stereo, 1e-4)
+        .map(|a| a.rmse)
+        .unwrap_or(f64::NAN)
 }
 
 pub fn run(effort: Effort) -> Table3Result {
@@ -127,7 +133,10 @@ pub fn run(effort: Effort) -> Table3Result {
         _ => vec![(TracePreset::Kitti00, true), (TracePreset::MH05, false)],
     };
     Table3Result {
-        columns: configs.into_iter().map(|(p, s)| run_one(p, s, frames)).collect(),
+        columns: configs
+            .into_iter()
+            .map(|(p, s)| run_one(p, s, frames))
+            .collect(),
     }
 }
 
@@ -150,7 +159,14 @@ impl Table3Result {
         format!(
             "Table 3: video vs image transfer (30 fps)\n{}",
             super::render_table(
-                &["dataset", "image Mbit/s", "video Mbit/s", "encode ms", "decode ms (img/vid)", "ATE m (raw/video)"],
+                &[
+                    "dataset",
+                    "image Mbit/s",
+                    "video Mbit/s",
+                    "encode ms",
+                    "decode ms (img/vid)",
+                    "ATE m (raw/video)"
+                ],
                 &rows
             )
         )

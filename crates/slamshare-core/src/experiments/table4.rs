@@ -46,16 +46,23 @@ pub fn run(effort: Effort) -> Table4Result {
     let frames = effort.frames(200);
     let reps = effort.reps(10);
     let vocab = Arc::new(vocabulary::train_random(42));
-    let mut acc = Table4Result { runs: reps, ..Default::default() };
+    let mut acc = Table4Result {
+        runs: reps,
+        ..Default::default()
+    };
 
     for rep in 0..reps {
         let seed_a = 100 + rep as u64;
         let seed_b = 200 + rep as u64;
         let ds_a = Dataset::build(
-            DatasetConfig::new(TracePreset::MH04).with_frames(frames).with_seed(seed_a),
+            DatasetConfig::new(TracePreset::MH04)
+                .with_frames(frames)
+                .with_seed(seed_a),
         );
         let ds_b = Dataset::build(
-            DatasetConfig::new(TracePreset::MH05).with_frames(frames).with_seed(seed_b),
+            DatasetConfig::new(TracePreset::MH05)
+                .with_frames(frames)
+                .with_seed(seed_b),
         );
 
         // ---------------- Baseline pipeline ----------------
@@ -73,7 +80,13 @@ pub fn run(effort: Effort) -> Table4Result {
         );
         for i in 0..frames {
             let (l, r) = ds_a.render_stereo_frame(i);
-            client_a.on_frame(ds_a.frame_time(i), &l, Some(&r), &[], (i == 0).then(|| ds_a.gt_pose_cw(0)));
+            client_a.on_frame(
+                ds_a.frame_time(i),
+                &l,
+                Some(&r),
+                &[],
+                (i == 0).then(|| ds_a.gt_pose_cw(0)),
+            );
             let (l, r) = ds_b.render_stereo_frame(i);
             client_b.on_frame(ds_b.frame_time(i), &l, Some(&r), &[], None);
         }
@@ -81,8 +94,20 @@ pub fn run(effort: Effort) -> Table4Result {
         let mut channel = Channel::symmetric(LinkConfig::ten_gbe());
         // Seed the server with A's map, then measure B's merge round (the
         // interesting one: two-map merge).
-        let (_, _) = baseline_exchange_round(&mut client_a, &mut bserver, &mut channel, SimTime::ZERO, 0.0);
-        let (lat, _) = baseline_exchange_round(&mut client_b, &mut bserver, &mut channel, SimTime::ZERO, 0.0);
+        let (_, _) = baseline_exchange_round(
+            &mut client_a,
+            &mut bserver,
+            &mut channel,
+            SimTime::ZERO,
+            0.0,
+        );
+        let (lat, _) = baseline_exchange_round(
+            &mut client_b,
+            &mut bserver,
+            &mut channel,
+            SimTime::ZERO,
+            0.0,
+        );
         acc.b_hold_down += lat.hold_down_ms;
         acc.b_serialize += lat.serialize_ms;
         acc.b_transfer_up += lat.transfer_up_ms;
@@ -135,7 +160,9 @@ pub fn run(effort: Effort) -> Table4Result {
                 );
             }
         }
-        let merge_a = server.merge_client_now(1, 0.0).expect("A absorbs into empty map");
+        let merge_a = server
+            .merge_client_now(1, 0.0)
+            .expect("A absorbs into empty map");
         let merge_b = server
             .merge_client_now(2, 0.0)
             .expect("B must find A's overlapping coverage");
@@ -187,11 +214,19 @@ impl Table4Result {
             row("1. Hold-down Time", Some(self.b_hold_down), None),
             row("2. Serialization", Some(self.b_serialize), None),
             row("3. Encoding", None, Some(self.s_encode)),
-            row("4. Data Transfer 1", Some(self.b_transfer_up), Some(self.s_transfer_up)),
+            row(
+                "4. Data Transfer 1",
+                Some(self.b_transfer_up),
+                Some(self.s_transfer_up),
+            ),
             row("5. Deserialization", Some(self.b_deserialize), None),
             row("6. Map Merging", Some(self.b_merge), Some(self.s_merge)),
             row("7. Data Processing", Some(self.b_processing), None),
-            row("8. Data Transfer 2", Some(self.b_transfer_down), Some(self.s_transfer_down)),
+            row(
+                "8. Data Transfer 2",
+                Some(self.b_transfer_down),
+                Some(self.s_transfer_down),
+            ),
             row("9. Load Map", Some(self.b_load), None),
             row("Total", Some(self.b_total), Some(self.s_total)),
         ];
@@ -211,7 +246,11 @@ mod tests {
     #[test]
     fn slamshare_merge_is_orders_faster() {
         let r = run(Effort::Smoke);
-        assert!(r.b_total > 5000.0, "baseline lost its hold-down: {}", r.b_total);
+        assert!(
+            r.b_total > 5000.0,
+            "baseline lost its hold-down: {}",
+            r.b_total
+        );
         assert!(r.b_serialize > 0.0 && r.b_deserialize > 0.0);
         assert!(r.s_merge > 0.0);
         // The headline: ≥30× in the paper; we demand at least 10× here at

@@ -28,7 +28,9 @@ pub struct Hologram {
 /// `T_est · h`; that camera-frame position corresponds to the real-world
 /// point `T_true⁻¹ · (T_est · h)`.
 pub fn perceived_position(hologram: Vec3, est_pose_cw: &SE3, true_pose_cw: &SE3) -> Vec3 {
-    true_pose_cw.inverse().transform(est_pose_cw.transform(hologram))
+    true_pose_cw
+        .inverse()
+        .transform(est_pose_cw.transform(hologram))
 }
 
 /// Perception error: distance between where the user sees the hologram
@@ -45,7 +47,10 @@ mod tests {
     #[test]
     fn perfect_pose_perceives_exactly() {
         let h = Vec3::new(1.0, 2.0, 3.0);
-        let pose = SE3::new(Quat::from_axis_angle(Vec3::Y, 0.4), Vec3::new(0.5, 0.0, -1.0));
+        let pose = SE3::new(
+            Quat::from_axis_angle(Vec3::Y, 0.4),
+            Vec3::new(0.5, 0.0, -1.0),
+        );
         assert!((perceived_position(h, &pose, &pose) - h).norm() < 1e-12);
         assert!(perception_error(h, &pose, &pose) < 1e-12);
     }
@@ -65,9 +70,15 @@ mod tests {
     #[test]
     fn error_magnitude_matches_pose_offset_for_pure_translation() {
         let h = Vec3::new(2.0, -1.0, 4.0);
-        let truth = SE3::new(Quat::from_axis_angle(Vec3::Z, 0.3), Vec3::new(1.0, 1.0, 0.0));
+        let truth = SE3::new(
+            Quat::from_axis_angle(Vec3::Z, 0.3),
+            Vec3::new(1.0, 1.0, 0.0),
+        );
         let offset = Vec3::new(0.05, -0.02, 0.08);
-        let est = SE3 { rot: truth.rot, trans: truth.trans + offset };
+        let est = SE3 {
+            rot: truth.rot,
+            trans: truth.trans + offset,
+        };
         // For a shared rotation, the perception error equals the
         // camera-frame translation offset rotated back to the world.
         assert!((perception_error(h, &est, &truth) - offset.norm()).abs() < 1e-12);

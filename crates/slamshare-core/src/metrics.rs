@@ -103,7 +103,10 @@ impl BandwidthAccounting {
 
     /// Peak per-second bitrate in Mbit/s.
     pub fn peak_mbps(&self) -> f64 {
-        self.buckets.iter().map(|&b| b as f64 * 8.0 / 1e6).fold(0.0, f64::max)
+        self.buckets
+            .iter()
+            .map(|&b| b as f64 * 8.0 / 1e6)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -142,7 +145,10 @@ impl FpsTracker {
         if self.latencies_ms.is_empty() {
             return 1.0;
         }
-        self.latencies_ms.iter().filter(|&&l| l <= 1000.0 / 30.0).count() as f64
+        self.latencies_ms
+            .iter()
+            .filter(|&&l| l <= 1000.0 / 30.0)
+            .count() as f64
             / self.latencies_ms.len() as f64
     }
 }

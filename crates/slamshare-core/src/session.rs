@@ -11,8 +11,8 @@
 use crate::baseline::{
     baseline_exchange_round, BaselineClient, BaselineConfig, BaselineRoundLatency, BaselineServer,
 };
-use crate::client::ClientDevice;
-use crate::server::{EdgeServer, ServerConfig};
+use crate::client::{ClientDevice, Upload};
+use crate::server::{ClientFrame, EdgeServer, ServerConfig};
 use slamshare_features::bow::Vocabulary;
 use slamshare_math::{Vec3, SE3};
 use slamshare_net::link::{Channel, LinkConfig};
@@ -23,6 +23,9 @@ use slamshare_slam::ids::KeyFrameId;
 use slamshare_slam::system::SlamConfig;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// `(t, position)` samples of a trajectory (estimated or ground truth).
+type TrajectorySeries = Vec<(f64, Vec3)>;
 
 /// Which system runs the session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,7 +159,7 @@ impl SessionResult {
         eval::short_term_ate(&est, &gt, with_scale, 1e-4, 5.0)
     }
 
-    fn client_series(&self, client: u16) -> (Vec<(f64, Vec3)>, Vec<(f64, Vec3)>) {
+    fn client_series(&self, client: u16) -> (TrajectorySeries, TrajectorySeries) {
         let mut est = Vec::new();
         let mut gt = Vec::new();
         for fr in self.frames.iter().filter(|f| f.client == client) {
@@ -173,6 +176,20 @@ impl SessionResult {
 pub struct Session {
     pub config: SessionConfig,
     pub vocab: Arc<Vocabulary>,
+}
+
+/// Client-side output of one tick, staged for the server round and the
+/// post-round bookkeeping.
+struct RoundEntry {
+    /// Index into the session's client vector.
+    ci: usize,
+    frame_idx: usize,
+    ds_frame: usize,
+    hint: Option<SE3>,
+    imu: Vec<slamshare_sim::imu::ImuSample>,
+    upload: Upload,
+    arrive: SimTime,
+    instant_pose: Option<SE3>,
 }
 
 struct ActiveClient {
@@ -248,7 +265,12 @@ impl Session {
             .clients
             .first()
             .map(|c| {
-                Dataset::build(DatasetConfig::new(c.preset).with_frames(1).with_seed(c.seed)).rig
+                Dataset::build(
+                    DatasetConfig::new(c.preset)
+                        .with_frames(1)
+                        .with_seed(c.seed),
+                )
+                .rig
             })
             .unwrap_or(rig);
         let mut server_config = if self.config.stereo {
@@ -282,7 +304,12 @@ impl Session {
         for tick in 0..total_ticks {
             let t_session = tick as f64 * dt;
             let now = SimTime::from_secs(t_session);
-            for c in clients.iter_mut() {
+
+            // Client side first: deliver replies, capture, encode,
+            // uplink. The tick's uploads then go to the server as one
+            // batch.
+            let mut round: Vec<RoundEntry> = Vec::new();
+            for (ci, c) in clients.iter_mut().enumerate() {
                 if t_session < c.spec.join_time || c.next_frame >= c.spec.frames {
                     continue;
                 }
@@ -323,18 +350,40 @@ impl Session {
                 let bytes: usize = upload.messages.iter().map(|m| m.wire_len()).sum();
                 let arrive = c.channel.uplink.send(now, bytes);
 
-                // Server processing (per-client process).
                 let hint = (c.spec.anchor && frame_idx == 0)
                     .then(|| c.dataset.gt_pose_cw(c.spec.start_frame));
-                let res = server.process_video(
-                    c.spec.id,
+                round.push(RoundEntry {
+                    ci,
                     frame_idx,
-                    t_session,
-                    &upload.messages[0].payload,
-                    upload.messages.get(1).map(|m| m.payload.as_ref()),
-                    &imu,
+                    ds_frame,
                     hint,
-                );
+                    imu,
+                    upload,
+                    arrive,
+                    instant_pose,
+                });
+            }
+
+            // Server: process the tick's frames as one concurrent round
+            // (per-client worker processes over the shared global map).
+            let frames: Vec<ClientFrame> = round
+                .iter()
+                .map(|e| ClientFrame {
+                    client: clients[e.ci].spec.id,
+                    frame_idx: e.frame_idx,
+                    timestamp: t_session,
+                    left: &e.upload.messages[0].payload,
+                    right: e.upload.messages.get(1).map(|m| m.payload.as_ref()),
+                    imu: &e.imu,
+                    pose_hint: e.hint,
+                })
+                .collect();
+            let results = server.process_round(&frames);
+            drop(frames);
+
+            // Post-round: downlink replies + timeline records.
+            for (e, res) in round.iter().zip(results) {
+                let c = &mut clients[e.ci];
                 let server_ms = res.decode_ms + res.timings.total_ms() + res.mapping_ms;
                 if let Some(m) = &res.merge {
                     result.merges.push(MergeEvent {
@@ -350,23 +399,22 @@ impl Session {
                     let reply_at = c
                         .channel
                         .downlink
-                        .send(arrive + SimTime::from_millis(server_ms), 136);
-                    c.pending_replies.push((reply_at, frame_idx, pose));
+                        .send(e.arrive + SimTime::from_millis(server_ms), 136);
+                    c.pending_replies.push((reply_at, e.frame_idx, pose));
                 }
 
                 // Record: what the user's display shows *now* (IMU chain).
-                let est = instant_pose
-                    .or_else(|| c.device.display_pose(frame_idx))
+                let est = e
+                    .instant_pose
+                    .or_else(|| c.device.display_pose(e.frame_idx))
                     .map(|p| p.camera_center());
                 result.frames.push(FrameRecord {
                     t: t_session,
                     client: c.spec.id,
                     est,
                     server_est: res.pose.map(|p| p.camera_center()),
-                    gt: c.dataset.gt_position(ds_frame),
-                    latency_ms: upload.encode_ms
-                        + c.channel.base_rtt().as_millis()
-                        + server_ms,
+                    gt: c.dataset.gt_position(e.ds_frame),
+                    latency_ms: e.upload.encode_ms + c.channel.base_rtt().as_millis() + server_ms,
                 });
             }
 
@@ -401,11 +449,10 @@ impl Session {
         server: &EdgeServer,
         clients: &[ActiveClient],
     ) -> Option<f64> {
-        let by_id: HashMap<u16, &ActiveClient> =
-            clients.iter().map(|c| (c.spec.id, c)).collect();
-        let (mut est, mut gt) = server.store.with_read(|state| {
-            map_kf_pairs(&state.map, &by_id, self.config.fps)
-        });
+        let by_id: HashMap<u16, &ActiveClient> = clients.iter().map(|c| (c.spec.id, c)).collect();
+        let (mut est, mut gt) = server
+            .store
+            .with_read(|state| map_kf_pairs(&state.map, &by_id, self.config.fps));
         // Include not-yet-merged client fragments: before a merge they sit
         // in their private frames, which is exactly the inconsistency the
         // paper's "Before Merge" ATE spike visualizes.
@@ -495,8 +542,7 @@ impl Session {
                 let hint = (c.spec.anchor && frame_idx == 0)
                     .then(|| c.dataset.gt_pose_cw(c.spec.start_frame));
                 let t0 = std::time::Instant::now();
-                let (pose, due) =
-                    fat.on_frame(t_session, &left, right.as_ref(), &imu, hint);
+                let (pose, due) = fat.on_frame(t_session, &left, right.as_ref(), &imu, hint);
                 let track_ms = t0.elapsed().as_secs_f64() * 1e3;
 
                 if due {
@@ -578,12 +624,14 @@ fn map_kf_pairs(
     map: &slamshare_slam::map::Map,
     clients: &HashMap<u16, &ActiveClient>,
     fps: f64,
-) -> (Vec<(f64, Vec3)>, Vec<(f64, Vec3)>) {
+) -> (TrajectorySeries, TrajectorySeries) {
     let mut est = Vec::new();
     let mut gt = Vec::new();
     for (id, kf) in &map.keyframes {
         let owner = KeyFrameId(id.0).client().0;
-        let Some(c) = clients.get(&owner) else { continue };
+        let Some(c) = clients.get(&owner) else {
+            continue;
+        };
         // Session time → this client's dataset frame.
         let t_local = kf.timestamp - c.spec.join_time;
         if t_local < -1e-9 {
@@ -638,14 +686,23 @@ mod tests {
         assert!(ate.rmse < 0.3, "client 1 ATE {}", ate.rmse);
         // Both clients merged into the global map.
         assert!(
-            result.merges.iter().filter(|m| m.aligned || m.client == 1).count() >= 1,
+            result
+                .merges
+                .iter()
+                .filter(|m| m.aligned || m.client == 1)
+                .count()
+                >= 1,
             "no merges recorded: {:?}",
             result.merges
         );
         assert!(!result.map_ate_series.is_empty());
         // Thin clients: CPU well under one core.
         let stats = &result.per_client[&1];
-        assert!(stats.mean_cpu_percent * 40.0 < 60.0, "client CPU {}% of a core", stats.mean_cpu_percent * 40.0);
+        assert!(
+            stats.mean_cpu_percent * 40.0 < 60.0,
+            "client CPU {}% of a core",
+            stats.mean_cpu_percent * 40.0
+        );
         assert!(stats.uplink_mbps > 0.0);
     }
 
@@ -658,7 +715,11 @@ mod tests {
             "no baseline exchange rounds happened"
         );
         let (_, lat) = &result.baseline_rounds[0];
-        assert!(lat.total_ms() > 5000.0, "round missing hold-down: {}", lat.total_ms());
+        assert!(
+            lat.total_ms() > 5000.0,
+            "round missing hold-down: {}",
+            lat.total_ms()
+        );
         // Fat clients burn far more CPU than thin ones.
         let fat_cpu = result.per_client[&1].mean_cpu_percent;
         let thin = small_session(SystemKind::SlamShare);

@@ -86,7 +86,12 @@ impl Vocabulary {
     /// `branching` clusters per node, `depth` levels. Training is
     /// deterministic given `seed`. Degenerate inputs (fewer descriptors
     /// than clusters) simply produce a smaller tree.
-    pub fn train(descriptors: &[Descriptor], branching: usize, depth: usize, seed: u64) -> Vocabulary {
+    pub fn train(
+        descriptors: &[Descriptor],
+        branching: usize,
+        depth: usize,
+        seed: u64,
+    ) -> Vocabulary {
         assert!(branching >= 2 && depth >= 1);
         let mut vocab = Vocabulary {
             nodes: Vec::new(),
@@ -114,7 +119,11 @@ impl Vocabulary {
         let mut node_ids = Vec::new();
         for (ci, (centroid, members)) in clusters.into_iter().enumerate() {
             let node_id = self.nodes.len();
-            self.nodes.push(Node { centroid, children: Vec::new(), word: None });
+            self.nodes.push(Node {
+                centroid,
+                children: Vec::new(),
+                word: None,
+            });
             if level >= self.depth || members.len() <= 1 {
                 let w = self.n_words as WordId;
                 self.n_words += 1;
@@ -124,7 +133,8 @@ impl Vocabulary {
                     all,
                     &members,
                     level + 1,
-                    seed.wrapping_mul(6364136223846793005).wrapping_add(ci as u64 + 1),
+                    seed.wrapping_mul(6364136223846793005)
+                        .wrapping_add(ci as u64 + 1),
                 );
                 if children.is_empty() {
                     let w = self.n_words as WordId;
@@ -408,10 +418,8 @@ mod tests {
 
         // "Scene A" observed twice with noise, vs unrelated "scene B".
         let scene_a: Vec<Descriptor> = (0..80).map(|_| random_descriptor(&mut rng)).collect();
-        let obs_a1: Vec<Descriptor> =
-            scene_a.iter().map(|d| perturb(d, 5, &mut rng)).collect();
-        let obs_a2: Vec<Descriptor> =
-            scene_a.iter().map(|d| perturb(d, 5, &mut rng)).collect();
+        let obs_a1: Vec<Descriptor> = scene_a.iter().map(|d| perturb(d, 5, &mut rng)).collect();
+        let obs_a2: Vec<Descriptor> = scene_a.iter().map(|d| perturb(d, 5, &mut rng)).collect();
         let scene_b: Vec<Descriptor> = (0..80).map(|_| random_descriptor(&mut rng)).collect();
 
         let b1 = v.transform(&obs_a1);
@@ -442,7 +450,10 @@ mod tests {
         let q = v.transform(&scene);
         let hits = db.query(&q, 0.0, &|_| false);
         assert!(!hits.is_empty());
-        assert_eq!(hits[0].0, 10, "expected same-scene keyframe first: {hits:?}");
+        assert_eq!(
+            hits[0].0, 10,
+            "expected same-scene keyframe first: {hits:?}"
+        );
     }
 
     #[test]

@@ -45,6 +45,27 @@ impl Descriptor {
         d
     }
 
+    /// Hamming distance with an early exit: returns the exact distance if
+    /// it is below `bound`, otherwise some partial sum `>= bound` as soon
+    /// as a u64 word pushes the running count over. Callers scanning for
+    /// a best match pass their current best/second-best as the bound —
+    /// any return `>= bound` would be rejected anyway, so match results
+    /// are identical to using [`Descriptor::distance`] while skipping
+    /// most of the popcount work on poor candidates.
+    #[inline]
+    pub fn distance_bounded(&self, other: &Descriptor, bound: u32) -> u32 {
+        let mut d = 0u32;
+        for i in 0..(DESC_BYTES / 8) {
+            let a = u64::from_le_bytes(self.0[i * 8..(i + 1) * 8].try_into().unwrap());
+            let b = u64::from_le_bytes(other.0[i * 8..(i + 1) * 8].try_into().unwrap());
+            d += (a ^ b).count_ones();
+            if d >= bound {
+                return d;
+            }
+        }
+        d
+    }
+
     /// Number of set bits.
     pub fn popcount(&self) -> u32 {
         self.distance(&Descriptor::ZERO)
@@ -122,6 +143,45 @@ mod tests {
         let b = Descriptor::ZERO;
         assert_eq!(a.distance(&b), DESC_BITS as u32);
         assert_eq!(b.distance(&a), DESC_BITS as u32);
+    }
+
+    #[test]
+    fn bounded_distance_exact_below_bound() {
+        let mut a = Descriptor::ZERO;
+        let mut b = Descriptor::ZERO;
+        for i in [0, 70, 140, 200] {
+            a.set_bit(i);
+        }
+        for i in [1, 70, 141, 201, 250] {
+            b.set_bit(i);
+        }
+        let exact = a.distance(&b);
+        assert_eq!(a.distance_bounded(&b, exact + 1), exact);
+        assert_eq!(a.distance_bounded(&b, u32::MAX), exact);
+        // At or over the bound: the partial sum must itself be >= bound.
+        for bound in [1, 2, exact] {
+            assert!(a.distance_bounded(&b, bound) >= bound);
+        }
+        assert!(a.distance_bounded(&b, 0) >= exact.min(1));
+    }
+
+    #[test]
+    fn bounded_distance_never_underreports() {
+        // Partial sums are monotone: whatever the bound, the return value
+        // never exceeds the exact distance... and equals it when allowed
+        // to finish.
+        let a = Descriptor([0xAB; DESC_BYTES]);
+        let b = Descriptor([0x54; DESC_BYTES]);
+        let exact = a.distance(&b);
+        for bound in [0, 5, 64, 128, exact, exact + 1, 1000] {
+            let d = a.distance_bounded(&b, bound);
+            assert!(d <= exact);
+            if exact < bound {
+                assert_eq!(d, exact);
+            } else {
+                assert!(d >= bound.min(exact));
+            }
+        }
     }
 
     #[test]

@@ -62,8 +62,7 @@ pub fn distribute_quadtree(
                 let idx = (down as usize) * 2 + right as usize;
                 quads[idx].kps.push(kp);
             }
-            let mut out: Vec<Node> =
-                quads.into_iter().filter(|q| !q.kps.is_empty()).collect();
+            let mut out: Vec<Node> = quads.into_iter().filter(|q| !q.kps.is_empty()).collect();
             if out.len() == 1 && out[0].kps.len() == n_before {
                 // Degenerate: all keypoints share a quadrant corner —
                 // further splitting can never separate them.
@@ -167,7 +166,11 @@ mod tests {
     fn keeps_strongest_in_cell() {
         // Two keypoints in the same tiny neighbourhood; with target 1 the
         // stronger must win.
-        let kps = vec![kp(10.0, 10.0, 1.0), kp(10.5, 10.0, 9.0), kp(80.0, 80.0, 5.0)];
+        let kps = vec![
+            kp(10.0, 10.0, 1.0),
+            kp(10.5, 10.0, 9.0),
+            kp(80.0, 80.0, 5.0),
+        ];
         let out = distribute_quadtree(&kps, 100, 100, 2);
         assert_eq!(out.len(), 2);
         assert!(out.iter().any(|k| k.response == 9.0));

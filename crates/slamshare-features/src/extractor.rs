@@ -102,15 +102,48 @@ impl ExtractedFeatures {
     }
 }
 
+/// Per-frame scratch reused across extractions: the pyramid's level
+/// buffers and the per-level detection bins. Video streams keep a fixed
+/// resolution, so after the first frame the sequential path allocates
+/// nothing per frame.
+#[derive(Default)]
+struct ExtractScratch {
+    pyramid: Option<ImagePyramid>,
+    raw: Vec<Vec<KeyPoint>>,
+}
+
 /// The ORB feature extractor.
-#[derive(Debug, Clone)]
 pub struct OrbExtractor {
     pub config: OrbExtractorConfig,
+    /// Behind a mutex so [`OrbExtractor::extract`] stays `&self` (the
+    /// tracker calls it through shared references, and the data-parallel
+    /// scheduler shares the extractor across workers). Uncontended in
+    /// practice: one extractor per client, and the parallel path builds
+    /// its pyramid outside the scratch.
+    scratch: parking_lot::Mutex<ExtractScratch>,
+}
+
+impl Clone for OrbExtractor {
+    fn clone(&self) -> OrbExtractor {
+        // Scratch is a per-instance cache; clones start cold.
+        OrbExtractor::new(self.config.clone())
+    }
+}
+
+impl std::fmt::Debug for OrbExtractor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrbExtractor")
+            .field("config", &self.config)
+            .finish()
+    }
 }
 
 impl OrbExtractor {
     pub fn new(config: OrbExtractorConfig) -> OrbExtractor {
-        OrbExtractor { config }
+        OrbExtractor {
+            config,
+            scratch: parking_lot::Mutex::new(ExtractScratch::default()),
+        }
     }
 
     pub fn with_defaults() -> OrbExtractor {
@@ -124,7 +157,11 @@ impl OrbExtractor {
         let total: f64 = weights.iter().sum();
         weights
             .iter()
-            .map(|w| ((w / total) * self.config.n_features as f64).round().max(1.0) as usize)
+            .map(|w| {
+                ((w / total) * self.config.n_features as f64)
+                    .round()
+                    .max(1.0) as usize
+            })
             .collect()
     }
 
@@ -161,9 +198,21 @@ impl OrbExtractor {
         let img = &pyramid.levels[task.level];
         let rect0 = (task.x0, task.y0);
         let rect1 = (task.x1, task.y1);
-        let mut kps = fast::detect_in_rect(img, rect0, rect1, self.config.fast_threshold, task.level as u8);
+        let mut kps = fast::detect_in_rect(
+            img,
+            rect0,
+            rect1,
+            self.config.fast_threshold,
+            task.level as u8,
+        );
         if kps.is_empty() && self.config.min_threshold < self.config.fast_threshold {
-            kps = fast::detect_in_rect(img, rect0, rect1, self.config.min_threshold, task.level as u8);
+            kps = fast::detect_in_rect(
+                img,
+                rect0,
+                rect1,
+                self.config.min_threshold,
+                task.level as u8,
+            );
         }
         let mut kept = fast::non_max_suppress(&kps, 3.0);
         for kp in &mut kept {
@@ -199,19 +248,21 @@ impl OrbExtractor {
     /// Distribute per-level detections down to the per-level budgets and
     /// describe the survivors. `raw` holds detections grouped by pyramid
     /// level, in level-local coordinates.
-    pub fn finalize(
-        &self,
-        pyramid: &ImagePyramid,
-        raw: Vec<Vec<KeyPoint>>,
-    ) -> ExtractedFeatures {
+    pub fn finalize(&self, pyramid: &ImagePyramid, raw: Vec<Vec<KeyPoint>>) -> ExtractedFeatures {
+        self.finalize_levels(pyramid, &raw)
+    }
+
+    /// [`OrbExtractor::finalize`] over borrowed per-level bins (lets the
+    /// sequential path keep its scratch allocations).
+    fn finalize_levels(&self, pyramid: &ImagePyramid, raw: &[Vec<KeyPoint>]) -> ExtractedFeatures {
         let targets = self.per_level_targets(pyramid);
         let mut features = ExtractedFeatures::default();
-        for (level, kps) in raw.into_iter().enumerate() {
+        for (level, kps) in raw.iter().enumerate() {
             if level >= pyramid.num_levels() {
                 break;
             }
             let img = &pyramid.levels[level];
-            let kept = distribute_quadtree(&kps, img.width, img.height, targets[level]);
+            let kept = distribute_quadtree(kps, img.width, img.height, targets[level]);
             for kp in kept {
                 if let Some((finished, desc)) = self.describe_keypoint(pyramid, kp) {
                     features.keypoints.push(finished);
@@ -222,24 +273,39 @@ impl OrbExtractor {
         features
     }
 
-    /// Sequential ("CPU") extraction with stage timing.
+    /// Sequential ("CPU") extraction with stage timing. Reuses the
+    /// pyramid and detection-bin allocations of previous frames.
     pub fn extract(&self, image: &GrayImage) -> (ExtractedFeatures, ExtractionTimings) {
         let mut timings = ExtractionTimings::default();
+        let mut scratch = self.scratch.lock();
 
         let t0 = Instant::now();
-        let pyramid = ImagePyramid::build(image, self.config.n_levels, self.config.scale_factor);
+        let pyramid = scratch.pyramid.get_or_insert_with(ImagePyramid::empty);
+        pyramid.rebuild(image, self.config.n_levels, self.config.scale_factor);
         timings.pyramid_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+        let ExtractScratch {
+            pyramid: Some(pyramid),
+            raw,
+        } = &mut *scratch
+        else {
+            unreachable!("pyramid installed above")
+        };
         let t1 = Instant::now();
-        let mut raw: Vec<Vec<KeyPoint>> = vec![Vec::new(); pyramid.num_levels()];
-        for task in self.cells(&pyramid) {
-            let kps = self.detect_cell(&pyramid, task);
+        for bin in raw.iter_mut() {
+            bin.clear();
+        }
+        if raw.len() < pyramid.num_levels() {
+            raw.resize_with(pyramid.num_levels(), Vec::new);
+        }
+        for task in self.cells(pyramid) {
+            let kps = self.detect_cell(pyramid, task);
             raw[task.level].extend(kps);
         }
         timings.detect_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         let t2 = Instant::now();
-        let features = self.finalize(&pyramid, raw);
+        let features = self.finalize_levels(pyramid, &raw[..pyramid.num_levels()]);
         timings.describe_ms = t2.elapsed().as_secs_f64() * 1e3;
 
         (features, timings)
@@ -324,6 +390,29 @@ mod tests {
     }
 
     #[test]
+    fn warm_scratch_matches_cold_extractor_exactly() {
+        // Frame-to-frame buffer reuse must not change a single bit of
+        // output, including after a resolution change.
+        let frames = [
+            checkered(320, 240, 12),
+            checkered(320, 240, 10),
+            checkered(256, 192, 9),
+        ];
+        let warm = OrbExtractor::with_defaults();
+        for (i, img) in frames.iter().enumerate() {
+            let (got, _) = warm.extract(img);
+            let (want, _) = OrbExtractor::with_defaults().extract(img);
+            assert_eq!(got.keypoints, want.keypoints, "frame {i} keypoints");
+            assert_eq!(got.descriptors, want.descriptors, "frame {i} descriptors");
+        }
+        // Same frame twice through the same extractor: identical.
+        let (a, _) = warm.extract(&frames[0]);
+        let (b, _) = warm.extract(&frames[0]);
+        assert_eq!(a.keypoints, b.keypoints);
+        assert_eq!(a.descriptors, b.descriptors);
+    }
+
+    #[test]
     fn cell_tasks_tile_every_level() {
         let img = GrayImage::new(320, 240);
         let ex = OrbExtractor::with_defaults();
@@ -375,8 +464,14 @@ mod tests {
         // Same multiset per level (order differs).
         for (f, r) in raw_fwd.iter().zip(&raw_rev) {
             assert_eq!(f.len(), r.len());
-            let mut fs: Vec<_> = f.iter().map(|k| (k.pt.x.to_bits(), k.pt.y.to_bits())).collect();
-            let mut rs: Vec<_> = r.iter().map(|k| (k.pt.x.to_bits(), k.pt.y.to_bits())).collect();
+            let mut fs: Vec<_> = f
+                .iter()
+                .map(|k| (k.pt.x.to_bits(), k.pt.y.to_bits()))
+                .collect();
+            let mut rs: Vec<_> = r
+                .iter()
+                .map(|k| (k.pt.x.to_bits(), k.pt.y.to_bits()))
+                .collect();
             fs.sort();
             rs.sort();
             assert_eq!(fs, rs);

@@ -282,7 +282,11 @@ mod tests {
     #[test]
     fn nms_keeps_strongest() {
         let mk = |x: f64, y: f64, r: f64| KeyPoint::new(Vec2::new(x, y), 0, r);
-        let kps = vec![mk(10.0, 10.0, 5.0), mk(11.0, 10.0, 9.0), mk(30.0, 30.0, 2.0)];
+        let kps = vec![
+            mk(10.0, 10.0, 5.0),
+            mk(11.0, 10.0, 9.0),
+            mk(30.0, 30.0, 2.0),
+        ];
         let kept = non_max_suppress(&kps, 2.0);
         assert_eq!(kept.len(), 2);
         assert!(kept.iter().any(|k| k.response == 9.0));

@@ -17,23 +17,39 @@ pub struct GrayImage {
 impl GrayImage {
     /// A black image.
     pub fn new(width: usize, height: usize) -> GrayImage {
-        GrayImage { width, height, data: vec![0; width * height] }
+        GrayImage {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
     }
 
     /// An image filled with `value`.
     pub fn filled(width: usize, height: usize, value: u8) -> GrayImage {
-        GrayImage { width, height, data: vec![value; width * height] }
+        GrayImage {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
     }
 
     /// Build from a per-pixel function `(x, y) -> intensity`.
-    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> GrayImage {
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> u8,
+    ) -> GrayImage {
         let mut data = Vec::with_capacity(width * height);
         for y in 0..height {
             for x in 0..width {
                 data.push(f(x, y));
             }
         }
-        GrayImage { width, height, data }
+        GrayImage {
+            width,
+            height,
+            data,
+        }
     }
 
     #[inline]
@@ -80,14 +96,42 @@ impl GrayImage {
     /// Downscale by an arbitrary factor `>= 1` with bilinear sampling.
     /// The pyramid uses factor 1.2 between levels, as ORB-SLAM does.
     pub fn resize(&self, new_width: usize, new_height: usize) -> GrayImage {
+        let mut out = GrayImage {
+            width: 0,
+            height: 0,
+            data: Vec::new(),
+        };
+        self.resize_into(new_width, new_height, &mut out);
+        out
+    }
+
+    /// [`GrayImage::resize`] writing into an existing image, reusing its
+    /// pixel buffer (the per-frame pyramid rebuild's allocation-free
+    /// path). Same sampling math, bit-identical output.
+    pub fn resize_into(&self, new_width: usize, new_height: usize, out: &mut GrayImage) {
         assert!(new_width > 0 && new_height > 0);
         let sx = self.width as f64 / new_width as f64;
         let sy = self.height as f64 / new_height as f64;
-        GrayImage::from_fn(new_width, new_height, |x, y| {
-            let src_x = (x as f64 + 0.5) * sx - 0.5;
-            let src_y = (y as f64 + 0.5) * sy - 0.5;
-            self.sample_bilinear(src_x, src_y).round().clamp(0.0, 255.0) as u8
-        })
+        out.width = new_width;
+        out.height = new_height;
+        out.data.clear();
+        out.data.reserve(new_width * new_height);
+        for y in 0..new_height {
+            for x in 0..new_width {
+                let src_x = (x as f64 + 0.5) * sx - 0.5;
+                let src_y = (y as f64 + 0.5) * sy - 0.5;
+                out.data
+                    .push(self.sample_bilinear(src_x, src_y).round().clamp(0.0, 255.0) as u8);
+            }
+        }
+    }
+
+    /// Copy `src` into `self`, reusing `self`'s buffer.
+    pub fn copy_from(&mut self, src: &GrayImage) {
+        self.width = src.width;
+        self.height = src.height;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// 3×3 box blur — a cheap stand-in for the Gaussian smoothing ORB applies

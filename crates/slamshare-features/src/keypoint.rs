@@ -24,7 +24,14 @@ pub struct KeyPoint {
 
 impl KeyPoint {
     pub fn new(pt: Vec2, octave: u8, response: f64) -> KeyPoint {
-        KeyPoint { pt, octave, angle: 0.0, response, right_x: -1.0, depth: -1.0 }
+        KeyPoint {
+            pt,
+            octave,
+            angle: 0.0,
+            response,
+            right_x: -1.0,
+            depth: -1.0,
+        }
     }
 
     /// True if this keypoint carries a valid stereo observation.

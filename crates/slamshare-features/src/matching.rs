@@ -45,7 +45,11 @@ pub fn match_brute_force(
         let mut second = u32::MAX;
         let mut best_ti = usize::MAX;
         for (ti, td) in train.iter().enumerate() {
-            let d = qd.distance(td);
+            // Bounded distance: a candidate at or past the running
+            // second-best can update neither slot, so the popcount loop
+            // may bail as soon as its partial sum reaches `second` —
+            // results are identical to the full distance.
+            let d = qd.distance_bounded(td, second);
             if d < best {
                 second = best;
                 best = d;
@@ -58,23 +62,25 @@ pub fn match_brute_force(
             && best <= max_distance
             && (second == u32::MAX || (best as f64) < ratio * second as f64)
         {
-            provisional.push(FeatureMatch { query: qi, train: best_ti, distance: best });
+            provisional.push(FeatureMatch {
+                query: qi,
+                train: best_ti,
+                distance: best,
+            });
         }
     }
-    // Keep only the best query per train index.
-    let mut best_for_train: std::collections::HashMap<usize, FeatureMatch> =
-        std::collections::HashMap::new();
+    // Keep only the best query per train index. Train indices are dense,
+    // so a direct-index table beats hashing; queries arrive in ascending
+    // order, so keeping the first strictly-smaller entry reproduces the
+    // old map's tie-breaking exactly.
+    let mut best_for_train: Vec<Option<FeatureMatch>> = vec![None; train.len()];
     for m in provisional {
-        best_for_train
-            .entry(m.train)
-            .and_modify(|cur| {
-                if m.distance < cur.distance {
-                    *cur = m;
-                }
-            })
-            .or_insert(m);
+        match &mut best_for_train[m.train] {
+            Some(cur) if m.distance >= cur.distance => {}
+            slot => *slot = Some(m),
+        }
     }
-    let mut out: Vec<FeatureMatch> = best_for_train.into_values().collect();
+    let mut out: Vec<FeatureMatch> = best_for_train.into_iter().flatten().collect();
     out.sort_by_key(|m| m.query);
     out
 }
@@ -136,10 +142,18 @@ pub fn match_by_projection(
                 .entry(ti)
                 .and_modify(|cur| {
                     if d < cur.distance {
-                        *cur = FeatureMatch { query: qi, train: ti, distance: d };
+                        *cur = FeatureMatch {
+                            query: qi,
+                            train: ti,
+                            distance: d,
+                        };
                     }
                 })
-                .or_insert(FeatureMatch { query: qi, train: ti, distance: d });
+                .or_insert(FeatureMatch {
+                    query: qi,
+                    train: ti,
+                    distance: d,
+                });
         }
     }
     let mut out: Vec<FeatureMatch> = per_train.into_values().collect();
@@ -168,8 +182,16 @@ mod tests {
         let train = vec![c, b, a];
         let ms = match_brute_force(&query, &train, TH_LOW, DEFAULT_RATIO);
         assert_eq!(ms.len(), 2);
-        assert!(ms.contains(&FeatureMatch { query: 0, train: 2, distance: 0 }));
-        assert!(ms.contains(&FeatureMatch { query: 1, train: 1, distance: 0 }));
+        assert!(ms.contains(&FeatureMatch {
+            query: 0,
+            train: 2,
+            distance: 0
+        }));
+        assert!(ms.contains(&FeatureMatch {
+            query: 1,
+            train: 1,
+            distance: 0
+        }));
     }
 
     #[test]
@@ -207,7 +229,11 @@ mod tests {
         let d = desc_with_bits(&[3]);
         let positions = vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 100.0)];
         let descriptors = vec![d, d];
-        let q = ProjectionQuery { descriptor: d, predicted: Vec2::new(99.0, 99.0), radius: 5.0 };
+        let q = ProjectionQuery {
+            descriptor: d,
+            predicted: Vec2::new(99.0, 99.0),
+            radius: 5.0,
+        };
         let got = best_in_window(&q, &positions, &descriptors, TH_LOW).unwrap();
         assert_eq!(got.0, 1);
         // Tiny radius: no candidates.
@@ -235,7 +261,11 @@ mod tests {
         let d = desc_with_bits(&[4]);
         let positions = vec![Vec2::new(0.0, 0.0)];
         let descriptors = vec![d];
-        let exact = ProjectionQuery { descriptor: d, predicted: Vec2::ZERO, radius: 10.0 };
+        let exact = ProjectionQuery {
+            descriptor: d,
+            predicted: Vec2::ZERO,
+            radius: 10.0,
+        };
         let off = ProjectionQuery {
             descriptor: desc_with_bits(&[4, 9]),
             predicted: Vec2::ZERO,
@@ -245,6 +275,92 @@ mod tests {
         assert_eq!(ms.len(), 1);
         assert_eq!(ms[0].query, 1);
         assert_eq!(ms[0].distance, 0);
+    }
+
+    #[test]
+    fn brute_force_matches_reference_implementation() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        // Straight-line reference: full distances, HashMap mutual-best.
+        fn reference(
+            query: &[Descriptor],
+            train: &[Descriptor],
+            max_distance: u32,
+            ratio: f64,
+        ) -> Vec<FeatureMatch> {
+            let mut provisional: Vec<FeatureMatch> = Vec::new();
+            for (qi, qd) in query.iter().enumerate() {
+                let mut best = u32::MAX;
+                let mut second = u32::MAX;
+                let mut best_ti = usize::MAX;
+                for (ti, td) in train.iter().enumerate() {
+                    let d = qd.distance(td);
+                    if d < best {
+                        second = best;
+                        best = d;
+                        best_ti = ti;
+                    } else if d < second {
+                        second = d;
+                    }
+                }
+                if best_ti != usize::MAX
+                    && best <= max_distance
+                    && (second == u32::MAX || (best as f64) < ratio * second as f64)
+                {
+                    provisional.push(FeatureMatch {
+                        query: qi,
+                        train: best_ti,
+                        distance: best,
+                    });
+                }
+            }
+            let mut per_train: std::collections::HashMap<usize, FeatureMatch> =
+                std::collections::HashMap::new();
+            for m in provisional {
+                per_train
+                    .entry(m.train)
+                    .and_modify(|cur| {
+                        if m.distance < cur.distance {
+                            *cur = m;
+                        }
+                    })
+                    .or_insert(m);
+            }
+            let mut out: Vec<FeatureMatch> = per_train.into_values().collect();
+            out.sort_by_key(|m| m.query);
+            out
+        }
+
+        let mut rng = StdRng::seed_from_u64(99);
+        let random_desc = |rng: &mut StdRng| {
+            let mut d = Descriptor::ZERO;
+            for i in 0..256 {
+                if rng.gen_bool(0.08) {
+                    d.set_bit(i);
+                }
+            }
+            d
+        };
+        for trial in 0..20 {
+            let nq = rng.gen_range(0..40);
+            let nt = rng.gen_range(0..40);
+            let mut query: Vec<Descriptor> = (0..nq).map(|_| random_desc(&mut rng)).collect();
+            let train: Vec<Descriptor> = (0..nt).map(|_| random_desc(&mut rng)).collect();
+            // Plant near-duplicates so accepts/ties actually occur.
+            for (qi, q) in query.iter_mut().enumerate() {
+                if !train.is_empty() && qi % 3 == 0 {
+                    *q = train[qi % train.len()];
+                }
+            }
+            for (max_d, ratio) in [(TH_LOW, DEFAULT_RATIO), (TH_HIGH, 1.0), (5, 0.7)] {
+                assert_eq!(
+                    match_brute_force(&query, &train, max_d, ratio),
+                    reference(&query, &train, max_d, ratio),
+                    "trial {trial} max_d {max_d} ratio {ratio}"
+                );
+            }
+        }
     }
 
     #[test]

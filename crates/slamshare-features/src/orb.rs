@@ -113,7 +113,10 @@ mod tests {
         // Bright bottom ⇒ +y ⇒ π/2.
         let img2 = GrayImage::from_fn(64, 64, |_, y| if y >= 32 { 200 } else { 20 });
         let a2 = intensity_centroid_angle(&img2, 32.0, 32.0);
-        assert!((a2 - std::f64::consts::FRAC_PI_2).abs() < 0.2, "angle = {a2}");
+        assert!(
+            (a2 - std::f64::consts::FRAC_PI_2).abs() < 0.2,
+            "angle = {a2}"
+        );
     }
 
     #[test]
@@ -138,17 +141,17 @@ mod tests {
     /// patch.
     #[test]
     fn descriptor_distinguishes_patches() {
-        let textured = GrayImage::from_fn(64, 64, |x, y| {
-            (((x * 7 + y * 13) % 29) * 8) as u8
-        });
-        let other = GrayImage::from_fn(64, 64, |x, y| {
-            (((x * 3 + y * 31) % 17) * 15) as u8
-        });
+        let textured = GrayImage::from_fn(64, 64, |x, y| (((x * 7 + y * 13) % 29) * 8) as u8);
+        let other = GrayImage::from_fn(64, 64, |x, y| (((x * 3 + y * 31) % 17) * 15) as u8);
         let d1 = describe(&textured, 32.0, 32.0, 0.0);
         let d1_again = describe(&textured, 32.0, 32.0, 0.0);
         let d2 = describe(&other, 32.0, 32.0, 0.0);
         assert_eq!(d1.distance(&d1_again), 0);
-        assert!(d1.distance(&d2) > 50, "unrelated patches too similar: {}", d1.distance(&d2));
+        assert!(
+            d1.distance(&d2) > 50,
+            "unrelated patches too similar: {}",
+            d1.distance(&d2)
+        );
     }
 
     /// A small translation of the same texture keeps descriptors close; the
@@ -163,7 +166,11 @@ mod tests {
         });
         let d0 = describe(&textured, 48.0, 48.0, 0.0);
         let d_shift = describe(&textured, 48.3, 47.8, 0.0);
-        assert!(d0.distance(&d_shift) < 60, "jitter distance {}", d0.distance(&d_shift));
+        assert!(
+            d0.distance(&d_shift) < 60,
+            "jitter distance {}",
+            d0.distance(&d_shift)
+        );
     }
 
     /// Rotating the image and steering by the measured angle should keep

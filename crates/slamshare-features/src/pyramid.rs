@@ -27,12 +27,45 @@ impl ImagePyramid {
     /// Build a pyramid with the given number of levels and inter-level
     /// scale factor. Levels that would shrink below 32 pixels on a side are
     /// dropped (matching ORB-SLAM's minimum usable size).
+    /// A pyramid with no levels — scratch state for [`ImagePyramid::rebuild`].
+    pub fn empty() -> ImagePyramid {
+        ImagePyramid {
+            levels: Vec::new(),
+            scales: Vec::new(),
+            scale_factor: DEFAULT_SCALE_FACTOR,
+        }
+    }
+
     pub fn build(base: &GrayImage, n_levels: usize, scale_factor: f64) -> ImagePyramid {
+        let mut p = ImagePyramid::empty();
+        p.rebuild(base, n_levels, scale_factor);
+        p
+    }
+
+    /// Rebuild this pyramid for a new base frame, reusing the level
+    /// buffers allocated by previous frames (video streams keep a fixed
+    /// resolution, so after the first frame this allocates nothing).
+    /// Output is bit-identical to [`ImagePyramid::build`].
+    pub fn rebuild(&mut self, base: &GrayImage, n_levels: usize, scale_factor: f64) {
         assert!(scale_factor > 1.0, "scale factor must exceed 1");
-        let mut levels = Vec::with_capacity(n_levels);
-        let mut scales = Vec::with_capacity(n_levels);
-        levels.push(base.clone());
-        scales.push(1.0);
+        self.scale_factor = scale_factor;
+        self.scales.clear();
+        // Keep existing level images around as scratch; shrink later if
+        // this frame produces fewer levels.
+        let mut used = 0usize;
+        let level_buf = |levels: &mut Vec<GrayImage>, used: usize| {
+            if levels.len() <= used {
+                levels.push(GrayImage {
+                    width: 0,
+                    height: 0,
+                    data: Vec::new(),
+                });
+            }
+        };
+        level_buf(&mut self.levels, used);
+        self.levels[used].copy_from(base);
+        self.scales.push(1.0);
+        used += 1;
         for i in 1..n_levels {
             let s = scale_factor.powi(i as i32);
             let w = (base.width as f64 / s).round() as usize;
@@ -42,11 +75,13 @@ impl ImagePyramid {
             }
             // Resample from the previous level (cheaper and closer to how
             // real pyramids cascade) rather than from the base every time.
-            let prev = levels.last().unwrap();
-            levels.push(prev.resize(w, h));
-            scales.push(s);
+            level_buf(&mut self.levels, used);
+            let (prev, rest) = self.levels.split_at_mut(used);
+            prev[used - 1].resize_into(w, h, &mut rest[0]);
+            self.scales.push(s);
+            used += 1;
         }
-        ImagePyramid { levels, scales, scale_factor }
+        self.levels.truncate(used);
     }
 
     /// Build with the ORB-SLAM default parameters (8 levels, factor 1.2).
@@ -117,6 +152,38 @@ mod tests {
         for (i, s) in p.scales.iter().enumerate() {
             assert!((s - 1.2f64.powi(i as i32)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn rebuild_matches_build_and_reuses_buffers() {
+        let frame_a = GrayImage::from_fn(320, 240, |x, y| ((x * 7 + y * 13) % 251) as u8);
+        let frame_b = GrayImage::from_fn(320, 240, |x, y| ((x * 3 + y * 29 + 91) % 247) as u8);
+        let mut p = ImagePyramid::build_default(&frame_a);
+        let cap_before: Vec<usize> = p.levels.iter().map(|l| l.data.capacity()).collect();
+        p.rebuild(&frame_b, DEFAULT_LEVELS, DEFAULT_SCALE_FACTOR);
+        let fresh = ImagePyramid::build_default(&frame_b);
+        assert_eq!(p.num_levels(), fresh.num_levels());
+        assert_eq!(p.scales, fresh.scales);
+        for (got, want) in p.levels.iter().zip(&fresh.levels) {
+            assert_eq!((got.width, got.height), (want.width, want.height));
+            assert_eq!(got.data, want.data, "rebuild diverged from build");
+        }
+        // Same resolution → the level buffers were reused, not regrown.
+        let cap_after: Vec<usize> = p.levels.iter().map(|l| l.data.capacity()).collect();
+        assert_eq!(cap_before, cap_after);
+    }
+
+    #[test]
+    fn rebuild_handles_shrinking_level_count() {
+        let big = GrayImage::new(640, 480);
+        let small = GrayImage::new(64, 64);
+        let mut p = ImagePyramid::build_default(&big);
+        assert_eq!(p.num_levels(), DEFAULT_LEVELS);
+        p.rebuild(&small, 16, 1.5);
+        assert_eq!(p.num_levels(), 2);
+        let fresh = ImagePyramid::build(&small, 16, 1.5);
+        assert_eq!(p.scales, fresh.scales);
+        assert_eq!(p.levels[1].data, fresh.levels[1].data);
     }
 
     #[test]

@@ -12,11 +12,7 @@ fn arb_descriptor() -> impl Strategy<Value = Descriptor> {
 }
 
 fn arb_keypoints(max: usize) -> impl Strategy<Value = Vec<KeyPoint>> {
-    proptest::collection::vec(
-        (0.0f64..100.0, 0.0f64..100.0, 0.0f64..500.0),
-        0..max,
-    )
-    .prop_map(|v| {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0.0f64..500.0), 0..max).prop_map(|v| {
         v.into_iter()
             .map(|(x, y, r)| KeyPoint::new(Vec2::new(x, y), 0, r))
             .collect()

@@ -73,11 +73,39 @@ impl GpuExecutor {
             Device::Cpu => 1,
             Device::Gpu(m) => m.sm_count.max(1),
         };
-        GpuExecutor { device, workers, model_sms }
+        GpuExecutor {
+            device,
+            workers,
+            model_sms,
+        }
     }
 
     pub fn cpu() -> GpuExecutor {
         GpuExecutor::new(Device::Cpu)
+    }
+
+    /// A CPU executor that fans `par_map` across every host core. Unlike
+    /// [`GpuExecutor::cpu`] (the paper's sequential CPU baseline, which
+    /// must stay single-threaded so Fig. 5/Fig. 8 measure unassisted
+    /// tracking), this is the data-parallel CPU path: same work items,
+    /// same order-preserving stitch, so results are bit-identical to the
+    /// sequential executor.
+    pub fn cpu_parallel() -> GpuExecutor {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        GpuExecutor::cpu_with_workers(host)
+    }
+
+    /// CPU executor with an explicit worker count (used by determinism
+    /// tests to compare schedules; `n` is clamped to at least 1).
+    pub fn cpu_with_workers(n: usize) -> GpuExecutor {
+        let workers = n.max(1);
+        GpuExecutor {
+            device: Device::Cpu,
+            workers,
+            model_sms: workers,
+        }
     }
 
     pub fn v100() -> GpuExecutor {
@@ -99,7 +127,12 @@ impl GpuExecutor {
     /// matches input order regardless of scheduling. `transfer_bytes` is
     /// the modeled host↔device traffic for the copy-cost model (pass 0
     /// when the data is already resident).
-    pub fn par_map<T, R, F>(&self, items: &[T], transfer_bytes: usize, f: F) -> (Vec<R>, KernelStats)
+    pub fn par_map<T, R, F>(
+        &self,
+        items: &[T],
+        transfer_bytes: usize,
+        f: F,
+    ) -> (Vec<R>, KernelStats)
     where
         T: Sync,
         R: Send,
@@ -226,10 +259,46 @@ mod tests {
     }
 
     #[test]
+    fn cpu_parallel_matches_sequential_bitwise() {
+        let items: Vec<u64> = (0..999).collect();
+        let f = |x: &u64| x.wrapping_mul(6364136223846793005).rotate_left(17);
+        let (seq, _) = GpuExecutor::cpu().par_map(&items, 0, f);
+        for w in [2, 3, 5, 16] {
+            let par = GpuExecutor::cpu_with_workers(w);
+            assert!(!par.device.is_gpu());
+            let (out, stats) = par.par_map(&items, 0, f);
+            assert_eq!(out, seq, "worker count {w} changed results");
+            // CPU device: no modeled launch/copy overheads, modeled
+            // compute equals measured compute.
+            assert_eq!(stats.launch_ms, 0.0);
+            assert_eq!(stats.copy_ms, 0.0);
+            assert_eq!(stats.modeled_compute_ms, stats.compute_ms);
+        }
+    }
+
+    #[test]
+    fn cpu_parallel_worker_counts() {
+        assert!(GpuExecutor::cpu_parallel().workers() >= 1);
+        assert_eq!(GpuExecutor::cpu_with_workers(0).workers(), 1);
+        assert_eq!(GpuExecutor::cpu_with_workers(7).workers(), 7);
+        assert_eq!(GpuExecutor::cpu().workers(), 1);
+    }
+
+    #[test]
     fn stats_accumulate() {
         let mut total = KernelStats::default();
-        total.accumulate(KernelStats { compute_ms: 1.0, modeled_compute_ms: 0.5, launch_ms: 0.1, copy_ms: 0.2 });
-        total.accumulate(KernelStats { compute_ms: 2.0, modeled_compute_ms: 1.0, launch_ms: 0.1, copy_ms: 0.3 });
+        total.accumulate(KernelStats {
+            compute_ms: 1.0,
+            modeled_compute_ms: 0.5,
+            launch_ms: 0.1,
+            copy_ms: 0.2,
+        });
+        total.accumulate(KernelStats {
+            compute_ms: 2.0,
+            modeled_compute_ms: 1.0,
+            launch_ms: 0.1,
+            copy_ms: 0.3,
+        });
         assert!((total.total_ms() - 3.7).abs() < 1e-12);
         assert!((total.modeled_total_ms() - 2.2).abs() < 1e-12);
     }

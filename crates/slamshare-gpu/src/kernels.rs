@@ -90,8 +90,7 @@ pub fn gpu_search_local_points(
     descriptors: &[Descriptor],
     max_distance: u32,
 ) -> (Vec<FeatureMatch>, KernelStats) {
-    let transfer = queries.len() * std::mem::size_of::<ProjectionQuery>()
-        + descriptors.len() * std::mem::size_of::<Descriptor>();
+    let transfer = std::mem::size_of_val(queries) + std::mem::size_of_val(descriptors);
     let (hits, stats) = exec.par_map(queries, transfer, |q| {
         matching::best_in_window(q, positions, descriptors, max_distance)
     });
@@ -104,10 +103,18 @@ pub fn gpu_search_local_points(
                 .entry(ti)
                 .and_modify(|cur| {
                     if d < cur.distance {
-                        *cur = FeatureMatch { query: qi, train: ti, distance: d };
+                        *cur = FeatureMatch {
+                            query: qi,
+                            train: ti,
+                            distance: d,
+                        };
                     }
                 })
-                .or_insert(FeatureMatch { query: qi, train: ti, distance: d });
+                .or_insert(FeatureMatch {
+                    query: qi,
+                    train: ti,
+                    distance: d,
+                });
         }
     }
     let mut out: Vec<FeatureMatch> = per_train.into_values().collect();

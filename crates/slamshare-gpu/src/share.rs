@@ -27,7 +27,10 @@ pub struct SharedGpu {
 
 impl SharedGpu {
     pub fn new(model: GpuModel) -> SharedGpu {
-        SharedGpu { model, slices: RwLock::new(BTreeMap::new()) }
+        SharedGpu {
+            model,
+            slices: RwLock::new(BTreeMap::new()),
+        }
     }
 
     /// Number of currently-registered clients.
@@ -77,7 +80,9 @@ fn rebalance(model: &GpuModel, slices: &mut BTreeMap<u32, Arc<GpuExecutor>>) {
     let mut sliced_model = model.clone();
     sliced_model.sm_count = per_client;
     for ex in slices.values_mut() {
-        *ex = Arc::new(GpuExecutor::new(crate::device::Device::Gpu(sliced_model.clone())));
+        *ex = Arc::new(GpuExecutor::new(crate::device::Device::Gpu(
+            sliced_model.clone(),
+        )));
     }
 }
 
@@ -89,7 +94,9 @@ mod tests {
     fn single_client_gets_whole_gpu() {
         let gpu = SharedGpu::new(GpuModel::v100());
         let ex = gpu.register(1);
-        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         assert_eq!(ex.workers(), GpuModel::v100().sm_count.min(host));
     }
 
@@ -100,7 +107,9 @@ mod tests {
         gpu.register(2);
         let alloc = gpu.allocation();
         assert_eq!(alloc.len(), 2);
-        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let expect = (GpuModel::v100().sm_count / 2).min(host).max(1);
         assert_eq!(alloc[&1], expect);
         assert_eq!(alloc[&2], expect);

@@ -156,18 +156,22 @@ pub fn umeyama_ransac(
             *slot = (next() % n as u64) as usize;
         }
         // Skip degenerate draws with repeats.
-        if idx[0] == idx[1] || idx[0] == idx[2] || idx[0] == idx[3]
-            || idx[1] == idx[2] || idx[1] == idx[3] || idx[2] == idx[3]
+        if idx[0] == idx[1]
+            || idx[0] == idx[2]
+            || idx[0] == idx[3]
+            || idx[1] == idx[2]
+            || idx[1] == idx[3]
+            || idx[2] == idx[3]
         {
             continue;
         }
         let s: Vec<Vec3> = idx.iter().map(|&i| source[i]).collect();
         let t: Vec<Vec3> = idx.iter().map(|&i| target[i]).collect();
-        let Some(candidate) = umeyama(&s, &t, with_scale) else { continue };
+        let Some(candidate) = umeyama(&s, &t, with_scale) else {
+            continue;
+        };
         let inliers: Vec<usize> = (0..n)
-            .filter(|&i| {
-                (candidate.transform.transform(source[i]) - target[i]).norm() < inlier_tol
-            })
+            .filter(|&i| (candidate.transform.transform(source[i]) - target[i]).norm() < inlier_tol)
             .collect();
         if inliers.len() > best_inliers.len() {
             best_inliers = inliers;
@@ -250,7 +254,10 @@ mod tests {
     fn noisy_alignment_rmse_tracks_noise() {
         let mut rng = StdRng::seed_from_u64(3);
         let src = random_points(&mut rng, 200);
-        let truth = SE3::new(Quat::from_axis_angle(Vec3::X, 0.5), Vec3::new(0.0, 3.0, 0.0));
+        let truth = SE3::new(
+            Quat::from_axis_angle(Vec3::X, 0.5),
+            Vec3::new(0.0, 3.0, 0.0),
+        );
         let sigma = 0.05;
         let dst: Vec<Vec3> = src
             .iter()
@@ -289,7 +296,7 @@ mod tests {
         let mut dst: Vec<Vec3> = src.iter().map(|&p| truth.transform(p)).collect();
         // 40 % gross outliers.
         for d in dst.iter_mut().take(24) {
-            *d = *d + Vec3::new(
+            *d += Vec3::new(
                 rng.gen_range(2.0..6.0),
                 rng.gen_range(-6.0..-2.0),
                 rng.gen_range(2.0..5.0),

@@ -78,7 +78,11 @@ pub struct DMat {
 
 impl DMat {
     pub fn zeros(rows: usize, cols: usize) -> DMat {
-        DMat { rows, cols, data: vec![0.0; rows * cols] }
+        DMat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     pub fn identity(n: usize) -> DMat {
@@ -201,8 +205,8 @@ impl DMat {
             }
         }
         // Diagonal solve D z = y.
-        for i in 0..n {
-            y.data[i] /= d[i];
+        for (yi, di) in y.data.iter_mut().zip(d.iter()).take(n) {
+            *yi /= *di;
         }
         // Backward solve Lᵀ x = z.
         for i in (0..n).rev() {
@@ -303,11 +307,7 @@ mod tests {
     #[test]
     fn ldlt_solves_spd_system() {
         // A = Bᵀ B + I is SPD.
-        let b = DMat::from_rows(&[
-            &[1.0, 2.0, 0.0],
-            &[0.0, 1.0, -1.0],
-            &[2.0, 0.0, 1.0],
-        ]);
+        let b = DMat::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]);
         let mut a = b.transpose().matmul(&b);
         a.add_diagonal(1.0);
         let x_true = DVec::from_vec(vec![0.5, -1.0, 2.0]);
@@ -340,11 +340,7 @@ mod tests {
 
     #[test]
     fn symmetric_eigen_recovers_diagonal() {
-        let a = DMat::from_rows(&[
-            &[3.0, 0.0, 0.0],
-            &[0.0, -1.0, 0.0],
-            &[0.0, 0.0, 2.0],
-        ]);
+        let a = DMat::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 2.0]]);
         let (vals, _) = a.symmetric_eigen();
         let mut v: Vec<f64> = vals.data.clone();
         v.sort_by(|x, y| x.partial_cmp(y).unwrap());
@@ -356,11 +352,7 @@ mod tests {
     #[test]
     fn symmetric_eigen_reconstructs_matrix() {
         // A = V Λ Vᵀ must reproduce the input.
-        let a = DMat::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.5],
-            &[-2.0, 0.5, 3.0],
-        ]);
+        let a = DMat::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.5], &[-2.0, 0.5, 3.0]]);
         let (vals, vecs) = a.symmetric_eigen();
         let mut lam = DMat::zeros(3, 3);
         for i in 0..3 {

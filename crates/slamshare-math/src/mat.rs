@@ -36,11 +36,7 @@ impl Mat3 {
 
     pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Mat3 {
         Mat3 {
-            m: [
-                [c0.x, c1.x, c2.x],
-                [c0.y, c1.y, c2.y],
-                [c0.z, c1.z, c2.z],
-            ],
+            m: [[c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z]],
         }
     }
 
@@ -98,11 +94,7 @@ impl Mat3 {
     /// The skew-symmetric "hat" matrix of `v`, such that `hat(v) * w == v × w`.
     pub fn hat(v: Vec3) -> Mat3 {
         Mat3 {
-            m: [
-                [0.0, -v.z, v.y],
-                [v.z, 0.0, -v.x],
-                [-v.y, v.x, 0.0],
-            ],
+            m: [[0.0, -v.z, v.y], [v.z, 0.0, -v.x], [-v.y, v.x, 0.0]],
         }
     }
 
@@ -130,12 +122,7 @@ impl Mat3 {
 
     /// Frobenius norm.
     pub fn frob(&self) -> f64 {
-        self.m
-            .iter()
-            .flatten()
-            .map(|v| v * v)
-            .sum::<f64>()
-            .sqrt()
+        self.m.iter().flatten().map(|v| v * v).sum::<f64>().sqrt()
     }
 
     /// Is this matrix a rotation (orthonormal, det ≈ +1) to tolerance `tol`?
@@ -160,11 +147,7 @@ impl Mul<Vec3> for Mat3 {
     type Output = Vec3;
     #[inline]
     fn mul(self, v: Vec3) -> Vec3 {
-        Vec3::new(
-            self.row(0).dot(v),
-            self.row(1).dot(v),
-            self.row(2).dot(v),
-        )
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
     }
 }
 

@@ -25,7 +25,12 @@ impl Default for Quat {
 }
 
 impl Quat {
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     pub fn new(w: f64, x: f64, y: f64, z: f64) -> Quat {
         Quat { w, x, y, z }
@@ -56,7 +61,11 @@ impl Quat {
 
     /// Logarithmic map: quaternion → rotation vector (axis * angle).
     pub fn log(self) -> Vec3 {
-        let q = if self.w < 0.0 { self.scaled(-1.0) } else { self };
+        let q = if self.w < 0.0 {
+            self.scaled(-1.0)
+        } else {
+            self
+        };
         let v = Vec3::new(q.x, q.y, q.z);
         let sin_half = v.norm();
         if sin_half < 1e-12 {

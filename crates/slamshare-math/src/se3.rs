@@ -19,10 +19,16 @@ pub struct SE3 {
 }
 
 impl SE3 {
-    pub const IDENTITY: SE3 = SE3 { rot: Quat::IDENTITY, trans: Vec3::ZERO };
+    pub const IDENTITY: SE3 = SE3 {
+        rot: Quat::IDENTITY,
+        trans: Vec3::ZERO,
+    };
 
     pub fn new(rot: Quat, trans: Vec3) -> SE3 {
-        SE3 { rot: rot.normalized(), trans }
+        SE3 {
+            rot: rot.normalized(),
+            trans,
+        }
     }
 
     pub fn from_rot_trans(r: Mat3, t: Vec3) -> SE3 {
@@ -165,7 +171,10 @@ mod tests {
     #[test]
     fn composition_associates_with_application() {
         let a = sample_pose();
-        let b = SE3::new(Quat::from_axis_angle(Vec3::Z, FRAC_PI_2), Vec3::new(0.0, 1.0, 0.0));
+        let b = SE3::new(
+            Quat::from_axis_angle(Vec3::Z, FRAC_PI_2),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         let p = Vec3::new(1.0, 0.0, 0.0);
         assert!(((a * b).transform(p) - a.transform(b.transform(p))).norm() < 1e-12);
     }
@@ -189,7 +198,10 @@ mod tests {
     #[test]
     fn interpolation_endpoints() {
         let a = sample_pose();
-        let b = SE3::new(Quat::from_axis_angle(Vec3::X, -0.3), Vec3::new(5.0, 5.0, 5.0));
+        let b = SE3::new(
+            Quat::from_axis_angle(Vec3::X, -0.3),
+            Vec3::new(5.0, 5.0, 5.0),
+        );
         let p = Vec3::new(1.0, 1.0, 1.0);
         assert!((a.interpolate(&b, 0.0).transform(p) - a.transform(p)).norm() < 1e-12);
         assert!((a.interpolate(&b, 1.0).transform(p) - b.transform(p)).norm() < 1e-12);
@@ -198,7 +210,10 @@ mod tests {
     #[test]
     fn relative_transform_chains() {
         let a = sample_pose();
-        let b = SE3::new(Quat::from_axis_angle(Vec3::Y, 0.6), Vec3::new(-1.0, 0.0, 2.0));
+        let b = SE3::new(
+            Quat::from_axis_angle(Vec3::Y, 0.6),
+            Vec3::new(-1.0, 0.0, 2.0),
+        );
         let rel = a.relative_to(&b);
         let p = Vec3::new(2.0, -0.5, 0.25);
         assert!(((a * rel).transform(p) - b.transform(p)).norm() < 1e-12);

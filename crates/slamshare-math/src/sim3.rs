@@ -35,12 +35,20 @@ impl Sim3 {
 
     pub fn new(rot: Quat, trans: Vec3, scale: f64) -> Sim3 {
         assert!(scale > 0.0, "Sim3 scale must be positive, got {scale}");
-        Sim3 { rot: rot.normalized(), trans, scale }
+        Sim3 {
+            rot: rot.normalized(),
+            trans,
+            scale,
+        }
     }
 
     /// Embed a rigid transform (scale = 1).
     pub fn from_se3(t: SE3) -> Sim3 {
-        Sim3 { rot: t.rot, trans: t.trans, scale: 1.0 }
+        Sim3 {
+            rot: t.rot,
+            trans: t.trans,
+            scale: 1.0,
+        }
     }
 
     /// Drop the scale (valid when `scale ≈ 1`, e.g. stereo/IMU maps where the
@@ -105,7 +113,11 @@ mod tests {
     #[test]
     fn composition_matches_application() {
         let a = sample();
-        let b = Sim3::new(Quat::from_axis_angle(Vec3::Z, -0.4), Vec3::new(0.0, 1.0, 0.0), 0.5);
+        let b = Sim3::new(
+            Quat::from_axis_angle(Vec3::Z, -0.4),
+            Vec3::new(0.0, 1.0, 0.0),
+            0.5,
+        );
         let p = Vec3::new(1.0, 0.0, -1.0);
         assert!(((a * b).transform(p) - a.transform(b.transform(p))).norm() < 1e-12);
     }
@@ -121,7 +133,10 @@ mod tests {
 
     #[test]
     fn se3_embedding_preserves_action() {
-        let t = SE3::new(Quat::from_axis_angle(Vec3::Y, 0.7), Vec3::new(1.0, 2.0, 3.0));
+        let t = SE3::new(
+            Quat::from_axis_angle(Vec3::Y, 0.7),
+            Vec3::new(1.0, 2.0, 3.0),
+        );
         let s = Sim3::from_se3(t);
         let p = Vec3::new(-1.0, 0.5, 0.0);
         assert!((s.transform(p) - t.transform(p)).norm() < 1e-12);

@@ -3,7 +3,7 @@
 //! ones.
 
 use proptest::prelude::*;
-use slamshare_math::{Quat, SE3, Sim3, Vec3};
+use slamshare_math::{Quat, Sim3, Vec3, SE3};
 
 mod support {
     use super::*;

@@ -110,7 +110,7 @@ fn packbits_decode(data: &[u8], expected: usize) -> Result<Vec<u8>, CodecError> 
             if i >= data.len() {
                 return Err(CodecError::Truncated);
             }
-            out.extend(std::iter::repeat(data[i]).take(n));
+            out.extend(std::iter::repeat_n(data[i], n));
             i += 1;
         }
         // ctrl == 128: no-op (reserved), skip.
@@ -205,7 +205,12 @@ impl Default for VideoEncoder {
 impl VideoEncoder {
     pub fn new(deadzone: u8, iframe_interval: usize) -> VideoEncoder {
         assert!(iframe_interval >= 1);
-        VideoEncoder { deadzone, iframe_interval, reference: None, frames_since_iframe: 0 }
+        VideoEncoder {
+            deadzone,
+            iframe_interval,
+            reference: None,
+            frames_since_iframe: 0,
+        }
     }
 
     /// Encode the next frame of the stream.
@@ -346,7 +351,11 @@ mod tests {
     use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
 
     fn frames(n: usize) -> (Vec<GrayImage>, Dataset) {
-        let ds = Dataset::build(DatasetConfig::new(TracePreset::V202).with_frames(n).with_seed(2));
+        let ds = Dataset::build(
+            DatasetConfig::new(TracePreset::V202)
+                .with_frames(n)
+                .with_seed(2),
+        );
         ((0..n).map(|i| ds.render_frame(i)).collect(), ds)
     }
 
@@ -391,7 +400,11 @@ mod tests {
                 .map(|(a, b)| (*a as i16 - *b as i16).abs())
                 .max()
                 .unwrap();
-            let bound = if e.is_iframe { 0 } else { DEFAULT_DEADZONE as i16 };
+            let bound = if e.is_iframe {
+                0
+            } else {
+                DEFAULT_DEADZONE as i16
+            };
             assert!(max_err <= bound, "frame {i}: err {max_err} > {bound}");
         }
     }

@@ -22,29 +22,44 @@ pub struct LinkConfig {
 impl LinkConfig {
     /// The testbed's unshaped 10 GbE link with negligible delay (§5.1).
     pub fn ten_gbe() -> LinkConfig {
-        LinkConfig { bandwidth_bps: Some(10e9), delay: SimTime::from_millis(0.05) }
+        LinkConfig {
+            bandwidth_bps: Some(10e9),
+            delay: SimTime::from_millis(0.05),
+        }
     }
 
     /// `tc`-added 300 ms delay variant.
     pub fn delayed_300ms() -> LinkConfig {
-        LinkConfig { bandwidth_bps: Some(10e9), delay: SimTime::from_millis(300.0) }
+        LinkConfig {
+            bandwidth_bps: Some(10e9),
+            delay: SimTime::from_millis(300.0),
+        }
     }
 
     /// 18.7 Mbit/s bandwidth-constrained variant ("the minimum bandwidth
     /// for the server to send the largest map to the client within 5
     /// seconds", §5.1).
     pub fn constrained_18_7mbps() -> LinkConfig {
-        LinkConfig { bandwidth_bps: Some(18.7e6), delay: SimTime::from_millis(0.05) }
+        LinkConfig {
+            bandwidth_bps: Some(18.7e6),
+            delay: SimTime::from_millis(0.05),
+        }
     }
 
     /// Half of that again (§5.1).
     pub fn constrained_9_4mbps() -> LinkConfig {
-        LinkConfig { bandwidth_bps: Some(9.4e6), delay: SimTime::from_millis(0.05) }
+        LinkConfig {
+            bandwidth_bps: Some(9.4e6),
+            delay: SimTime::from_millis(0.05),
+        }
     }
 
     /// A custom link.
     pub fn new(bandwidth_bps: Option<f64>, delay: SimTime) -> LinkConfig {
-        LinkConfig { bandwidth_bps, delay }
+        LinkConfig {
+            bandwidth_bps,
+            delay,
+        }
     }
 
     /// Pure serialization time for `bytes` at the link rate.
@@ -68,7 +83,11 @@ pub struct Link {
 
 impl Link {
     pub fn new(config: LinkConfig) -> Link {
-        Link { config, busy_until: SimTime::ZERO, bytes_sent: 0 }
+        Link {
+            config,
+            busy_until: SimTime::ZERO,
+            bytes_sent: 0,
+        }
     }
 
     /// Enqueue a message of `bytes` at time `now`; returns its delivery
@@ -111,7 +130,10 @@ pub struct Channel {
 
 impl Channel {
     pub fn symmetric(config: LinkConfig) -> Channel {
-        Channel { uplink: Link::new(config), downlink: Link::new(config) }
+        Channel {
+            uplink: Link::new(config),
+            downlink: Link::new(config),
+        }
     }
 
     /// Round-trip time for small messages (no serialization component).
@@ -135,7 +157,10 @@ mod tests {
     fn infinite_bandwidth_is_delay_only() {
         let mut link = Link::new(LinkConfig::new(None, SimTime::from_millis(10.0)));
         let arrival = link.send(SimTime::from_secs(1.0), 1 << 30);
-        assert_eq!(arrival, SimTime::from_secs(1.0) + SimTime::from_millis(10.0));
+        assert_eq!(
+            arrival,
+            SimTime::from_secs(1.0) + SimTime::from_millis(10.0)
+        );
     }
 
     #[test]
@@ -154,7 +179,7 @@ mod tests {
     fn idle_link_does_not_accumulate() {
         let mut link = Link::new(LinkConfig::new(Some(1e6), SimTime::ZERO));
         link.send(SimTime::ZERO, 125_000); // busy until 1 s
-        // Sending at t = 10 s starts immediately.
+                                           // Sending at t = 10 s starts immediately.
         let arrival = link.send(SimTime::from_secs(10.0), 125_000);
         assert!((arrival.as_secs() - 11.0).abs() < 1e-6);
     }

@@ -48,7 +48,9 @@ pub struct WireWriter {
 
 impl WireWriter {
     pub fn new() -> WireWriter {
-        WireWriter { buf: BytesMut::with_capacity(4096) }
+        WireWriter {
+            buf: BytesMut::with_capacity(4096),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -189,11 +191,19 @@ impl<'a> WireReader<'a> {
     }
 
     pub fn quat(&mut self) -> Result<Quat, WireError> {
-        Ok(Quat::new(self.f64()?, self.f64()?, self.f64()?, self.f64()?))
+        Ok(Quat::new(
+            self.f64()?,
+            self.f64()?,
+            self.f64()?,
+            self.f64()?,
+        ))
     }
 
     pub fn se3(&mut self) -> Result<SE3, WireError> {
-        Ok(SE3 { rot: self.quat()?, trans: self.vec3()? })
+        Ok(SE3 {
+            rot: self.quat()?,
+            trans: self.vec3()?,
+        })
     }
 
     pub fn descriptor(&mut self) -> Result<Descriptor, WireError> {
@@ -322,7 +332,15 @@ fn decode_keyframe(r: &mut WireReader) -> Result<KeyFrame, WireError> {
         let weight = r.f64()?;
         bow.0.insert(word, weight);
     }
-    Ok(KeyFrame { id, pose_cw, timestamp, keypoints, descriptors, matched_points, bow })
+    Ok(KeyFrame {
+        id,
+        pose_cw,
+        timestamp,
+        keypoints,
+        descriptors,
+        matched_points,
+        bow,
+    })
 }
 
 fn decode_mappoint(r: &mut WireReader) -> Result<MapPoint, WireError> {
@@ -342,7 +360,14 @@ fn decode_mappoint(r: &mut WireReader) -> Result<MapPoint, WireError> {
         1 => Some(MapPointId(r.u64()?)),
         t => return Err(WireError::BadTag(t)),
     };
-    Ok(MapPoint { id, position, descriptor, normal, observations, replaced_by })
+    Ok(MapPoint {
+        id,
+        position,
+        descriptor,
+        normal,
+        observations,
+        replaced_by,
+    })
 }
 
 /// Encode the pose reply the SLAM-Share server sends per frame — "a small
@@ -396,7 +421,10 @@ mod tests {
         };
         map.insert_keyframe(KeyFrame {
             id: kf_id,
-            pose_cw: SE3::new(Quat::from_axis_angle(Vec3::Z, 0.3), Vec3::new(1.0, -2.0, 3.0)),
+            pose_cw: SE3::new(
+                Quat::from_axis_angle(Vec3::Z, 0.3),
+                Vec3::new(1.0, -2.0, 3.0),
+            ),
             timestamp: 1.25,
             keypoints: vec![kp; 4],
             descriptors: vec![desc; 4],
@@ -440,12 +468,7 @@ mod tests {
         let mut bigger = sample_map();
         let kf_id = *bigger.keyframes.keys().next().unwrap();
         for i in 0..100 {
-            bigger.create_mappoint(
-                Vec3::new(i as f64, 0.0, 5.0),
-                Descriptor::ZERO,
-                kf_id,
-                0,
-            );
+            bigger.create_mappoint(Vec3::new(i as f64, 0.0, 5.0), Descriptor::ZERO, kf_id, 0);
         }
         assert!(encode_map(&bigger).len() > small + 100 * 90);
     }
@@ -473,7 +496,10 @@ mod tests {
 
     #[test]
     fn pose_reply_roundtrip() {
-        let pose = SE3::new(Quat::from_axis_angle(Vec3::X, -0.4), Vec3::new(0.1, 0.2, 0.3));
+        let pose = SE3::new(
+            Quat::from_axis_angle(Vec3::X, -0.4),
+            Vec3::new(0.1, 0.2, 0.3),
+        );
         let bytes = encode_pose_reply(42, &pose);
         // 8 bytes index + 16 f64 = 136 bytes: genuinely "small".
         assert_eq!(bytes.len(), 136);

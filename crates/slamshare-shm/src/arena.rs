@@ -30,7 +30,11 @@ impl Arena {
     /// An arena with `capacity` bytes. (The paper's default: 2 GB; tests
     /// use small ones.)
     pub fn new(capacity: usize) -> Arena {
-        Arena { capacity, cursor: AtomicUsize::new(0), high_water: AtomicUsize::new(0) }
+        Arena {
+            capacity,
+            cursor: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+        }
     }
 
     /// The paper's segment size.
@@ -63,9 +67,13 @@ impl Arena {
         if offset + aligned > self.capacity {
             // Roll back so later smaller allocations can still succeed.
             self.cursor.fetch_sub(aligned, Ordering::Relaxed);
-            return Err(OutOfMemory { requested: aligned, available: self.capacity - offset.min(self.capacity) });
+            return Err(OutOfMemory {
+                requested: aligned,
+                available: self.capacity - offset.min(self.capacity),
+            });
         }
-        self.high_water.fetch_max(offset + aligned, Ordering::Relaxed);
+        self.high_water
+            .fetch_max(offset + aligned, Ordering::Relaxed);
         Ok(offset)
     }
 

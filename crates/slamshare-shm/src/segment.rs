@@ -45,12 +45,18 @@ pub struct Segment {
 
 impl Segment {
     pub fn new(capacity: usize) -> Segment {
-        Segment { arena: Arena::new(capacity), objects: RwLock::new(HashMap::new()) }
+        Segment {
+            arena: Arena::new(capacity),
+            objects: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The orchestrator's 2 GB segment.
     pub fn paper_default() -> Segment {
-        Segment { arena: Arena::paper_default(), objects: RwLock::new(HashMap::new()) }
+        Segment {
+            arena: Arena::paper_default(),
+            objects: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Create a named object (orchestrator side).
@@ -125,7 +131,8 @@ mod tests {
     #[test]
     fn create_then_attach() {
         let seg = Segment::new(1024);
-        seg.create("global-map", SharedMutex::new(vec![1, 2, 3])).unwrap();
+        seg.create("global-map", SharedMutex::new(vec![1, 2, 3]))
+            .unwrap();
         let attached: Arc<SharedMutex<Vec<i32>>> = seg.attach("global-map").unwrap();
         assert_eq!(attached.with_read(|v| v.clone()), vec![1, 2, 3]);
     }
@@ -184,7 +191,11 @@ mod tests {
             h.join().unwrap();
         }
         let obj: Arc<SharedMutex<u32>> = seg.attach("counter").unwrap();
-        assert_eq!(obj.with_read(|v| *v), 8, "creations raced into separate objects");
+        assert_eq!(
+            obj.with_read(|v| *v),
+            8,
+            "creations raced into separate objects"
+        );
         assert_eq!(seg.object_count(), 1);
     }
 }

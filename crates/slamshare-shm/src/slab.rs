@@ -30,11 +30,19 @@ pub struct Slab<T> {
 
 impl<T> Slab<T> {
     pub fn new() -> Slab<T> {
-        Slab { slots: Vec::new(), free: Vec::new(), len: 0 }
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
     }
 
     pub fn with_capacity(n: usize) -> Slab<T> {
-        Slab { slots: Vec::with_capacity(n), free: Vec::new(), len: 0 }
+        Slab {
+            slots: Vec::with_capacity(n),
+            free: Vec::new(),
+            len: 0,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -51,11 +59,20 @@ impl<T> Slab<T> {
         if let Some(index) = self.free.pop() {
             let slot = &mut self.slots[index as usize];
             slot.value = Some(value);
-            SlotHandle { index, generation: slot.generation }
+            SlotHandle {
+                index,
+                generation: slot.generation,
+            }
         } else {
             let index = self.slots.len() as u32;
-            self.slots.push(Slot { generation: 0, value: Some(value) });
-            SlotHandle { index, generation: 0 }
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            SlotHandle {
+                index,
+                generation: 0,
+            }
         }
     }
 
@@ -92,9 +109,15 @@ impl<T> Slab<T> {
     /// Iterate live entries.
     pub fn iter(&self) -> impl Iterator<Item = (SlotHandle, &T)> {
         self.slots.iter().enumerate().filter_map(|(i, s)| {
-            s.value
-                .as_ref()
-                .map(|v| (SlotHandle { index: i as u32, generation: s.generation }, v))
+            s.value.as_ref().map(|v| {
+                (
+                    SlotHandle {
+                        index: i as u32,
+                        generation: s.generation,
+                    },
+                    v,
+                )
+            })
         })
     }
 }

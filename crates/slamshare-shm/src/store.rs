@@ -27,7 +27,10 @@ impl<T: Send + Sync + 'static> SharedStore<T> {
     ) -> Result<Arc<SharedStore<T>>, SegmentError> {
         segment.create(
             name,
-            SharedStore { mutex: SharedMutex::new(value), reported_bytes: AtomicUsize::new(0) },
+            SharedStore {
+                mutex: SharedMutex::new(value),
+                reported_bytes: AtomicUsize::new(0),
+            },
         )
     }
 

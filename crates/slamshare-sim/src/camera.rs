@@ -21,7 +21,15 @@ pub struct PinholeCamera {
 
 impl PinholeCamera {
     pub fn new(fx: f64, fy: f64, cx: f64, cy: f64, width: usize, height: usize) -> PinholeCamera {
-        PinholeCamera { fx, fy, cx, cy, width, height, z_near: 0.1 }
+        PinholeCamera {
+            fx,
+            fy,
+            cx,
+            cy,
+            width,
+            height,
+            z_near: 0.1,
+        }
     }
 
     /// The default camera used by the synthetic EuRoC-like datasets:
@@ -191,7 +199,10 @@ mod tests {
         let rig = StereoRig::kitti_like();
         let p = Vec3::new(1.0, 0.2, 10.0);
         let (l, rx) = rig.project_stereo(p).unwrap();
-        assert!(rx < l.x, "right-image x must be smaller (positive disparity)");
+        assert!(
+            rx < l.x,
+            "right-image x must be smaller (positive disparity)"
+        );
         assert!((l.x - rx - rig.disparity(10.0)).abs() < 1e-12);
     }
 

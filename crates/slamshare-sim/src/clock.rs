@@ -11,7 +11,19 @@ use std::collections::BinaryHeap;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time (microseconds since experiment start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -100,7 +112,11 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> EventQueue<E> {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current virtual time (the timestamp of the last popped event).
@@ -111,7 +127,11 @@ impl<E> EventQueue<E> {
     /// Schedule `event` at absolute time `at`. Scheduling in the past is a
     /// logic error in the experiment driver.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         self.heap.push(Reverse((at, self.seq, EventBox(event))));
         self.seq += 1;
     }

@@ -230,8 +230,7 @@ impl Dataset {
                 (world, traj, StereoRig::euroc_like())
             }
             TracePreset::V202 => {
-                let world =
-                    World::room(10.0, 10.0, 5.0, 2.0 * config.density_scale, VICON_SEED);
+                let world = World::room(10.0, 10.0, 5.0, 2.0 * config.density_scale, VICON_SEED);
                 let traj = Trajectory::new(
                     vec![
                         Vec3::new(-3.0, -3.0, 1.0),
@@ -256,12 +255,19 @@ impl Dataset {
                     Vec3::new(-60.0, -80.0, 0.0),
                     Vec3::new(0.0, -80.0, 0.0),
                 ];
-                let world =
-                    World::street_sized(&route, 9.0, 7.0, 0.18 * config.density_scale, KITTI_SEED, (0.3, 0.7));
-                let elevated: Vec<Vec3> =
-                    route.iter().map(|p| *p + Vec3::new(0.0, 0.0, 1.65)).collect();
-                let traj =
-                    Trajectory::new(elevated, true, duration, GazePolicy::AlongVelocity);
+                let world = World::street_sized(
+                    &route,
+                    9.0,
+                    7.0,
+                    0.18 * config.density_scale,
+                    KITTI_SEED,
+                    (0.3, 0.7),
+                );
+                let elevated: Vec<Vec3> = route
+                    .iter()
+                    .map(|p| *p + Vec3::new(0.0, 0.0, 1.65))
+                    .collect();
+                let traj = Trajectory::new(elevated, true, duration, GazePolicy::AlongVelocity);
                 (world, traj, StereoRig::kitti_like())
             }
             TracePreset::Kitti05 => {
@@ -281,10 +287,11 @@ impl Dataset {
                     KITTI_SEED.wrapping_add(5),
                     (0.3, 0.7),
                 );
-                let elevated: Vec<Vec3> =
-                    route.iter().map(|p| *p + Vec3::new(0.0, 0.0, 1.65)).collect();
-                let traj =
-                    Trajectory::new(elevated, true, duration, GazePolicy::AlongVelocity);
+                let elevated: Vec<Vec3> = route
+                    .iter()
+                    .map(|p| *p + Vec3::new(0.0, 0.0, 1.65))
+                    .collect();
+                let traj = Trajectory::new(elevated, true, duration, GazePolicy::AlongVelocity);
                 (world, traj, StereoRig::kitti_like())
             }
             TracePreset::TumRoom | TracePreset::RgbdOffice => {
@@ -293,8 +300,7 @@ impl Dataset {
                 } else {
                     OFFICE_SEED + 1
                 };
-                let world =
-                    World::room(8.0, 6.0, 3.0, 3.0 * config.density_scale, seed);
+                let world = World::room(8.0, 6.0, 3.0, 3.0 * config.density_scale, seed);
                 let traj = Trajectory::new(
                     vec![
                         Vec3::new(-2.0, -1.5, 1.4),
@@ -360,8 +366,11 @@ impl Dataset {
     /// Render the monocular frame `i`.
     pub fn render_frame(&self, i: usize) -> GrayImage {
         let pose = self.gt_pose_cw(i);
-        self.renderer
-            .render(&self.world, &pose, self.seed.wrapping_mul(1_000_003) ^ i as u64)
+        self.renderer.render(
+            &self.world,
+            &pose,
+            self.seed.wrapping_mul(1_000_003) ^ i as u64,
+        )
     }
 
     /// Render the stereo pair for frame `i`.
@@ -417,7 +426,11 @@ mod tests {
         assert_eq!(img.width, d.rig.cam.width);
         // Some pixels must be landmark texture (outside the background
         // 100..150 band).
-        let textured = img.data.iter().filter(|&&v| !(100..=150).contains(&(v as i32))).count();
+        let textured = img
+            .data
+            .iter()
+            .filter(|&&v| !(100..=150).contains(&(v as i32)))
+            .count();
         assert!(textured > 500, "only {textured} textured pixels");
     }
 
@@ -425,7 +438,11 @@ mod tests {
     fn vehicular_preset_renders_facades() {
         let d = small(TracePreset::Kitti05);
         let img = d.render_frame(2);
-        let textured = img.data.iter().filter(|&&v| !(100..=150).contains(&(v as i32))).count();
+        let textured = img
+            .data
+            .iter()
+            .filter(|&&v| !(100..=150).contains(&(v as i32)))
+            .count();
         assert!(textured > 200, "only {textured} textured pixels");
     }
 
@@ -434,7 +451,11 @@ mod tests {
         let d = small(TracePreset::MH05);
         let span = d.imu_between(0.0, d.frame_time(9));
         // 200 Hz over 0.3 s ≈ 60 samples.
-        assert!(span.len() >= 55 && span.len() <= 65, "{} samples", span.len());
+        assert!(
+            span.len() >= 55 && span.len() <= 65,
+            "{} samples",
+            span.len()
+        );
         let empty = d.imu_between(5.0, 5.0);
         assert!(empty.is_empty());
     }
@@ -461,8 +482,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ_only_in_noise() {
-        let a = Dataset::build(DatasetConfig::new(TracePreset::MH04).with_frames(3).with_seed(1));
-        let b = Dataset::build(DatasetConfig::new(TracePreset::MH04).with_frames(3).with_seed(2));
+        let a = Dataset::build(
+            DatasetConfig::new(TracePreset::MH04)
+                .with_frames(3)
+                .with_seed(1),
+        );
+        let b = Dataset::build(
+            DatasetConfig::new(TracePreset::MH04)
+                .with_frames(3)
+                .with_seed(2),
+        );
         // Same geometry...
         assert!((a.gt_position(2) - b.gt_position(2)).norm() < 1e-12);
         assert_eq!(a.world.len(), b.world.len());

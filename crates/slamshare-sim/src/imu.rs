@@ -54,7 +54,12 @@ impl Default for ImuNoise {
 impl ImuNoise {
     /// A noiseless IMU (for isolating geometric error in tests).
     pub fn perfect() -> ImuNoise {
-        ImuNoise { gyro_noise: 0.0, accel_noise: 0.0, gyro_bias_walk: 0.0, accel_bias_walk: 0.0 }
+        ImuNoise {
+            gyro_noise: 0.0,
+            accel_noise: 0.0,
+            gyro_bias_walk: 0.0,
+            accel_bias_walk: 0.0,
+        }
     }
 }
 
@@ -139,7 +144,11 @@ mod tests {
         assert_eq!(samples.len(), 201);
         for s in &samples {
             // Specific force magnitude ≈ g (straight, constant speed).
-            assert!((s.accel.norm() - GRAVITY).abs() < 0.2, "accel {:?}", s.accel);
+            assert!(
+                (s.accel.norm() - GRAVITY).abs() < 0.2,
+                "accel {:?}",
+                s.accel
+            );
             assert!(s.gyro.norm() < 0.05, "gyro {:?}", s.gyro);
         }
     }
@@ -150,7 +159,11 @@ mod tests {
         // appears along camera −y.
         let traj = straight_level_traj();
         let s = synthesize(&traj, 15.0, 15.0, 100.0, &ImuNoise::perfect(), 0)[0];
-        assert!(s.accel.y < -9.0, "expected −y gravity reaction, got {:?}", s.accel);
+        assert!(
+            s.accel.y < -9.0,
+            "expected −y gravity reaction, got {:?}",
+            s.accel
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct Renderer {
 
 impl Renderer {
     pub fn new(camera: PinholeCamera) -> Renderer {
-        Renderer { camera, noise_amp: 4, max_depth: 80.0 }
+        Renderer {
+            camera,
+            noise_amp: 4,
+            max_depth: 80.0,
+        }
     }
 
     /// Render the world from world→camera pose `t_cw`. `frame_seed` varies
@@ -60,8 +64,7 @@ impl Renderer {
     ) -> (GrayImage, GrayImage) {
         let left = self.render(world, t_cw_left, frame_seed);
         // p_right = p_left − (b, 0, 0): prepend a −b translation.
-        let t_cw_right =
-            SE3::from_translation(Vec3::new(-rig.baseline, 0.0, 0.0)) * *t_cw_left;
+        let t_cw_right = SE3::from_translation(Vec3::new(-rig.baseline, 0.0, 0.0)) * *t_cw_left;
         let right = self.render(world, &t_cw_right, frame_seed.wrapping_add(1));
         (left, right)
     }
@@ -105,9 +108,8 @@ impl Renderer {
         let mut max_x = f64::NEG_INFINITY;
         let mut max_y = f64::NEG_INFINITY;
         for (su, sv) in [(-1.0, -1.0), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0)] {
-            let corner = lm.center
-                + lm.u_axis * (su * lm.half_size)
-                + lm.v_axis * (sv * lm.half_size);
+            let corner =
+                lm.center + lm.u_axis * (su * lm.half_size) + lm.v_axis * (sv * lm.half_size);
             let c = t_cw.transform(corner);
             let Some(px) = self.camera.project(c) else {
                 return; // patch crosses the near plane: skip entirely
@@ -225,7 +227,10 @@ mod tests {
 
     #[test]
     fn empty_world_is_background_only() {
-        let world = World { landmarks: vec![], tag: "empty".into() };
+        let world = World {
+            landmarks: vec![],
+            tag: "empty".into(),
+        };
         let r = Renderer::new(PinholeCamera::euroc_like());
         let img = r.render(&world, &cam_at_origin_looking_z(), 3);
         // All pixels near the smooth gradient (110..=145).
@@ -252,9 +257,22 @@ mod tests {
     #[test]
     fn occlusion_respects_depth() {
         // Two coaxial patches; the nearer one must win at the center.
-        let near = Landmark::new(100, Vec3::new(0.0, 0.0, 3.0), Vec3::new(0.0, 0.0, -1.0), 0.4);
-        let far = Landmark::new(200, Vec3::new(0.0, 0.0, 6.0), Vec3::new(0.0, 0.0, -1.0), 0.8);
-        let world = World { landmarks: vec![far, near], tag: "occ".into() };
+        let near = Landmark::new(
+            100,
+            Vec3::new(0.0, 0.0, 3.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            0.4,
+        );
+        let far = Landmark::new(
+            200,
+            Vec3::new(0.0, 0.0, 6.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            0.8,
+        );
+        let world = World {
+            landmarks: vec![far, near],
+            tag: "occ".into(),
+        };
         let r = Renderer::new(PinholeCamera::euroc_like());
         let t_cw = cam_at_origin_looking_z();
         let img = r.render(&world, &t_cw, 0);
@@ -287,7 +305,9 @@ mod tests {
             for ji in 1..crate::world::TEXTURE_CELLS {
                 for jj in 1..crate::world::TEXTURE_CELLS {
                     let p3 = lm.junction(ji, jj);
-                    let Some(px) = r.project_world(p3, &t_cw) else { continue };
+                    let Some(px) = r.project_world(p3, &t_cw) else {
+                        continue;
+                    };
                     total += 1;
                     if features
                         .keypoints

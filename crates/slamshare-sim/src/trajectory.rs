@@ -37,7 +37,12 @@ impl Trajectory {
     pub fn new(waypoints: Vec<Vec3>, closed: bool, duration: f64, gaze: GazePolicy) -> Trajectory {
         assert!(waypoints.len() >= 2, "need at least two waypoints");
         assert!(duration > 0.0);
-        Trajectory { waypoints, closed, duration, gaze }
+        Trajectory {
+            waypoints,
+            closed,
+            duration,
+            gaze,
+        }
     }
 
     /// Camera position at time `t` seconds (clamped to `[0, duration]` for
@@ -91,10 +96,7 @@ impl Trajectory {
     pub fn pose_cw(&self, t: f64) -> SE3 {
         let p = self.position(t);
         let forward = match self.gaze {
-            GazePolicy::AlongVelocity => self
-                .velocity(t)
-                .normalized()
-                .unwrap_or(Vec3::X),
+            GazePolicy::AlongVelocity => self.velocity(t).normalized().unwrap_or(Vec3::X),
             GazePolicy::AtTarget(target) => (target - p).normalized().unwrap_or(Vec3::X),
             GazePolicy::AwayFrom(center) => {
                 // Outward gaze with a slight downward pitch: sees the wall
@@ -103,7 +105,9 @@ impl Trajectory {
                 let mut dir = p - center;
                 dir.z = 0.0;
                 match dir.normalized() {
-                    Some(d) => (d + Vec3::new(0.0, 0.0, -0.22)).normalized().unwrap_or(Vec3::X),
+                    Some(d) => (d + Vec3::new(0.0, 0.0, -0.22))
+                        .normalized()
+                        .unwrap_or(Vec3::X),
                     None => Vec3::X,
                 }
             }
@@ -157,7 +161,10 @@ pub fn look_at_cw(p: Vec3, forward: Vec3) -> SE3 {
     // Rows of R_cw are the camera axes expressed in world coordinates.
     let r_cw = Mat3::from_rows(right, down, f);
     let rot = Quat::from_mat3(&r_cw);
-    SE3 { rot, trans: -rot.rotate(p) }
+    SE3 {
+        rot,
+        trans: -rot.rotate(p),
+    }
 }
 
 fn catmull_rom(p0: Vec3, p1: Vec3, p2: Vec3, p3: Vec3, u: f64) -> Vec3 {
@@ -235,8 +242,8 @@ mod tests {
             let target_cam = pose.transform(target);
             // The gaze target must project straight ahead (+z, near axis).
             assert!(target_cam.z > 0.0, "target behind camera at t={time}");
-            let off_axis = (target_cam.x * target_cam.x + target_cam.y * target_cam.y).sqrt()
-                / target_cam.z;
+            let off_axis =
+                (target_cam.x * target_cam.x + target_cam.y * target_cam.y).sqrt() / target_cam.z;
             assert!(off_axis < 1e-6, "target off-axis {off_axis} at t={time}");
         }
     }
@@ -251,7 +258,11 @@ mod tests {
     #[test]
     fn along_velocity_gaze_faces_motion() {
         let t = Trajectory::new(
-            vec![Vec3::ZERO, Vec3::new(20.0, 0.0, 0.0), Vec3::new(40.0, 0.0, 0.0)],
+            vec![
+                Vec3::ZERO,
+                Vec3::new(20.0, 0.0, 0.0),
+                Vec3::new(40.0, 0.0, 0.0),
+            ],
             false,
             10.0,
             GazePolicy::AlongVelocity,
@@ -270,7 +281,10 @@ mod tests {
             // Camera "down" (+y) in world coordinates must have a positive
             // -z component (pointing at the floor), i.e. no roll flip.
             let down_world = pose.inverse().rotate(Vec3::Y);
-            assert!(down_world.z < 0.1, "camera rolled at t={time}: {down_world:?}");
+            assert!(
+                down_world.z < 0.1,
+                "camera rolled at t={time}: {down_world:?}"
+            );
         }
     }
 

@@ -33,12 +33,21 @@ pub struct Landmark {
 impl Landmark {
     /// Construct with consistent in-plane axes derived from the normal.
     pub fn new(id: u32, center: Vec3, normal: Vec3, half_size: f64) -> Landmark {
-        let n = normal.normalized().expect("landmark normal must be nonzero");
+        let n = normal
+            .normalized()
+            .expect("landmark normal must be nonzero");
         // Pick the world axis least aligned with n to build a stable basis.
         let helper = if n.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
         let u = n.cross(helper).normalized().unwrap();
         let v = n.cross(u);
-        Landmark { id, center, normal: n, u_axis: u, v_axis: v, half_size }
+        Landmark {
+            id,
+            center,
+            normal: n,
+            u_axis: u,
+            v_axis: v,
+            half_size,
+        }
     }
 
     /// The texture intensity at in-plane coordinates `(u, v)` (meters from
@@ -122,16 +131,15 @@ impl World {
         let hw = width / 2.0;
         let hd = depth / 2.0;
 
-        let mut scatter = |count: usize,
-                           rng: &mut StdRng,
-                           make: &dyn Fn(&mut StdRng) -> (Vec3, Vec3)| {
-            for _ in 0..count {
-                let (center, normal) = make(rng);
-                let half = rng.gen_range(half_range.0..half_range.1);
-                landmarks.push(Landmark::new(id, center, normal, half));
-                id += 1;
-            }
-        };
+        let mut scatter =
+            |count: usize, rng: &mut StdRng, make: &dyn Fn(&mut StdRng) -> (Vec3, Vec3)| {
+                for _ in 0..count {
+                    let (center, normal) = make(rng);
+                    let half = rng.gen_range(half_range.0..half_range.1);
+                    landmarks.push(Landmark::new(id, center, normal, half));
+                    id += 1;
+                }
+            };
 
         // Walls at y = ±hd (normals facing inwards).
         let wall_area = width * height;
@@ -192,7 +200,10 @@ impl World {
             (pos, Vec3::new(theta.cos(), theta.sin(), 0.0))
         });
 
-        World { landmarks, tag: "room".into() }
+        World {
+            landmarks,
+            tag: "room".into(),
+        }
     }
 
     /// A street corridor (KITTI style): building facades flanking a
@@ -206,7 +217,14 @@ impl World {
         density: f64,
         seed: u64,
     ) -> World {
-        Self::street_sized(route, half_street_width, facade_height, density, seed, (0.15, 0.35))
+        Self::street_sized(
+            route,
+            half_street_width,
+            facade_height,
+            density,
+            seed,
+            (0.15, 0.35),
+        )
     }
 
     /// [`World::street`] with explicit facade patch half-size bounds (big
@@ -236,8 +254,7 @@ impl World {
                 for _ in 0..per_side {
                     let along = rng.gen_range(0.0..len);
                     let h = rng.gen_range(0.3..facade_height);
-                    let center = a + dir * along + left * (side * half_street_width)
-                        + Vec3::Z * h;
+                    let center = a + dir * along + left * (side * half_street_width) + Vec3::Z * h;
                     // Facade normal faces the street.
                     let normal = left * (-side);
                     let half = rng.gen_range(half_range.0..half_range.1);
@@ -246,7 +263,10 @@ impl World {
                 }
             }
         }
-        World { landmarks, tag: "street".into() }
+        World {
+            landmarks,
+            tag: "street".into(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -341,7 +361,10 @@ mod tests {
         let w = World::street(&route, 8.0, 6.0, 0.3, 5);
         assert!(!w.is_empty());
         for lm in &w.landmarks {
-            assert!((lm.center.y.abs() - 8.0).abs() < 1e-9, "off-facade landmark");
+            assert!(
+                (lm.center.y.abs() - 8.0).abs() < 1e-9,
+                "off-facade landmark"
+            );
             assert!(lm.center.x >= -0.01 && lm.center.x <= 100.01);
         }
     }

@@ -8,7 +8,8 @@ use slamshare_sim::clock::{EventQueue, SimTime};
 use slamshare_sim::trajectory::{GazePolicy, Trajectory};
 
 fn arb_point_in_frustum() -> impl Strategy<Value = Vec3> {
-    (-2.0f64..2.0, -1.5f64..1.5, 0.5f64..40.0).prop_map(|(x, y, z)| Vec3::new(x * z / 4.0, y * z / 4.0, z))
+    (-2.0f64..2.0, -1.5f64..1.5, 0.5f64..40.0)
+        .prop_map(|(x, y, z)| Vec3::new(x * z / 4.0, y * z / 4.0, z))
 }
 
 proptest! {

@@ -68,7 +68,10 @@ pub fn short_term_ate(
         return None;
     }
     let alignment = umeyama(&est, &gt, with_scale)?;
-    let t_end = estimated.iter().map(|(t, _)| *t).fold(f64::NEG_INFINITY, f64::max);
+    let t_end = estimated
+        .iter()
+        .map(|(t, _)| *t)
+        .fold(f64::NEG_INFINITY, f64::max);
     let t_start = t_end - window;
 
     // Recompute association, retaining timestamps to filter the window.
@@ -155,7 +158,10 @@ mod tests {
     fn rigidly_displaced_estimate_zero_ate() {
         // ATE aligns first: a global rigid offset is not an error.
         let gt = gt_trajectory(100);
-        let t = SE3::new(Quat::from_axis_angle(Vec3::Z, 1.0), Vec3::new(5.0, -2.0, 1.0));
+        let t = SE3::new(
+            Quat::from_axis_angle(Vec3::Z, 1.0),
+            Vec3::new(5.0, -2.0, 1.0),
+        );
         let est: Vec<(f64, Vec3)> = gt.iter().map(|(s, p)| (*s, t.transform(*p))).collect();
         let r = ate(&est, &gt, false, 0.01).unwrap();
         assert!(r.rmse < 1e-9, "rmse {}", r.rmse);

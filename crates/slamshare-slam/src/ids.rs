@@ -10,7 +10,9 @@
 use serde::{Deserialize, Serialize};
 
 /// A client (user/device) identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct ClientId(pub u16);
 
 /// A keyframe identifier, globally unique across clients.
@@ -64,7 +66,11 @@ pub struct IdAllocator {
 
 impl IdAllocator {
     pub fn new(client: ClientId) -> IdAllocator {
-        IdAllocator { client, next_kf: 0, next_mp: 0 }
+        IdAllocator {
+            client,
+            next_kf: 0,
+            next_mp: 0,
+        }
     }
 
     pub fn next_keyframe(&mut self) -> KeyFrameId {

@@ -31,7 +31,12 @@ pub struct Preintegrated {
 
 impl Preintegrated {
     pub fn identity() -> Preintegrated {
-        Preintegrated { dt: 0.0, d_rot: Quat::IDENTITY, d_vel: Vec3::ZERO, d_pos: Vec3::ZERO }
+        Preintegrated {
+            dt: 0.0,
+            d_rot: Quat::IDENTITY,
+            d_vel: Vec3::ZERO,
+            d_pos: Vec3::ZERO,
+        }
     }
 
     /// Integrate a run of IMU samples. `start_rot_wb` is the world-from-
@@ -97,7 +102,10 @@ impl ClientMotionModel {
         self.deltas.clear();
         self.times.clear();
         self.last_server = None;
-        self.poses.push(ModelEntry { pose_cw: pose0, velocity: Vec3::ZERO });
+        self.poses.push(ModelEntry {
+            pose_cw: pose0,
+            velocity: Vec3::ZERO,
+        });
         self.deltas.push(Preintegrated::identity());
         self.times.push(0.0);
     }
@@ -138,8 +146,14 @@ impl ClientMotionModel {
         let pos = t_wc_prev.trans + prev.velocity * c_imu.dt + t_wc_prev.rot.rotate(c_imu.d_pos);
 
         // CurrentPose := LastFramePose × Velocity (compose into T_cw).
-        let t_wc = SE3 { rot: rot_wb, trans: pos };
-        let entry = ModelEntry { pose_cw: t_wc.inverse(), velocity };
+        let t_wc = SE3 {
+            rot: rot_wb,
+            trans: pos,
+        };
+        let entry = ModelEntry {
+            pose_cw: t_wc.inverse(),
+            velocity,
+        };
         if i == self.poses.len() {
             self.poses.push(entry);
             self.deltas.push(c_imu);
@@ -178,7 +192,10 @@ impl ClientMotionModel {
         let jump = (center - self.poses[slam_index].pose_cw.camera_center()).norm() > 0.5;
         if jump {
             self.last_server = Some((slam_index, center, t_now));
-            self.poses[slam_index] = ModelEntry { pose_cw: slam_pose, velocity: Vec3::ZERO };
+            self.poses[slam_index] = ModelEntry {
+                pose_cw: slam_pose,
+                velocity: Vec3::ZERO,
+            };
             for j in (slam_index + 1)..self.poses.len() {
                 let d = self.deltas[j];
                 self.approx_pose_update_mm(d, j);
@@ -201,7 +218,10 @@ impl ClientMotionModel {
             _ => propagated,
         };
         self.last_server = Some((slam_index, center, t_now));
-        self.poses[slam_index] = ModelEntry { pose_cw: slam_pose, velocity };
+        self.poses[slam_index] = ModelEntry {
+            pose_cw: slam_pose,
+            velocity,
+        };
 
         // for j ← SLAMIndex to len(Poses): re-run the update with stored
         // IMU deltas.
@@ -327,11 +347,20 @@ mod tests {
             let d = preint_between(&traj, &imu, t0, t1);
             model.approx_pose_update_mm(d, i);
         }
-        let before = model.pose(20).unwrap().center_distance(&traj.pose_cw(20.0 / fps));
+        let before = model
+            .pose(20)
+            .unwrap()
+            .center_distance(&traj.pose_cw(20.0 / fps));
         // Server sends the true pose for frame 15.
         model.recv_slam_pose(traj.pose_cw(15.0 / fps), 15);
-        let after = model.pose(20).unwrap().center_distance(&traj.pose_cw(20.0 / fps));
-        assert!(after < before, "correction didn't help: {after} >= {before}");
+        let after = model
+            .pose(20)
+            .unwrap()
+            .center_distance(&traj.pose_cw(20.0 / fps));
+        assert!(
+            after < before,
+            "correction didn't help: {after} >= {before}"
+        );
         assert!(after < 0.15, "post-correction error {after}");
     }
 

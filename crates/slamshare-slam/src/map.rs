@@ -94,7 +94,11 @@ impl Map {
         for (kp_idx, mp_id) in kf.matched_points.iter().enumerate() {
             if let Some(mp_id) = mp_id {
                 if let Some(mp) = self.mappoints.get_mut(mp_id) {
-                    if !mp.observations.iter().any(|(k, i)| *k == kf.id && *i == kp_idx) {
+                    if !mp
+                        .observations
+                        .iter()
+                        .any(|(k, i)| *k == kf.id && *i == kp_idx)
+                    {
                         mp.observations.push((kf.id, kp_idx));
                     }
                 }
@@ -137,7 +141,11 @@ impl Map {
     /// Add an observation of an existing point from a keyframe.
     pub fn add_observation(&mut self, mp_id: MapPointId, kf_id: KeyFrameId, kp_idx: usize) {
         if let Some(mp) = self.mappoints.get_mut(&mp_id) {
-            if !mp.observations.iter().any(|(k, i)| *k == kf_id && *i == kp_idx) {
+            if !mp
+                .observations
+                .iter()
+                .any(|(k, i)| *k == kf_id && *i == kp_idx)
+            {
                 mp.observations.push((kf_id, kp_idx));
             }
         }
@@ -165,7 +173,9 @@ impl Map {
         if dst == src {
             return;
         }
-        let Some(srcp) = self.mappoints.remove(&src) else { return };
+        let Some(srcp) = self.mappoints.remove(&src) else {
+            return;
+        };
         let obs = srcp.observations;
         for (kf_id, kp_idx) in obs {
             if let Some(kf) = self.keyframes.get_mut(&kf_id) {
@@ -174,7 +184,11 @@ impl Map {
                 }
             }
             if let Some(d) = self.mappoints.get_mut(&dst) {
-                if !d.observations.iter().any(|(k, i)| *k == kf_id && *i == kp_idx) {
+                if !d
+                    .observations
+                    .iter()
+                    .any(|(k, i)| *k == kf_id && *i == kp_idx)
+                {
                     d.observations.push((kf_id, kp_idx));
                 }
             }
@@ -183,8 +197,14 @@ impl Map {
 
     /// Keyframes covisible with `kf_id` (sharing ≥ `min_shared` map
     /// points), sorted by shared count descending.
-    pub fn covisible_keyframes(&self, kf_id: KeyFrameId, min_shared: usize) -> Vec<(KeyFrameId, usize)> {
-        let Some(kf) = self.keyframes.get(&kf_id) else { return Vec::new() };
+    pub fn covisible_keyframes(
+        &self,
+        kf_id: KeyFrameId,
+        min_shared: usize,
+    ) -> Vec<(KeyFrameId, usize)> {
+        let Some(kf) = self.keyframes.get(&kf_id) else {
+            return Vec::new();
+        };
         let mut counts: HashMap<KeyFrameId, usize> = HashMap::new();
         for mp_id in kf.matched_points.iter().flatten() {
             if let Some(mp) = self.mappoints.get(mp_id) {
@@ -208,7 +228,11 @@ impl Map {
     /// points* scans.
     pub fn local_map_points(&self, kf_id: KeyFrameId, min_shared: usize) -> Vec<MapPointId> {
         let mut kfs = vec![kf_id];
-        kfs.extend(self.covisible_keyframes(kf_id, min_shared).into_iter().map(|(k, _)| k));
+        kfs.extend(
+            self.covisible_keyframes(kf_id, min_shared)
+                .into_iter()
+                .map(|(k, _)| k),
+        );
         let mut seen = std::collections::BTreeSet::new();
         for k in kfs {
             if let Some(kf) = self.keyframes.get(&k) {
@@ -282,7 +306,10 @@ pub fn transform_pose_cw(pose_cw: &SE3, t: &Sim3) -> SE3 {
     let t_inv = t.inverse();
     let new_center = t.transform(pose_cw.camera_center());
     let new_rot = (pose_cw.rot * t_inv.rot).normalized();
-    SE3 { rot: new_rot, trans: -(new_rot.rotate(new_center)) }
+    SE3 {
+        rot: new_rot,
+        trans: -(new_rot.rotate(new_center)),
+    }
 }
 
 #[cfg(test)]
@@ -380,7 +407,10 @@ mod tests {
         let only2 = map.create_mappoint(Vec3::X, Descriptor::ZERO, kf2, 1);
         let pts = map.local_map_points(kf1, 1);
         assert!(pts.contains(&shared));
-        assert!(pts.contains(&only2), "covisible keyframe's points must be in the local map");
+        assert!(
+            pts.contains(&only2),
+            "covisible keyframe's points must be in the local map"
+        );
     }
 
     #[test]
@@ -390,7 +420,9 @@ mod tests {
         let mp = map.create_mappoint(Vec3::new(0.0, 0.0, 5.0), Descriptor::ZERO, kf, 0);
 
         let before_center = map.keyframes[&kf].pose_cw.camera_center();
-        let before_pt_cam = map.keyframes[&kf].pose_cw.transform(map.mappoints[&mp].position);
+        let before_pt_cam = map.keyframes[&kf]
+            .pose_cw
+            .transform(map.mappoints[&mp].position);
 
         let t = Sim3::new(
             Quat::from_axis_angle(Vec3::Z, 0.7),
@@ -403,10 +435,15 @@ mod tests {
         assert!((after_center - t.transform(before_center)).norm() < 1e-9);
         // Invariant: the point's camera-frame direction is unchanged
         // (up to the scale factor) because both moved together.
-        let after_pt_cam = map.keyframes[&kf].pose_cw.transform(map.mappoints[&mp].position);
+        let after_pt_cam = map.keyframes[&kf]
+            .pose_cw
+            .transform(map.mappoints[&mp].position);
         let dir_before = before_pt_cam.normalized().unwrap();
         let dir_after = after_pt_cam.normalized().unwrap();
-        assert!((dir_before - dir_after).norm() < 1e-9, "{dir_before:?} vs {dir_after:?}");
+        assert!(
+            (dir_before - dir_after).norm() < 1e-9,
+            "{dir_before:?} vs {dir_after:?}"
+        );
         assert!((after_pt_cam.norm() / before_pt_cam.norm() - 1.5).abs() < 1e-9);
     }
 

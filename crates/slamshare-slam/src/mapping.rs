@@ -62,7 +62,12 @@ pub struct LocalMapper {
 
 impl LocalMapper {
     pub fn new(mode: SensorMode, rig: StereoRig, config: MappingConfig) -> LocalMapper {
-        LocalMapper { config, mode, rig, inserted: 0 }
+        LocalMapper {
+            config,
+            mode,
+            rig,
+            inserted: 0,
+        }
     }
 
     /// Promote a tracked frame to a keyframe: insert it into the map,
@@ -102,7 +107,7 @@ impl LocalMapper {
         }
 
         self.inserted += 1;
-        if self.config.ba_every > 0 && self.inserted % self.config.ba_every == 0 {
+        if self.config.ba_every > 0 && self.inserted.is_multiple_of(self.config.ba_every) {
             report.ba = Some(local_bundle_adjust(
                 map,
                 &self.rig.cam,
@@ -204,15 +209,18 @@ impl LocalMapper {
                     continue;
                 }
                 // Reprojection gate in both views.
-                let ok = [(&kf.pose_cw, kf.keypoints[ia].pt), (&other.pose_cw, other.keypoints[ib].pt)]
-                    .iter()
-                    .all(|(pose, px)| {
-                        self.rig
-                            .cam
-                            .project(pose.transform(p))
-                            .map(|proj| proj.dist(*px) < self.config.max_reproj_px)
-                            .unwrap_or(false)
-                    });
+                let ok = [
+                    (&kf.pose_cw, kf.keypoints[ia].pt),
+                    (&other.pose_cw, other.keypoints[ib].pt),
+                ]
+                .iter()
+                .all(|(pose, px)| {
+                    self.rig
+                        .cam
+                        .project(pose.transform(p))
+                        .map(|proj| proj.dist(*px) < self.config.max_reproj_px)
+                        .unwrap_or(false)
+                });
                 if !ok {
                     continue;
                 }
@@ -266,7 +274,11 @@ mod tests {
     use std::sync::Arc;
 
     fn dataset() -> Dataset {
-        Dataset::build(DatasetConfig::new(TracePreset::V202).with_frames(8).with_seed(3))
+        Dataset::build(
+            DatasetConfig::new(TracePreset::V202)
+                .with_frames(8)
+                .with_seed(3),
+        )
     }
 
     fn observation_at(ds: &Dataset, tracker: &mut Tracker, i: usize) -> FrameObservation {
@@ -292,8 +304,7 @@ mod tests {
     #[test]
     fn stereo_insertion_creates_points() {
         let ds = dataset();
-        let mut tracker =
-            Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let mut tracker = Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
         let vocab = vocabulary::train_random(1);
         let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, MappingConfig::default());
         let mut map = Map::new(ClientId(1));
@@ -309,8 +320,7 @@ mod tests {
     #[test]
     fn mono_insertion_triangulates_with_previous() {
         let ds = dataset();
-        let mut tracker =
-            Tracker::new(TrackerConfig::mono(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let mut tracker = Tracker::new(TrackerConfig::mono(ds.rig), Arc::new(GpuExecutor::cpu()));
         let vocab = vocabulary::train_random(2);
         let mut mapper = LocalMapper::new(SensorMode::Mono, ds.rig, MappingConfig::default());
         let mut map = Map::new(ClientId(1));
@@ -353,11 +363,12 @@ mod tests {
     #[test]
     fn ba_runs_on_schedule() {
         let ds = dataset();
-        let mut tracker =
-            Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let mut tracker = Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
         let vocab = vocabulary::train_random(3);
-        let mut config = MappingConfig::default();
-        config.ba_every = 2;
+        let config = MappingConfig {
+            ba_every: 2,
+            ..Default::default()
+        };
         let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, config);
         let mut map = Map::new(ClientId(1));
 
@@ -375,8 +386,7 @@ mod tests {
     #[test]
     fn culling_removes_uncorroborated_points() {
         let ds = dataset();
-        let mut tracker =
-            Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let mut tracker = Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
         let vocab = vocabulary::train_random(4);
         let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, MappingConfig::default());
         let mut map = Map::new(ClientId(1));

@@ -75,6 +75,9 @@ pub fn map_merge(
 /// SLAM-Share's continuously-running merge process M ("map merging occurs
 /// asynchronously, whenever a client observes something that matches the
 /// global map", §4.1).
+// A failed merge hands the whole client map back by value on purpose —
+// the caller keeps feeding it frames and retries later.
+#[allow(clippy::result_large_err)]
 pub fn try_map_merge(
     gmap: &mut Map,
     mut cmap: Map,
@@ -220,16 +223,28 @@ fn weld_by_projection(
     for kf_id in client_kfs {
         // Collect the operations first (no aliasing with the map borrow).
         enum Op {
-            Fuse { keep: crate::ids::MapPointId, drop: crate::ids::MapPointId },
-            Observe { mp: crate::ids::MapPointId, kp: usize },
+            Fuse {
+                keep: crate::ids::MapPointId,
+                drop: crate::ids::MapPointId,
+            },
+            Observe {
+                mp: crate::ids::MapPointId,
+                kp: usize,
+            },
         }
         let mut ops: Vec<Op> = Vec::new();
         {
-            let Some(kf) = gmap.keyframes.get(kf_id) else { continue };
+            let Some(kf) = gmap.keyframes.get(kf_id) else {
+                continue;
+            };
             for mp_id in &candidates {
-                let Some(mp) = gmap.mappoints.get(mp_id) else { continue };
+                let Some(mp) = gmap.mappoints.get(mp_id) else {
+                    continue;
+                };
                 let q = kf.pose_cw.transform(mp.position);
-                let Some(px) = cam.project_in_image(q, 0.0) else { continue };
+                let Some(px) = cam.project_in_image(q, 0.0) else {
+                    continue;
+                };
                 // Windowed descriptor search over the keyframe's keypoints.
                 let mut best = u32::MAX;
                 let mut best_i = usize::MAX;
@@ -251,11 +266,17 @@ fn weld_by_projection(
                         // The keyframe already tracks its own copy of this
                         // physical point: fuse (global copy wins).
                         if existing.client() == client {
-                            ops.push(Op::Fuse { keep: *mp_id, drop: existing });
+                            ops.push(Op::Fuse {
+                                keep: *mp_id,
+                                drop: existing,
+                            });
                         }
                     }
                     Some(_) => {}
-                    None => ops.push(Op::Observe { mp: *mp_id, kp: best_i }),
+                    None => ops.push(Op::Observe {
+                        mp: *mp_id,
+                        kp: best_i,
+                    }),
                 }
             }
         }
@@ -289,6 +310,15 @@ fn absorb(gmap: &mut Map, cmap: Map, db: &mut KeyframeDatabase) {
     }
 }
 
+impl crate::map::KeyFrame {
+    /// Test helper: recover the frame index from the keyframe timestamp
+    /// (frames are at 1/30 s in the test datasets).
+    #[doc(hidden)]
+    pub fn frame_index_proxy(&self) -> usize {
+        (self.timestamp * 30.0).round() as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,15 +336,20 @@ mod tests {
     fn client_map(client: u16, frames: &[usize], seed: u64) -> (Map, Dataset) {
         let max = frames.iter().max().unwrap() + 1;
         let ds = Dataset::build(
-            DatasetConfig::new(TracePreset::V202).with_frames(max).with_seed(seed),
+            DatasetConfig::new(TracePreset::V202)
+                .with_frames(max)
+                .with_seed(seed),
         );
-        let tracker =
-            Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let tracker = Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
         let vocab = vocabulary::train_random(42);
-        let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, MappingConfig {
-            ba_every: 0,
-            ..Default::default()
-        });
+        let mut mapper = LocalMapper::new(
+            SensorMode::Stereo,
+            ds.rig,
+            MappingConfig {
+                ba_every: 0,
+                ..Default::default()
+            },
+        );
         let mut map = Map::new(ClientId(client));
         for &f in frames {
             let (left, right) = ds.render_stereo_frame(f);
@@ -347,7 +382,14 @@ mod tests {
         let cam = slamshare_sim::camera::PinholeCamera::euroc_like();
         let n_kf = cmap.n_keyframes();
         let n_mp = cmap.n_mappoints();
-        let report = map_merge(&mut gmap, cmap, &mut db, &vocabulary::train_random(42), &cam, false);
+        let report = map_merge(
+            &mut gmap,
+            cmap,
+            &mut db,
+            &vocabulary::train_random(42),
+            &cam,
+            false,
+        );
         assert!(!report.aligned);
         assert_eq!(gmap.n_keyframes(), n_kf);
         assert_eq!(gmap.n_mappoints(), n_mp);
@@ -373,14 +415,32 @@ mod tests {
         let mut gmap = Map::new(ClientId(0));
         let mut db = KeyframeDatabase::new();
         let cam = ds.rig.cam;
-        map_merge(&mut gmap, gmap_src, &mut db, &vocabulary::train_random(42), &cam, false);
+        map_merge(
+            &mut gmap,
+            gmap_src,
+            &mut db,
+            &vocabulary::train_random(42),
+            &cam,
+            false,
+        );
 
         let n_before = gmap.n_mappoints();
-        let report = map_merge(&mut gmap, cmap, &mut db, &vocabulary::train_random(42), &cam, false);
+        let report = map_merge(
+            &mut gmap,
+            cmap,
+            &mut db,
+            &vocabulary::train_random(42),
+            &cam,
+            false,
+        );
         assert!(report.aligned, "no alignment found: {report:?}");
         assert!(report.n_point_pairs >= 12);
         assert!(report.n_fused > 0);
-        assert!(report.alignment_rmse < 0.3, "rmse {}", report.alignment_rmse);
+        assert!(
+            report.alignment_rmse < 0.3,
+            "rmse {}",
+            report.alignment_rmse
+        );
         // The recovered transform must invert the displacement.
         let t = report.transform.unwrap();
         let roundtrip = t * offset;
@@ -394,7 +454,11 @@ mod tests {
         assert!(gmap.n_mappoints() < n_before + report.n_mp_added);
         // Client keyframe centers now lie near their true (global-frame)
         // positions.
-        for kf in gmap.keyframes.values().filter(|kf| kf.id.client() == ClientId(2)) {
+        for kf in gmap
+            .keyframes
+            .values()
+            .filter(|kf| kf.id.client() == ClientId(2))
+        {
             let truth = ds.gt_position(kf.frame_index_proxy());
             let err = (kf.pose_cw.camera_center() - truth).norm();
             assert!(err < 0.3, "client KF off by {err} m after merge");
@@ -406,46 +470,58 @@ mod tests {
         // KITTI world vs Vicon room: nothing in common.
         let (gmap_src, ds) = client_map(1, &[0], 5);
         let kitti = Dataset::build(
-            DatasetConfig::new(TracePreset::Kitti05).with_frames(1).with_seed(9),
+            DatasetConfig::new(TracePreset::Kitti05)
+                .with_frames(1)
+                .with_seed(9),
         );
-        let tracker =
-            Tracker::new(TrackerConfig::stereo(kitti.rig), Arc::new(GpuExecutor::cpu()));
+        let tracker = Tracker::new(
+            TrackerConfig::stereo(kitti.rig),
+            Arc::new(GpuExecutor::cpu()),
+        );
         let vocab = vocabulary::train_random(42);
-        let mut mapper =
-            LocalMapper::new(SensorMode::Stereo, kitti.rig, MappingConfig::default());
+        let mut mapper = LocalMapper::new(SensorMode::Stereo, kitti.rig, MappingConfig::default());
         let mut cmap = Map::new(ClientId(2));
         let (left, right) = kitti.render_stereo_frame(0);
         let (mut features, _) = tracker.extract(&left);
         let (rf, _) = tracker.extract(&right);
         tracker.stereo_match(&mut features, &rf);
         let n = features.keypoints.len();
-        mapper.insert_keyframe(&mut cmap, &vocab, &FrameObservation {
-            frame_idx: 0,
-            timestamp: 0.0,
-            pose_cw: kitti.gt_pose_cw(0),
-            keypoints: features.keypoints,
-            descriptors: features.descriptors,
-            matched: vec![None; n],
-            n_tracked: 0,
-            lost: false,
-            keyframe_requested: true,
-            timings: Default::default(),
-        });
+        mapper.insert_keyframe(
+            &mut cmap,
+            &vocab,
+            &FrameObservation {
+                frame_idx: 0,
+                timestamp: 0.0,
+                pose_cw: kitti.gt_pose_cw(0),
+                keypoints: features.keypoints,
+                descriptors: features.descriptors,
+                matched: vec![None; n],
+                n_tracked: 0,
+                lost: false,
+                keyframe_requested: true,
+                timings: Default::default(),
+            },
+        );
 
         let mut gmap = Map::new(ClientId(0));
         let mut db = KeyframeDatabase::new();
-        map_merge(&mut gmap, gmap_src, &mut db, &vocabulary::train_random(42), &ds.rig.cam, false);
-        let report = map_merge(&mut gmap, cmap, &mut db, &vocabulary::train_random(42), &ds.rig.cam, false);
+        map_merge(
+            &mut gmap,
+            gmap_src,
+            &mut db,
+            &vocabulary::train_random(42),
+            &ds.rig.cam,
+            false,
+        );
+        let report = map_merge(
+            &mut gmap,
+            cmap,
+            &mut db,
+            &vocabulary::train_random(42),
+            &ds.rig.cam,
+            false,
+        );
         // Either no detection at all or far too few pairs — never aligned.
         assert!(!report.aligned, "false-positive merge: {report:?}");
-    }
-}
-
-impl crate::map::KeyFrame {
-    /// Test helper: recover the frame index from the keyframe timestamp
-    /// (frames are at 1/30 s in the test datasets).
-    #[doc(hidden)]
-    pub fn frame_index_proxy(&self) -> usize {
-        (self.timestamp * 30.0).round() as usize
     }
 }

@@ -92,7 +92,13 @@ pub fn optimize_pose(
         }
         inliers.push(ok);
     }
-    PoseOptResult { pose, inliers, n_inliers, cost, iterations: max_iterations }
+    PoseOptResult {
+        pose,
+        inliers,
+        n_inliers,
+        cost,
+        iterations: max_iterations,
+    }
 }
 
 fn classify(cam: &PinholeCamera, pose: SE3, observations: &[PoseObservation]) -> Vec<bool> {
@@ -178,7 +184,10 @@ fn optimize_pose_round(
         let rho = Vec3::new(-delta[0], -delta[1], -delta[2]);
         let phi = Vec3::new(-delta[3], -delta[4], -delta[5]);
         let dr = Quat::exp(phi);
-        pose = SE3 { rot: (dr * pose.rot).normalized(), trans: dr.rotate(pose.trans) + rho };
+        pose = SE3 {
+            rot: (dr * pose.rot).normalized(),
+            trans: dr.rotate(pose.trans) + rho,
+        };
 
         if delta.norm() < 1e-10 {
             break;
@@ -213,10 +222,11 @@ pub fn refine_point(
             let rot = pose.rot.to_mat3();
             // J = jp · R (2×3).
             let mut j = [[0.0f64; 3]; 2];
-            for row in 0..2 {
-                for c in 0..3 {
-                    j[row][c] =
-                        jp[row][0] * rot.m[0][c] + jp[row][1] * rot.m[1][c] + jp[row][2] * rot.m[2][c];
+            for (row, jr) in j.iter_mut().enumerate() {
+                for (c, jc) in jr.iter_mut().enumerate() {
+                    *jc = jp[row][0] * rot.m[0][c]
+                        + jp[row][1] * rot.m[1][c]
+                        + jp[row][2] * rot.m[2][c];
                 }
             }
             for a in 0..3 {
@@ -300,9 +310,13 @@ pub fn local_bundle_adjust(
         let mut cost = 0.0;
         let mut n_obs = 0;
         for mp_id in &points {
-            let Some(mp) = map.mappoints.get(mp_id) else { continue };
+            let Some(mp) = map.mappoints.get(mp_id) else {
+                continue;
+            };
             for (kf_id, kp_idx) in &mp.observations {
-                let Some(kf) = map.keyframes.get(kf_id) else { continue };
+                let Some(kf) = map.keyframes.get(kf_id) else {
+                    continue;
+                };
                 let q = kf.pose_cw.transform(mp.position);
                 if q.z < cam.z_near {
                     continue;
@@ -326,11 +340,15 @@ pub fn local_bundle_adjust(
             if *kf_id == fixed_kf {
                 continue;
             }
-            let Some(kf) = map.keyframes.get(kf_id) else { continue };
+            let Some(kf) = map.keyframes.get(kf_id) else {
+                continue;
+            };
             let mut obs = Vec::new();
             for (kp_idx, mp_id) in kf.matched_points.iter().enumerate() {
                 let Some(mp_id) = mp_id else { continue };
-                let Some(mp) = map.mappoints.get(mp_id) else { continue };
+                let Some(mp) = map.mappoints.get(mp_id) else {
+                    continue;
+                };
                 let kp = &kf.keypoints[kp_idx];
                 obs.push(PoseObservation {
                     point: mp.position,
@@ -350,7 +368,9 @@ pub fn local_bundle_adjust(
         // 2. Point pass.
         let point_ids: Vec<_> = points.iter().copied().collect();
         for mp_id in point_ids {
-            let Some(mp) = map.mappoints.get(&mp_id) else { continue };
+            let Some(mp) = map.mappoints.get(&mp_id) else {
+                continue;
+            };
             if mp.observations.len() < 2 {
                 continue;
             }
@@ -426,7 +446,11 @@ mod tests {
         );
         let result = optimize_pose(&cam, start, &obs, 15);
         assert_eq!(result.n_inliers, 60);
-        assert!(result.pose.center_distance(&truth) < 1e-6, "center err {}", result.pose.center_distance(&truth));
+        assert!(
+            result.pose.center_distance(&truth) < 1e-6,
+            "center err {}",
+            result.pose.center_distance(&truth)
+        );
         assert!(result.pose.rotation_angle_to(&truth) < 1e-6);
     }
 
@@ -453,7 +477,11 @@ mod tests {
         }
         let start = SE3::new(Quat::IDENTITY, truth.trans + Vec3::new(0.1, -0.05, 0.1));
         let result = optimize_pose(&cam, start, &obs, 15);
-        assert!(result.pose.center_distance(&truth) < 1e-3, "center err {}", result.pose.center_distance(&truth));
+        assert!(
+            result.pose.center_distance(&truth) < 1e-3,
+            "center err {}",
+            result.pose.center_distance(&truth)
+        );
         // The corrupted ones must be classified outliers.
         for flag in result.inliers.iter().take(15) {
             assert!(!flag);
@@ -465,7 +493,11 @@ mod tests {
     fn degenerate_observation_count_keeps_initial() {
         let cam = PinholeCamera::euroc_like();
         let start = SE3::IDENTITY;
-        let obs = [PoseObservation { point: Vec3::new(0.0, 0.0, 5.0), pixel: Vec2::new(10.0, 10.0), sigma: 1.0 }];
+        let obs = [PoseObservation {
+            point: Vec3::new(0.0, 0.0, 5.0),
+            pixel: Vec2::new(10.0, 10.0),
+            sigma: 1.0,
+        }];
         let result = optimize_pose(&cam, start, &obs, 10);
         assert_eq!(result.pose, start);
     }

@@ -49,7 +49,9 @@ pub fn detect_common_region(
     let mut best: Option<CommonRegion> = None;
     for (cand_id, score) in candidates.into_iter().take(max_candidates) {
         let cand_kf_id = KeyFrameId(cand_id);
-        let Some(cand_kf) = target_map.keyframes.get(&cand_kf_id) else { continue };
+        let Some(cand_kf) = target_map.keyframes.get(&cand_kf_id) else {
+            continue;
+        };
         let pairs = match_point_pairs(kf, source_map, cand_kf, target_map, vocab);
         if pairs.len() < MIN_POINT_PAIRS {
             continue;
@@ -57,8 +59,14 @@ pub fn detect_common_region(
         // Geometric verification, as ORB-SLAM's Sim3-RANSAC inside
         // DetectCommonRegion: the descriptor pairs must be explainable by
         // one rigid/similarity transform. Keep only consensus inliers.
-        let src: Vec<_> = pairs.iter().map(|(a, _)| source_map.mappoints[a].position).collect();
-        let dst: Vec<_> = pairs.iter().map(|(_, b)| target_map.mappoints[b].position).collect();
+        let src: Vec<_> = pairs
+            .iter()
+            .map(|(a, _)| source_map.mappoints[a].position)
+            .collect();
+        let dst: Vec<_> = pairs
+            .iter()
+            .map(|(_, b)| target_map.mappoints[b].position)
+            .collect();
         let tol = ransac_tolerance(&dst);
         let Some((_, mask)) =
             slamshare_math::align::umeyama_ransac(&src, &dst, false, tol, 150, cand_id | 1)
@@ -72,9 +80,16 @@ pub fn detect_common_region(
             .map(|(p, _)| p)
             .collect();
         if verified.len() >= MIN_POINT_PAIRS
-            && best.as_ref().map(|b| verified.len() > b.point_pairs.len()).unwrap_or(true)
+            && best
+                .as_ref()
+                .map(|b| verified.len() > b.point_pairs.len())
+                .unwrap_or(true)
         {
-            best = Some(CommonRegion { target_kf: cand_kf_id, score, point_pairs: verified });
+            best = Some(CommonRegion {
+                target_kf: cand_kf_id,
+                score,
+                point_pairs: verified,
+            });
         }
     }
     best
@@ -89,7 +104,9 @@ pub fn ransac_tolerance(points: &[slamshare_math::Vec3]) -> f64 {
     if points.is_empty() {
         return 0.35;
     }
-    let centroid = points.iter().fold(slamshare_math::Vec3::ZERO, |a, &p| a + p)
+    let centroid = points
+        .iter()
+        .fold(slamshare_math::Vec3::ZERO, |a, &p| a + p)
         / points.len() as f64;
     let mut dists: Vec<f64> = points.iter().map(|p| (*p - centroid).norm()).collect();
     dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -120,7 +137,10 @@ pub fn match_point_pairs(
             if let Some(mp_id) = mp {
                 if map.mappoints.contains_key(mp_id) {
                     let word = vocab.quantize(&kf.descriptors[i]);
-                    by_word.entry(word).or_default().push((kf.descriptors[i], *mp_id));
+                    by_word
+                        .entry(word)
+                        .or_default()
+                        .push((kf.descriptors[i], *mp_id));
                 }
             }
         }
@@ -132,7 +152,9 @@ pub fn match_point_pairs(
     // Best match per a-descriptor within its word; dedup per b-point.
     let mut best_for_b: HashMap<MapPointId, (MapPointId, u32)> = HashMap::new();
     for (word, entries_a) in &words_a {
-        let Some(entries_b) = words_b.get(word) else { continue };
+        let Some(entries_b) = words_b.get(word) else {
+            continue;
+        };
         for (desc_a, id_a) in entries_a {
             let mut best: Option<(MapPointId, u32)> = None;
             for (desc_b, id_b) in entries_b {
@@ -155,8 +177,10 @@ pub fn match_point_pairs(
             }
         }
     }
-    let mut out: Vec<(MapPointId, MapPointId)> =
-        best_for_b.into_iter().map(|(id_b, (id_a, _))| (id_a, id_b)).collect();
+    let mut out: Vec<(MapPointId, MapPointId)> = best_for_b
+        .into_iter()
+        .map(|(id_b, (id_a, _))| (id_a, id_b))
+        .collect();
     out.sort();
     out
 }
@@ -174,10 +198,11 @@ mod tests {
 
     fn build_client_map(client: u16, frame: usize, seed: u64) -> (Map, Dataset) {
         let ds = Dataset::build(
-            DatasetConfig::new(TracePreset::V202).with_frames(frame + 1).with_seed(seed),
+            DatasetConfig::new(TracePreset::V202)
+                .with_frames(frame + 1)
+                .with_seed(seed),
         );
-        let tracker =
-            Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let tracker = Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
         let vocab = vocabulary::train_random(42);
         let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, MappingConfig::default());
         let mut map = Map::new(ClientId(client));
@@ -243,7 +268,10 @@ mod tests {
         }
         let kf_a = map_a.keyframes.values().next().unwrap();
         // The database only holds this client's own keyframes → no result.
-        assert!(detect_common_region(kf_a, &map_a, &map_a, &db, &vocabulary::train_random(42), 5).is_none());
+        assert!(
+            detect_common_region(kf_a, &map_a, &map_a, &db, &vocabulary::train_random(42), 5)
+                .is_none()
+        );
     }
 
     #[test]
@@ -258,7 +286,9 @@ mod tests {
             db.add(kf.id.0, kf.bow.clone());
         }
         let kf_a = map_a.keyframes.values().next().unwrap();
-        if let Some(region) = detect_common_region(kf_a, &map_a, &map_b, &db, &vocabulary::train_random(42), 5) {
+        if let Some(region) =
+            detect_common_region(kf_a, &map_a, &map_b, &db, &vocabulary::train_random(42), 5)
+        {
             let mut good = 0;
             for (a, b) in &region.point_pairs {
                 let pa = map_a.mappoints[a].position;
@@ -280,6 +310,9 @@ mod tests {
         let empty = Map::new(ClientId(2));
         let db = KeyframeDatabase::new();
         let kf_a = map_a.keyframes.values().next().unwrap();
-        assert!(detect_common_region(kf_a, &map_a, &empty, &db, &vocabulary::train_random(42), 5).is_none());
+        assert!(
+            detect_common_region(kf_a, &map_a, &empty, &db, &vocabulary::train_random(42), 5)
+                .is_none()
+        );
     }
 }

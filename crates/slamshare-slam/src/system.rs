@@ -39,11 +39,17 @@ pub struct SlamConfig {
 
 impl SlamConfig {
     pub fn mono(rig: StereoRig) -> SlamConfig {
-        SlamConfig { tracker: TrackerConfig::mono(rig), mapping: MappingConfig::default() }
+        SlamConfig {
+            tracker: TrackerConfig::mono(rig),
+            mapping: MappingConfig::default(),
+        }
     }
 
     pub fn stereo(rig: StereoRig) -> SlamConfig {
-        SlamConfig { tracker: TrackerConfig::stereo(rig), mapping: MappingConfig::default() }
+        SlamConfig {
+            tracker: TrackerConfig::stereo(rig),
+            mapping: MappingConfig::default(),
+        }
     }
 }
 
@@ -153,12 +159,16 @@ impl SlamSystem {
         );
         let mut keyframe_inserted = false;
         if !obs.lost && obs.keyframe_requested {
-            let report = self.mapper.insert_keyframe(&mut self.map, &self.vocab, &obs);
-            self.tracker.note_keyframe(obs.n_tracked + report.n_new_points);
+            let report = self
+                .mapper
+                .insert_keyframe(&mut self.map, &self.vocab, &obs);
+            self.tracker
+                .note_keyframe(obs.n_tracked + report.n_new_points);
             keyframe_inserted = true;
         }
         if !obs.lost {
-            self.trajectory.push((input.timestamp, obs.pose_cw.camera_center()));
+            self.trajectory
+                .push((input.timestamp, obs.pose_cw.camera_center()));
             self.frame_poses.push((input.timestamp, obs.pose_cw));
         }
         StepResult {
@@ -197,15 +207,21 @@ impl SlamSystem {
             n_tracked: 0,
             lost: false,
             keyframe_requested: true,
-            timings: StageTimings { orb_extract_ms: extract_ms, ..Default::default() },
+            timings: StageTimings {
+                orb_extract_ms: extract_ms,
+                ..Default::default()
+            },
         };
-        let report = self.mapper.insert_keyframe(&mut self.map, &self.vocab, &obs);
+        let report = self
+            .mapper
+            .insert_keyframe(&mut self.map, &self.vocab, &obs);
         let ok = report.n_new_points >= 50;
         if ok {
             self.bootstrapped = true;
             self.tracker.reset_motion(pose0);
             self.tracker.note_keyframe(report.n_new_points);
-            self.trajectory.push((input.timestamp, pose0.camera_center()));
+            self.trajectory
+                .push((input.timestamp, pose0.camera_center()));
             self.frame_poses.push((input.timestamp, pose0));
         } else {
             // Not enough structure: drop the keyframe and retry next frame.
@@ -236,7 +252,10 @@ impl SlamSystem {
             n_tracked: 0,
             lost: false,
             keyframe_requested: true,
-            timings: StageTimings { orb_extract_ms: extract_ms, ..Default::default() },
+            timings: StageTimings {
+                orb_extract_ms: extract_ms,
+                ..Default::default()
+            },
         };
 
         let Some(init) = &self.mono_init else {
@@ -254,7 +273,10 @@ impl SlamSystem {
                 tracked: false,
                 keyframe_inserted: false,
                 n_matches: 0,
-                timings: StageTimings { orb_extract_ms: extract_ms, ..Default::default() },
+                timings: StageTimings {
+                    orb_extract_ms: extract_ms,
+                    ..Default::default()
+                },
             };
         };
         let init_timestamp = init.timestamp;
@@ -272,7 +294,11 @@ impl SlamSystem {
                 // Zero initial velocity assumption; adequate for the short
                 // bootstrap window and corrected by BA afterwards.
                 let pos = t_wc0.trans + t_wc0.rot.rotate(pre.d_pos);
-                SE3 { rot: rot_wb, trans: pos }.inverse()
+                SE3 {
+                    rot: rot_wb,
+                    trans: pos,
+                }
+                .inverse()
             }
         };
         // Require enough baseline for stable triangulation (parallax at a
@@ -295,7 +321,10 @@ impl SlamSystem {
                 tracked: false,
                 keyframe_inserted: false,
                 n_matches: 0,
-                timings: StageTimings { orb_extract_ms: extract_ms, ..Default::default() },
+                timings: StageTimings {
+                    orb_extract_ms: extract_ms,
+                    ..Default::default()
+                },
             };
         }
 
@@ -306,15 +335,20 @@ impl SlamSystem {
         obs1.pose_cw = pose1;
         let timings = obs1.timings;
 
-        self.mapper.insert_keyframe(&mut self.map, &self.vocab, &obs0);
-        let report = self.mapper.insert_keyframe(&mut self.map, &self.vocab, &obs1);
+        self.mapper
+            .insert_keyframe(&mut self.map, &self.vocab, &obs0);
+        let report = self
+            .mapper
+            .insert_keyframe(&mut self.map, &self.vocab, &obs1);
 
         if report.n_new_points >= 40 {
             self.bootstrapped = true;
             self.tracker.reset_motion(pose1);
             self.tracker.note_keyframe(report.n_new_points);
-            self.trajectory.push((init.timestamp, pose0.camera_center()));
-            self.trajectory.push((obs1.timestamp, pose1.camera_center()));
+            self.trajectory
+                .push((init.timestamp, pose0.camera_center()));
+            self.trajectory
+                .push((obs1.timestamp, pose1.camera_center()));
             self.frame_poses.push((init.timestamp, pose0));
             self.frame_poses.push((obs1.timestamp, pose1));
             let _ = init.frame_idx;
@@ -333,7 +367,10 @@ impl SlamSystem {
             self.mono_init = Some(MonoInit {
                 frame_idx: idx,
                 timestamp: obs1.timestamp,
-                obs: FrameObservation { matched: vec![None; obs1.keypoints.len()], ..obs1 },
+                obs: FrameObservation {
+                    matched: vec![None; obs1.keypoints.len()],
+                    ..obs1
+                },
                 pose_hint: input.pose_hint,
             });
             self.imu_buffer.clear();
@@ -358,7 +395,9 @@ mod tests {
 
     fn run_stereo(frames: usize, every: usize) -> (SlamSystem, Dataset) {
         let ds = Dataset::build(
-            DatasetConfig::new(TracePreset::V202).with_frames(frames).with_seed(11),
+            DatasetConfig::new(TracePreset::V202)
+                .with_frames(frames)
+                .with_seed(11),
         );
         let vocab = Arc::new(vocabulary::train_random(42));
         let mut sys = SlamSystem::new(
@@ -371,7 +410,11 @@ mod tests {
         while i < frames {
             let (left, right) = ds.render_stereo_frame(i);
             let t = ds.frame_time(i);
-            let t_prev = if i == 0 { 0.0 } else { ds.frame_time(i - every) };
+            let t_prev = if i == 0 {
+                0.0
+            } else {
+                ds.frame_time(i - every)
+            };
             let imu = ds.imu_between(t_prev, t);
             sys.process_frame(FrameInput {
                 timestamp: t,
@@ -393,7 +436,9 @@ mod tests {
         assert!(sys.map.n_mappoints() > 150);
         assert_eq!(sys.frames_processed(), 12);
         // ATE vs ground truth (SE3 alignment, stereo scale is metric).
-        let gt: Vec<(f64, Vec3)> = (0..12).map(|i| (ds.frame_time(i), ds.gt_position(i))).collect();
+        let gt: Vec<(f64, Vec3)> = (0..12)
+            .map(|i| (ds.frame_time(i), ds.gt_position(i)))
+            .collect();
         let r = eval::ate(&sys.trajectory, &gt, false, 1e-3).expect("ate");
         assert!(r.rmse < 0.10, "stereo ATE {} m over 12 frames", r.rmse);
         assert!(r.n >= 10, "only {} frames tracked", r.n);
@@ -403,7 +448,9 @@ mod tests {
     fn mono_system_bootstraps_with_hints_and_tracks() {
         let frames = 14;
         let ds = Dataset::build(
-            DatasetConfig::new(TracePreset::V202).with_frames(frames).with_seed(13),
+            DatasetConfig::new(TracePreset::V202)
+                .with_frames(frames)
+                .with_seed(13),
         );
         let vocab = Arc::new(vocabulary::train_random(42));
         let mut sys = SlamSystem::new(
@@ -425,8 +472,9 @@ mod tests {
             });
         }
         assert!(sys.is_bootstrapped(), "mono bootstrap failed");
-        let gt: Vec<(f64, Vec3)> =
-            (0..frames).map(|i| (ds.frame_time(i), ds.gt_position(i))).collect();
+        let gt: Vec<(f64, Vec3)> = (0..frames)
+            .map(|i| (ds.frame_time(i), ds.gt_position(i)))
+            .collect();
         let r = eval::ate(&sys.trajectory, &gt, true, 1e-3).expect("ate");
         assert!(r.rmse < 0.15, "mono ATE {} m", r.rmse);
         assert!(r.n >= frames - 4, "only {} frames tracked", r.n);
@@ -502,7 +550,9 @@ mod tests {
         let (sys, _) = run_stereo(4, 1);
         let _ = sys; // timings are asserted per-frame below
         let ds = Dataset::build(
-            DatasetConfig::new(TracePreset::V202).with_frames(3).with_seed(11),
+            DatasetConfig::new(TracePreset::V202)
+                .with_frames(3)
+                .with_seed(11),
         );
         let vocab = Arc::new(vocabulary::train_random(42));
         let mut sys = SlamSystem::new(

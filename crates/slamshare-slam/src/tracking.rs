@@ -66,7 +66,10 @@ impl TrackerConfig {
     }
 
     pub fn stereo(rig: StereoRig) -> TrackerConfig {
-        TrackerConfig { mode: SensorMode::Stereo, ..TrackerConfig::mono(rig) }
+        TrackerConfig {
+            mode: SensorMode::Stereo,
+            ..TrackerConfig::mono(rig)
+        }
     }
 }
 
@@ -126,6 +129,16 @@ pub struct FrameObservation {
     pub timings: StageTimings,
 }
 
+/// The inter-frame state [`Tracker::track`] carries between calls (see
+/// [`Tracker::motion_state`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MotionState {
+    last_pose: Option<SE3>,
+    velocity: SE3,
+    frames_since_kf: usize,
+    ref_matches: usize,
+}
+
 /// The tracking front end for one camera stream.
 pub struct Tracker {
     pub config: TrackerConfig,
@@ -162,6 +175,28 @@ impl Tracker {
         self.velocity = SE3::IDENTITY;
     }
 
+    /// Snapshot the frame-to-frame state that [`Tracker::track`] mutates.
+    /// The server's speculative round pipeline saves this before a
+    /// parallel track and restores it when a frame must be re-tracked
+    /// against a map that changed mid-round, so the redo is bit-identical
+    /// to having tracked once at the right time.
+    pub fn motion_state(&self) -> MotionState {
+        MotionState {
+            last_pose: self.last_pose,
+            velocity: self.velocity,
+            frames_since_kf: self.frames_since_kf,
+            ref_matches: self.ref_matches,
+        }
+    }
+
+    /// Restore state captured by [`Tracker::motion_state`].
+    pub fn restore_motion_state(&mut self, state: MotionState) {
+        self.last_pose = state.last_pose;
+        self.velocity = state.velocity;
+        self.frames_since_kf = state.frames_since_kf;
+        self.ref_matches = state.ref_matches;
+    }
+
     /// Record that a keyframe was inserted with `n_matched` tracked points.
     pub fn note_keyframe(&mut self, n_matched: usize) {
         self.frames_since_kf = 0;
@@ -179,6 +214,14 @@ impl Tracker {
         if self.exec.device.is_gpu() {
             let (f, _, stats) = kernels::gpu_extract(&self.exec, &self.extractor, image);
             (f, stats.modeled_total_ms())
+        } else if self.exec.workers() > 1 {
+            // Data-parallel CPU path: the same cell/describe work items as
+            // the GPU kernel, fanned across host cores. Bit-identical to
+            // the sequential extractor (order-preserving stitch), charged
+            // at real wall time.
+            let t0 = Instant::now();
+            let (f, _, _) = kernels::gpu_extract(&self.exec, &self.extractor, image);
+            (f, t0.elapsed().as_secs_f64() * 1e3)
         } else {
             let t0 = Instant::now();
             let (f, _) = self.extractor.extract(image);
@@ -188,11 +231,7 @@ impl Tracker {
 
     /// Stereo-match left features against right-image features, filling
     /// `right_x`/`depth` on the left keypoints. Returns the match count.
-    pub fn stereo_match(
-        &self,
-        left: &mut ExtractedFeatures,
-        right: &ExtractedFeatures,
-    ) -> usize {
+    pub fn stereo_match(&self, left: &mut ExtractedFeatures, right: &ExtractedFeatures) -> usize {
         let max_disparity = self.config.rig.disparity(0.3); // nothing closer than 30 cm
         let mut n = 0;
         for (i, kp) in left.keypoints.iter_mut().enumerate() {
@@ -228,6 +267,7 @@ impl Tracker {
     /// Track one frame against `map`. `ref_kf` selects the local-map
     /// neighbourhood (defaults to the newest keyframe). `pose_hint`
     /// overrides the constant-velocity prediction (the IMU-assisted path).
+    #[allow(clippy::too_many_arguments)]
     pub fn track(
         &mut self,
         frame_idx: usize,
@@ -251,8 +291,7 @@ impl Tracker {
                 let (right_features, right_ms) = self.extract(right_img);
                 self.stereo_match(&mut features, &right_features);
                 timings.orb_extract_ms += right_ms;
-                timings.orb_match_ms =
-                    t0.elapsed().as_secs_f64() * 1e3 - right_ms;
+                timings.orb_match_ms = t0.elapsed().as_secs_f64() * 1e3 - right_ms;
             }
         }
 
@@ -275,7 +314,9 @@ impl Tracker {
         let mut queries: Vec<ProjectionQuery> = Vec::new();
         let mut query_points: Vec<MapPointId> = Vec::new();
         for mp_id in local_points {
-            let Some(mp) = map.mappoints.get(&mp_id) else { continue };
+            let Some(mp) = map.mappoints.get(&mp_id) else {
+                continue;
+            };
             let q = predicted.transform(mp.position);
             let Some(px) = cam.project_in_image(q, -self.config.search_radius) else {
                 continue;
@@ -300,6 +341,19 @@ impl Tracker {
             // Device-modeled kernel latency + the host-side candidate
             // gathering measured above.
             timings.search_local_ms = stats.modeled_total_ms() + candidate_gather_ms;
+            m
+        } else if self.exec.workers() > 1 {
+            // Data-parallel CPU path (same per-query work items as the
+            // GPU kernel; identical conflict resolution → identical
+            // matches), charged at real wall time.
+            let (m, _) = kernels::gpu_search_local_points(
+                &self.exec,
+                &queries,
+                &positions,
+                &features.descriptors,
+                TH_LOW,
+            );
+            timings.search_local_ms = t1.elapsed().as_secs_f64() * 1e3;
             m
         } else {
             let m =
@@ -334,7 +388,11 @@ impl Tracker {
                 }
             }
             let lost = result.n_inliers < self.config.min_matches;
-            (if lost { predicted } else { result.pose }, result.n_inliers, lost)
+            (
+                if lost { predicted } else { result.pose },
+                result.n_inliers,
+                lost,
+            )
         } else {
             (predicted, obs.len(), true)
         };
@@ -416,12 +474,9 @@ mod tests {
         let mut created = 0;
         for (i, kp) in features.keypoints.iter().enumerate() {
             if kp.has_stereo() {
-                if let Some(p) = crate::triangulate::stereo_point(
-                    &ds.rig,
-                    &pose0,
-                    kp.pt,
-                    kp.right_x,
-                ) {
+                if let Some(p) =
+                    crate::triangulate::stereo_point(&ds.rig, &pose0, kp.pt, kp.right_x)
+                {
                     map.create_mappoint(p, features.descriptors[i], kf_id, i);
                     created += 1;
                 }
@@ -449,8 +504,7 @@ mod tests {
     #[test]
     fn empty_map_reports_lost() {
         let ds = Dataset::build(DatasetConfig::new(TracePreset::V202).with_frames(2));
-        let mut tracker =
-            Tracker::new(TrackerConfig::mono(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let mut tracker = Tracker::new(TrackerConfig::mono(ds.rig), Arc::new(GpuExecutor::cpu()));
         let img = ds.render_frame(0);
         let map = Map::new(ClientId(1));
         let obs = tracker.track(0, 0.0, &img, None, &map, None, None);
@@ -466,7 +520,15 @@ mod tests {
         // model was reset to a bogus pose.
         tracker.reset_motion(SE3::IDENTITY);
         let hint = ds.gt_pose_cw(1);
-        let obs = tracker.track(1, ds.frame_time(1), &left, Some(&right), &map, None, Some(hint));
+        let obs = tracker.track(
+            1,
+            ds.frame_time(1),
+            &left,
+            Some(&right),
+            &map,
+            None,
+            Some(hint),
+        );
         assert!(!obs.lost);
         assert!(obs.pose_cw.center_distance(&hint) < 0.05);
     }
@@ -478,8 +540,7 @@ mod tests {
                 .with_frames(1)
                 .with_seed(2),
         );
-        let tracker =
-            Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let tracker = Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
         let (left, right) = ds.render_stereo_frame(0);
         let (mut features, _) = tracker.extract(&left);
         let (rf, _) = tracker.extract(&right);
@@ -534,10 +595,8 @@ mod tests {
     #[test]
     fn gpu_tracking_matches_cpu_pose() {
         let (map, ds, mut cpu_tracker) = seeded_map_and_dataset();
-        let mut gpu_tracker = Tracker::new(
-            cpu_tracker.config.clone(),
-            Arc::new(GpuExecutor::v100()),
-        );
+        let mut gpu_tracker =
+            Tracker::new(cpu_tracker.config.clone(), Arc::new(GpuExecutor::v100()));
         gpu_tracker.reset_motion(ds.gt_pose_cw(0));
         gpu_tracker.note_keyframe(cpu_tracker.ref_matches);
 
@@ -545,7 +604,10 @@ mod tests {
         let a = cpu_tracker.track(1, ds.frame_time(1), &left, Some(&right), &map, None, None);
         let b = gpu_tracker.track(1, ds.frame_time(1), &left, Some(&right), &map, None, None);
         assert!(!a.lost && !b.lost);
-        assert!(a.pose_cw.center_distance(&b.pose_cw) < 1e-9, "device changed the answer");
+        assert!(
+            a.pose_cw.center_distance(&b.pose_cw) < 1e-9,
+            "device changed the answer"
+        );
         assert_eq!(a.n_tracked, b.n_tracked);
     }
 

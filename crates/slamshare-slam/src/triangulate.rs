@@ -58,12 +58,7 @@ pub fn parallax_angle(t_cw_a: &SE3, t_cw_b: &SE3, p: Vec3) -> f64 {
 }
 
 /// Recover a world point from a stereo observation: left pixel + disparity.
-pub fn stereo_point(
-    rig: &StereoRig,
-    t_cw_left: &SE3,
-    px_left: Vec2,
-    right_x: f64,
-) -> Option<Vec3> {
+pub fn stereo_point(rig: &StereoRig, t_cw_left: &SE3, px_left: Vec2, right_x: f64) -> Option<Vec3> {
     let disparity = px_left.x - right_x;
     let depth = rig.depth_from_disparity(disparity)?;
     if depth < rig.cam.z_near || depth > 1e4 {
@@ -126,7 +121,10 @@ mod tests {
     #[test]
     fn stereo_point_roundtrip() {
         let rig = StereoRig::euroc_like();
-        let pose = SE3::new(Quat::from_axis_angle(Vec3::Y, 0.3), Vec3::new(0.5, 0.0, 1.0));
+        let pose = SE3::new(
+            Quat::from_axis_angle(Vec3::Y, 0.3),
+            Vec3::new(0.5, 0.0, 1.0),
+        );
         let p = pose.inverse().transform(Vec3::new(0.2, 0.1, 4.0));
         let p_cam = pose.transform(p);
         let (px, rx) = rig.project_stereo(p_cam).unwrap();

@@ -16,9 +16,8 @@ fn arb_se3() -> impl Strategy<Value = SE3> {
     )
         .prop_filter_map("nonzero axis", |(axis, angle, t)| {
             let a = Vec3::new(axis.0, axis.1, axis.2);
-            (a.norm() > 1e-3).then(|| {
-                SE3::new(Quat::from_axis_angle(a, angle), Vec3::new(t.0, t.1, t.2))
-            })
+            (a.norm() > 1e-3)
+                .then(|| SE3::new(Quat::from_axis_angle(a, angle), Vec3::new(t.0, t.1, t.2)))
         })
 }
 

@@ -26,8 +26,16 @@ use std::sync::Arc;
 
 fn main() {
     let frames = 40;
-    let ds_a = Dataset::build(DatasetConfig::new(TracePreset::MH04).with_frames(frames).with_seed(1));
-    let ds_b = Dataset::build(DatasetConfig::new(TracePreset::MH05).with_frames(frames).with_seed(2));
+    let ds_a = Dataset::build(
+        DatasetConfig::new(TracePreset::MH04)
+            .with_frames(frames)
+            .with_seed(1),
+    );
+    let ds_b = Dataset::build(
+        DatasetConfig::new(TracePreset::MH05)
+            .with_frames(frames)
+            .with_seed(2),
+    );
     let vocab = Arc::new(vocabulary::train_random(42));
 
     // ---- Phase 1: client A streams to the server; global map forms.
@@ -48,7 +56,10 @@ fn main() {
         );
     }
     let (kfs, mps, bytes) = server.global_map_stats();
-    println!("global map: {kfs} keyframes, {mps} points, {:.1} MB\n", bytes as f64 / 1e6);
+    println!(
+        "global map: {kfs} keyframes, {mps} points, {:.1} MB\n",
+        bytes as f64 / 1e6
+    );
 
     // ---- Phase 2: client B explored OFFLINE, building its own map in its
     // own private coordinates (origin = wherever it powered on).

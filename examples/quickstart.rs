@@ -19,7 +19,11 @@ use std::sync::Arc;
 fn main() {
     let frames = 60;
     println!("building synthetic V202 dataset ({frames} frames)…");
-    let ds = Dataset::build(DatasetConfig::new(TracePreset::V202).with_frames(frames).with_seed(1));
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(frames)
+            .with_seed(1),
+    );
 
     println!("training BoW vocabulary…");
     let vocab = Arc::new(vocabulary::train_on_dataset(&ds, 6, 2));
@@ -38,7 +42,10 @@ fn main() {
             timestamp: ds.frame_time(i),
             left: &left,
             right: Some(&right),
-            imu: ds.imu_between(if i == 0 { 0.0 } else { ds.frame_time(i - 1) }, ds.frame_time(i)),
+            imu: ds.imu_between(
+                if i == 0 { 0.0 } else { ds.frame_time(i - 1) },
+                ds.frame_time(i),
+            ),
             pose_hint: (i == 0).then(|| ds.gt_pose_cw(0)), // gauge anchor
         });
         gt.push((ds.frame_time(i), ds.gt_position(i)));

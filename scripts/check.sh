@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint/format checks. Run from anywhere; operates on the
+# repo root. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q --workspace
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "All checks passed."

@@ -1,0 +1,285 @@
+//! Determinism guarantees of the parallel pipeline (§4.2.1 makes the
+//! same claim for the CUDA kernels): data-parallel CPU extraction is
+//! bit-identical to the sequential extractor, and the server's
+//! concurrent round pipeline reproduces sequential per-client processing
+//! exactly, at any worker count.
+
+use slam_share::core::server::{ClientFrame, EdgeServer, ServerConfig, ServerFrameResult};
+use slam_share::gpu::GpuExecutor;
+use slam_share::net::codec::VideoEncoder;
+use slam_share::sim::dataset::{Dataset, DatasetConfig, TracePreset};
+use slam_share::slam::tracking::{Tracker, TrackerConfig};
+use slam_share::slam::vocabulary;
+use std::sync::Arc;
+
+#[test]
+fn parallel_extraction_is_bit_identical_to_sequential() {
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(3)
+            .with_seed(11),
+    );
+    let sequential = Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+    for workers in [2usize, 3, 8] {
+        let parallel = Tracker::new(
+            TrackerConfig::stereo(ds.rig),
+            Arc::new(GpuExecutor::cpu_with_workers(workers)),
+        );
+        // Several frames so the warm-scratch (reused pyramid) path is
+        // exercised on both sides too.
+        for i in 0..3 {
+            let (left, right) = ds.render_stereo_frame(i);
+            for img in [&left, &right] {
+                let (seq, _) = sequential.extract(img);
+                let (par, _) = parallel.extract(img);
+                assert_eq!(
+                    seq.keypoints, par.keypoints,
+                    "keypoints diverged at frame {i}, {workers} workers"
+                );
+                assert_eq!(
+                    seq.descriptors, par.descriptors,
+                    "descriptors diverged at frame {i}, {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+/// Everything a frame result asserts about SLAM state, with wall-clock
+/// timing fields (which legitimately vary run to run) excluded.
+fn result_key(r: &ServerFrameResult) -> String {
+    format!(
+        "idx={} pose={:?} tracked={} merged={} n_matches={} merge_aligned={:?}",
+        r.frame_idx,
+        r.pose,
+        r.tracked,
+        r.merged,
+        r.n_matches,
+        r.merge
+            .as_ref()
+            .map(|m| (m.report.aligned, m.report.n_fused)),
+    )
+}
+
+struct MultiClientRig {
+    datasets: Vec<Dataset>,
+    encoders: Vec<(VideoEncoder, VideoEncoder)>,
+}
+
+impl MultiClientRig {
+    fn new(n: usize, frames: usize) -> MultiClientRig {
+        let datasets: Vec<Dataset> = (0..n)
+            .map(|c| {
+                Dataset::build(
+                    DatasetConfig::new(TracePreset::V202)
+                        .with_frames(frames)
+                        .with_seed(51 + c as u64),
+                )
+            })
+            .collect();
+        let encoders = (0..n).map(|_| Default::default()).collect();
+        MultiClientRig { datasets, encoders }
+    }
+
+    fn server(&self) -> EdgeServer {
+        let vocab = Arc::new(vocabulary::train_random(42));
+        let mut server = EdgeServer::new(ServerConfig::stereo_default(self.datasets[0].rig), vocab);
+        for c in 0..self.datasets.len() {
+            server.register_client(c as u16 + 1);
+        }
+        server
+    }
+
+    /// Encode frame `i` for every client (codec state advances — call
+    /// once per frame, in order).
+    fn encode_tick(&mut self, i: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.datasets
+            .iter()
+            .zip(self.encoders.iter_mut())
+            .map(|(ds, (el, er))| {
+                let (l, r) = ds.render_stereo_frame(i);
+                (el.encode(&l).data.to_vec(), er.encode(&r).data.to_vec())
+            })
+            .collect()
+    }
+}
+
+fn run_rounds(server: &EdgeServer, rig: &mut MultiClientRig, frames: usize) -> Vec<String> {
+    let mut keys = Vec::new();
+    for i in 0..frames {
+        let payloads = rig.encode_tick(i);
+        let batch: Vec<ClientFrame> = payloads
+            .iter()
+            .enumerate()
+            .map(|(c, (l, r))| ClientFrame {
+                client: c as u16 + 1,
+                frame_idx: i,
+                timestamp: rig.datasets[c].frame_time(i),
+                left: l,
+                right: Some(r),
+                imu: &[],
+                pose_hint: (c == 0 && i == 0).then(|| rig.datasets[0].gt_pose_cw(0)),
+            })
+            .collect();
+        keys.extend(server.process_round(&batch).iter().map(result_key));
+    }
+    keys
+}
+
+#[test]
+fn round_pipeline_matches_sequential_process_video_exactly() {
+    const CLIENTS: usize = 3;
+    const FRAMES: usize = 8;
+
+    // Reference: plain sequential process_video calls, in client order.
+    let mut rig = MultiClientRig::new(CLIENTS, FRAMES);
+    let server = rig.server();
+    let mut sequential_keys = Vec::new();
+    for i in 0..FRAMES {
+        let payloads = rig.encode_tick(i);
+        for (c, (l, r)) in payloads.iter().enumerate() {
+            let res = server.process_video(
+                c as u16 + 1,
+                i,
+                rig.datasets[c].frame_time(i),
+                l,
+                Some(r),
+                &[],
+                (c == 0 && i == 0).then(|| rig.datasets[0].gt_pose_cw(0)),
+            );
+            sequential_keys.push(result_key(&res));
+        }
+    }
+    let sequential_stats = server.global_map_stats();
+    let sequential_merges: Vec<(f64, u16)> = server
+        .merge_log()
+        .iter()
+        .map(|(t, c, _)| (*t, *c))
+        .collect();
+    assert!(
+        sequential_merges.iter().any(|(_, c)| *c == 1),
+        "reference run never merged client 1 — test would be vacuous"
+    );
+
+    // The batched round pipeline must reproduce it exactly, whatever the
+    // worker count.
+    for workers in [1usize, 2, 4] {
+        let mut rig = MultiClientRig::new(CLIENTS, FRAMES);
+        let mut server = rig.server();
+        server.set_round_workers(workers);
+        let keys = run_rounds(&server, &mut rig, FRAMES);
+        assert_eq!(
+            sequential_keys, keys,
+            "round pipeline diverged from sequential at {workers} workers"
+        );
+        assert_eq!(sequential_stats, server.global_map_stats());
+        let merges: Vec<(f64, u16)> = server
+            .merge_log()
+            .iter()
+            .map(|(t, c, _)| (*t, *c))
+            .collect();
+        assert_eq!(sequential_merges, merges);
+    }
+}
+
+#[test]
+fn tracking_reads_run_concurrently_with_a_merge_write() {
+    const FRAMES: usize = 20;
+    let ds_a = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(FRAMES)
+            .with_seed(61),
+    );
+    let ds_b = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(FRAMES)
+            .with_seed(62),
+    );
+    let vocab = Arc::new(vocabulary::train_random(42));
+    let mut config = ServerConfig::stereo_default(ds_a.rig);
+    // Disable the automatic merge trigger: this test drives merges by
+    // hand so the write lands while the other client is tracking.
+    config.merge_after_keyframes = usize::MAX;
+    let mut server = EdgeServer::new(config, vocab);
+    server.register_client(1);
+    server.register_client(2);
+
+    let mut enc_a = (VideoEncoder::default(), VideoEncoder::default());
+    let encoded_a: Vec<(Vec<u8>, Vec<u8>)> = (0..FRAMES)
+        .map(|i| {
+            let (l, r) = ds_a.render_stereo_frame(i);
+            (
+                enc_a.0.encode(&l).data.to_vec(),
+                enc_a.1.encode(&r).data.to_vec(),
+            )
+        })
+        .collect();
+
+    // Client 1 builds a local map, then is merged into the (empty)
+    // global map so its remaining frames track under read locks.
+    for (i, (l, r)) in encoded_a.iter().enumerate().take(10) {
+        server.process_video(
+            1,
+            i,
+            ds_a.frame_time(i),
+            l,
+            Some(r),
+            &[],
+            (i == 0).then(|| ds_a.gt_pose_cw(0)),
+        );
+    }
+    server
+        .merge_client_now(1, ds_a.frame_time(9))
+        .expect("merge into empty global map");
+    assert!(server.is_merged(1));
+
+    // Client 2 builds its own local map (same scene, so a merge can
+    // align it).
+    let mut enc_b = (VideoEncoder::default(), VideoEncoder::default());
+    for i in 0..10 {
+        let (l, r) = ds_b.render_stereo_frame(i);
+        let (l, r) = (
+            enc_b.0.encode(&l).data.to_vec(),
+            enc_b.1.encode(&r).data.to_vec(),
+        );
+        server.process_video(
+            2,
+            i,
+            ds_b.frame_time(i),
+            &l,
+            Some(&r),
+            &[],
+            Some(ds_b.gt_pose_cw(0)).filter(|_| i == 0),
+        );
+    }
+
+    // Concurrently: client 1 tracks (global-map read locks, one per
+    // frame) while client 2's map is merged (a long write-lock section).
+    let server = &server;
+    let tracked = std::thread::scope(|scope| {
+        let reader = scope.spawn(move || {
+            encoded_a
+                .iter()
+                .enumerate()
+                .skip(10)
+                .map(|(i, (l, r))| {
+                    server
+                        .process_video(1, i, ds_a.frame_time(i), l, Some(r), &[], None)
+                        .tracked
+                })
+                .collect::<Vec<bool>>()
+        });
+        let merge = server.merge_client_now(2, ds_b.frame_time(9));
+        let tracked = reader.join().expect("tracking thread panicked");
+        assert!(merge.is_some(), "client 2 failed to merge");
+        tracked
+    });
+    assert!(
+        tracked.iter().all(|&t| t),
+        "client 1 lost tracking during the merge"
+    );
+    assert!(server.is_merged(2));
+
+    let stats = server.store.lock_stats();
+    assert!(stats.read_acquisitions > 0 && stats.write_acquisitions > 0);
+}

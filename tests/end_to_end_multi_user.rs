@@ -45,10 +45,17 @@ fn shared_map_enables_symmetric_participation() {
             .iter()
             .filter(|f| f.client == id && f.est.is_some())
             .count();
-        assert!(tracked >= 3, "client {id} only produced {tracked} estimates");
+        assert!(
+            tracked >= 3,
+            "client {id} only produced {tracked} estimates"
+        );
     }
     let aligned_merges = result.merges.iter().filter(|m| m.aligned).count();
-    assert!(aligned_merges >= 1, "no aligned merges: {:?}", result.merges);
+    assert!(
+        aligned_merges >= 1,
+        "no aligned merges: {:?}",
+        result.merges
+    );
     // Merge latency: the headline < 200 ms claim (generous envelope for
     // debug-profile CI boxes).
     for m in result.merges.iter().filter(|m| m.aligned) {
@@ -57,9 +64,15 @@ fn shared_map_enables_symmetric_participation() {
 
     // Hologram sanity via the perception model: with a good pose estimate
     // the error is bounded by the pose error.
-    let ds = Dataset::build(DatasetConfig::new(TracePreset::MH05).with_frames(frames).with_seed(45));
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::MH05)
+            .with_frames(frames)
+            .with_seed(45),
+    );
     let pose = ds.gt_pose_cw(frames / 2);
-    let h = pose.inverse().transform(slam_share::math::Vec3::new(0.0, 0.0, 2.0));
+    let h = pose
+        .inverse()
+        .transform(slam_share::math::Vec3::new(0.0, 0.0, 2.0));
     let err = perception_error(h, &pose, &pose);
     assert!(err < 1e-9);
     let _unused: SE3 = pose;

@@ -11,7 +11,11 @@ use std::sync::Arc;
 #[test]
 fn camera_to_display_pipeline() {
     let frames = 12;
-    let ds = Dataset::build(DatasetConfig::new(TracePreset::V202).with_frames(frames).with_seed(33));
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(frames)
+            .with_seed(33),
+    );
     let vocab = Arc::new(vocabulary::train_random(42));
     let mut server = EdgeServer::new(ServerConfig::stereo_default(ds.rig), vocab);
     server.register_client(7);
@@ -50,9 +54,15 @@ fn camera_to_display_pipeline() {
         gt.push((t, ds.gt_position(i)));
     }
 
-    assert!(server.is_merged(7), "client map never reached the global map");
+    assert!(
+        server.is_merged(7),
+        "client map never reached the global map"
+    );
     let (kfs, mps, _) = server.global_map_stats();
-    assert!(kfs >= 3 && mps > 200, "global map too thin: {kfs} KFs / {mps} MPs");
+    assert!(
+        kfs >= 3 && mps > 200,
+        "global map too thin: {kfs} KFs / {mps} MPs"
+    );
 
     let ate = eval::ate(&est, &gt, false, 1e-4).expect("ate");
     assert!(ate.rmse < 0.25, "display-path ATE {} m", ate.rmse);

@@ -1,0 +1,115 @@
+// Vendored API-compatible stub — linted like external code (not at all).
+#![allow(clippy::all)]
+//! Vendored stand-in for the subset of `criterion` this workspace uses.
+//! No statistical analysis or HTML reports — each `bench_function` runs
+//! the closure `sample_size` times and prints the mean wall time, which
+//! is enough for the repo's figure-regeneration harnesses.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver configuration + runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        let n = bencher.samples.len().max(1);
+        let mean = bencher.samples.iter().sum::<Duration>() / n as u32;
+        println!(
+            "bench {id:<56} {:>12.3} ms/iter ({n} samples)",
+            mean.as_secs_f64() * 1e3
+        );
+        self
+    }
+}
+
+/// Passed to bench closures; times one measured region per call.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        self.samples.push(t0.elapsed());
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert_eq!(count, 3);
+    }
+}

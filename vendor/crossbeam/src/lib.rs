@@ -1,0 +1,98 @@
+// Vendored API-compatible stub — linted like external code (not at all).
+#![allow(clippy::all)]
+//! Vendored stand-in for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with the crossbeam calling convention
+//! (spawn closures receive `&Scope`, the scope call returns a `Result`
+//! that is `Err` when any child panicked), implemented on top of
+//! `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A handle for spawning scoped threads, mirroring
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives a
+        /// `&Scope` so it can spawn further siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. Returns `Err` if any unjoined child
+    /// panicked (std's scope re-raises those panics; we catch them to
+    /// preserve crossbeam's `Result` contract).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let mut out = vec![0u32; 4];
+        let chunks: Vec<&mut u32> = out.iter_mut().collect();
+        crate::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, slot) in chunks.into_iter().enumerate() {
+                handles.push(s.spawn(move |_| {
+                    *slot = i as u32 + 1;
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn panicking_child_yields_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,185 @@
+// Vendored API-compatible stub — linted like external code (not at all).
+#![allow(clippy::all)]
+//! Vendored stand-in for the subset of `rand` 0.8 this workspace uses:
+//! `Rng::{gen_range, gen_bool}`, `SeedableRng::seed_from_u64`, and
+//! `rngs::StdRng`. The generator is xoshiro256** seeded via SplitMix64 —
+//! deterministic per seed and statistically solid, but the streams do
+//! not match upstream `rand` bit-for-bit (callers here only rely on
+//! seeded determinism, not on specific values).
+
+use std::ops::Range;
+
+/// Minimal core RNG interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling helpers over an [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Convert 64 random bits to a uniform f64 in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Range types that can be sampled uniformly.
+///
+/// Mirrors upstream's single blanket impl `Range<T>: SampleRange<T>` (with
+/// the per-type logic behind [`SampleUniform`]) — the blanket impl is what
+/// lets inference tie `gen_range(0..n)`'s output type to downstream usage
+/// (e.g. slice indexing forcing `usize`).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_uniform(self.start, self.end, rng)
+    }
+}
+
+/// Types with a uniform sampler over a half-open range.
+pub trait SampleUniform: Sized {
+    fn sample_uniform<R: RngCore>(start: Self, end: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start < end, "empty gen_range");
+                let span = (end as i128 - start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start < end, "empty gen_range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            // SplitMix64 expansion, as the xoshiro authors recommend.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3.0f64..5.0);
+            assert!((-3.0..5.0).contains(&v));
+            let i = rng.gen_range(1usize..9);
+            assert!((1..9).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,0 +1,238 @@
+// Vendored API-compatible stub — linted like external code (not at all).
+#![allow(clippy::all)]
+//! Vendored stand-in for the slice of `serde` this workspace uses.
+//!
+//! The real serde is a zero-copy visitor framework; this facade is a
+//! much smaller thing with the same *spelling*: `#[derive(Serialize,
+//! Deserialize)]` plus `serde_json::to_string_pretty`. `Serialize`
+//! converts a value into an owned JSON [`Value`] tree which
+//! `serde_json` renders. `Deserialize` is derived but never invoked
+//! anywhere in the workspace, so it is a marker trait only — calling
+//! code that starts *parsing* JSON will need this facade extended.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON document. Object keys keep insertion order so derived
+/// output matches field declaration order, as serde_json does for
+/// structs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Render this value as a JSON object key (JSON keys must be
+    /// strings; numeric keys become their decimal form, as serde_json
+    /// does for integer map keys).
+    pub fn as_key(&self) -> String {
+        match self {
+            Value::String(s) => s.clone(),
+            Value::Int(n) => n.to_string(),
+            Value::UInt(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Float(x) => x.to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for types whose `Deserialize` derive exists for API parity.
+/// No workspace code path constructs values through it.
+pub trait Deserialize<'de>: Sized {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_ser_signed!(i8, i16, i32, i64, isize);
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self[..].to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self[..].to_value()
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_value().as_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Hash iteration order is nondeterministic; sort keys so output
+        // is stable across runs.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value().as_key(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by_key(|v| format!("{v:?}"));
+        Value::Array(items)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containers_nest() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, vec![1.5f64, 2.0]);
+        let v = m.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![(
+                "3".to_string(),
+                Value::Array(vec![Value::Float(1.5), Value::Float(2.0)])
+            )])
+        );
+    }
+
+    #[test]
+    fn option_maps_to_null() {
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(Some(7u8).to_value(), Value::UInt(7));
+    }
+}

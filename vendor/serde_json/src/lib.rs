@@ -1,0 +1,171 @@
+// Vendored API-compatible stub — linted like external code (not at all).
+#![allow(clippy::all)]
+//! Vendored stand-in for the `serde_json` surface this workspace uses:
+//! `to_string` / `to_string_pretty` over the serde facade's [`Value`]
+//! tree. Output matches serde_json's formatting conventions (2-space
+//! pretty indent, `1.0` for whole floats, non-finite floats as `null`).
+
+use std::fmt;
+
+use serde::Serialize;
+pub use serde::Value;
+
+/// Serialization error. The facade's value tree is always renderable,
+/// so this is never produced — it exists for signature parity.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => write_float(out, *x),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            |out, item, indent, depth| {
+                write_value(out, item, indent, depth);
+            },
+            '[',
+            ']',
+        ),
+        Value::Object(pairs) => write_seq(
+            out,
+            pairs.iter(),
+            pairs.len(),
+            indent,
+            depth,
+            |out, (k, val), indent, depth| {
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth);
+            },
+            '{',
+            '}',
+        ),
+    }
+}
+
+fn write_seq<I, T>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+    open: char,
+    close: char,
+) where
+    I: Iterator<Item = T>,
+{
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // serde_json refuses non-finite floats; rendering null keeps
+        // output loadable without plumbing an error path.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e16 {
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::UInt(1)),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Float(1.0), Value::Float(0.25)]),
+            ),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    1.0,\n    0.25\n  ]\n}");
+    }
+
+    #[test]
+    fn compact_output() {
+        let v = vec![Some(3u32), None];
+        assert_eq!(to_string(&v).unwrap(), "[3,null]");
+    }
+
+    #[test]
+    fn strings_escaped() {
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+    }
+}
