@@ -71,9 +71,9 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig10/map_merge_shared_memory", |b| {
         b.iter(|| {
             let mut gmap = Map::new(ClientId(0));
-            let mut db = slamshare_features::bow::KeyframeDatabase::new();
-            map_merge(&mut gmap, gsrc.clone(), &mut db, &vocab, &ds.rig.cam, false);
-            map_merge(&mut gmap, cmap.clone(), &mut db, &vocab, &ds.rig.cam, false)
+            let db = slamshare_slam::recognition::ShardedKeyframeDatabase::new();
+            map_merge(&mut gmap, gsrc.clone(), &db, &vocab, &ds.rig.cam, false);
+            map_merge(&mut gmap, cmap.clone(), &db, &vocab, &ds.rig.cam, false)
         })
     });
 }

@@ -1,0 +1,395 @@
+//! Bench (extension): the commit stage off the critical path — parallel
+//! local BA, the async merge worker, and what they do to per-frame
+//! commit latency (the serialized half of the round pipeline measured by
+//! `tracking_throughput`).
+//!
+//! Writes `results/BENCH_mapping.json` with three sections:
+//!
+//! * `ba` — local-BA wall time vs worker count on one real map, with a
+//!   bit-identity check against the sequential pass and a modeled
+//!   4-worker speedup from the measured parallel fraction;
+//! * `commit` — commit-stage p50/p95/max per frame for three server
+//!   configurations (sequential BA + inline merge, parallel BA + inline
+//!   merge, parallel BA + async merge worker). With the worker on, the
+//!   merge contributes nothing to the commit block by construction;
+//! * `merge` — merge latencies as the client sees them (inline) vs as
+//!   the worker measures them (async), cross-checked against the
+//!   Table 4 reference in `results/table4_merge_latency.json`.
+
+use bench::{bench_effort, results_dir, save_json};
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use slamshare_core::metrics::MergeWorkerSnapshot;
+use slamshare_core::server::{ClientFrame, EdgeServer, ServerConfig};
+use slamshare_gpu::GpuExecutor;
+use slamshare_net::codec::VideoEncoder;
+use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
+use slamshare_slam::ids::ClientId;
+use slamshare_slam::map::Map;
+use slamshare_slam::optimize::{local_bundle_adjust_with, BaScratch};
+use slamshare_slam::system::{FrameInput, SlamConfig, SlamSystem};
+use slamshare_slam::vocabulary;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BaRow {
+    workers: usize,
+    wall_ms: f64,
+    pose_pass_ms: f64,
+    point_pass_ms: f64,
+    speedup_vs_1_worker: f64,
+    /// Map after BA is bit-identical to the 1-worker result.
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct BaSection {
+    n_keyframes: usize,
+    n_points: usize,
+    /// Share of BA wall time in the data-parallel passes (1-worker run).
+    parallel_fraction: f64,
+    /// Amdahl speedup of the whole BA at 4 workers given that fraction.
+    modeled_speedup_4_workers: f64,
+    rows: Vec<BaRow>,
+}
+
+#[derive(Serialize)]
+struct CommitRow {
+    config: &'static str,
+    ba_workers: usize,
+    async_merge: bool,
+    /// Commit-block percentiles over frames that inserted a keyframe
+    /// (mapping + any inline merge the commit had to wait for).
+    p50_commit_ms: f64,
+    p95_commit_ms: f64,
+    max_commit_ms: f64,
+    /// Largest single merge stall on the commit path. Zero when the
+    /// worker handles merges — commits never wait on DetectCommonRegion.
+    max_merge_block_ms: f64,
+    merges: usize,
+}
+
+#[derive(Serialize)]
+struct MergeSection {
+    /// Inline merge latency as the committing frame saw it (sync runs).
+    inline_mean_ms: f64,
+    /// The async worker's own counters and latency percentiles.
+    worker: Option<MergeWorkerSnapshot>,
+    /// `s_merge` from Table 4, for cross-checking the worker latencies
+    /// against the paper-reproduction experiment (absent until that
+    /// bench has run).
+    table4_reference_ms: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct BenchMapping {
+    host_cores: usize,
+    frames_per_client: usize,
+    ba: BaSection,
+    commit: Vec<CommitRow>,
+    merge: MergeSection,
+}
+
+/// Full-precision map digest (Debug f64 round-trips exactly).
+fn fingerprint(map: &Map) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for (id, kf) in &map.keyframes {
+        writeln!(s, "kf {id:?} {:?}", kf.pose_cw).unwrap();
+    }
+    for (id, mp) in &map.mappoints {
+        writeln!(s, "mp {id:?} {:?}", mp.position).unwrap();
+    }
+    s
+}
+
+/// Build one real single-client map so BA has covisibility to chew on.
+fn build_map(frames: usize) -> (Dataset, Map) {
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(frames)
+            .with_seed(71),
+    );
+    let mut system = SlamSystem::new(
+        ClientId(1),
+        SlamConfig::stereo(ds.rig),
+        Arc::new(vocabulary::train_random(42)),
+        Arc::new(GpuExecutor::cpu()),
+    );
+    for i in 0..frames {
+        let (l, r) = ds.render_stereo_frame(i);
+        system.process_frame(FrameInput {
+            timestamp: ds.frame_time(i),
+            left: &l,
+            right: Some(&r),
+            imu: &[],
+            pose_hint: (i == 0).then(|| ds.gt_pose_cw(0)),
+        });
+    }
+    let map = system.map.clone();
+    (ds, map)
+}
+
+fn ba_sweep(ds: &Dataset, base: &Map) -> BaSection {
+    let center = base.latest_keyframe().expect("map has keyframes").id;
+    let mut rows = Vec::new();
+    let mut reference: Option<(String, f64)> = None; // (fingerprint, wall_ms)
+    let mut parallel_fraction = 0.0;
+    let mut stats_kf = 0;
+    let mut stats_pts = 0;
+    for workers in [1usize, 2, 4] {
+        let mut map = base.clone();
+        let exec = GpuExecutor::cpu_with_workers(workers);
+        let mut scratch = BaScratch::default();
+        let t0 = Instant::now();
+        let stats =
+            local_bundle_adjust_with(&mut map, &ds.rig.cam, center, 6, 3, &exec, &mut scratch);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let fp = fingerprint(&map);
+        let (ref_fp, ref_ms) = reference.get_or_insert_with(|| (fp.clone(), wall_ms));
+        if workers == 1 {
+            parallel_fraction = ((stats.pose_ms + stats.point_ms) / stats.total_ms).clamp(0.0, 1.0);
+            stats_kf = stats.n_keyframes;
+            stats_pts = stats.n_points;
+        }
+        rows.push(BaRow {
+            workers,
+            wall_ms,
+            pose_pass_ms: stats.pose_ms,
+            point_pass_ms: stats.point_ms,
+            speedup_vs_1_worker: *ref_ms / wall_ms,
+            bit_identical: fp == *ref_fp,
+        });
+    }
+    let f = parallel_fraction;
+    BaSection {
+        n_keyframes: stats_kf,
+        n_points: stats_pts,
+        parallel_fraction: f,
+        modeled_speedup_4_workers: 1.0 / ((1.0 - f) + f / 4.0),
+        rows,
+    }
+}
+
+struct Workload {
+    datasets: Vec<Dataset>,
+    encoders: Vec<(VideoEncoder, VideoEncoder)>,
+}
+
+impl Workload {
+    fn new(clients: usize, frames: usize) -> Workload {
+        let datasets = (0..clients)
+            .map(|c| {
+                Dataset::build(
+                    DatasetConfig::new(TracePreset::V202)
+                        .with_frames(frames)
+                        .with_seed(81 + c as u64),
+                )
+            })
+            .collect();
+        let encoders = (0..clients).map(|_| Default::default()).collect();
+        Workload { datasets, encoders }
+    }
+}
+
+/// One multi-client run; returns the per-keyframe commit blocks, the
+/// inline merge stalls, and the count of merges that landed.
+fn run_commit_config(
+    config_name: &'static str,
+    ba_workers: usize,
+    async_merge: bool,
+    frames: usize,
+) -> (CommitRow, Vec<f64>, Option<MergeWorkerSnapshot>) {
+    const CLIENTS: usize = 2;
+    let mut load = Workload::new(CLIENTS, frames);
+    let vocab = Arc::new(vocabulary::train_random(42));
+    let mut config = ServerConfig::stereo_default(load.datasets[0].rig);
+    config.slam.mapping.ba_workers = ba_workers;
+    config.async_merge = async_merge;
+    let mut server = EdgeServer::new(config, vocab);
+    for c in 0..CLIENTS {
+        server.register_client(c as u16 + 1);
+    }
+    server.set_round_workers(CLIENTS);
+
+    let mut commit_ms = Vec::new();
+    let mut merge_stalls = Vec::new();
+    let mut merges = 0usize;
+    for i in 0..frames {
+        let payloads: Vec<(Vec<u8>, Vec<u8>)> = load
+            .datasets
+            .iter()
+            .zip(load.encoders.iter_mut())
+            .map(|(ds, (el, er))| {
+                let (l, r) = ds.render_stereo_frame(i);
+                (el.encode(&l).data.to_vec(), er.encode(&r).data.to_vec())
+            })
+            .collect();
+        let batch: Vec<ClientFrame> = payloads
+            .iter()
+            .enumerate()
+            .map(|(c, (l, r))| ClientFrame {
+                client: c as u16 + 1,
+                frame_idx: i,
+                timestamp: load.datasets[c].frame_time(i),
+                left: l,
+                right: Some(r),
+                imu: &[],
+                pose_hint: (c == 0 && i == 0).then(|| load.datasets[0].gt_pose_cw(0)),
+            })
+            .collect();
+        for r in server.process_round(&batch) {
+            // The merge blocks the commit only on the inline path; the
+            // worker plans it on its own thread.
+            let inline_merge = if async_merge {
+                0.0
+            } else {
+                r.merge.as_ref().map(|m| m.merge_ms).unwrap_or(0.0)
+            };
+            if r.merge.is_some() {
+                merges += 1;
+                if !async_merge {
+                    merge_stalls.push(inline_merge);
+                }
+            }
+            if r.mapping_ms > 0.0 || inline_merge > 0.0 {
+                commit_ms.push(r.mapping_ms + inline_merge);
+            }
+        }
+    }
+    // Let any in-flight merge land and be collected so the counters and
+    // the sync/async runs cover the same work.
+    server.wait_merge_idle();
+    let worker = server.merge_worker_stats();
+
+    let mut sorted = commit_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[((sorted.len() as f64 - 1.0) * p).round() as usize]
+        }
+    };
+    let row = CommitRow {
+        config: config_name,
+        ba_workers,
+        async_merge,
+        p50_commit_ms: pct(0.50),
+        p95_commit_ms: pct(0.95),
+        max_commit_ms: pct(1.0),
+        max_merge_block_ms: merge_stalls.iter().copied().fold(0.0, f64::max),
+        merges,
+    };
+    (row, merge_stalls, worker)
+}
+
+fn table4_reference() -> Option<f64> {
+    // The vendored serde_json is serialize-only; the file is flat JSON,
+    // so scan for the one number we need.
+    let text = std::fs::read_to_string(results_dir().join("table4_merge_latency.json")).ok()?;
+    let rest = &text[text.find("\"s_merge\"")?..];
+    let tail = rest[rest.find(':')? + 1..].trim_start();
+    let end = tail
+        .find(|ch: char| !(ch.is_ascii_digit() || "+-.eE".contains(ch)))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn bench(c: &mut Criterion) {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let frames = bench_effort().frames(40).clamp(12, 40);
+
+    let (ds, base) = build_map(frames.min(16));
+    let ba = ba_sweep(&ds, &base);
+    for row in &ba.rows {
+        println!(
+            "ba workers={}: {:.2} ms wall (pose {:.2} + point {:.2}), {:.2}x, identical={}",
+            row.workers,
+            row.wall_ms,
+            row.pose_pass_ms,
+            row.point_pass_ms,
+            row.speedup_vs_1_worker,
+            row.bit_identical,
+        );
+    }
+    println!(
+        "ba parallel fraction {:.2} -> modeled {:.2}x at 4 workers",
+        ba.parallel_fraction, ba.modeled_speedup_4_workers
+    );
+
+    let mut commit = Vec::new();
+    let mut inline_stalls = Vec::new();
+    let mut worker_snapshot = None;
+    for (name, ba_workers, async_merge) in [
+        ("sequential_ba_inline_merge", 1usize, false),
+        ("parallel_ba_inline_merge", 0, false),
+        ("parallel_ba_async_merge", 0, true),
+    ] {
+        let (row, stalls, worker) = run_commit_config(name, ba_workers, async_merge, frames);
+        println!(
+            "commit [{name}]: p50 {:.2} ms, p95 {:.2} ms, max {:.2} ms, \
+             worst merge stall {:.2} ms, {} merge(s)",
+            row.p50_commit_ms,
+            row.p95_commit_ms,
+            row.max_commit_ms,
+            row.max_merge_block_ms,
+            row.merges,
+        );
+        commit.push(row);
+        inline_stalls.extend(stalls);
+        if let Some(w) = worker {
+            worker_snapshot = Some(w);
+        }
+    }
+
+    let merge = MergeSection {
+        inline_mean_ms: if inline_stalls.is_empty() {
+            0.0
+        } else {
+            inline_stalls.iter().sum::<f64>() / inline_stalls.len() as f64
+        },
+        worker: worker_snapshot,
+        table4_reference_ms: table4_reference(),
+    };
+
+    save_json(
+        "BENCH_mapping",
+        &BenchMapping {
+            host_cores,
+            frames_per_client: frames,
+            ba,
+            commit,
+            merge,
+        },
+    );
+
+    // Kernel: one local-BA invocation, sequential vs parallel passes.
+    let center = base.latest_keyframe().expect("map has keyframes").id;
+    let seq_exec = GpuExecutor::cpu_with_workers(1);
+    let par_exec = GpuExecutor::cpu_with_workers(host_cores.min(4));
+    c.bench_function("mapping/local_ba_sequential", |b| {
+        let mut scratch = BaScratch::default();
+        b.iter(|| {
+            let mut m = base.clone();
+            local_bundle_adjust_with(&mut m, &ds.rig.cam, center, 6, 3, &seq_exec, &mut scratch)
+        })
+    });
+    c.bench_function("mapping/local_ba_parallel", |b| {
+        let mut scratch = BaScratch::default();
+        b.iter(|| {
+            let mut m = base.clone();
+            local_bundle_adjust_with(&mut m, &ds.rig.cam, center, 6, 3, &par_exec, &mut scratch)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

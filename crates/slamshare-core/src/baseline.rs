@@ -15,7 +15,7 @@
 //! virtual-time channel — which is exactly what Table 4 itemizes.
 
 use crate::metrics::{BandwidthAccounting, CpuAccounting};
-use slamshare_features::bow::{KeyframeDatabase, Vocabulary};
+use slamshare_features::bow::Vocabulary;
 use slamshare_features::GrayImage;
 use slamshare_gpu::GpuExecutor;
 use slamshare_math::Sim3;
@@ -27,6 +27,7 @@ use slamshare_sim::imu::ImuSample;
 use slamshare_slam::ids::ClientId;
 use slamshare_slam::map::{transform_pose_cw, Map};
 use slamshare_slam::merge::{map_merge, MergeReport};
+use slamshare_slam::recognition::ShardedKeyframeDatabase;
 use slamshare_slam::system::{FrameInput, SlamConfig, SlamSystem};
 use std::sync::Arc;
 use std::time::Instant;
@@ -86,7 +87,7 @@ impl BaselineRoundLatency {
 /// clients do that themselves).
 pub struct BaselineServer {
     pub map: Map,
-    pub db: KeyframeDatabase,
+    pub db: ShardedKeyframeDatabase,
     pub vocab: Arc<Vocabulary>,
     cam: slamshare_sim::camera::PinholeCamera,
     with_scale: bool,
@@ -100,7 +101,7 @@ impl BaselineServer {
     ) -> BaselineServer {
         BaselineServer {
             map: Map::new(ClientId(0)),
-            db: KeyframeDatabase::new(),
+            db: ShardedKeyframeDatabase::new(),
             vocab,
             cam,
             with_scale,
@@ -123,7 +124,7 @@ impl BaselineServer {
         let report = map_merge(
             &mut self.map,
             cmap,
-            &mut self.db,
+            &self.db,
             &self.vocab,
             &self.cam,
             self.with_scale,

@@ -25,6 +25,7 @@ pub mod baseline;
 pub mod client;
 pub mod experiments;
 pub mod hologram;
+pub mod merge_worker;
 pub mod metrics;
 pub mod server;
 pub mod session;

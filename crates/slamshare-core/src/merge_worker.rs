@@ -1,0 +1,270 @@
+//! The asynchronous merge process M.
+//!
+//! SLAM-Share's merges "occur asynchronously, whenever a client observes
+//! something that matches the global map" (§4.1) — but until now the
+//! server ran `try_map_merge` inline in the commit stage, stalling every
+//! client's commits behind DetectCommonRegion + RANSAC + the weld BA.
+//! This module moves the expensive half off the commit path:
+//!
+//! 1. the commit stage **submits** a clone of the client's local map and
+//!    returns immediately;
+//! 2. the worker thread snapshots the global map (with its epoch) under a
+//!    read lock and runs [`plan_merge`] — the read-only detect/align half
+//!    — entirely off-lock, querying the *live* sharded BoW index;
+//! 3. the worker applies the plan under the write lock **only if the
+//!    epoch is unchanged**; a concurrent commit bumps the epoch and the
+//!    worker re-plans against a fresh snapshot (optimistic concurrency).
+//!    After [`MAX_OPTIMISTIC_ATTEMPTS`] losses it degrades to one
+//!    pessimistic plan+apply inside the write lock, which cannot lose;
+//! 4. the client's next commit **collects** the completion: keyframes and
+//!    points it created after the snapshot (the delta) are transformed,
+//!    remapped across the worker's point fusions and absorbed, and the
+//!    process switches to shared-map tracking.
+//!
+//! Commits therefore never block on merge detection; they only ever wait
+//! for the short apply section, which the epoch check keeps honest.
+
+use crate::metrics::MergeWorkerStats;
+use crate::server::GlobalMapState;
+use parking_lot::Mutex;
+use slamshare_features::bow::Vocabulary;
+use slamshare_shm::{Segment, SharedStore};
+use slamshare_sim::camera::PinholeCamera;
+use slamshare_slam::ids::{KeyFrameId, MapPointId};
+use slamshare_slam::map::Map;
+use slamshare_slam::merge::{apply_merge_plan, plan_merge, MergeReport};
+use slamshare_slam::recognition::ShardedKeyframeDatabase;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Optimistic apply attempts before degrading to a pessimistic merge
+/// under the write lock.
+pub const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
+
+/// A merge request: the client's local map as of submission time.
+pub struct MergeJob {
+    pub client: u16,
+    pub timestamp: f64,
+    pub cmap: Map,
+}
+
+/// What the worker hands back to the client's commit path.
+pub struct MergeCompletion {
+    pub client: u16,
+    pub timestamp: f64,
+    /// `None` when no common region was found — the client keeps its
+    /// local map and retries once coverage grows.
+    pub applied: Option<AppliedMerge>,
+}
+
+/// A merge the worker landed in the global map.
+pub struct AppliedMerge {
+    pub report: MergeReport,
+    /// Snapshot → applied wall time, ms.
+    pub merge_ms: f64,
+    /// Keyframe ids of the submitted snapshot (now in the global map).
+    /// The client's live map minus these is the post-snapshot delta.
+    pub absorbed_kfs: BTreeSet<KeyFrameId>,
+    /// Map-point ids of the submitted snapshot.
+    pub absorbed_mps: BTreeSet<MapPointId>,
+    /// Client points fused away during the weld → the surviving global
+    /// point, for remapping delta observations.
+    pub fused: HashMap<MapPointId, MapPointId>,
+}
+
+#[derive(Default)]
+struct Desk {
+    /// Clients with a job queued or running.
+    in_flight: HashSet<u16>,
+    /// Finished jobs awaiting collection by the client's commit path.
+    done: HashMap<u16, MergeCompletion>,
+}
+
+/// Everything the worker thread needs to plan and apply merges.
+pub(crate) struct MergeContext {
+    pub store: Arc<SharedStore<GlobalMapState>>,
+    pub segment: Arc<Segment>,
+    pub db: Arc<ShardedKeyframeDatabase>,
+    pub vocab: Arc<Vocabulary>,
+    pub cam: PinholeCamera,
+    pub with_scale: bool,
+}
+
+/// Handle to the background merge thread. Dropping it closes the job
+/// channel and joins the thread.
+pub struct MergeWorker {
+    tx: Option<mpsc::Sender<MergeJob>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    desk: Arc<Mutex<Desk>>,
+    stats: Arc<MergeWorkerStats>,
+}
+
+impl MergeWorker {
+    pub(crate) fn spawn(ctx: MergeContext) -> MergeWorker {
+        let (tx, rx) = mpsc::channel::<MergeJob>();
+        let desk = Arc::new(Mutex::new(Desk::default()));
+        let stats = Arc::new(MergeWorkerStats::default());
+        let worker_desk = desk.clone();
+        let worker_stats = stats.clone();
+        let handle = std::thread::Builder::new()
+            .name("slam-share-merge".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let client = job.client;
+                    let completion = run_job(&ctx, &worker_stats, job);
+                    let mut desk = worker_desk.lock();
+                    desk.done.insert(client, completion);
+                    desk.in_flight.remove(&client);
+                }
+            })
+            .expect("spawn merge worker");
+        MergeWorker {
+            tx: Some(tx),
+            handle: Some(handle),
+            desk,
+            stats,
+        }
+    }
+
+    /// Queue a merge job unless one for this client is already in flight
+    /// or awaiting collection. Returns whether the job was accepted.
+    pub fn submit(&self, job: MergeJob) -> bool {
+        {
+            let mut desk = self.desk.lock();
+            if desk.in_flight.contains(&job.client) || desk.done.contains_key(&job.client) {
+                return false;
+            }
+            desk.in_flight.insert(job.client);
+        }
+        self.stats.record_submitted();
+        self.tx
+            .as_ref()
+            .expect("worker channel open while not dropping")
+            .send(job)
+            .is_ok()
+    }
+
+    /// Collect a finished merge for `client`, if any.
+    pub fn take_completion(&self, client: u16) -> Option<MergeCompletion> {
+        self.desk.lock().done.remove(&client)
+    }
+
+    /// Whether the worker's queue is fully drained (completions may still
+    /// await collection).
+    pub fn is_idle(&self) -> bool {
+        self.desk.lock().in_flight.is_empty()
+    }
+
+    pub fn stats(&self) -> &MergeWorkerStats {
+        &self.stats
+    }
+}
+
+impl Drop for MergeWorker {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker loop after the current job.
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One merge job: optimistic snapshot/plan/apply with epoch retries, then
+/// a pessimistic in-lock fallback.
+fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> MergeCompletion {
+    let t0 = Instant::now();
+    let absorbed_kfs: BTreeSet<KeyFrameId> = job.cmap.keyframes.keys().copied().collect();
+    let absorbed_mps: BTreeSet<MapPointId> = job.cmap.mappoints.keys().copied().collect();
+    let completion = |applied: Option<AppliedMerge>| MergeCompletion {
+        client: job.client,
+        timestamp: job.timestamp,
+        applied,
+    };
+
+    for attempt in 1..=MAX_OPTIMISTIC_ATTEMPTS {
+        // Snapshot the global map with its epoch; plan entirely off-lock.
+        // The live sharded BoW index may run ahead of the snapshot —
+        // plan_merge skips candidates the snapshot doesn't hold yet.
+        let (gsnap, epoch0) = ctx.store.with_read(|s| (s.map.clone(), s.epoch));
+        let plan = plan_merge(&gsnap, &job.cmap, &ctx.db, &ctx.vocab, ctx.with_scale);
+        drop(gsnap);
+        if !plan.viable() {
+            stats.record_no_region();
+            return completion(None);
+        }
+
+        // Optimistic apply: valid only if nothing wrote since the
+        // snapshot. A commit in between bumped the epoch — abort, and
+        // re-plan against the new map.
+        let applied = ctx.store.with_write(
+            &ctx.segment,
+            |s| s.map.approx_bytes(),
+            |state| {
+                if state.epoch != epoch0 {
+                    return None;
+                }
+                let (report, fused) =
+                    apply_merge_plan(&mut state.map, &ctx.db, job.cmap.clone(), &plan, &ctx.cam);
+                state.epoch += 1;
+                Some((report, fused))
+            },
+        );
+        match applied {
+            Some((report, fused)) => {
+                let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
+                stats.record_applied(merge_ms);
+                return completion(Some(AppliedMerge {
+                    report,
+                    merge_ms,
+                    absorbed_kfs,
+                    absorbed_mps,
+                    fused: fused.into_iter().collect(),
+                }));
+            }
+            None => {
+                stats.record_conflict();
+                if attempt == MAX_OPTIMISTIC_ATTEMPTS {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Pessimistic fallback: plan and apply atomically under the write
+    // lock. Commits wait this once, but the outcome cannot be lost to a
+    // race — the same guarantee the old synchronous path had.
+    let result = ctx.store.with_write(
+        &ctx.segment,
+        |s| s.map.approx_bytes(),
+        |state| {
+            let plan = plan_merge(&state.map, &job.cmap, &ctx.db, &ctx.vocab, ctx.with_scale);
+            if !plan.viable() {
+                return None;
+            }
+            let (report, fused) =
+                apply_merge_plan(&mut state.map, &ctx.db, job.cmap.clone(), &plan, &ctx.cam);
+            state.epoch += 1;
+            Some((report, fused))
+        },
+    );
+    match result {
+        Some((report, fused)) => {
+            let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
+            stats.record_fallback();
+            stats.record_applied(merge_ms);
+            completion(Some(AppliedMerge {
+                report,
+                merge_ms,
+                absorbed_kfs,
+                absorbed_mps,
+                fused: fused.into_iter().collect(),
+            }))
+        }
+        None => {
+            stats.record_no_region();
+            completion(None)
+        }
+    }
+}

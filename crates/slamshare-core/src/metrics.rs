@@ -7,6 +7,85 @@
 
 pub use slamshare_slam::eval::{ate, short_term_ate, AteResult};
 
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters and latency samples for the asynchronous merge worker
+/// (process M off the commit path): how many jobs were submitted, how
+/// many merges landed, how often the optimistic epoch check lost a race
+/// and the worker retried or fell back to a pessimistic in-lock merge.
+/// All methods take `&self`; the worker thread and the server share one
+/// instance through an `Arc`.
+#[derive(Debug, Default)]
+pub struct MergeWorkerStats {
+    submitted: AtomicU64,
+    applied: AtomicU64,
+    conflicts: AtomicU64,
+    fallback_applies: AtomicU64,
+    no_region: AtomicU64,
+    /// Wall time of each applied merge (snapshot → applied), ms.
+    latencies_ms: Mutex<Vec<f64>>,
+}
+
+/// A point-in-time copy of [`MergeWorkerStats`], with latency
+/// percentiles.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MergeWorkerSnapshot {
+    /// Merge jobs accepted by the worker.
+    pub submitted: u64,
+    /// Merges applied to the global map (optimistic + fallback).
+    pub applied: u64,
+    /// Optimistic applies aborted because the map's epoch moved between
+    /// the snapshot and the write lock.
+    pub conflicts: u64,
+    /// Merges that exhausted optimistic retries and ran plan+apply
+    /// atomically under the write lock.
+    pub fallback_applies: u64,
+    /// Jobs that found no common region (the client retries later).
+    pub no_region: u64,
+    pub p50_latency_ms: f64,
+    pub p95_latency_ms: f64,
+    pub max_latency_ms: f64,
+}
+
+impl MergeWorkerStats {
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_applied(&self, latency_ms: f64) {
+        self.applied.fetch_add(1, Ordering::Relaxed);
+        self.latencies_ms.lock().push(latency_ms);
+    }
+
+    pub fn record_conflict(&self) {
+        self.conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_fallback(&self) {
+        self.fallback_applies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_no_region(&self) {
+        self.no_region.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MergeWorkerSnapshot {
+        let latencies = self.latencies_ms.lock().clone();
+        MergeWorkerSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            applied: self.applied.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            fallback_applies: self.fallback_applies.load(Ordering::Relaxed),
+            no_region: self.no_region.load(Ordering::Relaxed),
+            p50_latency_ms: slamshare_math::stats::percentile(&latencies, 50.0),
+            p95_latency_ms: slamshare_math::stats::percentile(&latencies, 95.0),
+            max_latency_ms: latencies.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
 /// Client-side CPU accounting in *core-milliseconds* of work, bucketed per
 /// wall-clock second — the psutil-style measurement of Fig. 13.
 ///

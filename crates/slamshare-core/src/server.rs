@@ -34,13 +34,30 @@
 //! bit-identical to processing its frames sequentially, at any worker
 //! count. Lock order is always client mutex → store lock, and never two
 //! client mutexes at once.
+//!
+//! Staleness is detected through the global map's **epoch**: every actual
+//! map mutation (keyframe insertion, merge apply) bumps
+//! [`GlobalMapState::epoch`], and every speculative track records the
+//! epoch it read under. A commit re-tracks only when the epochs differ —
+//! a cheap read-lock comparison instead of a conservative per-round dirty
+//! flag. The same protocol lets the optional **asynchronous merge
+//! worker** ([`crate::merge_worker`], enabled with
+//! [`ServerConfig::async_merge`]) plan merges off the commit path against
+//! a snapshot and apply them only when the map hasn't moved, so commits
+//! never block on merge detection.
+//!
+//! The place-recognition inverted index ([`EdgeServer::db`]) lives
+//! *outside* the store: it is sharded with per-shard locks
+//! ([`ShardedKeyframeDatabase`]), so BoW index maintenance and merge
+//! candidate queries never contend on the global map lock.
 
-use crate::metrics::FpsTracker;
+use crate::merge_worker::{AppliedMerge, MergeContext, MergeJob, MergeWorker};
+use crate::metrics::{FpsTracker, MergeWorkerSnapshot};
 use parking_lot::Mutex;
-use slamshare_features::bow::{KeyframeDatabase, Vocabulary};
+use slamshare_features::bow::{BowVector, Vocabulary};
 use slamshare_features::image::GrayImage;
-use slamshare_gpu::{GpuModel, SharedGpu};
-use slamshare_math::SE3;
+use slamshare_gpu::{GpuExecutor, GpuModel, SharedGpu};
+use slamshare_math::{Sim3, SE3};
 use slamshare_net::codec::VideoDecoder;
 use slamshare_shm::{Segment, SharedStore};
 use slamshare_sim::imu::ImuSample;
@@ -48,18 +65,23 @@ use slamshare_slam::ids::{ClientId, KeyFrameId};
 use slamshare_slam::map::{transform_pose_cw, Map};
 use slamshare_slam::mapping::LocalMapper;
 use slamshare_slam::merge::{try_map_merge, MergeReport};
+use slamshare_slam::recognition::ShardedKeyframeDatabase;
 use slamshare_slam::system::{FrameInput, SlamConfig, SlamSystem};
 use slamshare_slam::tracking::{FrameObservation, MotionState, SensorMode, StageTimings, Tracker};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// The shared state in the store: the global map plus its place-
-/// recognition index (they must stay consistent, so they share the lock).
+/// The shared state in the store: the global map plus its write epoch.
+///
+/// The epoch increments on every actual map mutation. Speculative readers
+/// capture it with their read; writers compare epochs to detect staleness
+/// (the round pipeline's exact re-track, the merge worker's optimistic
+/// apply) instead of guessing conservatively.
 #[derive(Default)]
 pub struct GlobalMapState {
     pub map: Map,
-    pub db: KeyframeDatabase,
+    pub epoch: u64,
 }
 
 /// Name of the global map object inside the segment.
@@ -78,6 +100,13 @@ pub struct ServerConfig {
     pub merge_after_keyframes: usize,
     /// Sim(3) merging (monocular maps) vs SE(3) (stereo).
     pub with_scale_merge: bool,
+    /// Run merge detection on a background worker thread instead of
+    /// inline in the commit stage. Commits then never block on
+    /// `DetectCommonRegion`/RANSAC; the worker applies merges under the
+    /// write lock with an epoch check (see [`crate::merge_worker`]).
+    /// Off by default: the synchronous path is what the round pipeline's
+    /// bit-exactness guarantee is stated against.
+    pub async_merge: bool,
 }
 
 impl ServerConfig {
@@ -87,6 +116,7 @@ impl ServerConfig {
             use_gpu: true,
             merge_after_keyframes: 3,
             with_scale_merge: false,
+            async_merge: false,
         }
     }
 
@@ -96,6 +126,7 @@ impl ServerConfig {
             use_gpu: true,
             merge_after_keyframes: 3,
             with_scale_merge: true,
+            async_merge: false,
         }
     }
 }
@@ -148,7 +179,7 @@ enum Phase {
     /// Tracking/mapping directly on the shared global map.
     Shared {
         tracker: Box<Tracker>,
-        mapper: LocalMapper,
+        mapper: Box<LocalMapper>,
         last_kf: Option<KeyFrameId>,
     },
 }
@@ -174,12 +205,14 @@ enum StagedFrame {
     Local(ServerFrameResult),
     /// A merged client tracked speculatively against the global map.
     /// The decoded images and pre-track motion state let the commit
-    /// stage redo the track exactly if the map changed mid-round.
+    /// stage redo the track exactly if the map changed since; `epoch` is
+    /// the map epoch the speculative track read under.
     Shared {
         frame_idx: usize,
         timestamp: f64,
         decode_ms: f64,
         obs: FrameObservation,
+        epoch: u64,
         pre_track: MotionState,
         pose_hint: Option<SE3>,
         left: GrayImage,
@@ -192,6 +225,11 @@ pub struct EdgeServer {
     pub config: ServerConfig,
     pub segment: Arc<Segment>,
     pub store: Arc<SharedStore<GlobalMapState>>,
+    /// Place-recognition inverted index over the global map's keyframes.
+    /// Sharded and internally locked — maintained *outside* the store
+    /// lock, so BoW bookkeeping never extends the commit's critical
+    /// section and the merge worker can query it lock-free of the map.
+    pub db: Arc<ShardedKeyframeDatabase>,
     pub gpu: SharedGpu,
     pub vocab: Arc<Vocabulary>,
     /// One mutex per client process: frames for different clients may be
@@ -202,19 +240,33 @@ pub struct EdgeServer {
     /// Worker threads used by [`EdgeServer::process_round`]'s tracking
     /// stage. Results are identical at any value (see module docs).
     round_workers: usize,
+    /// Background merge thread (async mode; see [`crate::merge_worker`]).
+    merge_worker: Option<MergeWorker>,
 }
 
 impl EdgeServer {
     /// Orchestrator startup: allocate the segment, create the global map
-    /// store, bring up the GPU.
+    /// store, bring up the GPU (and, in async mode, the merge worker).
     pub fn new(config: ServerConfig, vocab: Arc<Vocabulary>) -> EdgeServer {
         let segment = Arc::new(Segment::new(2 * 1024 * 1024 * 1024));
         let store = SharedStore::create_in(&segment, GLOBAL_MAP_NAME, GlobalMapState::default())
             .expect("fresh segment");
+        let db = Arc::new(ShardedKeyframeDatabase::new());
+        let merge_worker = config.async_merge.then(|| {
+            MergeWorker::spawn(MergeContext {
+                store: store.clone(),
+                segment: segment.clone(),
+                db: db.clone(),
+                vocab: vocab.clone(),
+                cam: config.slam.tracker.rig.cam,
+                with_scale: config.with_scale_merge,
+            })
+        });
         EdgeServer {
             config,
             segment,
             store,
+            db,
             gpu: SharedGpu::new(GpuModel::v100()),
             vocab,
             clients: HashMap::new(),
@@ -222,6 +274,7 @@ impl EdgeServer {
             round_workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            merge_worker,
         }
     }
 
@@ -316,8 +369,7 @@ impl EdgeServer {
         let process = self.clients.get(&client).expect("unregistered client");
         let mut process = process.lock();
         let staged = self.track_stage(&mut process, &frame);
-        let (result, _) = self.commit_stage(&mut process, client, timestamp, staged, false);
-        result
+        self.commit_stage(&mut process, client, timestamp, staged)
     }
 
     /// Process one frame for each of several *distinct* clients.
@@ -364,21 +416,18 @@ impl EdgeServer {
                 .collect()
         };
 
-        // Phase 2: serialized commits in input order. `dirty` goes true
-        // once any commit has taken the global-map write lock; stale
-        // speculative tracks after that point are redone exactly.
-        let mut dirty = false;
+        // Phase 2: serialized commits in input order. Each staged shared
+        // frame carries the epoch its speculative track read under; the
+        // commit stage re-tracks exactly those whose epoch the map has
+        // since moved past (an earlier commit this round, or a background
+        // merge).
         frames
             .iter()
             .zip(staged)
             .map(|(f, st)| {
                 let process = self.clients.get(&f.client).expect("unregistered client");
                 let mut process = process.lock();
-                let retrack = dirty && matches!(st, StagedFrame::Shared { .. });
-                let (result, wrote) =
-                    self.commit_stage(&mut process, f.client, f.timestamp, st, retrack);
-                dirty |= wrote;
-                result
+                self.commit_stage(&mut process, f.client, f.timestamp, st)
             })
             .collect()
     }
@@ -451,16 +500,21 @@ impl EdgeServer {
                     tracker.exec = exec.clone();
                 }
                 let pre_track = tracker.motion_state();
-                // Concurrent read for tracking.
-                let obs = self.store.with_read(|state| {
-                    tracker.track(
-                        frame.frame_idx,
-                        frame.timestamp,
-                        &left_img,
-                        right_img.as_ref(),
-                        &state.map,
-                        *last_kf,
-                        frame.pose_hint,
+                // Concurrent read for tracking; the epoch read under the
+                // same lock tells the commit stage whether this track is
+                // still current when it runs.
+                let (obs, epoch) = self.store.with_read(|state| {
+                    (
+                        tracker.track(
+                            frame.frame_idx,
+                            frame.timestamp,
+                            &left_img,
+                            right_img.as_ref(),
+                            &state.map,
+                            *last_kf,
+                            frame.pose_hint,
+                        ),
+                        state.epoch,
                     )
                 });
                 StagedFrame::Shared {
@@ -468,6 +522,7 @@ impl EdgeServer {
                     timestamp: frame.timestamp,
                     decode_ms,
                     obs,
+                    epoch,
                     pre_track,
                     pose_hint: frame.pose_hint,
                     left: left_img,
@@ -478,25 +533,25 @@ impl EdgeServer {
     }
 
     /// The serialized half: keyframe insertion under the write lock, FPS
-    /// accounting and the merge trigger. With `retrack` set (a previous
-    /// commit in this round wrote the map), a shared-phase frame is
-    /// re-tracked against the current map first. Returns the frame
-    /// result and whether the global map's write lock was taken.
+    /// accounting and the merge trigger. A shared-phase frame whose
+    /// speculative track is stale (the map's epoch moved past the one it
+    /// read under) is re-tracked against the current map first —
+    /// bit-identical to having tracked at commit time in the first place.
     fn commit_stage(
         &self,
         process: &mut ClientProcess,
         client: u16,
         timestamp: f64,
         staged: StagedFrame,
-        retrack: bool,
-    ) -> (ServerFrameResult, bool) {
-        let (mut result, mut wrote) = match staged {
-            StagedFrame::Local(result) => (result, false),
+    ) -> ServerFrameResult {
+        let mut result = match staged {
+            StagedFrame::Local(result) => result,
             StagedFrame::Shared {
                 frame_idx,
                 timestamp,
                 decode_ms,
                 mut obs,
+                mut epoch,
                 pre_track,
                 pose_hint,
                 left,
@@ -510,63 +565,84 @@ impl EdgeServer {
                 else {
                     unreachable!("staged shared frame for a pre-merge client")
                 };
-                if retrack {
-                    // The map changed since the speculative track; rewind
-                    // the motion state and redo against the current map —
-                    // bit-identical to having tracked now in the first
-                    // place.
+                // Cheap staleness check: an earlier commit (same round)
+                // or a background merge bumped the epoch since the
+                // speculative track. Rewind the motion state and redo
+                // against the current map.
+                if self.store.with_read(|s| s.epoch) != epoch {
                     tracker.restore_motion_state(pre_track);
-                    obs = self.store.with_read(|state| {
-                        tracker.track(
-                            frame_idx,
-                            timestamp,
-                            &left,
-                            right.as_ref(),
-                            &state.map,
-                            *last_kf,
-                            pose_hint,
+                    let (new_obs, new_epoch) = self.store.with_read(|state| {
+                        (
+                            tracker.track(
+                                frame_idx,
+                                timestamp,
+                                &left,
+                                right.as_ref(),
+                                &state.map,
+                                *last_kf,
+                                pose_hint,
+                            ),
+                            state.epoch,
                         )
                     });
+                    obs = new_obs;
+                    epoch = new_epoch;
                 }
                 // Serialized write for keyframe insertion.
                 let mut mapping_ms = 0.0;
-                let mut took_write = false;
                 if !obs.lost && obs.keyframe_requested {
                     let t1 = Instant::now();
                     let segment = &self.segment;
-                    let (kf_id, n_new) = self.store.with_write(
+                    let inserted = self.store.with_write(
                         segment,
                         |state| state.map.approx_bytes(),
                         |state| {
-                            let report = mapper.insert_keyframe(&mut state.map, &self.vocab, &obs);
-                            if let Some(kf_id) = report.kf_id {
-                                let bow = state.map.keyframes[&kf_id].bow.clone();
-                                state.db.add(kf_id.0, bow);
+                            if state.epoch != epoch {
+                                // An async merge landed between the check
+                                // above and this lock: re-track in-lock
+                                // so the insertion sees a consistent map.
+                                tracker.restore_motion_state(pre_track);
+                                obs = tracker.track(
+                                    frame_idx,
+                                    timestamp,
+                                    &left,
+                                    right.as_ref(),
+                                    &state.map,
+                                    *last_kf,
+                                    pose_hint,
+                                );
+                                if obs.lost || !obs.keyframe_requested {
+                                    return None;
+                                }
                             }
-                            (report.kf_id, report.n_new_points)
+                            let report = mapper.insert_keyframe(&mut state.map, &self.vocab, &obs);
+                            state.epoch += 1;
+                            report.kf_id.map(|kf_id| {
+                                let bow = state.map.keyframes[&kf_id].bow.clone();
+                                (kf_id, report.n_new_points, bow)
+                            })
                         },
                     );
-                    took_write = true;
-                    if let Some(kf_id) = kf_id {
+                    if let Some((kf_id, n_new, bow)) = inserted {
+                        // Index maintenance happens outside the store
+                        // lock — the sharded db carries its own locks.
+                        self.db.add(kf_id.0, bow);
                         *last_kf = Some(kf_id);
                         tracker.note_keyframe(obs.n_tracked + n_new);
                     }
                     mapping_ms = t1.elapsed().as_secs_f64() * 1e3;
                 }
-                (
-                    ServerFrameResult {
-                        frame_idx,
-                        pose: (!obs.lost).then_some(obs.pose_cw),
-                        tracked: !obs.lost,
-                        merged: true,
-                        n_matches: obs.n_tracked,
-                        timings: obs.timings,
-                        decode_ms,
-                        mapping_ms,
-                        merge: None,
-                    },
-                    took_write,
-                )
+                ServerFrameResult {
+                    frame_idx,
+                    pose: (!obs.lost).then_some(obs.pose_cw),
+                    tracked: !obs.lost,
+                    merged: true,
+                    n_matches: obs.n_tracked,
+                    timings: obs.timings,
+                    decode_ms,
+                    mapping_ms,
+                    merge: None,
+                }
             }
         };
 
@@ -576,40 +652,206 @@ impl EdgeServer {
 
         // Merge trigger (process M).
         if !result.merged {
-            let ready = match &process.phase {
-                Phase::Local(system) => {
-                    system.is_bootstrapped()
-                        && system.map.n_keyframes() >= process.next_merge_at_kfs
-                }
-                Phase::Shared { .. } => false,
-            };
-            if ready {
-                // Any merge attempt takes the write lock; count it as a
-                // map write so later frames in the round re-track
-                // (conservative — a redundant re-track is harmless).
-                wrote = true;
-                match self.merge_locked(process, client, timestamp) {
-                    Some(outcome) => {
-                        result.merged = true;
-                        // Re-express the frame pose in the global frame.
-                        if let (Some(pose), Some(t)) =
-                            (result.pose, outcome.report.transform.as_ref())
-                        {
-                            result.pose = Some(transform_pose_cw(&pose, t));
-                        }
-                        result.merge = Some(outcome);
+            if let Some(worker) = &self.merge_worker {
+                self.merge_trigger_async(worker, process, client, timestamp, &mut result);
+            } else {
+                let ready = match &process.phase {
+                    Phase::Local(system) => {
+                        system.is_bootstrapped()
+                            && system.map.n_keyframes() >= process.next_merge_at_kfs
                     }
-                    None => {
-                        // No common region yet: process M retries once the
-                        // client has contributed more keyframes.
-                        if let Phase::Local(system) = &process.phase {
-                            process.next_merge_at_kfs = system.map.n_keyframes() + 2;
+                    Phase::Shared { .. } => false,
+                };
+                if ready {
+                    match self.merge_locked(process, client, timestamp) {
+                        Some(outcome) => {
+                            result.merged = true;
+                            // Re-express the frame pose in the global frame.
+                            if let (Some(pose), Some(t)) =
+                                (result.pose, outcome.report.transform.as_ref())
+                            {
+                                result.pose = Some(transform_pose_cw(&pose, t));
+                            }
+                            result.merge = Some(outcome);
+                        }
+                        None => {
+                            // No common region yet: process M retries once the
+                            // client has contributed more keyframes.
+                            if let Phase::Local(system) = &process.phase {
+                                process.next_merge_at_kfs = system.map.n_keyframes() + 2;
+                            }
                         }
                     }
                 }
             }
         }
-        (result, wrote)
+        result
+    }
+
+    /// Async-mode merge trigger: first collect a finished background
+    /// merge for this client (absorbing its post-snapshot delta and
+    /// switching it to shared-phase tracking), else submit a job when the
+    /// client's local map is ready. Never blocks on merge detection.
+    fn merge_trigger_async(
+        &self,
+        worker: &MergeWorker,
+        process: &mut ClientProcess,
+        client: u16,
+        timestamp: f64,
+        result: &mut ServerFrameResult,
+    ) {
+        if let Some(completion) = worker.take_completion(client) {
+            match completion.applied {
+                Some(applied) => {
+                    let outcome =
+                        self.finish_async_merge(process, client, completion.timestamp, applied);
+                    result.merged = true;
+                    // Re-express the frame pose in the global frame.
+                    if let (Some(pose), Some(t)) = (result.pose, outcome.report.transform.as_ref())
+                    {
+                        result.pose = Some(transform_pose_cw(&pose, t));
+                    }
+                    result.merge = Some(outcome);
+                }
+                None => {
+                    // No common region yet: retry once the client has
+                    // contributed more keyframes.
+                    if let Phase::Local(system) = &process.phase {
+                        process.next_merge_at_kfs = system.map.n_keyframes() + 2;
+                    }
+                }
+            }
+            return;
+        }
+        let ready = match &process.phase {
+            Phase::Local(system) => {
+                system.is_bootstrapped() && system.map.n_keyframes() >= process.next_merge_at_kfs
+            }
+            Phase::Shared { .. } => false,
+        };
+        if ready {
+            if let Phase::Local(system) = &process.phase {
+                // The worker refuses duplicates, so re-offering every
+                // frame while a job is in flight is harmless.
+                worker.submit(MergeJob {
+                    client,
+                    timestamp,
+                    cmap: system.map.clone(),
+                });
+            }
+        }
+    }
+
+    /// Collect an applied background merge: the worker already welded the
+    /// submitted snapshot into the global map; absorb the client's
+    /// post-snapshot *delta* (keyframes/points it created while the
+    /// worker ran), remap delta observations across the worker's point
+    /// fusions, and switch the client to shared-map tracking.
+    fn finish_async_merge(
+        &self,
+        process: &mut ClientProcess,
+        client: u16,
+        timestamp: f64,
+        applied: AppliedMerge,
+    ) -> MergeOutcome {
+        let AppliedMerge {
+            report,
+            merge_ms,
+            absorbed_kfs,
+            absorbed_mps,
+            fused,
+        } = applied;
+        let (mut delta, exec, last_frame_pose) = {
+            let Phase::Local(system) = &mut process.phase else {
+                panic!("client {client} already merged");
+            };
+            let delta = std::mem::replace(&mut system.map, Map::new(process.id));
+            (
+                delta,
+                system.tracker.exec.clone(),
+                system.frame_poses.last().map(|(_, p)| *p),
+            )
+        };
+
+        // Everything in the submitted snapshot is already global; what
+        // remains is the delta.
+        delta.keyframes.retain(|id, _| !absorbed_kfs.contains(id));
+        delta.mappoints.retain(|id, _| !absorbed_mps.contains(id));
+        if let Some(t) = &report.transform {
+            delta.transform_all(t);
+        }
+        // Delta observations of snapshot points the weld fused away
+        // follow the fusion to the surviving global point.
+        for kf in delta.keyframes.values_mut() {
+            for slot in kf.matched_points.iter_mut() {
+                if let Some(mp) = slot {
+                    if let Some(keep) = fused.get(mp) {
+                        *slot = Some(*keep);
+                    }
+                }
+            }
+        }
+
+        if !delta.keyframes.is_empty() || !delta.mappoints.is_empty() {
+            let delta_kf_ids: BTreeSet<KeyFrameId> = delta.keyframes.keys().copied().collect();
+            let delta_bows: Vec<(u64, BowVector)> = delta
+                .keyframes
+                .values()
+                .map(|kf| (kf.id.0, kf.bow.clone()))
+                .collect();
+            let segment = &self.segment;
+            self.store.with_write(
+                segment,
+                |state| state.map.approx_bytes(),
+                |state| {
+                    // Points first: keyframe insertion below registers
+                    // observations on them.
+                    for (id, mut mp) in std::mem::take(&mut delta.mappoints) {
+                        mp.observations.retain(|&(kf_id, idx)| {
+                            if delta_kf_ids.contains(&kf_id) {
+                                return true;
+                            }
+                            // Observation from a snapshot keyframe (mono
+                            // triangulation against an older keyframe):
+                            // reconcile the global copy's back-reference,
+                            // which predates this point.
+                            match state.map.keyframes.get_mut(&kf_id) {
+                                Some(kf) => match kf.matched_points[idx] {
+                                    None => {
+                                        kf.matched_points[idx] = Some(id);
+                                        true
+                                    }
+                                    Some(existing) => existing == id,
+                                },
+                                None => false,
+                            }
+                        });
+                        state.map.mappoints.insert(id, mp);
+                    }
+                    for (_, kf) in std::mem::take(&mut delta.keyframes) {
+                        state.map.insert_keyframe(kf);
+                    }
+                    state.epoch += 1;
+                },
+            );
+            for (id, bow) in delta_bows {
+                self.db.add(id, bow);
+            }
+        }
+
+        self.enter_shared_phase(
+            process,
+            client,
+            report.transform.as_ref(),
+            exec,
+            last_frame_pose,
+        );
+
+        let outcome = MergeOutcome { report, merge_ms };
+        self.merge_log
+            .lock()
+            .push((timestamp, client, outcome.clone()));
+        outcome
     }
 
     /// Install an externally-built local map for a not-yet-merged client
@@ -667,14 +909,23 @@ impl EdgeServer {
         let t0 = Instant::now();
         let cam = self.config.slam.tracker.rig.cam;
         let with_scale = self.config.with_scale_merge;
-        let vocab = self.vocab.clone();
         let segment = &self.segment;
         let merged = self.store.with_write(
             segment,
             |state| state.map.approx_bytes(),
             |state| {
-                let GlobalMapState { map, db } = state;
-                try_map_merge(map, cmap, db, &vocab, &cam, with_scale)
+                let r = try_map_merge(
+                    &mut state.map,
+                    cmap,
+                    &self.db,
+                    &self.vocab,
+                    &cam,
+                    with_scale,
+                );
+                if r.is_ok() {
+                    state.epoch += 1;
+                }
+                r
             },
         );
         let report = match merged {
@@ -690,21 +941,45 @@ impl EdgeServer {
         };
         let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        // Transition the process to shared-map tracking, carrying the
-        // tracker's motion state over (transformed into the global frame).
+        self.enter_shared_phase(
+            process,
+            client,
+            report.transform.as_ref(),
+            exec,
+            last_frame_pose,
+        );
+
+        let outcome = MergeOutcome { report, merge_ms };
+        self.merge_log
+            .lock()
+            .push((timestamp, client, outcome.clone()));
+        Some(outcome)
+    }
+
+    /// Transition a just-merged client process to shared-map tracking,
+    /// carrying the tracker's motion state over (transformed into the
+    /// global frame).
+    fn enter_shared_phase(
+        &self,
+        process: &mut ClientProcess,
+        client: u16,
+        transform: Option<&Sim3>,
+        exec: Arc<GpuExecutor>,
+        last_frame_pose: Option<SE3>,
+    ) {
         let mut tracker = Box::new(Tracker::new(self.config.slam.tracker.clone(), exec));
-        let last_pose = last_frame_pose.map(|p| match &report.transform {
+        let last_pose = last_frame_pose.map(|p| match transform {
             Some(t) => transform_pose_cw(&p, t),
             None => p,
         });
         if let Some(p) = last_pose {
             tracker.reset_motion(p);
         }
-        let mapper = LocalMapper::new(
+        let mapper = Box::new(LocalMapper::new(
             self.config.slam.tracker.mode,
             self.config.slam.tracker.rig,
             self.config.slam.mapping.clone(),
-        );
+        ));
         // The client's own most recent keyframe anchors its local map
         // neighbourhood in the global map.
         let client_id = ClientId(client);
@@ -714,7 +989,7 @@ impl EdgeServer {
                 .keyframes
                 .values()
                 .filter(|kf| kf.id.client() == client_id)
-                .max_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap())
+                .max_by(|a, b| a.timestamp.total_cmp(&b.timestamp))
                 .map(|kf| (kf.id, kf.pose_cw))
         });
         // A late joiner whose map was adopted wholesale has no per-frame
@@ -730,12 +1005,46 @@ impl EdgeServer {
             mapper,
             last_kf: own_latest.map(|(id, _)| id),
         };
+    }
 
-        let outcome = MergeOutcome { report, merge_ms };
-        self.merge_log
-            .lock()
-            .push((timestamp, client, outcome.clone()));
-        Some(outcome)
+    /// Queue an asynchronous merge of `client`'s current local map.
+    /// Returns whether a job was accepted — `false` when the server runs
+    /// synchronous merges, the client is already merged or not yet
+    /// bootstrapped, or a job for it is already in flight.
+    pub fn submit_merge(&self, client: u16, timestamp: f64) -> bool {
+        let Some(worker) = &self.merge_worker else {
+            return false;
+        };
+        let process = self.clients.get(&client).expect("unregistered client");
+        let process = process.lock();
+        let Phase::Local(system) = &process.phase else {
+            return false;
+        };
+        if !system.is_bootstrapped() {
+            return false;
+        }
+        worker.submit(MergeJob {
+            client,
+            timestamp,
+            cmap: system.map.clone(),
+        })
+    }
+
+    /// Block until the background merge worker has drained its queue
+    /// (completions may still await collection at the owning client's
+    /// next commit). No-op in synchronous mode.
+    pub fn wait_merge_idle(&self) {
+        if let Some(worker) = &self.merge_worker {
+            while !worker.is_idle() {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Counters and latency percentiles of the background merge worker
+    /// (`None` in synchronous mode).
+    pub fn merge_worker_stats(&self) -> Option<MergeWorkerSnapshot> {
+        self.merge_worker.as_ref().map(|w| w.stats().snapshot())
     }
 
     /// Keyframe trajectories of *pending* (not-yet-merged) client maps:

@@ -8,11 +8,12 @@
 
 use crate::ids::KeyFrameId;
 use crate::map::{KeyFrame, Map};
-use crate::optimize::{local_bundle_adjust, BaStats};
+use crate::optimize::{local_bundle_adjust_with, BaScratch, BaStats};
 use crate::tracking::{FrameObservation, SensorMode};
 use crate::triangulate;
 use slamshare_features::bow::Vocabulary;
 use slamshare_features::matching::{match_by_projection, ProjectionQuery, TH_LOW};
+use slamshare_gpu::GpuExecutor;
 use slamshare_sim::camera::StereoRig;
 
 /// Mapping tuning parameters.
@@ -28,6 +29,10 @@ pub struct MappingConfig {
     pub ba_every: usize,
     /// Coordinate-descent sweeps per BA invocation.
     pub ba_sweeps: usize,
+    /// Worker threads for the data-parallel BA passes (0 = one per host
+    /// core). Results are bit-identical at any value, so this only moves
+    /// wall time.
+    pub ba_workers: usize,
 }
 
 impl Default for MappingConfig {
@@ -38,6 +43,7 @@ impl Default for MappingConfig {
             ba_window: 6,
             ba_every: 2,
             ba_sweeps: 2,
+            ba_workers: 0,
         }
     }
 }
@@ -58,15 +64,26 @@ pub struct LocalMapper {
     pub mode: SensorMode,
     pub rig: StereoRig,
     inserted: usize,
+    /// Worker pool for the data-parallel BA passes.
+    ba_exec: GpuExecutor,
+    /// Point/keyframe-id buffers reused across BA invocations.
+    ba_scratch: BaScratch,
 }
 
 impl LocalMapper {
     pub fn new(mode: SensorMode, rig: StereoRig, config: MappingConfig) -> LocalMapper {
+        let ba_exec = if config.ba_workers == 0 {
+            GpuExecutor::cpu_parallel()
+        } else {
+            GpuExecutor::cpu_with_workers(config.ba_workers)
+        };
         LocalMapper {
             config,
             mode,
             rig,
             inserted: 0,
+            ba_exec,
+            ba_scratch: BaScratch::default(),
         }
     }
 
@@ -108,12 +125,14 @@ impl LocalMapper {
 
         self.inserted += 1;
         if self.config.ba_every > 0 && self.inserted.is_multiple_of(self.config.ba_every) {
-            report.ba = Some(local_bundle_adjust(
+            report.ba = Some(local_bundle_adjust_with(
                 map,
                 &self.rig.cam,
                 kf_id,
                 self.config.ba_window,
                 self.config.ba_sweeps,
+                &self.ba_exec,
+                &mut self.ba_scratch,
             ));
         }
         report

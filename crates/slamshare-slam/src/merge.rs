@@ -8,11 +8,11 @@
 //! transform the client map onto the global frame, fuse duplicate points,
 //! and bundle-adjust the weld region.
 
-use crate::ids::KeyFrameId;
+use crate::ids::{KeyFrameId, MapPointId};
 use crate::map::Map;
 use crate::optimize::{local_bundle_adjust, BaStats};
-use crate::recognition::{detect_common_region, CommonRegion};
-use slamshare_features::bow::{KeyframeDatabase, Vocabulary};
+use crate::recognition::{detect_common_region, CommonRegion, ShardedKeyframeDatabase};
+use slamshare_features::bow::Vocabulary;
 use slamshare_math::align::umeyama_ransac;
 use slamshare_math::{Sim3, Vec3};
 use slamshare_sim::camera::PinholeCamera;
@@ -51,7 +51,7 @@ pub struct MergeReport {
 pub fn map_merge(
     gmap: &mut Map,
     cmap: Map,
-    db: &mut KeyframeDatabase,
+    db: &ShardedKeyframeDatabase,
     vocab: &Vocabulary,
     cam: &PinholeCamera,
     with_scale: bool,
@@ -69,6 +69,181 @@ pub fn map_merge(
     }
 }
 
+/// A merge decision computed read-only — `DetectCommonRegion` over every
+/// client keyframe plus the RANSAC alignment, i.e. everything in
+/// Algorithm 2 that does *not* mutate the global map.
+///
+/// The split lets the asynchronous merge worker run this expensive half
+/// against a map *snapshot* while commits keep flowing, then apply the
+/// decision under the write lock only if the map hasn't changed since
+/// (epoch check; see the server's merge worker).
+#[derive(Debug, Clone)]
+pub struct MergePlan {
+    /// Alignment to apply to the client map, when a common region was
+    /// found and verified.
+    pub transform: Option<Sim3>,
+    /// The global map was empty: the client map becomes the global map.
+    pub become_global: bool,
+    /// RANSAC-validated `(client_mp, global_mp)` duplicates to fuse.
+    pub fuse_pairs: Vec<(MapPointId, MapPointId)>,
+    /// The first detection's global-map keyframe — anchor for the weld.
+    pub ba_anchor: Option<KeyFrameId>,
+    pub alignment_rmse: f64,
+    pub n_kf_checked: usize,
+    pub n_point_pairs: usize,
+}
+
+impl MergePlan {
+    /// Whether applying this plan merges the client map (as opposed to a
+    /// no-common-region outcome the caller should retry later).
+    pub fn viable(&self) -> bool {
+        self.become_global || self.transform.is_some()
+    }
+}
+
+/// Compute a [`MergePlan`] for welding `cmap` into `gmap` — the read-only
+/// detect/align half of Algorithm 2. `gmap` may be a snapshot; `db` may
+/// be the live sharded index (a candidate indexed after the snapshot was
+/// taken simply isn't found in `gmap` and is skipped).
+pub fn plan_merge(
+    gmap: &Map,
+    cmap: &Map,
+    db: &ShardedKeyframeDatabase,
+    vocab: &Vocabulary,
+    with_scale: bool,
+) -> MergePlan {
+    let mut plan = MergePlan {
+        transform: None,
+        become_global: gmap.is_empty(),
+        fuse_pairs: Vec::new(),
+        ba_anchor: None,
+        alignment_rmse: 0.0,
+        n_kf_checked: 0,
+        n_point_pairs: 0,
+    };
+    if plan.become_global {
+        return plan;
+    }
+
+    // Alg. 2 lines 6–8: loop through every client keyframe, detect common
+    // regions against the global map, and pool the verified point pairs.
+    let mut detections: Vec<CommonRegion> = Vec::new();
+    for kf in cmap.keyframes.values() {
+        plan.n_kf_checked += 1;
+        if let Some(region) = detect_common_region(kf, cmap, gmap, db, vocab, 3) {
+            detections.push(region);
+        }
+    }
+    plan.ba_anchor = detections.first().map(|d| d.target_kf);
+
+    let mut src_pts: Vec<Vec3> = Vec::new();
+    let mut dst_pts: Vec<Vec3> = Vec::new();
+    let mut fuse_pairs: Vec<(MapPointId, MapPointId)> = Vec::new();
+    for det in &detections {
+        for (c_mp, g_mp) in &det.point_pairs {
+            if let (Some(c), Some(g)) = (cmap.mappoints.get(c_mp), gmap.mappoints.get(g_mp)) {
+                src_pts.push(c.position);
+                dst_pts.push(g.position);
+                fuse_pairs.push((*c_mp, *g_mp));
+            }
+        }
+    }
+    plan.n_point_pairs = src_pts.len();
+
+    // Alg. 2 lines 9–12: 3D alignment. RANSAC over the point pairs:
+    // descriptor matching contributes both wrong pairs and far-range
+    // triangulation noise, either of which would corrupt a plain
+    // least-squares fit.
+    if src_pts.len() >= 12 {
+        let tol = crate::recognition::ransac_tolerance(&dst_pts);
+        if let Some((alignment, mask)) =
+            umeyama_ransac(&src_pts, &dst_pts, with_scale, tol, 250, 0x51A9)
+        {
+            let n_inliers = mask.iter().filter(|&&f| f).count();
+            if n_inliers >= 12 {
+                plan.transform = Some(alignment.transform);
+                plan.alignment_rmse = alignment.rmse;
+                // Only fuse pairs the consensus validated.
+                plan.fuse_pairs = fuse_pairs
+                    .into_iter()
+                    .zip(&mask)
+                    .filter(|(_, &keep)| keep)
+                    .map(|(pair, _)| pair)
+                    .collect();
+            }
+        }
+    }
+    plan
+}
+
+/// Apply a viable [`MergePlan`]: transform the client map, absorb it,
+/// fuse the planned duplicates, weld by projection and bundle-adjust the
+/// seam — the write half of Algorithm 2. Must run under the global-map
+/// write lock, against a map whose state matches the one the plan was
+/// computed from (or the caller accepts the plan being slightly stale).
+///
+/// Returns the report plus every `(client_mp, surviving_global_mp)`
+/// fusion actually applied (planned ones and those found by the
+/// projection weld) — the async merge worker needs these to remap the
+/// client's post-snapshot delta.
+pub fn apply_merge_plan(
+    gmap: &mut Map,
+    db: &ShardedKeyframeDatabase,
+    mut cmap: Map,
+    plan: &MergePlan,
+    cam: &PinholeCamera,
+) -> (MergeReport, Vec<(MapPointId, MapPointId)>) {
+    let mut report = MergeReport {
+        transform: plan.transform,
+        aligned: plan.transform.is_some(),
+        n_kf_checked: plan.n_kf_checked,
+        n_point_pairs: plan.n_point_pairs,
+        n_fused: 0,
+        alignment_rmse: plan.alignment_rmse,
+        ba: None,
+        n_kf_added: cmap.n_keyframes(),
+        n_mp_added: cmap.n_mappoints(),
+    };
+    let mut fused: Vec<(MapPointId, MapPointId)> = Vec::new();
+
+    if !report.aligned {
+        // Empty-global (become_global) or forced-absorb semantics: plain
+        // insertion, no alignment, no weld.
+        absorb(gmap, cmap, db);
+        return (report, fused);
+    }
+
+    let transform = plan.transform.expect("aligned plan carries a transform");
+    cmap.transform_all(&transform);
+    let client_kf_ids: Vec<KeyFrameId> = cmap.keyframes.keys().copied().collect();
+    absorb(gmap, cmap, db);
+
+    // Fuse duplicates (matched pairs are the same physical point).
+    for (c_mp, g_mp) in &plan.fuse_pairs {
+        gmap.fuse_mappoints(*g_mp, *c_mp);
+        report.n_fused += 1;
+        fused.push((*c_mp, *g_mp));
+    }
+
+    // Weld by projection (ORB-SLAM3's SearchAndFuse): project the
+    // global map's points around the weld region into every client
+    // keyframe, adding cross-map observations / fusing duplicates the
+    // BoW stage missed. Without this, the client's keyframes and its
+    // own points stay self-consistent at the residual alignment offset
+    // and bundle adjustment has nothing to pull them with.
+    if let Some(anchor) = plan.ba_anchor {
+        report.n_fused += weld_by_projection(gmap, &client_kf_ids, anchor, cam, &mut fused);
+    }
+
+    // Alg. 2 lines 13–15: "if a loop has been detected, run bundle
+    // adjustment over the client keyframes and the local keyframes".
+    if let Some(center) = client_kf_ids.last().copied().or(plan.ba_anchor) {
+        report.ba = Some(local_bundle_adjust(gmap, cam, center, 12, 3));
+    }
+
+    (report, fused)
+}
+
 /// [`map_merge`] that **refuses to absorb** a client map when no common
 /// region with the (non-empty) global map is found, handing the map back
 /// so the caller can retry once coverage grows — the behaviour of
@@ -80,127 +255,42 @@ pub fn map_merge(
 #[allow(clippy::result_large_err)]
 pub fn try_map_merge(
     gmap: &mut Map,
-    mut cmap: Map,
-    db: &mut KeyframeDatabase,
+    cmap: Map,
+    db: &ShardedKeyframeDatabase,
     vocab: &Vocabulary,
     cam: &PinholeCamera,
     with_scale: bool,
 ) -> Result<MergeReport, (Map, MergeReport)> {
-    let mut report = MergeReport {
-        transform: None,
-        aligned: false,
-        n_kf_checked: 0,
-        n_point_pairs: 0,
-        n_fused: 0,
-        alignment_rmse: 0.0,
-        ba: None,
-        n_kf_added: cmap.n_keyframes(),
-        n_mp_added: cmap.n_mappoints(),
-    };
-
-    // Empty global map: the client map becomes the global map.
-    if gmap.is_empty() {
-        absorb(gmap, cmap, db);
-        return Ok(report);
-    }
-
-    // Alg. 2 lines 6–8: loop through every client keyframe, detect common
-    // regions against the global map, and pool the verified point pairs.
-    let mut detections: Vec<CommonRegion> = Vec::new();
-    for kf in cmap.keyframes.values() {
-        report.n_kf_checked += 1;
-        if let Some(region) = detect_common_region(kf, &cmap, gmap, db, vocab, 3) {
-            detections.push(region);
-        }
-    }
-
-    let mut src_pts: Vec<Vec3> = Vec::new();
-    let mut dst_pts: Vec<Vec3> = Vec::new();
-    #[allow(unused_mut)]
-    let mut fuse_pairs: Vec<(crate::ids::MapPointId, crate::ids::MapPointId)> = Vec::new();
-    for det in &detections {
-        for (c_mp, g_mp) in &det.point_pairs {
-            if let (Some(c), Some(g)) = (cmap.mappoints.get(c_mp), gmap.mappoints.get(g_mp)) {
-                src_pts.push(c.position);
-                dst_pts.push(g.position);
-                fuse_pairs.push((*c_mp, *g_mp));
-            }
-        }
-    }
-    report.n_point_pairs = src_pts.len();
-
-    // Alg. 2 lines 9–12: 3D alignment and transformation of the client
-    // map. RANSAC over the point pairs: descriptor matching contributes
-    // both wrong pairs and far-range triangulation noise, either of which
-    // would corrupt a plain least-squares fit.
-    if src_pts.len() >= 12 {
-        let tol = crate::recognition::ransac_tolerance(&dst_pts);
-        if let Some((alignment, mask)) =
-            umeyama_ransac(&src_pts, &dst_pts, with_scale, tol, 250, 0x51A9)
-        {
-            let n_inliers = mask.iter().filter(|&&f| f).count();
-            if n_inliers >= 12 {
-                cmap.transform_all(&alignment.transform);
-                report.transform = Some(alignment.transform);
-                report.alignment_rmse = alignment.rmse;
-                report.aligned = true;
-                // Only fuse pairs the consensus validated.
-                fuse_pairs = fuse_pairs
-                    .into_iter()
-                    .zip(&mask)
-                    .filter(|(_, &keep)| keep)
-                    .map(|(pair, _)| pair)
-                    .collect();
-            }
-        }
-    }
-
-    if !report.aligned {
+    let plan = plan_merge(gmap, &cmap, db, vocab, with_scale);
+    if !plan.viable() {
         // No common region: hand the map back for a later retry.
+        let report = MergeReport {
+            transform: None,
+            aligned: false,
+            n_kf_checked: plan.n_kf_checked,
+            n_point_pairs: plan.n_point_pairs,
+            n_fused: 0,
+            alignment_rmse: 0.0,
+            ba: None,
+            n_kf_added: cmap.n_keyframes(),
+            n_mp_added: cmap.n_mappoints(),
+        };
         return Err((cmap, report));
     }
-
-    // Move client keyframes and points into the global map.
-    let ba_center: Option<KeyFrameId> = detections.first().map(|d| d.target_kf);
-    let client_kf_ids: Vec<KeyFrameId> = cmap.keyframes.keys().copied().collect();
-    absorb(gmap, cmap, db);
-
-    // Fuse duplicates (matched pairs are the same physical point).
-    if report.aligned {
-        for (c_mp, g_mp) in fuse_pairs {
-            gmap.fuse_mappoints(g_mp, c_mp);
-            report.n_fused += 1;
-        }
-
-        // Weld by projection (ORB-SLAM3's SearchAndFuse): project the
-        // global map's points around the weld region into every client
-        // keyframe, adding cross-map observations / fusing duplicates the
-        // BoW stage missed. Without this, the client's keyframes and its
-        // own points stay self-consistent at the residual alignment offset
-        // and bundle adjustment has nothing to pull them with.
-        if let Some(anchor) = ba_center {
-            report.n_fused += weld_by_projection(gmap, &client_kf_ids, anchor, cam);
-        }
-
-        // Alg. 2 lines 13–15: "if a loop has been detected, run bundle
-        // adjustment over the client keyframes and the local keyframes".
-        if let Some(center) = client_kf_ids.last().copied().or(ba_center) {
-            report.ba = Some(local_bundle_adjust(gmap, cam, center, 12, 3));
-        }
-    }
-
-    Ok(report)
+    Ok(apply_merge_plan(gmap, db, cmap, &plan, cam).0)
 }
 
 /// Project the global-map points near `anchor` into each client keyframe
 /// and associate/fuse matches — the weld that makes post-merge bundle
 /// adjustment effective. Returns the number of new cross-map
-/// associations.
+/// associations; every fusion it applies is appended to `fused` as
+/// `(dropped_client_mp, surviving_global_mp)`.
 fn weld_by_projection(
     gmap: &mut Map,
     client_kfs: &[KeyFrameId],
     anchor: KeyFrameId,
     cam: &PinholeCamera,
+    fused: &mut Vec<(MapPointId, MapPointId)>,
 ) -> usize {
     use slamshare_features::matching::TH_LOW;
 
@@ -284,6 +374,7 @@ fn weld_by_projection(
             match op {
                 Op::Fuse { keep, drop } => {
                     gmap.fuse_mappoints(keep, drop);
+                    fused.push((drop, keep));
                     n_assoc += 1;
                 }
                 Op::Observe { mp, kp } => {
@@ -300,7 +391,7 @@ fn weld_by_projection(
 /// BoW database. Ids are globally unique so this is pure insertion — the
 /// shared-memory version of this operation is pointer-only, which is what
 /// Table 4 measures.
-fn absorb(gmap: &mut Map, cmap: Map, db: &mut KeyframeDatabase) {
+fn absorb(gmap: &mut Map, cmap: Map, db: &ShardedKeyframeDatabase) {
     for (id, kf) in cmap.keyframes {
         db.add(id.0, kf.bow.clone());
         gmap.keyframes.insert(id, kf);
@@ -378,14 +469,14 @@ mod tests {
     fn first_map_becomes_global() {
         let (cmap, _) = client_map(1, &[0], 5);
         let mut gmap = Map::new(ClientId(0));
-        let mut db = KeyframeDatabase::new();
+        let db = ShardedKeyframeDatabase::new();
         let cam = slamshare_sim::camera::PinholeCamera::euroc_like();
         let n_kf = cmap.n_keyframes();
         let n_mp = cmap.n_mappoints();
         let report = map_merge(
             &mut gmap,
             cmap,
-            &mut db,
+            &db,
             &vocabulary::train_random(42),
             &cam,
             false,
@@ -413,12 +504,12 @@ mod tests {
         cmap.transform_all(&offset);
 
         let mut gmap = Map::new(ClientId(0));
-        let mut db = KeyframeDatabase::new();
+        let db = ShardedKeyframeDatabase::new();
         let cam = ds.rig.cam;
         map_merge(
             &mut gmap,
             gmap_src,
-            &mut db,
+            &db,
             &vocabulary::train_random(42),
             &cam,
             false,
@@ -428,7 +519,7 @@ mod tests {
         let report = map_merge(
             &mut gmap,
             cmap,
-            &mut db,
+            &db,
             &vocabulary::train_random(42),
             &cam,
             false,
@@ -504,11 +595,11 @@ mod tests {
         );
 
         let mut gmap = Map::new(ClientId(0));
-        let mut db = KeyframeDatabase::new();
+        let db = ShardedKeyframeDatabase::new();
         map_merge(
             &mut gmap,
             gmap_src,
-            &mut db,
+            &db,
             &vocabulary::train_random(42),
             &ds.rig.cam,
             false,
@@ -516,7 +607,7 @@ mod tests {
         let report = map_merge(
             &mut gmap,
             cmap,
-            &mut db,
+            &db,
             &vocabulary::train_random(42),
             &ds.rig.cam,
             false,

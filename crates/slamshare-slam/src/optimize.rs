@@ -14,11 +14,17 @@
 //! machinery of a sparse Schur solver while optimizing the same objective.
 
 use crate::map::Map;
+use slamshare_gpu::GpuExecutor;
 use slamshare_math::robust::{huber_weight, CHI2_2DOF_95};
 use slamshare_math::{DMat, DVec, Mat3, Quat, Vec2, Vec3, SE3};
 use slamshare_sim::camera::PinholeCamera;
+use std::time::Instant;
 
-use crate::ids::KeyFrameId;
+use crate::ids::{KeyFrameId, MapPointId};
+
+/// One map point's refinement inputs: id, initial position, and its
+/// `(keyframe pose, pixel, sigma)` views.
+type PointTask = (MapPointId, Vec3, Vec<(SE3, Vec2, f64)>);
 
 /// One 3D→2D correspondence for pose optimization.
 #[derive(Debug, Clone, Copy)]
@@ -263,6 +269,24 @@ pub struct BaStats {
     pub initial_cost: f64,
     pub final_cost: f64,
     pub sweeps: usize,
+    /// Wall time spent in the (parallelizable) pose passes, ms.
+    pub pose_ms: f64,
+    /// Wall time spent in the (parallelizable) point passes, ms.
+    pub point_ms: f64,
+    /// Total wall time of the adjustment, ms.
+    pub total_ms: f64,
+}
+
+/// Reusable scratch buffers for [`local_bundle_adjust_with`], held by the
+/// caller (the `LocalMapper`) across invocations so the per-call point
+/// collection allocates only while the window is still growing — the same
+/// scratch-reuse pattern as the ORB extractor's pyramid buffers.
+#[derive(Debug, Clone, Default)]
+pub struct BaScratch {
+    /// In-window keyframe ids (center first, then covisibles).
+    kf_ids: Vec<KeyFrameId>,
+    /// Sorted, deduplicated ids of every point the window observes.
+    point_ids: Vec<MapPointId>,
 }
 
 /// Local bundle adjustment around `center`: adjusts the center keyframe,
@@ -270,6 +294,8 @@ pub struct BaStats {
 /// observe. Keyframes outside the window contribute fixed observations
 /// (gauge anchors). The oldest keyframe in the window is additionally held
 /// fixed so a pure gauge drift can't wander.
+///
+/// Sequential convenience wrapper over [`local_bundle_adjust_with`].
 pub fn local_bundle_adjust(
     map: &mut Map,
     cam: &PinholeCamera,
@@ -277,8 +303,43 @@ pub fn local_bundle_adjust(
     window: usize,
     sweeps: usize,
 ) -> BaStats {
-    let mut kfs: Vec<KeyFrameId> = vec![center];
-    kfs.extend(
+    local_bundle_adjust_with(
+        map,
+        cam,
+        center,
+        window,
+        sweeps,
+        &GpuExecutor::cpu(),
+        &mut BaScratch::default(),
+    )
+}
+
+/// [`local_bundle_adjust`] with an explicit worker pool and reusable
+/// scratch buffers.
+///
+/// Block-coordinate descent makes both halves of a sweep embarrassingly
+/// parallel: during the pose pass every keyframe reads only its own pose
+/// plus the (fixed) point positions, and during the point pass every
+/// point reads only its own position plus the (fixed) keyframe poses. So
+/// each pass builds its work items from the pre-pass map state and fans
+/// them over `exec`'s order-preserving `par_map` — the same inputs, the
+/// same per-item arithmetic and the same application order as the
+/// sequential in-place loops, hence bit-identical results at any worker
+/// count.
+pub fn local_bundle_adjust_with(
+    map: &mut Map,
+    cam: &PinholeCamera,
+    center: KeyFrameId,
+    window: usize,
+    sweeps: usize,
+    exec: &GpuExecutor,
+    scratch: &mut BaScratch,
+) -> BaStats {
+    let t_total = Instant::now();
+    let BaScratch { kf_ids, point_ids } = scratch;
+    kf_ids.clear();
+    kf_ids.push(center);
+    kf_ids.extend(
         map.covisible_keyframes(center, 5)
             .into_iter()
             .take(window.saturating_sub(1))
@@ -286,30 +347,36 @@ pub fn local_bundle_adjust(
     );
     // Hold the oldest in-window keyframe fixed (plus all out-of-window
     // observers, implicitly, since we never touch their poses).
-    let fixed_kf = kfs
+    // `total_cmp` rather than `partial_cmp().unwrap()`: a NaN timestamp
+    // must not panic the commit stage (it sorts last instead).
+    let fixed_kf = kf_ids
         .iter()
         .copied()
         .min_by(|a, b| {
             let ta = map.keyframes[a].timestamp;
             let tb = map.keyframes[b].timestamp;
-            ta.partial_cmp(&tb).unwrap()
+            ta.total_cmp(&tb)
         })
         .unwrap_or(center);
 
-    // Collect the point set.
-    let mut points: std::collections::BTreeSet<crate::ids::MapPointId> =
-        std::collections::BTreeSet::new();
-    for kf_id in &kfs {
+    // Collect the point set: sort + dedup on the reused buffer yields the
+    // same ascending unique ids the old per-call `BTreeSet` produced.
+    point_ids.clear();
+    for kf_id in kf_ids.iter() {
         if let Some(kf) = map.keyframes.get(kf_id) {
-            points.extend(kf.matched_points.iter().flatten().copied());
+            point_ids.extend(kf.matched_points.iter().flatten().copied());
         }
     }
+    point_ids.sort_unstable();
+    point_ids.dedup();
+    let kf_ids: &[KeyFrameId] = kf_ids;
+    let point_ids: &[MapPointId] = point_ids;
 
     let sigma_for = |octave: u8| 1.2f64.powi(octave as i32);
     let cost_snapshot = |map: &Map| -> (f64, usize) {
         let mut cost = 0.0;
         let mut n_obs = 0;
-        for mp_id in &points {
+        for mp_id in point_ids {
             let Some(mp) = map.mappoints.get(mp_id) else {
                 continue;
             };
@@ -333,70 +400,85 @@ pub fn local_bundle_adjust(
     };
 
     let (initial_cost, n_observations) = cost_snapshot(map);
+    let mut pose_ms = 0.0;
+    let mut point_ms = 0.0;
 
     for _sweep in 0..sweeps {
-        // 1. Pose pass over in-window keyframes (skip the anchor).
-        for kf_id in &kfs {
-            if *kf_id == fixed_kf {
-                continue;
-            }
-            let Some(kf) = map.keyframes.get(kf_id) else {
-                continue;
-            };
-            let mut obs = Vec::new();
-            for (kp_idx, mp_id) in kf.matched_points.iter().enumerate() {
-                let Some(mp_id) = mp_id else { continue };
-                let Some(mp) = map.mappoints.get(mp_id) else {
-                    continue;
-                };
-                let kp = &kf.keypoints[kp_idx];
-                obs.push(PoseObservation {
-                    point: mp.position,
-                    pixel: kp.pt,
-                    sigma: sigma_for(kp.octave),
-                });
-            }
-            if obs.len() < 10 {
-                continue;
-            }
-            let result = optimize_pose(cam, kf.pose_cw, &obs, 5);
-            if result.n_inliers >= 10 {
-                map.keyframes.get_mut(kf_id).unwrap().pose_cw = result.pose;
-            }
-        }
-
-        // 2. Point pass.
-        let point_ids: Vec<_> = points.iter().copied().collect();
-        for mp_id in point_ids {
-            let Some(mp) = map.mappoints.get(&mp_id) else {
-                continue;
-            };
-            if mp.observations.len() < 2 {
-                continue;
-            }
-            let mut views = Vec::new();
-            for (kf_id, kp_idx) in &mp.observations {
-                if let Some(kf) = map.keyframes.get(kf_id) {
-                    let kp = &kf.keypoints[*kp_idx];
-                    views.push((kf.pose_cw, kp.pt, sigma_for(kp.octave)));
+        // 1. Pose pass over in-window keyframes (skip the anchor). Point
+        // positions are fixed for the whole pass, so the per-keyframe
+        // solves are independent.
+        let t_pose = Instant::now();
+        let pose_tasks: Vec<(KeyFrameId, SE3, Vec<PoseObservation>)> = kf_ids
+            .iter()
+            .filter(|&&kf_id| kf_id != fixed_kf)
+            .filter_map(|kf_id| {
+                let kf = map.keyframes.get(kf_id)?;
+                let mut obs = Vec::new();
+                for (kp_idx, mp_id) in kf.matched_points.iter().enumerate() {
+                    let Some(mp_id) = mp_id else { continue };
+                    let Some(mp) = map.mappoints.get(mp_id) else {
+                        continue;
+                    };
+                    let kp = &kf.keypoints[kp_idx];
+                    obs.push(PoseObservation {
+                        point: mp.position,
+                        pixel: kp.pt,
+                        sigma: sigma_for(kp.octave),
+                    });
                 }
-            }
-            let initial = mp.position;
-            let refined = refine_point(cam, initial, &views, 3);
-            if !refined.is_degenerate() {
-                map.mappoints.get_mut(&mp_id).unwrap().position = refined;
-            }
+                (obs.len() >= 10).then_some((*kf_id, kf.pose_cw, obs))
+            })
+            .collect();
+        let (pose_updates, _) = exec.par_map(&pose_tasks, 0, |(kf_id, pose, obs)| {
+            let result = optimize_pose(cam, *pose, obs, 5);
+            (result.n_inliers >= 10).then_some((*kf_id, result.pose))
+        });
+        for (kf_id, pose) in pose_updates.into_iter().flatten() {
+            map.keyframes.get_mut(&kf_id).unwrap().pose_cw = pose;
         }
+        pose_ms += t_pose.elapsed().as_secs_f64() * 1e3;
+
+        // 2. Point pass: keyframe poses are fixed for the whole pass, so
+        // the per-point solves are independent.
+        let t_point = Instant::now();
+        let point_tasks: Vec<PointTask> = point_ids
+            .iter()
+            .filter_map(|mp_id| {
+                let mp = map.mappoints.get(mp_id)?;
+                if mp.observations.len() < 2 {
+                    return None;
+                }
+                let mut views = Vec::new();
+                for (kf_id, kp_idx) in &mp.observations {
+                    if let Some(kf) = map.keyframes.get(kf_id) {
+                        let kp = &kf.keypoints[*kp_idx];
+                        views.push((kf.pose_cw, kp.pt, sigma_for(kp.octave)));
+                    }
+                }
+                Some((*mp_id, mp.position, views))
+            })
+            .collect();
+        let (point_updates, _) = exec.par_map(&point_tasks, 0, |(mp_id, initial, views)| {
+            let refined = refine_point(cam, *initial, views, 3);
+            (!refined.is_degenerate()).then_some((*mp_id, refined))
+        });
+        for (mp_id, position) in point_updates.into_iter().flatten() {
+            map.mappoints.get_mut(&mp_id).unwrap().position = position;
+        }
+        point_ms += t_point.elapsed().as_secs_f64() * 1e3;
     }
 
     let (final_cost, _) = cost_snapshot(map);
     BaStats {
-        n_keyframes: kfs.len(),
-        n_points: points.len(),
+        n_keyframes: kf_ids.len(),
+        n_points: point_ids.len(),
         n_observations,
         initial_cost,
         final_cost,
         sweeps,
+        pose_ms,
+        point_ms,
+        total_ms: t_total.elapsed().as_secs_f64() * 1e3,
     }
 }
 

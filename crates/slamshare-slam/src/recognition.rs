@@ -8,10 +8,139 @@
 
 use crate::ids::{KeyFrameId, MapPointId};
 use crate::map::{KeyFrame, Map};
-use slamshare_features::bow::{KeyframeDatabase, Vocabulary};
+use parking_lot::RwLock;
+use slamshare_features::bow::{BowVector, Vocabulary, WordId};
 use slamshare_features::matching::TH_LOW;
 use slamshare_features::Descriptor;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+
+/// Default shard count for [`ShardedKeyframeDatabase`].
+pub const DEFAULT_DB_SHARDS: usize = 16;
+
+/// The place-recognition inverted index, split into word-bucket shards
+/// with independent locks.
+///
+/// The server's concurrent trackers and the asynchronous merge worker all
+/// hit the BoW index; a single lock around it would re-serialize exactly
+/// the work the parallel round pipeline spreads out. Sharding by
+/// `word % N` means a query only takes the locks of the words it actually
+/// carries, and two keyframe insertions whose vocabularies don't collide
+/// proceed entirely in parallel. All methods take `&self`.
+///
+/// Keyframe BoW vectors (needed to score candidates) are kept in a second
+/// set of shards keyed by `kf_id % N`. Query results are deterministic:
+/// candidates are gathered in ascending-id order and sorted by
+/// `(score desc, id asc)`, independent of shard layout.
+/// One inverted-index shard: word → keyframe ids.
+type WordShard = RwLock<HashMap<WordId, Vec<u64>>>;
+
+pub struct ShardedKeyframeDatabase {
+    /// word → keyframe ids, sharded by `word % word_shards.len()`.
+    word_shards: Box<[WordShard]>,
+    /// keyframe id → BoW vector, sharded by `id % bow_shards.len()`.
+    bow_shards: Box<[RwLock<HashMap<u64, BowVector>>]>,
+}
+
+impl Default for ShardedKeyframeDatabase {
+    fn default() -> Self {
+        ShardedKeyframeDatabase::new()
+    }
+}
+
+impl ShardedKeyframeDatabase {
+    pub fn new() -> ShardedKeyframeDatabase {
+        ShardedKeyframeDatabase::with_shards(DEFAULT_DB_SHARDS)
+    }
+
+    pub fn with_shards(n: usize) -> ShardedKeyframeDatabase {
+        let n = n.max(1);
+        ShardedKeyframeDatabase {
+            word_shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            bow_shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    #[inline]
+    fn word_shard(&self, word: WordId) -> &RwLock<HashMap<WordId, Vec<u64>>> {
+        &self.word_shards[word as usize % self.word_shards.len()]
+    }
+
+    #[inline]
+    fn bow_shard(&self, kf_id: u64) -> &RwLock<HashMap<u64, BowVector>> {
+        &self.bow_shards[kf_id as usize % self.bow_shards.len()]
+    }
+
+    /// Number of indexed keyframes.
+    pub fn len(&self) -> usize {
+        self.bow_shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bow_shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Index a keyframe's BoW vector (replacing any previous entry for
+    /// the same id). At most one shard lock is held at a time.
+    pub fn add(&self, kf_id: u64, bow: BowVector) {
+        self.remove(kf_id);
+        for &word in bow.0.keys() {
+            self.word_shard(word)
+                .write()
+                .entry(word)
+                .or_default()
+                .push(kf_id);
+        }
+        self.bow_shard(kf_id).write().insert(kf_id, bow);
+    }
+
+    /// Drop a keyframe from the index.
+    pub fn remove(&self, kf_id: u64) {
+        let old = self.bow_shard(kf_id).write().remove(&kf_id);
+        if let Some(old) = old {
+            for word in old.0.keys() {
+                let mut shard = self.word_shard(*word).write();
+                if let Some(list) = shard.get_mut(word) {
+                    list.retain(|&id| id != kf_id);
+                    if list.is_empty() {
+                        shard.remove(word);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Keyframes sharing words with `query`, scored by BoW similarity,
+    /// best first (ties broken by ascending id — deterministic regardless
+    /// of shard layout or interleaved writers). `exclude` filters
+    /// candidates before scoring.
+    pub fn query(
+        &self,
+        query: &BowVector,
+        min_score: f64,
+        exclude: &dyn Fn(u64) -> bool,
+    ) -> Vec<(u64, f64)> {
+        let mut candidates: BTreeSet<u64> = BTreeSet::new();
+        for word in query.0.keys() {
+            let shard = self.word_shard(*word).read();
+            if let Some(list) = shard.get(word) {
+                candidates.extend(list.iter().copied().filter(|&id| !exclude(id)));
+            }
+        }
+        let mut scored: Vec<(u64, f64)> = candidates
+            .into_iter()
+            .filter_map(|id| {
+                let score = self
+                    .bow_shard(id)
+                    .read()
+                    .get(&id)
+                    .map(|b| query.similarity(b))?;
+                (score >= min_score).then_some((id, score))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored
+    }
+}
 
 /// A verified common-region detection.
 #[derive(Debug, Clone)]
@@ -36,7 +165,7 @@ pub fn detect_common_region(
     kf: &KeyFrame,
     source_map: &Map,
     target_map: &Map,
-    db: &KeyframeDatabase,
+    db: &ShardedKeyframeDatabase,
     vocab: &Vocabulary,
     max_candidates: usize,
 ) -> Option<CommonRegion> {
@@ -234,7 +363,7 @@ mod tests {
         let (map_a, _) = build_client_map(1, 0, 100);
         let (map_b, _) = build_client_map(2, 0, 200);
 
-        let mut db = KeyframeDatabase::new();
+        let db = ShardedKeyframeDatabase::new();
         for kf in map_b.keyframes.values() {
             db.add(kf.id.0, kf.bow.clone());
         }
@@ -262,7 +391,7 @@ mod tests {
     #[test]
     fn same_client_keyframes_excluded() {
         let (map_a, _) = build_client_map(1, 0, 100);
-        let mut db = KeyframeDatabase::new();
+        let db = ShardedKeyframeDatabase::new();
         for kf in map_a.keyframes.values() {
             db.add(kf.id.0, kf.bow.clone());
         }
@@ -281,7 +410,7 @@ mod tests {
         // detection is geometrically consistent rather than none at all).
         let (map_a, _) = build_client_map(1, 0, 100);
         let (map_b, _) = build_client_map(2, 30, 200);
-        let mut db = KeyframeDatabase::new();
+        let db = ShardedKeyframeDatabase::new();
         for kf in map_b.keyframes.values() {
             db.add(kf.id.0, kf.bow.clone());
         }
@@ -308,7 +437,7 @@ mod tests {
     fn empty_maps_yield_nothing() {
         let (map_a, _) = build_client_map(1, 0, 100);
         let empty = Map::new(ClientId(2));
-        let db = KeyframeDatabase::new();
+        let db = ShardedKeyframeDatabase::new();
         let kf_a = map_a.keyframes.values().next().unwrap();
         assert!(
             detect_common_region(kf_a, &map_a, &empty, &db, &vocabulary::train_random(42), 5)

@@ -8,6 +8,10 @@ use slam_share::core::server::{ClientFrame, EdgeServer, ServerConfig, ServerFram
 use slam_share::gpu::GpuExecutor;
 use slam_share::net::codec::VideoEncoder;
 use slam_share::sim::dataset::{Dataset, DatasetConfig, TracePreset};
+use slam_share::slam::ids::ClientId;
+use slam_share::slam::map::Map;
+use slam_share::slam::optimize::{local_bundle_adjust, local_bundle_adjust_with, BaScratch};
+use slam_share::slam::system::{FrameInput, SlamConfig, SlamSystem};
 use slam_share::slam::tracking::{Tracker, TrackerConfig};
 use slam_share::slam::vocabulary;
 use std::sync::Arc;
@@ -282,4 +286,169 @@ fn tracking_reads_run_concurrently_with_a_merge_write() {
 
     let stats = server.store.lock_stats();
     assert!(stats.read_acquisitions > 0 && stats.write_acquisitions > 0);
+}
+
+/// Every map quantity local BA touches, at full bit precision (Debug
+/// formatting of f64 round-trips exactly).
+fn map_fingerprint(map: &Map) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for (id, kf) in &map.keyframes {
+        writeln!(s, "kf {id:?} {:?}", kf.pose_cw).unwrap();
+    }
+    for (id, mp) in &map.mappoints {
+        writeln!(s, "mp {id:?} {:?} {:?}", mp.position, mp.normal).unwrap();
+    }
+    s
+}
+
+#[test]
+fn parallel_local_ba_is_bit_identical_to_sequential() {
+    // A real map with covisibility: run the full single-client pipeline
+    // for a dozen frames so keyframes share tracked points.
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(12)
+            .with_seed(71),
+    );
+    let vocab = Arc::new(vocabulary::train_random(42));
+    let mut system = SlamSystem::new(
+        ClientId(1),
+        SlamConfig::stereo(ds.rig),
+        vocab,
+        Arc::new(GpuExecutor::cpu()),
+    );
+    for i in 0..12 {
+        let (l, r) = ds.render_stereo_frame(i);
+        system.process_frame(FrameInput {
+            timestamp: ds.frame_time(i),
+            left: &l,
+            right: Some(&r),
+            imu: &[],
+            pose_hint: (i == 0).then(|| ds.gt_pose_cw(0)),
+        });
+    }
+    let base = system.map.clone();
+    assert!(base.n_keyframes() >= 3, "{} keyframes", base.n_keyframes());
+    let center = base.latest_keyframe().expect("map has keyframes").id;
+
+    // Sequential reference (the public wrapper runs on a 1-worker pool).
+    let mut seq = base.clone();
+    let seq_stats = local_bundle_adjust(&mut seq, &ds.rig.cam, center, 6, 3);
+    assert!(
+        seq_stats.n_keyframes >= 2 && seq_stats.n_points > 0,
+        "BA window too small to exercise both passes: {seq_stats:?}"
+    );
+    let seq_fp = map_fingerprint(&seq);
+    assert_ne!(
+        map_fingerprint(&base),
+        seq_fp,
+        "BA changed nothing — the comparison would be vacuous"
+    );
+
+    for workers in [1usize, 2, 4] {
+        let mut par = base.clone();
+        let mut scratch = BaScratch::default();
+        let par_stats = local_bundle_adjust_with(
+            &mut par,
+            &ds.rig.cam,
+            center,
+            6,
+            3,
+            &GpuExecutor::cpu_with_workers(workers),
+            &mut scratch,
+        );
+        assert_eq!(
+            seq_fp,
+            map_fingerprint(&par),
+            "local BA diverged from sequential at {workers} workers"
+        );
+        assert_eq!(
+            seq_stats.final_cost.to_bits(),
+            par_stats.final_cost.to_bits(),
+            "BA cost diverged at {workers} workers"
+        );
+        assert_eq!(seq_stats.n_observations, par_stats.n_observations);
+    }
+}
+
+#[test]
+fn async_merge_lands_mid_round_without_changing_committed_results() {
+    const CLIENTS: usize = 2;
+    const FRAMES: usize = 8;
+
+    let build_server = |rig: &MultiClientRig, async_merge: bool| {
+        let vocab = Arc::new(vocabulary::train_random(42));
+        let mut config = ServerConfig::stereo_default(rig.datasets[0].rig);
+        // The test drives the merge by hand mid-run.
+        config.merge_after_keyframes = usize::MAX;
+        config.async_merge = async_merge;
+        let mut server = EdgeServer::new(config, vocab);
+        for c in 0..CLIENTS {
+            server.register_client(c as u16 + 1);
+        }
+        server.set_round_workers(2);
+        server
+    };
+    let round = |server: &EdgeServer, rig: &mut MultiClientRig, i: usize| {
+        let payloads = rig.encode_tick(i);
+        let batch: Vec<ClientFrame> = payloads
+            .iter()
+            .enumerate()
+            .map(|(c, (l, r))| ClientFrame {
+                client: c as u16 + 1,
+                frame_idx: i,
+                timestamp: rig.datasets[c].frame_time(i),
+                left: l,
+                right: Some(r),
+                imu: &[],
+                pose_hint: (c == 0 && i == 0).then(|| rig.datasets[0].gt_pose_cw(0)),
+            })
+            .collect();
+        server.process_round(&batch)
+    };
+
+    // Reference: no merge ever happens. Client 1 stays on its private
+    // local map, so its committed results cannot legitimately depend on
+    // anything client 2 (or the merge worker) does.
+    let mut rig = MultiClientRig::new(CLIENTS, FRAMES + 1);
+    let server = build_server(&rig, false);
+    let mut reference_keys = Vec::new();
+    for i in 0..=FRAMES {
+        reference_keys.push(result_key(&round(&server, &mut rig, i)[0]));
+    }
+
+    // Async run: client 2's merge is submitted mid-run and lands on the
+    // worker thread while rounds keep committing.
+    let mut rig = MultiClientRig::new(CLIENTS, FRAMES + 1);
+    let server = build_server(&rig, true);
+    let mut client1_keys = Vec::new();
+    let mut submitted = false;
+    for i in 0..FRAMES {
+        client1_keys.push(result_key(&round(&server, &mut rig, i)[0]));
+        if !submitted && i >= FRAMES / 2 {
+            submitted = server.submit_merge(2, rig.datasets[1].frame_time(i));
+        }
+    }
+    assert!(submitted, "client 2 never became ready to merge");
+    server.wait_merge_idle();
+    // One more round: client 2's commit collects the completion and the
+    // client transitions to shared-map tracking.
+    client1_keys.push(result_key(&round(&server, &mut rig, FRAMES)[0]));
+
+    assert!(server.is_merged(2), "async merge never landed");
+    assert_eq!(server.merge_log().len(), 1);
+    let stats = server
+        .merge_worker_stats()
+        .expect("async server has a merge worker");
+    assert_eq!(stats.submitted, 1, "{stats:?}");
+    assert_eq!(stats.applied, 1, "{stats:?}");
+    assert!(stats.p95_latency_ms > 0.0, "{stats:?}");
+    let (kfs, mps, _) = server.global_map_stats();
+    assert!(kfs > 0 && mps > 0, "merged map is empty");
+
+    assert_eq!(
+        reference_keys, client1_keys,
+        "a background merge of client 2 changed client 1's committed results"
+    );
 }
