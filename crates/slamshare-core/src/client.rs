@@ -64,6 +64,15 @@ impl ClientDevice {
         self.frame_count
     }
 
+    /// The server asked for a stream resync: force the next encode of
+    /// both eyes to be an I-frame so the server's decoder can re-anchor
+    /// without a reference. Idempotent — safe to call once per dropped
+    /// frame until the intra frame goes out.
+    pub fn request_iframe(&mut self) {
+        self.encoder_left.request_iframe();
+        self.encoder_right.request_iframe();
+    }
+
     /// Process a camera frame: encode as video, charge CPU + bandwidth,
     /// and return the upload. Also advances the IMU motion model with the
     /// samples since the previous frame, yielding the instant pose

@@ -16,6 +16,8 @@
 //!   either system over synthetic datasets and network links and records
 //!   timelines;
 //! * [`hologram`] — shared-hologram placement/perception (Fig. 11);
+//! * [`ingest`] — fault-isolated per-client video decode with the
+//!   I-frame resync protocol (no malformed byte may panic the server);
 //! * [`metrics`] — CPU/bandwidth/FPS accounting and ATE re-exports;
 //! * [`experiments`] — one runner per table/figure of the paper's
 //!   evaluation (see DESIGN.md §3), shared by the Criterion benches and
@@ -25,6 +27,13 @@ pub mod baseline;
 pub mod client;
 pub mod experiments;
 pub mod hologram;
+// The ingest path shares slamshare-net's no-panic invariant: adversarial
+// client bytes must produce typed errors, never a panic.
+#[cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+pub mod ingest;
 pub mod merge_worker;
 pub mod metrics;
 pub mod server;

@@ -7,9 +7,34 @@
 
 pub use slamshare_slam::eval::{ate, short_term_ate, AteResult};
 
+use crate::ingest::ClientIngestSnapshot;
 use parking_lot::Mutex;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate server health report ([`crate::server::EdgeServer::metrics`]):
+/// per-client ingest counters (decode faults, drops, resyncs,
+/// relocalizations) plus the background merge worker's counters when one
+/// is running. Reads are lock-free with respect to the client processes —
+/// a wedged client cannot block the metrics endpoint.
+#[derive(Debug, Clone, Default)]
+pub struct ServerMetrics {
+    pub per_client: BTreeMap<u16, ClientIngestSnapshot>,
+    pub merge_worker: Option<MergeWorkerSnapshot>,
+}
+
+impl ServerMetrics {
+    /// Total decode errors across all clients.
+    pub fn total_decode_errors(&self) -> u64 {
+        self.per_client.values().map(|c| c.decode_errors).sum()
+    }
+
+    /// Total resyncs across all clients.
+    pub fn total_resyncs(&self) -> u64 {
+        self.per_client.values().map(|c| c.resyncs).sum()
+    }
+}
 
 /// Counters and latency samples for the asynchronous merge worker
 /// (process M off the commit path): how many jobs were submitted, how

@@ -51,21 +51,22 @@
 //! ([`ShardedKeyframeDatabase`]), so BoW index maintenance and merge
 //! candidate queries never contend on the global map lock.
 
+use crate::ingest::{DecodeOutcome, IngestCounters, VideoIngest};
 use crate::merge_worker::{AppliedMerge, MergeContext, MergeJob, MergeWorker};
-use crate::metrics::{FpsTracker, MergeWorkerSnapshot};
+use crate::metrics::{FpsTracker, MergeWorkerSnapshot, ServerMetrics};
 use parking_lot::Mutex;
 use slamshare_features::bow::{BowVector, Vocabulary};
 use slamshare_features::image::GrayImage;
 use slamshare_gpu::{GpuExecutor, GpuModel, SharedGpu};
 use slamshare_math::{Sim3, SE3};
-use slamshare_net::codec::VideoDecoder;
+use slamshare_net::codec::CodecError;
 use slamshare_shm::{Segment, SharedStore};
 use slamshare_sim::imu::ImuSample;
 use slamshare_slam::ids::{ClientId, KeyFrameId};
 use slamshare_slam::map::{transform_pose_cw, Map};
 use slamshare_slam::mapping::LocalMapper;
 use slamshare_slam::merge::{try_map_merge, MergeReport};
-use slamshare_slam::recognition::ShardedKeyframeDatabase;
+use slamshare_slam::recognition::{self, ShardedKeyframeDatabase};
 use slamshare_slam::system::{FrameInput, SlamConfig, SlamSystem};
 use slamshare_slam::tracking::{FrameObservation, MotionState, SensorMode, StageTimings, Tracker};
 use std::collections::{BTreeSet, HashMap};
@@ -148,7 +149,40 @@ pub struct ServerFrameResult {
     pub mapping_ms: f64,
     /// Set when this frame triggered the client's initial merge.
     pub merge: Option<MergeOutcome>,
+    /// The server wants the device to send an I-frame: this client's
+    /// video stream is desynced (a payload failed to decode, or the
+    /// stream is still waiting out the resync).
+    pub resync_requested: bool,
+    /// The codec error when *this* frame's payload failed to decode.
+    pub decode_error: Option<CodecError>,
+    /// Tracking restarted from a place-recognition hint this frame.
+    pub relocalized: bool,
 }
+
+/// Typed rejection of a server API call — the panic-free alternative the
+/// ingest path uses ([`EdgeServer::try_process_video`] /
+/// [`EdgeServer::try_process_round`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientError {
+    /// The frame names a client id that was never registered (or was
+    /// deregistered).
+    UnknownClient(u16),
+    /// A round carries two frames for the same client.
+    DuplicateInRound(u16),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::UnknownClient(id) => write!(f, "unregistered client {id}"),
+            ClientError::DuplicateInRound(id) => {
+                write!(f, "client {id} appears twice in one round")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
 
 /// A merge event with its measured latency.
 #[derive(Debug, Clone)]
@@ -188,8 +222,8 @@ enum Phase {
 struct ClientProcess {
     id: ClientId,
     phase: Phase,
-    decoder_left: VideoDecoder,
-    decoder_right: VideoDecoder,
+    /// Fault-isolated video decode + resync state machine.
+    ingest: VideoIngest,
     fps: FpsTracker,
     /// Keyframe count at which the merge process next examines this
     /// client's local map (grows after each failed attempt — process M
@@ -197,16 +231,29 @@ struct ClientProcess {
     next_merge_at_kfs: usize,
 }
 
+/// Consecutive lost frames after which a shared-phase tracker gives up on
+/// its motion model and relocalizes via place recognition.
+const RELOC_AFTER_LOST: usize = 3;
+
 /// Output of the (parallelizable) tracking stage, consumed by the
 /// serialized commit stage.
 enum StagedFrame {
+    /// The frame never decoded (codec fault, or dropped while awaiting
+    /// the resync I-frame). Nothing reached tracking; the commit stage
+    /// only reports the fault and the resync request.
+    Faulted {
+        frame_idx: usize,
+        fault: Option<CodecError>,
+    },
     /// A pre-merge client ran its full self-contained pipeline. Its map
     /// is private, so there is nothing to revalidate in the commit.
     Local(ServerFrameResult),
     /// A merged client tracked speculatively against the global map.
     /// The decoded images and pre-track motion state let the commit
     /// stage redo the track exactly if the map changed since; `epoch` is
-    /// the map epoch the speculative track read under.
+    /// the map epoch the speculative track read under. `pose_hint` is
+    /// the *effective* hint (upload hint or relocalization pose), so a
+    /// redo replays the identical inputs.
     Shared {
         frame_idx: usize,
         timestamp: f64,
@@ -215,6 +262,7 @@ enum StagedFrame {
         epoch: u64,
         pre_track: MotionState,
         pose_hint: Option<SE3>,
+        relocalized: bool,
         left: GrayImage,
         right: Option<GrayImage>,
     },
@@ -235,13 +283,57 @@ pub struct EdgeServer {
     /// One mutex per client process: frames for different clients may be
     /// processed concurrently; frames for one client serialize.
     clients: HashMap<u16, Mutex<ClientProcess>>,
+    /// Lock-free handles to each client's ingest counters, so
+    /// [`EdgeServer::metrics`] never touches a client mutex.
+    ingest_counters: HashMap<u16, Arc<IngestCounters>>,
     /// `(timestamp, client, outcome)` log of merges.
     merge_log: Mutex<Vec<(f64, u16, MergeOutcome)>>,
     /// Worker threads used by [`EdgeServer::process_round`]'s tracking
     /// stage. Results are identical at any value (see module docs).
     round_workers: usize,
+    /// Worker threads used by [`EdgeServer::process_round`]'s decode
+    /// stage (decode runs *before* and off the tracking critical path).
+    decode_workers: usize,
     /// Background merge thread (async mode; see [`crate::merge_worker`]).
     merge_worker: Option<MergeWorker>,
+}
+
+/// Run `f` over `items` on up to `workers` scoped threads, preserving
+/// input order (static chunking, the same shape as
+/// `GpuExecutor::par_map`). Results do not depend on `workers`.
+fn par_map_owned<I: Send, O: Send>(
+    workers: usize,
+    items: Vec<I>,
+    f: impl Fn(I) -> O + Sync,
+) -> Vec<O> {
+    if workers <= 1 || items.len() < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut batches: Vec<Vec<I>> = Vec::new();
+    let mut iter = items.into_iter();
+    loop {
+        let batch: Vec<I> = iter.by_ref().take(chunk).collect();
+        if batch.is_empty() {
+            break;
+        }
+        batches.push(batch);
+    }
+    let mut slots: Vec<Option<Vec<O>>> = Vec::new();
+    slots.resize_with(batches.len(), || None);
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        for (slot, batch) in slots.iter_mut().zip(batches) {
+            scope.spawn(move |_| {
+                *slot = Some(batch.into_iter().map(f).collect());
+            });
+        }
+    })
+    .expect("round worker panicked");
+    slots
+        .into_iter()
+        .flat_map(|s| s.expect("round worker produced no result"))
+        .collect()
 }
 
 impl EdgeServer {
@@ -270,8 +362,12 @@ impl EdgeServer {
             gpu: SharedGpu::new(GpuModel::v100()),
             vocab,
             clients: HashMap::new(),
+            ingest_counters: HashMap::new(),
             merge_log: Mutex::new(Vec::new()),
             round_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            decode_workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             merge_worker,
@@ -293,6 +389,30 @@ impl EdgeServer {
         self.round_workers = n.max(1);
     }
 
+    /// Worker threads the decode stage runs on.
+    pub fn decode_workers(&self) -> usize {
+        self.decode_workers
+    }
+
+    /// Override the decode stage's worker count. Results do not depend on
+    /// this; only wall time does.
+    pub fn set_decode_workers(&mut self, n: usize) {
+        self.decode_workers = n.max(1);
+    }
+
+    /// Aggregate server health: per-client ingest counters plus merge
+    /// worker stats. Lock-free with respect to the client processes.
+    pub fn metrics(&self) -> ServerMetrics {
+        ServerMetrics {
+            per_client: self
+                .ingest_counters
+                .iter()
+                .map(|(&id, c)| (id, c.snapshot()))
+                .collect(),
+            merge_worker: self.merge_worker_stats(),
+        }
+    }
+
     /// Snapshot of the merge log: `(timestamp, client, outcome)`.
     pub fn merge_log(&self) -> Vec<(f64, u16, MergeOutcome)> {
         self.merge_log.lock().clone()
@@ -312,13 +432,14 @@ impl EdgeServer {
             self.vocab.clone(),
             exec,
         );
+        let ingest = VideoIngest::new();
+        self.ingest_counters.insert(id, ingest.counters());
         self.clients.insert(
             id,
             Mutex::new(ClientProcess {
                 id: client_id,
                 phase: Phase::Local(Box::new(system)),
-                decoder_left: VideoDecoder::new(),
-                decoder_right: VideoDecoder::new(),
+                ingest,
                 fps: FpsTracker::new(),
                 next_merge_at_kfs: self.config.merge_after_keyframes,
             }),
@@ -329,6 +450,7 @@ impl EdgeServer {
     /// contributions stay in the global map.
     pub fn deregister_client(&mut self, id: u16) {
         self.clients.remove(&id);
+        self.ingest_counters.remove(&id);
         self.gpu.deregister(id as u32);
     }
 
@@ -346,6 +468,9 @@ impl EdgeServer {
     /// samples since the previous frame (used only for monocular
     /// bootstrap); `pose_hint` optionally seeds bootstrap (session
     /// anchor).
+    ///
+    /// Panics on an unregistered client; the ingest path should prefer
+    /// [`EdgeServer::try_process_video`].
     #[allow(clippy::too_many_arguments)]
     pub fn process_video(
         &self,
@@ -357,6 +482,27 @@ impl EdgeServer {
         imu: &[ImuSample],
         pose_hint: Option<SE3>,
     ) -> ServerFrameResult {
+        self.try_process_video(client, frame_idx, timestamp, left, right, imu, pose_hint)
+            .expect("unregistered client")
+    }
+
+    /// [`EdgeServer::process_video`] with a typed error instead of a
+    /// panic when the client is unknown. Malformed video payloads are
+    /// *not* errors at this level: they come back as a normal
+    /// [`ServerFrameResult`] with [`ServerFrameResult::decode_error`]
+    /// set and a resync request — a broken client must not be able to
+    /// distinguish itself from a slow one, let alone crash the server.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_process_video(
+        &self,
+        client: u16,
+        frame_idx: usize,
+        timestamp: f64,
+        left: &[u8],
+        right: Option<&[u8]>,
+        imu: &[ImuSample],
+        pose_hint: Option<SE3>,
+    ) -> Result<ServerFrameResult, ClientError> {
         let frame = ClientFrame {
             client,
             frame_idx,
@@ -366,86 +512,145 @@ impl EdgeServer {
             imu,
             pose_hint,
         };
-        let process = self.clients.get(&client).expect("unregistered client");
+        let process = self
+            .clients
+            .get(&client)
+            .ok_or(ClientError::UnknownClient(client))?;
         let mut process = process.lock();
-        let staged = self.track_stage(&mut process, &frame);
-        self.commit_stage(&mut process, client, timestamp, staged)
+        let decoded = process.ingest.decode(frame.left, frame.right);
+        let staged = self.track_stage(&mut process, &frame, decoded);
+        Ok(self.commit_stage(&mut process, client, timestamp, staged))
     }
 
     /// Process one frame for each of several *distinct* clients.
     ///
-    /// The tracking stage (decode, ORB extraction, stereo matching, pose
-    /// estimation — all of the per-frame heavy lifting) runs on
-    /// [`EdgeServer::round_workers`] scoped threads, each frame reading
-    /// the global map under a concurrent read lock. Commits (keyframe
-    /// insertion, merge triggering) then run sequentially in input
-    /// order; if a commit writes the global map, the remaining merged
-    /// clients' speculative tracks are stale and are redone in the
-    /// commit stage, so the returned results are exactly what sequential
-    /// [`EdgeServer::process_video`] calls in input order would produce
-    /// (timing fields aside).
+    /// Panics on duplicate clients in one round or an unregistered
+    /// client; the ingest path should prefer
+    /// [`EdgeServer::try_process_round`].
     pub fn process_round(&self, frames: &[ClientFrame]) -> Vec<ServerFrameResult> {
+        match self.try_process_round(frames) {
+            Ok(results) => results,
+            Err(ClientError::DuplicateInRound(id)) => {
+                panic!("client {id} appears twice in one round")
+            }
+            Err(ClientError::UnknownClient(_)) => panic!("unregistered client"),
+        }
+    }
+
+    /// Process one frame for each of several *distinct* clients, with a
+    /// typed error instead of a panic on an invalid batch.
+    ///
+    /// The pipeline has three stages:
+    ///
+    /// 1. **Decode** — every frame's video payloads decode on
+    ///    [`EdgeServer::decode_workers`] scoped threads, *off the
+    ///    tracking critical path*. A payload that fails to decode drops
+    ///    only its own client into resync (see [`crate::ingest`]); the
+    ///    other frames proceed untouched.
+    /// 2. **Track** — the decoded frames run ORB extraction, stereo
+    ///    matching and pose estimation on [`EdgeServer::round_workers`]
+    ///    scoped threads, each reading the global map under a concurrent
+    ///    read lock.
+    /// 3. **Commit** — keyframe insertion and merge triggering run
+    ///    sequentially in input order; if a commit writes the global
+    ///    map, the remaining merged clients' speculative tracks are
+    ///    stale and are redone in the commit stage, so the returned
+    ///    results are exactly what sequential
+    ///    [`EdgeServer::process_video`] calls in input order would
+    ///    produce (timing fields aside).
+    pub fn try_process_round(
+        &self,
+        frames: &[ClientFrame],
+    ) -> Result<Vec<ServerFrameResult>, ClientError> {
         {
             let mut ids: Vec<u16> = frames.iter().map(|f| f.client).collect();
             ids.sort_unstable();
             for w in ids.windows(2) {
-                assert!(w[0] != w[1], "client {} appears twice in one round", w[0]);
+                if w[0] == w[1] {
+                    return Err(ClientError::DuplicateInRound(w[0]));
+                }
             }
         }
+        for f in frames {
+            if !self.clients.contains_key(&f.client) {
+                return Err(ClientError::UnknownClient(f.client));
+            }
+        }
+
+        // Phase 0: decode every client's payloads off the tracking path.
+        // `&self` guarantees the client set cannot change under us, so
+        // the lookups validated above stay valid.
+        let decode_workers = self.decode_workers.min(frames.len()).max(1);
+        let decoded: Vec<DecodeOutcome> = par_map_owned(
+            decode_workers,
+            frames.iter().collect::<Vec<&ClientFrame>>(),
+            |f| self.decode_one(f),
+        );
 
         // Phase 1: speculative parallel tracking against the round-start
         // map (static chunking, same shape as GpuExecutor::par_map).
         let workers = self.round_workers.min(frames.len()).max(1);
-        let staged: Vec<StagedFrame> = if workers <= 1 || frames.len() < 2 {
-            frames.iter().map(|f| self.track_one(f)).collect()
-        } else {
-            let chunk = frames.len().div_ceil(workers);
-            let mut slots: Vec<Option<Vec<StagedFrame>>> = Vec::new();
-            slots.resize_with(frames.len().div_ceil(chunk), || None);
-            crossbeam::thread::scope(|scope| {
-                for (slot, batch) in slots.iter_mut().zip(frames.chunks(chunk)) {
-                    scope.spawn(move |_| {
-                        *slot = Some(batch.iter().map(|f| self.track_one(f)).collect());
-                    });
-                }
-            })
-            .expect("tracking worker panicked");
-            slots
-                .into_iter()
-                .flat_map(|s| s.expect("tracking worker produced no result"))
-                .collect()
-        };
+        let staged: Vec<StagedFrame> = par_map_owned(
+            workers,
+            frames.iter().zip(decoded).collect::<Vec<_>>(),
+            |(f, d)| self.track_one(f, d),
+        );
 
         // Phase 2: serialized commits in input order. Each staged shared
         // frame carries the epoch its speculative track read under; the
         // commit stage re-tracks exactly those whose epoch the map has
         // since moved past (an earlier commit this round, or a background
         // merge).
-        frames
+        Ok(frames
             .iter()
             .zip(staged)
             .map(|(f, st)| {
-                let process = self.clients.get(&f.client).expect("unregistered client");
+                let process = self.clients.get(&f.client).expect("validated above");
                 let mut process = process.lock();
                 self.commit_stage(&mut process, f.client, f.timestamp, st)
             })
-            .collect()
+            .collect())
+    }
+
+    /// Lock one client and decode its payloads (phase-0 worker body).
+    fn decode_one(&self, frame: &ClientFrame) -> DecodeOutcome {
+        let process = self.clients.get(&frame.client).expect("validated above");
+        let mut process = process.lock();
+        process.ingest.decode(frame.left, frame.right)
     }
 
     /// Lock one client and run its tracking stage (phase-1 worker body).
-    fn track_one(&self, frame: &ClientFrame) -> StagedFrame {
-        let process = self
-            .clients
-            .get(&frame.client)
-            .expect("unregistered client");
+    fn track_one(&self, frame: &ClientFrame, decoded: DecodeOutcome) -> StagedFrame {
+        let process = self.clients.get(&frame.client).expect("validated above");
         let mut process = process.lock();
-        self.track_stage(&mut process, frame)
+        self.track_stage(&mut process, frame, decoded)
     }
 
-    /// The parallelizable half of frame processing: decode and track.
-    /// Touches only the client's own state plus the global map under a
-    /// read lock.
-    fn track_stage(&self, process: &mut ClientProcess, frame: &ClientFrame) -> StagedFrame {
+    /// The parallelizable half of frame processing: track the decoded
+    /// images. Touches only the client's own state plus the global map
+    /// under a read lock.
+    fn track_stage(
+        &self,
+        process: &mut ClientProcess,
+        frame: &ClientFrame,
+        decoded: DecodeOutcome,
+    ) -> StagedFrame {
+        let (left_img, right_img, decode_ms, relocalize) = match decoded {
+            DecodeOutcome::Decoded {
+                left,
+                right,
+                decode_ms,
+                relocalize,
+            } => (left, right, decode_ms, relocalize),
+            DecodeOutcome::Dropped { fault } => {
+                return StagedFrame::Faulted {
+                    frame_idx: frame.frame_idx,
+                    fault,
+                }
+            }
+        };
+        let counters = process.ingest.counters();
+
         // Refresh the client's GPU slice (GSlice repartitions on churn).
         let exec = if self.config.use_gpu {
             self.gpu.executor(frame.client as u32)
@@ -453,22 +658,7 @@ impl EdgeServer {
             None
         };
 
-        // 1. Decode video.
-        let t0 = Instant::now();
-        let (left_img, _) = process
-            .decoder_left
-            .decode(frame.left)
-            .expect("undecodable left video");
-        let right_img = frame.right.map(|r| {
-            process
-                .decoder_right
-                .decode(r)
-                .expect("undecodable right video")
-                .0
-        });
-        let decode_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-        // 2. Track (and, pre-merge, map locally).
+        // Track (and, pre-merge, map locally).
         match &mut process.phase {
             Phase::Local(system) => {
                 if let Some(exec) = &exec {
@@ -491,6 +681,9 @@ impl EdgeServer {
                     decode_ms,
                     mapping_ms: 0.0,
                     merge: None,
+                    resync_requested: false,
+                    decode_error: None,
+                    relocalized: false,
                 })
             }
             Phase::Shared {
@@ -499,6 +692,30 @@ impl EdgeServer {
                 if let Some(exec) = &exec {
                     tracker.exec = exec.clone();
                 }
+                // Recovery: after a resync (frames were lost — the motion
+                // model no longer describes frame-to-frame motion) or
+                // sustained tracking loss, restart from place
+                // recognition instead of a bogus prediction.
+                let mut pose_hint = frame.pose_hint;
+                let mut relocalized = false;
+                if relocalize || tracker.consecutive_lost() >= RELOC_AFTER_LOST {
+                    tracker.invalidate_motion();
+                    if pose_hint.is_none() {
+                        let (features, _) = tracker.extract(&left_img);
+                        let bow = self.vocab.transform(&features.descriptors);
+                        let hint = self
+                            .store
+                            .with_read(|state| recognition::relocalize(&self.db, &bow, &state.map));
+                        if let Some((_, pose)) = hint {
+                            tracker.reset_motion(pose);
+                            pose_hint = Some(pose);
+                            relocalized = true;
+                            counters.record_relocalization();
+                        }
+                    }
+                }
+                // The pre-track snapshot is taken *after* relocalization
+                // so a commit-stage redo replays the identical inputs.
                 let pre_track = tracker.motion_state();
                 // Concurrent read for tracking; the epoch read under the
                 // same lock tells the commit stage whether this track is
@@ -512,7 +729,7 @@ impl EdgeServer {
                             right_img.as_ref(),
                             &state.map,
                             *last_kf,
-                            frame.pose_hint,
+                            pose_hint,
                         ),
                         state.epoch,
                     )
@@ -524,7 +741,8 @@ impl EdgeServer {
                     obs,
                     epoch,
                     pre_track,
-                    pose_hint: frame.pose_hint,
+                    pose_hint,
+                    relocalized,
                     left: left_img,
                     right: right_img,
                 }
@@ -544,6 +762,26 @@ impl EdgeServer {
         timestamp: f64,
         staged: StagedFrame,
     ) -> ServerFrameResult {
+        // A faulted frame never touches the map (no keyframe, no epoch
+        // bump, no merge trigger): the other clients' rounds proceed
+        // bit-identically to a round where this client sent nothing. The
+        // result asks the device for a resync I-frame.
+        if let StagedFrame::Faulted { frame_idx, fault } = staged {
+            return ServerFrameResult {
+                frame_idx,
+                pose: None,
+                tracked: false,
+                merged: matches!(process.phase, Phase::Shared { .. }),
+                n_matches: 0,
+                timings: Default::default(),
+                decode_ms: 0.0,
+                mapping_ms: 0.0,
+                merge: None,
+                resync_requested: true,
+                decode_error: fault,
+                relocalized: false,
+            };
+        }
         let mut result = match staged {
             StagedFrame::Local(result) => result,
             StagedFrame::Shared {
@@ -554,6 +792,7 @@ impl EdgeServer {
                 mut epoch,
                 pre_track,
                 pose_hint,
+                relocalized,
                 left,
                 right,
             } => {
@@ -642,8 +881,12 @@ impl EdgeServer {
                     decode_ms,
                     mapping_ms,
                     merge: None,
+                    resync_requested: false,
+                    decode_error: None,
+                    relocalized,
                 }
             }
+            StagedFrame::Faulted { .. } => unreachable!("handled above"),
         };
 
         process

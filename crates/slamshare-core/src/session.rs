@@ -384,6 +384,11 @@ impl Session {
             // Post-round: downlink replies + timeline records.
             for (e, res) in round.iter().zip(results) {
                 let c = &mut clients[e.ci];
+                // Stream desync: the server dropped this frame and wants
+                // an I-frame; force the device's next encode intra.
+                if res.resync_requested {
+                    c.device.request_iframe();
+                }
                 let server_ms = res.decode_ms + res.timings.total_ms() + res.mapping_ms;
                 if let Some(m) = &res.merge {
                     result.merges.push(MergeEvent {

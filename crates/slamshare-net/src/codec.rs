@@ -33,10 +33,57 @@ pub enum CodecError {
     /// P-frame received with no reference frame.
     MissingReference,
     DimensionMismatch,
+    /// The frame header declares dimensions that are zero or implausibly
+    /// large (a corrupt header must not drive a huge allocation).
+    BadDimensions {
+        width: u32,
+        height: u32,
+    },
 }
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated encoded frame"),
+            CodecError::BadMagic(m) => write!(f, "unknown frame magic {m:#04x}"),
+            CodecError::MissingReference => write!(f, "P-frame with no reference frame"),
+            CodecError::DimensionMismatch => {
+                write!(f, "P-frame dimensions disagree with reference")
+            }
+            CodecError::BadDimensions { width, height } => {
+                write!(f, "implausible frame dimensions {width}x{height}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
 
 const MAGIC_INTRA: u8 = 0xA1;
 const MAGIC_PREDICTED: u8 = 0xA2;
+
+/// Upper bound on `width * height` accepted by the decoders. Far above
+/// any camera this system simulates, far below what a corrupted header
+/// could otherwise make the decoder allocate.
+pub const MAX_DECODE_PIXELS: u64 = 1 << 25;
+
+/// Whether an encoded payload is an intra (I-) frame — decodable with no
+/// reference. The server's ingest gate uses this to wait out a desynced
+/// stream until the client's resync I-frame arrives.
+pub fn payload_is_iframe(data: &[u8]) -> bool {
+    data.first() == Some(&MAGIC_INTRA)
+}
+
+/// Parse and validate the `width`/`height` header shared by both frame
+/// kinds (`data` must already hold ≥ 9 bytes).
+fn read_dims(data: &[u8]) -> Result<(usize, usize), CodecError> {
+    let width = u32::from_le_bytes([data[1], data[2], data[3], data[4]]);
+    let height = u32::from_le_bytes([data[5], data[6], data[7], data[8]]);
+    if width == 0 || height == 0 || u64::from(width) * u64::from(height) > MAX_DECODE_PIXELS {
+        return Err(CodecError::BadDimensions { width, height });
+    }
+    Ok((width as usize, height as usize))
+}
 
 /// Dead-zone threshold for P-frame residuals. Must exceed twice the
 /// renderer's dither amplitude (±4) so static-but-noisy pixels code to
@@ -58,7 +105,7 @@ pub struct EncodedFrame {
 // 129..=255 = repeat next byte 257−n times).
 // ---------------------------------------------------------------------
 
-fn packbits_encode(out: &mut BytesMut, data: &[u8]) {
+pub fn packbits_encode(out: &mut BytesMut, data: &[u8]) {
     let mut i = 0;
     while i < data.len() {
         // Find a run.
@@ -92,7 +139,10 @@ fn packbits_encode(out: &mut BytesMut, data: &[u8]) {
     }
 }
 
-fn packbits_decode(data: &[u8], expected: usize) -> Result<Vec<u8>, CodecError> {
+/// Decode a PackBits stream into exactly `expected` bytes. Total on
+/// arbitrary input: any truncation, overshoot, or shortfall is an `Err`,
+/// never a panic, and the output allocation is bounded by `expected`.
+pub fn packbits_decode(data: &[u8], expected: usize) -> Result<Vec<u8>, CodecError> {
     let mut out = Vec::with_capacity(expected);
     let mut i = 0;
     while i < data.len() && out.len() < expected {
@@ -164,8 +214,7 @@ impl ImageCodec {
         if data[0] != MAGIC_INTRA {
             return Err(CodecError::BadMagic(data[0]));
         }
-        let width = u32::from_le_bytes(data[1..5].try_into().unwrap()) as usize;
-        let height = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
+        let (width, height) = read_dims(data)?;
         let residuals = packbits_decode(&data[9..], width * height)?;
         let mut img = GrayImage::new(width, height);
         for y in 0..height {
@@ -194,6 +243,8 @@ pub struct VideoEncoder {
     /// The decoder-visible previous frame (encoder-side reconstruction).
     reference: Option<GrayImage>,
     frames_since_iframe: usize,
+    /// The receiver requested a resync: the next frame is intra-coded.
+    force_iframe: bool,
 }
 
 impl Default for VideoEncoder {
@@ -210,27 +261,39 @@ impl VideoEncoder {
             iframe_interval,
             reference: None,
             frames_since_iframe: 0,
+            force_iframe: false,
         }
+    }
+
+    /// Make the next encoded frame an I-frame regardless of the GOP
+    /// schedule — the server's resync request after its decoder lost the
+    /// stream (corrupt or dropped frames).
+    pub fn request_iframe(&mut self) {
+        self.force_iframe = true;
     }
 
     /// Encode the next frame of the stream.
     pub fn encode(&mut self, img: &GrayImage) -> EncodedFrame {
-        let need_iframe = match &self.reference {
-            None => true,
-            Some(r) => {
-                r.width != img.width
-                    || r.height != img.height
-                    || self.frames_since_iframe + 1 >= self.iframe_interval
+        let need_iframe = self.force_iframe
+            || match &self.reference {
+                None => true,
+                Some(r) => {
+                    r.width != img.width
+                        || r.height != img.height
+                        || self.frames_since_iframe + 1 >= self.iframe_interval
+                }
+            };
+        let reference = match &self.reference {
+            Some(r) if !need_iframe => r,
+            _ => {
+                let encoded = ImageCodec::encode(img);
+                self.reference = Some(img.clone());
+                self.frames_since_iframe = 0;
+                self.force_iframe = false;
+                return encoded;
             }
         };
-        if need_iframe {
-            let encoded = ImageCodec::encode(img);
-            self.reference = Some(img.clone());
-            self.frames_since_iframe = 0;
-            return encoded;
-        }
         let t0 = Instant::now();
-        let reference = self.reference.as_ref().unwrap();
         let mut out = BytesMut::with_capacity(4096);
         out.put_u8(MAGIC_PREDICTED);
         out.put_u32_le(img.width as u32);
@@ -286,6 +349,11 @@ impl VideoEncoder {
 }
 
 /// Streaming video decoder.
+///
+/// Decoding is **total**: any byte sequence returns `Ok` or a typed
+/// [`CodecError`], never panics, and a failed decode leaves the decoder's
+/// reference state untouched (the error is observable, the stream state
+/// is not corrupted further).
 #[derive(Debug, Clone, Default)]
 pub struct VideoDecoder {
     reference: Option<GrayImage>,
@@ -312,8 +380,7 @@ impl VideoDecoder {
                 if data.len() < 9 {
                     return Err(CodecError::Truncated);
                 }
-                let width = u32::from_le_bytes(data[1..5].try_into().unwrap()) as usize;
-                let height = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
+                let (width, height) = read_dims(data)?;
                 let Some(reference) = &self.reference else {
                     return Err(CodecError::MissingReference);
                 };
@@ -324,7 +391,7 @@ impl VideoDecoder {
                 let mut idx = 0usize;
                 let mut i = 9;
                 while i + 3 <= data.len() {
-                    let run = u16::from_le_bytes(data[i..i + 2].try_into().unwrap()) as usize;
+                    let run = u16::from_le_bytes([data[i], data[i + 1]]) as usize;
                     let count = data[i + 2] as usize;
                     i += 3;
                     idx += run;
@@ -456,6 +523,64 @@ mod tests {
         assert!(!enc.encode(&fs[1]).is_iframe);
         assert!(enc.encode(&fs[2]).is_iframe);
         assert!(!enc.encode(&fs[3]).is_iframe);
+    }
+
+    #[test]
+    fn corrupt_dimension_header_rejected_without_allocation() {
+        // A corrupted header must not make the decoder allocate
+        // width*height bytes: u32::MAX² would abort the process.
+        let mut data = vec![MAGIC_INTRA];
+        data.extend_from_slice(&u32::MAX.to_le_bytes());
+        data.extend_from_slice(&u32::MAX.to_le_bytes());
+        data.push(0);
+        let err = ImageCodec::decode(&data).unwrap_err();
+        assert!(matches!(err, CodecError::BadDimensions { .. }), "{err:?}");
+        let mut dec = VideoDecoder::new();
+        data[0] = MAGIC_PREDICTED;
+        let err = dec.decode(&data).unwrap_err();
+        assert!(matches!(err, CodecError::BadDimensions { .. }), "{err:?}");
+        // Zero-sized frames are equally implausible.
+        let mut zero = vec![MAGIC_INTRA];
+        zero.extend_from_slice(&0u32.to_le_bytes());
+        zero.extend_from_slice(&10u32.to_le_bytes());
+        assert!(matches!(
+            ImageCodec::decode(&zero),
+            Err(CodecError::BadDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_decode_leaves_reference_intact() {
+        let (fs, _) = frames(3);
+        let mut enc = VideoEncoder::default();
+        let mut dec = VideoDecoder::new();
+        let i0 = enc.encode(&fs[0]);
+        dec.decode(&i0.data).unwrap();
+        // Corrupt P-frame: valid magic + dims, garbage body cut short.
+        let p = enc.encode(&fs[1]);
+        let mut corrupt = p.data.to_vec();
+        corrupt.truncate(corrupt.len().saturating_sub(1).max(10));
+        corrupt[9] = 0xFF;
+        corrupt[10] = 0xFF; // huge zero-run pushes idx out of range
+        let _ = dec.decode(&corrupt);
+        // Whatever the corrupt frame did, the real P-frame still decodes
+        // against the intact reference.
+        let (d, _) = dec.decode(&p.data).unwrap();
+        assert_eq!(d.width, fs[1].width);
+    }
+
+    #[test]
+    fn request_iframe_breaks_gop_schedule() {
+        let (fs, _) = frames(3);
+        let mut enc = VideoEncoder::default();
+        assert!(enc.encode(&fs[0]).is_iframe);
+        assert!(!enc.encode(&fs[1]).is_iframe);
+        enc.request_iframe();
+        let forced = enc.encode(&fs[2]);
+        assert!(forced.is_iframe);
+        assert!(payload_is_iframe(&forced.data));
+        // One-shot: the schedule resumes afterwards.
+        assert!(!enc.encode(&fs[0]).is_iframe);
     }
 
     #[test]

@@ -58,26 +58,66 @@ impl Frame {
     }
 }
 
+/// Upper bound on the length prefix (kind byte + payload). Anything a
+/// client legitimately sends (video packets, IMU batches, map uploads)
+/// fits comfortably; a corrupted prefix above this is rejected instead of
+/// parking the connection waiting for gigabytes that will never arrive.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
 /// Append a frame to an outgoing byte stream.
 pub fn encode_frame(out: &mut BytesMut, frame: &Frame) {
+    assert!(
+        frame.payload.len() < MAX_FRAME_LEN,
+        "frame payload exceeds MAX_FRAME_LEN"
+    );
     out.put_u32_le(frame.payload.len() as u32 + 1);
     out.put_u8(frame.kind as u8);
     out.put_slice(&frame.payload);
 }
 
-/// Framing-layer decode errors.
+/// Framing-layer decode errors. Any error poisons the byte stream: the
+/// reader has lost message boundaries and the connection must be reset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FrameError {
     UnknownKind(u8),
+    /// The length prefix is impossible (zero: every frame carries at
+    /// least its kind byte).
+    BadLength(u32),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
 }
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            FrameError::BadLength(n) => write!(f, "impossible frame length {n}"),
+            FrameError::Oversized(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_LEN}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
 
 /// Try to pop one complete frame off the front of `buf`.
 /// `Ok(None)` means more bytes are needed.
+///
+/// Total on malformed input: a zero or oversized length prefix returns an
+/// error immediately (without consuming, and without waiting for a body
+/// that can never legitimately arrive) instead of underflowing or reading
+/// past the declared frame.
 pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Frame>, FrameError> {
     if buf.len() < 4 {
         return Ok(None);
     }
-    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len == 0 {
+        return Err(FrameError::BadLength(len));
+    }
+    if len as usize > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let len = len as usize;
     if buf.len() < 4 + len {
         return Ok(None);
     }
@@ -133,6 +173,47 @@ mod tests {
         stream.put_u32_le(1);
         stream.put_u8(99);
         assert_eq!(decode_frame(&mut stream), Err(FrameError::UnknownKind(99)));
+    }
+
+    #[test]
+    fn zero_length_prefix_rejected() {
+        // Regression: a zero length prefix used to underflow
+        // `split_to(len - 1)` and read the kind byte past the declared
+        // frame — a single malformed client byte panicking the reader.
+        let mut stream = BytesMut::new();
+        stream.put_u32_le(0);
+        assert_eq!(decode_frame(&mut stream), Err(FrameError::BadLength(0)));
+        // Error raised without consuming and without touching bytes past
+        // the prefix — a bare 4-byte prefix must not read byte 5.
+        assert_eq!(stream.len(), 4);
+
+        let mut with_tail = BytesMut::new();
+        with_tail.put_u32_le(0);
+        with_tail.put_u8(MsgKind::Video as u8);
+        assert_eq!(decode_frame(&mut with_tail), Err(FrameError::BadLength(0)));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_immediately() {
+        let mut stream = BytesMut::new();
+        stream.put_u32_le(u32::MAX);
+        stream.put_u8(MsgKind::Video as u8);
+        // Rejected now, not after buffering 4 GiB that never arrives.
+        assert_eq!(
+            decode_frame(&mut stream),
+            Err(FrameError::Oversized(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn max_frame_len_boundary() {
+        let mut stream = BytesMut::new();
+        stream.put_u32_le(MAX_FRAME_LEN as u32);
+        // Exactly at the bound: incomplete, wait for more bytes.
+        assert_eq!(decode_frame(&mut stream).unwrap(), None);
+        let mut over = BytesMut::new();
+        over.put_u32_le(MAX_FRAME_LEN as u32 + 1);
+        assert!(decode_frame(&mut over).is_err());
     }
 
     #[test]

@@ -15,6 +15,19 @@
 //!   P-frame residuals, run-length packed) and an intra-only image codec,
 //!   reproducing the paper's H.264-vs-PNG transfer comparison (Table 3)
 //!   on the synthetic frames.
+//!
+//! # No-panic invariant
+//!
+//! Every decode path in this crate is **total**: arbitrary (adversarial)
+//! bytes produce a typed error, never a panic, never an unbounded
+//! allocation. The crate denies `unwrap`/`expect`/`panic!` outside tests
+//! to keep it that way — one malformed byte from one client must never
+//! take down the edge server (`scripts/check.sh` gates on it).
+
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod codec;
 pub mod framing;

@@ -94,6 +94,66 @@ proptest! {
         }
     }
 
+    /// Framing is total on adversarial bytes: any buffer either yields a
+    /// frame, asks for more data, or returns a typed error — never a
+    /// panic, and never an allocation driven by an unvalidated length.
+    #[test]
+    fn decode_frame_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        use bytes::BytesMut;
+        let mut buf = BytesMut::from(&bytes[..]);
+        match decode_frame(&mut buf) {
+            Ok(Some(f)) => {
+                // Anything accepted must re-encode to the bytes consumed.
+                let mut re = BytesMut::new();
+                encode_frame(&mut re, &f);
+                prop_assert_eq!(&re[..], &bytes[..re.len()]);
+            }
+            Ok(None) => prop_assert_eq!(buf.len(), bytes.len()), // nothing consumed while waiting
+            Err(_) => {} // typed rejection is the contract
+        }
+    }
+
+    /// PackBits decoding is total: arbitrary input yields `Some` or `None`,
+    /// never a panic, and a successful decode has the claimed length.
+    #[test]
+    fn packbits_decode_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        expected in 0usize..4096,
+    ) {
+        use bytes::BytesMut;
+        use slamshare_net::codec::{packbits_decode, packbits_encode};
+        if let Ok(out) = packbits_decode(&bytes, expected) {
+            prop_assert_eq!(out.len(), expected);
+        }
+        // And the honest round-trip always succeeds.
+        let mut enc = BytesMut::new();
+        packbits_encode(&mut enc, &bytes);
+        let round = packbits_decode(&enc, bytes.len());
+        prop_assert_eq!(round.as_deref().ok(), Some(&bytes[..]));
+    }
+
+    /// The video decoder is total on adversarial payloads: garbage yields
+    /// a typed `CodecError` and leaves the reference frame untouched, so
+    /// the stream still decodes once honest bytes resume.
+    #[test]
+    fn video_decode_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let img = slamshare_features::GrayImage::from_fn(16, 12, |x, y| (x * 11 + y * 3) as u8);
+        let mut enc = VideoEncoder::default();
+        let mut dec = VideoDecoder::new();
+        let i0 = enc.encode(&img);
+        dec.decode(&i0.data).unwrap();
+
+        let _ = dec.decode(&bytes); // must not panic, whatever the bytes
+
+        // The honest stream continues against the intact reference.
+        let p = enc.encode(&img);
+        prop_assert!(dec.decode(&p.data).is_ok());
+    }
+
     /// Link delivery is monotone in send order and never earlier than
     /// serialization + propagation allow.
     #[test]

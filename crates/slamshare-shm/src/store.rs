@@ -46,6 +46,12 @@ impl<T: Send + Sync + 'static> SharedStore<T> {
 
     /// Serialized write access. `size_of` reports the occupant's new size
     /// for segment accounting (pass `|_| 0` to skip).
+    ///
+    /// Size is reported and charged *while the write guard is still
+    /// held*: reporting after the drop let two interleaved writers swap
+    /// their reports out of order, mis-charging segment growth (writer A
+    /// publishes a stale smaller size over writer B's larger one, and the
+    /// next grower is charged for the difference a second time).
     pub fn with_write<R>(
         &self,
         segment: &Segment,
@@ -55,7 +61,6 @@ impl<T: Send + Sync + 'static> SharedStore<T> {
         let mut guard = self.mutex.write();
         let result = f(&mut guard);
         let new_size = size_of(&guard);
-        drop(guard);
         let old = self.reported_bytes.swap(new_size, Ordering::Relaxed);
         if new_size > old {
             // Charge growth against the segment. Exhaustion here mirrors
@@ -63,6 +68,7 @@ impl<T: Send + Sync + 'static> SharedStore<T> {
             // panic — occupancy reporting will show ≥ 100 %.
             let _ = segment.arena.alloc(new_size - old);
         }
+        drop(guard);
         result
     }
 
@@ -105,6 +111,47 @@ mod tests {
         // Growing again charges only the delta above the last report.
         store.with_write(&seg, |v| v.len(), |v| v.resize(500, 0));
         assert!(seg.arena.used() >= used_after_grow + 490);
+    }
+
+    #[test]
+    fn two_writers_never_mischarge_growth() {
+        // Regression for the accounting race: size used to be reported
+        // *after* the write guard dropped, so two interleaved growers
+        // could publish their sizes out of order and double-charge the
+        // delta. With monotone growth and in-lock reporting, the charges
+        // telescope: total arena usage equals the final size exactly.
+        for round in 0..20 {
+            let seg = Arc::new(Segment::new(1 << 22));
+            SharedStore::create_in(&seg, "map", Vec::<u8>::new()).unwrap();
+            let mut handles = Vec::new();
+            for w in 0..2 {
+                let seg = seg.clone();
+                handles.push(std::thread::spawn(move || {
+                    let store: Arc<SharedStore<Vec<u8>>> =
+                        SharedStore::attach_in(&seg, "map").unwrap();
+                    for i in 0..200 {
+                        // Growth steps are multiples of the arena's
+                        // 16-byte alignment so each charge is exact.
+                        store.with_write(
+                            &seg,
+                            |v| v.len(),
+                            |v| v.resize(v.len() + 16 * (1 + (w + i + round) % 4), 0),
+                        );
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let store: Arc<SharedStore<Vec<u8>>> = SharedStore::attach_in(&seg, "map").unwrap();
+            let final_size = store.with_read(|v| v.len());
+            assert_eq!(store.reported_bytes(), final_size);
+            assert_eq!(
+                seg.arena.used(),
+                final_size,
+                "growth charges did not telescope to the final size"
+            );
+        }
     }
 
     #[test]

@@ -224,6 +224,29 @@ pub fn detect_common_region(
     best
 }
 
+/// Relocalize a lost tracker against the map: BoW-query `db` for the
+/// keyframe most similar to the current frame and hand back its pose as a
+/// tracking hint (ORB-SLAM's `Relocalization`, reduced to the
+/// candidate-selection step — the subsequent guided search and pose
+/// optimization are exactly what [`crate::tracking::Tracker::track`] does
+/// with the hint).
+///
+/// Candidates not present in `map` (e.g. indexed by a client whose local
+/// map was never merged, or culled) are skipped. Deterministic: inherits
+/// [`ShardedKeyframeDatabase::query`]'s `(score desc, id asc)` order.
+pub fn relocalize(
+    db: &ShardedKeyframeDatabase,
+    query: &BowVector,
+    map: &Map,
+) -> Option<(KeyFrameId, slamshare_math::SE3)> {
+    db.query(query, MIN_BOW_SCORE, &|_| false)
+        .into_iter()
+        .find_map(|(id, _)| {
+            let kf_id = KeyFrameId(id);
+            map.keyframes.get(&kf_id).map(|kf| (kf_id, kf.pose_cw))
+        })
+}
+
 /// RANSAC inlier tolerance scaled to the scene: triangulation noise grows
 /// quadratically with depth, so a fixed indoor-scale tolerance (0.35 m)
 /// rejects every true pair in a street-scale map where points sit tens of
@@ -431,6 +454,27 @@ mod tests {
                 "detection dominated by bad pairs"
             );
         }
+    }
+
+    #[test]
+    fn relocalize_returns_best_mapped_candidate() {
+        let (map_b, _) = build_client_map(2, 0, 200);
+        let db = ShardedKeyframeDatabase::new();
+        for kf in map_b.keyframes.values() {
+            db.add(kf.id.0, kf.bow.clone());
+        }
+        // A same-place query (client 1's view of the same frame) must
+        // relocalize onto client 2's keyframe with its pose.
+        let (map_a, _) = build_client_map(1, 0, 100);
+        let kf_a = map_a.keyframes.values().next().unwrap();
+        let (kf_id, pose) = relocalize(&db, &kf_a.bow, &map_b).expect("relocalization failed");
+        assert_eq!(pose, map_b.keyframes[&kf_id].pose_cw);
+        // Candidates indexed but absent from the map are skipped.
+        let empty = Map::new(ClientId(3));
+        assert!(relocalize(&db, &kf_a.bow, &empty).is_none());
+        // An empty database yields nothing.
+        let no_db = ShardedKeyframeDatabase::new();
+        assert!(relocalize(&no_db, &kf_a.bow, &map_b).is_none());
     }
 
     #[test]

@@ -137,6 +137,7 @@ pub struct MotionState {
     velocity: SE3,
     frames_since_kf: usize,
     ref_matches: usize,
+    consecutive_lost: usize,
 }
 
 /// The tracking front end for one camera stream.
@@ -153,6 +154,9 @@ pub struct Tracker {
     /// Matched-point count of the last keyframe (reference for the KF
     /// decision).
     ref_matches: usize,
+    /// Frames in a row that came back lost — the tracking-lost state the
+    /// recovery path (relocalization) keys off.
+    consecutive_lost: usize,
 }
 
 impl Tracker {
@@ -166,6 +170,7 @@ impl Tracker {
             velocity: SE3::IDENTITY,
             frames_since_kf: 0,
             ref_matches: 0,
+            consecutive_lost: 0,
         }
     }
 
@@ -173,6 +178,21 @@ impl Tracker {
     pub fn reset_motion(&mut self, pose: SE3) {
         self.last_pose = Some(pose);
         self.velocity = SE3::IDENTITY;
+        self.consecutive_lost = 0;
+    }
+
+    /// Discard the motion model entirely — the stream skipped frames (a
+    /// decode fault dropped them) so the constant-velocity prediction is
+    /// no longer anchored to the previous frame. Tracking then needs an
+    /// external hint (relocalization) to recover.
+    pub fn invalidate_motion(&mut self) {
+        self.last_pose = None;
+        self.velocity = SE3::IDENTITY;
+    }
+
+    /// How many frames in a row tracking has been lost (0 while healthy).
+    pub fn consecutive_lost(&self) -> usize {
+        self.consecutive_lost
     }
 
     /// Snapshot the frame-to-frame state that [`Tracker::track`] mutates.
@@ -186,6 +206,7 @@ impl Tracker {
             velocity: self.velocity,
             frames_since_kf: self.frames_since_kf,
             ref_matches: self.ref_matches,
+            consecutive_lost: self.consecutive_lost,
         }
     }
 
@@ -195,6 +216,7 @@ impl Tracker {
         self.velocity = state.velocity;
         self.frames_since_kf = state.frames_since_kf;
         self.ref_matches = state.ref_matches;
+        self.consecutive_lost = state.consecutive_lost;
     }
 
     /// Record that a keyframe was inserted with `n_matched` tracked points.
@@ -406,6 +428,7 @@ impl Tracker {
         }
         self.last_pose = Some(pose);
         self.frames_since_kf += 1;
+        self.consecutive_lost = if lost { self.consecutive_lost + 1 } else { 0 };
 
         // Keyframe decision.
         let keyframe_requested = !lost
@@ -510,6 +533,35 @@ mod tests {
         let obs = tracker.track(0, 0.0, &img, None, &map, None, None);
         assert!(obs.lost);
         assert_eq!(obs.n_tracked, 0);
+    }
+
+    #[test]
+    fn consecutive_lost_counts_and_resets() {
+        let ds = Dataset::build(DatasetConfig::new(TracePreset::V202).with_frames(3));
+        let mut tracker = Tracker::new(TrackerConfig::mono(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let img = ds.render_frame(0);
+        let empty = Map::new(ClientId(1));
+        assert_eq!(tracker.consecutive_lost(), 0);
+        for i in 0..2 {
+            let obs = tracker.track(i, 0.0, &img, None, &empty, None, None);
+            assert!(obs.lost);
+            assert_eq!(tracker.consecutive_lost(), i + 1);
+        }
+        // The counter travels through the snapshot/restore used by the
+        // speculative round pipeline…
+        let snap = tracker.motion_state();
+        tracker.reset_motion(SE3::IDENTITY);
+        assert_eq!(tracker.consecutive_lost(), 0);
+        tracker.restore_motion_state(snap);
+        assert_eq!(tracker.consecutive_lost(), 2);
+        // …and a successful track clears it.
+        let (map, ds2, mut healthy) = seeded_map_and_dataset();
+        let state = healthy.motion_state();
+        healthy.restore_motion_state(state);
+        let (left, right) = ds2.render_stereo_frame(1);
+        let obs = healthy.track(1, ds2.frame_time(1), &left, Some(&right), &map, None, None);
+        assert!(!obs.lost);
+        assert_eq!(healthy.consecutive_lost(), 0);
     }
 
     #[test]

@@ -16,6 +16,14 @@ cargo bench --workspace --no-run
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== no-panic gate (slamshare-net, core ingest) =="
+# The ingest path denies unwrap/expect/panic via in-source
+# #![cfg_attr(not(test), deny(...))] attributes (crate-level in
+# slamshare-net, module-level on slamshare-core::ingest). A plain clippy
+# pass compiles those lints as hard errors; CLI -D flags must NOT be used
+# here — they leak into the vendored workspace path deps.
+cargo clippy -q -p slamshare-net -p slamshare-core
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -1,0 +1,235 @@
+//! Fault isolation end-to-end: one client streaming malformed bytes
+//! mid-session must not panic the edge server, must not perturb the other
+//! clients' results by a single bit, and must recover via the I-frame
+//! resync + relocalization protocol once honest bytes resume.
+
+use slam_share::core::client::ClientDevice;
+use slam_share::core::server::{ClientFrame, EdgeServer, ServerConfig, ServerFrameResult};
+use slam_share::net::codec::{payload_is_iframe, VideoEncoder};
+use slam_share::sim::dataset::{Dataset, DatasetConfig, TracePreset};
+use slam_share::slam::vocabulary;
+use std::sync::Arc;
+
+/// Everything a frame result asserts about SLAM state, with wall-clock
+/// timing fields (which legitimately vary run to run) excluded.
+fn result_key(r: &ServerFrameResult) -> String {
+    format!(
+        "idx={} pose={:?} tracked={} merged={} n_matches={} merge_aligned={:?}",
+        r.frame_idx,
+        r.pose,
+        r.tracked,
+        r.merged,
+        r.n_matches,
+        r.merge
+            .as_ref()
+            .map(|m| (m.report.aligned, m.report.n_fused)),
+    )
+}
+
+struct Rig {
+    datasets: Vec<Dataset>,
+    encoders: Vec<(VideoEncoder, VideoEncoder)>,
+}
+
+impl Rig {
+    fn new(frames: usize) -> Rig {
+        let datasets: Vec<Dataset> = (0..2)
+            .map(|c| {
+                Dataset::build(
+                    DatasetConfig::new(TracePreset::V202)
+                        .with_frames(frames)
+                        .with_seed(51 + c as u64),
+                )
+            })
+            .collect();
+        Rig {
+            datasets,
+            encoders: vec![Default::default(), Default::default()],
+        }
+    }
+
+    fn server(&self) -> EdgeServer {
+        let vocab = Arc::new(vocabulary::train_random(42));
+        let mut server = EdgeServer::new(ServerConfig::stereo_default(self.datasets[0].rig), vocab);
+        server.register_client(1);
+        server.register_client(2);
+        server
+    }
+
+    /// Encode frame `i` for client `c` (codec state advances).
+    fn encode(&mut self, c: usize, i: usize) -> (Vec<u8>, Vec<u8>) {
+        let (l, r) = self.datasets[c].render_stereo_frame(i);
+        let (el, er) = &mut self.encoders[c];
+        (el.encode(&l).data.to_vec(), er.encode(&r).data.to_vec())
+    }
+
+    fn frame<'a>(&self, c: usize, i: usize, l: &'a [u8], r: &'a [u8]) -> ClientFrame<'a> {
+        ClientFrame {
+            client: c as u16 + 1,
+            frame_idx: i,
+            timestamp: self.datasets[c].frame_time(i),
+            left: l,
+            right: Some(r),
+            imu: &[],
+            pose_hint: (c == 0 && i == 0).then(|| self.datasets[0].gt_pose_cw(0)),
+        }
+    }
+}
+
+const CLEAN: usize = 8;
+/// `(left, right)` garbage payloads, chosen so the ingest path sees every
+/// malformed shape: a corrupt P-frame (decoded, fails), a zero-length
+/// payload and a wrong-magic blob (dropped unseen while desynced), a
+/// truncated intra header and an absurd-dimensions intra header (look
+/// like resync I-frames, reach the decoder, fail again).
+const GARBAGE: [(&[u8], &[u8]); 5] = [
+    (&[0xA2, 0xFF, 0xFF], &[0xA2]),
+    (&[], &[]),
+    (&[0xA1], &[0xA1]),
+    (
+        &[0xA1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF],
+        &[0xA1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF],
+    ),
+    (&[0x00, 0x01, 0x02], &[0x00]),
+];
+/// Of the five, the ones that reach a decoder: the first (stream not yet
+/// desynced) and the two that masquerade as intra frames.
+const EXPECTED_DECODE_ERRORS: u64 = 3;
+
+#[test]
+fn garbage_client_is_isolated_and_recovers() {
+    let frames = CLEAN + GARBAGE.len() + 3;
+
+    // After the recovery round, client 1 legitimately resumes mutating
+    // the shared map, so client 2's results rightly diverge from a
+    // "client 1 silent forever" baseline; the bit-identical window is
+    // everything through the recovery round (client 2 commits first in
+    // every batch, so its recovery-round result predates client 1's
+    // re-entry into the map).
+    let compare_rounds = CLEAN + GARBAGE.len() + 1;
+
+    // Reference run: client 2 alone after the clean prefix — exactly
+    // what client 2's world looks like if client 1 contributes nothing.
+    let mut rig_a = Rig::new(frames);
+    let server_a = rig_a.server();
+    let mut clean_keys = Vec::new();
+    for i in 0..compare_rounds {
+        let mut batch = Vec::new();
+        let c2 = rig_a.encode(1, i);
+        let c1 = (i < CLEAN).then(|| rig_a.encode(0, i));
+        batch.push(rig_a.frame(1, i, &c2.0, &c2.1));
+        if let Some((l, r)) = &c1 {
+            batch.push(rig_a.frame(0, i, l, r));
+        }
+        clean_keys.push(result_key(&server_a.process_round(&batch)[0]));
+    }
+
+    // Faulty run: same world, but client 1 streams garbage after the
+    // clean prefix, then resyncs with a forced I-frame.
+    let mut rig_b = Rig::new(frames);
+    let server_b = rig_b.server();
+    let mut faulty_keys = Vec::new();
+    let mut client1_results = Vec::new();
+    for i in 0..frames {
+        let c2 = rig_b.encode(1, i);
+        let c1: (Vec<u8>, Vec<u8>) = if i < CLEAN {
+            rig_b.encode(0, i)
+        } else if let Some((l, r)) = GARBAGE.get(i - CLEAN) {
+            (l.to_vec(), r.to_vec())
+        } else {
+            if i == CLEAN + GARBAGE.len() {
+                // The device got the server's resync request.
+                rig_b.encoders[0].0.request_iframe();
+                rig_b.encoders[0].1.request_iframe();
+            }
+            rig_b.encode(0, i)
+        };
+        if i == CLEAN {
+            assert!(
+                server_b.is_merged(1),
+                "client 1 must be on the shared map before the fault window"
+            );
+        }
+        let batch = vec![
+            rig_b.frame(1, i, &c2.0, &c2.1),
+            rig_b.frame(0, i, &c1.0, &c1.1),
+        ];
+        let results = server_b.process_round(&batch);
+        faulty_keys.push(result_key(&results[0]));
+        client1_results.push(result_key(&results[1]));
+
+        if (CLEAN..CLEAN + GARBAGE.len()).contains(&i) {
+            let r1 = &results[1];
+            assert!(r1.resync_requested, "garbage frame {i} must request resync");
+            assert!(!r1.tracked && r1.pose.is_none());
+        }
+        if i == CLEAN + GARBAGE.len() {
+            let r1 = &results[1];
+            assert!(
+                !r1.resync_requested,
+                "resync I-frame must clear the request"
+            );
+            assert!(r1.relocalized, "recovery frame must relocalize");
+            assert!(r1.tracked, "recovery frame must track: {r1:?}");
+        }
+    }
+
+    // Isolation: through the whole fault window (and the recovery
+    // round), client 2 is bit-identical to the run where client 1
+    // simply went silent.
+    assert_eq!(
+        clean_keys,
+        faulty_keys[..compare_rounds],
+        "client 1's garbage perturbed client 2's results"
+    );
+
+    // Recovery is visible in the metrics.
+    let metrics = server_b.metrics();
+    let c1 = metrics.per_client[&1];
+    assert_eq!(c1.decode_errors, EXPECTED_DECODE_ERRORS);
+    assert_eq!(c1.dropped_frames, GARBAGE.len() as u64);
+    assert_eq!(c1.resyncs, 1);
+    assert_eq!(c1.relocalizations, 1);
+    assert_eq!(metrics.per_client[&2], Default::default());
+    assert_eq!(metrics.total_decode_errors(), EXPECTED_DECODE_ERRORS);
+    assert_eq!(metrics.total_resyncs(), 1);
+
+    // And the recovered stream keeps tracking.
+    for key in &client1_results[CLEAN + GARBAGE.len() + 1..] {
+        assert!(
+            key.contains("tracked=true"),
+            "post-recovery frame lost: {key}"
+        );
+    }
+}
+
+#[test]
+fn resync_request_forces_next_device_upload_intra() {
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(3)
+            .with_seed(9),
+    );
+    let mut device = ClientDevice::new(1);
+    let (l0, r0) = ds.render_stereo_frame(0);
+    device.on_frame(ds.frame_time(0), &l0, Some(&r0), &[]);
+    let (l1, r1) = ds.render_stereo_frame(1);
+    let (upload, _) = device.on_frame(ds.frame_time(1), &l1, Some(&r1), &[]);
+    assert!(
+        upload
+            .messages
+            .iter()
+            .all(|m| !payload_is_iframe(&m.payload)),
+        "frame 1 should be predicted under the GOP schedule"
+    );
+
+    // The server asked for a resync: the very next upload is intra, both
+    // eyes, decodable with no reference.
+    device.request_iframe();
+    let (l2, r2) = ds.render_stereo_frame(2);
+    let (upload, _) = device.on_frame(ds.frame_time(2), &l2, Some(&r2), &[]);
+    assert_eq!(upload.messages.len(), 2);
+    for m in &upload.messages {
+        assert!(payload_is_iframe(&m.payload));
+    }
+}
