@@ -15,6 +15,15 @@
 //! * `merge` — merge latencies as the client sees them (inline) vs as
 //!   the worker measures them (async), cross-checked against the
 //!   Table 4 reference in `results/table4_merge_latency.json`.
+//!
+//! Also writes `results/BENCH_map_sharding.json`: commit latency and
+//! merge-apply stalls for the region-sharded global map at 1, 4 and 16
+//! shards, with a background writer bulk-absorbing map fragments while a
+//! merged client commits — the contention experiment for
+//! `slamshare_core::gmap`. At one shard every absorb serializes against
+//! every commit (the old single-lock behaviour); with 16 shards the
+//! absorbs hold only their own regions' locks and the commit path stops
+//! waiting on them.
 
 use bench::{bench_effort, results_dir, save_json};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -264,7 +273,7 @@ fn run_commit_config(
     let worker = server.merge_worker_stats();
 
     let mut sorted = commit_ms.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pct = |p: f64| -> f64 {
         if sorted.is_empty() {
             0.0
@@ -283,6 +292,193 @@ fn run_commit_config(
         merges,
     };
     (row, merge_stalls, worker)
+}
+
+#[derive(Serialize)]
+struct ShardRow {
+    shards: usize,
+    /// Post-merge `process_video` wall time percentiles (speculative
+    /// track + commit, including region-lock waits), ms.
+    commit_p50_ms: f64,
+    commit_p95_ms: f64,
+    commit_max_ms: f64,
+    /// Wall time of each background bulk absorb (the merge-apply analog:
+    /// a write under the destination regions' locks), ms.
+    absorb_p50_ms: f64,
+    absorb_p95_ms: f64,
+    absorb_max_ms: f64,
+    /// Total time all threads spent waiting on region locks, ms.
+    lock_wait_ms: f64,
+    /// Mean regions write-locked per absorb (== shards at 1 shard;
+    /// a strict subset once the map is sharded).
+    mean_locked_regions: f64,
+    n_components: usize,
+}
+
+#[derive(Serialize)]
+struct BenchMapSharding {
+    host_cores: usize,
+    frames: usize,
+    fragments: usize,
+    fragment_keyframes: usize,
+    rows: Vec<ShardRow>,
+}
+
+/// Synthetic pre-built fragment `frag_kfs` keyframes long near world
+/// x-offset `x` (internal covisibility only; negative timestamps so it
+/// never wins a latest-keyframe tie). Mirrors tests/map_sharding.rs.
+fn make_fragment(client: u16, x: f64, frag_kfs: usize) -> Map {
+    use slamshare_slam::map::{KeyFrame, MapPoint};
+    let mut m = Map::new(ClientId(client));
+    let mut kfs = Vec::new();
+    for i in 0..frag_kfs {
+        let id = m.alloc.next_keyframe();
+        let cx = x + i as f64 * 0.1;
+        m.insert_keyframe(KeyFrame {
+            id,
+            pose_cw: slamshare_math::SE3::from_translation(slamshare_math::Vec3::new(
+                -cx, 0.0, 0.0,
+            )),
+            timestamp: -100.0 + i as f64 * 0.1,
+            keypoints: Vec::new(),
+            descriptors: Vec::new(),
+            matched_points: Vec::new(),
+            bow: Default::default(),
+        });
+        kfs.push(id);
+    }
+    for j in 0..(frag_kfs * 4) {
+        let mp = m.alloc.next_mappoint();
+        m.mappoints.insert(
+            mp,
+            MapPoint {
+                id: mp,
+                position: slamshare_math::Vec3::new(x + j as f64 * 0.05, 1.0, 2.0),
+                descriptor: Default::default(),
+                normal: slamshare_math::Vec3::new(0.0, 0.0, 1.0),
+                observations: kfs.iter().map(|&k| (k, j)).collect(),
+                replaced_by: None,
+            },
+        );
+    }
+    m
+}
+
+/// One shard-count configuration: a single client merges into the global
+/// map, then commits its remaining frames while a background thread
+/// bulk-absorbs `fragments` far-away map fragments.
+fn run_sharding_config(
+    shards: usize,
+    frames: usize,
+    fragments: usize,
+    frag_kfs: usize,
+) -> ShardRow {
+    use slamshare_slam::map::RegionAssigner;
+    const CELL_M: f64 = 10.0;
+    const MERGE_AT: usize = 9;
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(frames)
+            .with_seed(51),
+    );
+    let vocab = Arc::new(vocabulary::train_random(42));
+    let mut config = ServerConfig::stereo_default(ds.rig);
+    config.map_shards = shards;
+    config.region_cell_m = CELL_M;
+    config.merge_after_keyframes = usize::MAX;
+    let mut server = EdgeServer::new(config, vocab);
+    server.register_client(1);
+
+    let mut enc: (VideoEncoder, VideoEncoder) = Default::default();
+    let encoded: Vec<(Vec<u8>, Vec<u8>)> = (0..frames)
+        .map(|i| {
+            let (l, r) = ds.render_stereo_frame(i);
+            (
+                enc.0.encode(&l).data.to_vec(),
+                enc.1.encode(&r).data.to_vec(),
+            )
+        })
+        .collect();
+    for (i, (l, r)) in encoded.iter().enumerate().take(MERGE_AT + 1) {
+        server.process_video(
+            1,
+            i,
+            ds.frame_time(i),
+            l,
+            Some(r),
+            &[],
+            (i == 0).then(|| ds.gt_pose_cw(0)),
+        );
+    }
+    server
+        .merge_client_now(1, ds.frame_time(MERGE_AT))
+        .expect("merge into empty global map");
+
+    // Far offsets whose cells hash outside the client's regions (always
+    // region 0 == everything at one shard, where contention is the
+    // point).
+    let assigner = RegionAssigner::new(shards, CELL_M);
+    let client_cells: Vec<usize> = (0..frames)
+        .map(|i| {
+            let c = ds
+                .gt_pose_cw(i)
+                .inverse()
+                .transform(slamshare_math::Vec3::new(0.0, 0.0, 0.0));
+            assigner.region_of(c) as usize
+        })
+        .collect();
+    let offsets: Vec<f64> = (1..)
+        .map(|k| k as f64 * 1000.0)
+        .filter(|&x| {
+            shards == 1
+                || !client_cells.contains(
+                    &(assigner.region_of(slamshare_math::Vec3::new(x, 0.0, 0.0)) as usize),
+                )
+        })
+        .take(fragments)
+        .collect();
+
+    let server = &server;
+    let mut commit_ms = Vec::new();
+    let (absorb_ms, locked_counts) = std::thread::scope(|scope| {
+        let absorber = scope.spawn(move || {
+            let mut durations = Vec::new();
+            let mut locked = Vec::new();
+            for (k, &x) in offsets.iter().enumerate() {
+                let frag = make_fragment(100 + k as u16, x, frag_kfs);
+                let t0 = Instant::now();
+                let receipt = server.absorb_external_fragment(frag);
+                durations.push(t0.elapsed().as_secs_f64() * 1e3);
+                locked.push(receipt.len());
+            }
+            (durations, locked)
+        });
+        for (i, (l, r)) in encoded.iter().enumerate().skip(MERGE_AT + 1) {
+            let t0 = Instant::now();
+            server.process_video(1, i, ds.frame_time(i), l, Some(r), &[], None);
+            commit_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        absorber.join().expect("absorber thread panicked")
+    });
+
+    let snap = server.map_sharding_snapshot();
+    let pct = slamshare_math::stats::percentile;
+    ShardRow {
+        shards,
+        commit_p50_ms: pct(&commit_ms, 50.0),
+        commit_p95_ms: pct(&commit_ms, 95.0),
+        commit_max_ms: commit_ms.iter().copied().fold(0.0, f64::max),
+        absorb_p50_ms: pct(&absorb_ms, 50.0),
+        absorb_p95_ms: pct(&absorb_ms, 95.0),
+        absorb_max_ms: absorb_ms.iter().copied().fold(0.0, f64::max),
+        lock_wait_ms: snap.total_wait_ms(),
+        mean_locked_regions: if locked_counts.is_empty() {
+            0.0
+        } else {
+            locked_counts.iter().sum::<usize>() as f64 / locked_counts.len() as f64
+        },
+        n_components: snap.n_components,
+    }
 }
 
 fn table4_reference() -> Option<f64> {
@@ -364,6 +560,38 @@ fn bench(c: &mut Criterion) {
             ba,
             commit,
             merge,
+        },
+    );
+
+    // Region-sharded global map: commit latency under a concurrent bulk
+    // writer, vs shard count.
+    let shard_frames = frames.clamp(14, 20);
+    let fragments = 8;
+    let fragment_keyframes = 24;
+    let mut shard_rows = Vec::new();
+    for shards in [1usize, 4, 16] {
+        let row = run_sharding_config(shards, shard_frames, fragments, fragment_keyframes);
+        println!(
+            "sharding [{} shard(s)]: commit p50 {:.2} / p95 {:.2} / max {:.2} ms, \
+             absorb p95 {:.2} ms, lock wait {:.2} ms, {:.1} regions/absorb",
+            row.shards,
+            row.commit_p50_ms,
+            row.commit_p95_ms,
+            row.commit_max_ms,
+            row.absorb_p95_ms,
+            row.lock_wait_ms,
+            row.mean_locked_regions,
+        );
+        shard_rows.push(row);
+    }
+    save_json(
+        "BENCH_map_sharding",
+        &BenchMapSharding {
+            host_cores,
+            frames: shard_frames,
+            fragments,
+            fragment_keyframes,
+            rows: shard_rows,
         },
     );
 

@@ -151,7 +151,9 @@ impl BaselineServer {
     fn cut_slice(&self, n: usize) -> Map {
         let mut slice = Map::new(ClientId(0));
         let mut kfs: Vec<_> = self.map.keyframes.values().collect();
-        kfs.sort_by(|a, b| b.timestamp.partial_cmp(&a.timestamp).unwrap());
+        // total_cmp + id tie-break: NaN timestamps sort first (oldest) and
+        // equal timestamps slice deterministically.
+        kfs.sort_by(|a, b| b.timestamp.total_cmp(&a.timestamp).then(a.id.cmp(&b.id)));
         for kf in kfs.into_iter().take(n) {
             slice.keyframes.insert(kf.id, kf.clone());
             for mp_id in kf.matched_points.iter().flatten() {

@@ -1,0 +1,678 @@
+//! The region-sharded global map.
+//!
+//! Partitions the global map's content into N spatial/covisibility
+//! **regions**, each stored in its own shard of a
+//! [`ShardedStore`] (one lock + one epoch counter per region), plus a
+//! top-level **directory** mapping keyframes to regions and tracking
+//! which regions are connected by covisibility. Speculative tracks read
+//! only the regions their local-map window can touch; commits write-lock
+//! only the regions their component covers; the merge worker applies a
+//! plan under only the destination regions' write locks. Clients working
+//! in disjoint areas of the map therefore stop contending on one
+//! map-wide lock.
+//!
+//! # Regions and components
+//!
+//! A keyframe's **region** is a deterministic hash of the ~10 m spatial
+//! grid cell containing its camera center ([`RegionAssigner`]); a map
+//! point lives with its first observer. Regions that share a
+//! covisibility edge (a point observed from keyframes in both) are
+//! **unioned** in a monotone union-find ([`RegionGraph`]): the lock unit
+//! is the connected *component*, never a single region, which keeps
+//! every covisibility-reachable entity inside the locked set.
+//!
+//! Closure invariant: *every observation edge implies its two regions
+//! are already unioned.* Writes maintain it at scatter time (below), and
+//! it is what makes component locking exact — a keyframe's covisible
+//! neighbourhood, its local map points, the BA window around it and the
+//! weld candidates around a merge anchor are all covisibility-reachable,
+//! hence inside the component.
+//!
+//! # Gather / scatter
+//!
+//! A component write gathers the locked shards' content into one scratch
+//! [`Map`] (`BTreeMap` moves — no copies), runs the unchanged
+//! mapping/merge/BA code against it, and scatters the content back by
+//! region. Placement is invisible to results (every read stitches the
+//! locked shards back together), so **results are bit-identical at any
+//! shard count by construction**.
+//!
+//! # Locking discipline
+//!
+//! * Shard locks are acquired in ascending index order (enforced by
+//!   [`ShardedStore`] itself).
+//! * The directory mutex is only ever taken **after** shard locks
+//!   (validation, scatter) or alone (resolve) — never before them.
+//! * Unions only happen during scatter, i.e. under the write locks of
+//!   every region involved, and a dirty write bumps every locked
+//!   region's epoch. Hence components grow monotonically and any growth
+//!   visible to a reader bumps an epoch the reader stamped — the
+//!   commit-side staleness check subsumes read-side revalidation.
+//! * A component write validates, under the directory lock *while
+//!   holding its shard locks*, that the seeds still resolve inside the
+//!   locked set; if a concurrent write merged components first, it
+//!   releases and retries (bounded, then falls back to all regions).
+
+use parking_lot::Mutex;
+use slamshare_math::Vec3;
+use slamshare_shm::{LockStats, Segment, ShardedStore};
+use slamshare_slam::ids::{KeyFrameId, MapPointId};
+use slamshare_slam::map::{Map, MapView, RegionAssigner, RegionGraph};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Component-write attempts before escalating to an all-region write
+/// (mirrors the merge worker's optimistic-retry budget).
+pub const MAX_COMPONENT_RETRIES: usize = 3;
+
+/// One region shard's occupant inside the shared-memory store.
+#[derive(Default)]
+pub struct RegionShard {
+    pub map: Map,
+}
+
+/// Keyframe→region index plus the covisibility-region graph. Lives
+/// beside the store under its own mutex (the "directory" of the sharded
+/// map). Keyframes are never removed from the map, so entries only grow.
+struct Directory {
+    kf_region: HashMap<KeyFrameId, u32>,
+    graph: RegionGraph,
+    assigner: RegionAssigner,
+}
+
+/// What a write operation wants locked: the components of these keyframes
+/// plus the components of the regions containing these positions (new
+/// content lands where its camera centers fall). `all` escalates to every
+/// region (mono mapping, merge fallback, sync merge).
+#[derive(Debug, Clone, Default)]
+pub struct LockSeeds {
+    pub kfs: Vec<KeyFrameId>,
+    pub positions: Vec<Vec3>,
+    pub all: bool,
+}
+
+impl LockSeeds {
+    pub fn all() -> LockSeeds {
+        LockSeeds {
+            all: true,
+            ..LockSeeds::default()
+        }
+    }
+}
+
+/// Lock context handed to a component-write closure: the locked region
+/// indices (ascending) and their epochs as of lock acquisition — the
+/// authoritative values for staleness stamps taken under read locks.
+pub struct ComponentWrite<'a> {
+    pub regions: &'a [usize],
+    pub epochs: &'a [u64],
+}
+
+impl ComponentWrite<'_> {
+    /// Epoch of `region` at lock time, `None` when it is not locked.
+    pub fn epoch_of(&self, region: usize) -> Option<u64> {
+        self.regions
+            .iter()
+            .position(|&r| r == region)
+            .and_then(|i| self.epochs.get(i).copied())
+    }
+}
+
+/// The region-sharded global map: the shm store of region shards, the
+/// segment backing it, and the directory.
+pub struct ShardedGlobalMap {
+    store: Arc<ShardedStore<RegionShard>>,
+    segment: Arc<Segment>,
+    dir: Mutex<Directory>,
+}
+
+fn shard_bytes(s: &RegionShard) -> usize {
+    s.map.approx_bytes()
+}
+
+impl ShardedGlobalMap {
+    /// Create the sharded map inside `segment` under `name` with
+    /// `n_shards` regions of ~`cell_m`-meter grid cells.
+    pub fn create(
+        segment: Arc<Segment>,
+        name: &str,
+        n_shards: usize,
+        cell_m: f64,
+    ) -> Option<Arc<ShardedGlobalMap>> {
+        let n = n_shards.max(1);
+        let store = ShardedStore::create_in(
+            &segment,
+            name,
+            (0..n).map(|_| RegionShard::default()).collect(),
+        )
+        .ok()?;
+        Some(Arc::new(ShardedGlobalMap {
+            store,
+            segment,
+            dir: Mutex::new(Directory {
+                kf_region: HashMap::new(),
+                graph: RegionGraph::new(n),
+                assigner: RegionAssigner::new(n, cell_m),
+            }),
+        }))
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.store.n_shards()
+    }
+
+    /// Number of covisibility-connected region components.
+    pub fn n_components(&self) -> usize {
+        self.dir.lock().graph.n_components()
+    }
+
+    /// Current epoch of every region (lock-free).
+    pub fn region_epochs(&self) -> Vec<u64> {
+        (0..self.store.n_shards())
+            .map(|i| self.store.epoch(i))
+            .collect()
+    }
+
+    /// Whether every `(region, epoch)` entry of a staleness stamp still
+    /// matches the live epochs. Lock-free — the cheap pre-check; the
+    /// authoritative check re-reads epochs under the commit's write
+    /// locks via [`ComponentWrite::epoch_of`].
+    pub fn stamp_current(&self, stamp: &[(usize, u64)]) -> bool {
+        stamp.iter().all(|&(i, e)| self.store.epoch(i) == e)
+    }
+
+    /// Aggregated lock statistics across the shards (same shape the
+    /// single-lock store reported).
+    pub fn lock_stats(&self) -> LockStats {
+        self.store.lock_stats()
+    }
+
+    /// Per-region lock statistics (contention attribution).
+    pub fn shard_lock_stats(&self) -> Vec<LockStats> {
+        self.store.shard_lock_stats()
+    }
+
+    /// Resolve seeds to the sorted union of their components' regions.
+    fn resolve(&self, seeds: &LockSeeds) -> Vec<usize> {
+        let dir = self.dir.lock();
+        self.resolve_in(&dir, seeds)
+    }
+
+    fn resolve_in(&self, dir: &Directory, seeds: &LockSeeds) -> Vec<usize> {
+        let n = self.store.n_shards();
+        if seeds.all || n <= 1 {
+            return (0..n).collect();
+        }
+        let mut set: BTreeSet<usize> = BTreeSet::new();
+        for kf in &seeds.kfs {
+            if let Some(&r) = dir.kf_region.get(kf) {
+                for c in dir.graph.component(r) {
+                    set.insert(c as usize);
+                }
+            }
+        }
+        for p in &seeds.positions {
+            let r = dir.assigner.region_of(*p);
+            for c in dir.graph.component(r) {
+                set.insert(c as usize);
+            }
+        }
+        if set.is_empty() {
+            // Nothing resolved (e.g. a seed keyframe unknown to the
+            // directory): escalate rather than lock nothing.
+            return (0..n).collect();
+        }
+        set.into_iter().collect()
+    }
+
+    /// Speculative-track read: locks the component of `seed` (all
+    /// regions when there is no reference keyframe, since reference
+    /// selection then scans the whole map). `f` receives a [`MapView`]
+    /// over the locked shards plus the staleness stamp — the
+    /// `(region, epoch)` pairs the track read under.
+    pub fn with_track_read<R>(
+        &self,
+        seed: Option<KeyFrameId>,
+        f: impl FnOnce(&MapView, &[(usize, u64)]) -> R,
+    ) -> R {
+        let seeds = match seed {
+            Some(kf) => LockSeeds {
+                kfs: vec![kf],
+                ..LockSeeds::default()
+            },
+            None => LockSeeds::all(),
+        };
+        let regions = self.resolve(&seeds);
+        self.store.with_read(&regions, |order, shards| {
+            // Epochs only move under a shard's write lock, so these reads
+            // are stable for as long as the read locks are held.
+            let stamp: Vec<(usize, u64)> =
+                order.iter().map(|&i| (i, self.store.epoch(i))).collect();
+            let view = MapView::new(shards.iter().map(|s| &s.map).collect());
+            f(&view, &stamp)
+        })
+    }
+
+    /// All-region read access as one stitched [`MapView`] (relocalization,
+    /// map statistics, phase transitions).
+    pub fn with_view<R>(&self, f: impl FnOnce(&MapView) -> R) -> R {
+        self.store
+            .with_read_all(|_, shards| f(&MapView::new(shards.iter().map(|s| &s.map).collect())))
+    }
+
+    /// Clone the whole map out under read locks (merge-worker snapshot),
+    /// with the epoch stamp it was taken at.
+    pub fn snapshot_with_stamp(&self) -> (Map, Vec<(usize, u64)>) {
+        self.store.with_read_all(|order, shards| {
+            let mut m = Map::default();
+            for s in shards {
+                for (id, kf) in &s.map.keyframes {
+                    m.keyframes.insert(*id, kf.clone());
+                }
+                for (id, mp) in &s.map.mappoints {
+                    m.mappoints.insert(*id, mp.clone());
+                }
+            }
+            let stamp = order.iter().map(|&i| (i, self.store.epoch(i))).collect();
+            (m, stamp)
+        })
+    }
+
+    /// Clone the whole map out under read locks.
+    pub fn snapshot_map(&self) -> Map {
+        self.snapshot_with_stamp().0
+    }
+
+    /// `(n_keyframes, n_mappoints, approx_bytes)` of the whole map.
+    pub fn stats(&self) -> (usize, usize, usize) {
+        self.store.with_read_all(|_, shards| {
+            let mut kfs = 0;
+            let mut mps = 0;
+            let mut bytes = 0;
+            for s in shards {
+                kfs += s.map.n_keyframes();
+                mps += s.map.n_mappoints();
+                bytes += s.map.approx_bytes();
+            }
+            (kfs, mps, bytes)
+        })
+    }
+
+    /// Write to the components covering `seeds`. The closure receives the
+    /// gathered scratch [`Map`] (the locked components' whole content)
+    /// and the lock context, and returns `(result, dirty)`; a dirty write
+    /// re-scatters the content by region, records covisibility unions,
+    /// and bumps every locked region's epoch. Returns the result plus the
+    /// locked region set (the write-lock receipt).
+    ///
+    /// The closure runs **at most once**: a validation failure (a
+    /// concurrent write merged one of our components into a region
+    /// outside the locked set) releases the locks and retries with the
+    /// grown component, escalating to all regions after
+    /// [`MAX_COMPONENT_RETRIES`].
+    pub fn with_component_write<R>(
+        &self,
+        seeds: &LockSeeds,
+        mut f: impl FnMut(&mut Map, &ComponentWrite) -> (R, bool),
+    ) -> (R, Vec<usize>) {
+        let n = self.store.n_shards();
+        let mut attempt = 0;
+        loop {
+            let regions: Vec<usize> = if attempt >= MAX_COMPONENT_RETRIES {
+                (0..n).collect()
+            } else {
+                self.resolve(seeds)
+            };
+            let full = regions.len() == n;
+            let out =
+                self.store
+                    .with_write(&self.segment, &regions, shard_bytes, |order, shards| {
+                        if !full {
+                            // Validate under the directory lock, while holding
+                            // the shard locks: components may have merged
+                            // between resolve and acquisition.
+                            let ok = {
+                                let dir = self.dir.lock();
+                                self.resolve_in(&dir, seeds)
+                                    .iter()
+                                    .all(|r| order.binary_search(r).is_ok())
+                            };
+                            if !ok {
+                                return (None, false);
+                            }
+                        }
+                        let (r, dirty) = self.run_write(order, shards, |m, cw| f(m, cw));
+                        (Some(r), dirty)
+                    });
+            if let Some(r) = out {
+                return (r, regions);
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Write under every region's lock (synchronous merge, merge-worker
+    /// pessimistic fallback). Same gather/scatter protocol.
+    pub fn with_write_all<R>(
+        &self,
+        f: impl FnOnce(&mut Map, &ComponentWrite) -> (R, bool),
+    ) -> (R, Vec<usize>) {
+        let all: Vec<usize> = (0..self.store.n_shards()).collect();
+        let r = self
+            .store
+            .with_write_all(&self.segment, shard_bytes, |order, shards| {
+                self.run_write(order, shards, f)
+            });
+        (r, all)
+    }
+
+    /// Gather → run → scatter, with the shard locks already held.
+    fn run_write<R>(
+        &self,
+        order: &[usize],
+        shards: &mut [&mut RegionShard],
+        f: impl FnOnce(&mut Map, &ComponentWrite) -> (R, bool),
+    ) -> (R, bool) {
+        let epochs: Vec<u64> = order.iter().map(|&i| self.store.epoch(i)).collect();
+
+        // Gather: move the locked shards' content into one scratch map,
+        // remembering each entity's previous region.
+        let mut scratch = Map::default();
+        let mut prev_kf: HashMap<KeyFrameId, usize> = HashMap::new();
+        let mut prev_mp: HashMap<MapPointId, usize> = HashMap::new();
+        for (k, shard) in shards.iter_mut().enumerate() {
+            let region = match order.get(k) {
+                Some(&r) => r,
+                None => continue,
+            };
+            for id in shard.map.keyframes.keys() {
+                prev_kf.insert(*id, region);
+            }
+            for id in shard.map.mappoints.keys() {
+                prev_mp.insert(*id, region);
+            }
+            scratch.keyframes.append(&mut shard.map.keyframes);
+            scratch.mappoints.append(&mut shard.map.mappoints);
+        }
+
+        let cw = ComponentWrite {
+            regions: order,
+            epochs: &epochs,
+        };
+        let (result, dirty) = f(&mut scratch, &cw);
+
+        // Scatter the content back. A clean write restores the exact
+        // previous placement (shard content must not change without an
+        // epoch bump); a dirty write re-places by region and records the
+        // new covisibility unions in the directory.
+        let slot: HashMap<usize, usize> = order.iter().enumerate().map(|(k, &r)| (r, k)).collect();
+        let fallback = order.first().copied().unwrap_or(0);
+        let Map {
+            keyframes,
+            mappoints,
+            ..
+        } = scratch;
+        if dirty {
+            let mut dir = self.dir.lock();
+            for (id, kf) in keyframes {
+                let want = dir.assigner.region_of(kf.pose_cw.camera_center()) as usize;
+                let dest = if slot.contains_key(&want) {
+                    want
+                } else {
+                    prev_kf
+                        .get(&id)
+                        .copied()
+                        .filter(|r| slot.contains_key(r))
+                        .unwrap_or(fallback)
+                };
+                dir.kf_region.insert(id, dest as u32);
+                if let Some(&k) = slot.get(&dest) {
+                    if let Some(shard) = shards.get_mut(k) {
+                        shard.map.keyframes.insert(id, kf);
+                    }
+                }
+            }
+            for (id, mp) in mappoints {
+                // A point lives with its first observer; its home region
+                // is unioned with every observer's region, maintaining
+                // the closure invariant. Unions stay inside the locked
+                // set: every observer is covisibility-reachable from the
+                // locked components (see module docs), and the defensive
+                // filter below never unions an unlocked region.
+                let dest = mp
+                    .observations
+                    .first()
+                    .and_then(|(kf, _)| dir.kf_region.get(kf).copied())
+                    .map(|r| r as usize)
+                    .filter(|r| slot.contains_key(r))
+                    .or_else(|| prev_mp.get(&id).copied().filter(|r| slot.contains_key(r)))
+                    .unwrap_or(fallback);
+                for (kf, _) in &mp.observations {
+                    if let Some(&r) = dir.kf_region.get(kf) {
+                        if slot.contains_key(&(r as usize)) {
+                            dir.graph.union(dest as u32, r);
+                        }
+                    }
+                }
+                if let Some(&k) = slot.get(&dest) {
+                    if let Some(shard) = shards.get_mut(k) {
+                        shard.map.mappoints.insert(id, mp);
+                    }
+                }
+            }
+        } else {
+            for (id, kf) in keyframes {
+                let dest = prev_kf.get(&id).copied().unwrap_or(fallback);
+                if let Some(&k) = slot.get(&dest) {
+                    if let Some(shard) = shards.get_mut(k) {
+                        shard.map.keyframes.insert(id, kf);
+                    }
+                }
+            }
+            for (id, mp) in mappoints {
+                let dest = prev_mp.get(&id).copied().unwrap_or(fallback);
+                if let Some(&k) = slot.get(&dest) {
+                    if let Some(shard) = shards.get_mut(k) {
+                        shard.map.mappoints.insert(id, mp);
+                    }
+                }
+            }
+        }
+        (result, dirty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slamshare_math::SE3;
+    use slamshare_slam::ids::ClientId;
+    use slamshare_slam::map::{KeyFrame, MapRead};
+
+    fn gmap(n: usize) -> Arc<ShardedGlobalMap> {
+        let segment = Arc::new(Segment::new(1 << 24));
+        ShardedGlobalMap::create(segment, "test/gmap", n, 10.0).unwrap()
+    }
+
+    fn kf_at(map: &mut Map, x: f64, t: f64) -> KeyFrameId {
+        let id = map.alloc.next_keyframe();
+        map.insert_keyframe(KeyFrame {
+            id,
+            pose_cw: SE3::from_translation(slamshare_math::Vec3::new(-x, 0.0, 0.0)),
+            timestamp: t,
+            keypoints: Vec::new(),
+            descriptors: Vec::new(),
+            matched_points: Vec::new(),
+            bow: Default::default(),
+        });
+        id
+    }
+
+    /// Insert a keyframe at world x-position `x` via a component write
+    /// seeded by that position; returns (kf id, locked regions).
+    fn insert_at(
+        g: &ShardedGlobalMap,
+        alloc_map: &mut Map,
+        x: f64,
+        t: f64,
+    ) -> (KeyFrameId, Vec<usize>) {
+        let seeds = LockSeeds {
+            positions: vec![slamshare_math::Vec3::new(x, 0.0, 0.0)],
+            ..LockSeeds::default()
+        };
+        let mut planted = None;
+        let (_, locked) = g.with_component_write(&seeds, |scratch, _| {
+            std::mem::swap(&mut scratch.alloc, &mut alloc_map.alloc);
+            let id = kf_at(scratch, x, t);
+            std::mem::swap(&mut scratch.alloc, &mut alloc_map.alloc);
+            planted = Some(id);
+            ((), true)
+        });
+        (planted.unwrap(), locked)
+    }
+
+    #[test]
+    fn far_apart_writes_lock_disjoint_regions() {
+        let g = gmap(16);
+        let mut alloc = Map::new(ClientId(1));
+        let (_, l1) = insert_at(&g, &mut alloc, 0.0, 0.0);
+        let (_, l2) = insert_at(&g, &mut alloc, 1000.0, 1.0);
+        assert!(l1.len() < 16 && l2.len() < 16);
+        assert!(
+            l1.iter().all(|r| !l2.contains(r)),
+            "disjoint areas locked overlapping regions: {l1:?} vs {l2:?}"
+        );
+        // Both keyframes visible through the stitched view.
+        assert_eq!(g.with_view(|v| v.n_keyframes()), 2);
+    }
+
+    #[test]
+    fn dirty_component_write_bumps_only_its_regions() {
+        let g = gmap(16);
+        let mut alloc = Map::new(ClientId(1));
+        let (_, l1) = insert_at(&g, &mut alloc, 0.0, 0.0);
+        let epochs = g.region_epochs();
+        for (i, &e) in epochs.iter().enumerate() {
+            assert_eq!(e, u64::from(l1.contains(&i)), "region {i}");
+        }
+        // A track stamped on an untouched component survives a write to
+        // a disjoint one.
+        let stamp: Vec<(usize, u64)> = g
+            .region_epochs()
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (i, e))
+            .collect();
+        let (_, _) = insert_at(&g, &mut alloc, 1000.0, 1.0);
+        let disjoint_stamp: Vec<(usize, u64)> = stamp
+            .iter()
+            .copied()
+            .filter(|(i, _)| l1.contains(i))
+            .collect();
+        assert!(g.stamp_current(&disjoint_stamp));
+        assert!(!g.stamp_current(&stamp) || g.n_shards() == 1);
+    }
+
+    #[test]
+    fn observation_edges_union_regions() {
+        let g = gmap(16);
+        let n0 = g.n_components();
+        let mut helper = Map::new(ClientId(1));
+        // Two keyframes far apart observing one shared point: their
+        // regions must end up in one component.
+        let seeds = LockSeeds::all();
+        let (_, _) = g.with_component_write(&seeds, |scratch, _| {
+            std::mem::swap(&mut scratch.alloc, &mut helper.alloc);
+            let a = kf_at(scratch, 0.0, 0.0);
+            let b = kf_at(scratch, 500.0, 1.0);
+            let mp = scratch.alloc.next_mappoint();
+            scratch.mappoints.insert(
+                mp,
+                slamshare_slam::map::MapPoint {
+                    id: mp,
+                    position: slamshare_math::Vec3::new(250.0, 0.0, 0.0),
+                    descriptor: Default::default(),
+                    normal: slamshare_math::Vec3::new(0.0, 0.0, 1.0),
+                    observations: vec![(a, 0), (b, 0)],
+                    replaced_by: None,
+                },
+            );
+            std::mem::swap(&mut scratch.alloc, &mut helper.alloc);
+            ((), true)
+        });
+        assert!(g.n_components() < n0, "no union recorded");
+        // A write seeded by either keyframe's position now locks the
+        // merged component (both keyframes' regions).
+        let (_, locked) = g.with_component_write(
+            &LockSeeds {
+                positions: vec![slamshare_math::Vec3::new(0.0, 0.0, 0.0)],
+                ..LockSeeds::default()
+            },
+            |_, _| ((), false),
+        );
+        let (_, locked_b) = g.with_component_write(
+            &LockSeeds {
+                positions: vec![slamshare_math::Vec3::new(500.0, 0.0, 0.0)],
+                ..LockSeeds::default()
+            },
+            |_, _| ((), false),
+        );
+        assert_eq!(locked, locked_b);
+    }
+
+    #[test]
+    fn clean_write_changes_nothing() {
+        let g = gmap(8);
+        let mut alloc = Map::new(ClientId(1));
+        let (kf, _) = insert_at(&g, &mut alloc, 3.0, 0.0);
+        let epochs = g.region_epochs();
+        let (n, locked) = g.with_component_write(
+            &LockSeeds {
+                kfs: vec![kf],
+                ..LockSeeds::default()
+            },
+            |scratch, _| (scratch.n_keyframes(), false),
+        );
+        assert_eq!(n, 1);
+        assert!(!locked.is_empty());
+        assert_eq!(g.region_epochs(), epochs);
+        assert!(g.with_view(|v| v.keyframe(kf).is_some()));
+    }
+
+    #[test]
+    fn snapshot_equals_view() {
+        let g = gmap(8);
+        let mut alloc = Map::new(ClientId(1));
+        for i in 0..6 {
+            insert_at(&g, &mut alloc, i as f64 * 37.0, i as f64);
+        }
+        let snap = g.snapshot_map();
+        g.with_view(|v| {
+            assert_eq!(snap.n_keyframes(), v.n_keyframes());
+            for kf in snap.keyframes.values() {
+                assert!(v.keyframe(kf.id).is_some());
+            }
+        });
+        let (kfs, _, _) = g.stats();
+        assert_eq!(kfs, 6);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_make_progress() {
+        let g = gmap(16);
+        let mut handles = Vec::new();
+        for w in 0..4u16 {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut alloc = Map::new(ClientId(w + 1));
+                for i in 0..20 {
+                    insert_at(&g, &mut alloc, w as f64 * 5000.0 + i as f64, i as f64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.with_view(|v| v.n_keyframes()), 80);
+    }
+}

@@ -26,6 +26,14 @@
 pub mod baseline;
 pub mod client;
 pub mod experiments;
+// Every byte behind the sharded global map's locks is shared state; a
+// panic inside would poison it for every client (same invariant as
+// slamshare-shm).
+#[cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+pub mod gmap;
 pub mod hologram;
 // The ingest path shares slamshare-net's no-panic invariant: adversarial
 // client bytes must produce typed errors, never a panic.

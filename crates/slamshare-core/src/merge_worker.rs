@@ -8,38 +8,45 @@
 //!
 //! 1. the commit stage **submits** a clone of the client's local map and
 //!    returns immediately;
-//! 2. the worker thread snapshots the global map (with its epoch) under a
-//!    read lock and runs [`plan_merge`] — the read-only detect/align half
-//!    — entirely off-lock, querying the *live* sharded BoW index;
-//! 3. the worker applies the plan under the write lock **only if the
-//!    epoch is unchanged**; a concurrent commit bumps the epoch and the
-//!    worker re-plans against a fresh snapshot (optimistic concurrency).
-//!    After [`MAX_OPTIMISTIC_ATTEMPTS`] losses it degrades to one
-//!    pessimistic plan+apply inside the write lock, which cannot lose;
+//! 2. the worker thread snapshots the global map (with its per-region
+//!    epoch stamp) under read locks and runs [`plan_merge`] — the
+//!    read-only detect/align half — entirely off-lock, querying the
+//!    *live* sharded BoW index;
+//! 3. the worker applies the plan under **only the destination regions'
+//!    write locks** — the components where the transformed client
+//!    content lands, plus the weld anchor's and the fusion targets'.
+//!    The apply is valid only if none of the *locked* regions' epochs
+//!    moved since the snapshot; a region outside the locked set cannot
+//!    affect the apply (the absorb, fuse, weld and seam BA all stay
+//!    inside the locked components), so commits into unrelated regions
+//!    neither block the apply nor invalidate it. A conflicting commit
+//!    bumps a destination epoch and the worker re-plans against a fresh
+//!    snapshot (optimistic concurrency). After
+//!    [`MAX_OPTIMISTIC_ATTEMPTS`] losses it degrades to one pessimistic
+//!    plan+apply under every region's write lock, which cannot lose;
 //! 4. the client's next commit **collects** the completion: keyframes and
 //!    points it created after the snapshot (the delta) are transformed,
 //!    remapped across the worker's point fusions and absorbed, and the
 //!    process switches to shared-map tracking.
 //!
-//! Commits therefore never block on merge detection; they only ever wait
-//! for the short apply section, which the epoch check keeps honest.
+//! Commits therefore never block on merge detection; only commits into
+//! the merge's own destination regions ever wait for the apply section.
 
+use crate::gmap::{LockSeeds, ShardedGlobalMap};
 use crate::metrics::MergeWorkerStats;
-use crate::server::GlobalMapState;
 use parking_lot::Mutex;
 use slamshare_features::bow::Vocabulary;
-use slamshare_shm::{Segment, SharedStore};
 use slamshare_sim::camera::PinholeCamera;
 use slamshare_slam::ids::{KeyFrameId, MapPointId};
-use slamshare_slam::map::Map;
-use slamshare_slam::merge::{apply_merge_plan, plan_merge, MergeReport};
+use slamshare_slam::map::{transform_pose_cw, Map};
+use slamshare_slam::merge::{apply_merge_plan, plan_merge, MergePlan, MergeReport};
 use slamshare_slam::recognition::ShardedKeyframeDatabase;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 /// Optimistic apply attempts before degrading to a pessimistic merge
-/// under the write lock.
+/// under every region's write lock.
 pub const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
 
 /// A merge request: the client's local map as of submission time.
@@ -71,6 +78,9 @@ pub struct AppliedMerge {
     /// Client points fused away during the weld → the surviving global
     /// point, for remapping delta observations.
     pub fused: HashMap<MapPointId, MapPointId>,
+    /// Region indices the apply held write locks over (all of them on
+    /// the pessimistic path) — the write receipt.
+    pub locked_regions: Vec<usize>,
 }
 
 #[derive(Default)]
@@ -83,8 +93,7 @@ struct Desk {
 
 /// Everything the worker thread needs to plan and apply merges.
 pub(crate) struct MergeContext {
-    pub store: Arc<SharedStore<GlobalMapState>>,
-    pub segment: Arc<Segment>,
+    pub store: Arc<ShardedGlobalMap>,
     pub db: Arc<ShardedKeyframeDatabase>,
     pub vocab: Arc<Vocabulary>,
     pub cam: PinholeCamera,
@@ -171,8 +180,44 @@ impl Drop for MergeWorker {
     }
 }
 
-/// One merge job: optimistic snapshot/plan/apply with epoch retries, then
-/// a pessimistic in-lock fallback.
+/// Regions a plan's apply will write to: the components where the
+/// transformed client keyframes land, the weld anchor's, and each planned
+/// fusion target's. Everything `apply_merge_plan` touches is
+/// covisibility-reachable from these (the weld candidates come from the
+/// anchor's local-map neighbourhood; the seam BA window from the client
+/// keyframes'), so locking their components suffices.
+fn dest_seeds(gsnap: &Map, cmap: &Map, plan: &MergePlan) -> LockSeeds {
+    let mut seeds = LockSeeds::default();
+    match &plan.transform {
+        Some(t) => {
+            for kf in cmap.keyframes.values() {
+                seeds
+                    .positions
+                    .push(transform_pose_cw(&kf.pose_cw, t).camera_center());
+            }
+            if let Some(anchor) = plan.ba_anchor {
+                seeds.kfs.push(anchor);
+            }
+            for (_, g_mp) in &plan.fuse_pairs {
+                if let Some(mp) = gsnap.mappoints.get(g_mp) {
+                    if let Some(&(kf, _)) = mp.observations.first() {
+                        seeds.kfs.push(kf);
+                    }
+                }
+            }
+        }
+        None => {
+            // become_global: plain absorb at the client's own coordinates.
+            for kf in cmap.keyframes.values() {
+                seeds.positions.push(kf.pose_cw.camera_center());
+            }
+        }
+    }
+    seeds
+}
+
+/// One merge job: optimistic snapshot/plan/apply with per-region stamp
+/// retries, then a pessimistic all-region in-lock fallback.
 fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> MergeCompletion {
     let t0 = Instant::now();
     let absorbed_kfs: BTreeSet<KeyFrameId> = job.cmap.keyframes.keys().copied().collect();
@@ -184,33 +229,35 @@ fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> Merge
     };
 
     for attempt in 1..=MAX_OPTIMISTIC_ATTEMPTS {
-        // Snapshot the global map with its epoch; plan entirely off-lock.
-        // The live sharded BoW index may run ahead of the snapshot —
-        // plan_merge skips candidates the snapshot doesn't hold yet.
-        let (gsnap, epoch0) = ctx.store.with_read(|s| (s.map.clone(), s.epoch));
+        // Snapshot the global map with its per-region epoch stamp; plan
+        // entirely off-lock. The live sharded BoW index may run ahead of
+        // the snapshot — plan_merge skips candidates the snapshot doesn't
+        // hold yet.
+        let (gsnap, stamp) = ctx.store.snapshot_with_stamp();
         let plan = plan_merge(&gsnap, &job.cmap, &ctx.db, &ctx.vocab, ctx.with_scale);
-        drop(gsnap);
         if !plan.viable() {
             stats.record_no_region();
             return completion(None);
         }
+        let seeds = dest_seeds(&gsnap, &job.cmap, &plan);
+        drop(gsnap);
 
-        // Optimistic apply: valid only if nothing wrote since the
-        // snapshot. A commit in between bumped the epoch — abort, and
-        // re-plan against the new map.
-        let applied = ctx.store.with_write(
-            &ctx.segment,
-            |s| s.map.approx_bytes(),
-            |state| {
-                if state.epoch != epoch0 {
-                    return None;
-                }
-                let (report, fused) =
-                    apply_merge_plan(&mut state.map, &ctx.db, job.cmap.clone(), &plan, &ctx.cam);
-                state.epoch += 1;
-                Some((report, fused))
-            },
-        );
+        // Optimistic apply under only the destination components' write
+        // locks: valid iff none of the *locked* regions moved since the
+        // snapshot. Commits into regions outside the locked set neither
+        // block this nor invalidate it.
+        let (applied, locked) = ctx.store.with_component_write(&seeds, |gmap, cw| {
+            let stale = cw.regions.iter().any(|&r| {
+                let snap_epoch = stamp.iter().find(|&&(i, _)| i == r).map(|&(_, e)| e);
+                cw.epoch_of(r) != snap_epoch
+            });
+            if stale {
+                return (None, false);
+            }
+            let (report, fused) =
+                apply_merge_plan(gmap, &ctx.db, job.cmap.clone(), &plan, &ctx.cam);
+            (Some((report, fused)), true)
+        });
         match applied {
             Some((report, fused)) => {
                 let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -221,6 +268,7 @@ fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> Merge
                     absorbed_kfs,
                     absorbed_mps,
                     fused: fused.into_iter().collect(),
+                    locked_regions: locked,
                 }));
             }
             None => {
@@ -232,23 +280,17 @@ fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> Merge
         }
     }
 
-    // Pessimistic fallback: plan and apply atomically under the write
-    // lock. Commits wait this once, but the outcome cannot be lost to a
-    // race — the same guarantee the old synchronous path had.
-    let result = ctx.store.with_write(
-        &ctx.segment,
-        |s| s.map.approx_bytes(),
-        |state| {
-            let plan = plan_merge(&state.map, &job.cmap, &ctx.db, &ctx.vocab, ctx.with_scale);
-            if !plan.viable() {
-                return None;
-            }
-            let (report, fused) =
-                apply_merge_plan(&mut state.map, &ctx.db, job.cmap.clone(), &plan, &ctx.cam);
-            state.epoch += 1;
-            Some((report, fused))
-        },
-    );
+    // Pessimistic fallback: plan and apply atomically under every
+    // region's write lock. Commits wait this once, but the outcome cannot
+    // be lost to a race — the same guarantee the old synchronous path had.
+    let (result, locked) = ctx.store.with_write_all(|gmap, _| {
+        let plan = plan_merge(gmap, &job.cmap, &ctx.db, &ctx.vocab, ctx.with_scale);
+        if !plan.viable() {
+            return (None, false);
+        }
+        let (report, fused) = apply_merge_plan(gmap, &ctx.db, job.cmap.clone(), &plan, &ctx.cam);
+        (Some((report, fused)), true)
+    });
     match result {
         Some((report, fused)) => {
             let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -260,6 +302,7 @@ fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> Merge
                 absorbed_kfs,
                 absorbed_mps,
                 fused: fused.into_iter().collect(),
+                locked_regions: locked,
             }))
         }
         None => {

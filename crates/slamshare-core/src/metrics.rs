@@ -22,6 +22,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct ServerMetrics {
     pub per_client: BTreeMap<u16, ClientIngestSnapshot>,
     pub merge_worker: Option<MergeWorkerSnapshot>,
+    /// Per-region contention of the sharded global map.
+    pub map_sharding: MapShardingSnapshot,
 }
 
 impl ServerMetrics {
@@ -108,6 +110,42 @@ impl MergeWorkerStats {
             p95_latency_ms: slamshare_math::stats::percentile(&latencies, 95.0),
             max_latency_ms: latencies.iter().copied().fold(0.0, f64::max),
         }
+    }
+}
+
+/// One region's lock traffic in the sharded global map.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RegionLockStat {
+    pub region: usize,
+    pub read_acquisitions: u64,
+    pub write_acquisitions: u64,
+    /// Total nanoseconds spent waiting to acquire this region's lock.
+    pub wait_ns: u64,
+    /// The region's current epoch (number of dirty writes that covered
+    /// it).
+    pub epoch: u64,
+}
+
+/// Point-in-time contention picture of the region-sharded global map
+/// ([`crate::gmap`]): where reads and writes concentrate, and how far
+/// the covisibility graph has fused regions together.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MapShardingSnapshot {
+    pub n_shards: usize,
+    /// Covisibility-connected region components (locking granularity:
+    /// fewer components = coarser effective locks).
+    pub n_components: usize,
+    pub per_region: Vec<RegionLockStat>,
+}
+
+impl MapShardingSnapshot {
+    /// Total time spent waiting on region locks, ms.
+    pub fn total_wait_ms(&self) -> f64 {
+        self.per_region
+            .iter()
+            .map(|r| r.wait_ns as f64)
+            .sum::<f64>()
+            / 1e6
     }
 }
 

@@ -35,35 +35,51 @@
 //! count. Lock order is always client mutex → store lock, and never two
 //! client mutexes at once.
 //!
-//! Staleness is detected through the global map's **epoch**: every actual
-//! map mutation (keyframe insertion, merge apply) bumps
-//! [`GlobalMapState::epoch`], and every speculative track records the
-//! epoch it read under. A commit re-tracks only when the epochs differ —
-//! a cheap read-lock comparison instead of a conservative per-round dirty
-//! flag. The same protocol lets the optional **asynchronous merge
-//! worker** ([`crate::merge_worker`], enabled with
-//! [`ServerConfig::async_merge`]) plan merges off the commit path against
-//! a snapshot and apply them only when the map hasn't moved, so commits
-//! never block on merge detection.
+//! The global map itself is **region-sharded** ([`crate::gmap`]): its
+//! content is partitioned into [`ServerConfig::map_shards`]
+//! spatial/covisibility regions, each behind its own lock and epoch
+//! counter in the shm store. A speculative track read-locks only the
+//! regions its reference keyframe's component covers; a commit
+//! write-locks only the component its keyframe lands in; the merge
+//! worker applies under only the destination regions' locks. Clients
+//! mapping disjoint areas therefore stop contending entirely — and
+//! because every write gathers its locked components into one scratch
+//! map, runs the unchanged mapping/merge code, and scatters back,
+//! results are bit-identical at any shard count.
+//!
+//! Staleness is detected through the regions' **epochs**: every actual
+//! map mutation (keyframe insertion, merge apply) bumps the epochs of
+//! the regions it locked, and every speculative track records the
+//! `(region, epoch)` stamp it read under. A commit re-tracks only when a
+//! region it actually read has moved — a cheap lock-free comparison
+//! instead of a conservative per-round dirty flag. The same protocol
+//! lets the optional **asynchronous merge worker**
+//! ([`crate::merge_worker`], enabled with [`ServerConfig::async_merge`])
+//! plan merges off the commit path against a snapshot and apply them
+//! only when the destination regions haven't moved, so commits never
+//! block on merge detection.
 //!
 //! The place-recognition inverted index ([`EdgeServer::db`]) lives
 //! *outside* the store: it is sharded with per-shard locks
 //! ([`ShardedKeyframeDatabase`]), so BoW index maintenance and merge
 //! candidate queries never contend on the global map lock.
 
+use crate::gmap::{LockSeeds, ShardedGlobalMap};
 use crate::ingest::{DecodeOutcome, IngestCounters, VideoIngest};
 use crate::merge_worker::{AppliedMerge, MergeContext, MergeJob, MergeWorker};
-use crate::metrics::{FpsTracker, MergeWorkerSnapshot, ServerMetrics};
+use crate::metrics::{
+    FpsTracker, MapShardingSnapshot, MergeWorkerSnapshot, RegionLockStat, ServerMetrics,
+};
 use parking_lot::Mutex;
 use slamshare_features::bow::{BowVector, Vocabulary};
 use slamshare_features::image::GrayImage;
 use slamshare_gpu::{GpuExecutor, GpuModel, SharedGpu};
 use slamshare_math::{Sim3, SE3};
 use slamshare_net::codec::CodecError;
-use slamshare_shm::{Segment, SharedStore};
+use slamshare_shm::Segment;
 use slamshare_sim::imu::ImuSample;
-use slamshare_slam::ids::{ClientId, KeyFrameId};
-use slamshare_slam::map::{transform_pose_cw, Map};
+use slamshare_slam::ids::{ClientId, IdAllocator, KeyFrameId};
+use slamshare_slam::map::{transform_pose_cw, Map, MapRead};
 use slamshare_slam::mapping::LocalMapper;
 use slamshare_slam::merge::{try_map_merge, MergeReport};
 use slamshare_slam::recognition::{self, ShardedKeyframeDatabase};
@@ -72,18 +88,6 @@ use slamshare_slam::tracking::{FrameObservation, MotionState, SensorMode, StageT
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
-
-/// The shared state in the store: the global map plus its write epoch.
-///
-/// The epoch increments on every actual map mutation. Speculative readers
-/// capture it with their read; writers compare epochs to detect staleness
-/// (the round pipeline's exact re-track, the merge worker's optimistic
-/// apply) instead of guessing conservatively.
-#[derive(Default)]
-pub struct GlobalMapState {
-    pub map: Map,
-    pub epoch: u64,
-}
 
 /// Name of the global map object inside the segment.
 pub const GLOBAL_MAP_NAME: &str = "slam-share/global-map";
@@ -108,6 +112,13 @@ pub struct ServerConfig {
     /// Off by default: the synchronous path is what the round pipeline's
     /// bit-exactness guarantee is stated against.
     pub async_merge: bool,
+    /// Number of spatial/covisibility regions the global map is sharded
+    /// into (each behind its own lock + epoch; see [`crate::gmap`]).
+    /// `1` reproduces the old single-lock behaviour exactly.
+    pub map_shards: usize,
+    /// Edge length, meters, of the spatial grid cells regions are hashed
+    /// from.
+    pub region_cell_m: f64,
 }
 
 impl ServerConfig {
@@ -118,6 +129,8 @@ impl ServerConfig {
             merge_after_keyframes: 3,
             with_scale_merge: false,
             async_merge: false,
+            map_shards: 8,
+            region_cell_m: 10.0,
         }
     }
 
@@ -128,6 +141,8 @@ impl ServerConfig {
             merge_after_keyframes: 3,
             with_scale_merge: true,
             async_merge: false,
+            map_shards: 8,
+            region_cell_m: 10.0,
         }
     }
 }
@@ -215,6 +230,11 @@ enum Phase {
         tracker: Box<Tracker>,
         mapper: Box<LocalMapper>,
         last_kf: Option<KeyFrameId>,
+        /// The client's own id space, continued from its local-phase
+        /// map. Kept per-client (not in the shared map) so commit
+        /// interleaving across clients can never change the ids a
+        /// client's keyframes get.
+        alloc: IdAllocator,
     },
 }
 
@@ -250,16 +270,16 @@ enum StagedFrame {
     Local(ServerFrameResult),
     /// A merged client tracked speculatively against the global map.
     /// The decoded images and pre-track motion state let the commit
-    /// stage redo the track exactly if the map changed since; `epoch` is
-    /// the map epoch the speculative track read under. `pose_hint` is
-    /// the *effective* hint (upload hint or relocalization pose), so a
-    /// redo replays the identical inputs.
+    /// stage redo the track exactly if the map changed since; `stamp` is
+    /// the `(region, epoch)` set the speculative track read under.
+    /// `pose_hint` is the *effective* hint (upload hint or
+    /// relocalization pose), so a redo replays the identical inputs.
     Shared {
         frame_idx: usize,
         timestamp: f64,
         decode_ms: f64,
         obs: FrameObservation,
-        epoch: u64,
+        stamp: Vec<(usize, u64)>,
         pre_track: MotionState,
         pose_hint: Option<SE3>,
         relocalized: bool,
@@ -272,7 +292,8 @@ enum StagedFrame {
 pub struct EdgeServer {
     pub config: ServerConfig,
     pub segment: Arc<Segment>,
-    pub store: Arc<SharedStore<GlobalMapState>>,
+    /// The region-sharded global map (see [`crate::gmap`]).
+    pub store: Arc<ShardedGlobalMap>,
     /// Place-recognition inverted index over the global map's keyframes.
     /// Sharded and internally locked — maintained *outside* the store
     /// lock, so BoW bookkeeping never extends the commit's critical
@@ -341,13 +362,17 @@ impl EdgeServer {
     /// store, bring up the GPU (and, in async mode, the merge worker).
     pub fn new(config: ServerConfig, vocab: Arc<Vocabulary>) -> EdgeServer {
         let segment = Arc::new(Segment::new(2 * 1024 * 1024 * 1024));
-        let store = SharedStore::create_in(&segment, GLOBAL_MAP_NAME, GlobalMapState::default())
-            .expect("fresh segment");
+        let store = ShardedGlobalMap::create(
+            segment.clone(),
+            GLOBAL_MAP_NAME,
+            config.map_shards,
+            config.region_cell_m,
+        )
+        .expect("fresh segment");
         let db = Arc::new(ShardedKeyframeDatabase::new());
         let merge_worker = config.async_merge.then(|| {
             MergeWorker::spawn(MergeContext {
                 store: store.clone(),
-                segment: segment.clone(),
                 db: db.clone(),
                 vocab: vocab.clone(),
                 cam: config.slam.tracker.rig.cam,
@@ -400,8 +425,9 @@ impl EdgeServer {
         self.decode_workers = n.max(1);
     }
 
-    /// Aggregate server health: per-client ingest counters plus merge
-    /// worker stats. Lock-free with respect to the client processes.
+    /// Aggregate server health: per-client ingest counters, merge worker
+    /// stats and per-region map contention. Lock-free with respect to
+    /// the client processes.
     pub fn metrics(&self) -> ServerMetrics {
         ServerMetrics {
             per_client: self
@@ -410,6 +436,31 @@ impl EdgeServer {
                 .map(|(&id, c)| (id, c.snapshot()))
                 .collect(),
             merge_worker: self.merge_worker_stats(),
+            map_sharding: self.map_sharding_snapshot(),
+        }
+    }
+
+    /// Per-region lock acquisition/wait/epoch counters of the sharded
+    /// global map — the contention attribution the sharding exists to
+    /// improve.
+    pub fn map_sharding_snapshot(&self) -> MapShardingSnapshot {
+        let stats = self.store.shard_lock_stats();
+        let epochs = self.store.region_epochs();
+        MapShardingSnapshot {
+            n_shards: self.store.n_shards(),
+            n_components: self.store.n_components(),
+            per_region: stats
+                .iter()
+                .zip(&epochs)
+                .enumerate()
+                .map(|(region, (s, &epoch))| RegionLockStat {
+                    region,
+                    read_acquisitions: s.read_acquisitions,
+                    write_acquisitions: s.write_acquisitions,
+                    wait_ns: s.wait_ns,
+                    epoch,
+                })
+                .collect(),
         }
     }
 
@@ -705,7 +756,7 @@ impl EdgeServer {
                         let bow = self.vocab.transform(&features.descriptors);
                         let hint = self
                             .store
-                            .with_read(|state| recognition::relocalize(&self.db, &bow, &state.map));
+                            .with_view(|view| recognition::relocalize(&self.db, &bow, view));
                         if let Some((_, pose)) = hint {
                             tracker.reset_motion(pose);
                             pose_hint = Some(pose);
@@ -717,21 +768,23 @@ impl EdgeServer {
                 // The pre-track snapshot is taken *after* relocalization
                 // so a commit-stage redo replays the identical inputs.
                 let pre_track = tracker.motion_state();
-                // Concurrent read for tracking; the epoch read under the
-                // same lock tells the commit stage whether this track is
-                // still current when it runs.
-                let (obs, epoch) = self.store.with_read(|state| {
+                // Concurrent read for tracking, locking only the
+                // regions the reference keyframe's component covers; the
+                // `(region, epoch)` stamp read under the same locks
+                // tells the commit stage whether this track is still
+                // current when it runs.
+                let (obs, stamp) = self.store.with_track_read(*last_kf, |view, stamp| {
                     (
                         tracker.track(
                             frame.frame_idx,
                             frame.timestamp,
                             &left_img,
                             right_img.as_ref(),
-                            &state.map,
+                            view,
                             *last_kf,
                             pose_hint,
                         ),
-                        state.epoch,
+                        stamp.to_vec(),
                     )
                 });
                 StagedFrame::Shared {
@@ -739,7 +792,7 @@ impl EdgeServer {
                     timestamp: frame.timestamp,
                     decode_ms,
                     obs,
-                    epoch,
+                    stamp,
                     pre_track,
                     pose_hint,
                     relocalized,
@@ -789,7 +842,7 @@ impl EdgeServer {
                 timestamp,
                 decode_ms,
                 mut obs,
-                mut epoch,
+                mut stamp,
                 pre_track,
                 pose_hint,
                 relocalized,
@@ -800,68 +853,88 @@ impl EdgeServer {
                     tracker,
                     mapper,
                     last_kf,
+                    alloc,
                 } = &mut process.phase
                 else {
                     unreachable!("staged shared frame for a pre-merge client")
                 };
-                // Cheap staleness check: an earlier commit (same round)
-                // or a background merge bumped the epoch since the
-                // speculative track. Rewind the motion state and redo
-                // against the current map.
-                if self.store.with_read(|s| s.epoch) != epoch {
+                // Cheap staleness pre-check (lock-free): an earlier
+                // commit (same round) or a background merge bumped a
+                // region this track read. Rewind the motion state and
+                // redo against the current map.
+                if !self.store.stamp_current(&stamp) {
                     tracker.restore_motion_state(pre_track);
-                    let (new_obs, new_epoch) = self.store.with_read(|state| {
+                    let (new_obs, new_stamp) = self.store.with_track_read(*last_kf, |view, st| {
                         (
                             tracker.track(
                                 frame_idx,
                                 timestamp,
                                 &left,
                                 right.as_ref(),
-                                &state.map,
+                                view,
                                 *last_kf,
                                 pose_hint,
                             ),
-                            state.epoch,
+                            st.to_vec(),
                         )
                     });
                     obs = new_obs;
-                    epoch = new_epoch;
+                    stamp = new_stamp;
                 }
-                // Serialized write for keyframe insertion.
+                // Keyframe insertion, write-locking only the component
+                // the keyframe lands in: the reference keyframe's
+                // regions plus the region under the new camera center.
+                // Monocular point creation may scan arbitrary keyframes
+                // (and a missing reference makes the in-lock re-track
+                // pick its own), so those cases escalate to all regions.
                 let mut mapping_ms = 0.0;
                 if !obs.lost && obs.keyframe_requested {
                     let t1 = Instant::now();
-                    let segment = &self.segment;
-                    let inserted = self.store.with_write(
-                        segment,
-                        |state| state.map.approx_bytes(),
-                        |state| {
-                            if state.epoch != epoch {
-                                // An async merge landed between the check
-                                // above and this lock: re-track in-lock
-                                // so the insertion sees a consistent map.
-                                tracker.restore_motion_state(pre_track);
-                                obs = tracker.track(
-                                    frame_idx,
-                                    timestamp,
-                                    &left,
-                                    right.as_ref(),
-                                    &state.map,
-                                    *last_kf,
-                                    pose_hint,
-                                );
-                                if obs.lost || !obs.keyframe_requested {
-                                    return None;
-                                }
+                    let seeds = LockSeeds {
+                        kfs: last_kf.iter().copied().collect(),
+                        positions: vec![obs.pose_cw.camera_center()],
+                        all: self.config.slam.tracker.mode == SensorMode::Mono || last_kf.is_none(),
+                    };
+                    let (inserted, _) = self.store.with_component_write(&seeds, |scratch, cw| {
+                        // Authoritative staleness check under the write
+                        // locks: any region of the track's stamp that
+                        // moved — or left the locked set entirely —
+                        // forces an in-lock re-track so the insertion
+                        // sees a consistent map.
+                        let stale = stamp
+                            .iter()
+                            .any(|&(region, epoch)| cw.epoch_of(region) != Some(epoch));
+                        if stale {
+                            tracker.restore_motion_state(pre_track);
+                            obs = tracker.track(
+                                frame_idx,
+                                timestamp,
+                                &left,
+                                right.as_ref(),
+                                &*scratch,
+                                *last_kf,
+                                pose_hint,
+                            );
+                            if obs.lost || !obs.keyframe_requested {
+                                return (None, false);
                             }
-                            let report = mapper.insert_keyframe(&mut state.map, &self.vocab, &obs);
-                            state.epoch += 1;
-                            report.kf_id.map(|kf_id| {
-                                let bow = state.map.keyframes[&kf_id].bow.clone();
-                                (kf_id, report.n_new_points, bow)
-                            })
-                        },
-                    );
+                        }
+                        // New entities draw ids from the client's own
+                        // allocator, not the scratch map's, so ids are
+                        // independent of commit interleaving.
+                        scratch.alloc = alloc.clone();
+                        let report = mapper.insert_keyframe(scratch, &self.vocab, &obs);
+                        *alloc = scratch.alloc.clone();
+                        let out = report.kf_id.map(|kf_id| {
+                            let bow = scratch
+                                .keyframes
+                                .get(&kf_id)
+                                .map(|kf| kf.bow.clone())
+                                .unwrap_or_default();
+                            (kf_id, report.n_new_points, bow)
+                        });
+                        (out, true)
+                    });
                     if let Some((kf_id, n_new, bow)) = inserted {
                         // Index maintenance happens outside the store
                         // lock — the sharded db carries its own locks.
@@ -1003,6 +1076,7 @@ impl EdgeServer {
             absorbed_kfs,
             absorbed_mps,
             fused,
+            locked_regions: _,
         } = applied;
         let (mut delta, exec, last_frame_pose) = {
             let Phase::Local(system) = &mut process.phase else {
@@ -1035,6 +1109,7 @@ impl EdgeServer {
             }
         }
 
+        let alloc = delta.alloc.clone();
         if !delta.keyframes.is_empty() || !delta.mappoints.is_empty() {
             let delta_kf_ids: BTreeSet<KeyFrameId> = delta.keyframes.keys().copied().collect();
             let delta_bows: Vec<(u64, BowVector)> = delta
@@ -1042,41 +1117,54 @@ impl EdgeServer {
                 .values()
                 .map(|kf| (kf.id.0, kf.bow.clone()))
                 .collect();
-            let segment = &self.segment;
-            self.store.with_write(
-                segment,
-                |state| state.map.approx_bytes(),
-                |state| {
-                    // Points first: keyframe insertion below registers
-                    // observations on them.
-                    for (id, mut mp) in std::mem::take(&mut delta.mappoints) {
-                        mp.observations.retain(|&(kf_id, idx)| {
-                            if delta_kf_ids.contains(&kf_id) {
-                                return true;
-                            }
-                            // Observation from a snapshot keyframe (mono
-                            // triangulation against an older keyframe):
-                            // reconcile the global copy's back-reference,
-                            // which predates this point.
-                            match state.map.keyframes.get_mut(&kf_id) {
-                                Some(kf) => match kf.matched_points[idx] {
-                                    None => {
-                                        kf.matched_points[idx] = Some(id);
-                                        true
-                                    }
-                                    Some(existing) => existing == id,
-                                },
-                                None => false,
-                            }
-                        });
-                        state.map.mappoints.insert(id, mp);
-                    }
-                    for (_, kf) in std::mem::take(&mut delta.keyframes) {
-                        state.map.insert_keyframe(kf);
-                    }
-                    state.epoch += 1;
-                },
-            );
+            // Lock the components of every absorbed snapshot keyframe
+            // (they cover every global entity the delta references —
+            // fusions moved delta observations onto points observed by
+            // snapshot keyframes) plus the regions where the transformed
+            // delta content itself lands.
+            let seeds = LockSeeds {
+                kfs: absorbed_kfs.iter().copied().collect(),
+                positions: delta
+                    .keyframes
+                    .values()
+                    .map(|kf| kf.pose_cw.camera_center())
+                    .collect(),
+                all: false,
+            };
+            let mut delta_slot = Some(delta);
+            self.store.with_component_write(&seeds, |scratch, _| {
+                let Some(mut delta) = delta_slot.take() else {
+                    return ((), false);
+                };
+                // Points first: keyframe insertion below registers
+                // observations on them.
+                for (id, mut mp) in std::mem::take(&mut delta.mappoints) {
+                    mp.observations.retain(|&(kf_id, idx)| {
+                        if delta_kf_ids.contains(&kf_id) {
+                            return true;
+                        }
+                        // Observation from a snapshot keyframe (mono
+                        // triangulation against an older keyframe):
+                        // reconcile the global copy's back-reference,
+                        // which predates this point.
+                        match scratch.keyframes.get_mut(&kf_id) {
+                            Some(kf) => match kf.matched_points[idx] {
+                                None => {
+                                    kf.matched_points[idx] = Some(id);
+                                    true
+                                }
+                                Some(existing) => existing == id,
+                            },
+                            None => false,
+                        }
+                    });
+                    scratch.mappoints.insert(id, mp);
+                }
+                for (_, kf) in std::mem::take(&mut delta.keyframes) {
+                    scratch.insert_keyframe(kf);
+                }
+                ((), true)
+            });
             for (id, bow) in delta_bows {
                 self.db.add(id, bow);
             }
@@ -1088,6 +1176,7 @@ impl EdgeServer {
             report.transform.as_ref(),
             exec,
             last_frame_pose,
+            alloc,
         );
 
         let outcome = MergeOutcome { report, merge_ms };
@@ -1149,28 +1238,18 @@ impl EdgeServer {
             )
         };
 
+        let alloc = cmap.alloc.clone();
         let t0 = Instant::now();
         let cam = self.config.slam.tracker.rig.cam;
         let with_scale = self.config.with_scale_merge;
-        let segment = &self.segment;
-        let merged = self.store.with_write(
-            segment,
-            |state| state.map.approx_bytes(),
-            |state| {
-                let r = try_map_merge(
-                    &mut state.map,
-                    cmap,
-                    &self.db,
-                    &self.vocab,
-                    &cam,
-                    with_scale,
-                );
-                if r.is_ok() {
-                    state.epoch += 1;
-                }
-                r
-            },
-        );
+        // The synchronous merge welds against the whole map (detection
+        // may anchor anywhere), so it takes every region's write lock —
+        // exactly the old single-lock behaviour.
+        let (merged, _) = self.store.with_write_all(|gmap, _| {
+            let r = try_map_merge(gmap, cmap, &self.db, &self.vocab, &cam, with_scale);
+            let dirty = r.is_ok();
+            (r, dirty)
+        });
         let report = match merged {
             Ok(report) => report,
             Err((cmap, _)) => {
@@ -1190,6 +1269,7 @@ impl EdgeServer {
             report.transform.as_ref(),
             exec,
             last_frame_pose,
+            alloc,
         );
 
         let outcome = MergeOutcome { report, merge_ms };
@@ -1200,8 +1280,8 @@ impl EdgeServer {
     }
 
     /// Transition a just-merged client process to shared-map tracking,
-    /// carrying the tracker's motion state over (transformed into the
-    /// global frame).
+    /// carrying the tracker's motion state (transformed into the global
+    /// frame) and the client's id allocator over.
     fn enter_shared_phase(
         &self,
         process: &mut ClientProcess,
@@ -1209,6 +1289,7 @@ impl EdgeServer {
         transform: Option<&Sim3>,
         exec: Arc<GpuExecutor>,
         last_frame_pose: Option<SE3>,
+        alloc: IdAllocator,
     ) {
         let mut tracker = Box::new(Tracker::new(self.config.slam.tracker.clone(), exec));
         let last_pose = last_frame_pose.map(|p| match transform {
@@ -1226,13 +1307,10 @@ impl EdgeServer {
         // The client's own most recent keyframe anchors its local map
         // neighbourhood in the global map.
         let client_id = ClientId(client);
-        let own_latest = self.store.with_read(|state| {
-            state
-                .map
-                .keyframes
-                .values()
+        let own_latest = self.store.with_view(|view| {
+            view.keyframes_iter()
                 .filter(|kf| kf.id.client() == client_id)
-                .max_by(|a, b| a.timestamp.total_cmp(&b.timestamp))
+                .max_by(|a, b| a.timestamp.total_cmp(&b.timestamp).then(a.id.cmp(&b.id)))
                 .map(|kf| (kf.id, kf.pose_cw))
         });
         // A late joiner whose map was adopted wholesale has no per-frame
@@ -1247,6 +1325,7 @@ impl EdgeServer {
             tracker,
             mapper,
             last_kf: own_latest.map(|(id, _)| id),
+            alloc,
         };
     }
 
@@ -1317,13 +1396,36 @@ impl EdgeServer {
 
     /// Snapshot of the global map's size (keyframes, map points, bytes).
     pub fn global_map_stats(&self) -> (usize, usize, usize) {
-        self.store.with_read(|s| {
-            (
-                s.map.n_keyframes(),
-                s.map.n_mappoints(),
-                s.map.approx_bytes(),
-            )
-        })
+        self.store.stats()
+    }
+
+    /// Bulk-import an externally-built map fragment straight into the
+    /// global map (the late-joiner upload of §4.3.1 without the
+    /// alignment step — the fragment must already be in the global
+    /// frame, with ids from its own client space). Write-locks only the
+    /// regions the fragment's keyframes land in; returns that locked
+    /// region set as a receipt, so callers can verify a fragment far
+    /// from other activity never touched the other activity's regions.
+    pub fn absorb_external_fragment(&self, fragment: Map) -> Vec<usize> {
+        let seeds = LockSeeds {
+            positions: fragment
+                .keyframes
+                .values()
+                .map(|kf| kf.pose_cw.camera_center())
+                .collect(),
+            ..LockSeeds::default()
+        };
+        let mut slot = Some(fragment);
+        let (_, locked) = self
+            .store
+            .with_component_write(&seeds, |scratch, _| match slot.take() {
+                Some(frag) => {
+                    slamshare_slam::merge::absorb(scratch, frag, &self.db);
+                    ((), true)
+                }
+                None => ((), false),
+            });
+        locked
     }
 
     /// Mode of the configured SLAM pipeline.
@@ -1469,9 +1571,10 @@ mod tests {
             "B's global-frame tracking error {mean_err} m (merge rmse {})",
             merge.report.alignment_rmse
         );
-        // Both clients' keyframes coexist in one map.
-        let has_both = server.store.with_read(|s| {
-            let mut clients: Vec<u16> = s.map.keyframes.keys().map(|k| k.client().0).collect();
+        // Both clients' keyframes coexist in one (stitched) map.
+        let has_both = server.store.with_view(|v| {
+            let mut clients: Vec<u16> = v.keyframes_iter().map(|kf| kf.id.client().0).collect();
+            clients.sort_unstable();
             clients.dedup();
             clients.len() >= 2
         });

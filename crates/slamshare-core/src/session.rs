@@ -455,9 +455,8 @@ impl Session {
         clients: &[ActiveClient],
     ) -> Option<f64> {
         let by_id: HashMap<u16, &ActiveClient> = clients.iter().map(|c| (c.spec.id, c)).collect();
-        let (mut est, mut gt) = server
-            .store
-            .with_read(|state| map_kf_pairs(&state.map, &by_id, self.config.fps));
+        let snap = server.store.snapshot_map();
+        let (mut est, mut gt) = map_kf_pairs(&snap, &by_id, self.config.fps);
         // Include not-yet-merged client fragments: before a merge they sit
         // in their private frames, which is exactly the inconsistency the
         // paper's "Before Merge" ATE spike visualizes.

@@ -315,7 +315,9 @@ impl KeyframeDatabase {
                 (score >= min_score).then_some((id, score))
             })
             .collect();
-        results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        // total_cmp (NaN-safe) with the id tie-break: a NaN similarity
+        // must never panic a query, and equal scores stay deterministic.
+        results.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         results
     }
 }
@@ -357,6 +359,28 @@ mod tests {
             }
         }
         all
+    }
+
+    #[test]
+    fn nan_bow_weights_never_panic_query() {
+        // Regression: query() sorted scores with partial_cmp().unwrap();
+        // a NaN weight (e.g. from a degenerate tf-idf normalisation)
+        // produced a NaN similarity and panicked the retrieval path.
+        let mut db = KeyframeDatabase::new();
+        let mut finite = BowVector::default();
+        finite.0.insert(1, 0.5);
+        finite.0.insert(2, 0.5);
+        let mut poisoned = BowVector::default();
+        poisoned.0.insert(1, f64::NAN);
+        poisoned.0.insert(3, 0.5);
+        db.add(10, finite.clone());
+        db.add(11, poisoned.clone());
+        // Finite query against a NaN entry: must not panic; the NaN score
+        // fails min_score and drops out.
+        let hits = db.query(&finite, 0.0, &|_| false);
+        assert!(hits.iter().all(|(_, s)| s.is_finite()));
+        // NaN query vector: every score is NaN — no panic, no results.
+        let _ = db.query(&poisoned, 0.01, &|_| false);
     }
 
     #[test]

@@ -103,17 +103,23 @@ pub fn distribute_quadtree(
 
     let mut out: Vec<KeyPoint> = nodes
         .into_iter()
-        .map(|n| {
+        .filter_map(|n| {
+            // total_cmp: a NaN response must never panic extraction. The
+            // index tie-break keeps the winner deterministic (last of
+            // equals, matching max_by's historical behaviour).
             n.kps
                 .into_iter()
-                .max_by(|a, b| a.response.partial_cmp(&b.response).unwrap())
-                .unwrap()
+                .enumerate()
+                .max_by(|(i, a), (j, b)| a.response.total_cmp(&b.response).then(i.cmp(j)))
+                .map(|(_, kp)| kp)
         })
         .collect();
 
     // We may slightly overshoot (quadtree splits by 4); trim by response.
+    // Stable sort on a NaN-safe key: equal responses keep their (already
+    // deterministic) cell order.
     if out.len() > target {
-        out.sort_by(|a, b| b.response.partial_cmp(&a.response).unwrap());
+        out.sort_by(|a, b| b.response.total_cmp(&a.response));
         out.truncate(target);
     }
     out
@@ -133,6 +139,32 @@ mod tests {
         let kps = vec![kp(1.0, 1.0, 1.0), kp(2.0, 2.0, 2.0)];
         let out = distribute_quadtree(&kps, 100, 100, 10);
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn nan_responses_never_panic_distribution() {
+        // Regression: cell-winner selection and the overshoot trim used
+        // partial_cmp().unwrap() and panicked on a NaN corner response.
+        let mut kps = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let r = if (i + j) % 3 == 0 {
+                    f64::NAN
+                } else {
+                    (i * 6 + j) as f64
+                };
+                kps.push(kp(i as f64 * 15.0, j as f64 * 15.0, r));
+            }
+        }
+        // Small target forces the trim path; NaN cells must survive it.
+        let out = distribute_quadtree(&kps, 100, 100, 4);
+        assert!(!out.is_empty() && out.len() <= kps.len());
+        // Deterministic: same input, same output.
+        let again = distribute_quadtree(&kps, 100, 100, 4);
+        assert_eq!(out.len(), again.len());
+        for (a, b) in out.iter().zip(&again) {
+            assert_eq!(a.pt, b.pt);
+        }
     }
 
     #[test]

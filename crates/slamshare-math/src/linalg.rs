@@ -343,7 +343,7 @@ mod tests {
         let a = DMat::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 2.0]]);
         let (vals, _) = a.symmetric_eigen();
         let mut v: Vec<f64> = vals.data.clone();
-        v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        v.sort_by(f64::total_cmp);
         assert!((v[0] + 1.0).abs() < 1e-10);
         assert!((v[1] - 2.0).abs() < 1e-10);
         assert!((v[2] - 3.0).abs() < 1e-10);

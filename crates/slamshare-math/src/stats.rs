@@ -27,12 +27,16 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 }
 
 /// Median (copies + sorts; these are small evaluation arrays).
+///
+/// NaN policy (shared with [`percentile`]): `total_cmp` sorts NaNs after
+/// every finite value instead of panicking, so a NaN sample skews the
+/// high quantiles but can never take the metrics pipeline down.
 pub fn median(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -47,7 +51,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let rank = (p / 100.0) * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -86,5 +90,19 @@ mod tests {
     #[test]
     fn std_dev_constant_is_zero() {
         assert_eq!(std_dev(&[2.0, 2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn nan_samples_never_panic_quantiles() {
+        // Regression: median/percentile used partial_cmp().unwrap() and
+        // panicked on the first NaN latency sample.
+        let xs = [1.0, f64::NAN, 2.0];
+        // NaN sorts last under total_cmp, so the median of the three is
+        // the middle finite value.
+        assert_eq!(median(&xs), 2.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        // High quantiles may be NaN-skewed; they just must not panic.
+        let _ = percentile(&xs, 99.0);
+        let _ = median(&[f64::NAN, f64::NAN]);
     }
 }

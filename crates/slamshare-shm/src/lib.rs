@@ -25,18 +25,33 @@
 //!   object: attach by name, concurrent zero-copy reads, serialized
 //!   writes, capacity accounting against the segment.
 //!
+//! * [`sharded`] — [`ShardedStore`], the region-sharded variant: N
+//!   occupants behind N locks with per-shard epoch counters, so a write
+//!   to one region never blocks readers of another.
+//!
 //! The crate is deliberately independent of the SLAM types (generic over
 //! `T`) so it is testable in isolation; `slamshare-core` instantiates it
 //! with the SLAM `Map`.
+//!
+//! Every byte in this crate sits under the global map's locks; a panic
+//! here poisons shared state for every client, so unwrap/expect/panic are
+//! compile errors in non-test code (the PR 3 ingest-path gate, extended).
+
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod arena;
 pub mod segment;
+pub mod sharded;
 pub mod shared_mutex;
 pub mod slab;
 pub mod store;
 
 pub use arena::Arena;
 pub use segment::{Segment, SegmentError};
-pub use shared_mutex::SharedMutex;
+pub use sharded::ShardedStore;
+pub use shared_mutex::{LockStats, SharedMutex};
 pub use slab::{Slab, SlotHandle};
 pub use store::SharedStore;

@@ -26,10 +26,27 @@
 pub mod eval;
 pub mod ids;
 pub mod imu;
+// The map/merge/recognition modules hold the shared global-map state and
+// the code that runs against it under region locks on the edge server; a
+// panic there poisons a shard for every client. Lints are compiled into
+// the modules (not passed via CLI -D, which would leak into the vendored
+// workspace path deps) — `cargo clippy -p slamshare-slam` enforces them.
+#[cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 pub mod map;
 pub mod mapping;
+#[cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 pub mod merge;
 pub mod optimize;
+#[cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 pub mod recognition;
 pub mod system;
 pub mod tracking;
@@ -37,5 +54,5 @@ pub mod triangulate;
 pub mod vocabulary;
 
 pub use ids::{ClientId, IdAllocator, KeyFrameId, MapPointId};
-pub use map::{KeyFrame, Map, MapPoint};
+pub use map::{KeyFrame, Map, MapPoint, MapRead, MapView, RegionAssigner, RegionGraph};
 pub use system::{SlamConfig, SlamSystem};

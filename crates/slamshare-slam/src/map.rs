@@ -202,53 +202,19 @@ impl Map {
         kf_id: KeyFrameId,
         min_shared: usize,
     ) -> Vec<(KeyFrameId, usize)> {
-        let Some(kf) = self.keyframes.get(&kf_id) else {
-            return Vec::new();
-        };
-        let mut counts: HashMap<KeyFrameId, usize> = HashMap::new();
-        for mp_id in kf.matched_points.iter().flatten() {
-            if let Some(mp) = self.mappoints.get(mp_id) {
-                for (other, _) in &mp.observations {
-                    if *other != kf_id {
-                        *counts.entry(*other).or_insert(0) += 1;
-                    }
-                }
-            }
-        }
-        let mut out: Vec<(KeyFrameId, usize)> = counts
-            .into_iter()
-            .filter(|(_, c)| *c >= min_shared)
-            .collect();
-        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        out
+        MapRead::covisible_keyframes(self, kf_id, min_shared)
     }
 
     /// The local map around a keyframe: ids of points observed by it and by
     /// its covisible keyframes. This is the candidate set *search local
     /// points* scans.
     pub fn local_map_points(&self, kf_id: KeyFrameId, min_shared: usize) -> Vec<MapPointId> {
-        let mut kfs = vec![kf_id];
-        kfs.extend(
-            self.covisible_keyframes(kf_id, min_shared)
-                .into_iter()
-                .map(|(k, _)| k),
-        );
-        let mut seen = std::collections::BTreeSet::new();
-        for k in kfs {
-            if let Some(kf) = self.keyframes.get(&k) {
-                for mp in kf.matched_points.iter().flatten() {
-                    seen.insert(*mp);
-                }
-            }
-        }
-        seen.into_iter().collect()
+        MapRead::local_map_points(self, kf_id, min_shared)
     }
 
-    /// The most recent keyframe (by timestamp).
+    /// The most recent keyframe (by timestamp; id breaks exact ties).
     pub fn latest_keyframe(&self) -> Option<&KeyFrame> {
-        self.keyframes
-            .values()
-            .max_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap())
+        MapRead::latest_keyframe(self)
     }
 
     /// Apply a similarity transform to every pose and point (used when a
@@ -292,8 +258,242 @@ impl Map {
             .values()
             .map(|kf| (kf.timestamp, kf.pose_cw.camera_center()))
             .collect();
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // total_cmp: a NaN timestamp must never panic the comparator. NaNs
+        // sort after finite times; BTreeMap iteration keeps ties in id order
+        // (sort_by is stable).
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
         out
+    }
+}
+
+/// Read-only access to map content, implemented both by [`Map`] and by
+/// [`MapView`] (a stitched view over several region shards of the global
+/// map). Tracking and relocalization run against `impl MapRead`, so the
+/// same code path serves a single-lock map and a subset of region shards.
+pub trait MapRead {
+    fn keyframe(&self, id: KeyFrameId) -> Option<&KeyFrame>;
+    fn mappoint(&self, id: MapPointId) -> Option<&MapPoint>;
+    /// Iterate keyframes in ascending-id order (required for determinism of
+    /// the default methods regardless of how content is sharded).
+    fn keyframes_iter(&self) -> Box<dyn Iterator<Item = &KeyFrame> + '_>;
+    fn n_keyframes(&self) -> usize;
+    fn n_mappoints(&self) -> usize;
+
+    /// The most recent keyframe. `total_cmp` + id tie-break: NaN-safe and
+    /// deterministic under any sharding of the content.
+    fn latest_keyframe(&self) -> Option<&KeyFrame> {
+        self.keyframes_iter()
+            .max_by(|a, b| a.timestamp.total_cmp(&b.timestamp).then(a.id.cmp(&b.id)))
+    }
+
+    /// Keyframes covisible with `kf_id` (sharing ≥ `min_shared` map
+    /// points), sorted by shared count descending, id ascending on ties.
+    fn covisible_keyframes(
+        &self,
+        kf_id: KeyFrameId,
+        min_shared: usize,
+    ) -> Vec<(KeyFrameId, usize)> {
+        let Some(kf) = self.keyframe(kf_id) else {
+            return Vec::new();
+        };
+        let mut counts: HashMap<KeyFrameId, usize> = HashMap::new();
+        for mp_id in kf.matched_points.iter().flatten() {
+            if let Some(mp) = self.mappoint(*mp_id) {
+                for (other, _) in &mp.observations {
+                    if *other != kf_id {
+                        *counts.entry(*other).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(KeyFrameId, usize)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_shared)
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The local map around a keyframe: ids of points observed by it and by
+    /// its covisible keyframes.
+    fn local_map_points(&self, kf_id: KeyFrameId, min_shared: usize) -> Vec<MapPointId> {
+        let mut kfs = vec![kf_id];
+        kfs.extend(
+            self.covisible_keyframes(kf_id, min_shared)
+                .into_iter()
+                .map(|(k, _)| k),
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for k in kfs {
+            if let Some(kf) = self.keyframe(k) {
+                for mp in kf.matched_points.iter().flatten() {
+                    seen.insert(*mp);
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+impl MapRead for Map {
+    fn keyframe(&self, id: KeyFrameId) -> Option<&KeyFrame> {
+        self.keyframes.get(&id)
+    }
+
+    fn mappoint(&self, id: MapPointId) -> Option<&MapPoint> {
+        self.mappoints.get(&id)
+    }
+
+    fn keyframes_iter(&self) -> Box<dyn Iterator<Item = &KeyFrame> + '_> {
+        Box::new(self.keyframes.values())
+    }
+
+    fn n_keyframes(&self) -> usize {
+        self.keyframes.len()
+    }
+
+    fn n_mappoints(&self) -> usize {
+        self.mappoints.len()
+    }
+}
+
+/// A read view stitched over several disjoint map fragments (region
+/// shards). Lookups probe each part; iteration merges in id order.
+pub struct MapView<'a> {
+    pub parts: Vec<&'a Map>,
+}
+
+impl<'a> MapView<'a> {
+    pub fn new(parts: Vec<&'a Map>) -> MapView<'a> {
+        MapView { parts }
+    }
+}
+
+impl MapRead for MapView<'_> {
+    fn keyframe(&self, id: KeyFrameId) -> Option<&KeyFrame> {
+        self.parts.iter().find_map(|m| m.keyframes.get(&id))
+    }
+
+    fn mappoint(&self, id: MapPointId) -> Option<&MapPoint> {
+        self.parts.iter().find_map(|m| m.mappoints.get(&id))
+    }
+
+    fn keyframes_iter(&self) -> Box<dyn Iterator<Item = &KeyFrame> + '_> {
+        let mut all: Vec<&KeyFrame> = self
+            .parts
+            .iter()
+            .flat_map(|m| m.keyframes.values())
+            .collect();
+        all.sort_by_key(|kf| kf.id);
+        Box::new(all.into_iter())
+    }
+
+    fn n_keyframes(&self) -> usize {
+        self.parts.iter().map(|m| m.keyframes.len()).sum()
+    }
+
+    fn n_mappoints(&self) -> usize {
+        self.parts.iter().map(|m| m.mappoints.len()).sum()
+    }
+}
+
+/// Deterministic spatial region assignment: hash of the ~`cell_size`-meter
+/// grid cell containing a camera center, modulo `n_regions`. Pure function
+/// of content, so every shard count and every interleaving agrees on it.
+#[derive(Debug, Clone)]
+pub struct RegionAssigner {
+    pub n_regions: u32,
+    pub cell_size: f64,
+}
+
+impl RegionAssigner {
+    pub fn new(n_regions: usize, cell_size: f64) -> RegionAssigner {
+        RegionAssigner {
+            n_regions: (n_regions.max(1)) as u32,
+            cell_size: if cell_size > 0.0 { cell_size } else { 10.0 },
+        }
+    }
+
+    pub fn region_of(&self, p: Vec3) -> u32 {
+        if self.n_regions <= 1 {
+            return 0;
+        }
+        let quant = |v: f64| -> i64 {
+            if v.is_finite() {
+                (v / self.cell_size).floor() as i64
+            } else {
+                0
+            }
+        };
+        // FNV-1a over the quantized cell coordinates.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for c in [quant(p.x), quant(p.y), quant(p.z)] {
+            h ^= c as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        (h % self.n_regions as u64) as u32
+    }
+}
+
+/// Union-find over region indices tracking which regions share covisibility
+/// edges. Components only ever merge (monotone), which is what makes a
+/// speculative read of a component safe: any later growth of the component
+/// must have write-locked (and epoch-bumped) one of its regions.
+#[derive(Debug, Clone)]
+pub struct RegionGraph {
+    parent: Vec<u32>,
+    /// Bumped on every effective union; cheap "did anything merge" probe.
+    pub version: u64,
+}
+
+impl RegionGraph {
+    pub fn new(n_regions: usize) -> RegionGraph {
+        RegionGraph {
+            parent: (0..n_regions.max(1) as u32).collect(),
+            version: 0,
+        }
+    }
+
+    pub fn n_regions(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn find(&self, mut r: u32) -> u32 {
+        let n = self.parent.len() as u32;
+        if r >= n {
+            return r.min(n.saturating_sub(1));
+        }
+        while self.parent[r as usize] != r {
+            r = self.parent[r as usize];
+        }
+        r
+    }
+
+    /// Merge the components of `a` and `b`. Deterministic: the smaller root
+    /// index always becomes the representative.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi as usize] = lo;
+        self.version += 1;
+        true
+    }
+
+    /// All regions in `r`'s component, ascending.
+    pub fn component(&self, r: u32) -> Vec<u32> {
+        let root = self.find(r);
+        (0..self.parent.len() as u32)
+            .filter(|&i| self.find(i) == root)
+            .collect()
+    }
+
+    pub fn n_components(&self) -> usize {
+        (0..self.parent.len() as u32)
+            .filter(|&i| self.find(i) == i)
+            .count()
     }
 }
 
@@ -469,5 +669,96 @@ mod tests {
         let traj = map.trajectory();
         assert_eq!(traj.len(), 3);
         assert!(traj.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn nan_timestamps_never_panic_map_queries() {
+        // Regression: latest_keyframe/trajectory used partial_cmp().unwrap()
+        // and panicked on a NaN timestamp.
+        let mut map = Map::new(ClientId(1));
+        blank_kf(&mut map, f64::NAN, 1);
+        let good = blank_kf(&mut map, 1.0, 1);
+        blank_kf(&mut map, f64::NAN, 1);
+        // NaN sorts after finite values under total_cmp, so the NaN frame
+        // wins latest_keyframe — the policy is "no panic, deterministic",
+        // not "NaN is ignored".
+        assert!(map.latest_keyframe().is_some());
+        assert_eq!(map.trajectory().len(), 3);
+        assert!(map.keyframes.contains_key(&good));
+    }
+
+    #[test]
+    fn latest_keyframe_breaks_timestamp_ties_by_id() {
+        let mut map = Map::new(ClientId(1));
+        blank_kf(&mut map, 1.0, 1);
+        let b = blank_kf(&mut map, 1.0, 1);
+        assert_eq!(map.latest_keyframe().map(|kf| kf.id), Some(b));
+    }
+
+    #[test]
+    fn map_view_matches_single_map_queries() {
+        // Split one map's content across two fragments; the stitched view
+        // must answer every read-side query identically.
+        let mut map = Map::new(ClientId(1));
+        let kf1 = blank_kf(&mut map, 0.0, 10);
+        let kf2 = blank_kf(&mut map, 1.0, 10);
+        for i in 0..4 {
+            let mp = map.create_mappoint(Vec3::ZERO, Descriptor::ZERO, kf1, i);
+            map.add_observation(mp, kf2, i);
+        }
+        let mut a = Map::new(ClientId(1));
+        let mut b = Map::new(ClientId(1));
+        for (id, kf) in &map.keyframes {
+            if *id == kf1 {
+                a.keyframes.insert(*id, kf.clone());
+            } else {
+                b.keyframes.insert(*id, kf.clone());
+            }
+        }
+        for (i, (id, mp)) in map.mappoints.iter().enumerate() {
+            if i % 2 == 0 {
+                a.mappoints.insert(*id, mp.clone());
+            } else {
+                b.mappoints.insert(*id, mp.clone());
+            }
+        }
+        let view = MapView::new(vec![&b, &a]);
+        assert_eq!(view.n_keyframes(), map.n_keyframes());
+        assert_eq!(view.n_mappoints(), map.n_mappoints());
+        assert_eq!(
+            view.latest_keyframe().map(|kf| kf.id),
+            map.latest_keyframe().map(|kf| kf.id)
+        );
+        assert_eq!(
+            MapRead::covisible_keyframes(&view, kf1, 1),
+            map.covisible_keyframes(kf1, 1)
+        );
+        assert_eq!(
+            MapRead::local_map_points(&view, kf1, 1),
+            map.local_map_points(kf1, 1)
+        );
+    }
+
+    #[test]
+    fn region_graph_unions_are_monotone_and_deterministic() {
+        let mut g = RegionGraph::new(8);
+        assert_eq!(g.n_components(), 8);
+        assert!(g.union(3, 5));
+        assert!(!g.union(5, 3));
+        assert!(g.union(5, 1));
+        assert_eq!(g.find(3), 1);
+        assert_eq!(g.component(5), vec![1, 3, 5]);
+        assert_eq!(g.n_components(), 6);
+        assert_eq!(g.version, 2);
+    }
+
+    #[test]
+    fn region_assigner_is_deterministic_and_nan_safe() {
+        let a = RegionAssigner::new(16, 10.0);
+        let p = Vec3::new(12.0, -3.0, 4.0);
+        assert_eq!(a.region_of(p), a.region_of(p));
+        assert!(a.region_of(p) < 16);
+        let _ = a.region_of(Vec3::new(f64::NAN, 0.0, f64::INFINITY));
+        assert_eq!(RegionAssigner::new(1, 10.0).region_of(p), 0);
     }
 }

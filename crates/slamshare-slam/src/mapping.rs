@@ -173,7 +173,7 @@ impl LocalMapper {
                 map.keyframes
                     .values()
                     .filter(|k| k.id != kf_id && k.timestamp < this_t)
-                    .max_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap())
+                    .max_by(|a, b| a.timestamp.total_cmp(&b.timestamp).then(a.id.cmp(&b.id)))
                     .map(|k| (k.id, 0))
             })
         else {

@@ -206,14 +206,12 @@ pub fn apply_merge_plan(
     };
     let mut fused: Vec<(MapPointId, MapPointId)> = Vec::new();
 
-    if !report.aligned {
+    let Some(transform) = plan.transform else {
         // Empty-global (become_global) or forced-absorb semantics: plain
         // insertion, no alignment, no weld.
         absorb(gmap, cmap, db);
         return (report, fused);
-    }
-
-    let transform = plan.transform.expect("aligned plan carries a transform");
+    };
     cmap.transform_all(&transform);
     let client_kf_ids: Vec<KeyFrameId> = cmap.keyframes.keys().copied().collect();
     absorb(gmap, cmap, db);
@@ -391,7 +389,7 @@ fn weld_by_projection(
 /// BoW database. Ids are globally unique so this is pure insertion — the
 /// shared-memory version of this operation is pointer-only, which is what
 /// Table 4 measures.
-fn absorb(gmap: &mut Map, cmap: Map, db: &ShardedKeyframeDatabase) {
+pub fn absorb(gmap: &mut Map, cmap: Map, db: &ShardedKeyframeDatabase) {
     for (id, kf) in cmap.keyframes {
         db.add(id.0, kf.bow.clone());
         gmap.keyframes.insert(id, kf);

@@ -7,7 +7,7 @@
 //! feed the Sim(3)/SE(3) alignment of Algorithm 2.
 
 use crate::ids::{KeyFrameId, MapPointId};
-use crate::map::{KeyFrame, Map};
+use crate::map::{KeyFrame, Map, MapRead};
 use parking_lot::RwLock;
 use slamshare_features::bow::{BowVector, Vocabulary, WordId};
 use slamshare_features::matching::TH_LOW;
@@ -237,13 +237,13 @@ pub fn detect_common_region(
 pub fn relocalize(
     db: &ShardedKeyframeDatabase,
     query: &BowVector,
-    map: &Map,
+    map: &impl MapRead,
 ) -> Option<(KeyFrameId, slamshare_math::SE3)> {
     db.query(query, MIN_BOW_SCORE, &|_| false)
         .into_iter()
         .find_map(|(id, _)| {
             let kf_id = KeyFrameId(id);
-            map.keyframes.get(&kf_id).map(|kf| (kf_id, kf.pose_cw))
+            map.keyframe(kf_id).map(|kf| (kf_id, kf.pose_cw))
         })
 }
 
@@ -261,9 +261,16 @@ pub fn ransac_tolerance(points: &[slamshare_math::Vec3]) -> f64 {
         .fold(slamshare_math::Vec3::ZERO, |a, &p| a + p)
         / points.len() as f64;
     let mut dists: Vec<f64> = points.iter().map(|p| (*p - centroid).norm()).collect();
-    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: a NaN coordinate must never panic place recognition. NaNs
+    // sort last, and a NaN median clamps to the 0.35 m floor below.
+    dists.sort_by(f64::total_cmp);
     let median = dists[dists.len() / 2];
-    (0.06 * median).clamp(0.35, 2.5)
+    let scaled = 0.06 * median;
+    if scaled.is_nan() {
+        0.35
+    } else {
+        scaled.clamp(0.35, 2.5)
+    }
 }
 
 /// Match the map points observed by two keyframes, **BoW-guided** like
@@ -475,6 +482,22 @@ mod tests {
         // An empty database yields nothing.
         let no_db = ShardedKeyframeDatabase::new();
         assert!(relocalize(&no_db, &kf_a.bow, &map_b).is_none());
+    }
+
+    #[test]
+    fn ransac_tolerance_survives_nan_points() {
+        // Regression: the median comparator was partial_cmp().unwrap().
+        use slamshare_math::Vec3;
+        let pts = vec![
+            Vec3::new(f64::NAN, 0.0, 0.0),
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::ZERO,
+        ];
+        let tol = ransac_tolerance(&pts);
+        assert!((0.35..=2.5).contains(&tol), "tol = {tol}");
+        // All-NaN input falls back to the floor instead of propagating NaN.
+        let all_nan = vec![Vec3::new(f64::NAN, f64::NAN, f64::NAN); 3];
+        assert_eq!(ransac_tolerance(&all_nan), 0.35);
     }
 
     #[test]

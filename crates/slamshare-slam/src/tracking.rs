@@ -14,7 +14,7 @@
 //! 5. **Pose Optimization** — robust Gauss–Newton on the 3D→2D matches.
 
 use crate::ids::{KeyFrameId, MapPointId};
-use crate::map::Map;
+use crate::map::MapRead;
 use crate::optimize::{optimize_pose, PoseObservation};
 use slamshare_features::extractor::{ExtractedFeatures, OrbExtractor, OrbExtractorConfig};
 use slamshare_features::matching::{self, ProjectionQuery, TH_HIGH, TH_LOW};
@@ -296,7 +296,7 @@ impl Tracker {
         timestamp: f64,
         left: &GrayImage,
         right: Option<&GrayImage>,
-        map: &Map,
+        map: &impl MapRead,
         ref_kf: Option<KeyFrameId>,
         pose_hint: Option<SE3>,
     ) -> FrameObservation {
@@ -336,7 +336,7 @@ impl Tracker {
         let mut queries: Vec<ProjectionQuery> = Vec::new();
         let mut query_points: Vec<MapPointId> = Vec::new();
         for mp_id in local_points {
-            let Some(mp) = map.mappoints.get(&mp_id) else {
+            let Some(mp) = map.mappoint(mp_id) else {
                 continue;
             };
             let q = predicted.transform(mp.position);
@@ -391,7 +391,10 @@ impl Tracker {
         let mut obs_kp: Vec<usize> = Vec::with_capacity(matches.len());
         for m in &matches {
             let mp_id = query_points[m.query];
-            let mp = &map.mappoints[&mp_id];
+            // Ids in query_points came from successful lookups above.
+            let Some(mp) = map.mappoint(mp_id) else {
+                continue;
+            };
             let kp = &features.keypoints[m.train];
             obs.push(PoseObservation {
                 point: mp.position,
@@ -457,7 +460,7 @@ impl Tracker {
 mod tests {
     use super::*;
     use crate::ids::ClientId;
-    use crate::map::KeyFrame;
+    use crate::map::{KeyFrame, Map};
     use slamshare_features::bow::BowVector;
     use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
     use slamshare_sim::imu::ImuNoise;

@@ -16,13 +16,16 @@ cargo bench --workspace --no-run
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== no-panic gate (slamshare-net, core ingest) =="
-# The ingest path denies unwrap/expect/panic via in-source
+echo "== no-panic gate (slamshare-net, slamshare-shm, core ingest/gmap, slam map/merge/recognition) =="
+# Shared-state paths deny unwrap/expect/panic via in-source
 # #![cfg_attr(not(test), deny(...))] attributes (crate-level in
-# slamshare-net, module-level on slamshare-core::ingest). A plain clippy
-# pass compiles those lints as hard errors; CLI -D flags must NOT be used
+# slamshare-net and slamshare-shm; module-level on
+# slamshare-core::{ingest,gmap} and
+# slamshare-slam::{map,merge,recognition} — a panic under a region lock
+# would poison shared map state for every client). A plain clippy pass
+# compiles those lints as hard errors; CLI -D flags must NOT be used
 # here — they leak into the vendored workspace path deps.
-cargo clippy -q -p slamshare-net -p slamshare-core
+cargo clippy -q -p slamshare-net -p slamshare-core -p slamshare-shm -p slamshare-slam
 
 echo "== cargo fmt --check =="
 cargo fmt --check
