@@ -1,0 +1,50 @@
+//! CLI for the bench-regression gate (see `bench::gate`).
+//!
+//! ```text
+//! bench_gate              compare results/BENCH_*.json vs results/baselines/
+//! bench_gate --selftest   prove the gate trips on a synthetic regression
+//! ```
+//!
+//! Exit code 0 = within tolerance, 1 = regression (or selftest failure),
+//! 2 = usage/IO error. Tolerance: `SLAMSHARE_BENCH_TOL` percent
+//! (default 15).
+
+use bench::gate;
+
+fn main() {
+    let tol = gate::tolerance_pct();
+    let results = bench::results_dir();
+    let baselines = results.join("baselines");
+
+    let selftest = std::env::args().any(|a| a == "--selftest");
+    let code = if selftest {
+        match gate::selftest(&baselines, tol) {
+            Ok(msg) => {
+                println!("{msg}");
+                0
+            }
+            Err(e) => {
+                eprintln!("bench_gate selftest failed: {e}");
+                1
+            }
+        }
+    } else {
+        match gate::run(&baselines, &results, tol) {
+            Ok((table, pass)) => {
+                print!("{table}");
+                if pass {
+                    println!("bench gate: PASS");
+                    0
+                } else {
+                    println!("bench gate: FAIL — p95 regression beyond {tol:.0} %");
+                    1
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_gate error: {e}");
+                2
+            }
+        }
+    };
+    std::process::exit(code);
+}

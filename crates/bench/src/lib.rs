@@ -15,6 +15,8 @@
 use slamshare_core::experiments::Effort;
 use std::path::PathBuf;
 
+pub mod gate;
+
 /// Effort selected by the `SLAMSHARE_BENCH_EFFORT` env var.
 pub fn bench_effort() -> Effort {
     match std::env::var("SLAMSHARE_BENCH_EFFORT").as_deref() {

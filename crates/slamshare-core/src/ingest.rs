@@ -36,6 +36,7 @@ use std::time::Instant;
 /// that mutex.
 #[derive(Debug, Default)]
 pub struct IngestCounters {
+    frames_decoded: AtomicU64,
     decode_errors: AtomicU64,
     dropped_frames: AtomicU64,
     resyncs: AtomicU64,
@@ -43,6 +44,10 @@ pub struct IngestCounters {
 }
 
 impl IngestCounters {
+    pub fn record_frame_decoded(&self) {
+        self.frames_decoded.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn record_decode_error(&self) {
         self.decode_errors.fetch_add(1, Ordering::Relaxed);
     }
@@ -61,6 +66,7 @@ impl IngestCounters {
 
     pub fn snapshot(&self) -> ClientIngestSnapshot {
         ClientIngestSnapshot {
+            frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             dropped_frames: self.dropped_frames.load(Ordering::Relaxed),
             resyncs: self.resyncs.load(Ordering::Relaxed),
@@ -72,6 +78,8 @@ impl IngestCounters {
 /// A point-in-time copy of one client's [`IngestCounters`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct ClientIngestSnapshot {
+    /// Frames that decoded cleanly (both eyes) and reached tracking.
+    pub frames_decoded: u64,
     /// Payloads the codec rejected (typed [`CodecError`]s, not panics).
     pub decode_errors: u64,
     /// Frames dropped without reaching tracking: failed decodes plus
@@ -133,6 +141,7 @@ impl VideoIngest {
     /// [`DecodeOutcome`], never a panic, and a failed decode leaves the
     /// decoder references untouched (guaranteed by [`VideoDecoder`]).
     pub fn decode(&mut self, left: &[u8], right: Option<&[u8]>) -> DecodeOutcome {
+        let _span = slamshare_obs::span!("round.decode");
         // Desynced: only a full intra frame can re-anchor the stream.
         // P-frames (and partial intra uploads in stereo) are dropped
         // unseen — their reference no longer exists on this side.
@@ -155,6 +164,8 @@ impl VideoIngest {
             None => None,
         };
         let decode_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.counters.record_frame_decoded();
+        slamshare_obs::counter_inc!("ingest.frames_decoded");
 
         let relocalize = self.awaiting_resync;
         if relocalize {
@@ -202,7 +213,10 @@ mod tests {
         assert!(!ingest.awaiting_resync());
         assert_eq!(
             ingest.counters().snapshot(),
-            ClientIngestSnapshot::default()
+            ClientIngestSnapshot {
+                frames_decoded: 4,
+                ..ClientIngestSnapshot::default()
+            }
         );
     }
 

@@ -33,7 +33,7 @@
 //! the merge's own destination regions ever wait for the apply section.
 
 use crate::gmap::{LockSeeds, ShardedGlobalMap};
-use crate::metrics::MergeWorkerStats;
+use crate::metrics::{MergeWorkerStats, MetricsCut};
 use parking_lot::Mutex;
 use slamshare_features::bow::Vocabulary;
 use slamshare_sim::camera::PinholeCamera;
@@ -98,6 +98,9 @@ pub(crate) struct MergeContext {
     pub vocab: Arc<Vocabulary>,
     pub cam: PinholeCamera,
     pub with_scale: bool,
+    /// The server's metrics consistent-cut gate: the worker's stat
+    /// updates count as a write section, like any round's.
+    pub cut: Arc<MetricsCut>,
 }
 
 /// Handle to the background merge thread. Dropping it closes the job
@@ -121,7 +124,7 @@ impl MergeWorker {
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
                     let client = job.client;
-                    let completion = run_job(&ctx, &worker_stats, job);
+                    let completion = ctx.cut.write(|| run_job(&ctx, &worker_stats, job));
                     let mut desk = worker_desk.lock();
                     desk.done.insert(client, completion);
                     desk.in_flight.remove(&client);
@@ -234,7 +237,10 @@ fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> Merge
         // the snapshot — plan_merge skips candidates the snapshot doesn't
         // hold yet.
         let (gsnap, stamp) = ctx.store.snapshot_with_stamp();
-        let plan = plan_merge(&gsnap, &job.cmap, &ctx.db, &ctx.vocab, ctx.with_scale);
+        let plan = {
+            let _span = slamshare_obs::span!("merge.plan");
+            plan_merge(&gsnap, &job.cmap, &ctx.db, &ctx.vocab, ctx.with_scale)
+        };
         if !plan.viable() {
             stats.record_no_region();
             return completion(None);
@@ -247,6 +253,7 @@ fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> Merge
         // snapshot. Commits into regions outside the locked set neither
         // block this nor invalidate it.
         let (applied, locked) = ctx.store.with_component_write(&seeds, |gmap, cw| {
+            let _span = slamshare_obs::span!("merge.apply");
             let stale = cw.regions.iter().any(|&r| {
                 let snap_epoch = stamp.iter().find(|&&(i, _)| i == r).map(|&(_, e)| e);
                 cw.epoch_of(r) != snap_epoch
@@ -284,10 +291,14 @@ fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> Merge
     // region's write lock. Commits wait this once, but the outcome cannot
     // be lost to a race — the same guarantee the old synchronous path had.
     let (result, locked) = ctx.store.with_write_all(|gmap, _| {
-        let plan = plan_merge(gmap, &job.cmap, &ctx.db, &ctx.vocab, ctx.with_scale);
+        let plan = {
+            let _span = slamshare_obs::span!("merge.plan");
+            plan_merge(gmap, &job.cmap, &ctx.db, &ctx.vocab, ctx.with_scale)
+        };
         if !plan.viable() {
             return (None, false);
         }
+        let _span = slamshare_obs::span!("merge.apply");
         let (report, fused) = apply_merge_plan(gmap, &ctx.db, job.cmap.clone(), &plan, &ctx.cam);
         (Some((report, fused)), true)
     });

@@ -8,8 +8,8 @@
 pub use slamshare_slam::eval::{ate, short_term_ate, AteResult};
 
 use crate::ingest::ClientIngestSnapshot;
-use parking_lot::Mutex;
 use serde::Serialize;
+use slamshare_obs::{Counter, Histogram, ObsSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -24,6 +24,15 @@ pub struct ServerMetrics {
     pub merge_worker: Option<MergeWorkerSnapshot>,
     /// Per-region contention of the sharded global map.
     pub map_sharding: MapShardingSnapshot,
+    /// Drained observability state (spans, histograms, counters) from
+    /// the `slamshare-obs` registry. Empty until recording is enabled
+    /// with `slamshare_obs::set_enabled(true)`.
+    pub obs: ObsSnapshot,
+    /// Whether this report was sampled over a writer-quiescent window
+    /// ([`MetricsCut::read_checked`]). When `false` the counters are a
+    /// best-effort sample that may tear across related counters; callers
+    /// asserting cross-counter invariants must re-read.
+    pub consistent_cut: bool,
 }
 
 impl ServerMetrics {
@@ -44,15 +53,22 @@ impl ServerMetrics {
 /// and the worker retried or fell back to a pessimistic in-lock merge.
 /// All methods take `&self`; the worker thread and the server share one
 /// instance through an `Arc`.
+///
+/// Built on `slamshare-obs` primitives: counts are [`Counter`]s and the
+/// applied-merge latency is a fixed-bucket [`Histogram`] (so the
+/// percentiles in [`MergeWorkerSnapshot`] are bucket-interpolated with
+/// ≤ ~9 % relative error, and memory stays constant instead of growing
+/// one float per merge). The record methods also mirror into the global
+/// obs registry under `merge.*` names when recording is enabled.
 #[derive(Debug, Default)]
 pub struct MergeWorkerStats {
-    submitted: AtomicU64,
-    applied: AtomicU64,
-    conflicts: AtomicU64,
-    fallback_applies: AtomicU64,
-    no_region: AtomicU64,
+    submitted: Counter,
+    applied: Counter,
+    conflicts: Counter,
+    fallback_applies: Counter,
+    no_region: Counter,
     /// Wall time of each applied merge (snapshot → applied), ms.
-    latencies_ms: Mutex<Vec<f64>>,
+    latency: Histogram,
 }
 
 /// A point-in-time copy of [`MergeWorkerStats`], with latency
@@ -78,38 +94,119 @@ pub struct MergeWorkerSnapshot {
 
 impl MergeWorkerStats {
     pub fn record_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.inc();
+        slamshare_obs::counter_inc!("merge.submitted");
     }
 
     pub fn record_applied(&self, latency_ms: f64) {
-        self.applied.fetch_add(1, Ordering::Relaxed);
-        self.latencies_ms.lock().push(latency_ms);
+        self.applied.inc();
+        self.latency.record_ms(latency_ms);
+        slamshare_obs::counter_inc!("merge.applied");
+        slamshare_obs::observe_ms!("merge.latency", latency_ms);
     }
 
     pub fn record_conflict(&self) {
-        self.conflicts.fetch_add(1, Ordering::Relaxed);
+        self.conflicts.inc();
+        slamshare_obs::counter_inc!("merge.conflicts");
     }
 
     pub fn record_fallback(&self) {
-        self.fallback_applies.fetch_add(1, Ordering::Relaxed);
+        self.fallback_applies.inc();
+        slamshare_obs::counter_inc!("merge.fallback_applies");
     }
 
     pub fn record_no_region(&self) {
-        self.no_region.fetch_add(1, Ordering::Relaxed);
+        self.no_region.inc();
+        slamshare_obs::counter_inc!("merge.no_region");
     }
 
     pub fn snapshot(&self) -> MergeWorkerSnapshot {
-        let latencies = self.latencies_ms.lock().clone();
+        let latency = self.latency.snapshot();
         MergeWorkerSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            applied: self.applied.load(Ordering::Relaxed),
-            conflicts: self.conflicts.load(Ordering::Relaxed),
-            fallback_applies: self.fallback_applies.load(Ordering::Relaxed),
-            no_region: self.no_region.load(Ordering::Relaxed),
-            p50_latency_ms: slamshare_math::stats::percentile(&latencies, 50.0),
-            p95_latency_ms: slamshare_math::stats::percentile(&latencies, 95.0),
-            max_latency_ms: latencies.iter().copied().fold(0.0, f64::max),
+            submitted: self.submitted.get(),
+            applied: self.applied.get(),
+            conflicts: self.conflicts.get(),
+            fallback_applies: self.fallback_applies.get(),
+            no_region: self.no_region.get(),
+            p50_latency_ms: latency.p50_ms,
+            p95_latency_ms: latency.p95_ms,
+            max_latency_ms: latency.max_ms,
         }
+    }
+}
+
+/// Maximum clean-read attempts before [`MetricsCut::read`] degrades to a
+/// best-effort (possibly torn) read.
+const CUT_READ_ATTEMPTS: usize = 4096;
+
+/// A consistent-cut gate between the server's metrics *writers* (round
+/// processing, the merge worker's applies) and its *readers*
+/// ([`crate::server::EdgeServer::metrics`]).
+///
+/// The metrics themselves are many independent relaxed atomics — ingest
+/// counters, region lock stats, region epochs. Each is monotone, but a
+/// reader sampling them mid-round can see *torn totals*: a decode error
+/// counted before its matching dropped-frame count, a region epoch ahead
+/// of the lock-acquisition count that produced it. CI assertions on
+/// counter sums then fail spuriously.
+///
+/// This is a writer-counting seqlock: writers are counted in and out
+/// (overlapping writers are fine), and every completed write bumps a
+/// sequence number. A reader retries until it observes a window with no
+/// writer in flight and an unchanged sequence — its sample then reflects
+/// a real quiescent instant. Readers never block writers.
+#[derive(Debug, Default)]
+pub struct MetricsCut {
+    /// Writers currently inside a [`MetricsCut::write`] section.
+    writers: AtomicU64,
+    /// Completed write sections.
+    seq: AtomicU64,
+}
+
+impl MetricsCut {
+    /// Run `f` as a metrics write section. Cheap (two atomic RMWs) and
+    /// reentrant: nested sections and concurrent writers compose.
+    pub fn write<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct InFlight<'a>(&'a MetricsCut);
+        impl Drop for InFlight<'_> {
+            fn drop(&mut self) {
+                self.0.seq.fetch_add(1, Ordering::Release);
+                self.0.writers.fetch_sub(1, Ordering::Release);
+            }
+        }
+        self.writers.fetch_add(1, Ordering::AcqRel);
+        let _in_flight = InFlight(self);
+        f()
+    }
+
+    /// Run `f` until it executes over a writer-quiescent window, yielding
+    /// between attempts. After [`CUT_READ_ATTEMPTS`] failures the last
+    /// result is returned anyway — metrics are advisory, and on a server
+    /// that never goes quiet a best-effort read beats blocking forever.
+    pub fn read<R>(&self, f: impl FnMut() -> R) -> R {
+        self.read_checked(f).0
+    }
+
+    /// [`MetricsCut::read`], but also reports whether the returned sample
+    /// came from a clean quiescent window (`true`) or from the degraded
+    /// best-effort path (`false`, possibly torn). Callers asserting
+    /// cross-counter invariants must check the flag: on an oversubscribed
+    /// host the reader can be preempted across entire write sections and
+    /// exhaust its attempts even though writers pause between updates.
+    pub fn read_checked<R>(&self, mut f: impl FnMut() -> R) -> (R, bool) {
+        for _ in 0..CUT_READ_ATTEMPTS {
+            let seq0 = self.seq.load(Ordering::Acquire);
+            if self.writers.load(Ordering::Acquire) != 0 {
+                std::thread::yield_now();
+                continue;
+            }
+            let result = f();
+            if self.writers.load(Ordering::Acquire) == 0 && self.seq.load(Ordering::Acquire) == seq0
+            {
+                return (result, true);
+            }
+        }
+        (f(), false)
     }
 }
 
@@ -334,5 +431,114 @@ mod tests {
         assert!(fps.effective_fps(30.0) < 30.0 + 1e-9);
         let empty = FpsTracker::new();
         assert_eq!(empty.effective_fps(30.0), 30.0);
+    }
+
+    #[test]
+    fn merge_worker_stats_snapshot_percentiles() {
+        let stats = MergeWorkerStats::default();
+        for ms in [10.0, 20.0, 30.0, 40.0] {
+            stats.record_applied(ms);
+        }
+        stats.record_submitted();
+        stats.record_conflict();
+        stats.record_fallback();
+        stats.record_no_region();
+        let snap = stats.snapshot();
+        assert_eq!(snap.applied, 4);
+        assert_eq!(snap.submitted, 1);
+        assert_eq!(snap.conflicts, 1);
+        assert_eq!(snap.fallback_applies, 1);
+        assert_eq!(snap.no_region, 1);
+        // Bucketed percentiles: within one geometric bucket (~19 %) of
+        // the exact values, and max is exact.
+        assert!(snap.p50_latency_ms >= 10.0 && snap.p50_latency_ms <= 40.0);
+        assert!(snap.p95_latency_ms >= snap.p50_latency_ms);
+        assert!((snap.max_latency_ms - 40.0).abs() / 40.0 < 0.01);
+    }
+
+    #[test]
+    fn metrics_cut_never_tears_paired_counters() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let cut = Arc::new(MetricsCut::default());
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Writers bump `a` then `b` inside a write section; at any
+        // quiescent instant a == b.
+        let mut writers = Vec::new();
+        for _ in 0..2 {
+            let (cut, a, b, stop) = (cut.clone(), a.clone(), b.clone(), stop.clone());
+            writers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    cut.write(|| {
+                        a.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                        b.fetch_add(1, Ordering::Relaxed);
+                    });
+                    // Guaranteed quiescent windows for the reader.
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }));
+        }
+        // Degraded (best-effort) samples carry no invariant — only clean
+        // cuts are asserted, so a loaded CI host can't flake this test.
+        let mut clean = 0usize;
+        for _ in 0..200 {
+            let ((sa, sb), consistent) =
+                cut.read_checked(|| (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)));
+            if consistent {
+                clean += 1;
+                assert_eq!(sa, sb, "torn read despite a consistent cut: a={sa} b={sb}");
+            }
+        }
+        assert!(clean > 0, "all 200 reads degraded");
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn metrics_cut_read_degrades_instead_of_blocking() {
+        use std::sync::Arc;
+
+        let cut = Arc::new(MetricsCut::default());
+        let release = Arc::new(parking_lot::Mutex::new(()));
+        let held = release.lock();
+        let writer = {
+            let (cut, release) = (cut.clone(), release.clone());
+            std::thread::spawn(move || {
+                cut.write(|| {
+                    // Hold the write section open until the main thread
+                    // has finished its read.
+                    let _g = release.lock();
+                })
+            })
+        };
+        // Wait until the writer is inside the section.
+        while cut.writers.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        // The section never closes while we read: the bounded retry must
+        // give up and return a best-effort value rather than spin forever.
+        let v = cut.read(|| 42u64);
+        assert_eq!(v, 42);
+        drop(held);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_cut_write_is_panic_safe() {
+        let cut = MetricsCut::default();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cut.write(|| panic!("writer died"))
+        }));
+        assert!(r.is_err());
+        // The in-flight count unwound with the panic: reads complete
+        // immediately instead of spinning on a ghost writer.
+        assert_eq!(cut.read(|| 7), 7);
     }
 }

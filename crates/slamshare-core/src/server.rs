@@ -68,7 +68,7 @@ use crate::gmap::{LockSeeds, ShardedGlobalMap};
 use crate::ingest::{DecodeOutcome, IngestCounters, VideoIngest};
 use crate::merge_worker::{AppliedMerge, MergeContext, MergeJob, MergeWorker};
 use crate::metrics::{
-    FpsTracker, MapShardingSnapshot, MergeWorkerSnapshot, RegionLockStat, ServerMetrics,
+    FpsTracker, MapShardingSnapshot, MergeWorkerSnapshot, MetricsCut, RegionLockStat, ServerMetrics,
 };
 use parking_lot::Mutex;
 use slamshare_features::bow::{BowVector, Vocabulary};
@@ -317,6 +317,10 @@ pub struct EdgeServer {
     decode_workers: usize,
     /// Background merge thread (async mode; see [`crate::merge_worker`]).
     merge_worker: Option<MergeWorker>,
+    /// Consistent-cut gate between metrics writers (frame processing,
+    /// merges) and [`EdgeServer::metrics`] readers — see
+    /// [`crate::metrics::MetricsCut`].
+    cut: Arc<MetricsCut>,
 }
 
 /// Run `f` over `items` on up to `workers` scoped threads, preserving
@@ -370,6 +374,7 @@ impl EdgeServer {
         )
         .expect("fresh segment");
         let db = Arc::new(ShardedKeyframeDatabase::new());
+        let cut = Arc::new(MetricsCut::default());
         let merge_worker = config.async_merge.then(|| {
             MergeWorker::spawn(MergeContext {
                 store: store.clone(),
@@ -377,6 +382,7 @@ impl EdgeServer {
                 vocab: vocab.clone(),
                 cam: config.slam.tracker.rig.cam,
                 with_scale: config.with_scale_merge,
+                cut: cut.clone(),
             })
         });
         EdgeServer {
@@ -396,6 +402,7 @@ impl EdgeServer {
                 .map(|n| n.get())
                 .unwrap_or(1),
             merge_worker,
+            cut,
         }
     }
 
@@ -426,10 +433,18 @@ impl EdgeServer {
     }
 
     /// Aggregate server health: per-client ingest counters, merge worker
-    /// stats and per-region map contention. Lock-free with respect to
-    /// the client processes.
+    /// stats, per-region map contention and the drained observability
+    /// snapshot. Lock-free with respect to the client processes.
+    ///
+    /// The counters, lock stats and merge stats are sampled under a
+    /// [`MetricsCut`] read, so the report reflects a writer-quiescent
+    /// instant: sums over related counters (e.g. decode errors vs
+    /// dropped frames) are never torn by an in-flight round.
     pub fn metrics(&self) -> ServerMetrics {
-        ServerMetrics {
+        // The obs snapshot drains span rings destructively, so it is
+        // taken exactly once, outside the cut's retry loop.
+        let obs = slamshare_obs::snapshot();
+        let (mut metrics, consistent) = self.cut.read_checked(|| ServerMetrics {
             per_client: self
                 .ingest_counters
                 .iter()
@@ -437,7 +452,12 @@ impl EdgeServer {
                 .collect(),
             merge_worker: self.merge_worker_stats(),
             map_sharding: self.map_sharding_snapshot(),
-        }
+            obs: Default::default(),
+            consistent_cut: false,
+        });
+        metrics.obs = obs;
+        metrics.consistent_cut = consistent;
+        metrics
     }
 
     /// Per-region lock acquisition/wait/epoch counters of the sharded
@@ -568,9 +588,11 @@ impl EdgeServer {
             .get(&client)
             .ok_or(ClientError::UnknownClient(client))?;
         let mut process = process.lock();
-        let decoded = process.ingest.decode(frame.left, frame.right);
-        let staged = self.track_stage(&mut process, &frame, decoded);
-        Ok(self.commit_stage(&mut process, client, timestamp, staged))
+        self.cut.write(|| {
+            let decoded = process.ingest.decode(frame.left, frame.right);
+            let staged = self.track_stage(&mut process, &frame, decoded);
+            Ok(self.commit_stage(&mut process, client, timestamp, staged))
+        })
     }
 
     /// Process one frame for each of several *distinct* clients.
@@ -628,6 +650,14 @@ impl EdgeServer {
             }
         }
 
+        // Every metric this round writes (ingest counters, region lock
+        // stats, merge stats) lands inside one consistent-cut write
+        // section, so `metrics()` never reports a torn mid-round total.
+        self.cut.write(|| self.round_locked(frames))
+    }
+
+    /// The round pipeline body (validation already done).
+    fn round_locked(&self, frames: &[ClientFrame]) -> Result<Vec<ServerFrameResult>, ClientError> {
         // Phase 0: decode every client's payloads off the tracking path.
         // `&self` guarantees the client set cannot change under us, so
         // the lookups validated above stay valid.
@@ -686,6 +716,7 @@ impl EdgeServer {
         frame: &ClientFrame,
         decoded: DecodeOutcome,
     ) -> StagedFrame {
+        let _span = slamshare_obs::span!("round.track");
         let (left_img, right_img, decode_ms, relocalize) = match decoded {
             DecodeOutcome::Decoded {
                 left,
@@ -815,6 +846,7 @@ impl EdgeServer {
         timestamp: f64,
         staged: StagedFrame,
     ) -> ServerFrameResult {
+        let _span = slamshare_obs::span!("round.commit");
         // A faulted frame never touches the map (no keyframe, no epoch
         // bump, no merge trigger): the other clients' rounds proceed
         // bit-identically to a round where this client sent nothing. The
@@ -1210,7 +1242,8 @@ impl EdgeServer {
     pub fn merge_client_now(&self, client: u16, timestamp: f64) -> Option<MergeOutcome> {
         let process = self.clients.get(&client).expect("unregistered client");
         let mut process = process.lock();
-        self.merge_locked(&mut process, client, timestamp)
+        self.cut
+            .write(|| self.merge_locked(&mut process, client, timestamp))
     }
 
     /// Merge body, with the client's mutex already held.

@@ -1,0 +1,302 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Every histogram shares one bucket layout: geometric buckets with ratio
+//! 2^(1/4) (four buckets per octave, ≤ ~9 % relative width) spanning
+//! 1 µs … ~16.7 s, plus an underflow bucket below 1 µs and an overflow
+//! bucket above the top edge. A shared layout makes histograms mergeable
+//! by plain element-wise addition and keeps percentile math trivial.
+//!
+//! All mutation is relaxed atomics — recording from any number of threads
+//! is wait-free and never blocks the instrumented code.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Buckets between the 1 µs floor and the top edge (exclusive of the
+/// underflow/overflow buckets): 24 octaves × 4.
+pub const GEOMETRIC_BUCKETS: usize = 96;
+
+/// Total bucket count: underflow + geometric + overflow.
+pub const N_BUCKETS: usize = GEOMETRIC_BUCKETS + 2;
+
+/// Upper edge (inclusive, ns) of every bucket except the overflow bucket,
+/// whose edge is `u64::MAX`. Bucket 0 is the underflow bucket `[0, 1 µs]`.
+pub fn bucket_edges_ns() -> &'static [u64; N_BUCKETS - 1] {
+    static EDGES: OnceLock<[u64; N_BUCKETS - 1]> = OnceLock::new();
+    EDGES.get_or_init(|| {
+        let mut edges = [0u64; N_BUCKETS - 1];
+        for (i, e) in edges.iter_mut().enumerate() {
+            // Edge i = 1 µs · 2^(i/4), evaluated in f64 (exact enough:
+            // the buckets themselves are ~9 % wide).
+            *e = (1_000.0f64 * 2.0f64.powf(i as f64 / 4.0)).round() as u64;
+        }
+        edges
+    })
+}
+
+/// Bucket index for a duration (total: every `u64` lands somewhere).
+pub fn bucket_index(ns: u64) -> usize {
+    bucket_edges_ns().partition_point(|&edge| edge < ns)
+}
+
+/// A concurrent fixed-bucket latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one duration in nanoseconds (wait-free).
+    pub fn record_ns(&self, ns: u64) {
+        self.counts[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record a duration measured in (possibly fractional) milliseconds —
+    /// the bridge for call sites that already hold a wall-time float.
+    pub fn record_ms(&self, ms: f64) {
+        if ms.is_finite() && ms >= 0.0 {
+            self.record_ns((ms * 1e6).round() as u64);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Fold another histogram's contents into this one (element-wise —
+    /// all histograms share one bucket layout).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min_ns
+            .fetch_min(other.min_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Zero every bucket and summary statistic.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy with percentiles precomputed.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let sum_ns = self.sum_ns.load(Ordering::Relaxed);
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        let min_raw = self.min_ns.load(Ordering::Relaxed);
+        let min_ns = if count == 0 { 0 } else { min_raw };
+        let pct = |q: f64| percentile_ns(&counts, count, max_ns, q) / 1e6;
+        HistSnapshot {
+            count,
+            mean_ms: if count == 0 {
+                0.0
+            } else {
+                sum_ns as f64 / count as f64 / 1e6
+            },
+            p50_ms: pct(50.0),
+            p95_ms: pct(95.0),
+            p99_ms: pct(99.0),
+            min_ms: min_ns as f64 / 1e6,
+            max_ms: max_ns as f64 / 1e6,
+            sum_ms: sum_ns as f64 / 1e6,
+        }
+    }
+}
+
+/// q-th percentile (ns) from a bucket-count vector, linearly interpolated
+/// inside the containing bucket and clamped to the observed maximum.
+fn percentile_ns(counts: &[u64], count: u64, max_ns: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let edges = bucket_edges_ns();
+    let target = (q / 100.0 * count as f64).max(1.0);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = seen + c;
+        if (next as f64) >= target {
+            let lower = if i == 0 { 0 } else { edges[i - 1] } as f64;
+            let upper = if i < edges.len() {
+                edges[i] as f64
+            } else {
+                max_ns as f64
+            };
+            let within = (target - seen as f64) / c as f64;
+            return (lower + within * (upper - lower)).min(max_ns as f64);
+        }
+        seen = next;
+    }
+    max_ns as f64
+}
+
+/// Serializable point-in-time view of one [`Histogram`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub min_ms: f64,
+    pub max_ms: f64,
+    pub sum_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_monotone_and_start_at_one_us() {
+        let edges = bucket_edges_ns();
+        assert_eq!(edges[0], 1_000);
+        for w in edges.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+        // Four buckets per octave: edge[4] = 2 µs.
+        assert_eq!(edges[4], 2_000);
+        // Top edge covers ~16.7 s.
+        assert!(*edges.last().unwrap() > 16_000_000_000);
+    }
+
+    #[test]
+    fn bucket_index_respects_edges() {
+        // At or below an edge lands in that edge's bucket; just above
+        // moves to the next.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1_000), 0);
+        assert_eq!(bucket_index(1_001), 1);
+        let edges = bucket_edges_ns();
+        for i in [3usize, 17, 40, 80] {
+            assert_eq!(bucket_index(edges[i]), i);
+            assert_eq!(bucket_index(edges[i] + 1), i + 1);
+        }
+        // Overflow bucket is total.
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_interpolate_and_clamp() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record_ns(1_000_000); // 1 ms
+        }
+        for _ in 0..10 {
+            h.record_ns(100_000_000); // 100 ms
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // p50 inside the 1 ms bucket (≤ ~9 % bucket width).
+        assert!(s.p50_ms > 0.8 && s.p50_ms < 1.2, "p50 {}", s.p50_ms);
+        // p95 falls in the 100 ms bucket.
+        assert!(s.p95_ms > 80.0 && s.p95_ms <= 100.0, "p95 {}", s.p95_ms);
+        // Percentiles never exceed the observed max.
+        assert!(s.p99_ms <= s.max_ms + 1e-9);
+        assert!((s.max_ms - 100.0).abs() < 1e-9);
+        assert!((s.mean_ms - (90.0 * 1.0 + 10.0 * 100.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p95_ms, 0.0);
+        assert_eq!(s.min_ms, 0.0);
+        assert_eq!(s.max_ms, 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts_elementwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..5 {
+            a.record_ns(2_000);
+            b.record_ns(2_000);
+        }
+        b.record_ns(1_000_000_000);
+        a.merge_from(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 11);
+        assert!((s.max_ms - 1_000.0).abs() < 1e-9);
+        // The merged 2 µs mass dominates the median.
+        assert!(s.p50_ms < 0.01, "p50 {}", s.p50_ms);
+    }
+
+    #[test]
+    fn record_ms_bridge_rejects_nonfinite() {
+        let h = Histogram::new();
+        h.record_ms(f64::NAN);
+        h.record_ms(-1.0);
+        h.record_ms(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        h.record_ms(2.5);
+        assert_eq!(h.count(), 1);
+        assert!((h.snapshot().max_ms - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    h.record_ns(1_000 + t * 251 + i);
+                }
+            }));
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 4_000);
+    }
+}

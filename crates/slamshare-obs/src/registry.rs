@@ -1,0 +1,99 @@
+//! The process-wide metric registry.
+//!
+//! Histograms and counters are interned by `&'static str` name and
+//! leaked, so instrumentation sites can cache a `&'static` pointer in a
+//! per-call-site `OnceLock` and never touch the registry lock again
+//! after first use. Thread span rings register themselves on a thread's
+//! first span and stay registered for the life of the process (the set
+//! is bounded by the number of threads ever spawned).
+
+use crate::counter::Counter;
+use crate::hist::Histogram;
+use crate::snapshot::{prom_counter_key, prom_hist_key, ObsSnapshot, SpanEvent};
+use crate::span::ThreadRing;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+#[derive(Default)]
+pub struct Registry {
+    hists: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    rings: Mutex<Vec<&'static ThreadRing>>,
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// The histogram registered under `name`, created on first use.
+    pub fn hist(&self, name: &'static str) -> &'static Histogram {
+        let mut g = self.hists.lock();
+        g.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut g = self.counters.lock();
+        g.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+    }
+
+    pub(crate) fn register_ring(&self, ring: &'static ThreadRing) {
+        self.rings.lock().push(ring);
+    }
+
+    /// Drain everything into one serializable snapshot. Does not clear —
+    /// use [`Registry::reset`] between measurement windows.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let histograms: BTreeMap<String, _> = self
+            .hists
+            .lock()
+            .iter()
+            .map(|(name, h)| (prom_hist_key(name), h.snapshot()))
+            .collect();
+        let counters: BTreeMap<String, u64> = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(name, c)| (prom_counter_key(name), c.get()))
+            .collect();
+        let mut spans = Vec::new();
+        for ring in self.rings.lock().iter() {
+            for rec in ring.drain_ordered() {
+                spans.push(SpanEvent {
+                    thread: ring.id(),
+                    name: rec.name.to_owned(),
+                    depth: rec.depth,
+                    start_us: rec.start_ns / 1_000,
+                    dur_us: rec.dur_ns / 1_000,
+                });
+            }
+        }
+        ObsSnapshot {
+            enabled: crate::enabled(),
+            histograms,
+            counters,
+            spans,
+        }
+    }
+
+    /// Zero every histogram and counter and clear every span ring.
+    /// Registered names survive (the `&'static` pointers cached at call
+    /// sites stay valid).
+    pub fn reset(&self) {
+        for h in self.hists.lock().values() {
+            h.reset();
+        }
+        for c in self.counters.lock().values() {
+            c.reset();
+        }
+        for ring in self.rings.lock().iter() {
+            ring.clear();
+        }
+    }
+}

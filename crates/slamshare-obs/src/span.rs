@@ -1,0 +1,210 @@
+//! Hierarchical spans recorded into per-thread ring buffers.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro and closed by
+//! the returned guard's `Drop`. On close, the duration is recorded into
+//! the span's latency [`Histogram`] and a [`SpanRecord`] (name, nesting
+//! depth, start, duration) is appended to the calling thread's ring
+//! buffer. Rings are fixed-capacity — old records are overwritten, never
+//! reallocated — so a long-running server cannot grow unboundedly.
+//!
+//! When observability is disabled (the default) `SpanGuard::enter`
+//! returns an inert guard without reading the clock: the hot path pays
+//! one relaxed atomic load and nothing else.
+
+use crate::hist::Histogram;
+use parking_lot::Mutex;
+use std::cell::{Cell, OnceCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Spans kept per thread before the ring wraps.
+pub const RING_CAPACITY: usize = 4096;
+
+/// Nanoseconds since the process-wide monotonic epoch (first call).
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One completed span, as stored in a thread's ring buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanRecord {
+    pub name: &'static str,
+    /// Nesting depth at entry: 0 for a root span, 1 for its children, …
+    pub depth: u16,
+    /// Start time, ns since the process epoch ([`now_ns`]).
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    buf: Vec<SpanRecord>,
+    /// Overwrite cursor, used once `buf` has reached capacity.
+    next: usize,
+}
+
+/// A fixed-capacity span ring owned by one thread (readable by all).
+#[derive(Debug)]
+pub struct ThreadRing {
+    id: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl ThreadRing {
+    fn new() -> ThreadRing {
+        static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+        ThreadRing {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            inner: Mutex::new(RingInner::default()),
+        }
+    }
+
+    /// Stable id of the owning thread (dense, assigned at first span).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub(crate) fn push(&self, rec: SpanRecord) {
+        let mut g = self.inner.lock();
+        if g.buf.len() < RING_CAPACITY {
+            g.buf.push(rec);
+        } else {
+            let at = g.next;
+            g.buf[at] = rec;
+            g.next = (at + 1) % RING_CAPACITY;
+        }
+    }
+
+    /// Copy out the ring's contents, oldest record first.
+    pub fn drain_ordered(&self) -> Vec<SpanRecord> {
+        let g = self.inner.lock();
+        let mut out = Vec::with_capacity(g.buf.len());
+        if g.buf.len() == RING_CAPACITY {
+            out.extend_from_slice(&g.buf[g.next..]);
+            out.extend_from_slice(&g.buf[..g.next]);
+        } else {
+            out.extend_from_slice(&g.buf);
+        }
+        out
+    }
+
+    pub(crate) fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.buf.clear();
+        g.next = 0;
+    }
+}
+
+thread_local! {
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+    static RING: OnceCell<&'static ThreadRing> = const { OnceCell::new() };
+}
+
+/// The calling thread's ring, created and registered on first use.
+/// Returns `None` only during thread teardown.
+fn with_ring<R>(f: impl FnOnce(&'static ThreadRing) -> R) -> Option<R> {
+    RING.try_with(|cell| {
+        let ring = *cell.get_or_init(|| {
+            let ring: &'static ThreadRing = Box::leak(Box::new(ThreadRing::new()));
+            crate::registry::global().register_ring(ring);
+            ring
+        });
+        f(ring)
+    })
+    .ok()
+}
+
+struct Active {
+    name: &'static str,
+    hist: &'static Histogram,
+    depth: u16,
+    start_ns: u64,
+}
+
+/// RAII guard for an open span; created by the [`span!`](crate::span!)
+/// macro. Records into the histogram and the thread ring on drop.
+#[must_use = "a span measures until the guard is dropped; binding it to `_` closes it immediately"]
+pub struct SpanGuard {
+    active: Option<Active>,
+}
+
+impl SpanGuard {
+    /// Open a span. `slot` is the macro call site's cached histogram
+    /// pointer so steady-state entry never touches the registry lock.
+    #[inline]
+    pub fn enter(name: &'static str, slot: &'static OnceLock<&'static Histogram>) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { active: None };
+        }
+        let hist = *slot.get_or_init(|| crate::registry::global().hist(name));
+        let depth = DEPTH
+            .try_with(|d| {
+                let v = d.get();
+                d.set(v.saturating_add(1));
+                v
+            })
+            .unwrap_or(0);
+        SpanGuard {
+            active: Some(Active {
+                name,
+                hist,
+                depth,
+                start_ns: now_ns(),
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            let dur_ns = now_ns().saturating_sub(a.start_ns);
+            a.hist.record_ns(dur_ns);
+            let _ = DEPTH.try_with(|d| d.set(d.get().saturating_sub(1)));
+            with_ring(|ring| {
+                ring.push(SpanRecord {
+                    name: a.name,
+                    depth: a.depth,
+                    start_ns: a.start_ns,
+                    dur_ns,
+                })
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_drains_in_order() {
+        let ring = ThreadRing::new();
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            ring.push(SpanRecord {
+                name: "t",
+                depth: 0,
+                start_ns: i,
+                dur_ns: 1,
+            });
+        }
+        let drained = ring.drain_ordered();
+        assert_eq!(drained.len(), RING_CAPACITY);
+        // Oldest surviving record is #10; order is strictly increasing.
+        assert_eq!(drained[0].start_ns, 10);
+        for w in drained.windows(2) {
+            assert!(w[0].start_ns < w[1].start_ns);
+        }
+        ring.clear();
+        assert!(ring.drain_ordered().is_empty());
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -93,7 +93,11 @@ impl<T: Send + Sync + 'static> ShardedStore<T> {
     /// sanitized index list.
     pub fn with_read<R>(&self, indices: &[usize], f: impl FnOnce(&[usize], &[&T]) -> R) -> R {
         let order = self.sanitize(indices);
-        let guards: Vec<_> = order.iter().map(|&i| self.shards[i].mutex.read()).collect();
+        let guards: Vec<_> = {
+            let _wait = slamshare_obs::span!("gmap.region_lock_wait");
+            order.iter().map(|&i| self.shards[i].mutex.read()).collect()
+        };
+        let _hold = slamshare_obs::span!("gmap.region_lock_hold");
         let refs: Vec<&T> = guards.iter().map(|g| &**g).collect();
         f(&order, &refs)
     }
@@ -120,10 +124,14 @@ impl<T: Send + Sync + 'static> ShardedStore<T> {
         f: impl FnOnce(&[usize], &mut [&mut T]) -> (R, bool),
     ) -> R {
         let order = self.sanitize(indices);
-        let mut guards: Vec<_> = order
-            .iter()
-            .map(|&i| self.shards[i].mutex.write())
-            .collect();
+        let mut guards: Vec<_> = {
+            let _wait = slamshare_obs::span!("gmap.region_lock_wait");
+            order
+                .iter()
+                .map(|&i| self.shards[i].mutex.write())
+                .collect()
+        };
+        let _hold = slamshare_obs::span!("gmap.region_lock_hold");
         let mut refs: Vec<&mut T> = guards.iter_mut().map(|g| &mut **g).collect();
         let (result, dirty) = f(&order, &mut refs);
         drop(refs);

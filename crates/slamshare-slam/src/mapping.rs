@@ -124,6 +124,8 @@ impl LocalMapper {
         }
 
         self.inserted += 1;
+        slamshare_obs::counter_inc!("mapping.keyframes_inserted");
+        slamshare_obs::counter_add!("mapping.points_created", report.n_new_points as u64);
         if self.config.ba_every > 0 && self.inserted.is_multiple_of(self.config.ba_every) {
             report.ba = Some(local_bundle_adjust_with(
                 map,

@@ -469,6 +469,10 @@ pub fn local_bundle_adjust_with(
     }
 
     let (final_cost, _) = cost_snapshot(map);
+    let total_ms = t_total.elapsed().as_secs_f64() * 1e3;
+    slamshare_obs::observe_ms!("ba.pose_pass", pose_ms);
+    slamshare_obs::observe_ms!("ba.point_pass", point_ms);
+    slamshare_obs::observe_ms!("ba.total", total_ms);
     BaStats {
         n_keyframes: kf_ids.len(),
         n_points: point_ids.len(),
@@ -478,7 +482,7 @@ pub fn local_bundle_adjust_with(
         sweeps,
         pose_ms,
         point_ms,
-        total_ms: t_total.elapsed().as_secs_f64() * 1e3,
+        total_ms,
     }
 }
 

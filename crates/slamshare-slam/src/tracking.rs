@@ -441,6 +441,17 @@ impl Tracker {
                     && (n_tracked as f64) < self.config.kf_match_ratio * self.ref_matches as f64)
                 || self.ref_matches == 0);
 
+        // Fold the already-measured stage times into the observability
+        // layer — Fig. 5's per-stage breakdown as live histograms.
+        slamshare_obs::observe_ms!("track.extract", timings.orb_extract_ms);
+        slamshare_obs::observe_ms!("track.stereo_match", timings.orb_match_ms);
+        slamshare_obs::observe_ms!("track.predict", timings.pose_predict_ms);
+        slamshare_obs::observe_ms!("track.search_local_points", timings.search_local_ms);
+        slamshare_obs::observe_ms!("track.optimize", timings.optimize_ms);
+        if lost {
+            slamshare_obs::counter_inc!("track.lost");
+        }
+
         FrameObservation {
             frame_idx,
             timestamp,

@@ -1,33 +1,89 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus lint/format checks. Run from anywhere; operates on the
-# repo root. Fails fast on the first broken step.
+# repo root. Fails fast on the first broken stage.
+#
+# Usage:
+#   scripts/check.sh              run every stage in order
+#   scripts/check.sh <stage>...   run only the named stage(s)
+#
+# Stages (in order): build test bench-norun clippy nopanic fmt
+# Optional stage:    bench-gate   (also appended to the default run when
+#                                  SLAMSHARE_BENCH_GATE=1 — it runs the
+#                                  benchmarks, which takes a while)
+#
+# .github/workflows/ci.yml calls these same stages one per step, so CI
+# and the local gate cannot drift apart.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --release =="
-cargo build --release
+stage_build() {
+    echo "== cargo build --release =="
+    cargo build --release
+}
 
-echo "== cargo test -q =="
-cargo test -q --workspace
+stage_test() {
+    echo "== cargo test -q =="
+    cargo test -q --workspace
+}
 
-echo "== cargo bench --no-run =="
-cargo bench --workspace --no-run
+stage_bench_norun() {
+    echo "== cargo bench --no-run =="
+    cargo bench --workspace --no-run
+}
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+stage_clippy() {
+    echo "== cargo clippy (deny warnings) =="
+    cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "== no-panic gate (slamshare-net, slamshare-shm, core ingest/gmap, slam map/merge/recognition) =="
-# Shared-state paths deny unwrap/expect/panic via in-source
-# #![cfg_attr(not(test), deny(...))] attributes (crate-level in
-# slamshare-net and slamshare-shm; module-level on
-# slamshare-core::{ingest,gmap} and
-# slamshare-slam::{map,merge,recognition} — a panic under a region lock
-# would poison shared map state for every client). A plain clippy pass
-# compiles those lints as hard errors; CLI -D flags must NOT be used
-# here — they leak into the vendored workspace path deps.
-cargo clippy -q -p slamshare-net -p slamshare-core -p slamshare-shm -p slamshare-slam
+stage_nopanic() {
+    echo "== no-panic gate (slamshare-net, slamshare-shm, core ingest/gmap, slam map/merge/recognition) =="
+    # Shared-state paths deny unwrap/expect/panic via in-source
+    # #![cfg_attr(not(test), deny(...))] attributes (crate-level in
+    # slamshare-net and slamshare-shm; module-level on
+    # slamshare-core::{ingest,gmap} and
+    # slamshare-slam::{map,merge,recognition} — a panic under a region lock
+    # would poison shared map state for every client). A plain clippy pass
+    # compiles those lints as hard errors; CLI -D flags must NOT be used
+    # here — they leak into the vendored workspace path deps.
+    cargo clippy -q -p slamshare-net -p slamshare-core -p slamshare-shm -p slamshare-slam
+}
 
-echo "== cargo fmt --check =="
-cargo fmt --check
+stage_fmt() {
+    echo "== cargo fmt --check =="
+    cargo fmt --check
+}
+
+stage_bench_gate() {
+    echo "== bench regression gate (p95 vs results/baselines, SLAMSHARE_BENCH_TOL=${SLAMSHARE_BENCH_TOL:-15} %) =="
+    scripts/bench_gate.sh
+}
+
+run_stage() {
+    case "$1" in
+        build)       stage_build ;;
+        test)        stage_test ;;
+        bench-norun) stage_bench_norun ;;
+        clippy)      stage_clippy ;;
+        nopanic)     stage_nopanic ;;
+        fmt)         stage_fmt ;;
+        bench-gate)  stage_bench_gate ;;
+        *) echo "unknown stage: $1 (build test bench-norun clippy nopanic fmt bench-gate)" >&2
+           exit 2 ;;
+    esac
+}
+
+if [[ $# -gt 0 ]]; then
+    for stage in "$@"; do
+        run_stage "$stage"
+    done
+else
+    for stage in build test bench-norun clippy nopanic fmt; do
+        run_stage "$stage"
+    done
+    if [[ "${SLAMSHARE_BENCH_GATE:-0}" == 1 ]]; then
+        run_stage bench-gate
+    fi
+fi
 
 echo "All checks passed."

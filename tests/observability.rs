@@ -1,0 +1,208 @@
+//! End-to-end observability: a multi-client session on the round
+//! pipeline, with recording enabled, must yield an [`ObsSnapshot`] whose
+//! per-stage histograms cover the whole pipeline (decode → track →
+//! commit, tracking sub-stages, region lock wait), whose counters match
+//! the work actually done, and whose stage spans account for the round's
+//! wall time when the pipeline is serialized.
+//!
+//! Recording is process-global, so every test here serializes on one
+//! mutex and leaves recording disabled and the registry reset behind it.
+
+use parking_lot::Mutex;
+use slam_share::core::server::{ClientFrame, EdgeServer, ServerConfig};
+use slam_share::net::codec::VideoEncoder;
+use slam_share::sim::dataset::{Dataset, DatasetConfig, TracePreset};
+use slam_share::slam::vocabulary;
+use slamshare_obs::ObsSnapshot;
+use std::sync::Arc;
+use std::time::Instant;
+
+static OBS_GATE: Mutex<()> = Mutex::new(());
+
+const CLIENTS: usize = 2;
+
+struct Session {
+    server: EdgeServer,
+    datasets: Vec<Dataset>,
+    encoders: Vec<(VideoEncoder, VideoEncoder)>,
+}
+
+impl Session {
+    fn new(frames: usize, workers: usize) -> Session {
+        let datasets: Vec<Dataset> = (0..CLIENTS)
+            .map(|c| {
+                Dataset::build(
+                    DatasetConfig::new(TracePreset::V202)
+                        .with_frames(frames)
+                        .with_seed(61 + c as u64),
+                )
+            })
+            .collect();
+        let vocab = Arc::new(vocabulary::train_random(42));
+        let mut server = EdgeServer::new(ServerConfig::stereo_default(datasets[0].rig), vocab);
+        for c in 0..CLIENTS {
+            server.register_client(c as u16 + 1);
+        }
+        server.set_round_workers(workers);
+        server.set_decode_workers(workers);
+        Session {
+            server,
+            datasets,
+            encoders: (0..CLIENTS).map(|_| Default::default()).collect(),
+        }
+    }
+
+    /// Run `frames` rounds; returns total wall time spent inside
+    /// `process_round`, ms.
+    fn run(&mut self, frames: usize) -> f64 {
+        let mut wall_ms = 0.0;
+        for i in 0..frames {
+            let payloads: Vec<(Vec<u8>, Vec<u8>)> = self
+                .datasets
+                .iter()
+                .zip(self.encoders.iter_mut())
+                .map(|(ds, (el, er))| {
+                    let (l, r) = ds.render_stereo_frame(i);
+                    (el.encode(&l).data.to_vec(), er.encode(&r).data.to_vec())
+                })
+                .collect();
+            let batch: Vec<ClientFrame> = payloads
+                .iter()
+                .enumerate()
+                .map(|(c, (l, r))| ClientFrame {
+                    client: c as u16 + 1,
+                    frame_idx: i,
+                    timestamp: self.datasets[c].frame_time(i),
+                    left: l,
+                    right: Some(r),
+                    imu: &[],
+                    pose_hint: (c == 0 && i == 0).then(|| self.datasets[0].gt_pose_cw(0)),
+                })
+                .collect();
+            let t0 = Instant::now();
+            self.server.process_round(&batch);
+            wall_ms += t0.elapsed().as_secs_f64() * 1e3;
+        }
+        wall_ms
+    }
+}
+
+/// Run `f` with recording on; hand back its result plus the drained
+/// snapshot, leaving the global registry clean.
+fn with_recording<R>(f: impl FnOnce() -> (R, ObsSnapshot)) -> (R, ObsSnapshot) {
+    slamshare_obs::reset();
+    slamshare_obs::set_enabled(true);
+    let out = f();
+    slamshare_obs::set_enabled(false);
+    slamshare_obs::reset();
+    out
+}
+
+#[test]
+fn multi_client_round_snapshot_covers_every_stage() {
+    let _gate = OBS_GATE.lock();
+    const FRAMES: usize = 8;
+
+    let (_, obs) = with_recording(|| {
+        let mut session = Session::new(FRAMES, CLIENTS);
+        session.run(FRAMES);
+        let obs = session.server.metrics().obs;
+        ((), obs)
+    });
+
+    assert!(obs.enabled);
+    // Per-stage latency distributions for the full pipeline.
+    for stage in [
+        "round.decode",
+        "round.track",
+        "round.commit",
+        "track.extract",
+        "track.stereo_match",
+        "track.search_local_points",
+        "track.optimize",
+        "gmap.region_lock_wait",
+        "gmap.region_lock_hold",
+    ] {
+        let h = obs
+            .hist(stage)
+            .unwrap_or_else(|| panic!("stage {stage} missing from snapshot"));
+        assert!(h.count > 0, "stage {stage} recorded nothing");
+        assert!(
+            h.p95_ms >= h.p50_ms && h.p50_ms >= 0.0,
+            "stage {stage}: p50 {} p95 {}",
+            h.p50_ms,
+            h.p95_ms
+        );
+        assert!(h.max_ms >= h.p95_ms, "stage {stage}: percentile above max");
+    }
+    // Decode/track ran once per client per round.
+    let decode = obs.hist("round.decode").unwrap();
+    assert_eq!(decode.count, (CLIENTS * FRAMES) as u64);
+    let track = obs.hist("round.track").unwrap();
+    assert_eq!(track.count, (CLIENTS * FRAMES) as u64);
+    assert!(track.p95_ms > 0.0, "tracking cannot be instantaneous");
+
+    // Counters reflect the work done: every clean payload decoded, and
+    // the session mapped something.
+    assert_eq!(
+        obs.counter("ingest.frames_decoded"),
+        (CLIENTS * FRAMES) as u64
+    );
+    assert!(obs.counter("mapping.keyframes_inserted") > 0);
+    assert!(obs.counter("mapping.points_created") > 0);
+
+    // Span events carry the taxonomy names and nest (depth > 0 exists:
+    // track sub-spans under round.track region reads, lock holds under
+    // commits).
+    assert!(!obs.spans.is_empty());
+    assert!(obs.spans.iter().any(|s| s.name == "gmap.region_lock_hold"));
+    assert!(obs.spans.iter().any(|s| s.depth > 0));
+
+    // The snapshot exports as JSON under Prometheus-style keys.
+    let json = obs.to_json_string();
+    assert!(json.contains("slamshare_round_track_ms"));
+    assert!(json.contains("slamshare_ingest_frames_decoded_total"));
+    assert!(json.contains("\"spans\""));
+}
+
+#[test]
+fn serialized_round_stage_spans_account_for_wall_time() {
+    let _gate = OBS_GATE.lock();
+    const FRAMES: usize = 6;
+
+    let (wall_ms, obs) = with_recording(|| {
+        // One worker: the three phases run inline on the calling thread,
+        // so their span sums must tile the round's wall time.
+        let mut session = Session::new(FRAMES, 1);
+        let wall_ms = session.run(FRAMES);
+        let obs = session.server.metrics().obs;
+        (wall_ms, obs)
+    });
+
+    let stage_sum_ms: f64 = ["round.decode", "round.track", "round.commit"]
+        .iter()
+        .filter_map(|s| obs.hist(s))
+        .map(|h| h.sum_ms)
+        .sum();
+    let ratio = stage_sum_ms / wall_ms;
+    assert!(
+        (0.5..=1.05).contains(&ratio),
+        "stage spans sum to {stage_sum_ms:.1} ms but rounds took {wall_ms:.1} ms \
+         (ratio {ratio:.2}; expected the three stages to tile the pipeline)"
+    );
+}
+
+#[test]
+fn disabled_recording_leaves_no_trace() {
+    let _gate = OBS_GATE.lock();
+    slamshare_obs::reset();
+    assert!(!slamshare_obs::enabled());
+
+    let mut session = Session::new(2, 1);
+    session.run(2);
+    let obs = session.server.metrics().obs;
+    assert!(!obs.enabled);
+    assert!(obs.spans.is_empty());
+    assert_eq!(obs.counter("ingest.frames_decoded"), 0);
+    assert!(obs.hist("round.track").map(|h| h.count).unwrap_or(0) == 0);
+}
