@@ -1,0 +1,152 @@
+//! Bench (extension): per-frame micro-latencies of the zero-copy batched
+//! tracking path — warm ORB extraction (frame arena + SoA describe),
+//! batched stereo matching (row-bucket CSR + strip Hamming kernel), and
+//! the fused orient+describe kernel against its separate scalar pair.
+//!
+//! Writes `results/BENCH_frame.json` with p50/p95 per stage; the p95s are
+//! gated against `results/baselines/` by `scripts/bench_gate.sh`, so a
+//! regression that slows any individual stage fails CI even when the
+//! end-to-end round still squeaks under its own gate.
+
+use bench::{bench_effort, save_json};
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use slamshare_features::extractor::{ExtractedFeatures, OrbExtractor};
+use slamshare_features::matching::{self, StereoScratch};
+use slamshare_features::orb;
+use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchFrame {
+    reps: usize,
+    keypoints_per_frame: usize,
+    /// Warm full-frame extraction (pyramid + FAST + distribute + describe).
+    extract_p50_ms: f64,
+    extract_p95_ms: f64,
+    /// Batched stereo matching of one extracted stereo pair.
+    stereo_match_p50_ms: f64,
+    stereo_match_p95_ms: f64,
+    /// Fused orient+describe over every keypoint of the frame.
+    fused_describe_p50_ms: f64,
+    fused_describe_p95_ms: f64,
+    /// Same keypoints through the separate scalar orientation+describe
+    /// pair — the fused kernel's speedup denominator.
+    scalar_describe_p50_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Time `f` for `reps` repetitions; returns sorted per-rep milliseconds.
+fn time_reps(reps: usize, mut f: impl FnMut()) -> Vec<f64> {
+    let mut ms: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ms
+}
+
+fn bench(c: &mut Criterion) {
+    let reps = bench_effort().frames(40).clamp(15, 40);
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(1)
+            .with_seed(71),
+    );
+    let (left, right) = ds.render_stereo_frame(0);
+    let extractor = OrbExtractor::with_defaults();
+    let max_disparity = ds.rig.disparity(0.3);
+
+    // Warm every buffer to its high-water mark before timing.
+    let mut feats_l = ExtractedFeatures::default();
+    let mut feats_r = ExtractedFeatures::default();
+    let mut stereo_scratch = StereoScratch::default();
+    extractor.extract_into(&left, &mut feats_l);
+    extractor.extract_into(&right, &mut feats_r);
+    matching::stereo_match_rectified(
+        &mut feats_l.keypoints,
+        &feats_l.descriptors,
+        &feats_r.keypoints,
+        &feats_r.descriptors,
+        max_disparity,
+        |d| ds.rig.depth_from_disparity(d),
+        &mut stereo_scratch,
+    );
+
+    let extract_ms = time_reps(reps, || {
+        extractor.extract_into(&left, &mut feats_l);
+    });
+    // Re-extract once so the stereo inputs are pristine.
+    extractor.extract_into(&left, &mut feats_l);
+
+    let stereo_ms = time_reps(reps, || {
+        matching::stereo_match_rectified(
+            &mut feats_l.keypoints,
+            &feats_l.descriptors,
+            &feats_r.keypoints,
+            &feats_r.descriptors,
+            max_disparity,
+            |d| ds.rig.depth_from_disparity(d),
+            &mut stereo_scratch,
+        );
+    });
+
+    // The describe kernel alone, over the frame's keypoint positions on
+    // the full-resolution image (the level-0 bulk of the describe stage).
+    let positions: Vec<(f64, f64)> = feats_l
+        .keypoints
+        .iter()
+        .map(|kp| (kp.pt.x, kp.pt.y))
+        .collect();
+    let fused_ms = time_reps(reps, || {
+        for &(x, y) in &positions {
+            std::hint::black_box(orb::orient_and_describe(&left, x, y));
+        }
+    });
+    let scalar_ms = time_reps(reps, || {
+        for &(x, y) in &positions {
+            let angle = orb::intensity_centroid_angle(&left, x, y);
+            std::hint::black_box(orb::describe(&left, x, y, angle));
+        }
+    });
+
+    let out = BenchFrame {
+        reps,
+        keypoints_per_frame: feats_l.keypoints.len(),
+        extract_p50_ms: percentile(&extract_ms, 0.50),
+        extract_p95_ms: percentile(&extract_ms, 0.95),
+        stereo_match_p50_ms: percentile(&stereo_ms, 0.50),
+        stereo_match_p95_ms: percentile(&stereo_ms, 0.95),
+        fused_describe_p50_ms: percentile(&fused_ms, 0.50),
+        fused_describe_p95_ms: percentile(&fused_ms, 0.95),
+        scalar_describe_p50_ms: percentile(&scalar_ms, 0.50),
+    };
+    println!(
+        "extract p50 {:.2} ms, stereo p50 {:.3} ms, fused describe p50 {:.3} ms \
+         (scalar pair {:.3} ms) over {} keypoints",
+        out.extract_p50_ms,
+        out.stereo_match_p50_ms,
+        out.fused_describe_p50_ms,
+        out.scalar_describe_p50_ms,
+        out.keypoints_per_frame,
+    );
+    save_json("BENCH_frame", &out);
+
+    c.bench_function("frame/extract_warm", |b| {
+        b.iter(|| extractor.extract_into(&left, &mut feats_r))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

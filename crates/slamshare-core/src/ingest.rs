@@ -110,6 +110,10 @@ pub enum DecodeOutcome {
     Dropped { fault: Option<CodecError> },
 }
 
+/// How many decoded-image buffers one client's ingest keeps for reuse —
+/// enough for a stereo pair in flight plus a spare of each eye.
+const IMAGE_POOL_CAP: usize = 4;
+
 /// The per-client ingest state machine (decoders + resync state).
 #[derive(Debug, Default)]
 pub struct VideoIngest {
@@ -119,11 +123,30 @@ pub struct VideoIngest {
     /// decodes.
     awaiting_resync: bool,
     counters: Arc<IngestCounters>,
+    /// Free list of decoded-image buffers. [`VideoIngest::decode`] pops
+    /// from here (the video stream keeps a fixed resolution, so a
+    /// recycled buffer already has the right capacity) and the server
+    /// hands frames back via [`VideoIngest::recycle`] once tracking is
+    /// done with them — the steady-state decode path then allocates
+    /// nothing.
+    pool: Vec<GrayImage>,
 }
 
 impl VideoIngest {
     pub fn new() -> VideoIngest {
         VideoIngest::default()
+    }
+
+    /// Return a decoded frame's buffer for reuse by a later decode. Extra
+    /// buffers beyond a small cap are dropped.
+    pub fn recycle(&mut self, img: GrayImage) {
+        if self.pool.len() < IMAGE_POOL_CAP {
+            self.pool.push(img);
+        }
+    }
+
+    fn pooled_image(&mut self) -> GrayImage {
+        self.pool.pop().unwrap_or_else(|| GrayImage::new(0, 0))
     }
 
     /// The shared counter block (clone the `Arc` for lock-free metrics).
@@ -152,15 +175,21 @@ impl VideoIngest {
         }
 
         let t0 = Instant::now();
-        let left_img = match self.decoder_left.decode(left) {
-            Ok((img, _)) => img,
-            Err(e) => return self.fault(e),
-        };
+        let mut left_img = self.pooled_image();
+        if let Err(e) = self.decoder_left.decode_into(left, &mut left_img) {
+            self.recycle(left_img);
+            return self.fault(e);
+        }
         let right_img = match right {
-            Some(r) => match self.decoder_right.decode(r) {
-                Ok((img, _)) => Some(img),
-                Err(e) => return self.fault(e),
-            },
+            Some(r) => {
+                let mut img = self.pooled_image();
+                if let Err(e) = self.decoder_right.decode_into(r, &mut img) {
+                    self.recycle(img);
+                    self.recycle(left_img);
+                    return self.fault(e);
+                }
+                Some(img)
+            }
             None => None,
         };
         let decode_ms = t0.elapsed().as_secs_f64() * 1e3;

@@ -753,6 +753,12 @@ impl EdgeServer {
                     imu: frame.imu,
                     pose_hint: frame.pose_hint,
                 });
+                // Tracking is done with the images — hand the buffers back
+                // to the decode pool.
+                process.ingest.recycle(left_img);
+                if let Some(r) = right_img {
+                    process.ingest.recycle(r);
+                }
                 StagedFrame::Local(ServerFrameResult {
                     frame_idx: frame.frame_idx,
                     pose: step.pose_cw,
@@ -975,6 +981,12 @@ impl EdgeServer {
                         tracker.note_keyframe(obs.n_tracked + n_new);
                     }
                     mapping_ms = t1.elapsed().as_secs_f64() * 1e3;
+                }
+                // The commit (and any re-track) is done with the images —
+                // hand the buffers back to the decode pool.
+                process.ingest.recycle(left);
+                if let Some(r) = right {
+                    process.ingest.recycle(r);
                 }
                 ServerFrameResult {
                     frame_idx,

@@ -1,0 +1,56 @@
+//! Per-frame buffer arena for the extraction pipeline.
+//!
+//! Video streams keep a fixed resolution, so every buffer the
+//! decode → pyramid → FAST → distribute → describe path needs reaches its
+//! high-water capacity after the first frame. [`FrameArena`] owns all of
+//! them — pyramid level images, per-level detection bins, cell task
+//! lists, NMS scratch, quadtree scratch — so the steady-state track path
+//! performs zero heap allocations per frame (enforced by the
+//! allocation-regression test in `tests/alloc_regression.rs`).
+//!
+//! Lifecycle per frame:
+//! 1. `pyramid` is rebuilt in place ([`ImagePyramid::rebuild`] reuses the
+//!    level pixel buffers);
+//! 2. `tasks` is refilled with the frame's detection cells;
+//! 3. each cell detects into `cell_raw` and appends NMS survivors to its
+//!    level's bin in `raw`;
+//! 4. `distribute` + `survivors` retain the per-level budget;
+//! 5. survivors are described straight into the caller's
+//!    `ExtractedFeatures`, which the caller also reuses.
+//!
+//! The arena never shrinks; dropping it releases everything at once.
+
+use crate::distribute::DistributeScratch;
+use crate::extractor::CellTask;
+use crate::keypoint::KeyPoint;
+use crate::pyramid::ImagePyramid;
+
+/// Reusable per-frame buffers for [`crate::extractor::OrbExtractor`].
+#[derive(Debug, Default)]
+pub struct FrameArena {
+    /// Pyramid rebuilt in place each frame.
+    pub(crate) pyramid: Option<ImagePyramid>,
+    /// Per-level detection bins (level-local coordinates).
+    pub(crate) raw: Vec<Vec<KeyPoint>>,
+    /// The frame's cell work items.
+    pub(crate) tasks: Vec<CellTask>,
+    /// Pre-NMS detections of the cell currently being processed.
+    pub(crate) cell_raw: Vec<KeyPoint>,
+    /// Per-level feature budgets.
+    pub(crate) targets: Vec<usize>,
+    /// Post-distribution survivors of the level currently being described.
+    pub(crate) survivors: Vec<KeyPoint>,
+    /// Quadtree distribution scratch.
+    pub(crate) distribute: DistributeScratch,
+}
+
+impl FrameArena {
+    pub fn new() -> FrameArena {
+        FrameArena::default()
+    }
+
+    /// The pyramid built for the most recent frame, if any.
+    pub fn pyramid(&self) -> Option<&ImagePyramid> {
+        self.pyramid.as_ref()
+    }
+}

@@ -8,9 +8,10 @@
 //! with L1 similarity scoring, and the inverted index used to retrieve
 //! merge/loop candidates.
 
-use crate::descriptor::Descriptor;
+use crate::descriptor::{Descriptor, DescriptorBlock};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
 
 /// A vocabulary word (leaf id).
 pub type WordId = u32;
@@ -71,14 +72,35 @@ struct Node {
 }
 
 /// A hierarchical k-medians vocabulary over binary descriptors.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Vocabulary {
     nodes: Vec<Node>,
     root_children: Vec<usize>,
     pub branching: usize,
     pub depth: usize,
     pub n_words: usize,
+    /// SoA view of all node centroids (node id = block index), built
+    /// lazily on first quantize. Not part of the serialized form — it is
+    /// derived state, rebuilt on demand.
+    block: OnceLock<DescriptorBlock>,
 }
+
+// Manual impls instead of derive: the derived Serialize would include the
+// `block` cache, which is derived state and must stay out of the wire
+// format.
+impl Serialize for Vocabulary {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("root_children".to_string(), self.root_children.to_value()),
+            ("branching".to_string(), self.branching.to_value()),
+            ("depth".to_string(), self.depth.to_value()),
+            ("n_words".to_string(), self.n_words.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for Vocabulary {}
 
 impl Vocabulary {
     /// Train a vocabulary by recursive k-medians clustering.
@@ -99,6 +121,7 @@ impl Vocabulary {
             branching,
             depth,
             n_words: 0,
+            block: OnceLock::new(),
         };
         let idx: Vec<usize> = (0..descriptors.len()).collect();
         vocab.root_children = vocab.build_level(descriptors, &idx, 1, seed);
@@ -149,8 +172,42 @@ impl Vocabulary {
         node_ids
     }
 
+    /// SoA view of all node centroids, built on first use.
+    fn centroid_block(&self) -> &DescriptorBlock {
+        self.block.get_or_init(|| {
+            let mut b = DescriptorBlock::new();
+            for n in &self.nodes {
+                b.push(&n.centroid);
+            }
+            b
+        })
+    }
+
     /// Quantize one descriptor to its vocabulary word by greedy descent.
+    ///
+    /// Each level scans its sibling centroids with the batched strip
+    /// kernel. `scan_best_indexed` keeps the scalar descent's strict-`<`
+    /// first-wins tie-break over the candidate order, so the chosen path —
+    /// and therefore the word — is identical to [`Self::quantize_scalar`].
     pub fn quantize(&self, d: &Descriptor) -> WordId {
+        let block = self.centroid_block();
+        let qw = d.words();
+        let mut candidates = &self.root_children;
+        loop {
+            debug_assert!(!candidates.is_empty(), "vocabulary has no nodes");
+            let (_, pos) = block.scan_best_indexed(&qw, candidates, u32::MAX);
+            let best = candidates[pos];
+            if let Some(w) = self.nodes[best].word {
+                return w;
+            }
+            candidates = &self.nodes[best].children;
+        }
+    }
+
+    /// Scalar reference descent, kept as the equivalence oracle for the
+    /// batched [`Self::quantize`].
+    #[cfg(test)]
+    fn quantize_scalar(&self, d: &Descriptor) -> WordId {
         let mut candidates = &self.root_children;
         loop {
             debug_assert!(!candidates.is_empty(), "vocabulary has no nodes");
@@ -412,6 +469,28 @@ mod tests {
         }
         assert!(same >= 30, "only {same}/50 near-duplicates matched words");
         let _ = (a, b);
+    }
+
+    #[test]
+    fn batched_quantize_matches_scalar_descent() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let descs = training_set(&mut rng, 18, 25);
+        let v = Vocabulary::train(&descs, 5, 3, 23);
+        // Training descriptors (many land on exact centroids → ties) plus
+        // fresh random ones.
+        for d in &descs {
+            assert_eq!(v.quantize(d), v.quantize_scalar(d));
+        }
+        for _ in 0..200 {
+            let d = random_descriptor(&mut rng);
+            assert_eq!(v.quantize(&d), v.quantize_scalar(&d));
+        }
+        // A clone carries the already-built cache; it must agree too.
+        let v2 = v.clone();
+        for _ in 0..50 {
+            let d = random_descriptor(&mut rng);
+            assert_eq!(v2.quantize(&d), v.quantize_scalar(&d));
+        }
     }
 
     #[test]

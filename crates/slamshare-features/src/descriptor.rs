@@ -6,6 +6,10 @@ use serde::{Deserialize, Serialize};
 pub const DESC_BITS: usize = 256;
 /// Number of bytes in a descriptor.
 pub const DESC_BYTES: usize = DESC_BITS / 8;
+/// Number of u64 lanes in a descriptor.
+pub const DESC_WORDS: usize = DESC_BYTES / 8;
+/// Candidates per batched-Hamming strip in [`DescriptorBlock`].
+pub const STRIP: usize = 8;
 
 /// A 256-bit rotated-BRIEF descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -19,6 +23,17 @@ impl Default for Descriptor {
 
 impl Descriptor {
     pub const ZERO: Descriptor = Descriptor([0; DESC_BYTES]);
+
+    /// The descriptor as four little-endian u64 lanes — the unit of work
+    /// for both the pairwise popcount loops and the SoA block kernels.
+    #[inline]
+    pub fn words(&self) -> [u64; DESC_WORDS] {
+        let mut w = [0u64; DESC_WORDS];
+        for (i, word) in w.iter_mut().enumerate() {
+            *word = u64::from_le_bytes(self.0[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        w
+    }
 
     /// Set bit `i` (0-based).
     #[inline]
@@ -111,6 +126,184 @@ impl Descriptor {
             }
         }
         Some(best.1)
+    }
+}
+
+/// Structure-of-arrays descriptor storage: lane `w` of every descriptor
+/// lives contiguously in `lanes[w]`, so a query word is XOR-popcounted
+/// against a run of candidate words with unit stride. This is the layout
+/// the batched Hamming kernels below consume in strips of [`STRIP`]
+/// candidates.
+///
+/// The strip kernels are *bounded* like [`Descriptor::distance_bounded`]:
+/// when every partial sum in a strip has already reached the caller's
+/// bound after some lane, the remaining lanes are skipped and the partial
+/// sums are returned as-is. Any returned value `>= bound` would be
+/// rejected by a best/second-best scan anyway, and values `< bound` are
+/// exact, so scan results are bit-identical to the pairwise scalar path.
+#[derive(Debug, Clone, Default)]
+pub struct DescriptorBlock {
+    lanes: [Vec<u64>; DESC_WORDS],
+    len: usize,
+}
+
+impl DescriptorBlock {
+    pub fn new() -> DescriptorBlock {
+        DescriptorBlock::default()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn clear(&mut self) {
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+        self.len = 0;
+    }
+
+    pub fn push(&mut self, d: &Descriptor) {
+        let w = d.words();
+        for (lane, word) in self.lanes.iter_mut().zip(w) {
+            lane.push(word);
+        }
+        self.len += 1;
+    }
+
+    /// Reset the block to hold exactly `descs`, reusing lane capacity.
+    pub fn rebuild(&mut self, descs: &[Descriptor]) {
+        self.clear();
+        for lane in &mut self.lanes {
+            lane.reserve(descs.len());
+        }
+        for d in descs {
+            self.push(d);
+        }
+    }
+
+    /// Exact distance from `query` words to descriptor `i`.
+    #[inline]
+    pub fn distance(&self, i: usize, query: &[u64; DESC_WORDS]) -> u32 {
+        let mut d = 0u32;
+        for (lane, &qw) in self.lanes.iter().zip(query) {
+            d += (lane[i] ^ qw).count_ones();
+        }
+        d
+    }
+
+    /// Bounded distances for the contiguous strip `base..base + n`
+    /// (`n <= STRIP`), written into `out[..n]`. Returns `false` when the
+    /// strip was abandoned early — every value in `out[..n]` is then a
+    /// partial sum `>= bound`, safe to reject. Returns `true` when all
+    /// lanes ran, making every value exact.
+    #[inline]
+    pub fn strip_distances(
+        &self,
+        query: &[u64; DESC_WORDS],
+        base: usize,
+        n: usize,
+        bound: u32,
+        out: &mut [u32; STRIP],
+    ) -> bool {
+        debug_assert!(n <= STRIP && base + n <= self.len);
+        out[..n].fill(0);
+        for (lane, &qw) in self.lanes.iter().zip(query) {
+            let words = &lane[base..base + n];
+            for (acc, &w) in out[..n].iter_mut().zip(words) {
+                *acc += (w ^ qw).count_ones();
+            }
+            if out[..n].iter().all(|&d| d >= bound) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Like [`DescriptorBlock::strip_distances`] but gathering the strip
+    /// through an index list (`idx.len() <= STRIP`), for callers whose
+    /// candidate set is non-contiguous (row-bucketed stereo, BoW node
+    /// children).
+    #[inline]
+    pub fn strip_distances_indexed(
+        &self,
+        query: &[u64; DESC_WORDS],
+        idx: &[usize],
+        bound: u32,
+        out: &mut [u32; STRIP],
+    ) -> bool {
+        let n = idx.len();
+        debug_assert!(n <= STRIP);
+        out[..n].fill(0);
+        for (lane, &qw) in self.lanes.iter().zip(query) {
+            for (acc, &i) in out[..n].iter_mut().zip(idx) {
+                *acc += (lane[i] ^ qw).count_ones();
+            }
+            if out[..n].iter().all(|&d| d >= bound) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Scan every descriptor in the block for the best and second-best
+    /// distance to `query`, in ascending index order with strict-`<`
+    /// updates — the exact tie-break of the scalar brute-force loop.
+    /// Returns `(best, best_index, second)`; `best_index` is `usize::MAX`
+    /// when the block is empty.
+    pub fn scan_best_two(&self, query: &Descriptor) -> (u32, usize, u32) {
+        let qw = query.words();
+        let mut best = u32::MAX;
+        let mut best_i = usize::MAX;
+        let mut second = u32::MAX;
+        let mut strip = [0u32; STRIP];
+        let mut base = 0;
+        while base < self.len {
+            let n = STRIP.min(self.len - base);
+            self.strip_distances(&qw, base, n, second, &mut strip);
+            for (k, &d) in strip[..n].iter().enumerate() {
+                if d < best {
+                    second = best;
+                    best = d;
+                    best_i = base + k;
+                } else if d < second {
+                    second = d;
+                }
+            }
+            base += n;
+        }
+        (best, best_i, second)
+    }
+
+    /// Scan the descriptors named by `idx` (in order) for the strict-`<`
+    /// minimum distance to `query`, starting from `init_best`. Returns
+    /// `(best, position_in_idx)`; the position is `usize::MAX` when no
+    /// candidate beat `init_best`.
+    pub fn scan_best_indexed(
+        &self,
+        query: &[u64; DESC_WORDS],
+        idx: &[usize],
+        init_best: u32,
+    ) -> (u32, usize) {
+        let mut best = init_best;
+        let mut best_pos = usize::MAX;
+        let mut strip = [0u32; STRIP];
+        for (chunk_no, chunk) in idx.chunks(STRIP).enumerate() {
+            self.strip_distances_indexed(query, chunk, best, &mut strip);
+            for (k, &d) in strip[..chunk.len()].iter().enumerate() {
+                if d < best {
+                    best = d;
+                    best_pos = chunk_no * STRIP + k;
+                }
+            }
+        }
+        (best, best_pos)
     }
 }
 
@@ -221,6 +414,131 @@ mod tests {
         c.set_bit(2);
         assert_eq!(Descriptor::medoid(&[a, b, c]), Some(1));
         assert_eq!(Descriptor::medoid(&[]), None);
+    }
+
+    fn random_descriptors(seed: u64, n: usize) -> Vec<Descriptor> {
+        // splitmix64 stream — deterministic, no dev-dep needed here.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        (0..n)
+            .map(|_| {
+                let mut bytes = [0u8; DESC_BYTES];
+                for chunk in bytes.chunks_mut(8) {
+                    chunk.copy_from_slice(&next().to_le_bytes());
+                }
+                Descriptor(bytes)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn words_roundtrip_distance() {
+        let descs = random_descriptors(7, 32);
+        for a in &descs {
+            for b in &descs {
+                let mut d = 0u32;
+                for (wa, wb) in a.words().iter().zip(b.words()) {
+                    d += (wa ^ wb).count_ones();
+                }
+                assert_eq!(d, a.distance(b));
+            }
+        }
+    }
+
+    #[test]
+    fn block_distance_matches_scalar() {
+        let descs = random_descriptors(11, 37);
+        let mut block = DescriptorBlock::new();
+        block.rebuild(&descs);
+        assert_eq!(block.len(), descs.len());
+        let queries = random_descriptors(12, 9);
+        for q in &queries {
+            let qw = q.words();
+            for (i, d) in descs.iter().enumerate() {
+                assert_eq!(block.distance(i, &qw), q.distance(d));
+            }
+        }
+    }
+
+    #[test]
+    fn strip_values_exact_or_rejectable() {
+        let descs = random_descriptors(21, 40);
+        let mut block = DescriptorBlock::new();
+        block.rebuild(&descs);
+        let q = random_descriptors(22, 1)[0];
+        let qw = q.words();
+        let mut out = [0u32; STRIP];
+        for bound in [0u32, 30, 80, 128, 256, u32::MAX] {
+            let mut base = 0;
+            while base < block.len() {
+                let n = STRIP.min(block.len() - base);
+                let exact_all = block.strip_distances(&qw, base, n, bound, &mut out);
+                for (k, &d) in out[..n].iter().enumerate() {
+                    let exact = q.distance(&descs[base + k]);
+                    if exact_all {
+                        assert_eq!(d, exact);
+                    } else {
+                        assert!(d >= bound && d <= exact);
+                    }
+                }
+                base += n;
+            }
+        }
+    }
+
+    #[test]
+    fn scan_best_two_matches_scalar_scan() {
+        for seed in 0..8u64 {
+            let descs = random_descriptors(100 + seed, 1 + (seed as usize * 7) % 30);
+            let mut with_dups = descs.clone();
+            with_dups.extend(descs.iter().take(3).copied());
+            let mut block = DescriptorBlock::new();
+            block.rebuild(&with_dups);
+            let q = random_descriptors(200 + seed, 1)[0];
+            // Scalar reference: ascending order, strict-< updates.
+            let mut best = u32::MAX;
+            let mut best_i = usize::MAX;
+            let mut second = u32::MAX;
+            for (i, d) in with_dups.iter().enumerate() {
+                let dist = q.distance(d);
+                if dist < best {
+                    second = best;
+                    best = dist;
+                    best_i = i;
+                } else if dist < second {
+                    second = dist;
+                }
+            }
+            assert_eq!(block.scan_best_two(&q), (best, best_i, second));
+        }
+    }
+
+    #[test]
+    fn scan_best_indexed_matches_scalar_scan() {
+        let descs = random_descriptors(300, 50);
+        let mut block = DescriptorBlock::new();
+        block.rebuild(&descs);
+        let q = random_descriptors(301, 1)[0];
+        let qw = q.words();
+        let idx: Vec<usize> = (0..50).step_by(3).chain([4, 4, 10]).collect();
+        for init in [u32::MAX, 100, 0] {
+            let mut best = init;
+            let mut best_pos = usize::MAX;
+            for (pos, &i) in idx.iter().enumerate() {
+                let d = q.distance(&descs[i]);
+                if d < best {
+                    best = d;
+                    best_pos = pos;
+                }
+            }
+            assert_eq!(block.scan_best_indexed(&qw, &idx, init), (best, best_pos));
+        }
     }
 
     #[test]

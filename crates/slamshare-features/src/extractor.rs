@@ -18,8 +18,9 @@
 //! the same claim for its CUDA kernels ("performing identical computation
 //! as in the original CPU version", §4.2.1).
 
+use crate::arena::FrameArena;
 use crate::descriptor::Descriptor;
-use crate::distribute::distribute_quadtree;
+use crate::distribute::{distribute_quadtree, distribute_quadtree_into};
 use crate::fast;
 use crate::image::GrayImage;
 use crate::keypoint::KeyPoint;
@@ -100,32 +101,29 @@ impl ExtractedFeatures {
     pub fn is_empty(&self) -> bool {
         self.keypoints.is_empty()
     }
-}
 
-/// Per-frame scratch reused across extractions: the pyramid's level
-/// buffers and the per-level detection bins. Video streams keep a fixed
-/// resolution, so after the first frame the sequential path allocates
-/// nothing per frame.
-#[derive(Default)]
-struct ExtractScratch {
-    pyramid: Option<ImagePyramid>,
-    raw: Vec<Vec<KeyPoint>>,
+    /// Empty both arrays, keeping their capacity for the next frame.
+    pub fn clear(&mut self) {
+        self.keypoints.clear();
+        self.descriptors.clear();
+    }
 }
 
 /// The ORB feature extractor.
 pub struct OrbExtractor {
     pub config: OrbExtractorConfig,
-    /// Behind a mutex so [`OrbExtractor::extract`] stays `&self` (the
-    /// tracker calls it through shared references, and the data-parallel
-    /// scheduler shares the extractor across workers). Uncontended in
-    /// practice: one extractor per client, and the parallel path builds
-    /// its pyramid outside the scratch.
-    scratch: parking_lot::Mutex<ExtractScratch>,
+    /// Per-frame buffer arena, behind a mutex so
+    /// [`OrbExtractor::extract`] stays `&self` (the tracker calls it
+    /// through shared references, and the data-parallel scheduler shares
+    /// the extractor across workers). Uncontended in practice: one
+    /// extractor per client, and the parallel path builds its pyramid
+    /// outside the arena.
+    arena: parking_lot::Mutex<FrameArena>,
 }
 
 impl Clone for OrbExtractor {
     fn clone(&self) -> OrbExtractor {
-        // Scratch is a per-instance cache; clones start cold.
+        // The arena is a per-instance cache; clones start cold.
         OrbExtractor::new(self.config.clone())
     }
 }
@@ -142,7 +140,7 @@ impl OrbExtractor {
     pub fn new(config: OrbExtractorConfig) -> OrbExtractor {
         OrbExtractor {
             config,
-            scratch: parking_lot::Mutex::new(ExtractScratch::default()),
+            arena: parking_lot::Mutex::new(FrameArena::new()),
         }
     }
 
@@ -152,23 +150,33 @@ impl OrbExtractor {
 
     /// Per-level feature budget, proportional to level area as in ORB-SLAM
     /// (each level gets budget ∝ 1/scale², normalized to `n_features`).
-    pub fn per_level_targets(&self, pyramid: &ImagePyramid) -> Vec<usize> {
-        let weights: Vec<f64> = pyramid.scales.iter().map(|s| 1.0 / (s * s)).collect();
-        let total: f64 = weights.iter().sum();
-        weights
-            .iter()
-            .map(|w| {
+    /// `out` is overwritten. The two-pass form avoids a weights buffer;
+    /// the f64 summation order matches the single-pass original.
+    pub fn per_level_targets_into(&self, pyramid: &ImagePyramid, out: &mut Vec<usize>) {
+        out.clear();
+        let total: f64 = pyramid.scales.iter().map(|s| 1.0 / (s * s)).sum();
+        for s in &pyramid.scales {
+            let w = 1.0 / (s * s);
+            out.push(
                 ((w / total) * self.config.n_features as f64)
                     .round()
-                    .max(1.0) as usize
-            })
-            .collect()
+                    .max(1.0) as usize,
+            );
+        }
     }
 
-    /// Enumerate all detection work items for a pyramid.
-    pub fn cells(&self, pyramid: &ImagePyramid) -> Vec<CellTask> {
+    /// [`OrbExtractor::per_level_targets_into`] collecting into a fresh vec.
+    pub fn per_level_targets(&self, pyramid: &ImagePyramid) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.per_level_targets_into(pyramid, &mut out);
+        out
+    }
+
+    /// Enumerate all detection work items for a pyramid into `tasks`
+    /// (overwritten).
+    pub fn cells_into(&self, pyramid: &ImagePyramid, tasks: &mut Vec<CellTask>) {
+        tasks.clear();
         let cs = self.config.cell_size.max(8);
-        let mut tasks = Vec::new();
         for (level, img) in pyramid.levels.iter().enumerate() {
             let mut y = 0;
             while y < img.height {
@@ -186,6 +194,12 @@ impl OrbExtractor {
                 y += cs;
             }
         }
+    }
+
+    /// [`OrbExtractor::cells_into`] collecting into a fresh vec.
+    pub fn cells(&self, pyramid: &ImagePyramid) -> Vec<CellTask> {
+        let mut tasks = Vec::new();
+        self.cells_into(pyramid, &mut tasks);
         tasks
     }
 
@@ -195,30 +209,49 @@ impl OrbExtractor {
     /// Detection retries with `min_threshold` when the primary threshold
     /// yields nothing (low-contrast cells), mirroring ORB-SLAM.
     pub fn detect_cell(&self, pyramid: &ImagePyramid, task: CellTask) -> Vec<KeyPoint> {
+        let mut cell_raw = Vec::new();
+        let mut kept = Vec::new();
+        self.detect_cell_into(pyramid, task, &mut cell_raw, &mut kept);
+        kept
+    }
+
+    /// [`OrbExtractor::detect_cell`] with caller-provided buffers:
+    /// `cell_raw` is scratch (overwritten), NMS survivors are *appended*
+    /// to `out` and subpixel-refined in place.
+    pub fn detect_cell_into(
+        &self,
+        pyramid: &ImagePyramid,
+        task: CellTask,
+        cell_raw: &mut Vec<KeyPoint>,
+        out: &mut Vec<KeyPoint>,
+    ) {
         let img = &pyramid.levels[task.level];
         let rect0 = (task.x0, task.y0);
         let rect1 = (task.x1, task.y1);
-        let mut kps = fast::detect_in_rect(
+        cell_raw.clear();
+        fast::detect_in_rect_into(
             img,
             rect0,
             rect1,
             self.config.fast_threshold,
             task.level as u8,
+            cell_raw,
         );
-        if kps.is_empty() && self.config.min_threshold < self.config.fast_threshold {
-            kps = fast::detect_in_rect(
+        if cell_raw.is_empty() && self.config.min_threshold < self.config.fast_threshold {
+            fast::detect_in_rect_into(
                 img,
                 rect0,
                 rect1,
                 self.config.min_threshold,
                 task.level as u8,
+                cell_raw,
             );
         }
-        let mut kept = fast::non_max_suppress(&kps, 3.0);
-        for kp in &mut kept {
+        let kept_start = out.len();
+        fast::non_max_suppress_into(cell_raw, 3.0, out);
+        for kp in &mut out[kept_start..] {
             fast::refine_subpixel(img, kp);
         }
-        kept
     }
 
     /// Orient and describe one detected corner (whose `pt` is still in its
@@ -237,8 +270,7 @@ impl OrbExtractor {
         if !img.in_interior(x as usize, y as usize, m) {
             return None;
         }
-        let angle = orb::intensity_centroid_angle(img, x, y);
-        let desc = orb::describe(img, x, y, angle);
+        let (angle, desc) = orb::orient_and_describe(img, x, y);
         let mut out = kp;
         out.angle = angle;
         out.pt = Vec2::new(pyramid.to_level0(x, level), pyramid.to_level0(y, level));
@@ -273,21 +305,50 @@ impl OrbExtractor {
         features
     }
 
-    /// Sequential ("CPU") extraction with stage timing. Reuses the
-    /// pyramid and detection-bin allocations of previous frames.
+    /// Sequential ("CPU") extraction with stage timing, reusing the
+    /// extractor's internal [`FrameArena`].
     pub fn extract(&self, image: &GrayImage) -> (ExtractedFeatures, ExtractionTimings) {
+        let mut features = ExtractedFeatures::default();
+        let timings = self.extract_into(image, &mut features);
+        (features, timings)
+    }
+
+    /// [`OrbExtractor::extract`] writing into a caller-reused output
+    /// buffer. After a warm-up frame at a given resolution this path
+    /// performs zero heap allocations per frame.
+    pub fn extract_into(
+        &self,
+        image: &GrayImage,
+        out: &mut ExtractedFeatures,
+    ) -> ExtractionTimings {
+        let mut arena = self.arena.lock();
+        self.extract_with_arena(image, &mut arena, out)
+    }
+
+    /// The allocation-free extraction path over an explicit arena.
+    pub fn extract_with_arena(
+        &self,
+        image: &GrayImage,
+        arena: &mut FrameArena,
+        out: &mut ExtractedFeatures,
+    ) -> ExtractionTimings {
+        out.clear();
         let mut timings = ExtractionTimings::default();
-        let mut scratch = self.scratch.lock();
 
         let t0 = Instant::now();
-        let pyramid = scratch.pyramid.get_or_insert_with(ImagePyramid::empty);
+        let pyramid = arena.pyramid.get_or_insert_with(ImagePyramid::empty);
         pyramid.rebuild(image, self.config.n_levels, self.config.scale_factor);
         timings.pyramid_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        let ExtractScratch {
+        let FrameArena {
             pyramid: Some(pyramid),
             raw,
-        } = &mut *scratch
+            tasks,
+            cell_raw,
+            targets,
+            survivors,
+            distribute,
+        } = &mut *arena
         else {
             unreachable!("pyramid installed above")
         };
@@ -298,17 +359,36 @@ impl OrbExtractor {
         if raw.len() < pyramid.num_levels() {
             raw.resize_with(pyramid.num_levels(), Vec::new);
         }
-        for task in self.cells(pyramid) {
-            let kps = self.detect_cell(pyramid, task);
-            raw[task.level].extend(kps);
+        self.cells_into(pyramid, tasks);
+        for &task in tasks.iter() {
+            // Split borrow: detections for this cell go straight into the
+            // level's bin, with `cell_raw` as pre-NMS scratch.
+            self.detect_cell_into(pyramid, task, cell_raw, &mut raw[task.level]);
         }
         timings.detect_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         let t2 = Instant::now();
-        let features = self.finalize_levels(pyramid, &raw[..pyramid.num_levels()]);
+        self.per_level_targets_into(pyramid, targets);
+        for (level, kps) in raw[..pyramid.num_levels()].iter().enumerate() {
+            let img = &pyramid.levels[level];
+            survivors.clear();
+            distribute_quadtree_into(
+                kps,
+                img.width,
+                img.height,
+                targets[level],
+                distribute,
+                survivors,
+            );
+            for kp in survivors.iter() {
+                if let Some((finished, desc)) = self.describe_keypoint(pyramid, *kp) {
+                    out.keypoints.push(finished);
+                    out.descriptors.push(desc);
+                }
+            }
+        }
         timings.describe_ms = t2.elapsed().as_secs_f64() * 1e3;
-
-        (features, timings)
+        timings
     }
 
     /// Extraction that also returns the pyramid (tracking reuses it).

@@ -114,12 +114,107 @@ fn corner_score(vals: &[i16; 16], p: i16) -> f64 {
     vals.iter().map(|&v| (v - p).abs() as f64).sum::<f64>()
 }
 
+/// True iff the 16-bit ring mask contains a *circular* run of
+/// [`ARC_LEN`] consecutive set bits. Doubling the mask into a u32 turns
+/// the circular run into a linear one, and ANDing 8 shifted copies
+/// leaves a set bit exactly where a run of 9 starts — no data-dependent
+/// branches.
+#[inline]
+fn has_arc(mask: u16) -> bool {
+    let m = (mask as u32) | ((mask as u32) << 16);
+    let m2 = m & (m << 1); // runs of >= 2
+    let m4 = m2 & (m2 << 2); // runs of >= 4
+    let m8 = m4 & (m4 << 4); // runs of >= 8
+    (m8 & (m << 8)) != 0 // runs of >= ARC_LEN (9)
+}
+
 /// Detect corners inside the half-open pixel rectangle
-/// `[x0, x1) × [y0, y1)` of `img`. Pure function of its inputs — this is the
-/// unit of work the simulated GPU schedules across its SMs.
+/// `[x0, x1) × [y0, y1)` of `img`, appending to `out`. Pure function of
+/// its inputs — this is the unit of work the simulated GPU schedules
+/// across its SMs.
 ///
 /// `octave` is recorded on the keypoints; coordinates are in the *given
 /// image's* pixel space (the extractor rescales to level 0 afterwards).
+///
+/// SIMD-shaped inner loop: the seven rows the ring touches are borrowed
+/// as slices once per scanline (no per-pixel bounds arithmetic), the
+/// compass pretest is branch-free, and the segment test runs on
+/// bright/dark bitmasks via [`has_arc`] instead of walking the doubled
+/// circle. Detections and scores are bit-identical to [`is_corner`],
+/// which is kept as the scalar reference.
+pub fn detect_in_rect_into(
+    img: &GrayImage,
+    (x0, y0): (usize, usize),
+    (x1, y1): (usize, usize),
+    threshold: u8,
+    octave: u8,
+    out: &mut Vec<KeyPoint>,
+) {
+    let x0 = x0.max(BORDER);
+    let y0 = y0.max(BORDER);
+    let x1 = x1.min(img.width.saturating_sub(BORDER));
+    let y1 = y1.min(img.height.saturating_sub(BORDER));
+    if x1 <= x0 || y1 <= y0 {
+        return;
+    }
+    let w = img.width;
+    let t = threshold as i16;
+    for y in y0..y1 {
+        let row = |dy: usize| &img.data[(y + dy - 3) * w..(y + dy - 3) * w + w];
+        let (rm3, rm2, rm1, rc, rp1, rp2, rp3) =
+            (row(0), row(1), row(2), row(3), row(4), row(5), row(6));
+        for x in x0..x1 {
+            let p = rc[x] as i16;
+            let hi = p + t;
+            let lo = p - t;
+            // Compass pretest (CIRCLE[0/4/8/12]), branch-free: a
+            // contiguous arc of 9 covers >= 2 of the 4 points spaced 4
+            // apart, so fewer than 2 consistent pixels rules it out.
+            let c0 = rm3[x] as i16;
+            let c4 = rc[x + 3] as i16;
+            let c8 = rp3[x] as i16;
+            let c12 = rc[x - 3] as i16;
+            let brighter = (c0 > hi) as u8 + (c4 > hi) as u8 + (c8 > hi) as u8 + (c12 > hi) as u8;
+            let darker = (c0 < lo) as u8 + (c4 < lo) as u8 + (c8 < lo) as u8 + (c12 < lo) as u8;
+            if brighter < 2 && darker < 2 {
+                continue;
+            }
+            // Full ring gather in CIRCLE order (clockwise from 12
+            // o'clock), then the segment test as two 16-bit masks.
+            let vals: [i16; 16] = [
+                rm3[x] as i16,
+                rm3[x + 1] as i16,
+                rm2[x + 2] as i16,
+                rm1[x + 3] as i16,
+                rc[x + 3] as i16,
+                rp1[x + 3] as i16,
+                rp2[x + 2] as i16,
+                rp3[x + 1] as i16,
+                rp3[x] as i16,
+                rp3[x - 1] as i16,
+                rp2[x - 2] as i16,
+                rp1[x - 3] as i16,
+                rc[x - 3] as i16,
+                rm1[x - 3] as i16,
+                rm2[x - 2] as i16,
+                rm3[x - 1] as i16,
+            ];
+            let mut bright = 0u16;
+            let mut dark = 0u16;
+            for (i, &v) in vals.iter().enumerate() {
+                bright |= ((v > hi) as u16) << i;
+                dark |= ((v < lo) as u16) << i;
+            }
+            if !has_arc(bright) && !has_arc(dark) {
+                continue;
+            }
+            let score = corner_score(&vals, p);
+            out.push(KeyPoint::new(Vec2::new(x as f64, y as f64), octave, score));
+        }
+    }
+}
+
+/// [`detect_in_rect_into`] collecting into a fresh vec.
 pub fn detect_in_rect(
     img: &GrayImage,
     (x0, y0): (usize, usize),
@@ -127,18 +222,8 @@ pub fn detect_in_rect(
     threshold: u8,
     octave: u8,
 ) -> Vec<KeyPoint> {
-    let x0 = x0.max(BORDER);
-    let y0 = y0.max(BORDER);
-    let x1 = x1.min(img.width.saturating_sub(BORDER));
-    let y1 = y1.min(img.height.saturating_sub(BORDER));
     let mut out = Vec::new();
-    for y in y0..y1 {
-        for x in x0..x1 {
-            if let Some(score) = is_corner(img, x, y, threshold) {
-                out.push(KeyPoint::new(Vec2::new(x as f64, y as f64), octave, score));
-            }
-        }
-    }
+    detect_in_rect_into(img, (x0, y0), (x1, y1), threshold, octave, &mut out);
     out
 }
 
@@ -186,10 +271,10 @@ pub fn refine_subpixel(img: &GrayImage, kp: &mut KeyPoint) {
 }
 
 /// 3×3 non-maximum suppression over a set of detected corners from the same
-/// image: a corner survives only if no strictly-stronger corner lies within
-/// a Chebyshev distance of `radius` pixels.
-pub fn non_max_suppress(corners: &[KeyPoint], radius: f64) -> Vec<KeyPoint> {
-    let mut keep = Vec::new();
+/// image, appending survivors to `out`: a corner survives only if no
+/// strictly-stronger corner lies within a Chebyshev distance of `radius`
+/// pixels.
+pub fn non_max_suppress_into(corners: &[KeyPoint], radius: f64, out: &mut Vec<KeyPoint>) {
     'outer: for (i, a) in corners.iter().enumerate() {
         for (j, b) in corners.iter().enumerate() {
             if i == j {
@@ -200,8 +285,14 @@ pub fn non_max_suppress(corners: &[KeyPoint], radius: f64) -> Vec<KeyPoint> {
                 continue 'outer;
             }
         }
-        keep.push(*a);
+        out.push(*a);
     }
+}
+
+/// [`non_max_suppress_into`] collecting into a fresh vec.
+pub fn non_max_suppress(corners: &[KeyPoint], radius: f64) -> Vec<KeyPoint> {
+    let mut keep = Vec::new();
+    non_max_suppress_into(corners, radius, &mut keep);
     keep
 }
 
@@ -277,6 +368,58 @@ mod tests {
         // Only scan the left half: corners at x=29 must not appear.
         let kps = detect_in_rect(&img, (0, 0), (20, 40), 40, 0);
         assert!(kps.iter().all(|kp| kp.pt.x < 20.0));
+    }
+
+    #[test]
+    fn masked_detector_matches_scalar_reference() {
+        // Pseudo-random textured image: the mask-based detect_in_rect_into
+        // must agree with per-pixel is_corner at every pixel, detection
+        // and score alike.
+        let img = GrayImage::from_fn(60, 47, |x, y| {
+            let mut h = (x as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                ^ (y as u64).wrapping_mul(0xBF58476D1CE4E5B9);
+            h ^= h >> 31;
+            h = h.wrapping_mul(0x94D049BB133111EB);
+            (h >> 32) as u8
+        });
+        for threshold in [5u8, 20, 60] {
+            let got = detect_in_rect(&img, (0, 0), (img.width, img.height), threshold, 2);
+            let mut want = Vec::new();
+            for y in 0..img.height {
+                for x in 0..img.width {
+                    if let Some(score) = is_corner(&img, x, y, threshold) {
+                        want.push(KeyPoint::new(Vec2::new(x as f64, y as f64), 2, score));
+                    }
+                }
+            }
+            assert_eq!(got.len(), want.len(), "threshold {threshold}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.pt.x, g.pt.y, g.octave), (w.pt.x, w.pt.y, w.octave));
+                assert_eq!(g.response.to_bits(), w.response.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn arc_mask_matches_run_walk() {
+        // has_arc vs the doubled-circle run walk, over every 16-bit mask.
+        for mask in 0u32..=u16::MAX as u32 {
+            let mask = mask as u16;
+            let mut run = 0usize;
+            let mut found = false;
+            for i in 0..(16 + ARC_LEN) {
+                if (mask >> (i % 16)) & 1 == 1 {
+                    run += 1;
+                    if run >= ARC_LEN {
+                        found = true;
+                        break;
+                    }
+                } else {
+                    run = 0;
+                }
+            }
+            assert_eq!(has_arc(mask), found, "mask {mask:#06x}");
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! Everything is deterministic given the seed constants, so experiments are
 //! reproducible run to run.
 
+pub mod arena;
 pub mod bow;
 pub mod descriptor;
 pub mod distribute;
@@ -31,7 +32,8 @@ pub mod matching;
 pub mod orb;
 pub mod pyramid;
 
-pub use descriptor::Descriptor;
+pub use arena::FrameArena;
+pub use descriptor::{Descriptor, DescriptorBlock};
 pub use extractor::{ExtractionTimings, OrbExtractor, OrbExtractorConfig};
 pub use image::GrayImage;
 pub use keypoint::KeyPoint;

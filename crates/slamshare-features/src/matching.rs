@@ -11,7 +11,8 @@
 //!   out across work items exactly like the paper's local-tracking CUDA
 //!   kernel.
 
-use crate::descriptor::Descriptor;
+use crate::descriptor::{Descriptor, DescriptorBlock, STRIP};
+use crate::keypoint::KeyPoint;
 use slamshare_math::Vec2;
 
 /// Default acceptance threshold on Hamming distance (ORB-SLAM's `TH_LOW`).
@@ -29,35 +30,44 @@ pub struct FeatureMatch {
     pub distance: u32,
 }
 
+/// Reusable buffers for [`match_brute_force_into`]: the train-side SoA
+/// descriptor block plus the `provisional` and `best_for_train` vecs that
+/// were previously reallocated on every call.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    block: DescriptorBlock,
+    provisional: Vec<FeatureMatch>,
+    best_for_train: Vec<Option<FeatureMatch>>,
+}
+
 /// Brute-force matching with a ratio test: for each query descriptor, find
 /// the best and second-best train descriptors; accept if
 /// `best < max_distance` and `best < ratio * second_best`.
 /// Mutual-best filtering removes double-assignments of a train feature.
-pub fn match_brute_force(
+///
+/// The train set is scanned through `scratch`'s [`DescriptorBlock`] in
+/// batched popcount strips bounded by the running second-best — the SoA
+/// analogue of `distance_bounded`, with identical accept/tie semantics
+/// (the reference-equivalence test below pins this). `out` is
+/// overwritten.
+pub fn match_brute_force_into(
     query: &[Descriptor],
     train: &[Descriptor],
     max_distance: u32,
     ratio: f64,
-) -> Vec<FeatureMatch> {
-    let mut provisional: Vec<FeatureMatch> = Vec::new();
+    scratch: &mut MatchScratch,
+    out: &mut Vec<FeatureMatch>,
+) {
+    out.clear();
+    let MatchScratch {
+        block,
+        provisional,
+        best_for_train,
+    } = scratch;
+    block.rebuild(train);
+    provisional.clear();
     for (qi, qd) in query.iter().enumerate() {
-        let mut best = u32::MAX;
-        let mut second = u32::MAX;
-        let mut best_ti = usize::MAX;
-        for (ti, td) in train.iter().enumerate() {
-            // Bounded distance: a candidate at or past the running
-            // second-best can update neither slot, so the popcount loop
-            // may bail as soon as its partial sum reaches `second` —
-            // results are identical to the full distance.
-            let d = qd.distance_bounded(td, second);
-            if d < best {
-                second = best;
-                best = d;
-                best_ti = ti;
-            } else if d < second {
-                second = d;
-            }
-        }
+        let (best, best_ti, second) = block.scan_best_two(qd);
         if best_ti != usize::MAX
             && best <= max_distance
             && (second == u32::MAX || (best as f64) < ratio * second as f64)
@@ -73,15 +83,30 @@ pub fn match_brute_force(
     // so a direct-index table beats hashing; queries arrive in ascending
     // order, so keeping the first strictly-smaller entry reproduces the
     // old map's tie-breaking exactly.
-    let mut best_for_train: Vec<Option<FeatureMatch>> = vec![None; train.len()];
-    for m in provisional {
+    best_for_train.clear();
+    best_for_train.resize(train.len(), None);
+    for &m in provisional.iter() {
         match &mut best_for_train[m.train] {
             Some(cur) if m.distance >= cur.distance => {}
             slot => *slot = Some(m),
         }
     }
-    let mut out: Vec<FeatureMatch> = best_for_train.into_iter().flatten().collect();
-    out.sort_by_key(|m| m.query);
+    out.extend(best_for_train.iter().flatten());
+    // Each query survives at most once, so keys are unique and the
+    // unstable (allocation-free) sort is order-identical to a stable one.
+    out.sort_unstable_by_key(|m| m.query);
+}
+
+/// [`match_brute_force_into`] with one-shot buffers.
+pub fn match_brute_force(
+    query: &[Descriptor],
+    train: &[Descriptor],
+    max_distance: u32,
+    ratio: f64,
+) -> Vec<FeatureMatch> {
+    let mut scratch = MatchScratch::default();
+    let mut out = Vec::new();
+    match_brute_force_into(query, train, max_distance, ratio, &mut scratch, &mut out);
     out
 }
 
@@ -159,6 +184,142 @@ pub fn match_by_projection(
     let mut out: Vec<FeatureMatch> = per_train.into_values().collect();
     out.sort_by_key(|m| m.query);
     out
+}
+
+/// Reusable buffers for [`stereo_match_rectified`]: the right image's SoA
+/// descriptor block plus CSR row buckets over the right keypoints.
+#[derive(Debug, Default)]
+pub struct StereoScratch {
+    block: DescriptorBlock,
+    /// CSR offsets: `row_items[row_start[r]..row_start[r + 1]]` are the
+    /// right-keypoint indices whose `floor(y)` (clamped at 0) is `r`,
+    /// in ascending index order.
+    row_start: Vec<u32>,
+    row_cursor: Vec<u32>,
+    row_items: Vec<u32>,
+    /// Gathered candidate indices for the current left keypoint.
+    cand: Vec<usize>,
+}
+
+/// Stereo matching on a rectified pair: for each left keypoint, find the
+/// right keypoint on (nearly) the same scanline minimizing descriptor
+/// distance, then recover depth from the disparity. Writes `right_x` and
+/// `depth` on matched left keypoints and returns the number of keypoints
+/// that got a depth.
+///
+/// Semantics are exactly those of the former O(N·M) scalar loop in
+/// `Tracker::stereo_match` — same row gate (`|Δy| ≤ 2·1.2^octave`), same
+/// disparity gate (`0.1 < d ≤ max_disparity`), same strict-`<` ascending
+/// tie-break, same `TH_HIGH` accept — but candidates come from CSR row
+/// buckets (only the scanlines the row gate can accept) and distances
+/// from bounded SoA popcount strips. Both restrictions are conservative:
+/// the float gates are re-applied per candidate and bounded strips only
+/// discard candidates that could not beat the running best, so results
+/// are bit-identical for the finite coordinates extraction produces.
+///
+/// `depth_of` maps an accepted disparity to a depth (the tracker passes
+/// its rig's `depth_from_disparity`).
+pub fn stereo_match_rectified(
+    left_kps: &mut [KeyPoint],
+    left_descs: &[Descriptor],
+    right_kps: &[KeyPoint],
+    right_descs: &[Descriptor],
+    max_disparity: f64,
+    mut depth_of: impl FnMut(f64) -> Option<f64>,
+    scratch: &mut StereoScratch,
+) -> usize {
+    debug_assert_eq!(left_kps.len(), left_descs.len());
+    debug_assert_eq!(right_kps.len(), right_descs.len());
+    let StereoScratch {
+        block,
+        row_start,
+        row_cursor,
+        row_items,
+        cand,
+    } = scratch;
+    block.rebuild(right_descs);
+
+    // Bucket right keypoints by scanline. Negative y clamps into row 0;
+    // a query range that could accept such a point also clamps to 0, so
+    // no candidate is ever missed, and the exact row gate below discards
+    // any spurious inclusion.
+    let row_of = |y: f64| y.floor().max(0.0) as usize;
+    let n_rows = right_kps
+        .iter()
+        .map(|kp| row_of(kp.pt.y) + 1)
+        .max()
+        .unwrap_or(0);
+    row_start.clear();
+    row_start.resize(n_rows + 1, 0);
+    for rkp in right_kps.iter() {
+        row_start[row_of(rkp.pt.y) + 1] += 1;
+    }
+    for r in 1..row_start.len() {
+        row_start[r] += row_start[r - 1];
+    }
+    row_cursor.clear();
+    row_cursor.extend_from_slice(&row_start[..n_rows]);
+    row_items.clear();
+    row_items.resize(right_kps.len(), 0);
+    for (j, rkp) in right_kps.iter().enumerate() {
+        let r = row_of(rkp.pt.y);
+        row_items[row_cursor[r] as usize] = j as u32;
+        row_cursor[r] += 1;
+    }
+
+    let mut n = 0;
+    let mut strip = [0u32; STRIP];
+    for (i, kp) in left_kps.iter_mut().enumerate() {
+        let scale = 1.2f64.powi(kp.octave as i32);
+        let band = 2.0 * scale;
+        let mut best = u32::MAX;
+        let mut best_rx = -1.0f64;
+        if n_rows > 0 {
+            let lo = (kp.pt.y - band).floor().max(0.0) as usize;
+            let hi = ((kp.pt.y + band).floor().max(0.0) as usize).min(n_rows - 1);
+            cand.clear();
+            if lo <= hi {
+                for r in lo..=hi {
+                    let seg = &row_items[row_start[r] as usize..row_start[r + 1] as usize];
+                    for &j in seg {
+                        let rkp = &right_kps[j as usize];
+                        // The exact gates of the scalar loop.
+                        if (rkp.pt.y - kp.pt.y).abs() > band {
+                            continue;
+                        }
+                        let disparity = kp.pt.x - rkp.pt.x;
+                        if disparity <= 0.1 || disparity > max_disparity {
+                            continue;
+                        }
+                        cand.push(j as usize);
+                    }
+                }
+            }
+            // Rows were visited in order but candidates must be consumed
+            // in ascending right-keypoint order for the strict-< tie
+            // break to match the scalar scan.
+            cand.sort_unstable();
+            let qw = left_descs[i].words();
+            for chunk in cand.chunks(STRIP) {
+                block.strip_distances_indexed(&qw, chunk, best, &mut strip);
+                for (k, &d) in strip[..chunk.len()].iter().enumerate() {
+                    if d < best {
+                        best = d;
+                        best_rx = right_kps[chunk[k]].pt.x;
+                    }
+                }
+            }
+        }
+        if best <= TH_HIGH {
+            kp.right_x = best_rx;
+            let disparity = kp.pt.x - best_rx;
+            if let Some(depth) = depth_of(disparity) {
+                kp.depth = depth;
+                n += 1;
+            }
+        }
+    }
+    n
 }
 
 #[cfg(test)]
@@ -359,6 +520,122 @@ mod tests {
                     reference(&query, &train, max_d, ratio),
                     "trial {trial} max_d {max_d} ratio {ratio}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn stereo_matches_scalar_reference_implementation() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use slamshare_math::Vec2;
+
+        // The former Tracker::stereo_match loop, verbatim.
+        #[allow(clippy::too_many_arguments)]
+        fn reference(
+            left_kps: &mut [KeyPoint],
+            left_descs: &[Descriptor],
+            right_kps: &[KeyPoint],
+            right_descs: &[Descriptor],
+            max_disparity: f64,
+            mut depth_of: impl FnMut(f64) -> Option<f64>,
+        ) -> usize {
+            let mut n = 0;
+            for (i, kp) in left_kps.iter_mut().enumerate() {
+                let scale = 1.2f64.powi(kp.octave as i32);
+                let mut best = u32::MAX;
+                let mut best_rx = -1.0f64;
+                for (j, rkp) in right_kps.iter().enumerate() {
+                    if (rkp.pt.y - kp.pt.y).abs() > 2.0 * scale {
+                        continue;
+                    }
+                    let disparity = kp.pt.x - rkp.pt.x;
+                    if disparity <= 0.1 || disparity > max_disparity {
+                        continue;
+                    }
+                    let d = left_descs[i].distance(&right_descs[j]);
+                    if d < best {
+                        best = d;
+                        best_rx = rkp.pt.x;
+                    }
+                }
+                if best <= TH_HIGH {
+                    kp.right_x = best_rx;
+                    let disparity = kp.pt.x - best_rx;
+                    if let Some(depth) = depth_of(disparity) {
+                        kp.depth = depth;
+                        n += 1;
+                    }
+                }
+            }
+            n
+        }
+
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut scratch = StereoScratch::default();
+        let depth_of = |d: f64| if d > 0.5 { Some(38.0 / d) } else { None };
+        for trial in 0..15 {
+            let nl = rng.gen_range(0..120);
+            let nr = rng.gen_range(0..120);
+            let mk_kps = |rng: &mut StdRng, n: usize| -> Vec<KeyPoint> {
+                (0..n)
+                    .map(|_| {
+                        let mut kp = KeyPoint::new(
+                            Vec2::new(rng.gen_range(0.0..320.0), rng.gen_range(-1.0..240.0)),
+                            rng.gen_range(0..6),
+                            rng.gen_range(0.0..50.0),
+                        );
+                        kp.right_x = -1.0;
+                        kp
+                    })
+                    .collect()
+            };
+            let mk_descs = |rng: &mut StdRng, n: usize| -> Vec<Descriptor> {
+                (0..n)
+                    .map(|_| {
+                        let mut d = Descriptor::ZERO;
+                        for b in 0..256 {
+                            if rng.gen_bool(0.12) {
+                                d.set_bit(b);
+                            }
+                        }
+                        d
+                    })
+                    .collect()
+            };
+            let want_kps_init = mk_kps(&mut rng, nl);
+            let left_descs = mk_descs(&mut rng, nl);
+            let right_kps = mk_kps(&mut rng, nr);
+            let mut right_descs = mk_descs(&mut rng, nr);
+            // Plant duplicate descriptors so distance ties occur.
+            for j in 0..nr.min(10) {
+                right_descs[j] = right_descs[nr - 1 - j];
+            }
+            let max_disparity = 90.0;
+
+            let mut want_kps = want_kps_init.clone();
+            let want_n = reference(
+                &mut want_kps,
+                &left_descs,
+                &right_kps,
+                &right_descs,
+                max_disparity,
+                depth_of,
+            );
+            let mut got_kps = want_kps_init.clone();
+            let got_n = stereo_match_rectified(
+                &mut got_kps,
+                &left_descs,
+                &right_kps,
+                &right_descs,
+                max_disparity,
+                depth_of,
+                &mut scratch,
+            );
+            assert_eq!(got_n, want_n, "trial {trial}");
+            for (g, w) in got_kps.iter().zip(&want_kps) {
+                assert_eq!(g.right_x.to_bits(), w.right_x.to_bits(), "trial {trial}");
+                assert_eq!(g.depth.to_bits(), w.depth.to_bits(), "trial {trial}");
             }
         }
     }

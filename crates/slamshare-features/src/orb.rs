@@ -99,6 +99,99 @@ pub fn describe(img: &GrayImage, x: f64, y: f64, angle: f64) -> Descriptor {
     d
 }
 
+/// Margin inside which the fused kernel's stack patch covers every pixel
+/// either the orientation moments or a rotated BRIEF sample can touch.
+/// Rotated offsets reach `14·√2 ≈ 19.8` px plus one for the bilinear
+/// neighbour, so 22 is safe with a pixel to spare.
+pub const FUSED_BORDER: usize = 22;
+
+/// Side length of the fused kernel's stack patch: covers
+/// `[⌊x⌋ − 20, ⌊x⌋ + 21] × [⌊y⌋ − 20, ⌊y⌋ + 21]`.
+const FUSED_PATCH: usize = 42;
+
+/// Fused orientation + description: one gather of the keypoint's patch
+/// into a stack buffer feeds both the intensity-centroid moments and the
+/// rotated-BRIEF sampling, instead of two separate passes of clamped
+/// image loads. This is the per-keypoint work item the GPU executor
+/// schedules in `gpu_extract`'s describe kernel.
+///
+/// Bit-identity: inside [`FUSED_BORDER`] every `get_clamped` /
+/// `sample_bilinear` clamp in the scalar pair is a no-op, the moment
+/// loop visits the same pixels in the same order with the same f64
+/// arithmetic, and the bilinear weights are computed from image-space
+/// coordinates with the exact expressions of
+/// [`GrayImage::sample_bilinear`] — only the pixel *loads* are
+/// redirected into the patch. Keypoints in the border band (possible:
+/// `DESC_BORDER` is 17) fall back to the scalar pair.
+pub fn orient_and_describe(img: &GrayImage, x: f64, y: f64) -> (f64, Descriptor) {
+    let xi = x as usize;
+    let yi = y as usize;
+    if x < 0.0 || y < 0.0 || !img.in_interior(xi, yi, FUSED_BORDER) {
+        let angle = intensity_centroid_angle(img, x, y);
+        return (angle, describe(img, x, y, angle));
+    }
+    let bx = xi - 20;
+    let by = yi - 20;
+    let w = img.width;
+    let mut patch = [0u8; FUSED_PATCH * FUSED_PATCH];
+    for (py, prow) in patch.chunks_exact_mut(FUSED_PATCH).enumerate() {
+        let src = (by + py) * w + bx;
+        prow.copy_from_slice(&img.data[src..src + FUSED_PATCH]);
+    }
+
+    // Intensity-centroid moments, same visit order and arithmetic as
+    // intensity_centroid_angle.
+    let pcx = (x.round() as usize - bx) as isize;
+    let pcy = (y.round() as usize - by) as isize;
+    let r = PATCH_RADIUS;
+    let mut m01 = 0.0f64;
+    let mut m10 = 0.0f64;
+    for dy in -r..=r {
+        let row = ((pcy + dy) as usize) * FUSED_PATCH;
+        for dx in -r..=r {
+            if dx * dx + dy * dy > r * r {
+                continue;
+            }
+            let v = patch[row + (pcx + dx) as usize] as f64;
+            m10 += dx as f64 * v;
+            m01 += dy as f64 * v;
+        }
+    }
+    let angle = m01.atan2(m10);
+
+    // Rotated BRIEF over the same patch. Coordinates stay in image space
+    // so floor/fractional parts are bit-identical to sample_bilinear.
+    let sample = |sx: f64, sy: f64| -> f64 {
+        let x0 = sx.floor() as usize;
+        let y0 = sy.floor() as usize;
+        let fx = sx - x0 as f64;
+        let fy = sy - y0 as f64;
+        let row0 = (y0 - by) * FUSED_PATCH + (x0 - bx);
+        let row1 = row0 + FUSED_PATCH;
+        let p00 = patch[row0] as f64;
+        let p10 = patch[row0 + 1] as f64;
+        let p01 = patch[row1] as f64;
+        let p11 = patch[row1 + 1] as f64;
+        p00 * (1.0 - fx) * (1.0 - fy)
+            + p10 * fx * (1.0 - fy)
+            + p01 * (1.0 - fx) * fy
+            + p11 * fx * fy
+    };
+    let pattern = BriefPattern::standard();
+    let (s, c) = angle.sin_cos();
+    let mut d = Descriptor::ZERO;
+    for (i, &((ax, ay), (pbx, pby))) in pattern.pairs.iter().enumerate() {
+        let (rax, ray) = (c * ax - s * ay, s * ax + c * ay);
+        let (rbx, rby) = (c * pbx - s * pby, s * pbx + c * pby);
+        let va = sample(x + rax, y + ray);
+        let vb = sample(x + rbx, y + rby);
+        if va < vb {
+            d.set_bit(i);
+        }
+    }
+    (angle, d)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +210,35 @@ mod tests {
             (a2 - std::f64::consts::FRAC_PI_2).abs() < 0.2,
             "angle = {a2}"
         );
+    }
+
+    #[test]
+    fn fused_kernel_matches_scalar_pair_exactly() {
+        let img = GrayImage::from_fn(100, 90, |x, y| {
+            let mut h = (x as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                ^ (y as u64).wrapping_mul(0xBF58476D1CE4E5B9);
+            h ^= h >> 31;
+            h = h.wrapping_mul(0x94D049BB133111EB);
+            (h >> 24) as u8
+        });
+        // Interior points (fast path), fractional positions, and points in
+        // the DESC_BORDER..FUSED_BORDER band (scalar fallback).
+        let points = [
+            (50.0, 45.0),
+            (22.0, 22.0),
+            (77.9, 67.3),
+            (30.25, 41.75),
+            (18.0, 45.0), // x inside DESC_BORDER..FUSED_BORDER band
+            (50.0, 70.5),
+            (81.0, 19.5),
+        ];
+        for (x, y) in points {
+            let want_angle = intensity_centroid_angle(&img, x, y);
+            let want_desc = describe(&img, x, y, want_angle);
+            let (angle, desc) = orient_and_describe(&img, x, y);
+            assert_eq!(angle.to_bits(), want_angle.to_bits(), "angle at ({x},{y})");
+            assert_eq!(desc, want_desc, "descriptor at ({x},{y})");
+        }
     }
 
     #[test]

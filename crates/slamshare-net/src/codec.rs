@@ -143,7 +143,21 @@ pub fn packbits_encode(out: &mut BytesMut, data: &[u8]) {
 /// arbitrary input: any truncation, overshoot, or shortfall is an `Err`,
 /// never a panic, and the output allocation is bounded by `expected`.
 pub fn packbits_decode(data: &[u8], expected: usize) -> Result<Vec<u8>, CodecError> {
-    let mut out = Vec::with_capacity(expected);
+    let mut out = Vec::new();
+    packbits_decode_into(data, expected, &mut out)?;
+    Ok(out)
+}
+
+/// [`packbits_decode`] into a caller-owned buffer: `out` is cleared and
+/// refilled, reusing its capacity, so a warm decode loop performs no heap
+/// allocation. On `Err` the contents of `out` are unspecified.
+pub fn packbits_decode_into(
+    data: &[u8],
+    expected: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
+    out.clear();
+    out.reserve(expected);
     let mut i = 0;
     while i < data.len() && out.len() < expected {
         let ctrl = data[i];
@@ -168,7 +182,7 @@ pub fn packbits_decode(data: &[u8], expected: usize) -> Result<Vec<u8>, CodecErr
     if out.len() != expected {
         return Err(CodecError::Truncated);
     }
-    Ok(out)
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -207,6 +221,22 @@ impl ImageCodec {
 
     /// Decode an intra frame. Returns `(image, decode_ms)`.
     pub fn decode(data: &[u8]) -> Result<(GrayImage, f64), CodecError> {
+        let mut img = GrayImage::new(0, 0);
+        let mut residuals = Vec::new();
+        let ms = ImageCodec::decode_into(data, &mut residuals, &mut img)?;
+        Ok((img, ms))
+    }
+
+    /// [`ImageCodec::decode`] into caller-owned buffers: `residuals` is
+    /// codec scratch and `img` receives the frame, both reusing their
+    /// capacity (a warm decode loop performs no heap allocation). The
+    /// decoded pixels are identical to [`ImageCodec::decode`]'s. On `Err`
+    /// the contents of both buffers are unspecified.
+    pub fn decode_into(
+        data: &[u8],
+        residuals: &mut Vec<u8>,
+        img: &mut GrayImage,
+    ) -> Result<f64, CodecError> {
         let t0 = Instant::now();
         if data.len() < 9 {
             return Err(CodecError::Truncated);
@@ -215,8 +245,11 @@ impl ImageCodec {
             return Err(CodecError::BadMagic(data[0]));
         }
         let (width, height) = read_dims(data)?;
-        let residuals = packbits_decode(&data[9..], width * height)?;
-        let mut img = GrayImage::new(width, height);
+        packbits_decode_into(&data[9..], width * height, residuals)?;
+        img.width = width;
+        img.height = height;
+        img.data.clear();
+        img.data.resize(width * height, 0);
         for y in 0..height {
             let mut prev = 0u8;
             for x in 0..width {
@@ -225,7 +258,7 @@ impl ImageCodec {
                 prev = v;
             }
         }
-        Ok((img, t0.elapsed().as_secs_f64() * 1e3))
+        Ok(t0.elapsed().as_secs_f64() * 1e3)
     }
 }
 
@@ -357,6 +390,8 @@ impl VideoEncoder {
 #[derive(Debug, Clone, Default)]
 pub struct VideoDecoder {
     reference: Option<GrayImage>,
+    /// PackBits scratch for I-frame decodes, reused across frames.
+    residuals: Vec<u8>,
 }
 
 impl VideoDecoder {
@@ -366,14 +401,29 @@ impl VideoDecoder {
 
     /// Decode the next frame of the stream. Returns `(image, decode_ms)`.
     pub fn decode(&mut self, data: &[u8]) -> Result<(GrayImage, f64), CodecError> {
+        let mut img = GrayImage::new(0, 0);
+        let ms = self.decode_into(data, &mut img)?;
+        Ok((img, ms))
+    }
+
+    /// [`VideoDecoder::decode`] into a caller-owned image, reusing its
+    /// pixel buffer — a warm decode loop at fixed resolution performs no
+    /// heap allocation. The decoded pixels and decoder state transitions
+    /// are identical to [`VideoDecoder::decode`]'s; in particular a failed
+    /// decode still leaves the reference untouched (only `out`, which is
+    /// scratch from the caller's point of view, holds unspecified bytes
+    /// after an `Err`).
+    pub fn decode_into(&mut self, data: &[u8], out: &mut GrayImage) -> Result<f64, CodecError> {
         if data.is_empty() {
             return Err(CodecError::Truncated);
         }
         match data[0] {
             MAGIC_INTRA => {
-                let (img, ms) = ImageCodec::decode(data)?;
-                self.reference = Some(img.clone());
-                Ok((img, ms))
+                let ms = ImageCodec::decode_into(data, &mut self.residuals, out)?;
+                self.reference
+                    .get_or_insert_with(|| GrayImage::new(0, 0))
+                    .copy_from(out);
+                Ok(ms)
             }
             MAGIC_PREDICTED => {
                 let t0 = Instant::now();
@@ -387,7 +437,7 @@ impl VideoDecoder {
                 if reference.width != width || reference.height != height {
                     return Err(CodecError::DimensionMismatch);
                 }
-                let mut img = reference.clone();
+                out.copy_from(reference);
                 let mut idx = 0usize;
                 let mut i = 9;
                 while i + 3 <= data.len() {
@@ -395,17 +445,21 @@ impl VideoDecoder {
                     let count = data[i + 2] as usize;
                     i += 3;
                     idx += run;
-                    if i + count > data.len() || idx + count > img.data.len() {
+                    if i + count > data.len() || idx + count > out.data.len() {
                         return Err(CodecError::Truncated);
                     }
                     for k in 0..count {
-                        img.data[idx + k] = img.data[idx + k].wrapping_add(data[i + k]);
+                        out.data[idx + k] = out.data[idx + k].wrapping_add(data[i + k]);
                     }
                     idx += count;
                     i += count;
                 }
-                self.reference = Some(img.clone());
-                Ok((img, t0.elapsed().as_secs_f64() * 1e3))
+                // Only now — with the frame fully decoded — does the
+                // reference advance.
+                if let Some(r) = &mut self.reference {
+                    r.copy_from(out);
+                }
+                Ok(t0.elapsed().as_secs_f64() * 1e3)
             }
             m => Err(CodecError::BadMagic(m)),
         }

@@ -17,7 +17,7 @@ use crate::ids::{KeyFrameId, MapPointId};
 use crate::map::MapRead;
 use crate::optimize::{optimize_pose, PoseObservation};
 use slamshare_features::extractor::{ExtractedFeatures, OrbExtractor, OrbExtractorConfig};
-use slamshare_features::matching::{self, ProjectionQuery, TH_HIGH, TH_LOW};
+use slamshare_features::matching::{self, ProjectionQuery, TH_LOW};
 use slamshare_features::{Descriptor, GrayImage, KeyPoint};
 use slamshare_gpu::{kernels, GpuExecutor};
 use slamshare_math::{Vec2, SE3};
@@ -157,6 +157,9 @@ pub struct Tracker {
     /// Frames in a row that came back lost — the tracking-lost state the
     /// recovery path (relocalization) keys off.
     consecutive_lost: usize,
+    /// Reusable buffers for the batched stereo matcher (row buckets, SoA
+    /// descriptor block) — zero allocations per frame once warm.
+    stereo_scratch: parking_lot::Mutex<matching::StereoScratch>,
 }
 
 impl Tracker {
@@ -171,6 +174,7 @@ impl Tracker {
             frames_since_kf: 0,
             ref_matches: 0,
             consecutive_lost: 0,
+            stereo_scratch: parking_lot::Mutex::new(matching::StereoScratch::default()),
         }
     }
 
@@ -253,37 +257,21 @@ impl Tracker {
 
     /// Stereo-match left features against right-image features, filling
     /// `right_x`/`depth` on the left keypoints. Returns the match count.
+    ///
+    /// Delegates to the batched row-bucketed matcher, which is bit-identical
+    /// to the original O(left × right) scalar scan (see
+    /// [`matching::stereo_match_rectified`]).
     pub fn stereo_match(&self, left: &mut ExtractedFeatures, right: &ExtractedFeatures) -> usize {
         let max_disparity = self.config.rig.disparity(0.3); // nothing closer than 30 cm
-        let mut n = 0;
-        for (i, kp) in left.keypoints.iter_mut().enumerate() {
-            let scale = 1.2f64.powi(kp.octave as i32);
-            let mut best = u32::MAX;
-            let mut best_rx = -1.0f64;
-            for (j, rkp) in right.keypoints.iter().enumerate() {
-                if (rkp.pt.y - kp.pt.y).abs() > 2.0 * scale {
-                    continue; // rectified pair: matches share a row
-                }
-                let disparity = kp.pt.x - rkp.pt.x;
-                if disparity <= 0.1 || disparity > max_disparity {
-                    continue;
-                }
-                let d = left.descriptors[i].distance(&right.descriptors[j]);
-                if d < best {
-                    best = d;
-                    best_rx = rkp.pt.x;
-                }
-            }
-            if best <= TH_HIGH {
-                kp.right_x = best_rx;
-                let disparity = kp.pt.x - best_rx;
-                if let Some(depth) = self.config.rig.depth_from_disparity(disparity) {
-                    kp.depth = depth;
-                    n += 1;
-                }
-            }
-        }
-        n
+        matching::stereo_match_rectified(
+            &mut left.keypoints,
+            &left.descriptors,
+            &right.keypoints,
+            &right.descriptors,
+            max_disparity,
+            |d| self.config.rig.depth_from_disparity(d),
+            &mut self.stereo_scratch.lock(),
+        )
     }
 
     /// Track one frame against `map`. `ref_kf` selects the local-map

@@ -1,0 +1,140 @@
+//! Zero-allocation guarantee for the steady-state per-frame path.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! warm-up pass has grown every reusable buffer to its high-water mark,
+//! the decode → extract → stereo-match → brute-force-match loop over
+//! further (identical-resolution) frames must perform **zero** heap
+//! allocations. This is the enforcement half of the frame-arena design
+//! (see DESIGN.md): a regression that sneaks a per-frame `Vec::new` or
+//! `clone` into the hot path fails this test, not a profiler session
+//! three weeks later.
+//!
+//! One `#[test]` only: the counter is process-global, so a second
+//! concurrently-running test would attribute its allocations to ours.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_frame_path_allocates_nothing() {
+    use slam_share::features::extractor::{ExtractedFeatures, OrbExtractor};
+    use slam_share::features::matching::{self, MatchScratch, StereoScratch, TH_LOW};
+    use slam_share::features::GrayImage;
+    use slam_share::net::codec::{VideoDecoder, VideoEncoder};
+    use slam_share::sim::dataset::{Dataset, DatasetConfig, TracePreset};
+
+    // ---- Setup (allocation-free-ness not required here) ----
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(1)
+            .with_seed(5),
+    );
+    let (left_src, right_src) = ds.render_stereo_frame(0);
+    // One I-frame then identical P-frames per eye: a fixed-resolution
+    // stream, the case the buffer pools are designed for.
+    const WARM: usize = 5;
+    const MEASURED: usize = 25;
+    let mut enc_l = VideoEncoder::default();
+    let mut enc_r = VideoEncoder::default();
+    let payloads: Vec<(Vec<u8>, Vec<u8>)> = (0..WARM + MEASURED)
+        .map(|_| {
+            (
+                enc_l.encode(&left_src).data.to_vec(),
+                enc_r.encode(&right_src).data.to_vec(),
+            )
+        })
+        .collect();
+
+    let extractor = OrbExtractor::with_defaults();
+    let max_disparity = ds.rig.disparity(0.3);
+
+    let mut dec_l = VideoDecoder::new();
+    let mut dec_r = VideoDecoder::new();
+    let mut left = GrayImage::new(0, 0);
+    let mut right = GrayImage::new(0, 0);
+    let mut feats_l = ExtractedFeatures::default();
+    let mut feats_r = ExtractedFeatures::default();
+    let mut stereo_scratch = StereoScratch::default();
+    let mut match_scratch = MatchScratch::default();
+    let mut matches = Vec::new();
+    // A fixed "previous frame" descriptor set for frame-to-frame matching.
+    let (prev, _) = extractor.extract(&left_src);
+
+    let mut frame =
+        |payload: &(Vec<u8>, Vec<u8>), dec_l: &mut VideoDecoder, dec_r: &mut VideoDecoder| {
+            dec_l
+                .decode_into(&payload.0, &mut left)
+                .expect("left decode");
+            dec_r
+                .decode_into(&payload.1, &mut right)
+                .expect("right decode");
+            extractor.extract_into(&left, &mut feats_l);
+            extractor.extract_into(&right, &mut feats_r);
+            let n = matching::stereo_match_rectified(
+                &mut feats_l.keypoints,
+                &feats_l.descriptors,
+                &feats_r.keypoints,
+                &feats_r.descriptors,
+                max_disparity,
+                |d| ds.rig.depth_from_disparity(d),
+                &mut stereo_scratch,
+            );
+            matching::match_brute_force_into(
+                &feats_l.descriptors,
+                &prev.descriptors,
+                TH_LOW,
+                0.9,
+                &mut match_scratch,
+                &mut matches,
+            );
+            assert!(n > 0, "stereo matching found nothing — test is vacuous");
+            assert!(
+                !matches.is_empty(),
+                "frame-to-frame matching found nothing — test is vacuous"
+            );
+        };
+
+    // ---- Warm-up: every buffer reaches its high-water capacity ----
+    for p in &payloads[..WARM] {
+        frame(p, &mut dec_l, &mut dec_r);
+    }
+
+    // ---- Measured: the same path must not touch the allocator ----
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for p in &payloads[WARM..] {
+        frame(p, &mut dec_l, &mut dec_r);
+    }
+    let delta = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state frame path performed {delta} heap allocations over {MEASURED} frames"
+    );
+}
