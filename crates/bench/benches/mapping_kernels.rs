@@ -1,0 +1,521 @@
+//! Micro-benches for the kernelized mapping path: the per-item SoA
+//! kernels local mapping submits to the shared GPU executor (local-BA
+//! pose and point passes, batched descriptor fusion, batched keyframe
+//! culling), each measured scalar vs forced-parallel at several problem
+//! sizes. Writes `results/BENCH_mapping_kernels.json`.
+//!
+//! The point of the report is the **crossover policy**: mapping picks
+//! kernel vs scalar from the executor's worker count and the problem
+//! size alone (`kernel_or_scalar` + `*_KERNEL_MIN_ITEMS` in
+//! `slamshare_slam::optimize`), never from timing, so the choice is
+//! reproducible. Each row records what the policy picks on THIS host —
+//! on a single-core box the auto executor has one worker and the policy
+//! is provably scalar at every size, speedup exactly 1.0 — and the
+//! speedup of the policy path over always-scalar, which must stay
+//! ≥ 1.0 everywhere. The forced 4-worker timings ride along as
+//! diagnostics for re-fitting the thresholds on a host with real
+//! parallelism. Only the policy-path p95s are gate-checked.
+
+use bench::{bench_effort, save_json};
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use slamshare_features::descriptor::DescriptorBlock;
+use slamshare_features::Descriptor;
+use slamshare_gpu::GpuExecutor;
+use slamshare_math::stats::percentile;
+use slamshare_math::{Vec2, Vec3, SE3};
+use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
+use slamshare_slam::ids::{ClientId, KeyFrameId};
+use slamshare_slam::map::{KeyFrame, Map};
+use slamshare_slam::mapping::{LocalMapper, MappingConfig};
+use slamshare_slam::optimize::{
+    optimize_pose_soa, refine_point_soa, CULL_KERNEL_MIN_ITEMS, POINT_KERNEL_MIN_ITEMS,
+    POSE_KERNEL_MIN_ITEMS,
+};
+use slamshare_slam::system::{FrameInput, SlamConfig, SlamSystem};
+use slamshare_slam::tracking::SensorMode;
+use slamshare_slam::vocabulary;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct KernelRow {
+    n_items: usize,
+    mean_obs_per_item: f64,
+    /// Mean wall per pass, sequential executor.
+    scalar_ms: f64,
+    /// Mean wall per pass, forced 4-worker kernel (diagnostic only).
+    kernel_ms: f64,
+    kernel_speedup_vs_scalar: f64,
+    /// What the size-only crossover picks at this problem size.
+    policy: &'static str,
+    /// Scalar wall over policy-path wall; ≥ 1.0 means the policy never
+    /// picks a losing path at this size.
+    policy_speedup_vs_scalar: f64,
+    p95_policy_ms: f64,
+    /// Kernel outputs are bit-identical to the scalar sweep.
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct FuseRow {
+    n_descriptors: usize,
+    strip_len: usize,
+    queries: usize,
+    /// Scalar ascending best-scan over the candidate strip, whole sweep.
+    scalar_ms: f64,
+    /// `DescriptorBlock::scan_best_indexed` over the same strip.
+    batched_ms: f64,
+    batched_speedup_vs_scalar: f64,
+    p95_batched_ms: f64,
+    /// Every query picked the same (distance, index) pair both ways.
+    identical_picks: bool,
+}
+
+#[derive(Serialize)]
+struct CullRow {
+    n_keyframes: usize,
+    scalar_ms: f64,
+    kernel_ms: f64,
+    policy: &'static str,
+    policy_speedup_vs_scalar: f64,
+    p95_policy_ms: f64,
+    /// Both worker counts removed the same keyframes.
+    identical_victims: bool,
+}
+
+#[derive(Serialize)]
+struct BenchMappingKernels {
+    host_cores: usize,
+    reps: usize,
+    pose_kernel_min_items: usize,
+    point_kernel_min_items: usize,
+    cull_kernel_min_items: usize,
+    pose: Vec<KernelRow>,
+    point: Vec<KernelRow>,
+    fuse: Vec<FuseRow>,
+    kf_cull: Vec<CullRow>,
+}
+
+/// Build one real single-client map so the strips carry real geometry.
+fn build_map(frames: usize) -> (Dataset, Map) {
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(frames)
+            .with_seed(71),
+    );
+    let mut system = SlamSystem::new(
+        ClientId(1),
+        SlamConfig::stereo(ds.rig),
+        Arc::new(vocabulary::train_random(42)),
+        Arc::new(GpuExecutor::cpu()),
+    );
+    for i in 0..frames {
+        let (l, r) = ds.render_stereo_frame(i);
+        system.process_frame(FrameInput {
+            timestamp: ds.frame_time(i),
+            left: &l,
+            right: Some(&r),
+            imu: &[],
+            pose_hint: (i == 0).then(|| ds.gt_pose_cw(0)),
+        });
+    }
+    (ds, system.map.clone())
+}
+
+/// Replicate base items until `target` is reached, run the kernel both
+/// ways `reps` times, and fold everything into one row.
+#[allow(clippy::too_many_arguments)]
+fn kernel_row<T: Clone + Sync, R: Send + PartialEq>(
+    base: &[T],
+    obs_per_item: f64,
+    target: usize,
+    min_items: usize,
+    reps: usize,
+    seq: &GpuExecutor,
+    par: &GpuExecutor,
+    auto_workers: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> KernelRow {
+    let mut items: Vec<T> = Vec::with_capacity(target);
+    while items.len() < target {
+        let take = (target - items.len()).min(base.len());
+        items.extend_from_slice(&base[..take]);
+    }
+    let mut scalar_out = Vec::new();
+    let mut kernel_out = Vec::new();
+    let mut scalar_samples = Vec::with_capacity(reps);
+    let mut kernel_samples = Vec::with_capacity(reps);
+    let mut identical = true;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        seq.par_map_into(&items, 0, &mut scalar_out, &f);
+        scalar_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        par.par_map_into(&items, 0, &mut kernel_out, &f);
+        kernel_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        identical &= scalar_out == kernel_out;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (scalar_ms, kernel_ms) = (mean(&scalar_samples), mean(&kernel_samples));
+    // The shipped selection rule, verbatim: the kernel path needs both a
+    // parallel executor and a problem that clears the size threshold.
+    let kernel_wins = auto_workers > 1 && items.len() >= min_items;
+    let (policy, policy_ms, policy_samples) = if kernel_wins {
+        ("kernel", kernel_ms, &kernel_samples)
+    } else {
+        ("scalar", scalar_ms, &scalar_samples)
+    };
+    KernelRow {
+        n_items: items.len(),
+        mean_obs_per_item: obs_per_item,
+        scalar_ms,
+        kernel_ms,
+        kernel_speedup_vs_scalar: scalar_ms / kernel_ms,
+        policy,
+        policy_speedup_vs_scalar: scalar_ms / policy_ms,
+        p95_policy_ms: percentile(policy_samples, 95.0),
+        bit_identical: identical,
+    }
+}
+
+/// splitmix64 — deterministic descriptor bits without a rand dep.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn random_descriptor(state: &mut u64) -> Descriptor {
+    let mut d = Descriptor::ZERO;
+    for b in 0..256 {
+        if splitmix64(state) & 1 == 1 {
+            d.set_bit(b);
+        }
+    }
+    d
+}
+
+fn fuse_row(n_desc: usize, reps: usize) -> FuseRow {
+    let mut state = 0xfeed_0000 + n_desc as u64;
+    let descs: Vec<Descriptor> = (0..n_desc).map(|_| random_descriptor(&mut state)).collect();
+    let mut block = DescriptorBlock::new();
+    block.rebuild(&descs);
+    // Candidate strip: every other index, like a projection window that
+    // caught half the keyframe's keypoints.
+    let idx: Vec<usize> = (0..n_desc).step_by(2).collect();
+    let queries: Vec<Descriptor> = (0..64).map(|_| random_descriptor(&mut state)).collect();
+
+    let mut scalar_samples = Vec::with_capacity(reps);
+    let mut batched_samples = Vec::with_capacity(reps);
+    let mut identical = true;
+    for _ in 0..reps {
+        let mut scalar_picks = Vec::with_capacity(queries.len());
+        let t0 = Instant::now();
+        for q in &queries {
+            let (mut best, mut best_pos) = (u32::MAX, usize::MAX);
+            for (pos, &i) in idx.iter().enumerate() {
+                let dist = q.distance(&descs[i]);
+                if dist < best {
+                    best = dist;
+                    best_pos = pos;
+                }
+            }
+            scalar_picks.push((best, best_pos));
+        }
+        scalar_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        let mut batched_picks = Vec::with_capacity(queries.len());
+        let t0 = Instant::now();
+        for q in &queries {
+            batched_picks.push(block.scan_best_indexed(&q.words(), &idx, u32::MAX));
+        }
+        batched_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        identical &= scalar_picks == batched_picks;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (scalar_ms, batched_ms) = (mean(&scalar_samples), mean(&batched_samples));
+    FuseRow {
+        n_descriptors: n_desc,
+        strip_len: idx.len(),
+        queries: queries.len(),
+        scalar_ms,
+        batched_ms,
+        batched_speedup_vs_scalar: scalar_ms / batched_ms,
+        p95_batched_ms: percentile(&batched_samples, 95.0),
+        identical_picks: identical,
+    }
+}
+
+/// Synthetic covisibility map: `n_kf` keyframes over a 64-point pool
+/// with varying match density, so the redundancy kernel sees both
+/// verdicts.
+fn cull_map(n_kf: usize) -> (Map, KeyFrameId) {
+    const N_KP: usize = 64;
+    let mut map = Map::new(ClientId(1));
+    let kf_ids: Vec<KeyFrameId> = (0..n_kf)
+        .map(|i| {
+            let id = map.alloc.next_keyframe();
+            map.insert_keyframe(KeyFrame {
+                id,
+                pose_cw: SE3::IDENTITY,
+                timestamp: i as f64,
+                keypoints: vec![slamshare_features::KeyPoint::new(Vec2::ZERO, 0, 1.0); N_KP],
+                descriptors: vec![Descriptor::ZERO; N_KP],
+                matched_points: vec![None; N_KP],
+                bow: Default::default(),
+            });
+            id
+        })
+        .collect();
+    let protect = kf_ids[0];
+    let mps: Vec<_> = (0..N_KP)
+        .map(|j| map.create_mappoint(Vec3::new(j as f64, 0.0, 5.0), Descriptor::ZERO, protect, j))
+        .collect();
+    let mut state = 0xc011_u64 + n_kf as u64;
+    for &kf in &kf_ids[1..] {
+        // Density 1/8 .. 8/8 per keyframe.
+        let num = 1 + splitmix64(&mut state) % 8;
+        for (j, &mp) in mps.iter().enumerate() {
+            if splitmix64(&mut state) % 8 < num {
+                map.add_observation(mp, kf, j);
+            }
+        }
+    }
+    (map, protect)
+}
+
+fn cull_row(
+    n_kf: usize,
+    reps: usize,
+    rig: slamshare_sim::camera::StereoRig,
+    auto_workers: usize,
+) -> CullRow {
+    let (base, protect) = cull_map(n_kf);
+    let mapper_at = |workers: usize| {
+        LocalMapper::new(
+            SensorMode::Stereo,
+            rig,
+            MappingConfig {
+                ba_workers: workers,
+                ..MappingConfig::default()
+            },
+        )
+    };
+    let mut scalar_samples = Vec::with_capacity(reps);
+    let mut kernel_samples = Vec::with_capacity(reps);
+    let mut identical = true;
+    let mut seq = mapper_at(1);
+    let mut par = mapper_at(4);
+    for _ in 0..reps {
+        let mut m1 = base.clone();
+        let t0 = Instant::now();
+        seq.cull_keyframes(&mut m1, protect);
+        scalar_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        let mut m4 = base.clone();
+        let t0 = Instant::now();
+        par.cull_keyframes(&mut m4, protect);
+        kernel_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        identical &= m1.keyframes.keys().eq(m4.keyframes.keys());
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (scalar_ms, kernel_ms) = (mean(&scalar_samples), mean(&kernel_samples));
+    // The candidate count is n_kf - 1 (everything but the protected
+    // keyframe), which is what the crossover sees.
+    let kernel_wins = auto_workers > 1 && n_kf > CULL_KERNEL_MIN_ITEMS;
+    let (policy, policy_ms, policy_samples) = if kernel_wins {
+        ("kernel", kernel_ms, &kernel_samples)
+    } else {
+        ("scalar", scalar_ms, &scalar_samples)
+    };
+    CullRow {
+        n_keyframes: n_kf,
+        scalar_ms,
+        kernel_ms,
+        policy,
+        policy_speedup_vs_scalar: scalar_ms / policy_ms,
+        p95_policy_ms: percentile(policy_samples, 95.0),
+        identical_victims: identical,
+    }
+}
+
+fn bench(_c: &mut Criterion) {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let reps = bench_effort().reps(30).max(5);
+    let (ds, map) = build_map(bench_effort().frames(40).clamp(12, 16));
+    let cam = ds.rig.cam;
+    let seq = GpuExecutor::cpu_with_workers(1);
+    let par = GpuExecutor::cpu_with_workers(4);
+    // Worker count mapping actually gets on this host (ba_workers = 0 /
+    // a shared-GPU slice both clamp to the core count).
+    let auto_workers = GpuExecutor::cpu_parallel().workers();
+    let sigma_for = |octave: u8| 1.2f64.powi(octave as i32);
+
+    // Pose strips, gathered exactly as the BA pose pass gathers them.
+    let mut pose_items: Vec<(SE3, u32, u32)> = Vec::new();
+    let (mut obs_pts, mut obs_pxs, mut obs_sigmas) = (Vec::new(), Vec::new(), Vec::new());
+    for kf in map.keyframes.values() {
+        let lo = obs_pts.len() as u32;
+        for (kp_idx, mp_id) in kf.matched_points.iter().enumerate() {
+            let Some(mp_id) = mp_id else { continue };
+            let Some(mp) = map.mappoints.get(mp_id) else {
+                continue;
+            };
+            let kp = &kf.keypoints[kp_idx];
+            obs_pts.push(mp.position);
+            obs_pxs.push(kp.pt);
+            obs_sigmas.push(sigma_for(kp.octave));
+        }
+        let hi = obs_pts.len() as u32;
+        if hi - lo >= 10 {
+            pose_items.push((kf.pose_cw, lo, hi));
+        }
+    }
+    let pose_obs = obs_pts.len() as f64 / pose_items.len().max(1) as f64;
+    let pose_kernel = |&(pose, lo, hi): &(SE3, u32, u32)| {
+        optimize_pose_soa(
+            &cam,
+            pose,
+            &obs_pts[lo as usize..hi as usize],
+            &obs_pxs[lo as usize..hi as usize],
+            &obs_sigmas[lo as usize..hi as usize],
+            5,
+        )
+    };
+    let mut pose_rows = Vec::new();
+    for target in [8usize, 64, 512] {
+        let row = kernel_row(
+            &pose_items,
+            pose_obs,
+            target,
+            POSE_KERNEL_MIN_ITEMS,
+            reps,
+            &seq,
+            &par,
+            auto_workers,
+            pose_kernel,
+        );
+        println!(
+            "pose n={}: scalar {:.3} ms, kernel {:.3} ms ({:.2}x), policy {} ({:.2}x), identical={}",
+            row.n_items,
+            row.scalar_ms,
+            row.kernel_ms,
+            row.kernel_speedup_vs_scalar,
+            row.policy,
+            row.policy_speedup_vs_scalar,
+            row.bit_identical,
+        );
+        pose_rows.push(row);
+    }
+
+    // Point strips, gathered as the BA point pass gathers them.
+    let mut point_items: Vec<(Vec3, u32, u32)> = Vec::new();
+    let (mut view_poses, mut view_pxs, mut view_sigmas) = (Vec::new(), Vec::new(), Vec::new());
+    for mp in map.mappoints.values() {
+        if mp.observations.len() < 2 {
+            continue;
+        }
+        let lo = view_poses.len() as u32;
+        for (kf_id, kp_idx) in &mp.observations {
+            if let Some(kf) = map.keyframes.get(kf_id) {
+                let kp = &kf.keypoints[*kp_idx];
+                view_poses.push(kf.pose_cw);
+                view_pxs.push(kp.pt);
+                view_sigmas.push(sigma_for(kp.octave));
+            }
+        }
+        point_items.push((mp.position, lo, view_poses.len() as u32));
+    }
+    let point_obs = view_poses.len() as f64 / point_items.len().max(1) as f64;
+    let point_kernel = |&(position, lo, hi): &(Vec3, u32, u32)| {
+        refine_point_soa(
+            &cam,
+            position,
+            &view_poses[lo as usize..hi as usize],
+            &view_pxs[lo as usize..hi as usize],
+            &view_sigmas[lo as usize..hi as usize],
+            3,
+        )
+    };
+    let mut point_rows = Vec::new();
+    for target in [1024usize, 8192, 16384] {
+        let row = kernel_row(
+            &point_items,
+            point_obs,
+            target,
+            POINT_KERNEL_MIN_ITEMS,
+            reps,
+            &seq,
+            &par,
+            auto_workers,
+            point_kernel,
+        );
+        println!(
+            "point n={}: scalar {:.3} ms, kernel {:.3} ms ({:.2}x), policy {} ({:.2}x), identical={}",
+            row.n_items,
+            row.scalar_ms,
+            row.kernel_ms,
+            row.kernel_speedup_vs_scalar,
+            row.policy,
+            row.policy_speedup_vs_scalar,
+            row.bit_identical,
+        );
+        point_rows.push(row);
+    }
+
+    let mut fuse_rows = Vec::new();
+    for n_desc in [128usize, 512, 2048] {
+        let row = fuse_row(n_desc, reps);
+        println!(
+            "fuse n={} strip={}: scalar {:.3} ms, batched {:.3} ms ({:.2}x), identical={}",
+            row.n_descriptors,
+            row.strip_len,
+            row.scalar_ms,
+            row.batched_ms,
+            row.batched_speedup_vs_scalar,
+            row.identical_picks,
+        );
+        fuse_rows.push(row);
+    }
+
+    let mut cull_rows = Vec::new();
+    for n_kf in [32usize, 64, 256] {
+        let row = cull_row(n_kf, reps, ds.rig, auto_workers);
+        println!(
+            "kf_cull n={}: scalar {:.3} ms, kernel {:.3} ms, policy {} ({:.2}x), identical={}",
+            row.n_keyframes,
+            row.scalar_ms,
+            row.kernel_ms,
+            row.policy,
+            row.policy_speedup_vs_scalar,
+            row.identical_victims,
+        );
+        cull_rows.push(row);
+    }
+
+    save_json(
+        "BENCH_mapping_kernels",
+        &BenchMappingKernels {
+            host_cores,
+            reps,
+            pose_kernel_min_items: POSE_KERNEL_MIN_ITEMS,
+            point_kernel_min_items: POINT_KERNEL_MIN_ITEMS,
+            cull_kernel_min_items: CULL_KERNEL_MIN_ITEMS,
+            pose: pose_rows,
+            point: point_rows,
+            fuse: fuse_rows,
+            kf_cull: cull_rows,
+        },
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -358,6 +358,7 @@ fn make_fragment(client: u16, x: f64, frag_kfs: usize) -> Map {
                 normal: slamshare_math::Vec3::new(0.0, 0.0, 1.0),
                 observations: kfs.iter().map(|&k| (k, j)).collect(),
                 replaced_by: None,
+                created_frame: 0,
             },
         );
     }

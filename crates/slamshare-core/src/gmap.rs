@@ -595,6 +595,7 @@ mod tests {
                     normal: slamshare_math::Vec3::new(0.0, 0.0, 1.0),
                     observations: vec![(a, 0), (b, 0)],
                     replaced_by: None,
+                    created_frame: 0,
                 },
             );
             std::mem::swap(&mut scratch.alloc, &mut helper.alloc);

@@ -36,10 +36,12 @@ use crate::gmap::{LockSeeds, ShardedGlobalMap};
 use crate::metrics::{MergeWorkerStats, MetricsCut};
 use parking_lot::Mutex;
 use slamshare_features::bow::Vocabulary;
+use slamshare_gpu::{GpuExecutor, SharedGpu, WorkClass};
 use slamshare_sim::camera::PinholeCamera;
 use slamshare_slam::ids::{KeyFrameId, MapPointId};
 use slamshare_slam::map::{transform_pose_cw, Map};
-use slamshare_slam::merge::{apply_merge_plan, plan_merge, MergePlan, MergeReport};
+use slamshare_slam::merge::{apply_merge_plan_with, plan_merge, MergePlan, MergeReport};
+use slamshare_slam::optimize::MappingArena;
 use slamshare_slam::recognition::ShardedKeyframeDatabase;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::{mpsc, Arc};
@@ -101,7 +103,14 @@ pub(crate) struct MergeContext {
     /// The server's metrics consistent-cut gate: the worker's stat
     /// updates count as a write section, like any round's.
     pub cut: Arc<MetricsCut>,
+    /// Shared GPU to draw a mapping-class slice from for seam BA and
+    /// descriptor fusion; `None` runs those kernels on the CPU path.
+    pub gpu: Option<Arc<SharedGpu>>,
 }
+
+/// Reserved stream id for the merge worker's mapping-class GPU slice;
+/// real clients are `u16` so this can never collide.
+const MERGE_STREAM: u32 = u32::MAX;
 
 /// Handle to the background merge thread. Dropping it closes the job
 /// channel and joins the thread.
@@ -122,12 +131,23 @@ impl MergeWorker {
         let handle = std::thread::Builder::new()
             .name("slam-share-merge".into())
             .spawn(move || {
+                if let Some(gpu) = &ctx.gpu {
+                    gpu.register_class(MERGE_STREAM, WorkClass::Mapping);
+                }
+                // One arena for the thread's lifetime: seam-BA and weld
+                // scratch reaches steady state after the first job.
+                let mut arena = MappingArena::default();
                 while let Ok(job) = rx.recv() {
                     let client = job.client;
-                    let completion = ctx.cut.write(|| run_job(&ctx, &worker_stats, job));
+                    let completion = ctx
+                        .cut
+                        .write(|| run_job(&ctx, &worker_stats, &mut arena, job));
                     let mut desk = worker_desk.lock();
                     desk.done.insert(client, completion);
                     desk.in_flight.remove(&client);
+                }
+                if let Some(gpu) = &ctx.gpu {
+                    gpu.deregister_client(MERGE_STREAM);
                 }
             })
             .expect("spawn merge worker");
@@ -221,7 +241,18 @@ fn dest_seeds(gsnap: &Map, cmap: &Map, plan: &MergePlan) -> LockSeeds {
 
 /// One merge job: optimistic snapshot/plan/apply with per-region stamp
 /// retries, then a pessimistic all-region in-lock fallback.
-fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> MergeCompletion {
+fn run_job(
+    ctx: &MergeContext,
+    stats: &MergeWorkerStats,
+    arena: &mut MappingArena,
+    job: MergeJob,
+) -> MergeCompletion {
+    // Re-fetch the slice each job: rebalances between jobs move it.
+    let exec = ctx
+        .gpu
+        .as_ref()
+        .and_then(|g| g.executor_class(MERGE_STREAM, WorkClass::Mapping))
+        .unwrap_or_else(|| Arc::new(GpuExecutor::cpu()));
     let t0 = Instant::now();
     let absorbed_kfs: BTreeSet<KeyFrameId> = job.cmap.keyframes.keys().copied().collect();
     let absorbed_mps: BTreeSet<MapPointId> = job.cmap.mappoints.keys().copied().collect();
@@ -261,8 +292,15 @@ fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> Merge
             if stale {
                 return (None, false);
             }
-            let (report, fused) =
-                apply_merge_plan(gmap, &ctx.db, job.cmap.clone(), &plan, &ctx.cam);
+            let (report, fused) = apply_merge_plan_with(
+                gmap,
+                &ctx.db,
+                job.cmap.clone(),
+                &plan,
+                &ctx.cam,
+                &exec,
+                arena,
+            );
             (Some((report, fused)), true)
         });
         match applied {
@@ -299,7 +337,15 @@ fn run_job(ctx: &MergeContext, stats: &MergeWorkerStats, job: MergeJob) -> Merge
             return (None, false);
         }
         let _span = slamshare_obs::span!("merge.apply");
-        let (report, fused) = apply_merge_plan(gmap, &ctx.db, job.cmap.clone(), &plan, &ctx.cam);
+        let (report, fused) = apply_merge_plan_with(
+            gmap,
+            &ctx.db,
+            job.cmap.clone(),
+            &plan,
+            &ctx.cam,
+            &exec,
+            arena,
+        );
         (Some((report, fused)), true)
     });
     match result {

@@ -73,7 +73,7 @@ use crate::metrics::{
 use parking_lot::Mutex;
 use slamshare_features::bow::{BowVector, Vocabulary};
 use slamshare_features::image::GrayImage;
-use slamshare_gpu::{GpuExecutor, GpuModel, SharedGpu};
+use slamshare_gpu::{GpuExecutor, GpuModel, SharedGpu, WorkClass};
 use slamshare_math::{Sim3, SE3};
 use slamshare_net::codec::CodecError;
 use slamshare_shm::Segment;
@@ -299,7 +299,7 @@ pub struct EdgeServer {
     /// lock, so BoW bookkeeping never extends the commit's critical
     /// section and the merge worker can query it lock-free of the map.
     pub db: Arc<ShardedKeyframeDatabase>,
-    pub gpu: SharedGpu,
+    pub gpu: Arc<SharedGpu>,
     pub vocab: Arc<Vocabulary>,
     /// One mutex per client process: frames for different clients may be
     /// processed concurrently; frames for one client serialize.
@@ -375,6 +375,7 @@ impl EdgeServer {
         .expect("fresh segment");
         let db = Arc::new(ShardedKeyframeDatabase::new());
         let cut = Arc::new(MetricsCut::default());
+        let gpu = Arc::new(SharedGpu::new(GpuModel::v100()));
         let merge_worker = config.async_merge.then(|| {
             MergeWorker::spawn(MergeContext {
                 store: store.clone(),
@@ -383,6 +384,7 @@ impl EdgeServer {
                 cam: config.slam.tracker.rig.cam,
                 with_scale: config.with_scale_merge,
                 cut: cut.clone(),
+                gpu: config.use_gpu.then(|| gpu.clone()),
             })
         });
         EdgeServer {
@@ -390,7 +392,7 @@ impl EdgeServer {
             segment,
             store,
             db,
-            gpu: SharedGpu::new(GpuModel::v100()),
+            gpu,
             vocab,
             clients: HashMap::new(),
             ingest_counters: HashMap::new(),
@@ -493,7 +495,13 @@ impl EdgeServer {
     pub fn register_client(&mut self, id: u16) {
         let client_id = ClientId(id);
         let exec = if self.config.use_gpu {
-            self.gpu.register(id as u32)
+            // Tracking and mapping register as separate streams: the
+            // client's local-BA/cull kernels compete for SM slices
+            // alongside everyone's extraction instead of running scalar
+            // beside the device.
+            let exec = self.gpu.register(id as u32);
+            self.gpu.register_class(id as u32, WorkClass::Mapping);
+            exec
         } else {
             Arc::new(slamshare_gpu::GpuExecutor::cpu())
         };
@@ -522,7 +530,7 @@ impl EdgeServer {
     pub fn deregister_client(&mut self, id: u16) {
         self.clients.remove(&id);
         self.ingest_counters.remove(&id);
-        self.gpu.deregister(id as u32);
+        self.gpu.deregister_client(id as u32);
     }
 
     /// Whether a client's map has been merged into the global map.
@@ -896,6 +904,18 @@ impl EdgeServer {
                 else {
                     unreachable!("staged shared frame for a pre-merge client")
                 };
+                // Mapping kernels run on this client's mapping-class
+                // slice of the shared GPU, re-fetched per commit (slices
+                // move as clients come and go). Explicit `ba_workers`
+                // configs are left alone inside refresh_executor.
+                if self.config.use_gpu {
+                    if let Some(exec) = self
+                        .gpu
+                        .executor_class(process.id.0 as u32, WorkClass::Mapping)
+                    {
+                        mapper.refresh_executor(&exec);
+                    }
+                }
                 // Cheap staleness pre-check (lock-free): an earlier
                 // commit (same round) or a background merge bumped a
                 // region this track read. Rewind the motion state and
@@ -1344,10 +1364,16 @@ impl EdgeServer {
         if let Some(p) = last_pose {
             tracker.reset_motion(p);
         }
+        // Keyframe/point culling are local-map operations (the sharded
+        // global map's directory has no removal path), so the
+        // shared-phase mapper never culls regardless of configuration.
+        let mut mapping_cfg = self.config.slam.mapping.clone();
+        mapping_cfg.kf_cull_every = 0;
+        mapping_cfg.point_cull_every = 0;
         let mapper = Box::new(LocalMapper::new(
             self.config.slam.tracker.mode,
             self.config.slam.tracker.rig,
-            self.config.slam.mapping.clone(),
+            mapping_cfg,
         ));
         // The client's own most recent keyframe anchors its local map
         // neighbourhood in the global map.

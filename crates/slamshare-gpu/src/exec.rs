@@ -116,6 +116,13 @@ impl GpuExecutor {
         self.workers
     }
 
+    /// The modeled SM count behind this executor (unclamped by host
+    /// parallelism) — what a slice of the shared GPU is worth on the
+    /// modeled device, even when the host can't physically express it.
+    pub fn model_sms(&self) -> usize {
+        self.model_sms
+    }
+
     fn model(&self) -> Option<&GpuModel> {
         match &self.device {
             Device::Cpu => None,
@@ -138,6 +145,30 @@ impl GpuExecutor {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        let mut out = Vec::new();
+        let stats = self.par_map_into(items, transfer_bytes, &mut out, f);
+        (out, stats)
+    }
+
+    /// [`GpuExecutor::par_map`] writing into a caller-owned output buffer.
+    /// On the sequential path (one worker, or fewer than two items) this
+    /// is `clear` + `extend` — zero heap allocations once `out` has grown
+    /// to its high-water capacity, which is what lets the mapping kernels
+    /// run allocation-free in the steady state. The parallel path
+    /// allocates one stitch buffer per worker (per kernel launch, never
+    /// per item).
+    pub fn par_map_into<T, R, F>(
+        &self,
+        items: &[T],
+        transfer_bytes: usize,
+        out: &mut Vec<R>,
+        f: F,
+    ) -> KernelStats
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
         let mut stats = KernelStats::default();
         if let Some(m) = self.model() {
             stats.launch_ms = m.launch_ms();
@@ -145,8 +176,9 @@ impl GpuExecutor {
         }
 
         let t0 = Instant::now();
-        let results: Vec<R> = if self.workers <= 1 || items.len() < 2 {
-            items.iter().map(&f).collect()
+        out.clear();
+        if self.workers <= 1 || items.len() < 2 {
+            out.extend(items.iter().map(&f));
         } else {
             // Static chunking: contiguous chunks per worker, stitched back
             // in order. FAST cells and projection queries have fairly even
@@ -154,9 +186,9 @@ impl GpuExecutor {
             let n = items.len();
             let workers = self.workers.min(n);
             let chunk = n.div_ceil(workers);
-            let mut out: Vec<Option<Vec<R>>> = (0..workers).map(|_| None).collect();
-            crossbeam::thread::scope(|scope| {
-                for (wi, slot) in out.iter_mut().enumerate() {
+            let mut slots: Vec<Option<Vec<R>>> = (0..workers).map(|_| None).collect();
+            let scope_result = crossbeam::thread::scope(|scope| {
+                for (wi, slot) in slots.iter_mut().enumerate() {
                     let start = wi * chunk;
                     let end = ((wi + 1) * chunk).min(n);
                     if start >= end {
@@ -169,10 +201,14 @@ impl GpuExecutor {
                         *slot = Some(items.iter().map(f).collect());
                     });
                 }
-            })
-            .expect("kernel worker panicked");
-            out.into_iter().flat_map(|v| v.unwrap()).collect()
-        };
+            });
+            if let Err(payload) = scope_result {
+                // A worker panicked: re-raise the original panic on the
+                // submitting thread rather than swallowing it.
+                std::panic::resume_unwind(payload);
+            }
+            out.extend(slots.into_iter().flat_map(|v| v.unwrap_or_default()));
+        }
         stats.compute_ms = t0.elapsed().as_secs_f64() * 1e3;
         // Modeled device latency: measured work rescaled from the workers
         // the host could actually supply to the device's SM count.
@@ -181,7 +217,7 @@ impl GpuExecutor {
         } else {
             stats.compute_ms
         };
-        (results, stats)
+        stats
     }
 }
 
@@ -282,6 +318,30 @@ mod tests {
         assert_eq!(GpuExecutor::cpu_with_workers(0).workers(), 1);
         assert_eq!(GpuExecutor::cpu_with_workers(7).workers(), 7);
         assert_eq!(GpuExecutor::cpu().workers(), 1);
+    }
+
+    #[test]
+    fn par_map_into_reuses_buffer_and_matches_par_map() {
+        let items: Vec<u64> = (0..300).collect();
+        let f = |x: &u64| x * 3 + 1;
+        for exec in [GpuExecutor::cpu(), GpuExecutor::cpu_with_workers(4)] {
+            let (expect, _) = exec.par_map(&items, 0, f);
+            let mut out = Vec::new();
+            exec.par_map_into(&items, 0, &mut out, f);
+            assert_eq!(out, expect);
+            let cap = out.capacity();
+            // Second run over the same-size input must not regrow.
+            exec.par_map_into(&items, 0, &mut out, f);
+            assert_eq!(out, expect);
+            assert_eq!(out.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn model_sms_reports_unclamped_slice() {
+        assert_eq!(GpuExecutor::v100().model_sms(), GpuModel::v100().sm_count);
+        assert_eq!(GpuExecutor::cpu().model_sms(), 1);
+        assert_eq!(GpuExecutor::cpu_with_workers(7).model_sms(), 7);
     }
 
     #[test]

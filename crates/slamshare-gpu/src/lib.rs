@@ -17,7 +17,14 @@
 //!   same identical-computation claim for its kernels);
 //! * [`kernels`] packages the two paper kernels on top of the executor;
 //! * [`share::SharedGpu`] implements GSlice-style spatial partitioning so
-//!   several client processes extract features concurrently.
+//!   several client processes extract features concurrently, with
+//!   tracking and mapping submissions registered as separate
+//!   [`share::WorkClass`] streams competing for the same SM budget.
+
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod device;
 pub mod exec;
@@ -26,4 +33,4 @@ pub mod share;
 
 pub use device::{Device, GpuModel};
 pub use exec::{GpuExecutor, KernelStats};
-pub use share::SharedGpu;
+pub use share::{SharedGpu, WorkClass};

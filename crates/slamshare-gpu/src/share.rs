@@ -7,22 +7,45 @@
 //! different tenants don't serialize, re-partitioning as tenants come and
 //! go.
 //!
-//! [`SharedGpu`] reproduces that behaviour: each registered client gets an
-//! executor whose worker count is its SM slice; registering/deregistering
-//! clients re-balances slices. Concurrent submission from multiple client
-//! threads is safe — slices execute independently.
+//! [`SharedGpu`] reproduces that behaviour: each registered submission
+//! stream gets an executor whose worker count is its SM slice;
+//! registering/deregistering streams re-balances slices. A stream is keyed
+//! by `(client, WorkClass)`: tracking and mapping submissions from the
+//! same client are *separate tenants* of the device, so a client's local
+//! BA competes for SMs with every other client's extraction instead of
+//! running scalar beside the GPU (the TurboMap extension of the paper's
+//! sharing scheme from tracking to mapping). Concurrent submission from
+//! multiple threads is safe — slices execute independently.
 
 use crate::device::GpuModel;
 use crate::exec::GpuExecutor;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// The kind of work a GPU slice serves. Tracking (feature extraction +
+/// search-local-points) and mapping (local-BA passes, fusion, keyframe
+/// culling) register independently so both compete for SM slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WorkClass {
+    Tracking,
+    Mapping,
+}
+
+/// One registered stream's slice: its modeled SM count plus the executor
+/// built for exactly that count.
+#[derive(Debug)]
+struct SliceEntry {
+    sms: usize,
+    exec: Arc<GpuExecutor>,
+}
 
 /// A GPU spatially shared between client streams.
 #[derive(Debug)]
 pub struct SharedGpu {
     model: GpuModel,
-    slices: RwLock<BTreeMap<u32, Arc<GpuExecutor>>>,
+    slices: RwLock<BTreeMap<(u32, WorkClass), SliceEntry>>,
 }
 
 impl SharedGpu {
@@ -33,56 +56,149 @@ impl SharedGpu {
         }
     }
 
-    /// Number of currently-registered clients.
+    /// Number of distinct clients with at least one registered stream.
     pub fn client_count(&self) -> usize {
-        self.slices.read().len()
+        let slices = self.slices.read();
+        let mut n = 0;
+        let mut last: Option<u32> = None;
+        for &(id, _) in slices.keys() {
+            if last != Some(id) {
+                n += 1;
+                last = Some(id);
+            }
+        }
+        n
     }
 
-    /// Register a client and rebalance SM slices equally across all
-    /// registered clients. Returns that client's executor. Each client
-    /// receives at least one SM.
+    /// Register a client's tracking stream and rebalance SM slices across
+    /// all registered streams. Returns that stream's executor. Each
+    /// stream receives at least one SM.
     pub fn register(&self, client_id: u32) -> Arc<GpuExecutor> {
-        let mut slices = self.slices.write();
-        slices.insert(client_id, Arc::new(GpuExecutor::cpu())); // placeholder, fixed below
-        rebalance(&self.model, &mut slices);
-        slices.get(&client_id).unwrap().clone()
+        self.register_class(client_id, WorkClass::Tracking)
     }
 
-    /// Deregister a client, returning its SMs to the pool.
+    /// Register one `(client, class)` stream. The new entry's executor is
+    /// allocated exactly once, with the slice the post-registration
+    /// layout assigns it — no placeholder executor is ever constructed.
+    /// Re-registering an existing stream returns its current executor.
+    pub fn register_class(&self, client_id: u32, class: WorkClass) -> Arc<GpuExecutor> {
+        let key = (client_id, class);
+        let mut slices = self.slices.write();
+        if let Some(entry) = slices.get(&key) {
+            return entry.exec.clone();
+        }
+        // Compute the slice this entry gets under the post-insert layout
+        // (entries in key order; remainder SMs go to the first entries).
+        let n = slices.len() + 1;
+        let idx = slices.range(..key).count();
+        let sms = slice_for(&self.model, n, idx);
+        let exec = Arc::new(self.sliced_executor(sms));
+        slices.insert(
+            key,
+            SliceEntry {
+                sms,
+                exec: exec.clone(),
+            },
+        );
+        self.rebalance(&mut slices);
+        exec
+    }
+
+    /// Deregister a client's tracking stream, returning its SMs to the
+    /// pool.
     pub fn deregister(&self, client_id: u32) {
+        self.deregister_class(client_id, WorkClass::Tracking);
+    }
+
+    /// Deregister one `(client, class)` stream.
+    pub fn deregister_class(&self, client_id: u32, class: WorkClass) {
         let mut slices = self.slices.write();
-        slices.remove(&client_id);
-        rebalance(&self.model, &mut slices);
+        slices.remove(&(client_id, class));
+        self.rebalance(&mut slices);
     }
 
-    /// The executor currently assigned to a client (slices change when
-    /// clients join/leave, so callers should re-fetch per frame).
+    /// Deregister every stream of a client (tracking and mapping).
+    pub fn deregister_client(&self, client_id: u32) {
+        let mut slices = self.slices.write();
+        slices.retain(|&(id, _), _| id != client_id);
+        self.rebalance(&mut slices);
+    }
+
+    /// The executor currently assigned to a client's tracking stream
+    /// (slices change when streams join/leave, so callers should re-fetch
+    /// per frame).
     pub fn executor(&self, client_id: u32) -> Option<Arc<GpuExecutor>> {
-        self.slices.read().get(&client_id).cloned()
+        self.executor_class(client_id, WorkClass::Tracking)
     }
 
-    /// Per-client SM allocation (for resource-utilization reporting).
+    /// The executor currently assigned to one `(client, class)` stream.
+    /// The time spent waiting for the slice table (a rebalance in
+    /// progress holds it) is observed as `gpu.slice_wait`.
+    pub fn executor_class(&self, client_id: u32, class: WorkClass) -> Option<Arc<GpuExecutor>> {
+        let t0 = Instant::now();
+        let slices = self.slices.read();
+        slamshare_obs::observe_ms!("gpu.slice_wait", t0.elapsed().as_secs_f64() * 1e3);
+        slices.get(&(client_id, class)).map(|e| e.exec.clone())
+    }
+
+    /// Per-client effective worker count (host-clamped SMs summed over
+    /// the client's streams) — for resource-utilization reporting.
     pub fn allocation(&self) -> BTreeMap<u32, usize> {
+        let mut out = BTreeMap::new();
+        for (&(id, _), entry) in self.slices.read().iter() {
+            *out.entry(id).or_insert(0) += entry.exec.workers();
+        }
+        out
+    }
+
+    /// Modeled SM count of every registered stream. Unlike
+    /// [`SharedGpu::allocation`] these are *not* clamped to host
+    /// parallelism, so they always account the whole device: when the
+    /// stream count is within the SM budget the values sum exactly to
+    /// `sm_count`, and an oversubscribed device degrades to one SM per
+    /// stream.
+    pub fn slice_sms(&self) -> BTreeMap<(u32, WorkClass), usize> {
         self.slices
             .read()
             .iter()
-            .map(|(&id, ex)| (id, ex.workers()))
+            .map(|(&key, entry)| (key, entry.sms))
             .collect()
+    }
+
+    fn sliced_executor(&self, sms: usize) -> GpuExecutor {
+        let mut sliced = self.model.clone();
+        sliced.sm_count = sms;
+        GpuExecutor::new(crate::device::Device::Gpu(sliced))
+    }
+
+    /// Bring every entry to the current layout, recreating only the
+    /// executors whose SM count actually changed.
+    fn rebalance(&self, slices: &mut BTreeMap<(u32, WorkClass), SliceEntry>) {
+        let n = slices.len();
+        for (i, entry) in slices.values_mut().enumerate() {
+            let sms = slice_for(&self.model, n, i);
+            if entry.sms != sms {
+                entry.sms = sms;
+                entry.exec = Arc::new(self.sliced_executor(sms));
+            }
+        }
     }
 }
 
-fn rebalance(model: &GpuModel, slices: &mut BTreeMap<u32, Arc<GpuExecutor>>) {
-    let n = slices.len();
+/// SM slice of the `idx`-th entry (in key order) when `n` streams share
+/// the device: an equal split with the remainder SMs going one-each to
+/// the first entries, so slices always sum to the full budget. An
+/// oversubscribed device (more streams than SMs) degrades to one SM per
+/// stream.
+fn slice_for(model: &GpuModel, n: usize, idx: usize) -> usize {
     if n == 0 {
-        return;
+        return model.sm_count;
     }
-    let per_client = (model.sm_count / n).max(1);
-    let mut sliced_model = model.clone();
-    sliced_model.sm_count = per_client;
-    for ex in slices.values_mut() {
-        *ex = Arc::new(GpuExecutor::new(crate::device::Device::Gpu(
-            sliced_model.clone(),
-        )));
+    let base = model.sm_count / n;
+    if base == 0 {
+        1
+    } else {
+        base + usize::from(idx < model.sm_count % n)
     }
 }
 
@@ -98,6 +214,7 @@ mod tests {
             .map(|n| n.get())
             .unwrap_or(1);
         assert_eq!(ex.workers(), GpuModel::v100().sm_count.min(host));
+        assert_eq!(ex.model_sms(), GpuModel::v100().sm_count);
     }
 
     #[test]
@@ -140,6 +257,94 @@ mod tests {
         }
         for (_, sms) in gpu.allocation() {
             assert!(sms >= 1);
+        }
+    }
+
+    #[test]
+    fn register_allocates_correct_slice_once() {
+        // The regression this guards: register used to insert a throwaway
+        // `GpuExecutor::cpu()` placeholder before rebalance replaced it.
+        // Now the returned executor must carry the correct device slice
+        // directly, and be the same executor the table holds.
+        let gpu = SharedGpu::new(GpuModel::v100());
+        let ex1 = gpu.register(1);
+        assert!(ex1.device.is_gpu());
+        assert_eq!(ex1.model_sms(), GpuModel::v100().sm_count);
+        let ex2 = gpu.register(2);
+        assert!(ex2.device.is_gpu());
+        assert_eq!(ex2.model_sms(), GpuModel::v100().sm_count / 2);
+        assert!(Arc::ptr_eq(&gpu.executor(2).unwrap(), &ex2));
+    }
+
+    #[test]
+    fn mapping_and_tracking_classes_share_the_budget() {
+        let gpu = SharedGpu::new(GpuModel::v100());
+        gpu.register_class(7, WorkClass::Tracking);
+        let map = gpu.register_class(7, WorkClass::Mapping);
+        // Two streams, one client: the device splits between them. (The
+        // executor returned by the *first* registration is stale after the
+        // second one rebalanced; the live table is authoritative.)
+        assert_eq!(gpu.client_count(), 1);
+        let live = gpu.slice_sms();
+        let total: usize = live.values().sum();
+        assert_eq!(total, GpuModel::v100().sm_count);
+        assert_eq!(map.model_sms(), live[&(7, WorkClass::Mapping)]);
+        let track_live = gpu.executor_class(7, WorkClass::Tracking).unwrap();
+        assert_eq!(track_live.model_sms(), live[&(7, WorkClass::Tracking)]);
+        // Deregistering the whole client empties the table.
+        gpu.deregister_client(7);
+        assert_eq!(gpu.client_count(), 0);
+        assert!(gpu.executor_class(7, WorkClass::Mapping).is_none());
+    }
+
+    #[test]
+    fn slice_counts_sum_to_sm_budget_under_churn() {
+        // Register/deregister churn across both work classes: after every
+        // operation the modeled slices must sum exactly to the SM budget
+        // (or degrade to one SM each when oversubscribed), with every
+        // stream keeping at least one SM.
+        let sm_count = GpuModel::v100().sm_count;
+        let gpu = SharedGpu::new(GpuModel::v100());
+        let check = |gpu: &SharedGpu| {
+            let slices = gpu.slice_sms();
+            if slices.is_empty() {
+                return;
+            }
+            assert!(slices.values().all(|&s| s >= 1));
+            let total: usize = slices.values().sum();
+            if slices.len() <= sm_count {
+                assert_eq!(total, sm_count, "slices {slices:?} leak or overrun SMs");
+            } else {
+                assert_eq!(total, slices.len(), "oversubscribed must be 1 SM each");
+            }
+        };
+        for id in 0..6u32 {
+            gpu.register_class(id, WorkClass::Tracking);
+            check(&gpu);
+            gpu.register_class(id, WorkClass::Mapping);
+            check(&gpu);
+        }
+        for id in (0..6u32).step_by(2) {
+            gpu.deregister_class(id, WorkClass::Mapping);
+            check(&gpu);
+        }
+        for id in 0..6u32 {
+            gpu.deregister_client(id);
+            check(&gpu);
+        }
+        assert_eq!(gpu.client_count(), 0);
+
+        // Oversubscription: more streams than SMs.
+        let mut small = GpuModel::v100();
+        small.sm_count = 3;
+        let small_sm = small.sm_count;
+        let gpu = SharedGpu::new(small);
+        for id in 0..5u32 {
+            gpu.register_class(id, WorkClass::Tracking);
+            let slices = gpu.slice_sms();
+            assert!(slices.values().all(|&s| s >= 1));
+            let total: usize = slices.values().sum();
+            assert_eq!(total, small_sm.max(slices.len()));
         }
     }
 

@@ -367,6 +367,9 @@ fn decode_mappoint(r: &mut WireReader) -> Result<MapPoint, WireError> {
         normal,
         observations,
         replaced_by,
+        // Not carried on the wire: the receiving map re-stamps ages from
+        // its own frame clock.
+        created_frame: 0,
     })
 }
 

@@ -28,6 +28,11 @@ pub struct MapPoint {
     /// Set when the point has been fused into another during merging; the
     /// id it was replaced by.
     pub replaced_by: Option<MapPointId>,
+    /// Value of the map's [`Map::frame_clock`] when the point was
+    /// created — the deterministic age reference point culling uses
+    /// (wall-clock ages are not reproducible under a seeded replay).
+    #[serde(default)]
+    pub created_frame: u64,
 }
 
 impl MapPoint {
@@ -65,6 +70,13 @@ pub struct Map {
     pub mappoints: BTreeMap<MapPointId, MapPoint>,
     /// The id allocator for locally-created entities.
     pub alloc: IdAllocator,
+    /// Deterministic frame-index clock: the highest frame index whose
+    /// keyframe insertion this map has seen. Advanced by the local
+    /// mapper; new map points stamp it into
+    /// [`MapPoint::created_frame`] so age-based culling is
+    /// seed-reproducible.
+    #[serde(default)]
+    pub frame_clock: u64,
 }
 
 impl Map {
@@ -73,6 +85,7 @@ impl Map {
             keyframes: BTreeMap::new(),
             mappoints: BTreeMap::new(),
             alloc: IdAllocator::new(client),
+            frame_clock: 0,
         }
     }
 
@@ -130,6 +143,7 @@ impl Map {
                 normal,
                 observations: vec![(kf_id, kp_idx)],
                 replaced_by: None,
+                created_frame: self.frame_clock,
             },
         );
         if let Some(kf) = self.keyframes.get_mut(&kf_id) {
@@ -163,6 +177,24 @@ impl Map {
                         kf.matched_points[kp_idx] = None;
                     }
                 }
+            }
+        }
+    }
+
+    /// Remove a keyframe entirely (culling): delete it, drop its
+    /// observations from every point it matched, and delete any point
+    /// that loses its last observation in the process.
+    pub fn remove_keyframe(&mut self, kf_id: KeyFrameId) {
+        let Some(kf) = self.keyframes.remove(&kf_id) else {
+            return;
+        };
+        for mp_id in kf.matched_points.into_iter().flatten() {
+            let Some(mp) = self.mappoints.get_mut(&mp_id) else {
+                continue;
+            };
+            mp.observations.retain(|(k, _)| *k != kf_id);
+            if mp.observations.is_empty() {
+                self.mappoints.remove(&mp_id);
             }
         }
     }
@@ -562,6 +594,37 @@ mod tests {
         map.remove_mappoint(mp);
         assert!(map.mappoints.is_empty());
         assert_eq!(map.keyframes[&kf].matched_points[1], None);
+    }
+
+    #[test]
+    fn remove_keyframe_clears_observations_and_orphans() {
+        let mut map = Map::new(ClientId(1));
+        let kf1 = blank_kf(&mut map, 0.0, 4);
+        let kf2 = blank_kf(&mut map, 1.0, 4);
+        // `shared` survives kf1's removal with one observation left;
+        // `solo` loses its only observer and must be deleted with it.
+        let shared = map.create_mappoint(Vec3::new(0.0, 0.0, 4.0), Descriptor::ZERO, kf1, 0);
+        map.add_observation(shared, kf2, 0);
+        let solo = map.create_mappoint(Vec3::new(1.0, 0.0, 4.0), Descriptor::ZERO, kf1, 1);
+        map.remove_keyframe(kf1);
+        assert!(!map.keyframes.contains_key(&kf1));
+        assert!(!map.mappoints.contains_key(&solo));
+        let mp = &map.mappoints[&shared];
+        assert_eq!(mp.observations, vec![(kf2, 0)]);
+        // Removing a missing keyframe is a no-op.
+        map.remove_keyframe(kf1);
+        assert_eq!(map.n_keyframes(), 1);
+    }
+
+    #[test]
+    fn created_frame_stamps_the_map_clock() {
+        let mut map = Map::new(ClientId(1));
+        let kf = blank_kf(&mut map, 0.0, 3);
+        let early = map.create_mappoint(Vec3::ZERO, Descriptor::ZERO, kf, 0);
+        map.frame_clock = 42;
+        let late = map.create_mappoint(Vec3::X, Descriptor::ZERO, kf, 1);
+        assert_eq!(map.mappoints[&early].created_frame, 0);
+        assert_eq!(map.mappoints[&late].created_frame, 42);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 
 use crate::ids::KeyFrameId;
 use crate::map::{KeyFrame, Map};
-use crate::optimize::{local_bundle_adjust_with, BaScratch, BaStats};
+use crate::optimize::{
+    kernel_or_scalar, local_bundle_adjust_with, BaScratch, BaStats, CULL_KERNEL_MIN_ITEMS,
+};
 use crate::tracking::{FrameObservation, SensorMode};
 use crate::triangulate;
 use slamshare_features::bow::Vocabulary;
@@ -30,9 +32,18 @@ pub struct MappingConfig {
     /// Coordinate-descent sweeps per BA invocation.
     pub ba_sweeps: usize,
     /// Worker threads for the data-parallel BA passes (0 = one per host
-    /// core). Results are bit-identical at any value, so this only moves
+    /// core, and lets the server substitute the shared GPU's mapping
+    /// slice). Results are bit-identical at any value, so this only moves
     /// wall time.
     pub ba_workers: usize,
+    /// Run batched keyframe culling every N insertions (0 = never).
+    /// Leave 0 for shared-phase component maps: keyframe removal is a
+    /// local-map operation.
+    pub kf_cull_every: usize,
+    /// Run uncorroborated-point culling every N insertions (0 = never).
+    pub point_cull_every: usize,
+    /// Frame-index age beyond which a single-observation point is culled.
+    pub point_cull_age_frames: u64,
 }
 
 impl Default for MappingConfig {
@@ -44,9 +55,19 @@ impl Default for MappingConfig {
             ba_every: 2,
             ba_sweeps: 2,
             ba_workers: 0,
+            kf_cull_every: 0,
+            point_cull_every: 0,
+            point_cull_age_frames: 60,
         }
     }
 }
+
+/// Keyframe redundancy rule (ORB-SLAM's local-mapping cull, batched): a
+/// candidate with at least [`KF_CULL_MIN_MATCHED`] matched points is
+/// redundant when ≥ 90 % of them are observed by at least
+/// [`KF_CULL_MIN_OBS`] keyframes in total.
+pub const KF_CULL_MIN_MATCHED: usize = 20;
+pub const KF_CULL_MIN_OBS: u32 = 4;
 
 /// Report from one keyframe insertion.
 #[derive(Debug, Clone, Default)]
@@ -55,6 +76,8 @@ pub struct InsertionReport {
     pub n_new_points: usize,
     pub n_observations_added: usize,
     pub ba: Option<BaStats>,
+    pub n_points_culled: usize,
+    pub n_keyframes_culled: usize,
 }
 
 /// The local-mapping back end for one map.
@@ -98,6 +121,11 @@ impl LocalMapper {
         obs: &FrameObservation,
     ) -> InsertionReport {
         let mut report = InsertionReport::default();
+        // Advance the deterministic frame clock before creating points so
+        // they stamp the insertion frame as their age reference. `max`
+        // rather than assignment: interleaved multi-client commits may
+        // present frame indices out of order.
+        map.frame_clock = map.frame_clock.max(obs.frame_idx as u64);
         let kf_id = map.alloc.next_keyframe();
         let bow = vocab.transform(&obs.descriptors);
         let kf = KeyFrame {
@@ -137,7 +165,28 @@ impl LocalMapper {
                 &mut self.ba_scratch,
             ));
         }
+        if self.config.point_cull_every > 0
+            && self.inserted.is_multiple_of(self.config.point_cull_every)
+        {
+            let now_frame = map.frame_clock;
+            report.n_points_culled =
+                self.cull_points(map, now_frame, self.config.point_cull_age_frames);
+        }
+        if self.config.kf_cull_every > 0 && self.inserted.is_multiple_of(self.config.kf_cull_every)
+        {
+            report.n_keyframes_culled = self.cull_keyframes(map, kf_id);
+        }
         report
+    }
+
+    /// Adopt a slice of the shared GPU for the mapping kernels (local BA,
+    /// keyframe culling). Applied only when `ba_workers` is 0 (auto): an
+    /// explicitly configured worker count — determinism tests, benches —
+    /// always wins over the device slice.
+    pub fn refresh_executor(&mut self, exec: &GpuExecutor) {
+        if self.config.ba_workers == 0 {
+            self.ba_exec = exec.clone();
+        }
     }
 
     /// Create points from the keyframe's stereo depths for keypoints not
@@ -260,27 +309,92 @@ impl LocalMapper {
     }
 
     /// Cull map points with a single observation that were created more
-    /// than `max_age` seconds before `now` — they never got corroborated.
-    pub fn cull_points(&self, map: &mut Map, now: f64, max_age: f64) -> usize {
-        let stale: Vec<_> = map
-            .mappoints
-            .values()
-            .filter(|mp| {
-                mp.observations.len() < 2
-                    && mp
-                        .observations
-                        .first()
-                        .and_then(|(kf, _)| map.keyframes.get(kf))
-                        .map(|kf| now - kf.timestamp > max_age)
-                        .unwrap_or(true)
-            })
-            .map(|mp| mp.id)
-            .collect();
+    /// than `max_age_frames` frame indices before `now_frame` — they
+    /// never got corroborated. The frame-index clock (not wall time)
+    /// makes the decision reproducible under a seeded replay; points
+    /// whose creation the clock never saw (`created_frame` 0 on a
+    /// well-advanced map) age out like any other.
+    pub fn cull_points(&mut self, map: &mut Map, now_frame: u64, max_age_frames: u64) -> usize {
+        let stale = &mut self.ba_scratch.cull_stale_points;
+        stale.clear();
+        stale.extend(
+            map.mappoints
+                .values()
+                .filter(|mp| {
+                    mp.observations.len() < 2
+                        && now_frame.saturating_sub(mp.created_frame) > max_age_frames
+                })
+                .map(|mp| mp.id),
+        );
         let n = stale.len();
-        for id in stale {
-            map.remove_mappoint(id);
+        for id in stale.iter() {
+            map.remove_mappoint(*id);
         }
         n
+    }
+
+    /// Batched keyframe culling: flag every redundant keyframe with a
+    /// per-keyframe kernel over its covisibility observations, then
+    /// remove the flagged set. All verdicts are computed against the
+    /// pre-cull snapshot (observation counts are gathered before any
+    /// removal), so the batch is order-independent and bit-identical to
+    /// a scalar sweep applying the same snapshot rule — and runs on the
+    /// shared GPU slice when the candidate set clears the crossover.
+    /// `protect` (the just-inserted keyframe) is never culled.
+    pub fn cull_keyframes(&mut self, map: &mut Map, protect: KeyFrameId) -> usize {
+        let t0 = std::time::Instant::now();
+        let Self {
+            ba_exec,
+            ba_scratch,
+            ..
+        } = self;
+        ba_scratch.cull_items.clear();
+        ba_scratch.cull_obs.clear();
+        for (kf_id, kf) in map.keyframes.iter() {
+            if *kf_id == protect {
+                continue;
+            }
+            let lo = ba_scratch.cull_obs.len() as u32;
+            for mp_id in kf.matched_points.iter().flatten() {
+                if let Some(mp) = map.mappoints.get(mp_id) {
+                    ba_scratch.cull_obs.push(mp.observations.len() as u32);
+                }
+            }
+            let hi = ba_scratch.cull_obs.len() as u32;
+            ba_scratch.cull_items.push((*kf_id, lo, hi));
+        }
+        {
+            let cull_obs: &[u32] = &ba_scratch.cull_obs;
+            kernel_or_scalar(
+                ba_exec,
+                &ba_scratch.cull_items,
+                CULL_KERNEL_MIN_ITEMS,
+                &mut ba_scratch.cull_out,
+                |&(_, lo, hi)| {
+                    let strip = &cull_obs[lo as usize..hi as usize];
+                    if strip.len() < KF_CULL_MIN_MATCHED {
+                        return false;
+                    }
+                    let well_observed = strip.iter().filter(|&&c| c >= KF_CULL_MIN_OBS).count();
+                    well_observed * 10 >= strip.len() * 9
+                },
+            );
+        }
+        ba_scratch.cull_victims.clear();
+        for ((kf_id, _, _), redundant) in ba_scratch.cull_items.iter().zip(&ba_scratch.cull_out) {
+            if *redundant {
+                ba_scratch.cull_victims.push(*kf_id);
+            }
+        }
+        for kf_id in ba_scratch.cull_victims.iter() {
+            map.remove_keyframe(*kf_id);
+        }
+        slamshare_obs::observe_ms!("mapping.kf_cull", t0.elapsed().as_secs_f64() * 1e3);
+        slamshare_obs::counter_add!(
+            "mapping.keyframes_culled",
+            ba_scratch.cull_victims.len() as u64
+        );
+        ba_scratch.cull_victims.len()
     }
 }
 
@@ -414,10 +528,121 @@ mod tests {
         mapper.insert_keyframe(&mut map, &vocab, &observation_at(&ds, &mut tracker, 0));
         let before = map.n_mappoints();
         assert!(before > 0);
-        // All points have 1 observation; with zero age tolerance at a
-        // much later "now", everything goes.
-        let culled = mapper.cull_points(&mut map, 100.0, 1.0);
+        // All points have 1 observation created at frame 0; at a much
+        // later frame index, everything ages out.
+        let culled = mapper.cull_points(&mut map, 100, 1);
         assert_eq!(culled, before);
         assert_eq!(map.n_mappoints(), 0);
+    }
+
+    #[test]
+    fn point_culling_spares_young_and_corroborated_points() {
+        let ds = dataset();
+        let mut tracker = Tracker::new(TrackerConfig::stereo(ds.rig), Arc::new(GpuExecutor::cpu()));
+        let vocab = vocabulary::train_random(4);
+        let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, MappingConfig::default());
+        let mut map = Map::new(ClientId(1));
+        mapper.insert_keyframe(&mut map, &vocab, &observation_at(&ds, &mut tracker, 0));
+        let before = map.n_mappoints();
+        // Within the age tolerance nothing goes...
+        assert_eq!(mapper.cull_points(&mut map, 3, 5), 0);
+        // ...and a corroborated point survives any age.
+        let (&some_mp, _) = map.mappoints.iter().next().unwrap();
+        let second_kf = {
+            let id = map.alloc.next_keyframe();
+            let kf = KeyFrame {
+                id,
+                pose_cw: ds.gt_pose_cw(1),
+                timestamp: ds.frame_time(1),
+                keypoints: vec![slamshare_features::KeyPoint::new(
+                    slamshare_math::Vec2::ZERO,
+                    0,
+                    1.0,
+                )],
+                descriptors: vec![slamshare_features::Descriptor::ZERO],
+                matched_points: vec![None],
+                bow: Default::default(),
+            };
+            map.insert_keyframe(kf);
+            id
+        };
+        map.add_observation(some_mp, second_kf, 0);
+        let culled = mapper.cull_points(&mut map, 100, 1);
+        assert_eq!(culled, before - 1);
+        assert!(map.mappoints.contains_key(&some_mp));
+    }
+
+    fn blank_kf(map: &mut Map, t: f64, n_kp: usize) -> KeyFrameId {
+        let id = map.alloc.next_keyframe();
+        let kf = KeyFrame {
+            id,
+            pose_cw: slamshare_math::SE3::IDENTITY,
+            timestamp: t,
+            keypoints: vec![
+                slamshare_features::KeyPoint::new(slamshare_math::Vec2::ZERO, 0, 1.0);
+                n_kp
+            ],
+            descriptors: vec![slamshare_features::Descriptor::ZERO; n_kp],
+            matched_points: vec![None; n_kp],
+            bow: Default::default(),
+        };
+        map.insert_keyframe(kf);
+        id
+    }
+
+    #[test]
+    fn kf_culling_removes_redundant_keyframes_from_snapshot() {
+        let ds = dataset();
+        let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, MappingConfig::default());
+        let mut map = Map::new(ClientId(1));
+        // Five keyframes all observing the same 30 points: every point
+        // has 5 ≥ KF_CULL_MIN_OBS observations, so every unprotected
+        // keyframe is redundant — and because verdicts come from the
+        // pre-cull snapshot, all four go in one batch even though the
+        // counts drop as removals apply.
+        let kfs: Vec<_> = (0..5).map(|i| blank_kf(&mut map, i as f64, 30)).collect();
+        for j in 0..30 {
+            let mp = map.create_mappoint(
+                slamshare_math::Vec3::new(j as f64 * 0.1, 0.0, 5.0),
+                slamshare_features::Descriptor::ZERO,
+                kfs[0],
+                j,
+            );
+            for &kf in &kfs[1..] {
+                map.add_observation(mp, kf, j);
+            }
+        }
+        let culled = mapper.cull_keyframes(&mut map, kfs[4]);
+        assert_eq!(culled, 4);
+        assert_eq!(map.n_keyframes(), 1);
+        assert!(map.keyframes.contains_key(&kfs[4]));
+        // The points survive on the protected keyframe's observations.
+        assert_eq!(map.n_mappoints(), 30);
+    }
+
+    #[test]
+    fn kf_culling_spares_unique_views_and_thin_keyframes() {
+        let ds = dataset();
+        let mut mapper = LocalMapper::new(SensorMode::Stereo, ds.rig, MappingConfig::default());
+        let mut map = Map::new(ClientId(1));
+        // kf0 sees 30 points only it and kf1 observe (2 < 4 obs each):
+        // not redundant. kf2 matches too few points to qualify at all.
+        let kf0 = blank_kf(&mut map, 0.0, 30);
+        let kf1 = blank_kf(&mut map, 1.0, 30);
+        let kf2 = blank_kf(&mut map, 2.0, 30);
+        for j in 0..30 {
+            let mp = map.create_mappoint(
+                slamshare_math::Vec3::new(j as f64 * 0.1, 0.0, 5.0),
+                slamshare_features::Descriptor::ZERO,
+                kf0,
+                j,
+            );
+            map.add_observation(mp, kf1, j);
+            if j < KF_CULL_MIN_MATCHED - 1 {
+                map.add_observation(mp, kf2, j);
+            }
+        }
+        assert_eq!(mapper.cull_keyframes(&mut map, kf1), 0);
+        assert_eq!(map.n_keyframes(), 3);
     }
 }

@@ -10,9 +10,10 @@
 
 use crate::ids::{KeyFrameId, MapPointId};
 use crate::map::Map;
-use crate::optimize::{local_bundle_adjust, BaStats};
+use crate::optimize::{local_bundle_adjust_with, BaStats, MappingArena};
 use crate::recognition::{detect_common_region, CommonRegion, ShardedKeyframeDatabase};
 use slamshare_features::bow::Vocabulary;
+use slamshare_gpu::GpuExecutor;
 use slamshare_math::align::umeyama_ransac;
 use slamshare_math::{Sim3, Vec3};
 use slamshare_sim::camera::PinholeCamera;
@@ -189,9 +190,34 @@ pub fn plan_merge(
 pub fn apply_merge_plan(
     gmap: &mut Map,
     db: &ShardedKeyframeDatabase,
+    cmap: Map,
+    plan: &MergePlan,
+    cam: &PinholeCamera,
+) -> (MergeReport, Vec<(MapPointId, MapPointId)>) {
+    apply_merge_plan_with(
+        gmap,
+        db,
+        cmap,
+        plan,
+        cam,
+        &GpuExecutor::cpu(),
+        &mut MappingArena::default(),
+    )
+}
+
+/// [`apply_merge_plan`] with an explicit executor and reusable mapping
+/// arena: the projection weld runs on the arena's SoA descriptor strips
+/// and the seam bundle adjustment on the kernelized BA path, so a
+/// long-lived caller (the async merge worker) fuses and adjusts without
+/// per-merge allocation churn and on its shared-GPU slice.
+pub fn apply_merge_plan_with(
+    gmap: &mut Map,
+    db: &ShardedKeyframeDatabase,
     mut cmap: Map,
     plan: &MergePlan,
     cam: &PinholeCamera,
+    exec: &GpuExecutor,
+    arena: &mut MappingArena,
 ) -> (MergeReport, Vec<(MapPointId, MapPointId)>) {
     let mut report = MergeReport {
         transform: plan.transform,
@@ -230,13 +256,17 @@ pub fn apply_merge_plan(
     // own points stay self-consistent at the residual alignment offset
     // and bundle adjustment has nothing to pull them with.
     if let Some(anchor) = plan.ba_anchor {
-        report.n_fused += weld_by_projection(gmap, &client_kf_ids, anchor, cam, &mut fused);
+        let t_fuse = std::time::Instant::now();
+        report.n_fused += weld_by_projection(gmap, &client_kf_ids, anchor, cam, arena, &mut fused);
+        slamshare_obs::observe_ms!("mapping.fuse", t_fuse.elapsed().as_secs_f64() * 1e3);
     }
 
     // Alg. 2 lines 13–15: "if a loop has been detected, run bundle
     // adjustment over the client keyframes and the local keyframes".
     if let Some(center) = client_kf_ids.last().copied().or(plan.ba_anchor) {
-        report.ba = Some(local_bundle_adjust(gmap, cam, center, 12, 3));
+        report.ba = Some(local_bundle_adjust_with(
+            gmap, cam, center, 12, 3, exec, arena,
+        ));
     }
 
     (report, fused)
@@ -288,6 +318,7 @@ fn weld_by_projection(
     client_kfs: &[KeyFrameId],
     anchor: KeyFrameId,
     cam: &PinholeCamera,
+    arena: &mut MappingArena,
     fused: &mut Vec<(MapPointId, MapPointId)>,
 ) -> usize {
     use slamshare_features::matching::TH_LOW;
@@ -307,24 +338,33 @@ fn weld_by_projection(
         return 0;
     }
 
+    // Collected per keyframe, applied after its scan (no aliasing with
+    // the map borrow). The keyframe loop itself stays sequential: a fuse
+    // in one keyframe can retarget `matched_points` entries a later
+    // keyframe's scan must see.
+    enum Op {
+        Fuse {
+            keep: crate::ids::MapPointId,
+            drop: crate::ids::MapPointId,
+        },
+        Observe {
+            mp: crate::ids::MapPointId,
+            kp: usize,
+        },
+    }
+    let mut ops: Vec<Op> = Vec::new();
+
     let mut n_assoc = 0;
     for kf_id in client_kfs {
-        // Collect the operations first (no aliasing with the map borrow).
-        enum Op {
-            Fuse {
-                keep: crate::ids::MapPointId,
-                drop: crate::ids::MapPointId,
-            },
-            Observe {
-                mp: crate::ids::MapPointId,
-                kp: usize,
-            },
-        }
-        let mut ops: Vec<Op> = Vec::new();
+        ops.clear();
         {
             let Some(kf) = gmap.keyframes.get(kf_id) else {
                 continue;
             };
+            // SoA Hamming strips over this keyframe's descriptors: one
+            // rebuild per keyframe, then every candidate scans the
+            // transposed lanes instead of paying a per-pair distance.
+            arena.fuse_block.rebuild(&kf.descriptors);
             for mp_id in &candidates {
                 let Some(mp) = gmap.mappoints.get(mp_id) else {
                     continue;
@@ -333,22 +373,26 @@ fn weld_by_projection(
                 let Some(px) = cam.project_in_image(q, 0.0) else {
                     continue;
                 };
-                // Windowed descriptor search over the keyframe's keypoints.
-                let mut best = u32::MAX;
-                let mut best_i = usize::MAX;
+                // Windowed descriptor search over the keyframe's
+                // keypoints: the in-window index list is gathered in
+                // ascending order, so the strip kernel's strict-<
+                // first-wins scan picks the same keypoint the scalar
+                // ascending loop did.
+                arena.fuse_idx.clear();
                 for (i, kp) in kf.keypoints.iter().enumerate() {
-                    if kp.pt.dist(px) > 18.0 {
-                        continue;
-                    }
-                    let d = mp.descriptor.distance(&kf.descriptors[i]);
-                    if d < best {
-                        best = d;
-                        best_i = i;
+                    if kp.pt.dist(px) <= 18.0 {
+                        arena.fuse_idx.push(i);
                     }
                 }
-                if best_i == usize::MAX || best > TH_LOW {
+                let (best, best_pos) = arena.fuse_block.scan_best_indexed(
+                    &mp.descriptor.words(),
+                    &arena.fuse_idx,
+                    u32::MAX,
+                );
+                if best_pos == usize::MAX || best > TH_LOW {
                     continue;
                 }
+                let best_i = arena.fuse_idx[best_pos];
                 match kf.matched_points[best_i] {
                     Some(existing) if existing != *mp_id => {
                         // The keyframe already tracks its own copy of this
@@ -368,7 +412,7 @@ fn weld_by_projection(
                 }
             }
         }
-        for op in ops {
+        for op in ops.drain(..) {
             match op {
                 Op::Fuse { keep, drop } => {
                     gmap.fuse_mappoints(keep, drop);

@@ -14,6 +14,7 @@
 //! machinery of a sparse Schur solver while optimizing the same objective.
 
 use crate::map::Map;
+use slamshare_features::DescriptorBlock;
 use slamshare_gpu::GpuExecutor;
 use slamshare_math::robust::{huber_weight, CHI2_2DOF_95};
 use slamshare_math::{DMat, DVec, Mat3, Quat, Vec2, Vec3, SE3};
@@ -21,10 +22,6 @@ use slamshare_sim::camera::PinholeCamera;
 use std::time::Instant;
 
 use crate::ids::{KeyFrameId, MapPointId};
-
-/// One map point's refinement inputs: id, initial position, and its
-/// `(keyframe pose, pixel, sigma)` views.
-type PointTask = (MapPointId, Vec3, Vec<(SE3, Vec2, f64)>);
 
 /// One 3D→2D correspondence for pose optimization.
 #[derive(Debug, Clone, Copy)]
@@ -260,6 +257,241 @@ pub fn refine_point(
     p
 }
 
+/// Stack-allocated 6×6 LDLT solve, arithmetic-identical to
+/// [`DMat::solve_ldlt`] (same elimination order, same `1e-12` pivot
+/// guard, same in-order substitution loops) so the SoA pose kernel is
+/// bit-identical to the heap-matrix path — it just never touches the
+/// allocator.
+#[inline]
+fn solve_ldlt6(a: &[[f64; 6]; 6], b: &[f64; 6]) -> Option<[f64; 6]> {
+    const N: usize = 6;
+    let mut l = [[0.0f64; N]; N];
+    for (i, row) in l.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    let mut d = [0.0f64; N];
+    for j in 0..N {
+        let mut dj = a[j][j];
+        for k in 0..j {
+            dj -= l[j][k] * l[j][k] * d[k];
+        }
+        if dj.abs() < 1e-12 {
+            return None;
+        }
+        d[j] = dj;
+        for i in (j + 1)..N {
+            let mut v = a[i][j];
+            for k in 0..j {
+                v -= l[i][k] * l[j][k] * d[k];
+            }
+            l[i][j] = v / dj;
+        }
+    }
+    let mut y = *b;
+    for i in 0..N {
+        for k in 0..i {
+            y[i] -= l[i][k] * y[k];
+        }
+    }
+    for i in 0..N {
+        y[i] /= d[i];
+    }
+    for i in (0..N).rev() {
+        for k in (i + 1)..N {
+            y[i] -= l[k][i] * y[k];
+        }
+    }
+    Some(y)
+}
+
+/// The χ² inlier predicate both pose-optimizer rounds share: in front of
+/// the camera, projects into the image, and reprojects within the 95 %
+/// 2-DoF gate at `pose`.
+#[inline]
+fn inlier_at(cam: &PinholeCamera, pose: SE3, point: Vec3, pixel: Vec2, sigma: f64) -> bool {
+    let q = pose.transform(point);
+    q.z >= cam.z_near
+        && cam
+            .project(q)
+            .map(|px| {
+                let e = (px - pixel).norm() / sigma;
+                e * e < CHI2_2DOF_95
+            })
+            .unwrap_or(false)
+}
+
+/// One Gauss–Newton round over SoA observation strips. `gate` is the
+/// round-2 inlier mask expressed as the pose it was classified at: the
+/// predicate is recomputed per observation instead of materializing a
+/// `Vec<bool>`, which yields the exact booleans [`classify`] would (the
+/// gate pose is fixed for the whole round) with zero allocation.
+fn pose_round_soa(
+    cam: &PinholeCamera,
+    initial: SE3,
+    pts: &[Vec3],
+    pxs: &[Vec2],
+    sigmas: &[f64],
+    max_iterations: usize,
+    gate: Option<SE3>,
+) -> SE3 {
+    let mut pose = initial;
+    let huber_px = 3.0;
+
+    for _it in 0..max_iterations {
+        let mut h = [[0.0f64; 6]; 6];
+        let mut b = [0.0f64; 6];
+        let mut n_used = 0;
+
+        for oi in 0..pts.len() {
+            if let Some(g) = gate {
+                if !inlier_at(cam, g, pts[oi], pxs[oi], sigmas[oi]) {
+                    continue;
+                }
+            }
+            let q = pose.transform(pts[oi]);
+            if q.z < cam.z_near {
+                continue;
+            }
+            let Some(px) = cam.project(q) else { continue };
+            let r = px - pxs[oi];
+            let inv_sigma = 1.0 / sigmas[oi];
+            let w = huber_weight(r.norm() * inv_sigma, huber_px) * inv_sigma * inv_sigma;
+
+            let jp = proj_jacobian(cam, q);
+            let qh = Mat3::hat(q);
+            let mut j = [[0.0f64; 6]; 2];
+            for row in 0..2 {
+                for c in 0..3 {
+                    j[row][c] = jp[row][c];
+                }
+                for c in 0..3 {
+                    j[row][3 + c] = -(jp[row][0] * qh.m[0][c]
+                        + jp[row][1] * qh.m[1][c]
+                        + jp[row][2] * qh.m[2][c]);
+                }
+            }
+            let res = [r.x, r.y];
+            for a in 0..6 {
+                for bcol in 0..6 {
+                    h[a][bcol] += w * (j[0][a] * j[0][bcol] + j[1][a] * j[1][bcol]);
+                }
+                b[a] += w * (j[0][a] * res[0] + j[1][a] * res[1]);
+            }
+            n_used += 1;
+        }
+
+        if n_used < 3 {
+            break;
+        }
+        for (i, row) in h.iter_mut().enumerate() {
+            row[i] += 1e-6;
+        }
+        let Some(delta) = solve_ldlt6(&h, &b) else {
+            break;
+        };
+        let rho = Vec3::new(-delta[0], -delta[1], -delta[2]);
+        let phi = Vec3::new(-delta[3], -delta[4], -delta[5]);
+        let dr = Quat::exp(phi);
+        pose = SE3 {
+            rot: (dr * pose.rot).normalized(),
+            trans: dr.rotate(pose.trans) + rho,
+        };
+
+        let mut s = 0.0;
+        for v in delta {
+            s += v * v;
+        }
+        if s.sqrt() < 1e-10 {
+            break;
+        }
+    }
+    pose
+}
+
+/// [`optimize_pose`] over SoA observation strips, allocation-free: the
+/// same two-round schedule (all-obs round, χ²-classify at the round-1
+/// pose, inlier-only round) with the normal equations on the stack.
+/// Returns the refined pose and the final inlier count — bit-identical
+/// to what [`optimize_pose`] computes from the same observations (the
+/// per-observation flags and robust cost are the only outputs it drops).
+pub fn optimize_pose_soa(
+    cam: &PinholeCamera,
+    initial: SE3,
+    pts: &[Vec3],
+    pxs: &[Vec2],
+    sigmas: &[f64],
+    max_iterations: usize,
+) -> (SE3, usize) {
+    let round1 = pose_round_soa(cam, initial, pts, pxs, sigmas, max_iterations, None);
+    let pose = pose_round_soa(cam, round1, pts, pxs, sigmas, max_iterations, Some(round1));
+    let mut n_inliers = 0;
+    for oi in 0..pts.len() {
+        if inlier_at(cam, pose, pts[oi], pxs[oi], sigmas[oi]) {
+            n_inliers += 1;
+        }
+    }
+    (pose, n_inliers)
+}
+
+/// [`refine_point`] over SoA view strips — identical arithmetic, the
+/// `(pose, pixel, sigma)` tuples just live in three contiguous lanes the
+/// gather pass filled.
+pub fn refine_point_soa(
+    cam: &PinholeCamera,
+    initial: Vec3,
+    poses: &[SE3],
+    pxs: &[Vec2],
+    sigmas: &[f64],
+    max_iterations: usize,
+) -> Vec3 {
+    let mut p = initial;
+    for _ in 0..max_iterations {
+        let mut h = Mat3::zeros();
+        let mut b = Vec3::ZERO;
+        let mut n = 0;
+        for vi in 0..poses.len() {
+            let q = poses[vi].transform(p);
+            if q.z < cam.z_near {
+                continue;
+            }
+            let Some(px) = cam.project(q) else { continue };
+            let r = px - pxs[vi];
+            let inv_sigma = 1.0 / sigmas[vi];
+            let w = huber_weight(r.norm() * inv_sigma, 3.0) * inv_sigma * inv_sigma;
+            let jp = proj_jacobian(cam, q);
+            let rot = poses[vi].rot.to_mat3();
+            let mut j = [[0.0f64; 3]; 2];
+            for (row, jr) in j.iter_mut().enumerate() {
+                for (c, jc) in jr.iter_mut().enumerate() {
+                    *jc = jp[row][0] * rot.m[0][c]
+                        + jp[row][1] * rot.m[1][c]
+                        + jp[row][2] * rot.m[2][c];
+                }
+            }
+            for a in 0..3 {
+                for c in 0..3 {
+                    h.m[a][c] += w * (j[0][a] * j[0][c] + j[1][a] * j[1][c]);
+                }
+                b[a] += w * (j[0][a] * r.x + j[1][a] * r.y);
+            }
+            n += 1;
+        }
+        if n < 2 {
+            break;
+        }
+        for i in 0..3 {
+            h.m[i][i] += 1e-9;
+        }
+        let Some(hinv) = h.inverse() else { break };
+        let delta = hinv * b;
+        p -= delta;
+        if delta.norm() < 1e-12 {
+            break;
+        }
+    }
+    p
+}
+
 /// Statistics from a local bundle adjustment.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BaStats {
@@ -277,16 +509,110 @@ pub struct BaStats {
     pub total_ms: f64,
 }
 
-/// Reusable scratch buffers for [`local_bundle_adjust_with`], held by the
-/// caller (the `LocalMapper`) across invocations so the per-call point
-/// collection allocates only while the window is still growing — the same
-/// scratch-reuse pattern as the ORB extractor's pyramid buffers.
+/// One keyframe's pose-pass task: id, pre-pass pose, and the `lo..hi`
+/// strip of the arena's `obs_*` lanes holding its observations.
+#[derive(Debug, Clone, Copy)]
+struct PoseItem {
+    kf: KeyFrameId,
+    pose: SE3,
+    lo: u32,
+    hi: u32,
+}
+
+/// One map point's point-pass task: id, pre-pass position, and the
+/// `lo..hi` strip of the arena's `view_*` lanes holding its views.
+#[derive(Debug, Clone, Copy)]
+struct PointItem {
+    mp: MapPointId,
+    position: Vec3,
+    lo: u32,
+    hi: u32,
+}
+
+/// Reusable scratch for the kernelized mapping passes, modeled on
+/// `features::arena::FrameArena` and held by the caller (the
+/// `LocalMapper` / merge worker) across invocations: every buffer the
+/// local-BA gather → per-item kernel → scatter pipeline, descriptor
+/// fusion, and keyframe culling need lives here and is `clear()`ed
+/// (never shrunk) per use, so a warmed mapper runs the commit-side
+/// mapping path without touching the allocator.
 #[derive(Debug, Clone, Default)]
-pub struct BaScratch {
+pub struct MappingArena {
     /// In-window keyframe ids (center first, then covisibles).
     kf_ids: Vec<KeyFrameId>,
     /// Sorted, deduplicated ids of every point the window observes.
     point_ids: Vec<MapPointId>,
+    /// Pose-pass tasks, in window order.
+    pose_items: Vec<PoseItem>,
+    /// SoA observation lanes behind `pose_items`.
+    obs_pts: Vec<Vec3>,
+    obs_pxs: Vec<Vec2>,
+    obs_sigmas: Vec<f64>,
+    /// Pose-pass kernel outputs, in task order.
+    pose_out: Vec<Option<(KeyFrameId, SE3)>>,
+    /// Point-pass tasks, in ascending-id order.
+    point_items: Vec<PointItem>,
+    /// SoA view lanes behind `point_items`.
+    view_poses: Vec<SE3>,
+    view_pxs: Vec<Vec2>,
+    view_sigmas: Vec<f64>,
+    /// Point-pass kernel outputs, in task order.
+    point_out: Vec<Option<(MapPointId, Vec3)>>,
+    /// SoA descriptor strips of the fusion target keyframe (merge
+    /// welding).
+    pub(crate) fuse_block: DescriptorBlock,
+    /// Candidate keypoint indices inside the current fusion search
+    /// window.
+    pub(crate) fuse_idx: Vec<usize>,
+    /// Keyframe-culling tasks: `(candidate, lo, hi)` into `cull_obs`.
+    pub(crate) cull_items: Vec<(KeyFrameId, u32, u32)>,
+    /// Total-observation count of each matched point of each culling
+    /// candidate.
+    pub(crate) cull_obs: Vec<u32>,
+    /// Per-candidate redundancy verdicts, in task order.
+    pub(crate) cull_out: Vec<bool>,
+    /// Keyframes the culling pass decided to remove.
+    pub(crate) cull_victims: Vec<KeyFrameId>,
+    /// Map points the point-culling pass decided to remove.
+    pub(crate) cull_stale_points: Vec<MapPointId>,
+}
+
+/// The scratch's original name, kept for existing callers now that the
+/// buffers serve the whole mapping path rather than just local BA.
+pub type BaScratch = MappingArena;
+
+/// Measured break-even batch sizes for routing a mapping pass through
+/// the executor's parallel kernel path; below them the scalar inline
+/// loop wins (`benches/mapping_kernels.rs`, DESIGN.md §8: at local-BA
+/// window sizes the per-launch thread fan-out costs more than the whole
+/// pass). Both paths are bit-identical — the crossover decides latency
+/// only — and it keys on problem size alone, never on timing, so a given
+/// map state always takes the same path.
+pub const POSE_KERNEL_MIN_ITEMS: usize = 64;
+pub const POINT_KERNEL_MIN_ITEMS: usize = 8192;
+pub const CULL_KERNEL_MIN_ITEMS: usize = 64;
+
+/// Run `f` over `items` into `out`: through `exec`'s order-preserving
+/// parallel kernel path when it has workers to win with and the batch
+/// clears the crossover, scalar inline otherwise. Output is identical
+/// either way.
+pub(crate) fn kernel_or_scalar<T, R, F>(
+    exec: &GpuExecutor,
+    items: &[T],
+    min_items: usize,
+    out: &mut Vec<R>,
+    f: F,
+) where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if exec.workers() > 1 && items.len() >= min_items {
+        exec.par_map_into(items, 0, out, f);
+    } else {
+        out.clear();
+        out.extend(items.iter().map(&f));
+    }
 }
 
 /// Local bundle adjustment around `center`: adjusts the center keyframe,
@@ -321,11 +647,13 @@ pub fn local_bundle_adjust(
 /// parallel: during the pose pass every keyframe reads only its own pose
 /// plus the (fixed) point positions, and during the point pass every
 /// point reads only its own position plus the (fixed) keyframe poses. So
-/// each pass builds its work items from the pre-pass map state and fans
-/// them over `exec`'s order-preserving `par_map` — the same inputs, the
-/// same per-item arithmetic and the same application order as the
-/// sequential in-place loops, hence bit-identical results at any worker
-/// count.
+/// each pass gathers its work items from the pre-pass map state into the
+/// arena's SoA strips, runs the per-item kernel (through `exec`'s
+/// order-preserving parallel path when the batch clears the measured
+/// crossover size, scalar inline otherwise), and scatters in task order —
+/// the same inputs, the same per-item arithmetic and the same application
+/// order as the sequential in-place loops, hence bit-identical results at
+/// any worker count.
 pub fn local_bundle_adjust_with(
     map: &mut Map,
     cam: &PinholeCamera,
@@ -336,7 +664,21 @@ pub fn local_bundle_adjust_with(
     scratch: &mut BaScratch,
 ) -> BaStats {
     let t_total = Instant::now();
-    let BaScratch { kf_ids, point_ids } = scratch;
+    let MappingArena {
+        kf_ids,
+        point_ids,
+        pose_items,
+        obs_pts,
+        obs_pxs,
+        obs_sigmas,
+        pose_out,
+        point_items,
+        view_poses,
+        view_pxs,
+        view_sigmas,
+        point_out,
+        ..
+    } = scratch;
     kf_ids.clear();
     kf_ids.push(center);
     kf_ids.extend(
@@ -406,64 +748,139 @@ pub fn local_bundle_adjust_with(
     for _sweep in 0..sweeps {
         // 1. Pose pass over in-window keyframes (skip the anchor). Point
         // positions are fixed for the whole pass, so the per-keyframe
-        // solves are independent.
+        // solves are independent. Gather each keyframe's observations
+        // into contiguous SoA strips (same ascending-kp_idx order the
+        // task vectors used to carry), run the per-item kernel, scatter
+        // in task order.
         let t_pose = Instant::now();
-        let pose_tasks: Vec<(KeyFrameId, SE3, Vec<PoseObservation>)> = kf_ids
-            .iter()
-            .filter(|&&kf_id| kf_id != fixed_kf)
-            .filter_map(|kf_id| {
-                let kf = map.keyframes.get(kf_id)?;
-                let mut obs = Vec::new();
-                for (kp_idx, mp_id) in kf.matched_points.iter().enumerate() {
-                    let Some(mp_id) = mp_id else { continue };
-                    let Some(mp) = map.mappoints.get(mp_id) else {
-                        continue;
-                    };
-                    let kp = &kf.keypoints[kp_idx];
-                    obs.push(PoseObservation {
-                        point: mp.position,
-                        pixel: kp.pt,
-                        sigma: sigma_for(kp.octave),
-                    });
-                }
-                (obs.len() >= 10).then_some((*kf_id, kf.pose_cw, obs))
-            })
-            .collect();
-        let (pose_updates, _) = exec.par_map(&pose_tasks, 0, |(kf_id, pose, obs)| {
-            let result = optimize_pose(cam, *pose, obs, 5);
-            (result.n_inliers >= 10).then_some((*kf_id, result.pose))
-        });
-        for (kf_id, pose) in pose_updates.into_iter().flatten() {
-            map.keyframes.get_mut(&kf_id).unwrap().pose_cw = pose;
+        pose_items.clear();
+        obs_pts.clear();
+        obs_pxs.clear();
+        obs_sigmas.clear();
+        for kf_id in kf_ids.iter() {
+            if *kf_id == fixed_kf {
+                continue;
+            }
+            let Some(kf) = map.keyframes.get(kf_id) else {
+                continue;
+            };
+            let lo = obs_pts.len();
+            for (kp_idx, mp_id) in kf.matched_points.iter().enumerate() {
+                let Some(mp_id) = mp_id else { continue };
+                let Some(mp) = map.mappoints.get(mp_id) else {
+                    continue;
+                };
+                let kp = &kf.keypoints[kp_idx];
+                obs_pts.push(mp.position);
+                obs_pxs.push(kp.pt);
+                obs_sigmas.push(sigma_for(kp.octave));
+            }
+            let hi = obs_pts.len();
+            if hi - lo >= 10 {
+                pose_items.push(PoseItem {
+                    kf: *kf_id,
+                    pose: kf.pose_cw,
+                    lo: lo as u32,
+                    hi: hi as u32,
+                });
+            } else {
+                obs_pts.truncate(lo);
+                obs_pxs.truncate(lo);
+                obs_sigmas.truncate(lo);
+            }
+        }
+        {
+            let obs_pts: &[Vec3] = obs_pts;
+            let obs_pxs: &[Vec2] = obs_pxs;
+            let obs_sigmas: &[f64] = obs_sigmas;
+            let t_kernel = Instant::now();
+            kernel_or_scalar(
+                exec,
+                pose_items,
+                POSE_KERNEL_MIN_ITEMS,
+                pose_out,
+                |it: &PoseItem| {
+                    let (lo, hi) = (it.lo as usize, it.hi as usize);
+                    let (pose, n_inliers) = optimize_pose_soa(
+                        cam,
+                        it.pose,
+                        &obs_pts[lo..hi],
+                        &obs_pxs[lo..hi],
+                        &obs_sigmas[lo..hi],
+                        5,
+                    );
+                    (n_inliers >= 10).then_some((it.kf, pose))
+                },
+            );
+            slamshare_obs::observe_ms!("ba.kernel.pose", t_kernel.elapsed().as_secs_f64() * 1e3);
+        }
+        for upd in pose_out.iter() {
+            let Some((kf_id, pose)) = upd else { continue };
+            map.keyframes.get_mut(kf_id).unwrap().pose_cw = *pose;
         }
         pose_ms += t_pose.elapsed().as_secs_f64() * 1e3;
 
         // 2. Point pass: keyframe poses are fixed for the whole pass, so
-        // the per-point solves are independent.
+        // the per-point solves are independent. Views gather in
+        // `mp.observations` order, exactly as the per-task vectors did.
         let t_point = Instant::now();
-        let point_tasks: Vec<PointTask> = point_ids
-            .iter()
-            .filter_map(|mp_id| {
-                let mp = map.mappoints.get(mp_id)?;
-                if mp.observations.len() < 2 {
-                    return None;
+        point_items.clear();
+        view_poses.clear();
+        view_pxs.clear();
+        view_sigmas.clear();
+        for mp_id in point_ids.iter() {
+            let Some(mp) = map.mappoints.get(mp_id) else {
+                continue;
+            };
+            if mp.observations.len() < 2 {
+                continue;
+            }
+            let lo = view_poses.len();
+            for (kf_id, kp_idx) in &mp.observations {
+                if let Some(kf) = map.keyframes.get(kf_id) {
+                    let kp = &kf.keypoints[*kp_idx];
+                    view_poses.push(kf.pose_cw);
+                    view_pxs.push(kp.pt);
+                    view_sigmas.push(sigma_for(kp.octave));
                 }
-                let mut views = Vec::new();
-                for (kf_id, kp_idx) in &mp.observations {
-                    if let Some(kf) = map.keyframes.get(kf_id) {
-                        let kp = &kf.keypoints[*kp_idx];
-                        views.push((kf.pose_cw, kp.pt, sigma_for(kp.octave)));
-                    }
-                }
-                Some((*mp_id, mp.position, views))
-            })
-            .collect();
-        let (point_updates, _) = exec.par_map(&point_tasks, 0, |(mp_id, initial, views)| {
-            let refined = refine_point(cam, *initial, views, 3);
-            (!refined.is_degenerate()).then_some((*mp_id, refined))
-        });
-        for (mp_id, position) in point_updates.into_iter().flatten() {
-            map.mappoints.get_mut(&mp_id).unwrap().position = position;
+            }
+            point_items.push(PointItem {
+                mp: *mp_id,
+                position: mp.position,
+                lo: lo as u32,
+                hi: view_poses.len() as u32,
+            });
+        }
+        {
+            let view_poses: &[SE3] = view_poses;
+            let view_pxs: &[Vec2] = view_pxs;
+            let view_sigmas: &[f64] = view_sigmas;
+            let t_kernel = Instant::now();
+            kernel_or_scalar(
+                exec,
+                point_items,
+                POINT_KERNEL_MIN_ITEMS,
+                point_out,
+                |it: &PointItem| {
+                    let (lo, hi) = (it.lo as usize, it.hi as usize);
+                    let refined = refine_point_soa(
+                        cam,
+                        it.position,
+                        &view_poses[lo..hi],
+                        &view_pxs[lo..hi],
+                        &view_sigmas[lo..hi],
+                        3,
+                    );
+                    (!refined.is_degenerate()).then_some((it.mp, refined))
+                },
+            );
+            slamshare_obs::observe_ms!("ba.kernel.point", t_kernel.elapsed().as_secs_f64() * 1e3);
+        }
+        for upd in point_out.iter() {
+            let Some((mp_id, position)) = upd else {
+                continue;
+            };
+            map.mappoints.get_mut(mp_id).unwrap().position = *position;
         }
         point_ms += t_point.elapsed().as_secs_f64() * 1e3;
     }
@@ -611,5 +1028,102 @@ mod tests {
         let initial = Vec3::new(0.0, 0.0, 5.0);
         let views = [(SE3::IDENTITY, Vec2::new(200.0, 200.0), 1.0)];
         assert_eq!(refine_point(&cam, initial, &views, 5), initial);
+    }
+
+    #[test]
+    fn soa_pose_kernel_is_bit_identical_to_aos() {
+        // The SoA kernel (stack LDLT, recomputed round-2 gate) must agree
+        // with `optimize_pose` to the last bit on messy geometry: noisy
+        // pixels, gross outliers, and points behind the camera.
+        let cam = PinholeCamera::euroc_like();
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let truth = SE3::new(
+                Quat::from_axis_angle(
+                    Vec3::new(
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ),
+                    rng.gen_range(0.0..0.4),
+                ),
+                Vec3::new(
+                    rng.gen_range(-0.5..0.5),
+                    rng.gen_range(-0.5..0.5),
+                    rng.gen_range(-0.5..0.5),
+                ),
+            );
+            let mut obs = Vec::new();
+            for i in 0..60 {
+                let mut cam_pt = Vec3::new(
+                    rng.gen_range(-3.0..3.0),
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(4.0..10.0),
+                );
+                if i % 17 == 0 {
+                    cam_pt.z = -1.0; // behind the camera
+                }
+                let world = truth.inverse().transform(cam_pt);
+                let pixel = cam.project(truth.transform(world)).unwrap_or(Vec2::new(
+                    rng.gen_range(0.0..640.0),
+                    rng.gen_range(0.0..480.0),
+                )) + Vec2::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                let pixel = if i % 11 == 0 {
+                    pixel + Vec2::new(rng.gen_range(40.0..90.0), rng.gen_range(-90.0..-40.0))
+                } else {
+                    pixel
+                };
+                obs.push(PoseObservation {
+                    point: world,
+                    pixel,
+                    sigma: 1.2f64.powi(i % 5),
+                });
+            }
+            let start = SE3::new(truth.rot, truth.trans + Vec3::new(0.1, -0.05, 0.08));
+            let aos = optimize_pose(&cam, start, &obs, 5);
+            let pts: Vec<Vec3> = obs.iter().map(|o| o.point).collect();
+            let pxs: Vec<Vec2> = obs.iter().map(|o| o.pixel).collect();
+            let sigmas: Vec<f64> = obs.iter().map(|o| o.sigma).collect();
+            let (pose, n_inliers) = optimize_pose_soa(&cam, start, &pts, &pxs, &sigmas, 5);
+            assert_eq!(pose, aos.pose, "seed {seed}: pose diverged");
+            assert_eq!(
+                n_inliers, aos.n_inliers,
+                "seed {seed}: inlier count diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn soa_point_kernel_is_bit_identical_to_aos() {
+        let cam = PinholeCamera::euroc_like();
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let truth = Vec3::new(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(4.0..8.0),
+            );
+            let n_views = rng.gen_range(2..7);
+            let views: Vec<(SE3, Vec2, f64)> = (0..n_views)
+                .map(|i| {
+                    let pose = SE3::new(
+                        Quat::from_axis_angle(Vec3::new(0.0, 1.0, 0.1), 0.02 * i as f64),
+                        Vec3::new(rng.gen_range(-0.8..0.8), rng.gen_range(-0.4..0.4), 0.0),
+                    );
+                    let px = cam
+                        .project(pose.transform(truth))
+                        .unwrap_or(Vec2::new(320.0, 240.0))
+                        + Vec2::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0));
+                    (pose, px, 1.2f64.powi(i % 4))
+                })
+                .collect();
+            let start = truth + Vec3::new(0.2, -0.1, 0.3);
+            let aos = refine_point(&cam, start, &views, 3);
+            let poses: Vec<SE3> = views.iter().map(|v| v.0).collect();
+            let pxs: Vec<Vec2> = views.iter().map(|v| v.1).collect();
+            let sigmas: Vec<f64> = views.iter().map(|v| v.2).collect();
+            let soa = refine_point_soa(&cam, start, &poses, &pxs, &sigmas, 3);
+            assert_eq!(soa, aos, "seed {seed}: refined point diverged");
+        }
     }
 }

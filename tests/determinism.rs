@@ -452,3 +452,63 @@ fn async_merge_lands_mid_round_without_changing_committed_results() {
         "a background merge of client 2 changed client 1's committed results"
     );
 }
+
+/// FNV-1a 64-bit digest of a run transcript: one number per
+/// configuration, printable in the failure message.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The kernelized mapping path (SoA local BA, batched culling, the
+/// problem-size crossover) must leave every committed result and the
+/// final global map bit-identical whatever the BA worker count and
+/// however the global map is sharded. Same style as the extraction
+/// determinism test: the whole multi-client run is folded into one
+/// digest per configuration and all six must collide. Dataset and
+/// vocabulary seeds are pinned (independent of `SLAMSHARE_TEST_SEED`)
+/// so the digest is a true golden value for this host-independent
+/// pipeline.
+#[test]
+fn mapping_digest_is_identical_across_ba_workers_and_shards() {
+    const CLIENTS: usize = 3;
+    const FRAMES: usize = 8;
+
+    let mut digests: Vec<(usize, usize, u64)> = Vec::new();
+    for shards in [1usize, 16] {
+        for ba_workers in [1usize, 2, 4] {
+            let mut rig = MultiClientRig::new(CLIENTS, FRAMES);
+            let vocab = Arc::new(vocabulary::train_random(42));
+            let mut config = ServerConfig::stereo_default(rig.datasets[0].rig);
+            config.map_shards = shards;
+            // An explicit worker count wins over the shared-GPU mapping
+            // slice (refresh_executor leaves it alone), so 2/4 really
+            // run the parallel kernel branch even on a small host.
+            config.slam.mapping.ba_workers = ba_workers;
+            let mut server = EdgeServer::new(config, vocab);
+            for c in 0..CLIENTS {
+                server.register_client(c as u16 + 1);
+            }
+            let keys = run_rounds(&server, &mut rig, FRAMES);
+            assert!(
+                server.merge_log().iter().any(|(_, c, _)| *c == 1),
+                "run never merged client 1 — digest would skip shared-phase mapping"
+            );
+            let mut transcript = keys.join("\n");
+            transcript.push('\n');
+            transcript.push_str(&map_fingerprint(&server.store.snapshot_map()));
+            digests.push((shards, ba_workers, fnv1a64(&transcript)));
+        }
+    }
+    let (s0, w0, golden) = digests[0];
+    for &(shards, workers, d) in &digests[1..] {
+        assert_eq!(
+            d, golden,
+            "mapping digest diverged: {workers} workers/{shards} shards vs {w0} workers/{s0} shards"
+        );
+    }
+}
