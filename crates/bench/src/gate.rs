@@ -210,8 +210,9 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 // Metric extraction and comparison.
 // ---------------------------------------------------------------------
 
-/// Recursively collect every numeric field whose key contains `p95`,
-/// keyed by its path (`section[3].p95_latency_ms`).
+/// Recursively collect every numeric field whose key contains `p95` or
+/// `p99` (tail latencies are what the SLOs bind), keyed by its path
+/// (`section[3].p95_latency_ms`).
 pub fn collect_p95(json: &Json, path: &str, out: &mut BTreeMap<String, f64>) {
     match json {
         Json::Obj(fields) => {
@@ -222,7 +223,7 @@ pub fn collect_p95(json: &Json, path: &str, out: &mut BTreeMap<String, f64>) {
                     format!("{path}.{key}")
                 };
                 if let Json::Num(n) = value {
-                    if key.contains("p95") {
+                    if key.contains("p95") || key.contains("p99") {
                         out.insert(child, *n);
                         continue;
                     }

@@ -160,6 +160,16 @@ impl VideoIngest {
         self.awaiting_resync
     }
 
+    /// Inform the state machine that one or more of this stream's frames
+    /// were discarded *before* decode (a backpressure eviction, or uplink
+    /// loss detected by a sequence gap): the decoder references no longer
+    /// match the encoder's, so everything up to the next full I-frame
+    /// must be dropped unseen — decoding a P-frame across the gap would
+    /// silently corrupt the imagery instead of failing.
+    pub fn note_discontinuity(&mut self) {
+        self.awaiting_resync = true;
+    }
+
     /// Decode one uploaded frame (both eyes). Total: any payload yields a
     /// [`DecodeOutcome`], never a panic, and a failed decode leaves the
     /// decoder references untouched (guaranteed by [`VideoDecoder`]).

@@ -42,8 +42,17 @@ pub mod hologram;
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 pub mod ingest;
+pub mod load;
 pub mod merge_worker;
 pub mod metrics;
+// Load-shedding decisions run on the shared ingress path for every
+// client; a panic there is a server-wide outage, so the module carries
+// the same no-panic gate as ingest.
+#[cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+pub mod qos;
 pub mod server;
 pub mod session;
 

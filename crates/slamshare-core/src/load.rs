@@ -1,0 +1,1083 @@
+//! Thousand-client load harness in virtual time.
+//!
+//! The paper's evaluation stops at a handful of concurrent AR clients; the
+//! scaling question — what happens to an edge server when *hundreds* of
+//! devices with heterogeneous radios join, leave, and crash mid-stream —
+//! is exactly the regime where the admission/backpressure machinery in
+//! [`crate::qos`] earns its keep. This module drives that machinery at
+//! scale without wall-clock cost: every client is synthetic, every link is
+//! a [`slamshare_net::link::Link`] flow model, and the whole run advances
+//! on a [`slamshare_sim::clock::EventQueue`] in virtual microseconds.
+//!
+//! What is *real* (the code under test):
+//!
+//! * [`crate::qos::Admission`] — typed capacity/duplicate rejection;
+//! * [`crate::qos::FrameQueue`] — bounded staging with
+//!   oldest-non-I-frame eviction and gap tagging;
+//! * [`crate::ingest::VideoIngest`] — per-client total decode with the
+//!   I-frame resync state machine (fed real encoder output, real
+//!   garbage-byte faults, real reference-chain gaps from uplink loss);
+//! * [`slamshare_gpu::SharedGpu`] — the slice scheduler, including
+//!   [`slamshare_gpu::SlicePriority`] transitions when a client degrades;
+//! * [`slamshare_net::link::Link`] — per-client uplink/downlink FIFO
+//!   flow models from a heterogeneous tier table.
+//!
+//! What is *modeled*: per-frame tracking compute. Running 512 full SLAM
+//! processes is neither affordable nor necessary — the quantities under
+//! test (queue depths, drop counters, admission outcomes, round latency)
+//! depend on the *service time* of tracking, not its output. Service time
+//! is charged as `cpu_ms + gpu_work_ms / slice_sms`, with `slice_sms`
+//! read from the real [`slamshare_gpu::SharedGpu`] layout, so priority
+//! transitions causally change latency. The recovered pose is the
+//! trajectory ground truth (the system computes bit-identical results on
+//! every device by construction — see DESIGN.md §2), which is what makes
+//! the churn-determinism property testable: a surviving client's served
+//! trajectory must be byte-for-byte independent of everyone else's churn.
+//!
+//! Everything a client does is derived from `(seed, client_id)` alone —
+//! tier, trajectory, join time, churn fate, per-frame loss/fault draws —
+//! never from its position in a roster or from server state. Running a
+//! subset of clients therefore reproduces each member's behavior exactly,
+//! which is the foundation of the survivor bit-identity property test in
+//! `tests/load_harness.rs`.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+use slamshare_features::GrayImage;
+use slamshare_gpu::{GpuModel, SharedGpu, SlicePriority, WorkClass};
+use slamshare_math::Vec3;
+use slamshare_net::link::{Channel, LinkConfig};
+use slamshare_net::VideoEncoder;
+use slamshare_sim::trajectory::GazePolicy;
+use slamshare_sim::{EventQueue, SimTime, Trajectory};
+
+use crate::ingest::{DecodeOutcome, VideoIngest};
+use crate::qos::{Admission, FrameQueue, QueuedFrame, RegisterError};
+
+// ---------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------
+
+/// SplitMix64: tiny, fast, and — unlike `rand` — guaranteed stable across
+/// versions, which the bit-identity property requires.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One SplitMix64 finalizer step over `(seed, salt)` — used to derive
+/// per-client constants (tier, join time, churn fate) that must not
+/// depend on draw order.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// Link tiers
+// ---------------------------------------------------------------------
+
+/// A heterogeneous population: the same tier table the paper's testbed
+/// spans (wired lab link → congested last-mile), with per-frame Bernoulli
+/// loss on the lossy tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum LinkTier {
+    /// Wired / fiber-backhauled AP: 100 Mbit/s, 2 ms, lossless.
+    Fiber,
+    /// Decent Wi-Fi: 40 Mbit/s, 8 ms, 0.2 % frame loss.
+    Wifi,
+    /// Cellular: 12 Mbit/s, 35 ms, 1 % frame loss.
+    Lte,
+    /// Congested edge: 2 Mbit/s, 80 ms, 5 % frame loss.
+    CongestedEdge,
+}
+
+impl LinkTier {
+    pub fn config(self) -> LinkConfig {
+        match self {
+            LinkTier::Fiber => LinkConfig::new(Some(100e6), SimTime::from_millis(2.0)),
+            LinkTier::Wifi => LinkConfig::new(Some(40e6), SimTime::from_millis(8.0)),
+            LinkTier::Lte => LinkConfig::new(Some(12e6), SimTime::from_millis(35.0)),
+            LinkTier::CongestedEdge => LinkConfig::new(Some(2e6), SimTime::from_millis(80.0)),
+        }
+    }
+
+    /// Per-frame Bernoulli uplink loss probability.
+    pub fn loss(self) -> f64 {
+        match self {
+            LinkTier::Fiber => 0.0,
+            LinkTier::Wifi => 0.002,
+            LinkTier::Lte => 0.01,
+            LinkTier::CongestedEdge => 0.05,
+        }
+    }
+
+    /// Weighted tier assignment: 30 % fiber, 40 % wifi, 20 % LTE,
+    /// 10 % congested.
+    fn pick(roll: u64) -> LinkTier {
+        match roll % 10 {
+            0..=2 => LinkTier::Fiber,
+            3..=6 => LinkTier::Wifi,
+            7..=8 => LinkTier::Lte,
+            _ => LinkTier::CongestedEdge,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------
+
+/// Everything a load run needs; fully serializable so a bench result can
+/// embed the exact configuration that produced it.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadConfig {
+    /// Clients that will *attempt* to join (ids `1..=n_clients`).
+    pub n_clients: usize,
+    /// Admission bound (`None` = unbounded).
+    pub max_clients: Option<usize>,
+    /// Per-client camera rate, frames per virtual second.
+    pub fps: f64,
+    /// Virtual session length, seconds.
+    pub duration_s: f64,
+    /// Master seed; every per-client stream derives from `(seed, id)`.
+    pub seed: u64,
+    /// Per-client staged-frame queue bound (`FrameQueue` capacity).
+    pub queue_cap: usize,
+    /// Server service lanes (parallel tracking workers).
+    pub lanes: usize,
+    /// CPU portion of one frame's tracking service, ms.
+    pub cpu_service_ms: f64,
+    /// GPU work per frame, ms·SM — charged as `gpu_work_ms / slice_sms`.
+    pub gpu_work_ms: f64,
+    /// Modeled SM count of the edge GPU the slice scheduler partitions.
+    pub gpu_sms: usize,
+    /// Master switch for scripted churn (leaves, crashes, faults).
+    pub churn: bool,
+    /// Percent of clients that leave gracefully mid-run.
+    pub leave_pct: u64,
+    /// Percent of clients that crash silently mid-run.
+    pub crash_pct: u64,
+    /// Whether crashed clients attempt to rejoin under the same id.
+    pub rejoin_crashed: bool,
+    /// Percent of clients that fire a duplicate join while live.
+    pub duplicate_join_pct: u64,
+    /// Percent of churning clients that also inject garbage bytes.
+    pub fault_pct: u64,
+    /// Per-frame corruption probability for a faulty client.
+    pub fault_rate: f64,
+    /// Whether uplink Bernoulli loss is applied.
+    pub loss: bool,
+    /// Whether degraded clients are demoted in the GPU slice scheduler.
+    pub priorities: bool,
+    /// Round-latency SLO asserted over interactive-class served frames.
+    pub slo_p99_ms: f64,
+    /// Synthetic video resolution (small: content only feeds the codec).
+    pub frame_w: usize,
+    pub frame_h: usize,
+    /// Encoder I-frame cadence.
+    pub iframe_interval: usize,
+    /// Silence threshold after which the server evicts a client, seconds.
+    pub crash_timeout_s: f64,
+    /// Joins are spread over this initial ramp, seconds.
+    pub join_ramp_s: f64,
+    /// Retry delay after an at-capacity rejection, seconds.
+    pub admission_retry_s: f64,
+}
+
+impl LoadConfig {
+    /// Comfortable capacity: nothing sheds, every admitted frame is
+    /// served promptly. The churn property test and CI smoke run here.
+    pub fn smoke(n_clients: usize, seed: u64) -> LoadConfig {
+        LoadConfig {
+            n_clients,
+            max_clients: None,
+            fps: 10.0,
+            duration_s: 6.0,
+            seed,
+            queue_cap: 4,
+            lanes: 32,
+            cpu_service_ms: 0.5,
+            gpu_work_ms: 8.0,
+            gpu_sms: 1024,
+            churn: true,
+            leave_pct: 10,
+            crash_pct: 10,
+            rejoin_crashed: true,
+            duplicate_join_pct: 5,
+            fault_pct: 50,
+            fault_rate: 0.05,
+            loss: true,
+            priorities: true,
+            slo_p99_ms: 400.0,
+            frame_w: 32,
+            frame_h: 24,
+            iframe_interval: 30,
+            crash_timeout_s: 1.0,
+            join_ramp_s: 1.5,
+            admission_retry_s: 0.5,
+        }
+    }
+
+    /// Overload: more offered load than lanes can serve, plus an
+    /// admission bound below the offered population — the regime the
+    /// backpressure policy and typed rejections exist for.
+    pub fn overload(n_clients: usize, seed: u64) -> LoadConfig {
+        LoadConfig {
+            max_clients: Some(n_clients * 3 / 4),
+            duration_s: 10.0,
+            // Server capacity scales *with* the offered population so every
+            // effort tier lands in the same ~2.7× overload regime (the
+            // formulas are the identity at the baseline tier, n = 512:
+            // 12 lanes, 1024 SMs). With fixed capacity, a small-n run would
+            // be underloaded and shed nothing — not an overload test at all.
+            lanes: (n_clients * 3 / 128).max(2),
+            gpu_sms: n_clients * 2,
+            slo_p99_ms: 650.0,
+            ..LoadConfig::smoke(n_clients, seed)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------
+
+/// Exact percentiles over a latency population (nearest-rank on the
+/// sorted samples — no interpolation, so results are host-independent).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LatencySummary {
+    pub n: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut samples: Vec<f64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let n = samples.len();
+        let rank = |q: f64| -> f64 {
+            let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+            samples[k - 1]
+        };
+        LatencySummary {
+            n: n as u64,
+            mean_ms: samples.iter().sum::<f64>() / n as f64,
+            p50_ms: rank(0.50),
+            p95_ms: rank(0.95),
+            p99_ms: rank(0.99),
+            max_ms: samples[n - 1],
+        }
+    }
+}
+
+/// Round latency split by the client's service class at serve time.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LatencyByClass {
+    /// Admitted-and-tracking clients (the SLO population).
+    pub interactive: LatencySummary,
+    /// Clients serving a relocalizing / desynced stream.
+    pub degraded: LatencySummary,
+}
+
+/// Everything a load run measured. All counters are exact (virtual time,
+/// deterministic scheduling), so equality assertions are legitimate.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LoadReport {
+    pub clients_offered: usize,
+    pub virtual_secs: f64,
+    pub peak_live: usize,
+    pub admitted: u64,
+    pub rejected_capacity: u64,
+    pub rejected_duplicate: u64,
+    pub departed: u64,
+    pub crash_evictions: u64,
+    pub rejoins: u64,
+    pub frames_captured: u64,
+    pub frames_lost_uplink: u64,
+    pub faults_injected: u64,
+    pub frames_delivered: u64,
+    /// Deliveries for a client the server no longer (or never) knew.
+    pub frames_stray: u64,
+    pub queue_offered: u64,
+    pub queue_served: u64,
+    pub queue_dropped: u64,
+    pub queue_purged: u64,
+    /// Frames still staged when the run ended.
+    pub queue_residual: u64,
+    pub frames_tracked: u64,
+    pub decode_errors: u64,
+    pub ingest_dropped: u64,
+    pub resyncs: u64,
+    pub gpu_priority_demotions: u64,
+    pub latency: LatencyByClass,
+    pub slo_p99_ms: f64,
+    pub slo_met: bool,
+}
+
+/// A finished run: the report plus each client's served trajectory
+/// (frame index → recovered camera position), the artifact the churn
+/// bit-identity property compares.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    pub report: LoadReport,
+    pub trajectories: BTreeMap<u16, Vec<(usize, [f64; 3])>>,
+}
+
+// ---------------------------------------------------------------------
+// Per-client synthetic device
+// ---------------------------------------------------------------------
+
+/// The scripted fate of one client, derived from `(seed, id)` only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    Survivor,
+    /// Leaves gracefully at the given time.
+    Leaver(SimTime),
+    /// Crashes silently at the given time; `rejoin` re-registers later.
+    Crasher {
+        at: SimTime,
+        rejoin: bool,
+    },
+}
+
+/// Derive a client's full scripted profile from `(seed, id)`. Public so
+/// tests can predict survivors without running anything.
+pub fn client_fate(config: &LoadConfig, id: u16) -> Fate {
+    if !config.churn {
+        return Fate::Survivor;
+    }
+    let roll = mix(config.seed, u64::from(id) * 3 + 1) % 100;
+    let frac = |r: u64, lo: f64, hi: f64| {
+        SimTime::from_secs(config.duration_s * (lo + (hi - lo) * (r % 1000) as f64 / 1000.0))
+    };
+    let when = mix(config.seed, u64::from(id) * 5 + 2);
+    if roll < config.crash_pct {
+        Fate::Crasher {
+            at: frac(when, 0.35, 0.65),
+            rejoin: config.rejoin_crashed && when.is_multiple_of(2),
+        }
+    } else if roll < config.crash_pct + config.leave_pct {
+        Fate::Leaver(frac(when, 0.4, 0.8))
+    } else {
+        Fate::Survivor
+    }
+}
+
+/// The ids that neither leave nor crash under `config`'s churn script.
+pub fn survivors(config: &LoadConfig) -> Vec<u16> {
+    (1..=config.n_clients as u16)
+        .filter(|&id| client_fate(config, id) == Fate::Survivor)
+        .collect()
+}
+
+/// Whether the script makes this client inject garbage bytes. Faults
+/// ride on churners only: survivors must stay bit-identical across
+/// runs, and a garbage frame changes the served set.
+pub fn client_faulty(config: &LoadConfig, id: u16) -> bool {
+    config.churn
+        && client_fate(config, id) != Fate::Survivor
+        && mix(config.seed, u64::from(id) * 11 + 5) % 100 < config.fault_pct
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DevicePhase {
+    Waiting,
+    Live,
+    Gone,
+}
+
+struct Device {
+    tier: LinkTier,
+    channel: Channel,
+    traj: Trajectory,
+    encoder: VideoEncoder,
+    /// Per-capture draws (loss, fault) — exactly two per frame, so the
+    /// stream is a pure function of `(seed, id, frame_idx)`.
+    rng: SplitMix64,
+    phase: DevicePhase,
+    fate: Fate,
+    faulty: bool,
+    joined_at: SimTime,
+    frame_idx: usize,
+    captured: u64,
+    lost_uplink: u64,
+    faults: u64,
+    rejoined: bool,
+    img: GrayImage,
+}
+
+impl Device {
+    fn new(config: &LoadConfig, id: u16) -> Device {
+        let tier = LinkTier::pick(mix(config.seed, u64::from(id) * 7 + 3));
+        let fate = client_fate(config, id);
+        let faulty = client_faulty(config, id);
+        // A closed loop in a client-specific patch of the world, spanning
+        // the whole session.
+        let mut wp = SplitMix64::new(mix(config.seed, u64::from(id) * 13 + 7));
+        let cx = (wp.next_f64() - 0.5) * 200.0;
+        let cz = (wp.next_f64() - 0.5) * 200.0;
+        let r = 3.0 + wp.next_f64() * 9.0;
+        let waypoints = (0..5)
+            .map(|k| {
+                let th = k as f64 / 5.0 * std::f64::consts::TAU;
+                Vec3 {
+                    x: cx + r * th.cos(),
+                    y: 1.5 + 0.3 * (wp.next_f64() - 0.5),
+                    z: cz + r * th.sin(),
+                }
+            })
+            .collect();
+        Device {
+            tier,
+            channel: Channel::symmetric(tier.config()),
+            traj: Trajectory::new(
+                waypoints,
+                true,
+                config.duration_s.max(1.0),
+                GazePolicy::AlongVelocity,
+            ),
+            encoder: VideoEncoder::new(2, config.iframe_interval),
+            rng: SplitMix64::new(mix(config.seed, u64::from(id))),
+            phase: DevicePhase::Waiting,
+            fate,
+            faulty,
+            joined_at: SimTime(0),
+            frame_idx: 0,
+            captured: 0,
+            lost_uplink: 0,
+            faults: 0,
+            rejoined: false,
+            img: GrayImage::new(config.frame_w, config.frame_h),
+        }
+    }
+
+    fn join_time(config: &LoadConfig, id: u16) -> SimTime {
+        SimTime::from_secs(
+            config.join_ramp_s * (mix(config.seed, u64::from(id) * 17 + 11) % 1000) as f64 / 1000.0,
+        )
+    }
+
+    /// Render the synthetic camera frame for virtual time `t_rel`: a
+    /// gradient translating with the trajectory, so P-frames carry small
+    /// deltas exactly like a real slowly-moving camera.
+    fn render(&mut self, t_rel: f64) -> Vec3 {
+        let p = self.traj.position(t_rel);
+        let (ox, oy) = ((p.x * 6.0) as i64, (p.z * 6.0) as i64);
+        let (w, h) = (self.img.width, self.img.height);
+        for y in 0..h {
+            for x in 0..w {
+                let v = (x as i64 + ox) * 13 + (y as i64 + oy) * 7;
+                self.img.set(x, y, (v & 0xFF) as u8);
+            }
+        }
+        p
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------
+
+struct ServerClient {
+    ingest: VideoIngest,
+    queue: FrameQueue,
+    last_idx: Option<usize>,
+    last_heard: SimTime,
+    resync_pending: bool,
+    degraded: bool,
+}
+
+impl ServerClient {
+    fn new(queue_cap: usize, now: SimTime) -> ServerClient {
+        ServerClient {
+            ingest: VideoIngest::new(),
+            queue: FrameQueue::new(queue_cap),
+            last_idx: None,
+            last_heard: now,
+            resync_pending: false,
+            degraded: false,
+        }
+    }
+}
+
+/// Retired-state counter aggregate: `FrameQueue`/`VideoIngest` counters
+/// die with their owner on eviction, so the server folds each retiring
+/// client's snapshot into these totals.
+#[derive(Debug, Default)]
+struct Retired {
+    offered: u64,
+    served: u64,
+    dropped: u64,
+    purged: u64,
+    decoded: u64,
+    decode_errors: u64,
+    ingest_dropped: u64,
+    resyncs: u64,
+}
+
+struct SimServer {
+    admission: Admission,
+    gpu: SharedGpu,
+    states: BTreeMap<u16, ServerClient>,
+    lanes: Vec<SimTime>,
+    retired: Retired,
+    crash_evictions: u64,
+    stray: u64,
+    peak_live: usize,
+    priority_demotions: u64,
+}
+
+impl SimServer {
+    fn new(config: &LoadConfig) -> SimServer {
+        let model = GpuModel {
+            sm_count: config.gpu_sms,
+            ..GpuModel::v100()
+        };
+        SimServer {
+            admission: Admission::new(config.max_clients),
+            gpu: SharedGpu::new(model),
+            states: BTreeMap::new(),
+            lanes: vec![SimTime(0); config.lanes.max(1)],
+            retired: Retired::default(),
+            crash_evictions: 0,
+            stray: 0,
+            peak_live: 0,
+            priority_demotions: 0,
+        }
+    }
+
+    fn admit(&mut self, id: u16, now: SimTime, queue_cap: usize) -> Result<(), RegisterError> {
+        self.admission.try_admit(id)?;
+        self.gpu.register(u32::from(id));
+        self.states.insert(id, ServerClient::new(queue_cap, now));
+        self.peak_live = self.peak_live.max(self.states.len());
+        Ok(())
+    }
+
+    fn retire(&mut self, id: u16) {
+        if let Some(mut s) = self.states.remove(&id) {
+            s.queue.purge();
+            let q = s.queue.counters().snapshot();
+            self.retired.offered += q.offered;
+            self.retired.served += q.served;
+            self.retired.dropped += q.dropped_overflow;
+            self.retired.purged += q.purged;
+            let i = s.ingest.counters().snapshot();
+            self.retired.decoded += i.frames_decoded;
+            self.retired.decode_errors += i.decode_errors;
+            self.retired.ingest_dropped += i.dropped_frames;
+            self.retired.resyncs += i.resyncs;
+        }
+        self.admission.depart(id);
+        self.gpu.deregister_client(u32::from(id));
+    }
+
+    fn set_degraded(&mut self, id: u16, degraded: bool, priorities: bool) {
+        let Some(s) = self.states.get_mut(&id) else {
+            return;
+        };
+        if s.degraded == degraded {
+            return;
+        }
+        s.degraded = degraded;
+        if priorities {
+            let prio = if degraded {
+                SlicePriority::Degraded
+            } else {
+                SlicePriority::Interactive
+            };
+            if self.gpu.set_priority(u32::from(id), prio) && degraded {
+                self.priority_demotions += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The harness
+// ---------------------------------------------------------------------
+
+enum Ev {
+    Join(u16),
+    DupJoin(u16),
+    Leave(u16),
+    Crash(u16),
+    Capture(u16),
+    Deliver(u16, QueuedFrame),
+    /// A server-issued resync request reaches the device.
+    Resync(u16),
+    Round,
+}
+
+/// Run the full configured population (`ids 1..=n_clients`).
+pub fn run(config: &LoadConfig) -> LoadOutcome {
+    let ids: Vec<u16> = (1..=config.n_clients as u16).collect();
+    run_subset(config, &ids)
+}
+
+/// Run only `ids`. Per-client behavior is a pure function of
+/// `(config.seed, id)`, so a subset run reproduces each member's stream
+/// exactly — the lever the churn bit-identity property pulls.
+pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
+    let end = SimTime::from_secs(config.duration_s);
+    let frame_dt = SimTime::from_secs(1.0 / config.fps);
+    let crash_timeout = SimTime::from_secs(config.crash_timeout_s);
+
+    let mut devices: BTreeMap<u16, Device> = ids
+        .iter()
+        .map(|&id| (id, Device::new(config, id)))
+        .collect();
+    let mut server = SimServer::new(config);
+    let mut q: EventQueue<Ev> = EventQueue::new();
+
+    for (&id, dev) in &devices {
+        q.schedule(Device::join_time(config, id), Ev::Join(id));
+        match dev.fate {
+            Fate::Leaver(at) => q.schedule(at, Ev::Leave(id)),
+            Fate::Crasher { at, .. } => q.schedule(at, Ev::Crash(id)),
+            Fate::Survivor => {}
+        }
+        if config.churn
+            && mix(config.seed, u64::from(id) * 19 + 13) % 100 < config.duplicate_join_pct
+        {
+            q.schedule(SimTime::from_secs(config.duration_s * 0.5), Ev::DupJoin(id));
+        }
+    }
+    q.schedule(frame_dt, Ev::Round);
+
+    let mut rejoins = 0u64;
+    let mut delivered = 0u64;
+    let mut tracked = 0u64;
+    let mut lat_interactive: Vec<f64> = Vec::new();
+    let mut lat_degraded: Vec<f64> = Vec::new();
+    let mut trajectories: BTreeMap<u16, Vec<(usize, [f64; 3])>> =
+        ids.iter().map(|&id| (id, Vec::new())).collect();
+
+    while let Some((now, ev)) = q.pop() {
+        if now > end {
+            break;
+        }
+        match ev {
+            Ev::Join(id) => {
+                let Some(dev) = devices.get_mut(&id) else {
+                    continue;
+                };
+                if dev.phase == DevicePhase::Live {
+                    continue;
+                }
+                match server.admit(id, now, config.queue_cap) {
+                    Ok(()) => {
+                        if dev.phase == DevicePhase::Gone {
+                            // Crash-rejoin: fresh encoder (the old
+                            // reference chain died with the process),
+                            // frame numbering continues.
+                            dev.encoder = VideoEncoder::new(2, config.iframe_interval);
+                            dev.rejoined = true;
+                            rejoins += 1;
+                        }
+                        dev.phase = DevicePhase::Live;
+                        dev.joined_at = now;
+                        q.schedule(now, Ev::Capture(id));
+                    }
+                    Err(RegisterError::AtCapacity { .. }) => {
+                        // Typed rejection, not a panic: back off and retry.
+                        let retry = now + SimTime::from_secs(config.admission_retry_s);
+                        if retry < end {
+                            q.schedule(retry, Ev::Join(id));
+                        }
+                    }
+                    Err(RegisterError::AlreadyRegistered(_)) => {
+                        // Rejoin raced the crash-eviction timeout: the old
+                        // registration is still live. Retry after it ages out.
+                        let retry = now + crash_timeout;
+                        if retry < end {
+                            q.schedule(retry, Ev::Join(id));
+                        }
+                    }
+                }
+            }
+            Ev::DupJoin(id) => {
+                // A retransmitted join for an already-live client must be a
+                // typed duplicate rejection that leaves the registration
+                // untouched (the pre-fix server leaked state here).
+                if devices.get(&id).map(|d| d.phase) == Some(DevicePhase::Live) {
+                    let before = server.states.contains_key(&id);
+                    let res = server.admit(id, now, config.queue_cap);
+                    assert!(matches!(res, Err(RegisterError::AlreadyRegistered(_))));
+                    assert_eq!(before, server.states.contains_key(&id));
+                }
+            }
+            Ev::Leave(id) => {
+                let Some(dev) = devices.get_mut(&id) else {
+                    continue;
+                };
+                if dev.phase == DevicePhase::Live {
+                    dev.phase = DevicePhase::Gone;
+                    // Graceful: the client says goodbye, the server retires
+                    // the registration immediately.
+                    server.retire(id);
+                }
+            }
+            Ev::Crash(id) => {
+                if let Some(dev) = devices.get_mut(&id) {
+                    if dev.phase == DevicePhase::Live {
+                        // Silent: the server only learns via the timeout scan.
+                        dev.phase = DevicePhase::Gone;
+                        if let Fate::Crasher { rejoin: true, .. } = dev.fate {
+                            let back = now + crash_timeout + SimTime::from_secs(1.0);
+                            if back < end {
+                                q.schedule(back, Ev::Join(id));
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::Capture(id) => {
+                let Some(dev) = devices.get_mut(&id) else {
+                    continue;
+                };
+                if dev.phase != DevicePhase::Live {
+                    continue;
+                }
+                let t_rel = now.since(dev.joined_at).as_secs();
+                let pose = dev.render(t_rel);
+                let frame = dev.encoder.encode(&dev.img);
+                let mut payload = frame.data.to_vec();
+                // Exactly two draws per capture, phase- and server-independent.
+                let loss_roll = dev.rng.next_f64();
+                let fault_roll = dev.rng.next_f64();
+                dev.captured += 1;
+                let idx = dev.frame_idx;
+                dev.frame_idx += 1;
+                // Frame 3 is always corrupted so a faulty client's fault
+                // path is exercised on every seed, not just lucky draws
+                // (even the shortest-lived churner captures that many).
+                if dev.faulty && (fault_roll < config.fault_rate || idx == 3) {
+                    // PR 3 garbage-byte machinery: smash bytes mid-payload
+                    // and truncate — the decoder must yield a typed fault.
+                    dev.faults += 1;
+                    let n = payload.len();
+                    if n > 8 {
+                        payload[n / 3] ^= 0xA5;
+                        payload[n / 2] = 0xFF;
+                        payload.truncate(n - n / 8);
+                    }
+                }
+                if config.loss && loss_roll < dev.tier.loss() {
+                    // Uplink loss: the encoder reference already advanced,
+                    // so the next delivered P-frame is undecodable without
+                    // a resync — exactly the gap ingest must survive.
+                    dev.lost_uplink += 1;
+                } else {
+                    let arrive = dev.channel.uplink.send(now, payload.len());
+                    q.schedule(
+                        arrive,
+                        Ev::Deliver(
+                            id,
+                            QueuedFrame {
+                                frame_idx: idx,
+                                timestamp: t_rel,
+                                left: payload,
+                                pose_hint: Some(slamshare_math::SE3::from_translation(pose)),
+                                captured_at: now,
+                                ..QueuedFrame::default()
+                            },
+                        ),
+                    );
+                }
+                let next = now + frame_dt;
+                if next <= end {
+                    q.schedule(next, Ev::Capture(id));
+                }
+            }
+            Ev::Deliver(id, mut frame) => {
+                let Some(s) = server.states.get_mut(&id) else {
+                    // Crashed-and-evicted (or never-admitted) sender.
+                    server.stray += 1;
+                    continue;
+                };
+                s.last_heard = now;
+                delivered += 1;
+                // Uplink loss / mid-stream (re)join: the reference chain is
+                // broken at this frame, independent of queue evictions.
+                let gap = match s.last_idx {
+                    Some(last) => frame.frame_idx != last + 1,
+                    None => frame.frame_idx != 0,
+                };
+                frame.follows_gap = gap;
+                s.last_idx = Some(frame.frame_idx);
+                s.queue.offer(frame);
+            }
+            Ev::Resync(id) => {
+                if let Some(dev) = devices.get_mut(&id) {
+                    if dev.phase == DevicePhase::Live {
+                        dev.encoder.request_iframe();
+                    }
+                }
+            }
+            Ev::Round => {
+                // Evict silent clients (crash detection).
+                let timed_out: Vec<u16> = server
+                    .states
+                    .iter()
+                    .filter(|(_, s)| now.since(s.last_heard) > crash_timeout)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in timed_out {
+                    server.retire(id);
+                    server.crash_evictions += 1;
+                }
+                // Serve ≤1 staged frame per admitted client, in id order.
+                let slices = server.gpu.slice_sms();
+                let served_ids: Vec<u16> = server.states.keys().copied().collect();
+                for id in served_ids {
+                    let Some(s) = server.states.get_mut(&id) else {
+                        continue;
+                    };
+                    let Some(frame) = s.queue.pop() else { continue };
+                    if frame.follows_gap {
+                        s.ingest.note_discontinuity();
+                    }
+                    match s.ingest.decode(&frame.left, None) {
+                        DecodeOutcome::Dropped { fault } => {
+                            if !s.resync_pending {
+                                s.resync_pending = true;
+                                let dev = devices.get_mut(&id);
+                                if let Some(dev) = dev {
+                                    let at = dev.channel.downlink.send(now, 64);
+                                    q.schedule(at, Ev::Resync(id));
+                                }
+                            }
+                            let _ = fault;
+                            server.set_degraded(id, true, config.priorities);
+                        }
+                        DecodeOutcome::Decoded {
+                            left, relocalize, ..
+                        } => {
+                            let sms = slices
+                                .get(&(u32::from(id), WorkClass::Tracking))
+                                .copied()
+                                .unwrap_or(1)
+                                .max(1);
+                            let service_ms =
+                                config.cpu_service_ms + config.gpu_work_ms / sms as f64;
+                            // First-free lane, deterministic tie-break.
+                            let lane = (0..server.lanes.len())
+                                .min_by_key(|&i| server.lanes[i])
+                                .unwrap_or(0);
+                            let start = server.lanes[lane].max(now);
+                            let done = start + SimTime::from_millis(service_ms);
+                            server.lanes[lane] = done;
+                            let latency = done.since(frame.captured_at).as_millis();
+                            // The relocalizing frame itself is served in the
+                            // degraded class; the stream is interactive again
+                            // from the next frame on.
+                            if let Some(s2) = server.states.get(&id) {
+                                if s2.degraded || relocalize {
+                                    lat_degraded.push(latency);
+                                } else {
+                                    lat_interactive.push(latency);
+                                }
+                            }
+                            if let Some(s2) = server.states.get_mut(&id) {
+                                s2.resync_pending = false;
+                                s2.ingest.recycle(left);
+                            }
+                            server.set_degraded(id, false, config.priorities);
+                            tracked += 1;
+                            if let (Some(traj), Some(hint)) =
+                                (trajectories.get_mut(&id), frame.pose_hint)
+                            {
+                                traj.push((
+                                    frame.frame_idx,
+                                    [hint.trans.x, hint.trans.y, hint.trans.z],
+                                ));
+                            }
+                        }
+                    }
+                }
+                // Next round: camera cadence, or as soon as a lane frees
+                // under saturation — the server cannot round faster than
+                // it can serve.
+                let lane_free = server.lanes.iter().copied().min().unwrap_or(now);
+                let next = (now + frame_dt).max(lane_free);
+                if next <= end {
+                    q.schedule(next, Ev::Round);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fold counters: live queues + retired aggregate.
+    // ------------------------------------------------------------------
+    let mut queue_offered = server.retired.offered;
+    let mut queue_served = server.retired.served;
+    let mut queue_dropped = server.retired.dropped;
+    let mut queue_purged = server.retired.purged;
+    let mut queue_residual = 0u64;
+    let mut decode_errors = server.retired.decode_errors;
+    let mut ingest_dropped = server.retired.ingest_dropped;
+    let mut resyncs = server.retired.resyncs;
+    for s in server.states.values() {
+        let qs = s.queue.counters().snapshot();
+        queue_offered += qs.offered;
+        queue_served += qs.served;
+        queue_dropped += qs.dropped_overflow;
+        queue_purged += qs.purged;
+        queue_residual += s.queue.len() as u64;
+        let is = s.ingest.counters().snapshot();
+        decode_errors += is.decode_errors;
+        ingest_dropped += is.dropped_frames;
+        resyncs += is.resyncs;
+    }
+    // Conservation: every delivered frame is accounted for, exactly.
+    assert_eq!(delivered, queue_offered, "delivered != offered to queues");
+    assert_eq!(
+        queue_offered,
+        queue_served + queue_dropped + queue_purged + queue_residual,
+        "queue conservation violated"
+    );
+
+    let adm = server.admission.snapshot();
+    let interactive = LatencySummary::from_samples(lat_interactive);
+    let slo_met = interactive.n == 0 || interactive.p99_ms <= config.slo_p99_ms;
+    let report = LoadReport {
+        clients_offered: ids.len(),
+        virtual_secs: config.duration_s,
+        peak_live: server.peak_live,
+        admitted: adm.admitted,
+        rejected_capacity: adm.rejected_capacity,
+        rejected_duplicate: adm.rejected_duplicate,
+        departed: adm.departed,
+        crash_evictions: server.crash_evictions,
+        rejoins,
+        frames_captured: devices.values().map(|d| d.captured).sum(),
+        frames_lost_uplink: devices.values().map(|d| d.lost_uplink).sum(),
+        faults_injected: devices.values().map(|d| d.faults).sum(),
+        frames_delivered: delivered,
+        frames_stray: server.stray,
+        queue_offered,
+        queue_served,
+        queue_dropped,
+        queue_purged,
+        queue_residual,
+        frames_tracked: tracked,
+        decode_errors,
+        ingest_dropped,
+        resyncs,
+        gpu_priority_demotions: server.priority_demotions,
+        latency: LatencyByClass {
+            interactive,
+            degraded: LatencySummary::from_samples(lat_degraded),
+        },
+        slo_p99_ms: config.slo_p99_ms,
+        slo_met,
+    };
+    LoadOutcome {
+        report,
+        trajectories,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_conserves() {
+        let cfg = LoadConfig::smoke(24, 7);
+        let out = run(&cfg);
+        let r = &out.report;
+        assert!(r.frames_tracked > 0, "nothing tracked: {r:?}");
+        assert!(r.admitted >= 24, "every client admits at least once");
+        // Comfortable capacity: backpressure never fires.
+        assert_eq!(r.queue_dropped, 0, "{r:?}");
+        assert!(
+            r.slo_met,
+            "p99 {} > {}",
+            r.latency.interactive.p99_ms, r.slo_p99_ms
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let cfg = LoadConfig::smoke(16, 42);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.trajectories, b.trajectories);
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn capacity_bound_rejects_typed() {
+        let mut cfg = LoadConfig::smoke(20, 3);
+        cfg.max_clients = Some(8);
+        cfg.churn = false;
+        let out = run(&cfg);
+        assert!(out.report.peak_live <= 8);
+        assert!(out.report.rejected_capacity > 0);
+    }
+
+    #[test]
+    fn overload_sheds_but_holds_slo() {
+        let cfg = LoadConfig::overload(96, 11);
+        let out = run(&cfg);
+        let r = &out.report;
+        assert!(r.queue_served > 0);
+        assert!(
+            r.slo_met,
+            "p99 {} > {}",
+            r.latency.interactive.p99_ms, r.slo_p99_ms
+        );
+    }
+
+    #[test]
+    fn churn_exercises_every_path() {
+        let cfg = LoadConfig::smoke(64, 5);
+        let out = run(&cfg);
+        let r = &out.report;
+        assert!(r.departed > 0, "no leaves: {r:?}");
+        assert!(r.crash_evictions > 0, "no crash evictions: {r:?}");
+        assert!(r.faults_injected > 0, "no faults: {r:?}");
+        assert!(
+            r.decode_errors > 0,
+            "faults must surface as typed decode errors"
+        );
+        assert!(r.resyncs > 0, "faults/loss must drive I-frame resyncs");
+    }
+}

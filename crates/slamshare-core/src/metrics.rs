@@ -8,6 +8,7 @@
 pub use slamshare_slam::eval::{ate, short_term_ate, AteResult};
 
 use crate::ingest::ClientIngestSnapshot;
+use crate::qos::{AdmissionSnapshot, QueueSnapshot};
 use serde::Serialize;
 use slamshare_obs::{Counter, Histogram, ObsSnapshot};
 use std::collections::BTreeMap;
@@ -21,6 +22,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Clone, Default)]
 pub struct ServerMetrics {
     pub per_client: BTreeMap<u16, ClientIngestSnapshot>,
+    /// Admission-control counters (capacity/duplicate rejections).
+    pub admission: AdmissionSnapshot,
+    /// Per-client staged-frame queue counters (backpressure drops).
+    pub queues: BTreeMap<u16, QueueSnapshot>,
     pub merge_worker: Option<MergeWorkerSnapshot>,
     /// Per-region contention of the sharded global map.
     pub map_sharding: MapShardingSnapshot,
@@ -44,6 +49,11 @@ impl ServerMetrics {
     /// Total resyncs across all clients.
     pub fn total_resyncs(&self) -> u64 {
         self.per_client.values().map(|c| c.resyncs).sum()
+    }
+
+    /// Total frames shed by the backpressure policy across all clients.
+    pub fn total_queue_drops(&self) -> u64 {
+        self.queues.values().map(|q| q.dropped_overflow).sum()
     }
 }
 

@@ -70,6 +70,7 @@ use crate::merge_worker::{AppliedMerge, MergeContext, MergeJob, MergeWorker};
 use crate::metrics::{
     FpsTracker, MapShardingSnapshot, MergeWorkerSnapshot, MetricsCut, RegionLockStat, ServerMetrics,
 };
+use crate::qos::{Admission, FrameQueue, QueueCounters, QueuedFrame, RegisterError};
 use parking_lot::Mutex;
 use slamshare_features::bow::{BowVector, Vocabulary};
 use slamshare_features::image::GrayImage;
@@ -119,6 +120,14 @@ pub struct ServerConfig {
     /// Edge length, meters, of the spatial grid cells regions are hashed
     /// from.
     pub region_cell_m: f64,
+    /// Admission bound: registrations beyond this many live clients are
+    /// refused with [`RegisterError::AtCapacity`]. `None` (the default)
+    /// keeps the legacy unbounded behaviour.
+    pub max_clients: Option<usize>,
+    /// Capacity of each client's staged-frame queue
+    /// ([`EdgeServer::offer_frame`]); overflow sheds the oldest
+    /// non-I-frame first (see [`crate::qos::FrameQueue`]).
+    pub ingress_queue_cap: usize,
 }
 
 impl ServerConfig {
@@ -131,6 +140,8 @@ impl ServerConfig {
             async_merge: false,
             map_shards: 8,
             region_cell_m: 10.0,
+            max_clients: None,
+            ingress_queue_cap: 4,
         }
     }
 
@@ -143,6 +154,8 @@ impl ServerConfig {
             async_merge: false,
             map_shards: 8,
             region_cell_m: 10.0,
+            max_clients: None,
+            ingress_queue_cap: 4,
         }
     }
 }
@@ -249,6 +262,13 @@ struct ClientProcess {
     /// client's local map (grows after each failed attempt — process M
     /// retries continuously as global coverage expands).
     next_merge_at_kfs: usize,
+    /// Bounded staging queue between the network and the round pipeline
+    /// ([`EdgeServer::offer_frame`] / [`EdgeServer::process_queued_round`]).
+    queue: FrameQueue,
+    /// Whether the GPU scheduler currently holds this client in the
+    /// degraded priority class (relocalizing / persistently lost). Kept
+    /// here so priority transitions fire only on edges, not per frame.
+    degraded: bool,
 }
 
 /// Consecutive lost frames after which a shared-phase tracker gives up on
@@ -307,6 +327,11 @@ pub struct EdgeServer {
     /// Lock-free handles to each client's ingest counters, so
     /// [`EdgeServer::metrics`] never touches a client mutex.
     ingest_counters: HashMap<u16, Arc<IngestCounters>>,
+    /// Lock-free handles to each client's staging-queue counters (same
+    /// contract as `ingest_counters`).
+    queue_counters: HashMap<u16, Arc<QueueCounters>>,
+    /// The bounded live-client set ([`ServerConfig::max_clients`]).
+    admission: Admission,
     /// `(timestamp, client, outcome)` log of merges.
     merge_log: Mutex<Vec<(f64, u16, MergeOutcome)>>,
     /// Worker threads used by [`EdgeServer::process_round`]'s tracking
@@ -387,6 +412,7 @@ impl EdgeServer {
                 gpu: config.use_gpu.then(|| gpu.clone()),
             })
         });
+        let admission = Admission::new(config.max_clients);
         EdgeServer {
             config,
             segment,
@@ -396,6 +422,8 @@ impl EdgeServer {
             vocab,
             clients: HashMap::new(),
             ingest_counters: HashMap::new(),
+            queue_counters: HashMap::new(),
+            admission,
             merge_log: Mutex::new(Vec::new()),
             round_workers: std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -452,6 +480,12 @@ impl EdgeServer {
                 .iter()
                 .map(|(&id, c)| (id, c.snapshot()))
                 .collect(),
+            admission: self.admission.snapshot(),
+            queues: self
+                .queue_counters
+                .iter()
+                .map(|(&id, c)| (id, c.snapshot()))
+                .collect(),
             merge_worker: self.merge_worker_stats(),
             map_sharding: self.map_sharding_snapshot(),
             obs: Default::default(),
@@ -492,7 +526,29 @@ impl EdgeServer {
     }
 
     /// Spawn the per-client process (Fig. 3's Process A/B).
+    ///
+    /// Panics on a refused registration (server at capacity, or the id is
+    /// already live); churn-facing callers should prefer
+    /// [`EdgeServer::try_register_client`].
     pub fn register_client(&mut self, id: u16) {
+        if let Err(e) = self.try_register_client(id) {
+            panic!("register_client({id}): {e}");
+        }
+    }
+
+    /// [`EdgeServer::register_client`] with a typed refusal instead of a
+    /// panic.
+    ///
+    /// Admission control: at most [`ServerConfig::max_clients`] clients
+    /// are live at once, and a live id cannot be re-registered — it used
+    /// to silently *replace* the running process, leaking the old one's
+    /// GPU slices and counter registrations; now the existing process is
+    /// left untouched and the caller gets
+    /// [`RegisterError::AlreadyRegistered`]. A deregistered (departed or
+    /// crashed) client's id can be re-registered freely — the slot was
+    /// reclaimed in full.
+    pub fn try_register_client(&mut self, id: u16) -> Result<(), RegisterError> {
+        self.admission.try_admit(id)?;
         let client_id = ClientId(id);
         let exec = if self.config.use_gpu {
             // Tracking and mapping register as separate streams: the
@@ -512,7 +568,9 @@ impl EdgeServer {
             exec,
         );
         let ingest = VideoIngest::new();
+        let queue = FrameQueue::new(self.config.ingress_queue_cap);
         self.ingest_counters.insert(id, ingest.counters());
+        self.queue_counters.insert(id, queue.counters());
         self.clients.insert(
             id,
             Mutex::new(ClientProcess {
@@ -521,16 +579,102 @@ impl EdgeServer {
                 ingest,
                 fps: FpsTracker::new(),
                 next_merge_at_kfs: self.config.merge_after_keyframes,
+                queue,
+                degraded: false,
             }),
         );
+        Ok(())
     }
 
-    /// Remove a client process, releasing its GPU slice. Its
-    /// contributions stay in the global map.
+    /// Remove a client process, releasing its GPU slice, staged frames
+    /// and admission slot. Its contributions stay in the global map.
     pub fn deregister_client(&mut self, id: u16) {
-        self.clients.remove(&id);
+        if let Some(process) = self.clients.remove(&id) {
+            // Count still-staged frames as purged so queue accounting
+            // stays balanced across churn.
+            process.lock().queue.purge();
+        }
         self.ingest_counters.remove(&id);
+        self.queue_counters.remove(&id);
+        self.admission.depart(id);
         self.gpu.deregister_client(id as u32);
+    }
+
+    /// The admission controller's current counters.
+    pub fn admission_snapshot(&self) -> crate::qos::AdmissionSnapshot {
+        self.admission.snapshot()
+    }
+
+    /// Stage an uploaded frame into `client`'s bounded ingress queue
+    /// without processing it. Under overload the queue sheds by policy
+    /// (oldest non-I-frame first, see [`crate::qos::FrameQueue`]); the
+    /// evicted frame is returned so callers can account the drop. The
+    /// eviction's successor is tagged and the ingest state machine
+    /// treats the stream as desynced from there, exactly as it does for
+    /// a decode fault.
+    pub fn offer_frame(
+        &self,
+        client: u16,
+        frame: QueuedFrame,
+    ) -> Result<Option<QueuedFrame>, ClientError> {
+        let process = self
+            .clients
+            .get(&client)
+            .ok_or(ClientError::UnknownClient(client))?;
+        Ok(process.lock().queue.offer(frame))
+    }
+
+    /// Frames currently staged for `client`.
+    pub fn staged_depth(&self, client: u16) -> usize {
+        self.clients
+            .get(&client)
+            .map(|p| p.lock().queue.len())
+            .unwrap_or(0)
+    }
+
+    /// Run one round over the staged queues: pop at most one frame per
+    /// client (in client-id order) and process the batch through the
+    /// normal decode → track → commit pipeline. Clients with nothing
+    /// staged simply don't participate. Returns `(client, result)` pairs
+    /// in client-id order.
+    pub fn process_queued_round(&self) -> Vec<(u16, ServerFrameResult)> {
+        let mut ids: Vec<u16> = self.clients.keys().copied().collect();
+        ids.sort_unstable();
+        let mut popped: Vec<(u16, QueuedFrame)> = Vec::new();
+        for id in ids {
+            let Some(process) = self.clients.get(&id) else {
+                continue;
+            };
+            let mut process = process.lock();
+            if let Some(frame) = process.queue.pop() {
+                // A frame staged after an eviction decodes against a
+                // reference that no longer exists: resync first.
+                if frame.follows_gap {
+                    process.ingest.note_discontinuity();
+                }
+                popped.push((id, frame));
+            }
+        }
+        if popped.is_empty() {
+            return Vec::new();
+        }
+        let frames: Vec<ClientFrame> = popped
+            .iter()
+            .map(|(id, q)| ClientFrame {
+                client: *id,
+                frame_idx: q.frame_idx,
+                timestamp: q.timestamp,
+                left: &q.left,
+                right: q.right.as_deref(),
+                imu: &q.imu,
+                pose_hint: q.pose_hint,
+            })
+            .collect();
+        let results = self
+            .cut
+            .write(|| self.round_locked(&frames))
+            .expect("queued frames are distinct and registered");
+        popped.iter().map(|(id, _)| *id).zip(results).collect()
     }
 
     /// Whether a client's map has been merged into the global map.
@@ -733,10 +877,13 @@ impl EdgeServer {
                 relocalize,
             } => (left, right, decode_ms, relocalize),
             DecodeOutcome::Dropped { fault } => {
+                // A faulted/desynced stream is headed for relocalization:
+                // demote it in the GPU scheduler until it recovers.
+                self.note_priority(process, frame.client, true);
                 return StagedFrame::Faulted {
                     frame_idx: frame.frame_idx,
                     fault,
-                }
+                };
             }
         };
         let counters = process.ingest.counters();
@@ -749,7 +896,7 @@ impl EdgeServer {
         };
 
         // Track (and, pre-merge, map locally).
-        match &mut process.phase {
+        let (staged, degraded_now) = match &mut process.phase {
             Phase::Local(system) => {
                 if let Some(exec) = &exec {
                     system.tracker.exec = exec.clone();
@@ -767,7 +914,7 @@ impl EdgeServer {
                 if let Some(r) = right_img {
                     process.ingest.recycle(r);
                 }
-                StagedFrame::Local(ServerFrameResult {
+                let staged = StagedFrame::Local(ServerFrameResult {
                     frame_idx: frame.frame_idx,
                     pose: step.pose_cw,
                     tracked: step.tracked,
@@ -780,7 +927,8 @@ impl EdgeServer {
                     resync_requested: false,
                     decode_error: None,
                     relocalized: false,
-                })
+                });
+                (staged, false)
             }
             Phase::Shared {
                 tracker, last_kf, ..
@@ -788,6 +936,11 @@ impl EdgeServer {
                 if let Some(exec) = &exec {
                     tracker.exec = exec.clone();
                 }
+                // Relocalizing / persistently lost clients drop to the
+                // degraded GPU class: their output no longer feeds a
+                // live overlay, so interactive clients outrank them for
+                // SM slices until they re-acquire the map.
+                let degraded_now = relocalize || tracker.consecutive_lost() >= RELOC_AFTER_LOST;
                 // Recovery: after a resync (frames were lost — the motion
                 // model no longer describes frame-to-frame motion) or
                 // sustained tracking loss, restart from place
@@ -832,7 +985,7 @@ impl EdgeServer {
                         stamp.to_vec(),
                     )
                 });
-                StagedFrame::Shared {
+                let staged = StagedFrame::Shared {
                     frame_idx: frame.frame_idx,
                     timestamp: frame.timestamp,
                     decode_ms,
@@ -843,9 +996,28 @@ impl EdgeServer {
                     relocalized,
                     left: left_img,
                     right: right_img,
-                }
+                };
+                (staged, degraded_now)
             }
+        };
+        self.note_priority(process, frame.client, degraded_now);
+        staged
+    }
+
+    /// Move a client between GPU priority classes on state *edges* only
+    /// (the slice table rebalances on a transition, so per-frame calls
+    /// would thrash the write lock).
+    fn note_priority(&self, process: &mut ClientProcess, client: u16, degraded: bool) {
+        if process.degraded == degraded || !self.config.use_gpu {
+            return;
         }
+        process.degraded = degraded;
+        let prio = if degraded {
+            slamshare_gpu::SlicePriority::Degraded
+        } else {
+            slamshare_gpu::SlicePriority::Interactive
+        };
+        self.gpu.set_priority(client as u32, prio);
     }
 
     /// The serialized half: keyframe insertion under the write lock, FPS

@@ -33,4 +33,4 @@ pub mod share;
 
 pub use device::{Device, GpuModel};
 pub use exec::{GpuExecutor, KernelStats};
-pub use share::{SharedGpu, WorkClass};
+pub use share::{SharedGpu, SlicePriority, WorkClass};

@@ -33,11 +33,41 @@ pub enum WorkClass {
     Mapping,
 }
 
-/// One registered stream's slice: its modeled SM count plus the executor
-/// built for exactly that count.
+/// Scheduling class of a client's streams in the slice layout.
+///
+/// Admitted-and-tracking clients ([`SlicePriority::Interactive`]) outrank
+/// clients that are relocalizing or repeatedly lost
+/// ([`SlicePriority::Degraded`]): a degraded client's work no longer
+/// feeds a live AR overlay, so burning an equal SM share on it inflates
+/// every interactive client's latency. Weights are proportional-share —
+/// a degraded stream still makes progress (≥ 1 SM), it just stops
+/// competing at par.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum SlicePriority {
+    /// Tracking normally: full proportional share.
+    #[default]
+    Interactive,
+    /// Relocalizing / persistently lost: quarter share.
+    Degraded,
+}
+
+impl SlicePriority {
+    /// Proportional-share weight in the slice layout.
+    pub fn weight(self) -> usize {
+        match self {
+            SlicePriority::Interactive => 4,
+            SlicePriority::Degraded => 1,
+        }
+    }
+}
+
+/// One registered stream's slice: its modeled SM count, the priority
+/// class it inherited from its client, plus the executor built for
+/// exactly that count.
 #[derive(Debug)]
 struct SliceEntry {
     sms: usize,
+    prio: SlicePriority,
     exec: Arc<GpuExecutor>,
 }
 
@@ -87,21 +117,66 @@ impl SharedGpu {
         if let Some(entry) = slices.get(&key) {
             return entry.exec.clone();
         }
+        // A new stream inherits its client's existing priority class (set
+        // via `set_priority`) so registering a second work class mid-
+        // relocalization doesn't silently re-promote the client.
+        let prio = slices
+            .iter()
+            .find(|&(&(id, _), _)| id == client_id)
+            .map(|(_, e)| e.prio)
+            .unwrap_or_default();
         // Compute the slice this entry gets under the post-insert layout
         // (entries in key order; remainder SMs go to the first entries).
-        let n = slices.len() + 1;
         let idx = slices.range(..key).count();
-        let sms = slice_for(&self.model, n, idx);
+        let mut weights: Vec<usize> = Vec::with_capacity(slices.len() + 1);
+        weights.extend(slices.range(..key).map(|(_, e)| e.prio.weight()));
+        weights.push(prio.weight());
+        weights.extend(slices.range(key..).map(|(_, e)| e.prio.weight()));
+        let sms = weighted_layout(&self.model, &weights)
+            .get(idx)
+            .copied()
+            .unwrap_or(1);
         let exec = Arc::new(self.sliced_executor(sms));
         slices.insert(
             key,
             SliceEntry {
                 sms,
+                prio,
                 exec: exec.clone(),
             },
         );
         self.rebalance(&mut slices);
         exec
+    }
+
+    /// Set the priority class of every stream of a client, rebalancing
+    /// the slice layout if it changed. Returns whether anything changed
+    /// (an unregistered client, or a no-op transition, returns `false`),
+    /// so callers can fire transitions only on edges.
+    pub fn set_priority(&self, client_id: u32, prio: SlicePriority) -> bool {
+        let mut slices = self.slices.write();
+        let mut changed = false;
+        for (&(id, _), entry) in slices.iter_mut() {
+            if id == client_id && entry.prio != prio {
+                entry.prio = prio;
+                changed = true;
+            }
+        }
+        if changed {
+            slamshare_obs::counter_inc!("gpu.priority_transition");
+            self.rebalance(&mut slices);
+        }
+        changed
+    }
+
+    /// The priority class of a client's streams (`None` if the client has
+    /// no registered stream).
+    pub fn priority(&self, client_id: u32) -> Option<SlicePriority> {
+        self.slices
+            .read()
+            .iter()
+            .find(|&(&(id, _), _)| id == client_id)
+            .map(|(_, e)| e.prio)
     }
 
     /// Deregister a client's tracking stream, returning its SMs to the
@@ -174,9 +249,9 @@ impl SharedGpu {
     /// Bring every entry to the current layout, recreating only the
     /// executors whose SM count actually changed.
     fn rebalance(&self, slices: &mut BTreeMap<(u32, WorkClass), SliceEntry>) {
-        let n = slices.len();
-        for (i, entry) in slices.values_mut().enumerate() {
-            let sms = slice_for(&self.model, n, i);
+        let weights: Vec<usize> = slices.values().map(|e| e.prio.weight()).collect();
+        let layout = weighted_layout(&self.model, &weights);
+        for (entry, &sms) in slices.values_mut().zip(layout.iter()) {
             if entry.sms != sms {
                 entry.sms = sms;
                 entry.exec = Arc::new(self.sliced_executor(sms));
@@ -185,21 +260,40 @@ impl SharedGpu {
     }
 }
 
-/// SM slice of the `idx`-th entry (in key order) when `n` streams share
-/// the device: an equal split with the remainder SMs going one-each to
-/// the first entries, so slices always sum to the full budget. An
-/// oversubscribed device (more streams than SMs) degrades to one SM per
-/// stream.
-fn slice_for(model: &GpuModel, n: usize, idx: usize) -> usize {
-    if n == 0 {
-        return model.sm_count;
+/// SM slices for `weights.len()` streams (in key order) sharing the
+/// device: every stream is first reserved one SM, then the remaining SMs
+/// are split proportionally to the priority weights by largest remainder
+/// (ties go to earlier entries), so slices always sum to the full budget.
+/// With equal weights this is exactly an equal split with the remainder
+/// going one-each to the first entries. An oversubscribed device (more
+/// streams than SMs) degrades to one SM per stream.
+fn weighted_layout(model: &GpuModel, weights: &[usize]) -> Vec<usize> {
+    let n = weights.len();
+    if n == 0 || model.sm_count <= n {
+        return vec![1; n];
     }
-    let base = model.sm_count / n;
-    if base == 0 {
-        1
-    } else {
-        base + usize::from(idx < model.sm_count % n)
+    let total_weight: usize = weights.iter().sum::<usize>().max(1);
+    let extra = model.sm_count - n;
+    let mut layout = Vec::with_capacity(n);
+    // (remainder, index) of each entry's fractional share, for the
+    // largest-remainder pass.
+    let mut fractions = Vec::with_capacity(n);
+    let mut assigned = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let share = extra * w;
+        layout.push(1 + share / total_weight);
+        assigned += share / total_weight;
+        fractions.push((share % total_weight, i));
     }
+    // Hand the leftover SMs to the largest fractional shares; tie-break
+    // toward earlier entries (sort is stable on the descending remainder).
+    fractions.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in fractions.iter().take(extra - assigned) {
+        if let Some(slot) = layout.get_mut(i) {
+            *slot += 1;
+        }
+    }
+    layout
 }
 
 #[cfg(test)]
@@ -346,6 +440,60 @@ mod tests {
             let total: usize = slices.values().sum();
             assert_eq!(total, small_sm.max(slices.len()));
         }
+    }
+
+    #[test]
+    fn degraded_client_yields_sms_to_interactive() {
+        let sm = GpuModel::v100().sm_count;
+        let gpu = SharedGpu::new(GpuModel::v100());
+        gpu.register(1);
+        gpu.register(2);
+        // Equal priorities: equal split.
+        let even = gpu.slice_sms();
+        assert_eq!(even[&(1, WorkClass::Tracking)], sm / 2);
+        assert_eq!(even[&(2, WorkClass::Tracking)], sm / 2);
+        assert_eq!(gpu.priority(1), Some(SlicePriority::Interactive));
+        // Degrade client 2: it keeps ≥ 1 SM but the interactive client
+        // takes the lion's share; the budget still sums exactly.
+        assert!(gpu.set_priority(2, SlicePriority::Degraded));
+        assert!(!gpu.set_priority(2, SlicePriority::Degraded), "no-op edge");
+        let skewed = gpu.slice_sms();
+        let a = skewed[&(1, WorkClass::Tracking)];
+        let b = skewed[&(2, WorkClass::Tracking)];
+        assert_eq!(a + b, sm);
+        assert!(b >= 1);
+        assert!(a > b, "interactive {a} must outrank degraded {b}");
+        assert_eq!(gpu.priority(2), Some(SlicePriority::Degraded));
+        // Promote back: layout returns to the equal split.
+        assert!(gpu.set_priority(2, SlicePriority::Interactive));
+        assert_eq!(gpu.slice_sms(), even);
+        // Unregistered clients are a no-op.
+        assert!(!gpu.set_priority(99, SlicePriority::Degraded));
+        assert_eq!(gpu.priority(99), None);
+    }
+
+    #[test]
+    fn priority_survives_class_registration_and_churn() {
+        let sm = GpuModel::v100().sm_count;
+        let gpu = SharedGpu::new(GpuModel::v100());
+        gpu.register(1);
+        gpu.register(2);
+        gpu.set_priority(2, SlicePriority::Degraded);
+        // A mapping stream registered mid-degradation inherits the class.
+        gpu.register_class(2, WorkClass::Mapping);
+        let slices = gpu.slice_sms();
+        assert_eq!(slices.values().sum::<usize>(), sm);
+        assert!(slices[&(1, WorkClass::Tracking)] > slices[&(2, WorkClass::Mapping)]);
+        // Oversubscribed devices still degrade to one SM per stream
+        // regardless of priority.
+        let mut tiny = GpuModel::v100();
+        tiny.sm_count = 2;
+        let gpu = SharedGpu::new(tiny);
+        for id in 0..4u32 {
+            gpu.register(id);
+        }
+        gpu.set_priority(0, SlicePriority::Degraded);
+        assert!(gpu.slice_sms().values().all(|&s| s == 1));
     }
 
     #[test]

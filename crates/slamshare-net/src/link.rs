@@ -77,8 +77,12 @@ pub struct Link {
     pub config: LinkConfig,
     /// Time at which the link's transmitter frees up.
     busy_until: SimTime,
-    /// Total payload bytes accepted (for bandwidth accounting).
+    /// Total payload bytes accepted (for offered-load accounting).
     bytes_sent: u64,
+    /// Per-send `(delivery_time, cumulative_bytes_delivered)` history.
+    /// FIFO serialization plus a constant propagation delay makes both
+    /// columns monotone non-decreasing, so goodput cuts binary-search it.
+    deliveries: Vec<(SimTime, u64)>,
 }
 
 impl Link {
@@ -87,6 +91,7 @@ impl Link {
             config,
             busy_until: SimTime::ZERO,
             bytes_sent: 0,
+            deliveries: Vec::new(),
         }
     }
 
@@ -99,7 +104,9 @@ impl Link {
         let done_serializing = start + self.config.serialization_time(bytes);
         self.busy_until = done_serializing;
         self.bytes_sent += bytes as u64;
-        done_serializing + self.config.delay
+        let delivery = done_serializing + self.config.delay;
+        self.deliveries.push((delivery, self.bytes_sent));
+        delivery
     }
 
     /// Delivery time without queueing state (stateless helper for
@@ -108,16 +115,34 @@ impl Link {
         now + self.config.serialization_time(bytes) + self.config.delay
     }
 
+    /// Total payload bytes *accepted* by the transmitter, including bytes
+    /// still serializing or in flight. For delivered-bytes accounting use
+    /// [`Link::bytes_delivered_by`].
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
     }
 
+    /// Bytes whose delivery at the far end completed at or before
+    /// `until`.
+    pub fn bytes_delivered_by(&self, until: SimTime) -> u64 {
+        let n = self.deliveries.partition_point(|&(t, _)| t <= until);
+        match n.checked_sub(1).and_then(|i| self.deliveries.get(i)) {
+            Some(&(_, cumulative)) => cumulative,
+            None => 0,
+        }
+    }
+
     /// Average goodput in bits/s over `[0, until]`.
+    ///
+    /// Counts only bytes whose delivery time is ≤ `until`. (It used to
+    /// count bytes at *accept* time, so a 1 s cut on a busy 1 Mbit/s link
+    /// could report more than 1 Mbit/s of "goodput" for bytes still
+    /// serializing at the cut.)
     pub fn goodput_bps(&self, until: SimTime) -> f64 {
         if until == SimTime::ZERO {
             return 0.0;
         }
-        self.bytes_sent as f64 * 8.0 / until.as_secs()
+        self.bytes_delivered_by(until) as f64 * 8.0 / until.as_secs()
     }
 }
 
@@ -192,6 +217,36 @@ mod tests {
         assert_eq!(link.bytes_sent(), 2_000_000);
         let g = link.goodput_bps(SimTime::from_secs(2.0));
         assert!((g - 8e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn goodput_counts_only_delivered_bytes() {
+        // Regression: two 125 kB messages accepted at t = 0 on a 1 Mbit/s
+        // link. Only the first has finished serializing by t = 1 s, so a
+        // 1 s goodput cut must report exactly the line rate — the old
+        // accept-time accounting reported 2 Mbit/s on a 1 Mbit/s link.
+        let mut link = Link::new(LinkConfig::new(Some(1e6), SimTime::ZERO));
+        link.send(SimTime::ZERO, 125_000); // delivered at 1 s
+        link.send(SimTime::ZERO, 125_000); // delivered at 2 s
+        assert_eq!(link.bytes_sent(), 250_000);
+        assert_eq!(link.bytes_delivered_by(SimTime::from_secs(0.5)), 0);
+        assert_eq!(link.bytes_delivered_by(SimTime::from_secs(1.0)), 125_000);
+        assert_eq!(link.bytes_delivered_by(SimTime::from_secs(2.0)), 250_000);
+        let g1 = link.goodput_bps(SimTime::from_secs(1.0));
+        assert!(
+            (g1 - 1e6).abs() < 1.0,
+            "1 s cut must be line rate, got {g1}"
+        );
+        let g2 = link.goodput_bps(SimTime::from_secs(2.0));
+        assert!(
+            (g2 - 1e6).abs() < 1.0,
+            "2 s cut must be line rate, got {g2}"
+        );
+        // Propagation delay also holds bytes out of the cut.
+        let mut delayed = Link::new(LinkConfig::new(Some(1e6), SimTime::from_millis(500.0)));
+        delayed.send(SimTime::ZERO, 125_000); // delivered at 1.5 s
+        assert_eq!(delayed.bytes_delivered_by(SimTime::from_secs(1.0)), 0);
+        assert_eq!(delayed.bytes_delivered_by(SimTime::from_secs(1.5)), 125_000);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 #   scripts/check.sh              run every stage in order
 #   scripts/check.sh <stage>...   run only the named stage(s)
 #
-# Stages (in order): build test bench-norun clippy nopanic fmt
+# Stages (in order): build test bench-norun clippy nopanic fmt load-smoke
 # Optional stage:    bench-gate   (also appended to the default run when
 #                                  SLAMSHARE_BENCH_GATE=1 — it runs the
 #                                  benchmarks, which takes a while)
@@ -56,6 +56,11 @@ stage_fmt() {
     cargo fmt --check
 }
 
+stage_load_smoke() {
+    echo "== load-harness smoke (64 virtual clients, churn + admission bound) =="
+    cargo run -q --release -p bench --bin load_smoke
+}
+
 stage_bench_gate() {
     echo "== bench regression gate (p95 vs results/baselines, SLAMSHARE_BENCH_TOL=${SLAMSHARE_BENCH_TOL:-15} %) =="
     scripts/bench_gate.sh
@@ -69,8 +74,9 @@ run_stage() {
         clippy)      stage_clippy ;;
         nopanic)     stage_nopanic ;;
         fmt)         stage_fmt ;;
+        load-smoke)  stage_load_smoke ;;
         bench-gate)  stage_bench_gate ;;
-        *) echo "unknown stage: $1 (build test bench-norun clippy nopanic fmt bench-gate)" >&2
+        *) echo "unknown stage: $1 (build test bench-norun clippy nopanic fmt load-smoke bench-gate)" >&2
            exit 2 ;;
     esac
 }
@@ -80,7 +86,7 @@ if [[ $# -gt 0 ]]; then
         run_stage "$stage"
     done
 else
-    for stage in build test bench-norun clippy nopanic fmt; do
+    for stage in build test bench-norun clippy nopanic fmt load-smoke; do
         run_stage "$stage"
     done
     if [[ "${SLAMSHARE_BENCH_GATE:-0}" == 1 ]]; then
