@@ -1,0 +1,288 @@
+//! Bench (extension): multi-edge-server federation.
+//!
+//! Writes `results/BENCH_federation.json` from two deterministic runs:
+//!
+//! 1. a **federated load-harness** run — N ownership bands, scripted
+//!    boundary roamers, client handoffs with exact release accounting —
+//!    on the harness's modeled service times, so every virtual latency
+//!    in the report is exact and machine-independent;
+//! 2. a **delta-apply** microbench — map fragments encoded as federation
+//!    wire deltas and absorbed under the destination owner's region
+//!    locks, sampled over many applies.
+//!
+//! The gate pins `delta_apply_p95_ms` (wall clock, covered by the
+//! gate's absolute slack) and `handoff_p99_ms` plus the nested virtual
+//! tails of the modeled run (exact) against the committed baseline.
+//!
+//! A third, ungated run repeats the federated harness with per-frame
+//! service times fed from the *measured* tracking timings in
+//! `results/BENCH_frame.json` (extract + stereo p50 on the CPU side,
+//! fused describe p50 as the GPU share). Its outputs are reported under
+//! keys without `p95`/`p99` on purpose: they inherit the measuring
+//! machine's speed through the service-time feed, so pinning them would
+//! couple the gate to whichever box last regenerated the frame bench.
+
+use bench::{gate, results_dir, save_json};
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use slamshare_core::federation::{Federation, ServerId};
+use slamshare_core::load::{self, LoadConfig, LoadReport};
+use slamshare_core::server::ServerConfig;
+use slamshare_math::Vec3;
+use slamshare_net::fed::{FedMessage, MapDelta};
+use slamshare_net::link::LinkConfig;
+use slamshare_sim::dataset::{Dataset, DatasetConfig, TracePreset};
+use slamshare_slam::ids::ClientId;
+use slamshare_slam::map::Map;
+use slamshare_slam::vocabulary;
+use std::sync::Arc;
+
+const SEED: u64 = 0x00FE_DE18;
+
+/// Offered clients / delta applies per effort tier.
+fn scale() -> (usize, usize) {
+    match std::env::var("SLAMSHARE_BENCH_EFFORT").as_deref() {
+        Ok("full") => (256, 512),
+        Ok("smoke") => (24, 32),
+        _ => (96, 192),
+    }
+}
+
+/// Measured per-frame tracking times from the committed frame bench, so
+/// the harness's service model is anchored to the real pipeline. Falls
+/// back to the smoke defaults if the file is absent (fresh checkout).
+fn measured_service_times() -> (f64, f64, bool) {
+    let path = results_dir().join("BENCH_frame.json");
+    let parsed = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| gate::parse(&text).ok());
+    let num = |json: &gate::Json, key: &str| -> Option<f64> {
+        if let gate::Json::Obj(fields) = json {
+            for (k, v) in fields {
+                if k == key {
+                    if let gate::Json::Num(n) = v {
+                        return Some(*n);
+                    }
+                }
+            }
+        }
+        None
+    };
+    match parsed {
+        Some(json) => {
+            let extract = num(&json, "extract_p50_ms");
+            let stereo = num(&json, "stereo_match_p50_ms");
+            let describe = num(&json, "fused_describe_p50_ms");
+            match (extract, stereo, describe) {
+                (Some(e), Some(s), Some(d)) => (e + s, d, true),
+                _ => (0.5, 8.0, false),
+            }
+        }
+        None => (0.5, 8.0, false),
+    }
+}
+
+/// The measured-service-time run, summarized WITHOUT `p95`/`p99` key
+/// names so `collect_p95` never pins machine-coupled numbers.
+#[derive(Serialize)]
+struct MeasuredRunReport {
+    /// Service times fed from results/BENCH_frame.json measurements.
+    cpu_service_ms: f64,
+    gpu_work_ms: f64,
+    service_times_measured: bool,
+    handoffs: u64,
+    handoffs_refused: u64,
+    frames_tracked: u64,
+    interactive_tail_ms: f64,
+    handoff_tail_ms: f64,
+}
+
+#[derive(Serialize)]
+struct FederationBenchReport {
+    seed: u64,
+    n_servers: usize,
+    clients_offered: usize,
+    /// Virtual decision-to-transfer handoff latency, p99 (exact).
+    handoff_p99_ms: f64,
+    handoffs: u64,
+    handoffs_refused: u64,
+    /// Wall-clock delta decode+absorb, p95 over `delta_applies` samples.
+    delta_apply_p95_ms: f64,
+    delta_applies: u64,
+    delta_bytes: u64,
+    federated: LoadReport,
+    measured: MeasuredRunReport,
+}
+
+fn bench(c: &mut Criterion) {
+    let (n_clients, n_applies) = scale();
+
+    // -- Gated federated harness run (modeled service times: exact). ---
+    let cfg = LoadConfig::federated(n_clients, SEED, 3);
+    let out = load::run(&cfg);
+    let r = out.report.clone();
+    assert_eq!(r.n_servers, 3);
+    assert!(r.handoffs > 0, "no client ever handed off: {r:?}");
+    assert_eq!(
+        r.handoff_latency.n, r.handoffs,
+        "every completed handoff must contribute a latency sample"
+    );
+    assert!(r.frames_tracked > 0, "federation stopped tracking");
+
+    // -- Ungated rerun with measured service times fed in. -------------
+    // The measured CPU time is per tracking worker; the harness charges
+    // it per lane, so scale lanes to keep the run in the served regime.
+    let (cpu_ms, gpu_ms, measured) = measured_service_times();
+    let mut mcfg = LoadConfig::federated(n_clients, SEED, 3).with_service_times(cpu_ms, gpu_ms);
+    mcfg.lanes = (n_clients / 2).max(32);
+    mcfg.slo_p99_ms = 1500.0;
+    let mr = load::run(&mcfg).report;
+    assert!(
+        mr.handoffs > 0,
+        "measured-rate run lost its roamers: {mr:?}"
+    );
+    assert!(mr.frames_tracked > 0, "measured-rate run stopped tracking");
+
+    // -- Delta-apply microbench over real absorb machinery. ------------
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(2)
+            .with_seed(51),
+    );
+    let vocab = Arc::new(vocabulary::train_random(42));
+    let mut fed = Federation::new(
+        2,
+        ServerConfig::stereo_default(ds.rig),
+        vocab,
+        LinkConfig::ten_gbe(),
+    );
+    let store = fed.server(1).expect("server 1").store.clone();
+    let owned = fed.ownership().regions_of(ServerId(1));
+    // Probe grid cells owned by the destination; fragments live there so
+    // every apply locks only destination-owned regions.
+    let mut cells: Vec<Vec3> = Vec::new();
+    for k in 0..20_000 {
+        let p = Vec3 {
+            x: (k % 200) as f64 * 10.0 + 5.0,
+            y: 0.0,
+            z: (k / 200) as f64 * 10.0 + 5.0,
+        };
+        if owned.contains(&store.region_of(p)) {
+            cells.push(p);
+            if cells.len() >= n_applies {
+                break;
+            }
+        }
+    }
+    assert!(!cells.is_empty(), "no grid cell owned by the destination");
+    // Realistic delta payload: a merge round ships a batch of keyframes
+    // with their landmarks, not a single pose. Keeping the batch large
+    // also keeps the wall-clock sample well above timer granularity.
+    const KFS_PER_DELTA: usize = 256;
+    let mut total_bytes = 0u64;
+    for (i, pos) in cells.iter().enumerate() {
+        let mut frag = Map::new(ClientId(7));
+        for j in 0..KFS_PER_DELTA {
+            // Jitter stays inside the owned 10-unit grid cell around `pos`.
+            let p = Vec3 {
+                x: pos.x + (j % 16) as f64 * 0.1,
+                y: pos.y,
+                z: pos.z + (j / 16) as f64 * 0.1,
+            };
+            let kf_id = frag.alloc.next_keyframe();
+            frag.insert_keyframe(slamshare_slam::map::KeyFrame {
+                id: kf_id,
+                pose_cw: slamshare_math::SE3::from_translation(Vec3 {
+                    x: -p.x,
+                    y: -p.y,
+                    z: -p.z,
+                }),
+                timestamp: (i * KFS_PER_DELTA + j) as f64 * 0.1,
+                keypoints: vec![slamshare_features::KeyPoint {
+                    pt: slamshare_math::Vec2::new(3.0, 4.0),
+                    octave: 0,
+                    angle: 0.0,
+                    response: 1.0,
+                    right_x: -1.0,
+                    depth: 2.0,
+                }],
+                descriptors: vec![slamshare_features::Descriptor::ZERO],
+                matched_points: vec![None],
+                bow: Default::default(),
+            });
+            frag.create_mappoint(p, slamshare_features::Descriptor::ZERO, kf_id, 0);
+        }
+        let bytes = FedMessage::Delta(MapDelta {
+            from_server: 0,
+            seq: i as u64 + 1,
+            fragment: frag,
+            fused: Vec::new(),
+        })
+        .encode();
+        total_bytes += bytes.len() as u64;
+        let receipt = fed
+            .apply_delta_bytes(1, &bytes)
+            .expect("delta must decode and apply");
+        assert!(
+            receipt.iter().all(|region| owned.contains(region)),
+            "delta apply locked a region the destination does not own"
+        );
+    }
+    let m = fed.metrics();
+    assert_eq!(m.deltas_applied, cells.len() as u64);
+    assert_eq!(m.decode_errors, 0);
+
+    let report = FederationBenchReport {
+        seed: SEED,
+        n_servers: r.n_servers,
+        clients_offered: r.clients_offered,
+        handoff_p99_ms: r.handoff_latency.p99_ms,
+        handoffs: r.handoffs,
+        handoffs_refused: r.handoffs_refused,
+        delta_apply_p95_ms: m.delta_apply_p95_ms(),
+        delta_applies: m.deltas_applied,
+        delta_bytes: total_bytes,
+        federated: r,
+        measured: MeasuredRunReport {
+            cpu_service_ms: cpu_ms,
+            gpu_work_ms: gpu_ms,
+            service_times_measured: measured,
+            handoffs: mr.handoffs,
+            handoffs_refused: mr.handoffs_refused,
+            frames_tracked: mr.frames_tracked,
+            interactive_tail_ms: mr.latency.interactive.p99_ms,
+            handoff_tail_ms: mr.handoff_latency.p99_ms,
+        },
+    };
+    println!(
+        "federation: {} clients on {} servers | handoffs {} (+{} refused) p99 {:.2} ms | \
+         {} delta applies p95 {:.3} ms ({} wire bytes) | {} service feed \
+         (cpu {:.2} ms, gpu {:.2} ms): interactive tail {:.1} ms",
+        report.clients_offered,
+        report.n_servers,
+        report.handoffs,
+        report.handoffs_refused,
+        report.handoff_p99_ms,
+        report.delta_applies,
+        report.delta_apply_p95_ms,
+        report.delta_bytes,
+        if report.measured.service_times_measured {
+            "measured"
+        } else {
+            "modeled"
+        },
+        report.measured.cpu_service_ms,
+        report.measured.gpu_work_ms,
+        report.measured.interactive_tail_ms,
+    );
+    save_json("BENCH_federation", &report);
+
+    // Kernel: one small federated harness run end to end.
+    let small = LoadConfig::federated(16, SEED, 2);
+    c.bench_function("federated_harness_16_clients_2_servers", |b| {
+        b.iter(|| std::hint::black_box(load::run(&small).report.handoffs))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

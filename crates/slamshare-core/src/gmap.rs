@@ -166,6 +166,25 @@ impl ShardedGlobalMap {
         self.dir.lock().graph.n_components()
     }
 
+    /// Region index a world position falls in. The assigner is a pure
+    /// function of `(n_shards, cell_m)`, so two servers built with the
+    /// same config agree on every position's region — the property the
+    /// federation ownership map is built on.
+    pub fn region_of(&self, p: Vec3) -> usize {
+        self.dir.lock().assigner.region_of(p) as usize
+    }
+
+    /// Sorted set of region indices a map fragment's keyframe camera
+    /// centers fall in (ownership routing for federation deltas).
+    pub fn regions_of_fragment(&self, fragment: &Map) -> Vec<usize> {
+        let dir = self.dir.lock();
+        let mut set: BTreeSet<usize> = BTreeSet::new();
+        for kf in fragment.keyframes.values() {
+            set.insert(dir.assigner.region_of(kf.pose_cw.camera_center()) as usize);
+        }
+        set.into_iter().collect()
+    }
+
     /// Current epoch of every region (lock-free).
     pub fn region_epochs(&self) -> Vec<u64> {
         (0..self.store.n_shards())

@@ -26,6 +26,14 @@
 pub mod baseline;
 pub mod client;
 pub mod experiments;
+// Federation moves state between servers' shared maps; a panic here
+// strands a client mid-transfer, so the module carries the same no-panic
+// gate as the gmap/ingest/qos shared-state paths.
+#[cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+pub mod federation;
 // Every byte behind the sharded global map's locks is shared state; a
 // panic inside would poison it for every client (same invariant as
 // slamshare-shm).

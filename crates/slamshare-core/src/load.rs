@@ -203,6 +203,17 @@ pub struct LoadConfig {
     pub join_ramp_s: f64,
     /// Retry delay after an at-capacity rejection, seconds.
     pub admission_retry_s: f64,
+    /// Edge servers in the federation. `1` is the classic single-server
+    /// harness — every multi-server branch is off and runs are
+    /// bit-identical to before the field existed. With `N > 1` the world
+    /// (x ∈ ±100 m) is split into N equal-width ownership bands and each
+    /// client is served by the band its position falls in.
+    pub n_servers: usize,
+    /// Percent of clients scripted as boundary roamers: their trajectory
+    /// center is pinned on an ownership boundary so their circle crosses
+    /// it deterministically, driving client handoffs. Inert when
+    /// `n_servers == 1`.
+    pub handoff_pct: u64,
 }
 
 impl LoadConfig {
@@ -236,6 +247,8 @@ impl LoadConfig {
             crash_timeout_s: 1.0,
             join_ramp_s: 1.5,
             admission_retry_s: 0.5,
+            n_servers: 1,
+            handoff_pct: 0,
         }
     }
 
@@ -257,6 +270,41 @@ impl LoadConfig {
             ..LoadConfig::smoke(n_clients, seed)
         }
     }
+
+    /// Multi-edge-server topology at smoke intensity: `n_servers`
+    /// ownership bands, a quarter of the population scripted to roam
+    /// across a band boundary. With `n_servers == 1` this is the plain
+    /// smoke config (roaming is inert) — the equivalence is pinned by a
+    /// test below.
+    pub fn federated(n_clients: usize, seed: u64, n_servers: usize) -> LoadConfig {
+        LoadConfig {
+            n_servers: n_servers.max(1),
+            handoff_pct: 25,
+            ..LoadConfig::smoke(n_clients, seed)
+        }
+    }
+
+    /// Replace the modeled per-frame service constants with measured
+    /// timings (e.g. the tracking p50s from `results/BENCH_frame.json`),
+    /// so harness latency distributions are anchored to the real
+    /// pipeline instead of guesses.
+    pub fn with_service_times(mut self, cpu_service_ms: f64, gpu_work_ms: f64) -> LoadConfig {
+        self.cpu_service_ms = cpu_service_ms;
+        self.gpu_work_ms = gpu_work_ms;
+        self
+    }
+}
+
+/// Which ownership band (edge server) serves world position `x`. The
+/// world the trajectory generator draws from is x ∈ ±100 m; it is split
+/// into `n_servers` equal-width static bands, mirroring the region
+/// partition [`crate::federation::OwnershipMap`] applies to map shards.
+pub fn owner_of_x(n_servers: usize, x: f64) -> usize {
+    if n_servers <= 1 {
+        return 0;
+    }
+    let t = ((x + 100.0) / 200.0).clamp(0.0, 1.0);
+    ((t * n_servers as f64) as usize).min(n_servers - 1)
 }
 
 // ---------------------------------------------------------------------
@@ -339,6 +387,15 @@ pub struct LoadReport {
     pub latency: LatencyByClass,
     pub slo_p99_ms: f64,
     pub slo_met: bool,
+    /// Edge servers in the run (1 = classic single-server harness).
+    pub n_servers: usize,
+    /// Completed client handoffs between ownership bands.
+    pub handoffs: u64,
+    /// Handoffs refused because the destination was at capacity (the
+    /// client stays on its old home — never stranded).
+    pub handoffs_refused: u64,
+    /// Decision-to-transfer latency of completed handoffs.
+    pub handoff_latency: LatencySummary,
 }
 
 /// A finished run: the report plus each client's served trajectory
@@ -444,6 +501,21 @@ impl Device {
         let cx = (wp.next_f64() - 0.5) * 200.0;
         let cz = (wp.next_f64() - 0.5) * 200.0;
         let r = 3.0 + wp.next_f64() * 9.0;
+        // Scripted boundary roamer: pin the loop's center on the nearest
+        // ownership boundary (and widen the loop past quantization) so the
+        // trajectory deterministically crosses between bands every lap.
+        // The draw count above is unchanged, so non-roamers — and every
+        // client when `n_servers == 1` — keep bit-identical trajectories.
+        let roamer = config.n_servers > 1
+            && config.handoff_pct > 0
+            && mix(config.seed, u64::from(id) * 23 + 17) % 100 < config.handoff_pct;
+        let (cx, r) = if roamer {
+            let band = owner_of_x(config.n_servers, cx).min(config.n_servers - 2);
+            let boundary = -100.0 + 200.0 * (band + 1) as f64 / config.n_servers as f64;
+            (boundary, r.max(6.0))
+        } else {
+            (cx, r)
+        };
         let waypoints = (0..5)
             .map(|k| {
                 let th = k as f64 / 5.0 * std::f64::consts::TAU;
@@ -620,6 +692,40 @@ impl SimServer {
     }
 }
 
+/// The federation: one [`SimServer`] per ownership band plus the client
+/// → home-server routing table. With one server this is a transparent
+/// wrapper — every route resolves to server 0 and runs are bit-identical
+/// to the pre-federation harness.
+struct SimFederation {
+    servers: Vec<SimServer>,
+    home: BTreeMap<u16, usize>,
+    handoffs: u64,
+    handoffs_refused: u64,
+    handoff_latency: Vec<f64>,
+}
+
+impl SimFederation {
+    fn new(config: &LoadConfig) -> SimFederation {
+        SimFederation {
+            servers: (0..config.n_servers.max(1))
+                .map(|_| SimServer::new(config))
+                .collect(),
+            home: BTreeMap::new(),
+            handoffs: 0,
+            handoffs_refused: 0,
+            handoff_latency: Vec::new(),
+        }
+    }
+
+    /// The server currently responsible for `id` (its home band; clients
+    /// that never joined default to server 0, where their deliveries are
+    /// counted as stray).
+    fn home_of(&mut self, id: u16) -> &mut SimServer {
+        let h = self.home.get(&id).copied().unwrap_or(0);
+        &mut self.servers[h]
+    }
+}
+
 // ---------------------------------------------------------------------
 // The harness
 // ---------------------------------------------------------------------
@@ -633,6 +739,13 @@ enum Ev {
     Deliver(u16, QueuedFrame),
     /// A server-issued resync request reaches the device.
     Resync(u16),
+    /// The client's position crossed into another ownership band; the
+    /// transfer request (decided at the carried time) reaches the servers.
+    Handoff {
+        id: u16,
+        target: usize,
+        decided: SimTime,
+    },
     Round,
 }
 
@@ -654,7 +767,8 @@ pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
         .iter()
         .map(|&id| (id, Device::new(config, id)))
         .collect();
-    let mut server = SimServer::new(config);
+    let mut fed = SimFederation::new(config);
+    let n_servers = fed.servers.len();
     let mut q: EventQueue<Ev> = EventQueue::new();
 
     for (&id, dev) in &devices {
@@ -692,8 +806,31 @@ pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
                 if dev.phase == DevicePhase::Live {
                     continue;
                 }
+                // Join (or rejoin) lands on the band the trajectory starts
+                // in; a rejoiner returns to its last home.
+                let target = fed
+                    .home
+                    .get(&id)
+                    .copied()
+                    .unwrap_or_else(|| owner_of_x(n_servers, dev.traj.position(0.0).x));
+                let server = &mut fed.servers[target];
+                // A rejoin can land before the periodic timeout scan has
+                // evicted the crashed registration. The old registration is
+                // provably dead the moment its silence exceeds the crash
+                // timeout, so evict it here instead of bouncing the rejoin
+                // with `AlreadyRegistered` — the bounce-and-retry this
+                // replaces could push the retry past the session end (a
+                // lost rejoin), and the stale queue must not be inherited
+                // by the fresh registration either way.
+                if let Some(s) = server.states.get(&id) {
+                    if now.since(s.last_heard) > crash_timeout {
+                        server.retire(id);
+                        server.crash_evictions += 1;
+                    }
+                }
                 match server.admit(id, now, config.queue_cap) {
                     Ok(()) => {
+                        fed.home.insert(id, target);
                         if dev.phase == DevicePhase::Gone {
                             // Crash-rejoin: fresh encoder (the old
                             // reference chain died with the process),
@@ -714,8 +851,9 @@ pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
                         }
                     }
                     Err(RegisterError::AlreadyRegistered(_)) => {
-                        // Rejoin raced the crash-eviction timeout: the old
-                        // registration is still live. Retry after it ages out.
+                        // Still live on the server (no timeout elapsed):
+                        // a genuinely premature rejoin. Retry after the
+                        // registration can age out.
                         let retry = now + crash_timeout;
                         if retry < end {
                             q.schedule(retry, Ev::Join(id));
@@ -728,6 +866,7 @@ pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
                 // typed duplicate rejection that leaves the registration
                 // untouched (the pre-fix server leaked state here).
                 if devices.get(&id).map(|d| d.phase) == Some(DevicePhase::Live) {
+                    let server = fed.home_of(id);
                     let before = server.states.contains_key(&id);
                     let res = server.admit(id, now, config.queue_cap);
                     assert!(matches!(res, Err(RegisterError::AlreadyRegistered(_))));
@@ -742,7 +881,7 @@ pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
                     dev.phase = DevicePhase::Gone;
                     // Graceful: the client says goodbye, the server retires
                     // the registration immediately.
-                    server.retire(id);
+                    fed.home_of(id).retire(id);
                 }
             }
             Ev::Crash(id) => {
@@ -768,6 +907,26 @@ pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
                 }
                 let t_rel = now.since(dev.joined_at).as_secs();
                 let pose = dev.render(t_rel);
+                // Handoff detection: the client's position has left its
+                // home band. The transfer request is a small control
+                // message on the uplink's latency (not its FIFO — it does
+                // not queue behind staged video).
+                if n_servers > 1 {
+                    if let Some(&h) = fed.home.get(&id) {
+                        let target = owner_of_x(n_servers, pose.x);
+                        if target != h {
+                            let at = dev.channel.uplink.one_shot(now, 64);
+                            q.schedule(
+                                at,
+                                Ev::Handoff {
+                                    id,
+                                    target,
+                                    decided: now,
+                                },
+                            );
+                        }
+                    }
+                }
                 let frame = dev.encoder.encode(&dev.img);
                 let mut payload = frame.data.to_vec();
                 // Exactly two draws per capture, phase- and server-independent.
@@ -818,6 +977,10 @@ pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
                 }
             }
             Ev::Deliver(id, mut frame) => {
+                // Route to the current home: frames in flight across a
+                // handoff land on the new home, where the index gap they
+                // open drives the forced-I-frame resync below.
+                let server = fed.home_of(id);
                 let Some(s) = server.states.get_mut(&id) else {
                     // Crashed-and-evicted (or never-admitted) sender.
                     server.stray += 1;
@@ -842,91 +1005,136 @@ pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
                     }
                 }
             }
-            Ev::Round => {
-                // Evict silent clients (crash detection).
-                let timed_out: Vec<u16> = server
-                    .states
-                    .iter()
-                    .filter(|(_, s)| now.since(s.last_heard) > crash_timeout)
-                    .map(|(&id, _)| id)
-                    .collect();
-                for id in timed_out {
-                    server.retire(id);
-                    server.crash_evictions += 1;
+            Ev::Handoff {
+                id,
+                target,
+                decided,
+            } => {
+                // Only live clients transfer, and only if the pending
+                // request is still meaningful (the client may have crossed
+                // back, or a prior duplicate request may have already
+                // transferred it).
+                if devices.get(&id).map(|d| d.phase) != Some(DevicePhase::Live) {
+                    continue;
                 }
-                // Serve ≤1 staged frame per admitted client, in id order.
-                let slices = server.gpu.slice_sms();
-                let served_ids: Vec<u16> = server.states.keys().copied().collect();
-                for id in served_ids {
-                    let Some(s) = server.states.get_mut(&id) else {
-                        continue;
-                    };
-                    let Some(frame) = s.queue.pop() else { continue };
-                    if frame.follows_gap {
-                        s.ingest.note_discontinuity();
+                let Some(&h) = fed.home.get(&id) else {
+                    continue;
+                };
+                if h == target || target >= n_servers {
+                    continue;
+                }
+                // Admit on the destination FIRST: a refusal must leave the
+                // old registration untouched (the client is degraded, not
+                // stranded). Same ordering as `Federation::maybe_handoff`.
+                match fed.servers[target].admit(id, now, config.queue_cap) {
+                    Ok(()) => {
+                        // Old home retires the registration: staged frames
+                        // are purged (exactly accounted), the GPU slice and
+                        // admission slot are released. The fresh ingest on
+                        // the new home sees the next P-frame as a gap and
+                        // forces an I-frame resync — tracking resumes.
+                        fed.servers[h].retire(id);
+                        fed.home.insert(id, target);
+                        fed.handoffs += 1;
+                        fed.handoff_latency.push(now.since(decided).as_millis());
                     }
-                    match s.ingest.decode(&frame.left, None) {
-                        DecodeOutcome::Dropped { fault } => {
-                            if !s.resync_pending {
-                                s.resync_pending = true;
-                                let dev = devices.get_mut(&id);
-                                if let Some(dev) = dev {
-                                    let at = dev.channel.downlink.send(now, 64);
-                                    q.schedule(at, Ev::Resync(id));
-                                }
-                            }
-                            let _ = fault;
-                            server.set_degraded(id, true, config.priorities);
+                    Err(_) => {
+                        fed.handoffs_refused += 1;
+                    }
+                }
+            }
+            Ev::Round => {
+                for server in &mut fed.servers {
+                    // Evict silent clients (crash detection).
+                    let timed_out: Vec<u16> = server
+                        .states
+                        .iter()
+                        .filter(|(_, s)| now.since(s.last_heard) > crash_timeout)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in timed_out {
+                        server.retire(id);
+                        server.crash_evictions += 1;
+                    }
+                    // Serve ≤1 staged frame per admitted client, in id order.
+                    let slices = server.gpu.slice_sms();
+                    let served_ids: Vec<u16> = server.states.keys().copied().collect();
+                    for id in served_ids {
+                        let Some(s) = server.states.get_mut(&id) else {
+                            continue;
+                        };
+                        let Some(frame) = s.queue.pop() else { continue };
+                        if frame.follows_gap {
+                            s.ingest.note_discontinuity();
                         }
-                        DecodeOutcome::Decoded {
-                            left, relocalize, ..
-                        } => {
-                            let sms = slices
-                                .get(&(u32::from(id), WorkClass::Tracking))
-                                .copied()
-                                .unwrap_or(1)
-                                .max(1);
-                            let service_ms =
-                                config.cpu_service_ms + config.gpu_work_ms / sms as f64;
-                            // First-free lane, deterministic tie-break.
-                            let lane = (0..server.lanes.len())
-                                .min_by_key(|&i| server.lanes[i])
-                                .unwrap_or(0);
-                            let start = server.lanes[lane].max(now);
-                            let done = start + SimTime::from_millis(service_ms);
-                            server.lanes[lane] = done;
-                            let latency = done.since(frame.captured_at).as_millis();
-                            // The relocalizing frame itself is served in the
-                            // degraded class; the stream is interactive again
-                            // from the next frame on.
-                            if let Some(s2) = server.states.get(&id) {
-                                if s2.degraded || relocalize {
-                                    lat_degraded.push(latency);
-                                } else {
-                                    lat_interactive.push(latency);
+                        match s.ingest.decode(&frame.left, None) {
+                            DecodeOutcome::Dropped { fault } => {
+                                if !s.resync_pending {
+                                    s.resync_pending = true;
+                                    let dev = devices.get_mut(&id);
+                                    if let Some(dev) = dev {
+                                        let at = dev.channel.downlink.send(now, 64);
+                                        q.schedule(at, Ev::Resync(id));
+                                    }
                                 }
+                                let _ = fault;
+                                server.set_degraded(id, true, config.priorities);
                             }
-                            if let Some(s2) = server.states.get_mut(&id) {
-                                s2.resync_pending = false;
-                                s2.ingest.recycle(left);
-                            }
-                            server.set_degraded(id, false, config.priorities);
-                            tracked += 1;
-                            if let (Some(traj), Some(hint)) =
-                                (trajectories.get_mut(&id), frame.pose_hint)
-                            {
-                                traj.push((
-                                    frame.frame_idx,
-                                    [hint.trans.x, hint.trans.y, hint.trans.z],
-                                ));
+                            DecodeOutcome::Decoded {
+                                left, relocalize, ..
+                            } => {
+                                let sms = slices
+                                    .get(&(u32::from(id), WorkClass::Tracking))
+                                    .copied()
+                                    .unwrap_or(1)
+                                    .max(1);
+                                let service_ms =
+                                    config.cpu_service_ms + config.gpu_work_ms / sms as f64;
+                                // First-free lane, deterministic tie-break.
+                                let lane = (0..server.lanes.len())
+                                    .min_by_key(|&i| server.lanes[i])
+                                    .unwrap_or(0);
+                                let start = server.lanes[lane].max(now);
+                                let done = start + SimTime::from_millis(service_ms);
+                                server.lanes[lane] = done;
+                                let latency = done.since(frame.captured_at).as_millis();
+                                // The relocalizing frame itself is served in the
+                                // degraded class; the stream is interactive again
+                                // from the next frame on.
+                                if let Some(s2) = server.states.get(&id) {
+                                    if s2.degraded || relocalize {
+                                        lat_degraded.push(latency);
+                                    } else {
+                                        lat_interactive.push(latency);
+                                    }
+                                }
+                                if let Some(s2) = server.states.get_mut(&id) {
+                                    s2.resync_pending = false;
+                                    s2.ingest.recycle(left);
+                                }
+                                server.set_degraded(id, false, config.priorities);
+                                tracked += 1;
+                                if let (Some(traj), Some(hint)) =
+                                    (trajectories.get_mut(&id), frame.pose_hint)
+                                {
+                                    traj.push((
+                                        frame.frame_idx,
+                                        [hint.trans.x, hint.trans.y, hint.trans.z],
+                                    ));
+                                }
                             }
                         }
                     }
                 }
                 // Next round: camera cadence, or as soon as a lane frees
-                // under saturation — the server cannot round faster than
-                // it can serve.
-                let lane_free = server.lanes.iter().copied().min().unwrap_or(now);
+                // under saturation — no server can round faster than it
+                // can serve.
+                let lane_free = fed
+                    .servers
+                    .iter()
+                    .flat_map(|sv| sv.lanes.iter().copied())
+                    .min()
+                    .unwrap_or(now);
                 let next = (now + frame_dt).max(lane_free);
                 if next <= end {
                     q.schedule(next, Ev::Round);
@@ -936,27 +1144,36 @@ pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
     }
 
     // ------------------------------------------------------------------
-    // Fold counters: live queues + retired aggregate.
+    // Fold counters across servers: live queues + retired aggregates.
     // ------------------------------------------------------------------
-    let mut queue_offered = server.retired.offered;
-    let mut queue_served = server.retired.served;
-    let mut queue_dropped = server.retired.dropped;
-    let mut queue_purged = server.retired.purged;
+    let mut queue_offered = 0u64;
+    let mut queue_served = 0u64;
+    let mut queue_dropped = 0u64;
+    let mut queue_purged = 0u64;
     let mut queue_residual = 0u64;
-    let mut decode_errors = server.retired.decode_errors;
-    let mut ingest_dropped = server.retired.ingest_dropped;
-    let mut resyncs = server.retired.resyncs;
-    for s in server.states.values() {
-        let qs = s.queue.counters().snapshot();
-        queue_offered += qs.offered;
-        queue_served += qs.served;
-        queue_dropped += qs.dropped_overflow;
-        queue_purged += qs.purged;
-        queue_residual += s.queue.len() as u64;
-        let is = s.ingest.counters().snapshot();
-        decode_errors += is.decode_errors;
-        ingest_dropped += is.dropped_frames;
-        resyncs += is.resyncs;
+    let mut decode_errors = 0u64;
+    let mut ingest_dropped = 0u64;
+    let mut resyncs = 0u64;
+    for server in &fed.servers {
+        queue_offered += server.retired.offered;
+        queue_served += server.retired.served;
+        queue_dropped += server.retired.dropped;
+        queue_purged += server.retired.purged;
+        decode_errors += server.retired.decode_errors;
+        ingest_dropped += server.retired.ingest_dropped;
+        resyncs += server.retired.resyncs;
+        for s in server.states.values() {
+            let qs = s.queue.counters().snapshot();
+            queue_offered += qs.offered;
+            queue_served += qs.served;
+            queue_dropped += qs.dropped_overflow;
+            queue_purged += qs.purged;
+            queue_residual += s.queue.len() as u64;
+            let is = s.ingest.counters().snapshot();
+            decode_errors += is.decode_errors;
+            ingest_dropped += is.dropped_frames;
+            resyncs += is.resyncs;
+        }
     }
     // Conservation: every delivered frame is accounted for, exactly.
     assert_eq!(delivered, queue_offered, "delivered != offered to queues");
@@ -966,24 +1183,32 @@ pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
         "queue conservation violated"
     );
 
-    let adm = server.admission.snapshot();
+    let mut adm = crate::qos::AdmissionSnapshot::default();
+    for server in &fed.servers {
+        let a = server.admission.snapshot();
+        adm.live += a.live;
+        adm.admitted += a.admitted;
+        adm.rejected_capacity += a.rejected_capacity;
+        adm.rejected_duplicate += a.rejected_duplicate;
+        adm.departed += a.departed;
+    }
     let interactive = LatencySummary::from_samples(lat_interactive);
     let slo_met = interactive.n == 0 || interactive.p99_ms <= config.slo_p99_ms;
     let report = LoadReport {
         clients_offered: ids.len(),
         virtual_secs: config.duration_s,
-        peak_live: server.peak_live,
+        peak_live: fed.servers.iter().map(|sv| sv.peak_live).sum(),
         admitted: adm.admitted,
         rejected_capacity: adm.rejected_capacity,
         rejected_duplicate: adm.rejected_duplicate,
         departed: adm.departed,
-        crash_evictions: server.crash_evictions,
+        crash_evictions: fed.servers.iter().map(|sv| sv.crash_evictions).sum(),
         rejoins,
         frames_captured: devices.values().map(|d| d.captured).sum(),
         frames_lost_uplink: devices.values().map(|d| d.lost_uplink).sum(),
         faults_injected: devices.values().map(|d| d.faults).sum(),
         frames_delivered: delivered,
-        frames_stray: server.stray,
+        frames_stray: fed.servers.iter().map(|sv| sv.stray).sum(),
         queue_offered,
         queue_served,
         queue_dropped,
@@ -993,13 +1218,17 @@ pub fn run_subset(config: &LoadConfig, ids: &[u16]) -> LoadOutcome {
         decode_errors,
         ingest_dropped,
         resyncs,
-        gpu_priority_demotions: server.priority_demotions,
+        gpu_priority_demotions: fed.servers.iter().map(|sv| sv.priority_demotions).sum(),
         latency: LatencyByClass {
             interactive,
             degraded: LatencySummary::from_samples(lat_degraded),
         },
         slo_p99_ms: config.slo_p99_ms,
         slo_met,
+        n_servers,
+        handoffs: fed.handoffs,
+        handoffs_refused: fed.handoffs_refused,
+        handoff_latency: LatencySummary::from_samples(fed.handoff_latency),
     };
     LoadOutcome {
         report,
@@ -1063,6 +1292,78 @@ mod tests {
             r.slo_met,
             "p99 {} > {}",
             r.latency.interactive.p99_ms, r.slo_p99_ms
+        );
+    }
+
+    /// Satellite bugfix pin: a rejoin that lands while the crashed
+    /// registration is still on the books (the timeout scan only runs at
+    /// round cadence, and rounds stall under lane saturation) must evict
+    /// the provably-dead registration inline and admit fresh — never
+    /// bounce as `AlreadyRegistered` (which could push the retry past the
+    /// session end and lose the rejoin) and never inherit the stale
+    /// queue. With the fix, the rejoin count is an exact function of the
+    /// churn script; the sweep pins it seed by seed.
+    #[test]
+    fn rejoin_never_races_timeout_eviction() {
+        let mut total_predicted = 0u64;
+        for seed in 1..=24u64 {
+            let mut cfg = LoadConfig::smoke(8, seed);
+            // One slow lane: rounds (and with them the timeout-eviction
+            // scan) stall far past the crash timeout, so rejoins reliably
+            // arrive before the scan — the exact race under test.
+            cfg.lanes = 1;
+            cfg.cpu_service_ms = 300.0;
+            cfg.gpu_work_ms = 0.0;
+            cfg.crash_pct = 50;
+            cfg.leave_pct = 0;
+            cfg.duplicate_join_pct = 0;
+            cfg.fault_pct = 0;
+            cfg.loss = false;
+            let end = SimTime::from_secs(cfg.duration_s);
+            let crash_timeout = SimTime::from_secs(cfg.crash_timeout_s);
+            let predicted = (1..=cfg.n_clients as u16)
+                .filter(|&id| match client_fate(&cfg, id) {
+                    Fate::Crasher { at, rejoin: true } => {
+                        at + crash_timeout + SimTime::from_secs(1.0) < end
+                    }
+                    _ => false,
+                })
+                .count() as u64;
+            total_predicted += predicted;
+            let out = run(&cfg);
+            assert_eq!(
+                out.report.rejoins, predicted,
+                "seed {seed}: rejoin bounced or lost ({:?})",
+                out.report
+            );
+        }
+        assert!(total_predicted > 0, "sweep never scripted a rejoin");
+    }
+
+    #[test]
+    fn federated_two_server_run_hands_off_and_conserves() {
+        let cfg = LoadConfig::federated(32, 9, 2);
+        let out = run(&cfg);
+        let r = &out.report;
+        assert_eq!(r.n_servers, 2);
+        assert!(r.handoffs > 0, "no roamer crossed a boundary: {r:?}");
+        assert_eq!(r.handoff_latency.n, r.handoffs);
+        assert!(r.frames_tracked > 0, "federation stopped tracking: {r:?}");
+        // Fresh ingest on the new home sees the next P-frame as a gap and
+        // forces an I-frame resync.
+        assert!(r.resyncs > 0, "handoffs must drive resyncs: {r:?}");
+    }
+
+    /// `n_servers == 1` must leave the harness bit-identical to the
+    /// pre-federation code path — trajectories and the full report.
+    #[test]
+    fn single_server_federation_is_bit_identical_to_classic() {
+        let a = run(&LoadConfig::smoke(24, 7));
+        let b = run(&LoadConfig::federated(24, 7, 1));
+        assert_eq!(a.trajectories, b.trajectories);
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap()
         );
     }
 

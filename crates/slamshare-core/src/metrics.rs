@@ -26,6 +26,11 @@ pub struct ServerMetrics {
     pub admission: AdmissionSnapshot,
     /// Per-client staged-frame queue counters (backpressure drops).
     pub queues: BTreeMap<u16, QueueSnapshot>,
+    /// Counters of clients that have since deregistered, folded at
+    /// departure time. Without this aggregate a departed client's drops
+    /// and purges vanished from the server totals the moment its counter
+    /// handles were removed.
+    pub retired: RetiredSnapshot,
     pub merge_worker: Option<MergeWorkerSnapshot>,
     /// Per-region contention of the sharded global map.
     pub map_sharding: MapShardingSnapshot,
@@ -41,19 +46,63 @@ pub struct ServerMetrics {
 }
 
 impl ServerMetrics {
-    /// Total decode errors across all clients.
+    /// Total decode errors across all clients, live and retired.
     pub fn total_decode_errors(&self) -> u64 {
-        self.per_client.values().map(|c| c.decode_errors).sum()
+        self.per_client
+            .values()
+            .map(|c| c.decode_errors)
+            .sum::<u64>()
+            + self.retired.ingest.decode_errors
     }
 
-    /// Total resyncs across all clients.
+    /// Total resyncs across all clients, live and retired.
     pub fn total_resyncs(&self) -> u64 {
-        self.per_client.values().map(|c| c.resyncs).sum()
+        self.per_client.values().map(|c| c.resyncs).sum::<u64>() + self.retired.ingest.resyncs
     }
 
-    /// Total frames shed by the backpressure policy across all clients.
+    /// Total frames shed by the backpressure policy across all clients,
+    /// live and retired.
     pub fn total_queue_drops(&self) -> u64 {
-        self.queues.values().map(|q| q.dropped_overflow).sum()
+        self.queues
+            .values()
+            .map(|q| q.dropped_overflow)
+            .sum::<u64>()
+            + self.retired.queues.dropped_overflow
+    }
+
+    /// Total frames purged at departure/handoff, live and retired.
+    pub fn total_queue_purged(&self) -> u64 {
+        self.queues.values().map(|q| q.purged).sum::<u64>() + self.retired.queues.purged
+    }
+}
+
+/// Aggregate of departed clients' final counters, folded by
+/// [`crate::server::EdgeServer::deregister_client`]. Live clients report
+/// per-id in [`ServerMetrics::per_client`]/[`ServerMetrics::queues`];
+/// this keeps the cumulative totals exact across churn and handoff.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RetiredSnapshot {
+    /// Clients deregistered so far.
+    pub clients: u64,
+    /// Sum of departed clients' final queue counters.
+    pub queues: QueueSnapshot,
+    /// Sum of departed clients' final ingest counters.
+    pub ingest: ClientIngestSnapshot,
+}
+
+impl RetiredSnapshot {
+    /// Fold one departing client's final counter snapshots in.
+    pub fn fold(&mut self, queue: QueueSnapshot, ingest: ClientIngestSnapshot) {
+        self.clients += 1;
+        self.queues.offered += queue.offered;
+        self.queues.served += queue.served;
+        self.queues.dropped_overflow += queue.dropped_overflow;
+        self.queues.purged += queue.purged;
+        self.ingest.frames_decoded += ingest.frames_decoded;
+        self.ingest.decode_errors += ingest.decode_errors;
+        self.ingest.dropped_frames += ingest.dropped_frames;
+        self.ingest.resyncs += ingest.resyncs;
+        self.ingest.relocalizations += ingest.relocalizations;
     }
 }
 

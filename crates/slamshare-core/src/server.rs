@@ -68,7 +68,8 @@ use crate::gmap::{LockSeeds, ShardedGlobalMap};
 use crate::ingest::{DecodeOutcome, IngestCounters, VideoIngest};
 use crate::merge_worker::{AppliedMerge, MergeContext, MergeJob, MergeWorker};
 use crate::metrics::{
-    FpsTracker, MapShardingSnapshot, MergeWorkerSnapshot, MetricsCut, RegionLockStat, ServerMetrics,
+    FpsTracker, MapShardingSnapshot, MergeWorkerSnapshot, MetricsCut, RegionLockStat,
+    RetiredSnapshot, ServerMetrics,
 };
 use crate::qos::{Admission, FrameQueue, QueueCounters, QueuedFrame, RegisterError};
 use parking_lot::Mutex;
@@ -332,6 +333,10 @@ pub struct EdgeServer {
     queue_counters: HashMap<u16, Arc<QueueCounters>>,
     /// The bounded live-client set ([`ServerConfig::max_clients`]).
     admission: Admission,
+    /// Aggregate final counters of departed clients, folded at
+    /// deregistration so their drops/purges keep counting in the server
+    /// totals (see [`crate::metrics::RetiredSnapshot`]).
+    retired: Mutex<RetiredSnapshot>,
     /// `(timestamp, client, outcome)` log of merges.
     merge_log: Mutex<Vec<(f64, u16, MergeOutcome)>>,
     /// Worker threads used by [`EdgeServer::process_round`]'s tracking
@@ -424,6 +429,7 @@ impl EdgeServer {
             ingest_counters: HashMap::new(),
             queue_counters: HashMap::new(),
             admission,
+            retired: Mutex::new(RetiredSnapshot::default()),
             merge_log: Mutex::new(Vec::new()),
             round_workers: std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -486,6 +492,7 @@ impl EdgeServer {
                 .iter()
                 .map(|(&id, c)| (id, c.snapshot()))
                 .collect(),
+            retired: *self.retired.lock(),
             merge_worker: self.merge_worker_stats(),
             map_sharding: self.map_sharding_snapshot(),
             obs: Default::default(),
@@ -588,16 +595,35 @@ impl EdgeServer {
 
     /// Remove a client process, releasing its GPU slice, staged frames
     /// and admission slot. Its contributions stay in the global map.
+    ///
+    /// The departing client's final queue/ingest counters are folded into
+    /// the retired aggregate ([`ServerMetrics::retired`]) before the
+    /// per-client handles are dropped — purged/dropped frames keep
+    /// counting in the server totals, so `offered == served + dropped +
+    /// purged` stays checkable across arbitrary churn and handoff. A
+    /// rejoin with the same id then starts from completely fresh
+    /// ingest/queue/counter state. Unknown ids are a no-op.
     pub fn deregister_client(&mut self, id: u16) {
-        if let Some(process) = self.clients.remove(&id) {
-            // Count still-staged frames as purged so queue accounting
-            // stays balanced across churn.
-            process.lock().queue.purge();
-        }
-        self.ingest_counters.remove(&id);
-        self.queue_counters.remove(&id);
-        self.admission.depart(id);
-        self.gpu.deregister_client(id as u32);
+        // One metrics write section: a concurrent metrics read sees the
+        // counters either live (per-id) or retired (aggregate), never
+        // both and never neither.
+        self.cut.write(|| {
+            if let Some(process) = self.clients.remove(&id) {
+                // Count still-staged frames as purged so queue accounting
+                // stays balanced across churn. Must happen before the
+                // counter handles are folded below.
+                process.lock().queue.purge();
+            }
+            let ingest = self.ingest_counters.remove(&id).map(|c| c.snapshot());
+            let queue = self.queue_counters.remove(&id).map(|c| c.snapshot());
+            if ingest.is_some() || queue.is_some() {
+                self.retired
+                    .lock()
+                    .fold(queue.unwrap_or_default(), ingest.unwrap_or_default());
+            }
+            self.admission.depart(id);
+            self.gpu.deregister_client(id as u32);
+        });
     }
 
     /// The admission controller's current counters.

@@ -1,0 +1,385 @@
+//! Federation wire messages: what edge servers exchange with each other.
+//!
+//! Two message kinds cross the server↔server links:
+//!
+//! * [`MapDelta`] — an `AppliedMerge`-style fragment of the global map
+//!   (the keyframes/mappoints a merge added plus its fusion substitutions)
+//!   bound for the server that owns the destination regions. The fragment
+//!   reuses the [`crate::wire`] map codec, so the delta path inherits the
+//!   codec's bounded-allocation guarantees.
+//! * [`Handoff`] — a client transfer notice: the session facts the new
+//!   home server needs to resume the client (next frame index, timestamp,
+//!   last tracked pose) before the forced I-frame resync arrives.
+//!
+//! Decoding is **total** like the rest of this crate: adversarial bytes
+//! produce a typed [`FederationError`], never a panic. Messages carry a
+//! version byte and a tag byte so a mixed-version federation fails loudly
+//! instead of misparsing.
+
+use crate::wire::{decode_map, encode_map, WireError, WireReader, WireWriter};
+use bytes::Bytes;
+use slamshare_math::SE3;
+use slamshare_slam::map::Map;
+
+/// Wire-format version for the federation family. Bump on any layout
+/// change — peers reject mismatches with [`FederationError::BadVersion`].
+pub const FED_WIRE_VERSION: u8 = 1;
+
+const TAG_DELTA: u8 = 1;
+const TAG_HANDOFF: u8 = 2;
+
+/// Sanity bound on fused-pair counts inside one delta.
+const MAX_FUSED: usize = 1 << 22;
+
+/// Typed failure decoding (or validating) a federation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FederationError {
+    /// The underlying byte stream was malformed.
+    Wire(WireError),
+    /// The peer speaks a different federation wire version.
+    BadVersion(u8),
+    /// The message tag byte was not a known [`FedMessage`] kind.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for FederationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FederationError::Wire(e) => write!(f, "federation wire error: {e}"),
+            FederationError::BadVersion(v) => {
+                write!(f, "unsupported federation wire version {v}")
+            }
+            FederationError::BadTag(t) => write!(f, "unknown federation message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for FederationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FederationError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for FederationError {
+    fn from(e: WireError) -> FederationError {
+        FederationError::Wire(e)
+    }
+}
+
+/// A map-merge delta bound for the server owning the destination regions.
+///
+/// The fragment is the merged client's contribution exactly as the origin
+/// server's merge planned it (world-frame poses/positions, namespaced
+/// ids), so the owner can absorb it under only its own region locks.
+#[derive(Debug, Clone)]
+pub struct MapDelta {
+    /// Origin server.
+    pub from_server: u32,
+    /// Per-origin monotone sequence number (FIFO links keep these in
+    /// order; a gap means a lost delta).
+    pub seq: u64,
+    /// The map fragment to absorb.
+    pub fragment: Map,
+    /// Fusion substitutions the merge performed, as raw
+    /// `(duplicate_id, canonical_id)` map-point id pairs.
+    pub fused: Vec<(u64, u64)>,
+}
+
+/// A client transfer notice from the old home server to the new one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handoff {
+    /// The client being transferred.
+    pub client: u16,
+    /// Origin (old home) server.
+    pub from_server: u32,
+    /// Per-origin monotone sequence number.
+    pub seq: u64,
+    /// The next frame index the client will upload.
+    pub next_frame_idx: u64,
+    /// Virtual timestamp of the transfer decision, seconds.
+    pub timestamp: f64,
+    /// Last tracked camera→world pose, if the client was tracking.
+    pub last_pose: Option<SE3>,
+}
+
+/// The federation message family.
+#[derive(Debug, Clone)]
+pub enum FedMessage {
+    Delta(MapDelta),
+    Handoff(Handoff),
+}
+
+impl FedMessage {
+    /// Encode to wire bytes (version byte, tag byte, payload).
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        w.u8(FED_WIRE_VERSION);
+        match self {
+            FedMessage::Delta(d) => {
+                w.u8(TAG_DELTA);
+                w.u32(d.from_server);
+                w.u64(d.seq);
+                w.bytes(&encode_map(&d.fragment));
+                w.u64(d.fused.len() as u64);
+                for &(dup, canon) in &d.fused {
+                    w.u64(dup);
+                    w.u64(canon);
+                }
+            }
+            FedMessage::Handoff(h) => {
+                w.u8(TAG_HANDOFF);
+                w.u32(h.from_server);
+                w.u64(h.seq);
+                w.u64(h.client as u64);
+                w.u64(h.next_frame_idx);
+                w.f64(h.timestamp);
+                match &h.last_pose {
+                    Some(pose) => {
+                        w.u8(1);
+                        w.se3(pose);
+                    }
+                    None => w.u8(0),
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode from wire bytes. Total: any input yields `Ok` or a typed
+    /// [`FederationError`].
+    pub fn decode(bytes: &[u8]) -> Result<FedMessage, FederationError> {
+        let mut r = WireReader::new(bytes);
+        let version = r.u8()?;
+        if version != FED_WIRE_VERSION {
+            return Err(FederationError::BadVersion(version));
+        }
+        match r.u8()? {
+            TAG_DELTA => {
+                let from_server = r.u32()?;
+                let seq = r.u64()?;
+                let fragment_bytes = r.bytes()?;
+                let fragment = decode_map(&fragment_bytes)?;
+                let n_fused = r.seq_len()?;
+                if n_fused > MAX_FUSED {
+                    return Err(FederationError::Wire(WireError::BadLength(n_fused as u64)));
+                }
+                let mut fused = Vec::with_capacity(n_fused);
+                for _ in 0..n_fused {
+                    fused.push((r.u64()?, r.u64()?));
+                }
+                Ok(FedMessage::Delta(MapDelta {
+                    from_server,
+                    seq,
+                    fragment,
+                    fused,
+                }))
+            }
+            TAG_HANDOFF => {
+                let from_server = r.u32()?;
+                let seq = r.u64()?;
+                let client = r.u64()?;
+                if client > u16::MAX as u64 {
+                    return Err(FederationError::Wire(WireError::BadLength(client)));
+                }
+                let next_frame_idx = r.u64()?;
+                let timestamp = r.f64()?;
+                let last_pose = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.se3()?),
+                    t => return Err(FederationError::Wire(WireError::BadTag(t))),
+                };
+                Ok(FedMessage::Handoff(Handoff {
+                    client: client as u16,
+                    from_server,
+                    seq,
+                    next_frame_idx,
+                    timestamp,
+                    last_pose,
+                }))
+            }
+            t => Err(FederationError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slamshare_math::{Quat, Vec3};
+    use slamshare_slam::ids::ClientId;
+
+    fn sample_fragment() -> Map {
+        let mut map = Map::new(ClientId(9));
+        let kf_id = map.alloc.next_keyframe();
+        map.insert_keyframe(slamshare_slam::map::KeyFrame {
+            id: kf_id,
+            pose_cw: SE3::new(
+                Quat::from_axis_angle(Vec3::Y, 0.2),
+                Vec3::new(4.0, 0.0, -1.0),
+            ),
+            timestamp: 2.5,
+            keypoints: vec![slamshare_features::KeyPoint {
+                pt: slamshare_math::Vec2::new(3.0, 4.0),
+                octave: 0,
+                angle: 0.0,
+                response: 1.0,
+                right_x: -1.0,
+                depth: 2.0,
+            }],
+            descriptors: vec![slamshare_features::Descriptor::ZERO],
+            matched_points: vec![None],
+            bow: Default::default(),
+        });
+        map.create_mappoint(
+            Vec3::new(1.0, 2.0, 3.0),
+            slamshare_features::Descriptor::ZERO,
+            kf_id,
+            0,
+        );
+        map
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let msg = FedMessage::Delta(MapDelta {
+            from_server: 3,
+            seq: 41,
+            fragment: sample_fragment(),
+            fused: vec![(10, 20), (30, 40)],
+        });
+        let bytes = msg.encode();
+        match FedMessage::decode(&bytes).unwrap() {
+            FedMessage::Delta(d) => {
+                assert_eq!(d.from_server, 3);
+                assert_eq!(d.seq, 41);
+                assert_eq!(d.fused, vec![(10, 20), (30, 40)]);
+                assert_eq!(d.fragment.n_keyframes(), 1);
+                assert_eq!(d.fragment.n_mappoints(), 1);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handoff_roundtrip() {
+        let msg = FedMessage::Handoff(Handoff {
+            client: 7,
+            from_server: 1,
+            seq: 5,
+            next_frame_idx: 123,
+            timestamp: 9.75,
+            last_pose: Some(SE3::new(
+                Quat::from_axis_angle(Vec3::Z, -0.1),
+                Vec3::new(0.5, 0.0, 2.0),
+            )),
+        });
+        let bytes = msg.encode();
+        match FedMessage::decode(&bytes).unwrap() {
+            FedMessage::Handoff(h) => {
+                assert_eq!(h.client, 7);
+                assert_eq!(h.from_server, 1);
+                assert_eq!(h.seq, 5);
+                assert_eq!(h.next_frame_idx, 123);
+                assert_eq!(h.timestamp, 9.75);
+                assert!(h.last_pose.is_some());
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handoff_without_pose_roundtrips() {
+        let msg = FedMessage::Handoff(Handoff {
+            client: 0,
+            from_server: 0,
+            seq: 0,
+            next_frame_idx: 0,
+            timestamp: 0.0,
+            last_pose: None,
+        });
+        match FedMessage::decode(&msg.encode()).unwrap() {
+            FedMessage::Handoff(h) => assert_eq!(h.last_pose, None),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let msg = FedMessage::Handoff(Handoff {
+            client: 1,
+            from_server: 0,
+            seq: 0,
+            next_frame_idx: 0,
+            timestamp: 0.0,
+            last_pose: None,
+        });
+        let mut bytes = msg.encode().to_vec();
+        bytes[0] = 99;
+        match FedMessage::decode(&bytes) {
+            Err(FederationError::BadVersion(99)) => {}
+            other => panic!("expected BadVersion(99), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_typed() {
+        let bytes = [FED_WIRE_VERSION, 0xEE];
+        match FedMessage::decode(&bytes) {
+            Err(FederationError::BadTag(0xEE)) => {}
+            other => panic!("expected BadTag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let msg = FedMessage::Delta(MapDelta {
+            from_server: 2,
+            seq: 1,
+            fragment: sample_fragment(),
+            fused: vec![(1, 2)],
+        });
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                FedMessage::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic() {
+        // Deterministic pseudo-random garbage: every prefix must decode to
+        // a typed error, never a panic.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut buf = Vec::with_capacity(512);
+        for _ in 0..512 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            buf.push(x as u8);
+        }
+        for cut in 0..buf.len() {
+            let _ = FedMessage::decode(&buf[..cut]);
+        }
+    }
+
+    #[test]
+    fn oversized_fused_count_rejected() {
+        let mut w = WireWriter::new();
+        w.u8(FED_WIRE_VERSION);
+        w.u8(TAG_DELTA);
+        w.u32(0);
+        w.u64(0);
+        w.bytes(&encode_map(&sample_fragment()));
+        w.u64(u64::MAX);
+        let bytes = w.finish();
+        match FedMessage::decode(&bytes) {
+            Err(FederationError::Wire(WireError::BadLength(_))) => {}
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //!   propagation delay and FIFO serialization (the `tc`-shaped testbed of
 //!   §5.1: 10 GbE baseline, 300 ms delay, 18.7 / 9.4 Mbit/s variants);
 //! * [`framing`] — length-prefixed message framing over a byte stream;
+//! * [`fed`] — the server↔server federation message family (map-merge
+//!   deltas, client handoffs) with the same total-decode guarantee;
 //! * [`codec`] — a real inter-frame video codec (I-frames + quantized
 //!   P-frame residuals, run-length packed) and an intra-only image codec,
 //!   reproducing the paper's H.264-vs-PNG transfer comparison (Table 3)
@@ -30,6 +32,7 @@
 )]
 
 pub mod codec;
+pub mod fed;
 pub mod framing;
 pub mod link;
 pub mod wire;

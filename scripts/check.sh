@@ -7,6 +7,7 @@
 #   scripts/check.sh <stage>...   run only the named stage(s)
 #
 # Stages (in order): build test bench-norun clippy nopanic fmt load-smoke
+#                    fed-smoke
 # Optional stage:    bench-gate   (also appended to the default run when
 #                                  SLAMSHARE_BENCH_GATE=1 — it runs the
 #                                  benchmarks, which takes a while)
@@ -61,6 +62,11 @@ stage_load_smoke() {
     cargo run -q --release -p bench --bin load_smoke
 }
 
+stage_fed_smoke() {
+    echo "== federation smoke (3-server harness with handoffs + n=1 bit-identity) =="
+    cargo run -q --release -p bench --bin fed_smoke
+}
+
 stage_bench_gate() {
     echo "== bench regression gate (p95 vs results/baselines, SLAMSHARE_BENCH_TOL=${SLAMSHARE_BENCH_TOL:-15} %) =="
     scripts/bench_gate.sh
@@ -75,8 +81,9 @@ run_stage() {
         nopanic)     stage_nopanic ;;
         fmt)         stage_fmt ;;
         load-smoke)  stage_load_smoke ;;
+        fed-smoke)   stage_fed_smoke ;;
         bench-gate)  stage_bench_gate ;;
-        *) echo "unknown stage: $1 (build test bench-norun clippy nopanic fmt load-smoke bench-gate)" >&2
+        *) echo "unknown stage: $1 (build test bench-norun clippy nopanic fmt load-smoke fed-smoke bench-gate)" >&2
            exit 2 ;;
     esac
 }
@@ -86,7 +93,7 @@ if [[ $# -gt 0 ]]; then
         run_stage "$stage"
     done
 else
-    for stage in build test bench-norun clippy nopanic fmt load-smoke; do
+    for stage in build test bench-norun clippy nopanic fmt load-smoke fed-smoke; do
         run_stage "$stage"
     done
     if [[ "${SLAMSHARE_BENCH_GATE:-0}" == 1 ]]; then

@@ -27,7 +27,8 @@ shift || true
 SUITES=("$@")
 if [[ ${#SUITES[@]} -eq 0 ]]; then
     SUITES=(determinism map_sharding fault_injection
-            end_to_end_single_user end_to_end_multi_user experiments_smoke)
+            end_to_end_single_user end_to_end_multi_user experiments_smoke
+            load_harness federation)
 fi
 
 ARGS=()

@@ -154,6 +154,75 @@ fn register_is_typed_idempotent_and_leak_free_under_churn() {
     assert!(server.try_register_client(5).is_ok());
 }
 
+/// Deregister must release *everything* the registration acquired — the
+/// admission slot, the staged queue (drained frames accounted as purged
+/// in the retired aggregate, not lost), and the GPU slices — and a
+/// rejoin under the same id must start from a clean slate.
+#[test]
+fn deregister_releases_slot_queue_and_gpu_exactly() {
+    let ds = Dataset::build(
+        DatasetConfig::new(TracePreset::V202)
+            .with_frames(4)
+            .with_seed(seed()),
+    );
+    let vocab = Arc::new(vocabulary::train_random(42));
+    let mut server = EdgeServer::new(ServerConfig::stereo_default(ds.rig), vocab);
+
+    server.try_register_client(1).expect("first registration");
+    assert!(server.gpu.slice_sms().keys().any(|(id, _)| *id == 1));
+
+    // Stage three frames (under the cap) so the queue holds live state.
+    let mut enc_l = VideoEncoder::new(2, 30);
+    let mut enc_r = VideoEncoder::new(2, 30);
+    for i in 0..3 {
+        let (l, r) = ds.render_stereo_frame(i);
+        let f = QueuedFrame {
+            frame_idx: i,
+            timestamp: ds.frame_time(i),
+            left: enc_l.encode(&l).data.to_vec(),
+            right: Some(enc_r.encode(&r).data.to_vec()),
+            ..QueuedFrame::default()
+        };
+        assert!(server.offer_frame(1, f).expect("offer").is_none());
+    }
+    assert_eq!(server.staged_depth(1), 3);
+
+    server.deregister_client(1);
+
+    // Slot, queue, GPU: all released, exactly once.
+    assert_eq!(server.client_count(), 0);
+    assert_eq!(server.staged_depth(1), 0);
+    assert_eq!(server.gpu.client_count(), 0, "GPU slices leaked");
+    assert!(server.gpu.slice_sms().is_empty());
+    let snap = server.admission_snapshot();
+    assert_eq!(snap.live, 0);
+    assert_eq!(snap.departed, 1);
+    // The dead client's counters move to the retired aggregate — the
+    // staged frames are purged there, not silently dropped.
+    let m = server.metrics();
+    assert!(m.queues.is_empty(), "live queue counters leaked");
+    assert_eq!(m.retired.clients, 1);
+    assert_eq!(m.retired.queues.offered, 3);
+    assert_eq!(m.retired.queues.purged, 3);
+    assert_eq!(m.retired.queues.served, 0);
+    assert_eq!(m.total_queue_purged(), 3);
+    assert_eq!(m.total_queue_drops(), 0);
+
+    // Double deregister: idempotent, nothing counted twice.
+    server.deregister_client(1);
+    let m = server.metrics();
+    assert_eq!(m.retired.clients, 1);
+    assert_eq!(server.admission_snapshot().departed, 1);
+
+    // Rejoin under the same id: clean slate, fresh counters, fresh slice.
+    server.try_register_client(1).expect("rejoin");
+    assert_eq!(server.staged_depth(1), 0);
+    assert!(server.gpu.slice_sms().keys().any(|(id, _)| *id == 1));
+    let m = server.metrics();
+    assert_eq!(m.queues[&1].offered, 0, "rejoin inherited a stale queue");
+    assert_eq!(m.retired.clients, 1, "rejoin must not touch the aggregate");
+}
+
 // ---------------------------------------------------------------------
 // Backpressure: bounded staging, policy eviction, exact accounting.
 // ---------------------------------------------------------------------
