@@ -15,6 +15,11 @@
 //! Tolerance is `SLAMSHARE_BENCH_TOL` percent (default 15), plus a small
 //! absolute slack of [`ABS_SLACK_MS`] so microsecond-scale stages don't
 //! trip the relative check on scheduler jitter alone.
+//!
+//! Keys containing `max_bytes` are **absolute ceilings**, not latencies:
+//! they are deterministic byte counts (e.g. the soak's steady-state
+//! arena occupancy), so no jitter tolerance applies — any increase over
+//! the committed baseline is a regression.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -211,7 +216,8 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 // ---------------------------------------------------------------------
 
 /// Recursively collect every numeric field whose key contains `p95` or
-/// `p99` (tail latencies are what the SLOs bind), keyed by its path
+/// `p99` (tail latencies are what the SLOs bind) or `max_bytes`
+/// (deterministic footprint ceilings), keyed by its path
 /// (`section[3].p95_latency_ms`).
 pub fn collect_p95(json: &Json, path: &str, out: &mut BTreeMap<String, f64>) {
     match json {
@@ -223,7 +229,7 @@ pub fn collect_p95(json: &Json, path: &str, out: &mut BTreeMap<String, f64>) {
                     format!("{path}.{key}")
                 };
                 if let Json::Num(n) = value {
-                    if key.contains("p95") || key.contains("p99") {
+                    if key.contains("p95") || key.contains("p99") || key.contains("max_bytes") {
                         out.insert(child, *n);
                         continue;
                     }
@@ -283,7 +289,13 @@ pub fn compare(
                 } else {
                     0.0
                 };
-                let ceiling = base * (1.0 + tol_pct / 100.0) + ABS_SLACK_MS;
+                // Footprint ceilings are deterministic byte counts: the
+                // baseline IS the budget, no jitter tolerance.
+                let ceiling = if metric.contains("max_bytes") {
+                    base
+                } else {
+                    base * (1.0 + tol_pct / 100.0) + ABS_SLACK_MS
+                };
                 let verdict = if cur > ceiling {
                     Verdict::Regressed
                 } else if cur < base {
@@ -542,6 +554,26 @@ mod tests {
         assert!(compare(&base, &jitter, 15.0)
             .iter()
             .all(|d| d.verdict != Verdict::Regressed));
+    }
+
+    #[test]
+    fn max_bytes_is_an_absolute_ceiling() {
+        let base = metrics(&[("soak.steady_arena_max_bytes", 1_000_000.0)]);
+        // One byte over the committed ceiling regresses — tolerance and
+        // slack do not apply to deterministic footprint counts.
+        let over = metrics(&[("soak.steady_arena_max_bytes", 1_000_001.0)]);
+        assert!(compare(&base, &over, 15.0)
+            .iter()
+            .any(|d| d.verdict == Verdict::Regressed));
+        // At or under the ceiling passes.
+        let at = metrics(&[("soak.steady_arena_max_bytes", 1_000_000.0)]);
+        assert!(compare(&base, &at, 15.0)
+            .iter()
+            .all(|d| d.verdict == Verdict::Ok));
+        let under = metrics(&[("soak.steady_arena_max_bytes", 900_000.0)]);
+        assert!(compare(&base, &under, 15.0)
+            .iter()
+            .all(|d| d.verdict == Verdict::Improved));
     }
 
     #[test]

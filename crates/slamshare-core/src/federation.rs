@@ -106,6 +106,14 @@ impl OwnershipMap {
         self.owner.get(region).copied().unwrap_or(ServerId(0))
     }
 
+    /// Reassign a region to a new owner (evicted-region migration).
+    /// Out-of-range regions are ignored.
+    pub fn set_owner(&mut self, region: usize, server: ServerId) {
+        if let Some(slot) = self.owner.get_mut(region) {
+            *slot = server;
+        }
+    }
+
     /// Sorted region indices owned by `server`.
     pub fn regions_of(&self, server: ServerId) -> Vec<usize> {
         self.owner
@@ -132,6 +140,10 @@ pub struct FederationMetrics {
     pub handoffs: u64,
     /// Handoffs refused by the destination (client stayed home).
     pub handoffs_refused: u64,
+    /// Evicted regions migrated between servers in compact form.
+    pub evicted_transfers: u64,
+    /// Total compact payload bytes shipped by evicted-region transfers.
+    pub evicted_transfer_bytes: u64,
     /// Wall-clock ms per delta apply (decode + absorb).
     pub delta_apply_ms: Vec<f64>,
     /// Virtual (link) ms per delta delivery.
@@ -553,6 +565,50 @@ impl Federation {
             link_ms,
             resync_required: true,
         })
+    }
+
+    /// Migrate a cold region from `from` to `to` in compact form: the
+    /// origin's [`crate::gmap::EvictedRegion`] stub is taken, its
+    /// already-serialized payload crosses the link byte-for-byte (no
+    /// decode + re-encode on either side), the destination installs the
+    /// stub for reload-on-demand, and the ownership map is updated so
+    /// future deltas for the region route to the new owner. The
+    /// destination reloads the content lazily — only if and when a
+    /// client actually touches the region.
+    ///
+    /// Returns `false` and leaves everything untouched when the region
+    /// is not evicted at `from`, either server index is unknown, or the
+    /// destination already holds content or a stub for the region (the
+    /// stub is put back at the origin in that case).
+    pub fn transfer_evicted_region(
+        &mut self,
+        region: usize,
+        from: usize,
+        to: usize,
+        now: SimTime,
+    ) -> bool {
+        if from == to || self.servers.get(from).is_none() || self.servers.get(to).is_none() {
+            return false;
+        }
+        let Some(stub) = self.servers[from].store.take_evicted(region) else {
+            return false;
+        };
+        let _span = slamshare_obs::span!("fed.evicted_transfer");
+        let bytes = stub.payload.len();
+        if let Some(link) = self.links.get_mut(&(from, to)) {
+            let _ = link.send(now, bytes);
+        }
+        if !self.servers[to].store.install_evicted(region, stub.clone()) {
+            // Destination refused (resident content or an existing
+            // stub): restore the origin stub so nothing is lost.
+            let _ = self.servers[from].store.install_evicted(region, stub);
+            return false;
+        }
+        self.ownership.set_owner(region, ServerId(to as u32));
+        self.metrics.evicted_transfers += 1;
+        self.metrics.evicted_transfer_bytes += bytes as u64;
+        slamshare_obs::counter_inc!("fed.evicted_transfers");
+        true
     }
 }
 

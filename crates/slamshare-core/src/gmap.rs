@@ -52,13 +52,30 @@
 //!   holding its shard locks*, that the seeds still resolve inside the
 //!   locked set; if a concurrent write merged components first, it
 //!   releases and retries (bounded, then falls back to all regions).
+//!
+//! # Residency
+//!
+//! A region's content is normally **resident** in its shm shard. The
+//! lifecycle subsystem (`crate::lifecycle`) may serialize a cold
+//! component out: each region's content becomes a compact
+//! `slamshare-net` region snapshot held in a typed [`EvictedRegion`]
+//! directory stub, and the emptied shard's bytes are released back to
+//! the segment arena. Directory entries and unions are never removed by
+//! eviction, so seed resolution is oblivious to residency; the track and
+//! component-write paths call [`ShardedGlobalMap::ensure_resident`] on
+//! their resolved region set before locking, which transparently decodes
+//! stubs back into their shards (reload-on-demand). Eviction is
+//! all-or-nothing per covisibility component, keeping every observation
+//! edge on one side of the residency boundary.
 
 use parking_lot::Mutex;
 use slamshare_math::Vec3;
+use slamshare_net::fed::{decode_region_snapshot, encode_region_snapshot, RegionSnapshot};
 use slamshare_shm::{LockStats, Segment, ShardedStore};
 use slamshare_slam::ids::{KeyFrameId, MapPointId};
 use slamshare_slam::map::{Map, MapView, RegionAssigner, RegionGraph};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Component-write attempts before escalating to an all-region write
@@ -71,13 +88,64 @@ pub struct RegionShard {
     pub map: Map,
 }
 
+/// Residency of a region's content: resident in its shm shard, or
+/// serialized out to a compact [`EvictedRegion`] stub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionResidency {
+    Resident,
+    Evicted,
+}
+
+/// The typed directory stub left behind when a cold region's content is
+/// serialized out of shared memory. The directory keeps its keyframe →
+/// region entries and recorded covisibility unions (both monotone), so
+/// seed resolution and component locking still work while the content
+/// itself lives in `payload` — closure with stubs, the invariant
+/// DESIGN.md §11 pins.
+#[derive(Debug, Clone)]
+pub struct EvictedRegion {
+    /// `slamshare-net::fed` region-snapshot wire bytes (the compact form;
+    /// also what federation ships on an ownership transfer).
+    pub payload: Vec<u8>,
+    /// Keyframes serialized into the payload.
+    pub n_keyframes: usize,
+    /// Map points serialized into the payload.
+    pub n_mappoints: usize,
+    /// Approximate shm bytes the content occupied before eviction (what a
+    /// reload will re-charge against the arena).
+    pub resident_bytes: usize,
+    /// Maintenance frame clock at eviction time.
+    pub evicted_at_frame: u64,
+}
+
+/// What one [`ShardedGlobalMap::evict_component`] call did.
+#[derive(Debug, Clone, Default)]
+pub struct EvictReceipt {
+    /// Regions whose content was serialized out (empty when the component
+    /// had nothing resident or validation aborted the eviction).
+    pub regions: Vec<usize>,
+    pub keyframes: usize,
+    pub mappoints: usize,
+    /// Total size of the compact serialized payloads.
+    pub serialized_bytes: usize,
+    /// Approximate shm bytes the evicted content occupied.
+    pub released_bytes: usize,
+}
+
 /// Keyframe→region index plus the covisibility-region graph. Lives
 /// beside the store under its own mutex (the "directory" of the sharded
-/// map). Keyframes are never removed from the map, so entries only grow.
+/// map). `kf_region` entries and recorded unions are monotone: they
+/// survive map-point pruning and region eviction (an evicted keyframe's
+/// entry keeps resolving to its region, whose content is reachable via
+/// the [`EvictedRegion`] stub), and only `Map::remove_keyframe`-style
+/// culling inside a component write can orphan an entry — stale entries
+/// are harmless because resolution only widens the locked set.
 struct Directory {
     kf_region: HashMap<KeyFrameId, u32>,
     graph: RegionGraph,
     assigner: RegionAssigner,
+    /// Serialized stubs of evicted regions, keyed by region index.
+    evicted: HashMap<u32, EvictedRegion>,
 }
 
 /// What a write operation wants locked: the components of these keyframes
@@ -124,6 +192,8 @@ pub struct ShardedGlobalMap {
     store: Arc<ShardedStore<RegionShard>>,
     segment: Arc<Segment>,
     dir: Mutex<Directory>,
+    /// Successful on-demand reloads (lifecycle telemetry).
+    reloads: AtomicU64,
 }
 
 fn shard_bytes(s: &RegionShard) -> usize {
@@ -153,8 +223,15 @@ impl ShardedGlobalMap {
                 kf_region: HashMap::new(),
                 graph: RegionGraph::new(n),
                 assigner: RegionAssigner::new(n, cell_m),
+                evicted: HashMap::new(),
             }),
+            reloads: AtomicU64::new(0),
         }))
+    }
+
+    /// Successful on-demand region reloads so far.
+    pub fn reload_count(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
     }
 
     pub fn n_shards(&self) -> usize {
@@ -262,6 +339,9 @@ impl ShardedGlobalMap {
             None => LockSeeds::all(),
         };
         let regions = self.resolve(&seeds);
+        // Reload-on-demand: a track whose component includes an evicted
+        // region pulls the content back before taking read locks.
+        self.ensure_resident(&regions);
         self.store.with_read(&regions, |order, shards| {
             // Epochs only move under a shard's write lock, so these reads
             // are stable for as long as the read locks are held.
@@ -317,6 +397,317 @@ impl ShardedGlobalMap {
         })
     }
 
+    /// `(arena_used, arena_high_water, arena_capacity)` of the backing
+    /// segment — the occupancy the soak stage budgets against.
+    pub fn arena_stats(&self) -> (usize, usize, usize) {
+        let a = &self.segment.arena;
+        (a.used(), a.high_water(), a.capacity())
+    }
+
+    /// Sorted regions of the covisibility component containing `region`.
+    pub fn component_of(&self, region: usize) -> Vec<usize> {
+        let dir = self.dir.lock();
+        let mut v: Vec<usize> = dir
+            .graph
+            .component(region as u32)
+            .into_iter()
+            .map(|r| r as usize)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Every covisibility component, each sorted, ordered by smallest
+    /// region index — the deterministic iteration order maintenance uses.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.store.n_shards();
+        let dir = self.dir.lock();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for r in 0..n {
+            if seen[r] {
+                continue;
+            }
+            let mut comp: Vec<usize> = dir
+                .graph
+                .component(r as u32)
+                .into_iter()
+                .map(|x| x as usize)
+                .collect();
+            comp.sort_unstable();
+            for &c in &comp {
+                if let Some(s) = seen.get_mut(c) {
+                    *s = true;
+                }
+            }
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Residency of `region`'s content.
+    pub fn residency(&self, region: usize) -> RegionResidency {
+        if self.dir.lock().evicted.contains_key(&(region as u32)) {
+            RegionResidency::Evicted
+        } else {
+            RegionResidency::Resident
+        }
+    }
+
+    /// Sorted indices of currently evicted regions.
+    pub fn evicted_regions(&self) -> Vec<usize> {
+        let dir = self.dir.lock();
+        let mut v: Vec<usize> = dir.evicted.keys().map(|&r| r as usize).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether any region is currently evicted (one lock, no allocation —
+    /// the cheap pre-check relocalization uses).
+    pub fn has_evicted(&self) -> bool {
+        !self.dir.lock().evicted.is_empty()
+    }
+
+    /// `(evicted region count, total serialized payload bytes)`.
+    pub fn evicted_stats(&self) -> (usize, usize) {
+        let dir = self.dir.lock();
+        (
+            dir.evicted.len(),
+            dir.evicted.values().map(|e| e.payload.len()).sum(),
+        )
+    }
+
+    /// Smallest keyframe id resident in `region`, if any — the seed
+    /// maintenance uses to lock a component through the validated
+    /// component-write path.
+    pub fn first_keyframe_in(&self, region: usize) -> Option<KeyFrameId> {
+        self.store.with_read(&[region], |_, shards| {
+            shards
+                .first()
+                .and_then(|s| s.map.keyframes.keys().next().copied())
+        })
+    }
+
+    /// Serialize the covisibility component containing `seed_region` out
+    /// of shared memory: each resident region's content becomes a compact
+    /// `slamshare-net` region snapshot held in a typed [`EvictedRegion`]
+    /// directory stub, the shards are emptied (the store releases the
+    /// shrink back to the arena under the same guards), and every locked
+    /// region's epoch is bumped so stale stamps trip. Eviction is
+    /// all-or-nothing per component — cross-region observation edges stay
+    /// inside one payload set — and aborts (empty receipt) if a concurrent
+    /// write grew the component between resolve and lock acquisition; the
+    /// next maintenance tick retries.
+    pub fn evict_component(&self, seed_region: usize, now_frame: u64) -> EvictReceipt {
+        let regions = self.component_of(seed_region);
+        if regions.is_empty() {
+            return EvictReceipt::default();
+        }
+        self.store
+            .with_write(&self.segment, &regions, shard_bytes, |order, shards| {
+                let mut dir = self.dir.lock();
+                // Validate under the directory lock while holding the
+                // shard locks, exactly like a component write: if the
+                // component grew, evicting only part of it would strand
+                // cross-region observation edges across the residency
+                // boundary.
+                let current: Vec<usize> = dir
+                    .graph
+                    .component(seed_region as u32)
+                    .into_iter()
+                    .map(|r| r as usize)
+                    .collect();
+                if !current.iter().all(|r| order.binary_search(r).is_ok()) {
+                    return (EvictReceipt::default(), false);
+                }
+                let mut receipt = EvictReceipt::default();
+                for (k, shard) in shards.iter_mut().enumerate() {
+                    let Some(&region) = order.get(k) else {
+                        continue;
+                    };
+                    if shard.map.is_empty() && shard.map.n_mappoints() == 0 {
+                        continue; // nothing resident (maybe already a stub)
+                    }
+                    let resident_bytes = shard.map.approx_bytes();
+                    let fragment = std::mem::take(&mut shard.map);
+                    let snap = RegionSnapshot {
+                        region: region as u32,
+                        evicted_at_frame: now_frame,
+                        fragment,
+                    };
+                    let payload = encode_region_snapshot(&snap).to_vec();
+                    receipt.serialized_bytes += payload.len();
+                    receipt.released_bytes += resident_bytes;
+                    receipt.keyframes += snap.fragment.n_keyframes();
+                    receipt.mappoints += snap.fragment.n_mappoints();
+                    receipt.regions.push(region);
+                    dir.evicted.insert(
+                        region as u32,
+                        EvictedRegion {
+                            payload,
+                            n_keyframes: snap.fragment.n_keyframes(),
+                            n_mappoints: snap.fragment.n_mappoints(),
+                            resident_bytes,
+                            evicted_at_frame: now_frame,
+                        },
+                    );
+                }
+                let dirty = !receipt.regions.is_empty();
+                (receipt, dirty)
+            })
+    }
+
+    /// Make every region in `regions` resident again, decoding and
+    /// re-placing any [`EvictedRegion`] stubs. Returns the number of
+    /// regions reloaded. Called on the track/commit path before locks are
+    /// taken (see [`ShardedGlobalMap::with_track_read`] /
+    /// [`ShardedGlobalMap::with_component_write`]), which is what makes
+    /// eviction transparent: a query that resolves into an evicted region
+    /// pays one reload, then proceeds as if the content never left.
+    pub fn ensure_resident(&self, regions: &[usize]) -> usize {
+        let hits: Vec<usize> = {
+            let dir = self.dir.lock();
+            if dir.evicted.is_empty() {
+                return 0;
+            }
+            regions
+                .iter()
+                .copied()
+                .filter(|&r| dir.evicted.contains_key(&(r as u32)))
+                .collect()
+        };
+        let mut reloaded = 0;
+        for region in hits {
+            if self.reload_region(region) {
+                reloaded += 1;
+            }
+        }
+        if reloaded > 0 {
+            slamshare_obs::counter_add!("lifecycle.reloads", reloaded as u64);
+        }
+        reloaded
+    }
+
+    /// Reload every evicted region (relocalization scans the whole map,
+    /// so a reloc query against an evicted area needs everything back).
+    pub fn ensure_all_resident(&self) -> usize {
+        let all: Vec<usize> = (0..self.store.n_shards()).collect();
+        self.ensure_resident(&all)
+    }
+
+    /// Decode one stub back into its shard. Under the shard's write lock:
+    /// take the stub (directory lock after shard lock — the allowed
+    /// order), decode, re-place verbatim, re-link directory entries, bump
+    /// the epoch. Concurrent reloaders serialize on the shard lock; the
+    /// loser finds no stub and no-ops. Returns whether a stub was
+    /// reloaded.
+    fn reload_region(&self, region: usize) -> bool {
+        let _span = slamshare_obs::span!("lifecycle.reload");
+        let ok = self
+            .store
+            .with_write(&self.segment, &[region], shard_bytes, |order, shards| {
+                let (Some(&r), Some(shard)) = (order.first(), shards.first_mut()) else {
+                    return (false, false);
+                };
+                let stub = {
+                    let mut dir = self.dir.lock();
+                    dir.evicted.remove(&(r as u32))
+                };
+                let Some(stub) = stub else {
+                    return (false, false);
+                };
+                let snap = match decode_region_snapshot(&stub.payload) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // Our own encoder produced these bytes, so this is
+                        // unreachable in practice — but a corrupt payload
+                        // must not lose the stub or panic the server.
+                        self.dir.lock().evicted.insert(r as u32, stub);
+                        slamshare_obs::counter_inc!("lifecycle.reload_decode_errors");
+                        return (false, false);
+                    }
+                };
+                let mut fragment = snap.fragment;
+                // Re-link: at the origin server these directory writes are
+                // no-ops (entries and unions are monotone and were never
+                // removed). After a federation ownership transfer they
+                // seed the destination's directory; a racing component
+                // write re-validates under the directory lock, so unions
+                // appearing here are caught by its retry path.
+                {
+                    let mut dir = self.dir.lock();
+                    for id in fragment.keyframes.keys() {
+                        dir.kf_region.insert(*id, r as u32);
+                    }
+                    for mp in fragment.mappoints.values() {
+                        for (kf, _) in &mp.observations {
+                            if let Some(&other) = dir.kf_region.get(kf) {
+                                dir.graph.union(r as u32, other);
+                            }
+                        }
+                    }
+                }
+                shard.map.keyframes.append(&mut fragment.keyframes);
+                shard.map.mappoints.append(&mut fragment.mappoints);
+                shard.map.frame_clock = shard.map.frame_clock.max(fragment.frame_clock);
+                (true, true)
+            });
+        if ok {
+            self.reloads.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Remove and return `region`'s stub **without** reloading it — the
+    /// federation ownership-transfer path: the origin ships the compact
+    /// payload to the new owner instead of paying a decode + re-encode.
+    /// The directory's kf→region entries stay (monotone), so stale seed
+    /// resolution still works; content queries for the region now miss,
+    /// which is correct — the region is no longer this server's.
+    pub fn take_evicted(&self, region: usize) -> Option<EvictedRegion> {
+        self.dir.lock().evicted.remove(&(region as u32))
+    }
+
+    /// Install a stub for `region` (federation ownership transfer,
+    /// destination side). Refuses (returns false) when the region already
+    /// has a stub or resident content — the caller must merge instead.
+    pub fn install_evicted(&self, region: usize, stub: EvictedRegion) -> bool {
+        if region >= self.store.n_shards() {
+            return false;
+        }
+        let resident = self
+            .store
+            .with_read(&[region], |_, shards| match shards.first() {
+                Some(s) => !s.map.is_empty() || s.map.n_mappoints() > 0,
+                None => true,
+            });
+        if resident {
+            return false;
+        }
+        let mut dir = self.dir.lock();
+        if dir.evicted.contains_key(&(region as u32)) {
+            return false;
+        }
+        dir.evicted.insert(region as u32, stub);
+        true
+    }
+
+    /// Write under exactly `regions`' locks with the gather/scatter
+    /// protocol, **without** component validation — the caller must pass
+    /// a component-closed set (maintenance passes a snapshot of
+    /// [`ShardedGlobalMap::components`]; content it finds beyond that
+    /// snapshot is simply untouched).
+    pub fn with_regions_write<R>(
+        &self,
+        regions: &[usize],
+        f: impl FnOnce(&mut Map, &ComponentWrite) -> (R, bool),
+    ) -> R {
+        self.store
+            .with_write(&self.segment, regions, shard_bytes, |order, shards| {
+                self.run_write(order, shards, f)
+            })
+    }
+
     /// Write to the components covering `seeds`. The closure receives the
     /// gathered scratch [`Map`] (the locked components' whole content)
     /// and the lock context, and returns `(result, dirty)`; a dirty write
@@ -343,6 +734,11 @@ impl ShardedGlobalMap {
                 self.resolve(seeds)
             };
             let full = regions.len() == n;
+            // Reload-on-demand: commits, merges, and federation deltas
+            // that target an evicted region reload it before locking
+            // (the "reload" arm of reload-or-queue — the write then
+            // applies against resident content).
+            self.ensure_resident(&regions);
             let out =
                 self.store
                     .with_write(&self.segment, &regions, shard_bytes, |order, shards| {
@@ -377,6 +773,9 @@ impl ShardedGlobalMap {
         f: impl FnOnce(&mut Map, &ComponentWrite) -> (R, bool),
     ) -> (R, Vec<usize>) {
         let all: Vec<usize> = (0..self.store.n_shards()).collect();
+        // An all-region write means "the whole map": reload anything
+        // evicted first (free when nothing is — one lock, early return).
+        self.ensure_resident(&all);
         let r = self
             .store
             .with_write_all(&self.segment, shard_bytes, |order, shards| {
@@ -675,6 +1074,108 @@ mod tests {
         });
         let (kfs, _, _) = g.stats();
         assert_eq!(kfs, 6);
+    }
+
+    #[test]
+    fn evict_reload_roundtrip_preserves_content_and_frees_arena() {
+        let segment = Arc::new(Segment::new(1 << 24));
+        let g = ShardedGlobalMap::create(segment.clone(), "test/gmap", 16, 10.0).unwrap();
+        let mut alloc = Map::new(ClientId(1));
+        let (kf, locked) = insert_at(&g, &mut alloc, 0.0, 0.0);
+        insert_at(&g, &mut alloc, 1000.0, 1.0);
+        let before = g.snapshot_map();
+        let used_before = segment.arena.used();
+
+        let receipt = g.evict_component(locked[0], 500);
+        assert_eq!(receipt.regions, locked);
+        assert_eq!(receipt.keyframes, 1);
+        assert!(receipt.serialized_bytes > 0);
+        assert_eq!(g.residency(locked[0]), RegionResidency::Evicted);
+        assert_eq!(g.evicted_regions(), locked);
+        assert!(g.has_evicted());
+        // Shm accounting shrank; the far keyframe is untouched.
+        assert!(segment.arena.used() < used_before);
+        assert_eq!(g.with_view(|v| v.n_keyframes()), 1);
+
+        // A track seeded by the evicted keyframe transparently reloads.
+        let n = g.with_track_read(Some(kf), |v, _| v.n_keyframes());
+        assert_eq!(n, 1);
+        assert!(!g.has_evicted());
+        assert_eq!(g.residency(locked[0]), RegionResidency::Resident);
+        // Full content identical to the pre-eviction snapshot.
+        let after = g.snapshot_map();
+        assert_eq!(before.n_keyframes(), after.n_keyframes());
+        for (id, kf) in &before.keyframes {
+            let b = after.keyframes.get(id).expect("keyframe lost by eviction");
+            assert_eq!(kf.timestamp, b.timestamp);
+        }
+    }
+
+    #[test]
+    fn evict_bumps_epochs_and_write_reloads() {
+        let g = gmap(16);
+        let mut alloc = Map::new(ClientId(1));
+        let (kf, locked) = insert_at(&g, &mut alloc, 0.0, 0.0);
+        let stamp: Vec<(usize, u64)> = locked.iter().map(|&r| (r, g.region_epochs()[r])).collect();
+        let receipt = g.evict_component(locked[0], 1);
+        assert!(!receipt.regions.is_empty());
+        // A reader stamped on the region must see it go stale.
+        assert!(!g.stamp_current(&stamp));
+        // A component write seeded by the evicted keyframe reloads first
+        // and sees the content.
+        let (n, _) = g.with_component_write(
+            &LockSeeds {
+                kfs: vec![kf],
+                ..LockSeeds::default()
+            },
+            |scratch, _| (scratch.n_keyframes(), false),
+        );
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn double_evict_is_idempotent_and_empty_component_is_noop() {
+        let g = gmap(8);
+        let mut alloc = Map::new(ClientId(1));
+        let (_, locked) = insert_at(&g, &mut alloc, 2.0, 0.0);
+        let first = g.evict_component(locked[0], 1);
+        assert!(!first.regions.is_empty());
+        let second = g.evict_component(locked[0], 2);
+        assert!(second.regions.is_empty(), "re-evicted an evicted region");
+        assert_eq!(g.evicted_stats().0, 1);
+        // ensure_resident on untouched regions is a no-op.
+        assert_eq!(g.ensure_resident(&[]), 0);
+    }
+
+    #[test]
+    fn take_and_install_evicted_transfers_content() {
+        let g = gmap(16);
+        let mut alloc = Map::new(ClientId(1));
+        let (kf, locked) = insert_at(&g, &mut alloc, 0.0, 0.0);
+        g.evict_component(locked[0], 7);
+        let stub = g.take_evicted(locked[0]).expect("stub missing");
+        assert!(g.take_evicted(locked[0]).is_none());
+
+        // Same-shape destination server (the federation precondition: the
+        // assigner is a pure function of config, so regions line up).
+        let dest = gmap(16);
+        assert!(dest.install_evicted(locked[0], stub.clone()));
+        assert!(!dest.install_evicted(locked[0], stub), "double install");
+        assert_eq!(dest.residency(locked[0]), RegionResidency::Evicted);
+        // A query on the destination reloads and re-links the directory.
+        assert_eq!(dest.ensure_all_resident(), 1);
+        assert!(dest.with_view(|v| v.keyframe(kf).is_some()));
+        // Re-linked: a component write seeded by the transferred keyframe
+        // resolves to its region.
+        let (n, locked_dest) = dest.with_component_write(
+            &LockSeeds {
+                kfs: vec![kf],
+                ..LockSeeds::default()
+            },
+            |scratch, _| (scratch.n_keyframes(), false),
+        );
+        assert_eq!(n, 1);
+        assert_eq!(locked_dest, locked);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod hologram;
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 pub mod ingest;
+pub mod lifecycle;
 pub mod load;
 pub mod merge_worker;
 pub mod metrics;

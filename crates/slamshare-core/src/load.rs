@@ -85,8 +85,9 @@ impl SplitMix64 {
 
 /// One SplitMix64 finalizer step over `(seed, salt)` — used to derive
 /// per-client constants (tier, join time, churn fate) that must not
-/// depend on draw order.
-fn mix(seed: u64, salt: u64) -> u64 {
+/// depend on draw order. Shared with the lifecycle soak harness, which
+/// derives per-client trajectories the same order-independent way.
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
     let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

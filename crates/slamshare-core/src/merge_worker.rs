@@ -58,6 +58,15 @@ pub struct MergeJob {
     pub cmap: Map,
 }
 
+/// What travels down the worker channel. Lifecycle maintenance rides
+/// the same queue as merges so pruning and eviction run strictly off
+/// the commit critical path, serialized with merge applies.
+enum WorkItem {
+    Merge(MergeJob),
+    /// Run one maintenance pass at this virtual frame.
+    Maintain(u64),
+}
+
 /// What the worker hands back to the client's commit path.
 pub struct MergeCompletion {
     pub client: u16,
@@ -106,6 +115,9 @@ pub(crate) struct MergeContext {
     /// Shared GPU to draw a mapping-class slice from for seam BA and
     /// descriptor fusion; `None` runs those kernels on the CPU path.
     pub gpu: Option<Arc<SharedGpu>>,
+    /// Map maintenance (prune/evict) driver; `None` when the server has
+    /// lifecycle disabled.
+    pub lifecycle: Option<Arc<crate::lifecycle::LifecycleManager>>,
 }
 
 /// Reserved stream id for the merge worker's mapping-class GPU slice;
@@ -115,7 +127,7 @@ const MERGE_STREAM: u32 = u32::MAX;
 /// Handle to the background merge thread. Dropping it closes the job
 /// channel and joins the thread.
 pub struct MergeWorker {
-    tx: Option<mpsc::Sender<MergeJob>>,
+    tx: Option<mpsc::Sender<WorkItem>>,
     handle: Option<std::thread::JoinHandle<()>>,
     desk: Arc<Mutex<Desk>>,
     stats: Arc<MergeWorkerStats>,
@@ -123,7 +135,7 @@ pub struct MergeWorker {
 
 impl MergeWorker {
     pub(crate) fn spawn(ctx: MergeContext) -> MergeWorker {
-        let (tx, rx) = mpsc::channel::<MergeJob>();
+        let (tx, rx) = mpsc::channel::<WorkItem>();
         let desk = Arc::new(Mutex::new(Desk::default()));
         let stats = Arc::new(MergeWorkerStats::default());
         let worker_desk = desk.clone();
@@ -137,14 +149,23 @@ impl MergeWorker {
                 // One arena for the thread's lifetime: seam-BA and weld
                 // scratch reaches steady state after the first job.
                 let mut arena = MappingArena::default();
-                while let Ok(job) = rx.recv() {
-                    let client = job.client;
-                    let completion = ctx
-                        .cut
-                        .write(|| run_job(&ctx, &worker_stats, &mut arena, job));
-                    let mut desk = worker_desk.lock();
-                    desk.done.insert(client, completion);
-                    desk.in_flight.remove(&client);
+                while let Ok(item) = rx.recv() {
+                    match item {
+                        WorkItem::Merge(job) => {
+                            let client = job.client;
+                            let completion = ctx
+                                .cut
+                                .write(|| run_job(&ctx, &worker_stats, &mut arena, job));
+                            let mut desk = worker_desk.lock();
+                            desk.done.insert(client, completion);
+                            desk.in_flight.remove(&client);
+                        }
+                        WorkItem::Maintain(now_frame) => {
+                            if let Some(lc) = &ctx.lifecycle {
+                                let _ = ctx.cut.write(|| lc.tick(now_frame));
+                            }
+                        }
+                    }
                 }
                 if let Some(gpu) = &ctx.gpu {
                     gpu.deregister_client(MERGE_STREAM);
@@ -173,7 +194,18 @@ impl MergeWorker {
         self.tx
             .as_ref()
             .expect("worker channel open while not dropping")
-            .send(job)
+            .send(WorkItem::Merge(job))
+            .is_ok()
+    }
+
+    /// Queue one lifecycle maintenance pass at virtual frame
+    /// `now_frame`. Runs after any merges already in the queue; a no-op
+    /// when the worker was built without a lifecycle manager.
+    pub fn submit_maintenance(&self, now_frame: u64) -> bool {
+        self.tx
+            .as_ref()
+            .expect("worker channel open while not dropping")
+            .send(WorkItem::Maintain(now_frame))
             .is_ok()
     }
 

@@ -129,6 +129,11 @@ pub struct ServerConfig {
     /// ([`EdgeServer::offer_frame`]); overflow sheds the oldest
     /// non-I-frame first (see [`crate::qos::FrameQueue`]).
     pub ingress_queue_cap: usize,
+    /// Map lifecycle maintenance (pruning, cold-region eviction; see
+    /// [`crate::lifecycle`]). `None` — the default — disables
+    /// maintenance entirely: long-session footprint control is opt-in
+    /// and day-one behaviour is unchanged.
+    pub lifecycle: Option<crate::lifecycle::LifecycleConfig>,
 }
 
 impl ServerConfig {
@@ -143,6 +148,7 @@ impl ServerConfig {
             region_cell_m: 10.0,
             max_clients: None,
             ingress_queue_cap: 4,
+            lifecycle: None,
         }
     }
 
@@ -157,6 +163,7 @@ impl ServerConfig {
             region_cell_m: 10.0,
             max_clients: None,
             ingress_queue_cap: 4,
+            lifecycle: None,
         }
     }
 }
@@ -347,6 +354,9 @@ pub struct EdgeServer {
     decode_workers: usize,
     /// Background merge thread (async mode; see [`crate::merge_worker`]).
     merge_worker: Option<MergeWorker>,
+    /// Map lifecycle maintenance driver ([`ServerConfig::lifecycle`]);
+    /// ticks run on the merge worker in async mode, inline otherwise.
+    lifecycle: Option<Arc<crate::lifecycle::LifecycleManager>>,
     /// Consistent-cut gate between metrics writers (frame processing,
     /// merges) and [`EdgeServer::metrics`] readers — see
     /// [`crate::metrics::MetricsCut`].
@@ -406,6 +416,10 @@ impl EdgeServer {
         let db = Arc::new(ShardedKeyframeDatabase::new());
         let cut = Arc::new(MetricsCut::default());
         let gpu = Arc::new(SharedGpu::new(GpuModel::v100()));
+        let lifecycle = config
+            .lifecycle
+            .clone()
+            .map(|lc| Arc::new(crate::lifecycle::LifecycleManager::new(store.clone(), lc)));
         let merge_worker = config.async_merge.then(|| {
             MergeWorker::spawn(MergeContext {
                 store: store.clone(),
@@ -415,6 +429,7 @@ impl EdgeServer {
                 with_scale: config.with_scale_merge,
                 cut: cut.clone(),
                 gpu: config.use_gpu.then(|| gpu.clone()),
+                lifecycle: lifecycle.clone(),
             })
         });
         let admission = Admission::new(config.max_clients);
@@ -438,6 +453,7 @@ impl EdgeServer {
                 .map(|n| n.get())
                 .unwrap_or(1),
             merge_worker,
+            lifecycle,
             cut,
         }
     }
@@ -975,6 +991,13 @@ impl EdgeServer {
                 let mut relocalized = false;
                 if relocalize || tracker.consecutive_lost() >= RELOC_AFTER_LOST {
                     tracker.invalidate_motion();
+                    // Relocalization queries the whole map: a lost client
+                    // may have wandered back into a region the lifecycle
+                    // evicted, so make everything resident before place
+                    // recognition (a resident-map no-op).
+                    if self.store.has_evicted() {
+                        let _ = self.store.ensure_all_resident();
+                    }
                     if pose_hint.is_none() {
                         let (features, _) = tracker.extract(&left_img);
                         let bow = self.vocab.transform(&features.descriptors);
@@ -1562,9 +1585,12 @@ impl EdgeServer {
         if let Some(p) = last_pose {
             tracker.reset_motion(p);
         }
-        // Keyframe/point culling are local-map operations (the sharded
-        // global map's directory has no removal path), so the
+        // Keyframe/point culling are local-map operations, so the
         // shared-phase mapper never culls regardless of configuration.
+        // Removal from the *global* map is the lifecycle manager's job
+        // ([`crate::lifecycle`]): its prune/evict passes run through the
+        // validated component-write paths, which the per-frame mapper
+        // cannot do cheaply.
         let mut mapping_cfg = self.config.slam.mapping.clone();
         mapping_cfg.kf_cull_every = 0;
         mapping_cfg.point_cull_every = 0;
@@ -1636,6 +1662,33 @@ impl EdgeServer {
     /// (`None` in synchronous mode).
     pub fn merge_worker_stats(&self) -> Option<MergeWorkerSnapshot> {
         self.merge_worker.as_ref().map(|w| w.stats().snapshot())
+    }
+
+    /// Run (or queue) one map-lifecycle maintenance pass at virtual
+    /// frame `now_frame` — pruning and cold-region eviction per
+    /// [`ServerConfig::lifecycle`]. In async-merge mode the pass rides
+    /// the merge worker's queue so it stays off the round critical
+    /// path; otherwise it runs inline under the metrics cut. No-op
+    /// (returns false) when lifecycle is disabled.
+    pub fn run_maintenance(&self, now_frame: u64) -> bool {
+        let Some(lc) = &self.lifecycle else {
+            return false;
+        };
+        match &self.merge_worker {
+            Some(worker) => worker.submit_maintenance(now_frame),
+            None => {
+                let _ = self.cut.write(|| lc.tick(now_frame));
+                true
+            }
+        }
+    }
+
+    /// Lifecycle totals plus current arena/residency state (`None` when
+    /// [`ServerConfig::lifecycle`] is off). In async mode pending queued
+    /// ticks are not yet reflected — call
+    /// [`EdgeServer::wait_merge_idle`] first for a settled view.
+    pub fn lifecycle_report(&self) -> Option<crate::lifecycle::LifecycleReport> {
+        self.lifecycle.as_ref().map(|lc| lc.report())
     }
 
     /// Keyframe trajectories of *pending* (not-yet-merged) client maps:

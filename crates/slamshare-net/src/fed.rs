@@ -27,9 +27,13 @@ pub const FED_WIRE_VERSION: u8 = 1;
 
 const TAG_DELTA: u8 = 1;
 const TAG_HANDOFF: u8 = 2;
+const TAG_REGION: u8 = 3;
 
 /// Sanity bound on fused-pair counts inside one delta.
 const MAX_FUSED: usize = 1 << 22;
+
+/// Sanity bound on the point-age table inside one region snapshot.
+const MAX_AGES: usize = 1 << 24;
 
 /// Typed failure decoding (or validating) a federation message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -205,6 +209,84 @@ impl FedMessage {
     }
 }
 
+/// The compact serialized form of an evicted global-map region: the
+/// region's content as a map fragment plus the point-age table the base
+/// map codec deliberately drops (`decode_map` re-stamps ages from the
+/// receiving clock, but an evicted region must reload with its ages
+/// intact so age-based pruning stays bit-identical to a never-evicted
+/// run).
+#[derive(Debug, Clone)]
+pub struct RegionSnapshot {
+    /// The region index the content was evicted from.
+    pub region: u32,
+    /// Value of the maintenance frame clock at eviction time.
+    pub evicted_at_frame: u64,
+    /// The evicted content (keyframes, map points, observations).
+    pub fragment: Map,
+}
+
+/// Encode an evicted region to its compact wire form (version byte,
+/// region tag, metadata, map fragment, point-age table).
+pub fn encode_region_snapshot(snap: &RegionSnapshot) -> Bytes {
+    let mut w = WireWriter::new();
+    w.u8(FED_WIRE_VERSION);
+    w.u8(TAG_REGION);
+    w.u32(snap.region);
+    w.u64(snap.evicted_at_frame);
+    w.bytes(&encode_map(&snap.fragment));
+    w.u64(snap.fragment.frame_clock);
+    // Only non-zero ages need shipping; decode starts from the codec's
+    // zero default.
+    let aged: Vec<(u64, u64)> = snap
+        .fragment
+        .mappoints
+        .values()
+        .filter(|mp| mp.created_frame != 0)
+        .map(|mp| (mp.id.0, mp.created_frame))
+        .collect();
+    w.u64(aged.len() as u64);
+    for (id, frame) in aged {
+        w.u64(id);
+        w.u64(frame);
+    }
+    w.finish()
+}
+
+/// Decode a region snapshot. Total: any input yields `Ok` or a typed
+/// [`FederationError`]; ages referencing unknown points are ignored.
+pub fn decode_region_snapshot(bytes: &[u8]) -> Result<RegionSnapshot, FederationError> {
+    let mut r = WireReader::new(bytes);
+    let version = r.u8()?;
+    if version != FED_WIRE_VERSION {
+        return Err(FederationError::BadVersion(version));
+    }
+    let tag = r.u8()?;
+    if tag != TAG_REGION {
+        return Err(FederationError::BadTag(tag));
+    }
+    let region = r.u32()?;
+    let evicted_at_frame = r.u64()?;
+    let fragment_bytes = r.bytes()?;
+    let mut fragment = decode_map(&fragment_bytes)?;
+    fragment.frame_clock = r.u64()?;
+    let n_aged = r.seq_len()?;
+    if n_aged > MAX_AGES {
+        return Err(FederationError::Wire(WireError::BadLength(n_aged as u64)));
+    }
+    for _ in 0..n_aged {
+        let id = slamshare_slam::ids::MapPointId(r.u64()?);
+        let frame = r.u64()?;
+        if let Some(mp) = fragment.mappoints.get_mut(&id) {
+            mp.created_frame = frame;
+        }
+    }
+    Ok(RegionSnapshot {
+        region,
+        evicted_at_frame,
+        fragment,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +386,56 @@ mod tests {
             FedMessage::Handoff(h) => assert_eq!(h.last_pose, None),
             other => panic!("wrong kind: {other:?}"),
         }
+    }
+
+    #[test]
+    fn region_snapshot_roundtrip_preserves_ages() {
+        let mut fragment = sample_fragment();
+        fragment.frame_clock = 99;
+        let mp_id = *fragment.mappoints.keys().next().unwrap();
+        fragment.mappoints.get_mut(&mp_id).unwrap().created_frame = 77;
+        let snap = RegionSnapshot {
+            region: 12,
+            evicted_at_frame: 4321,
+            fragment,
+        };
+        let bytes = encode_region_snapshot(&snap);
+        let back = decode_region_snapshot(&bytes).unwrap();
+        assert_eq!(back.region, 12);
+        assert_eq!(back.evicted_at_frame, 4321);
+        assert_eq!(back.fragment.frame_clock, 99);
+        assert_eq!(back.fragment.n_keyframes(), 1);
+        // The base map codec zeroes created_frame; the snapshot's age
+        // table must restore it exactly.
+        assert_eq!(back.fragment.mappoints[&mp_id].created_frame, 77);
+    }
+
+    #[test]
+    fn region_snapshot_truncation_never_panics() {
+        let snap = RegionSnapshot {
+            region: 1,
+            evicted_at_frame: 10,
+            fragment: sample_fragment(),
+        };
+        let bytes = encode_region_snapshot(&snap);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_region_snapshot(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded successfully"
+            );
+        }
+        // A delta message is not a region snapshot.
+        let delta = FedMessage::Delta(MapDelta {
+            from_server: 0,
+            seq: 0,
+            fragment: sample_fragment(),
+            fused: vec![],
+        })
+        .encode();
+        assert!(matches!(
+            decode_region_snapshot(&delta),
+            Err(FederationError::BadTag(TAG_DELTA))
+        ));
     }
 
     #[test]

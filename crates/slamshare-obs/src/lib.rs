@@ -29,14 +29,16 @@
 //! taxonomy.
 
 mod counter;
+mod gauge;
 mod hist;
 pub mod registry;
 mod snapshot;
 mod span;
 
 pub use counter::Counter;
+pub use gauge::Gauge;
 pub use hist::{bucket_edges_ns, bucket_index, HistSnapshot, Histogram, N_BUCKETS};
-pub use snapshot::{prom_counter_key, prom_hist_key, ObsSnapshot, SpanEvent};
+pub use snapshot::{prom_counter_key, prom_gauge_key, prom_hist_key, ObsSnapshot, SpanEvent};
 pub use span::{now_ns, SpanGuard, SpanRecord, ThreadRing, RING_CAPACITY};
 
 #[cfg(not(feature = "compile-off"))]
@@ -98,6 +100,17 @@ pub fn counter_slot(
     slot.get_or_init(|| registry::global().counter(name))
 }
 
+/// Resolve a call site's cached gauge (used by the macros; not
+/// intended for direct use).
+#[doc(hidden)]
+#[inline]
+pub fn gauge_slot(
+    name: &'static str,
+    slot: &'static std::sync::OnceLock<&'static Gauge>,
+) -> &'static Gauge {
+    slot.get_or_init(|| registry::global().gauge(name))
+}
+
 /// Open a hierarchical span: `let _g = span!("round.track");`. The
 /// guard measures until dropped; on drop the duration lands in the
 /// span's histogram and the calling thread's ring buffer. The name must
@@ -145,5 +158,19 @@ macro_rules! counter_add {
 macro_rules! counter_inc {
     ($name:expr) => {
         $crate::counter_add!($name, 1u64)
+    };
+}
+
+/// Set the named gauge to `$v` (last value wins — for levels that go up
+/// and down, like arena occupancy). `$v` is only evaluated when
+/// recording is enabled.
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:expr, $v:expr) => {
+        if $crate::enabled() {
+            static SLOT: ::std::sync::OnceLock<&'static $crate::Gauge> =
+                ::std::sync::OnceLock::new();
+            $crate::gauge_slot($name, &SLOT).set($v);
+        }
     };
 }

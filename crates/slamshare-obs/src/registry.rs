@@ -8,8 +8,9 @@
 //! is bounded by the number of threads ever spawned).
 
 use crate::counter::Counter;
+use crate::gauge::Gauge;
 use crate::hist::Histogram;
-use crate::snapshot::{prom_counter_key, prom_hist_key, ObsSnapshot, SpanEvent};
+use crate::snapshot::{prom_counter_key, prom_gauge_key, prom_hist_key, ObsSnapshot, SpanEvent};
 use crate::span::ThreadRing;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -19,6 +20,7 @@ use std::sync::OnceLock;
 pub struct Registry {
     hists: Mutex<BTreeMap<&'static str, &'static Histogram>>,
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
     rings: Mutex<Vec<&'static ThreadRing>>,
 }
 
@@ -43,6 +45,13 @@ impl Registry {
             .or_insert_with(|| Box::leak(Box::new(Counter::new())))
     }
 
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut g = self.gauges.lock();
+        g.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Gauge::new())))
+    }
+
     pub(crate) fn register_ring(&self, ring: &'static ThreadRing) {
         self.rings.lock().push(ring);
     }
@@ -62,6 +71,12 @@ impl Registry {
             .iter()
             .map(|(name, c)| (prom_counter_key(name), c.get()))
             .collect();
+        let gauges: BTreeMap<String, u64> = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(name, g)| (prom_gauge_key(name), g.get()))
+            .collect();
         let mut spans = Vec::new();
         for ring in self.rings.lock().iter() {
             for rec in ring.drain_ordered() {
@@ -78,6 +93,7 @@ impl Registry {
             enabled: crate::enabled(),
             histograms,
             counters,
+            gauges,
             spans,
         }
     }
@@ -91,6 +107,9 @@ impl Registry {
         }
         for c in self.counters.lock().values() {
             c.reset();
+        }
+        for g in self.gauges.lock().values() {
+            g.reset();
         }
         for ring in self.rings.lock().iter() {
             ring.clear();

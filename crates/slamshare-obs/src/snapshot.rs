@@ -36,6 +36,13 @@ pub fn prom_counter_key(name: &str) -> String {
     format!("slamshare_{}_total", sanitize(name))
 }
 
+/// Prometheus-style key for a gauge (`lifecycle.arena_used_bytes` →
+/// `slamshare_lifecycle_arena_used_bytes`). Gauges carry their unit in
+/// the site name, so only the namespace prefix is added.
+pub fn prom_gauge_key(name: &str) -> String {
+    format!("slamshare_{}", sanitize(name))
+}
+
 /// One completed span in export form (times in microseconds).
 #[derive(Debug, Clone, Serialize)]
 pub struct SpanEvent {
@@ -57,6 +64,8 @@ pub struct ObsSnapshot {
     pub histograms: BTreeMap<String, HistSnapshot>,
     /// Counters, keyed by [`prom_counter_key`].
     pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges, keyed by [`prom_gauge_key`].
+    pub gauges: BTreeMap<String, u64>,
     /// Recent spans from every thread ring, oldest first per thread.
     pub spans: Vec<SpanEvent>,
 }
@@ -76,6 +85,16 @@ impl ObsSnapshot {
         self.counters
             .get(&prom_counter_key(name))
             .or_else(|| self.counters.get(name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Look up a gauge by raw dotted name or full Prometheus key;
+    /// absent gauges read 0.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .get(&prom_gauge_key(name))
+            .or_else(|| self.gauges.get(name))
             .copied()
             .unwrap_or(0)
     }
@@ -102,6 +121,10 @@ mod tests {
             prom_counter_key("merge.submitted"),
             "slamshare_merge_submitted_total"
         );
+        assert_eq!(
+            prom_gauge_key("lifecycle.arena_used_bytes"),
+            "slamshare_lifecycle_arena_used_bytes"
+        );
     }
 
     #[test]
@@ -110,10 +133,14 @@ mod tests {
         snap.histograms
             .insert(prom_hist_key("round.track"), HistSnapshot::default());
         snap.counters.insert(prom_counter_key("merge.submitted"), 7);
+        snap.gauges
+            .insert(prom_gauge_key("lifecycle.arena_used_bytes"), 4096);
         assert!(snap.hist("round.track").is_some());
         assert!(snap.hist("slamshare_round_track_ms").is_some());
         assert_eq!(snap.counter("merge.submitted"), 7);
         assert_eq!(snap.counter("missing.counter"), 0);
+        assert_eq!(snap.gauge("lifecycle.arena_used_bytes"), 4096);
+        assert_eq!(snap.gauge("missing.gauge"), 0);
     }
 
     #[test]

@@ -77,6 +77,30 @@ impl Arena {
         Ok(offset)
     }
 
+    /// Release `bytes` (aligned to 16, mirroring [`Arena::alloc`]) back to
+    /// the segment, clamped to what is currently in use. Returns the number
+    /// of bytes actually released.
+    ///
+    /// The arena is a bump allocator, so this does not return a *specific*
+    /// reservation — it models wholesale page release when a map region is
+    /// evicted from the segment: occupancy accounting shrinks so the pages
+    /// can be reused by later allocations. Callers are expected to free
+    /// exactly what they previously charged (the sharded store pairs every
+    /// free with a matching size shrink under the same shard lock), which
+    /// keeps the accounting exact; the clamp only guards against a buggy
+    /// over-free driving the cursor below zero.
+    pub fn free(&self, bytes: usize) -> usize {
+        let aligned = bytes.div_ceil(16) * 16;
+        let mut released = 0;
+        let _ = self
+            .cursor
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                released = aligned.min(cur);
+                Some(cur - released)
+            });
+        released
+    }
+
     /// Free everything (the segment outlives individual maps; individual
     /// frees are not supported, as with a bump allocator).
     pub fn reset(&self) {
@@ -119,6 +143,63 @@ mod tests {
         assert!(a.alloc(100).is_ok());
         // High-water mark survives reset (observability).
         assert!(a.high_water() >= 112);
+    }
+
+    #[test]
+    fn free_releases_and_clamps() {
+        let a = Arena::new(256);
+        a.alloc(64).unwrap();
+        a.alloc(32).unwrap();
+        assert_eq!(a.used(), 96);
+        assert_eq!(a.free(32), 32);
+        assert_eq!(a.used(), 64);
+        // Released space is reusable.
+        assert!(a.alloc(192).is_ok());
+        assert_eq!(a.used(), 256);
+        // Over-free clamps to what is in use instead of underflowing.
+        assert_eq!(a.free(10_000), 256);
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.free(16), 0);
+        // High water still records the true peak.
+        assert_eq!(a.high_water(), 256);
+    }
+
+    #[test]
+    fn two_thread_alloc_free_accounting_exact() {
+        // The first free path in the system: one thread allocates, one
+        // frees matching sizes. Balanced traffic must telescope to an
+        // exact final occupancy with no lost or double-counted bytes.
+        use std::sync::mpsc;
+        use std::sync::Arc;
+        let a = Arc::new(Arena::new(1 << 22));
+        let (tx, rx) = mpsc::channel::<usize>();
+        let freer = {
+            let a = a.clone();
+            std::thread::spawn(move || {
+                let mut released = 0usize;
+                while let Ok(bytes) = rx.recv() {
+                    released += a.free(bytes);
+                }
+                released
+            })
+        };
+        let mut allocated = 0usize;
+        for i in 0..4_000usize {
+            let bytes = 16 * (1 + i % 7);
+            a.alloc(bytes).unwrap();
+            allocated += bytes;
+            // Hand every other allocation to the freer thread while we
+            // keep allocating — alloc and free race on the cursor.
+            if i % 2 == 0 {
+                tx.send(bytes).unwrap();
+                allocated -= bytes;
+            }
+        }
+        drop(tx);
+        let released = freer.join().unwrap();
+        assert_eq!(a.used(), allocated, "alloc/free accounting drifted");
+        assert!(released > 0);
+        assert!(a.high_water() >= a.used());
     }
 
     #[test]

@@ -113,9 +113,12 @@ impl<T: Send + Sync + 'static> ShardedStore<T> {
     /// index list and returns `(result, dirty)`; when `dirty` is true every
     /// locked shard's epoch is bumped before the locks are released —
     /// content may have been redistributed between the locked shards, so
-    /// all of them count as potentially modified. Sizes are re-reported and
-    /// growth charged against the segment per shard, under the guards (see
-    /// `SharedStore::with_write` for why in-lock reporting matters).
+    /// all of them count as potentially modified. Sizes are re-reported per
+    /// shard under the guards — growth is charged against the segment and
+    /// shrinkage (eviction, pruning) is released back to it (see
+    /// `SharedStore::with_write` for why in-lock reporting matters: a
+    /// report outside the guard can interleave with another writer's and
+    /// charge or release the same delta twice).
     pub fn with_write<R>(
         &self,
         segment: &Segment,
@@ -144,6 +147,13 @@ impl<T: Send + Sync + 'static> ShardedStore<T> {
             let old = shard.reported_bytes.swap(new_size, Ordering::Relaxed);
             if new_size > old {
                 let _ = segment.arena.alloc(new_size - old);
+            } else if old > new_size {
+                // The free side of the accounting: eviction/pruning shrank
+                // the occupant, so release the delta while the shard lock
+                // still serializes us against other reporters. Exactly-once
+                // release holds for the same reason exactly-once charge
+                // does — `reported_bytes` only moves under this guard.
+                let _ = segment.arena.free(old - new_size);
             }
         }
         drop(guards);
@@ -272,6 +282,67 @@ mod tests {
         );
         assert_eq!(s.reported_bytes(), 480);
         assert!(seg.arena.used() >= 480);
+    }
+
+    #[test]
+    fn shrink_releases_arena_bytes_under_guard() {
+        let seg = Segment::new(1 << 20);
+        let s = store(&seg, 2);
+        s.with_write(
+            &seg,
+            &[0],
+            |v| v.len(),
+            |_, sh| (sh[0].resize(4096, 0), true),
+        );
+        s.with_write(
+            &seg,
+            &[1],
+            |v| v.len(),
+            |_, sh| (sh[0].resize(1024, 0), true),
+        );
+        let peak = seg.arena.used();
+        assert!(peak >= 5120);
+        // Evict shard 0's content: reported size drops to zero and the
+        // delta is released back to the arena exactly once.
+        s.with_write(&seg, &[0], |v| v.len(), |_, sh| (sh[0].clear(), true));
+        assert_eq!(s.reported_bytes(), 1024);
+        assert_eq!(seg.arena.used(), peak - 4096);
+        // High water still remembers the pre-eviction peak.
+        assert!(seg.arena.high_water() >= peak);
+    }
+
+    #[test]
+    fn concurrent_grow_shrink_accounting_telescopes() {
+        // Two writers ping one shard each between a large and a small
+        // size; interleaved charge/release must telescope exactly because
+        // both happen under the shard guard.
+        let seg = Arc::new(Segment::new(1 << 22));
+        let s = store(&seg, 2);
+        let mut handles = Vec::new();
+        for w in 0..2usize {
+            let s = s.clone();
+            let seg = seg.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200usize {
+                    let size = if i % 2 == 0 { 2048 } else { 256 };
+                    s.with_write(
+                        &seg,
+                        &[w],
+                        |v| v.len(),
+                        |_, sh| {
+                            sh[0].resize(size, 0);
+                            ((), true)
+                        },
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Both shards ended on the small size (199 is odd).
+        assert_eq!(s.reported_bytes(), 512);
+        assert_eq!(seg.arena.used(), 512);
     }
 
     #[test]

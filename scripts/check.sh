@@ -7,10 +7,13 @@
 #   scripts/check.sh <stage>...   run only the named stage(s)
 #
 # Stages (in order): build test bench-norun clippy nopanic fmt load-smoke
-#                    fed-smoke
+#                    fed-smoke soak
 # Optional stage:    bench-gate   (also appended to the default run when
 #                                  SLAMSHARE_BENCH_GATE=1 — it runs the
 #                                  benchmarks, which takes a while)
+#
+# `soak` also runs as its own parallel CI job (it is the longest smoke),
+# so a slow soak never serializes behind the build/test/lint job.
 #
 # .github/workflows/ci.yml calls these same stages one per step, so CI
 # and the local gate cannot drift apart.
@@ -67,6 +70,11 @@ stage_fed_smoke() {
     cargo run -q --release -p bench --bin fed_smoke
 }
 
+stage_soak() {
+    echo "== lifecycle soak (compressed virtual day: bounded arena + reload bit-identity) =="
+    cargo run -q --release -p bench --bin soak_smoke
+}
+
 stage_bench_gate() {
     echo "== bench regression gate (p95 vs results/baselines, SLAMSHARE_BENCH_TOL=${SLAMSHARE_BENCH_TOL:-15} %) =="
     scripts/bench_gate.sh
@@ -82,8 +90,9 @@ run_stage() {
         fmt)         stage_fmt ;;
         load-smoke)  stage_load_smoke ;;
         fed-smoke)   stage_fed_smoke ;;
+        soak)        stage_soak ;;
         bench-gate)  stage_bench_gate ;;
-        *) echo "unknown stage: $1 (build test bench-norun clippy nopanic fmt load-smoke fed-smoke bench-gate)" >&2
+        *) echo "unknown stage: $1 (build test bench-norun clippy nopanic fmt load-smoke fed-smoke soak bench-gate)" >&2
            exit 2 ;;
     esac
 }
@@ -93,7 +102,7 @@ if [[ $# -gt 0 ]]; then
         run_stage "$stage"
     done
 else
-    for stage in build test bench-norun clippy nopanic fmt load-smoke fed-smoke; do
+    for stage in build test bench-norun clippy nopanic fmt load-smoke fed-smoke soak; do
         run_stage "$stage"
     done
     if [[ "${SLAMSHARE_BENCH_GATE:-0}" == 1 ]]; then
